@@ -1,0 +1,275 @@
+package mimosd
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation section. Each benchmark regenerates its experiment at
+// Quick fidelity (fast enough for `go test -bench=.`) and reports the
+// headline quantities as custom benchmark metrics, so `-bench` output reads
+// like the paper's results:
+//
+//	ms/batch          modeled decode time of the canonical batch
+//	speedup           FPGA-optimized advantage over the comparator
+//	BER@4dB           bit error rate at the lowest tested SNR
+//	energy-reduction  Table II geo-mean
+//
+// cmd/sdreport runs the same generators at publication fidelity and prints
+// the full tables; EXPERIMENTS.md records paper-vs-measured values.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// BenchmarkTable1Resources regenerates Table I (resource utilization).
+func BenchmarkTable1Resources(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Power regenerates Table II (power/exec/energy) and reports
+// the geo-mean energy reduction (paper: 38.1×).
+func BenchmarkTable2Power(b *testing.B) {
+	p := bench.Quick()
+	var geomean float64
+	for i := 0; i < b.N; i++ {
+		_, _, g, err := bench.Table2(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		geomean = g
+	}
+	b.ReportMetric(geomean, "energy-reduction-x")
+}
+
+// BenchmarkFig6 regenerates Figure 6 (10×10 4-QAM execution time) and
+// reports the CPU and FPGA-optimized times at 4 dB plus the speedup
+// (paper: ~5×).
+func BenchmarkFig6(b *testing.B) {
+	p := bench.Quick()
+	var pts []bench.TimingPoint
+	for i := 0; i < b.N; i++ {
+		_, out, err := bench.Fig6(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = out
+	}
+	report4dB(b, pts)
+}
+
+// BenchmarkFig7BER regenerates Figure 7 (BER vs SNR, 10×10 4-QAM) and
+// reports the exact-SD BER at 4 dB (paper: < 1e-2).
+func BenchmarkFig7BER(b *testing.B) {
+	p := bench.Quick()
+	var pts []bench.BERPoint
+	for i := 0; i < b.N; i++ {
+		_, out, err := bench.Fig7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = out
+	}
+	if len(pts) > 0 {
+		b.ReportMetric(pts[0].BER, "BER@4dB")
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (15×15 4-QAM; paper: 6.1× at 4 dB).
+func BenchmarkFig8(b *testing.B) {
+	p := bench.Quick()
+	var pts []bench.TimingPoint
+	for i := 0; i < b.N; i++ {
+		_, out, err := bench.Fig8(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = out
+	}
+	report4dB(b, pts)
+}
+
+// BenchmarkFig9 regenerates Figure 9 (20×20 4-QAM; paper: 9× at 8 dB,
+// FPGA 9.9 ms vs CPU 88.8 ms).
+func BenchmarkFig9(b *testing.B) {
+	p := bench.Quick()
+	var pts []bench.TimingPoint
+	for i := 0; i < b.N; i++ {
+		_, out, err := bench.Fig9(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = out
+	}
+	report4dB(b, pts)
+	if len(pts) > 1 {
+		b.ReportMetric(pts[1].CPUSec/pts[1].FPGAOptSec, "speedup@8dB")
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10 (10×10 16-QAM; paper: ~4×).
+func BenchmarkFig10(b *testing.B) {
+	p := bench.Quick()
+	var pts []bench.TimingPoint
+	for i := 0; i < b.N; i++ {
+		_, out, err := bench.Fig10(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts = out
+	}
+	report4dB(b, pts)
+}
+
+// BenchmarkFig11GPU regenerates Figure 11 (FPGA vs GPU GEMM-BFS; paper:
+// 57× average) and reports the mean speedup.
+func BenchmarkFig11GPU(b *testing.B) {
+	p := bench.Quick()
+	var speedups []float64
+	for i := 0; i < b.N; i++ {
+		_, out, err := bench.Fig11(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedups = out
+	}
+	if len(speedups) > 0 {
+		sum := 0.0
+		for _, s := range speedups {
+			sum += s
+		}
+		b.ReportMetric(sum/float64(len(speedups)), "avg-speedup-vs-gpu")
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12 (decoding-time comparison with ZF,
+// MMSE, Geosphere; paper: 11× vs Geosphere).
+func BenchmarkFig12(b *testing.B) {
+	p := bench.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig12(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations runs the DESIGN.md §7 ablation set (child sorting,
+// traversal strategy, K-best) — the design-choice evidence behind the
+// paper's traversal selection.
+func BenchmarkAblations(b *testing.B) {
+	p := bench.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.Ablations(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReplication runs the pipeline-replication study (LPT vs
+// round-robin scheduling of real per-frame decode costs over 1–8 pipelines)
+// and reports the 4-pipeline LPT speedup.
+func BenchmarkReplication(b *testing.B) {
+	p := bench.Quick()
+	var rows []bench.ReplicationRow
+	for i := 0; i < b.N; i++ {
+		_, out, err := bench.ReplicationStudy(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = out
+	}
+	for _, r := range rows {
+		if r.Pipelines == 4 {
+			b.ReportMetric(r.LPTSpeedup, "lpt-speedup@4pipes")
+		}
+	}
+}
+
+// BenchmarkRealTimeAudit tabulates real-time feasibility across all
+// configurations and platforms (the feasibility story of Figs. 6–10).
+func BenchmarkRealTimeAudit(b *testing.B) {
+	p := bench.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RealTimeAudit(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Decoder micro-benchmarks ------------------------------------------------
+//
+// Raw Go decode throughput per algorithm on a fixed 10×10 4-QAM instance at
+// 8 dB. These time the *simulation* (the actual Go search), not the modeled
+// hardware — useful for harness-cost budgeting and for spotting algorithmic
+// regressions.
+
+func benchDecode(b *testing.B, alg Algorithm, cfg Config, snr float64) {
+	b.Helper()
+	link, err := RandomLink(cfg, snr, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Detect(cfg, alg, link.H, link.Y, link.NoiseVar); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeSD10x10QAM4(b *testing.B) {
+	benchDecode(b, AlgSphereDecoder, Config{TxAntennas: 10, RxAntennas: 10, Modulation: "4-QAM"}, 8)
+}
+
+func BenchmarkDecodeSD10x10QAM16(b *testing.B) {
+	benchDecode(b, AlgSphereDecoder, Config{TxAntennas: 10, RxAntennas: 10, Modulation: "16-QAM"}, 12)
+}
+
+func BenchmarkDecodeSD20x20QAM4(b *testing.B) {
+	benchDecode(b, AlgSphereDecoder, Config{TxAntennas: 20, RxAntennas: 20, Modulation: "4-QAM"}, 8)
+}
+
+func BenchmarkDecodeBestFS10x10(b *testing.B) {
+	benchDecode(b, AlgSphereBestFS, Config{TxAntennas: 10, RxAntennas: 10, Modulation: "4-QAM"}, 8)
+}
+
+func BenchmarkDecodeFSD10x10(b *testing.B) {
+	benchDecode(b, AlgFSD, Config{TxAntennas: 10, RxAntennas: 10, Modulation: "4-QAM"}, 8)
+}
+
+func BenchmarkDecodeMMSE10x10(b *testing.B) {
+	benchDecode(b, AlgMMSE, Config{TxAntennas: 10, RxAntennas: 10, Modulation: "4-QAM"}, 8)
+}
+
+func BenchmarkDecodeLLLZF10x10(b *testing.B) {
+	benchDecode(b, AlgLLLZF, Config{TxAntennas: 10, RxAntennas: 10, Modulation: "4-QAM"}, 8)
+}
+
+func BenchmarkDecodeSoft10x10(b *testing.B) {
+	cfg := Config{TxAntennas: 10, RxAntennas: 10, Modulation: "4-QAM"}
+	link, err := RandomLink(cfg, 8, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectSoft(cfg, link.H, link.Y, link.NoiseVar, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// report4dB attaches the 4 dB point's platform times and speedup as
+// benchmark metrics.
+func report4dB(b *testing.B, pts []bench.TimingPoint) {
+	b.Helper()
+	if len(pts) == 0 {
+		return
+	}
+	pt := pts[0]
+	b.ReportMetric(pt.CPUSec*1e3, "cpu-ms@4dB")
+	b.ReportMetric(pt.FPGAOptSec*1e3, "fpga-ms@4dB")
+	b.ReportMetric(pt.CPUSec/pt.FPGAOptSec, "speedup@4dB")
+}

@@ -1,0 +1,171 @@
+// Command fpgasim inspects the simulated FPGA sphere-decoder pipeline: for
+// a chosen design (variant, modulation, MIMO size) it prints the resource
+// utilization column (Table I), the power/energy profile (Table II), the
+// per-module cycle budget of a decoding workload (the Fig. 4 pipeline), and
+// the replication headroom the paper's resource optimization targets.
+//
+// Usage:
+//
+//	fpgasim -variant optimized -mod 16qam -tx 10 -rx 10 -snr 8 -frames 1000
+//	fpgasim -variant baseline -mod 4qam -tx 20 -rx 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/channel"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/fpga"
+	"repro/internal/mimo"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sphere"
+)
+
+func main() {
+	var (
+		variant = flag.String("variant", "optimized", "design variant: baseline or optimized")
+		mod     = flag.String("mod", "4qam", "modulation: bpsk, 4qam, 16qam, 64qam")
+		tx      = flag.Int("tx", 10, "transmit antennas")
+		rx      = flag.Int("rx", 10, "receive antennas")
+		snr     = flag.Float64("snr", 8, "SNR (dB) of the decoding workload")
+		frames  = flag.Int("frames", 1000, "received vectors in the workload batch")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		event   = flag.Bool("event", false, "also run the event-driven dataflow simulation (per-stage utilization/stalls)")
+		device  = flag.String("device", "u280", "target card: u280 or u250")
+	)
+	flag.Parse()
+
+	var v fpga.Variant
+	switch *variant {
+	case "baseline":
+		v = fpga.Baseline
+	case "optimized":
+		v = fpga.Optimized
+	default:
+		fatal(fmt.Errorf("unknown variant %q", *variant))
+	}
+	m, err := constellation.ParseModulation(*mod)
+	if err != nil {
+		fatal(err)
+	}
+
+	acc, err := core.New(v, m, *tx, *rx, core.Options{ScalarEval: true})
+	if err != nil {
+		fatal(err)
+	}
+	design := acc.Design()
+	switch *device {
+	case "u280":
+		design.Device = fpga.U280
+	case "u250":
+		design.Device = fpga.U250
+	default:
+		fatal(fmt.Errorf("unknown device %q", *device))
+	}
+	u := acc.Resources()
+	lut, ff, dsp, bram, uram := u.Frac()
+
+	fmt.Printf("Design: %s on %s\n\n", acc.Name(), design.Device.Name)
+	t := report.NewTable("Resource utilization (Table I column)", "resource", "used", "fraction")
+	t.AddRow("Clock", fmt.Sprintf("%.0f MHz", u.FreqMHz), "")
+	t.AddRow("LUTs", fmt.Sprintf("%d", u.LUTs), pct(lut))
+	t.AddRow("FFs", fmt.Sprintf("%d", u.FFs), pct(ff))
+	t.AddRow("DSPs", fmt.Sprintf("%d", u.DSPs), pct(dsp))
+	t.AddRow("BRAMs", fmt.Sprintf("%d", u.BRAMs), pct(bram))
+	t.AddRow("URAMs", fmt.Sprintf("%d", u.URAMs), pct(uram))
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nFits: %v   Replication headroom: %d pipeline(s)   Power: %.1f W\n\n",
+		u.Fits(), design.MaxPipelines(), acc.Power())
+
+	// Decode a real workload to drive the cycle model.
+	cfg := mimo.Config{Tx: *tx, Rx: *rx, Mod: m, Convention: channel.PerTransmitSymbol}
+	r := rng.New(*seed)
+	inputs := make([]core.BatchInput, *frames)
+	for i := range inputs {
+		f, err := mimo.GenerateFrame(r, cfg, *snr)
+		if err != nil {
+			fatal(err)
+		}
+		inputs[i] = core.BatchInput{H: f.H, Y: f.Y, NoiseVar: f.NoiseVar}
+	}
+	rep, err := acc.DecodeBatch(inputs)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Workload: %d vectors @ %g dB (%v)\n", *frames, *snr, cfg)
+	fmt.Printf("Search: %d expansions (%.1f/vector), %d leaves, %d radius updates\n\n",
+		rep.Counters.NodesExpanded,
+		float64(rep.Counters.NodesExpanded)/float64(*frames),
+		rep.Counters.LeavesReached, rep.Counters.RadiusUpdates)
+
+	b := rep.Breakdown
+	total := float64(b.Total())
+	ct := report.NewTable("Pipeline cycle budget (Fig. 4 modules)", "module", "cycles", "share")
+	row := func(name string, cycles int64) {
+		ct.AddRow(name, fmt.Sprintf("%d", cycles), pct(float64(cycles)/total))
+	}
+	row("Branching", b.Branch)
+	row("Pre-fetch/gather", b.Gather)
+	row("GEMM+NORM eval", b.Eval)
+	row("Pruning sort", b.Sort)
+	row("Control", b.Control)
+	row("Fill/stream", b.Fill)
+	if err := ct.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nSimulated decode time: %v (%.3f ms)   Energy: %.4f J   Real-time (<=%v): %v\n",
+		rep.SimulatedTime, rep.SimulatedTime.Seconds()*1e3, rep.EnergyJ,
+		bench.RealTimeBound, rep.MeetsRealTime())
+
+	if *event {
+		// Replay the identical workload through the event-driven dataflow
+		// model, recording every expansion of a fresh (deterministically
+		// identical) search.
+		trace := &fpga.ExpansionTrace{}
+		sd, err := sphere.New(sphere.Config{
+			Const:    constellation.New(m),
+			Strategy: sphere.SortedDFS,
+			OnExpand: trace.Hook(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, in := range inputs {
+			if _, err := sd.Decode(in.H, in.Y, in.NoiseVar); err != nil {
+				fatal(err)
+			}
+		}
+		w := decoder.Workload{M: *tx, N: *rx, P: constellation.New(m).Size(), Frames: *frames}
+		dur, res, err := design.EventSim(w, trace)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nEvent-driven dataflow simulation (%d expansions replayed):\n", trace.Len())
+		et := report.NewTable("", "stage", "utilization", "stall cycles")
+		for i, name := range res.Stages {
+			et.AddRow(name,
+				fmt.Sprintf("%.1f%%", res.Utilization()[i]*100),
+				fmt.Sprintf("%d", res.StallCycles[i]))
+		}
+		if err := et.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Event-sim decode time: %v (analytic model above: %v)\n", dur, rep.SimulatedTime)
+	}
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpgasim:", err)
+	os.Exit(1)
+}

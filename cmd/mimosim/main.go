@@ -1,0 +1,112 @@
+// Command mimosim is a general-purpose Monte-Carlo MIMO link simulator:
+// pick a system size, modulation, detector, and SNR sweep, and it reports
+// BER with confidence intervals, search statistics, and modeled platform
+// decode times per SNR point.
+//
+// Usage:
+//
+//	mimosim -tx 10 -rx 10 -mod 4qam -alg sd -snr 4:20:4 -frames 2000
+//	mimosim -tx 8 -rx 8 -mod 16qam -alg mmse -snr 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	mimosd "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		tx     = flag.Int("tx", 10, "transmit antennas (M)")
+		rx     = flag.Int("rx", 10, "receive antennas (N >= M)")
+		mod    = flag.String("mod", "4qam", "modulation: bpsk, 4qam/qpsk, 16qam, 64qam")
+		alg    = flag.String("alg", "sd", "algorithm: sd, sd-bfs, sd-bestfs, sd-sqrd, sd-fp16, sd-rvd, fsd, sic, lll-zf, ml, zf, mmse, mrc")
+		snr    = flag.String("snr", "4:20:4", "SNR in dB: a single value or lo:hi:step")
+		frames = flag.Int("frames", 1000, "Monte-Carlo frames per SNR point")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+		timing = flag.Bool("timing", true, "include modeled platform decode times (sorted-DFS trace)")
+	)
+	flag.Parse()
+
+	cfg := mimosd.Config{TxAntennas: *tx, RxAntennas: *rx, Modulation: *mod}
+	snrs, err := parseSweep(*snr)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("%dx%d %s, %s, %d frames/point", *tx, *rx, *mod, *alg, *frames),
+		"SNR(dB)", "BER", "95% CI", "nodes/frame", "CPU(ms)", "FPGA-opt(ms)", "real-time")
+	for _, s := range snrs {
+		ber, err := mimosd.SimulateBER(cfg, mimosd.Algorithm(*alg), s, *frames, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		cpuMs, fpgaMs, rt := "-", "-", "-"
+		if *timing {
+			tr, err := mimosd.SimulateTiming(cfg, s, *frames, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			for _, p := range tr.Platforms {
+				switch p.Platform {
+				case "CPU":
+					cpuMs = fmt.Sprintf("%.2f", p.Time.Seconds()*1e3)
+				case "FPGA-optimized":
+					fpgaMs = fmt.Sprintf("%.2f", p.Time.Seconds()*1e3)
+					if tr.MeetsRealTime[p.Platform] {
+						rt = "yes"
+					} else {
+						rt = "no"
+					}
+				}
+			}
+		}
+		t.AddRow(
+			fmt.Sprintf("%g", s),
+			report.FormatSI(ber.BER),
+			fmt.Sprintf("[%s, %s]", report.FormatSI(ber.CILow), report.FormatSI(ber.CIHigh)),
+			fmt.Sprintf("%.1f", ber.NodesPerFrame),
+			cpuMs, fpgaMs, rt)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// parseSweep parses "12" or "4:20:4" into SNR points.
+func parseSweep(s string) ([]float64, error) {
+	parts := strings.Split(s, ":")
+	switch len(parts) {
+	case 1:
+		v, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("mimosim: bad SNR %q", s)
+		}
+		return []float64{v}, nil
+	case 3:
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		step, err3 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil || step <= 0 || hi < lo {
+			return nil, fmt.Errorf("mimosim: bad SNR sweep %q (want lo:hi:step)", s)
+		}
+		var out []float64
+		for v := lo; v <= hi+1e-9; v += step {
+			out = append(out, v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("mimosim: bad SNR spec %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mimosim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseSweepSingle(t *testing.T) {
+	got, err := parseSweep("12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 12 {
+		t.Fatalf("parseSweep(12) = %v", got)
+	}
+}
+
+func TestParseSweepRange(t *testing.T) {
+	got, err := parseSweep("4:20:4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 8, 12, 16, 20}
+	if len(got) != len(want) {
+		t.Fatalf("parseSweep = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseSweep = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseSweepInclusiveEnd(t *testing.T) {
+	got, err := parseSweep("0:1:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 1 {
+		t.Fatalf("endpoint dropped: %v", got)
+	}
+}
+
+func TestParseSweepErrors(t *testing.T) {
+	for _, s := range []string{"abc", "4:20", "4:20:0", "20:4:4", "1:2:3:4", "x:y:z"} {
+		if _, err := parseSweep(s); err == nil {
+			t.Errorf("parseSweep(%q) accepted", s)
+		}
+	}
+}

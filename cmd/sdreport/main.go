@@ -1,0 +1,253 @@
+// Command sdreport regenerates the paper's evaluation: every table and
+// figure (Tables I–II, Figs. 6–12), plus the ablation and real-time audit
+// extensions. Output is printed as aligned tables; pass -csv to emit
+// machine-readable data instead.
+//
+// Usage:
+//
+//	sdreport -experiment all                 # everything, quick fidelity
+//	sdreport -experiment fig9 -full          # one figure, publication fidelity
+//	sdreport -experiment table2 -frames 500  # custom batch size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all",
+			"which experiment to run: table1,table2,fig6,fig7,fig8,fig9,fig10,fig11,fig12,ablation,realtime,replication,modscaling,esterror,correlation,latency,decoders,all")
+		full   = flag.Bool("full", false, "publication fidelity (1000-vector batches, 20k-frame BER points)")
+		frames = flag.Int("frames", 0, "override timing batch size")
+		seed   = flag.Uint64("seed", 0, "override RNG seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		chart  = flag.Bool("chart", false, "also render figures as ASCII log-scale charts")
+	)
+	flag.Parse()
+
+	p := bench.Quick()
+	if *full {
+		p = bench.Default()
+	}
+	if *frames > 0 {
+		p.Frames = *frames
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	wanted := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		wanted[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := wanted["all"]
+	ran := 0
+
+	emitFigure := func(f *report.Figure) {
+		if *csv {
+			if err := f.CSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else if err := f.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if *chart && !*csv {
+			fmt.Println()
+			if err := f.Chart(os.Stdout, 60, 14); err != nil {
+				fmt.Fprintf(os.Stderr, "sdreport: chart skipped: %v\n", err)
+			}
+		}
+		fmt.Println()
+	}
+	emitTable := func(t *report.Table) {
+		if *csv {
+			if err := t.CSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else if err := t.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+
+	start := time.Now()
+	if all || wanted["table1"] {
+		t, err := bench.Table1()
+		if err != nil {
+			fatal(err)
+		}
+		emitTable(t)
+		ran++
+	}
+	if all || wanted["table2"] {
+		t, _, geomean, err := bench.Table2(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitTable(t)
+		fmt.Printf("Geo-mean energy reduction: %.1fx (paper: 38.1x)\n\n", geomean)
+		ran++
+	}
+	if all || wanted["fig6"] {
+		f, pts, err := bench.Fig6(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitFigure(f)
+		printSpeedups(pts)
+		ran++
+	}
+	if all || wanted["fig7"] {
+		f, pts, err := bench.Fig7(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitFigure(f)
+		for _, pt := range pts {
+			fmt.Printf("  SD BER @ %2.0f dB: %s  (95%% CI [%s, %s], %d/%d bits)\n",
+				pt.SNRdB, report.FormatSI(pt.BER), report.FormatSI(pt.CILo),
+				report.FormatSI(pt.CIHi), pt.BitErr, pt.Bits)
+		}
+		fmt.Println()
+		ran++
+	}
+	if all || wanted["fig8"] {
+		f, pts, err := bench.Fig8(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitFigure(f)
+		printSpeedups(pts)
+		ran++
+	}
+	if all || wanted["fig9"] {
+		f, pts, err := bench.Fig9(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitFigure(f)
+		printSpeedups(pts)
+		ran++
+	}
+	if all || wanted["fig10"] {
+		f, pts, err := bench.Fig10(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitFigure(f)
+		printSpeedups(pts)
+		ran++
+	}
+	if all || wanted["fig11"] {
+		f, speedups, err := bench.Fig11(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitFigure(f)
+		sum := 0.0
+		for _, s := range speedups {
+			sum += s
+		}
+		fmt.Printf("Average FPGA-vs-GPU speedup: %.1fx (paper: 57x)\n\n", sum/float64(len(speedups)))
+		ran++
+	}
+	if all || wanted["fig12"] {
+		f, err := bench.Fig12(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitFigure(f)
+		ran++
+	}
+	if all || wanted["ablation"] {
+		t, _, err := bench.Ablations(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitTable(t)
+		ran++
+	}
+	if all || wanted["realtime"] {
+		t, err := bench.RealTimeAudit(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitTable(t)
+		ran++
+	}
+	if all || wanted["replication"] {
+		t, _, err := bench.ReplicationStudy(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitTable(t)
+		ran++
+	}
+	if all || wanted["modscaling"] {
+		t, _, err := bench.ModulationScaling(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitTable(t)
+		ran++
+	}
+	if all || wanted["esterror"] {
+		t, _, err := bench.EstimationError(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitTable(t)
+		ran++
+	}
+	if all || wanted["correlation"] {
+		t, _, err := bench.CorrelationStudy(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitTable(t)
+		ran++
+	}
+	if all || wanted["latency"] {
+		t, _, err := bench.LatencyStudy(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitTable(t)
+		ran++
+	}
+	if all || wanted["decoders"] {
+		t, _, err := bench.DecoderComparison(p)
+		if err != nil {
+			fatal(err)
+		}
+		emitTable(t)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "sdreport: unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("[%d experiment(s), frames=%d, seed=%#x, %s]\n", ran, p.Frames, p.Seed, time.Since(start).Round(time.Millisecond))
+}
+
+func printSpeedups(pts []bench.TimingPoint) {
+	fmt.Print("  CPU/FPGA-optimized speedups:")
+	for _, pt := range pts {
+		fmt.Printf("  %.0fdB: %.1fx", pt.SNRdB, pt.CPUSec/pt.FPGAOptSec)
+	}
+	fmt.Print("\n\n")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdreport:", err)
+	os.Exit(1)
+}

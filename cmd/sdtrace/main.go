@@ -1,0 +1,144 @@
+// Command sdtrace dissects individual sphere-decoder searches: it decodes a
+// batch of Monte-Carlo frames and reports the per-frame search profile
+// (expansions, leaves, radius updates, retries), the aggregate tree-depth
+// population (where the work happens), and the radius trajectory of a
+// sample frame — Algorithm 1's radius shrinking, observable.
+//
+// Usage:
+//
+//	sdtrace -tx 10 -rx 10 -mod 4qam -snr 4 -frames 20
+//	sdtrace -tx 10 -rx 10 -mod 4qam -snr 4 -frames 1000 -csv > frames.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/channel"
+	"repro/internal/constellation"
+	"repro/internal/mimo"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sphere"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		tx     = flag.Int("tx", 10, "transmit antennas")
+		rx     = flag.Int("rx", 10, "receive antennas")
+		mod    = flag.String("mod", "4qam", "modulation")
+		snr    = flag.Float64("snr", 4, "SNR (dB)")
+		frames = flag.Int("frames", 20, "frames to trace")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+		radius = flag.Float64("radius-scale", 8, "initial radius scale (0 = infinite)")
+		csv    = flag.Bool("csv", false, "emit per-frame CSV only")
+	)
+	flag.Parse()
+
+	m, err := constellation.ParseModulation(*mod)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := mimo.Config{Tx: *tx, Rx: *rx, Mod: m, Convention: channel.PerTransmitSymbol}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	scfg := sphere.Config{Const: constellation.New(m), Strategy: sphere.SortedDFS}
+	if *radius > 0 {
+		scfg.AutoRadius = true
+		scfg.RadiusScale = *radius
+	}
+	sd, err := sphere.New(scfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	r := rng.New(*seed)
+	nodesPerFrame := make([]float64, 0, *frames)
+	depthPop := make([]int64, *tx+1)
+	var firstTrajectory []float64
+
+	t := report.NewTable(
+		fmt.Sprintf("Per-frame search profile: %v @ %g dB (radius scale %g)", cfg, *snr, *radius),
+		"frame", "nodes", "leaves", "radius-updates", "pruned", "max-list", "retries", "metric")
+	if *csv {
+		fmt.Println("frame,nodes,leaves,radius_updates,pruned,max_list,retries,metric")
+	}
+	for i := 0; i < *frames; i++ {
+		f, err := mimo.GenerateFrame(r, cfg, *snr)
+		if err != nil {
+			fatal(err)
+		}
+		res, info, err := sd.DecodeTraced(f.H, f.Y, f.NoiseVar)
+		if err != nil {
+			fatal(err)
+		}
+		c := res.Counters
+		nodesPerFrame = append(nodesPerFrame, float64(c.NodesExpanded))
+		for d, n := range info.MST.DepthPopulation() {
+			depthPop[d] += n
+		}
+		if firstTrajectory == nil {
+			firstTrajectory = info.RadiusTrajectory(*tx)
+		}
+		if *csv {
+			fmt.Printf("%d,%d,%d,%d,%d,%d,%d,%g\n", i, c.NodesExpanded, c.LeavesReached,
+				c.RadiusUpdates, c.ChildrenPruned, c.MaxListLen, info.Retries, res.Metric)
+			continue
+		}
+		if i < 25 {
+			t.AddRow(fmt.Sprintf("%d", i),
+				fmt.Sprintf("%d", c.NodesExpanded),
+				fmt.Sprintf("%d", c.LeavesReached),
+				fmt.Sprintf("%d", c.RadiusUpdates),
+				fmt.Sprintf("%d", c.ChildrenPruned),
+				fmt.Sprintf("%d", c.MaxListLen),
+				fmt.Sprintf("%d", info.Retries),
+				fmt.Sprintf("%.3f", res.Metric))
+		}
+	}
+	if *csv {
+		return
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	s := stats.Summarize(nodesPerFrame)
+	fmt.Printf("\nNodes/frame: %s (p95 %.0f)\n", s, stats.Percentile(nodesPerFrame, 95))
+
+	fmt.Println("\nAggregate node population by tree depth (root=0):")
+	var maxPop int64 = 1
+	for _, n := range depthPop {
+		if n > maxPop {
+			maxPop = n
+		}
+	}
+	for d, n := range depthPop {
+		bar := int(n * 50 / maxPop)
+		fmt.Printf("  depth %2d %8d |%s\n", d, n, repeat('#', bar))
+	}
+
+	fmt.Println("\nRadius trajectory of frame 0 (improving-leaf PDs):")
+	for i, pd := range firstTrajectory {
+		fmt.Printf("  update %2d: r² = %.4f\n", i, pd)
+	}
+}
+
+func repeat(c byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdtrace:", err)
+	os.Exit(1)
+}

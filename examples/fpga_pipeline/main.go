@@ -1,0 +1,77 @@
+// FPGA pipeline walkthrough: build the paper's optimized and baseline
+// accelerator designs, push the same decoding workload through both
+// simulated pipelines, and show where the cycles go (Fig. 4 modules), what
+// the optimizations buy (pre-fetch double buffering, extracted GEMM engine,
+// per-modulation control), and what the hardware costs (Table I resources,
+// Table II power).
+//
+//	go run ./examples/fpga_pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/channel"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/mimo"
+	"repro/internal/rng"
+)
+
+func main() {
+	const (
+		m, n   = 10, 10
+		snr    = 8.0
+		frames = 500
+	)
+	mod := constellation.QAM4
+	cfg := mimo.Config{Tx: m, Rx: n, Mod: mod, Convention: channel.PerTransmitSymbol}
+
+	// One shared workload so both designs decode identical vectors.
+	r := rng.New(2023)
+	inputs := make([]core.BatchInput, frames)
+	for i := range inputs {
+		f, err := mimo.GenerateFrame(r, cfg, snr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inputs[i] = core.BatchInput{H: f.H, Y: f.Y, NoiseVar: f.NoiseVar}
+	}
+
+	for _, variant := range []fpga.Variant{fpga.Baseline, fpga.Optimized} {
+		acc, err := core.New(variant, mod, m, n, core.Options{ScalarEval: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := acc.DecodeBatch(inputs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		u := acc.Resources()
+		lut, _, dsp, _, uram := u.Frac()
+
+		fmt.Printf("=== %s ===\n", acc.Name())
+		fmt.Printf("clock %.0f MHz | LUT %.0f%% DSP %.0f%% URAM %.0f%% | %.1f W | headroom %d pipeline(s)\n",
+			u.FreqMHz, lut*100, dsp*100, uram*100, acc.Power(), acc.Design().MaxPipelines())
+		b := rep.Breakdown
+		total := float64(b.Total())
+		fmt.Printf("cycles: branch %4.1f%% | gather %4.1f%% | eval %4.1f%% | sort %4.1f%% | control %4.1f%% | fill %4.1f%%\n",
+			100*float64(b.Branch)/total, 100*float64(b.Gather)/total,
+			100*float64(b.Eval)/total, 100*float64(b.Sort)/total,
+			100*float64(b.Control)/total, 100*float64(b.Fill)/total)
+		fmt.Printf("decode time for %d vectors: %.3f ms (%.1f expansions/vector) | energy %.4f J | real-time: %v\n\n",
+			frames, rep.SimulatedTime.Seconds()*1e3,
+			float64(rep.Counters.NodesExpanded)/float64(frames),
+			rep.EnergyJ, rep.MeetsRealTime())
+	}
+
+	fmt.Println("What the optimizations changed (Section III-C):")
+	fmt.Println("  - gather share drops to 0%: the pre-fetch unit double-buffers the")
+	fmt.Println("    irregular Meta-State-Table reads under compute;")
+	fmt.Println("  - the extracted GEMM engine and per-modulation control cut the")
+	fmt.Println("    per-expansion cycle count and lift the clock 253 → 300 MHz;")
+	fmt.Println("  - the slimmer design leaves >50% of the device free, so a second")
+	fmt.Println("    pipeline fits (the paper's future parallelization headroom).")
+}

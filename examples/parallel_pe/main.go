@@ -1,0 +1,97 @@
+// Parallel processing entities: the paper's future-work section proposes
+// partitioning the search tree over multiple PEs and replicating pipelines
+// in the freed-up FPGA area. This example demonstrates both ends of that
+// design space on real workloads:
+//
+//  1. sphere.ParallelSD — one decode split across worker PEs sharing an
+//     atomic sphere radius (tree-level parallelism, exactness preserved);
+//
+//  2. fpga.ScheduleFrames — a batch split across replicated pipelines with
+//     LPT scheduling of the (heavy-tailed) per-frame costs
+//     (batch-level parallelism).
+//
+//     go run ./examples/parallel_pe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/channel"
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/fpga"
+	"repro/internal/mimo"
+	"repro/internal/sphere"
+)
+
+func main() {
+	cfg := mimo.Config{Tx: 12, Rx: 12, Mod: constellation.QAM4, Convention: channel.PerTransmitSymbol}
+	cons := constellation.New(cfg.Mod)
+	const snr = 4.0
+
+	// --- 1. Tree-level parallelism: multi-PE sphere decoding -------------
+	fmt.Println("Tree-level parallelism (sphere.ParallelSD, shared atomic radius):")
+	seq := sphere.MustNew(sphere.Config{Const: cons, Strategy: sphere.SortedDFS})
+	seqRun, err := mimo.Run(cfg, snr, 200, seq, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		par, err := sphere.NewParallel(sphere.Config{Const: cons, Strategy: sphere.SortedDFS}, workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := mimo.Run(cfg, snr, 200, par, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d PE(s): %8.1f nodes/frame, bit errors %d (sequential: %.1f nodes, %d errors)\n",
+			workers, run.NodesPerFrame(), run.BitErrors,
+			seqRun.NodesPerFrame(), seqRun.BitErrors)
+	}
+	fmt.Println("  (identical bit errors: the parallel search is exact; node counts vary")
+	fmt.Println("   slightly because radius updates arrive in a different order)")
+
+	// --- 2. Batch-level parallelism: replicated pipelines ----------------
+	fmt.Println("\nBatch-level parallelism (replicated pipelines + LPT scheduling):")
+	d := sphere.MustNew(sphere.Config{Const: cons, Strategy: sphere.SortedDFS, AutoRadius: true, RadiusScale: 8})
+	_, frames, err := mimo.RunDetailed(cfg, snr, 600, d, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	design, err := fpga.NewDesign(fpga.Optimized, cfg.Mod, cfg.Tx, cfg.Rx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w1 := decoder.Workload{M: cfg.Tx, N: cfg.Rx, P: cons.Size(), Frames: 1}
+	costs := make([]int64, len(frames))
+	for i, f := range frames {
+		dur, _, err := design.BatchTime(w1, decoder.Counters{NodesExpanded: f.Nodes, EvalDepthSum: f.EvalDepthSum})
+		if err != nil {
+			log.Fatal(err)
+		}
+		costs[i] = int64(dur.Seconds() * design.Variant.ClockHz())
+	}
+	maxPipes := design.MaxPipelines()
+	fmt.Printf("  design %s fits %d pipelines on the U280\n", design.Name(), maxPipes)
+	for _, k := range []int{1, 2, 4} {
+		if k > maxPipes {
+			break
+		}
+		lpt, err := fpga.ScheduleFrames(k, costs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr, err := fpga.RoundRobinSchedule(k, costs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clock := design.Variant.ClockHz()
+		fmt.Printf("  %d pipeline(s): LPT makespan %.3f ms (imbalance %.3f) vs round-robin %.3f ms\n",
+			k, float64(lpt.Makespan)/clock*1e3, lpt.Imbalance(), float64(rr.Makespan)/clock*1e3)
+	}
+	fmt.Println("\n  LPT keeps replicated pipelines near-perfectly balanced even though")
+	fmt.Println("  sphere-decode costs are heavy-tailed; a naive split wastes a pipeline")
+	fmt.Println("  on whichever slice caught the pathological frames.")
+}

@@ -1,0 +1,66 @@
+// Quickstart: transmit one random frame over a 10×10 Rayleigh MIMO channel
+// with 4-QAM, detect it with the paper's sphere decoder, and compare against
+// the exhaustive ML reference and a linear decoder.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mimosd "repro"
+)
+
+func main() {
+	cfg := mimosd.Config{TxAntennas: 10, RxAntennas: 10, Modulation: "4-QAM"}
+
+	// Draw a Monte-Carlo transmission at 8 dB Es/N0: y = H·s + n.
+	link, err := mimosd.RandomLink(cfg, 8, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Transmitted symbol indices: %v\n", link.SentSymbols)
+
+	// The paper's detector: GEMM-refactored sphere decoding with sorted
+	// depth-first traversal.
+	sd, err := mimosd.Detect(cfg, mimosd.AlgSphereDecoder, link.H, link.Y, link.NoiseVar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Sphere decoder:             %v\n", sd.SymbolIndices)
+	fmt.Printf("  metric ‖y−Hŝ‖² = %.4f, tree expansions = %d\n", sd.Metric, sd.NodesExplored)
+
+	// A cheap linear decoder for contrast (often wrong at low SNR).
+	zf, err := mimosd.Detect(cfg, mimosd.AlgZF, link.H, link.Y, link.NoiseVar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Zero forcing:               %v (metric %.4f)\n", zf.SymbolIndices, zf.Metric)
+
+	// Exactness check against exhaustive ML on a smaller system (ML over
+	// 4^10 candidates is feasible but slow; 4^6 is instant).
+	small := mimosd.Config{TxAntennas: 6, RxAntennas: 6, Modulation: "4-QAM"}
+	l2, err := mimosd.RandomLink(small, 6, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sd2, err := mimosd.Detect(small, mimosd.AlgSphereDecoder, l2.H, l2.Y, l2.NoiseVar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ml2, err := mimosd.Detect(small, mimosd.AlgML, l2.H, l2.Y, l2.NoiseVar)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n6x6 exactness: SD metric %.6f == ML metric %.6f (SD explored %d nodes, ML %d candidates)\n",
+		sd2.Metric, ml2.Metric, sd2.NodesExplored, 1<<12)
+
+	errs := 0
+	for i := range link.SentSymbols {
+		if sd.SymbolIndices[i] != link.SentSymbols[i] {
+			errs++
+		}
+	}
+	fmt.Printf("\nSphere decoder symbol errors on the 10x10 frame: %d/10\n", errs)
+}

@@ -1,0 +1,72 @@
+// Real-time audit: the deployment question behind Figs. 6–10 — which
+// (antenna count, modulation, SNR, platform) combinations decode a
+// 1000-vector batch within the 10 ms real-time bound? This sweeps the
+// paper's configurations plus a few extrapolations and prints a
+// feasibility matrix.
+//
+//	go run ./examples/realtime_audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	mimosd "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	const frames = 300 // timing traces scale linearly; 300 is plenty stable
+	configs := []mimosd.Config{
+		{TxAntennas: 10, RxAntennas: 10, Modulation: "4-QAM"},
+		{TxAntennas: 15, RxAntennas: 15, Modulation: "4-QAM"},
+		{TxAntennas: 20, RxAntennas: 20, Modulation: "4-QAM"},
+		{TxAntennas: 10, RxAntennas: 10, Modulation: "16-QAM"},
+		{TxAntennas: 12, RxAntennas: 16, Modulation: "16-QAM"}, // extrapolation: rectangular array
+	}
+	snrs := []float64{4, 8, 12, 16, 20}
+
+	t := report.NewTable(
+		fmt.Sprintf("Real-time feasibility (10 ms bound, %d-vector batches scaled to 1000)", frames),
+		"config", "platform", "4dB", "8dB", "12dB", "16dB", "20dB")
+
+	for _, cfg := range configs {
+		rows := map[string][]string{"CPU": nil, "FPGA-baseline": nil, "FPGA-optimized": nil}
+		order := []string{"CPU", "FPGA-baseline", "FPGA-optimized"}
+		for i, snr := range snrs {
+			rep, err := mimosd.SimulateTiming(cfg, snr, frames, 99+uint64(i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range rep.Platforms {
+				// Scale the batch time to the canonical 1000 vectors.
+				ms := p.Time.Seconds() * 1e3 * 1000 / float64(frames)
+				cell := fmt.Sprintf("%.1f", ms)
+				if ms <= 10 {
+					cell += " ok"
+				} else {
+					cell += " MISS"
+				}
+				rows[p.Platform] = append(rows[p.Platform], cell)
+			}
+		}
+		for _, name := range order {
+			label := ""
+			if name == order[0] {
+				label = fmt.Sprintf("%dx%d %s", cfg.TxAntennas, cfg.RxAntennas, cfg.Modulation)
+			}
+			t.AddRow(append([]string{label, name}, rows[name]...)...)
+		}
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nThe paper's story, visible above:")
+	fmt.Println("  - 10x10 4-QAM: everything is real-time; the FPGA just widens the margin.")
+	fmt.Println("  - 15x15 and 20x20: the CPU falls out of real-time at low SNR; the")
+	fmt.Println("    optimized FPGA pulls those systems back under 10 ms at much lower SNR.")
+	fmt.Println("  - 16-QAM: the modulation factor, not the antenna count, is the")
+	fmt.Println("    dominant complexity driver (tree-state matrix grows with P²).")
+}

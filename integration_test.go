@@ -1,0 +1,144 @@
+package mimosd
+
+// Cross-package integration tests: these exercise full paths through the
+// public API that no single internal package covers — facade ↔ accelerator
+// consistency, end-to-end determinism, and the PHY chain from transmission
+// through soft detection to channel decoding.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/fec"
+	"repro/internal/mimo"
+	"repro/internal/rng"
+	"repro/internal/sphere"
+)
+
+func TestAcceleratorConsistentWithSimulateTiming(t *testing.T) {
+	// The accelerator's simulated batch time and SimulateTiming's
+	// FPGA-optimized entry must agree when fed identical workloads (same
+	// seed stream, same frame count), because both run the same search and
+	// the same timing model.
+	cfg := Config{TxAntennas: 8, RxAntennas: 8, Modulation: "4-QAM"}
+	const frames = 80
+	const snr = 8.0
+
+	acc, err := NewAccelerator(cfg, VariantOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make([]*Link, frames)
+	for i := range links {
+		l, err := RandomLink(cfg, snr, uint64(5000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[i] = l
+	}
+	res, err := acc.DecodeBatch(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not the same RNG stream as SimulateTiming, so compare only coarsely:
+	// per-frame time within 3x. (The workloads are statistically identical.)
+	tr, err := SimulateTiming(cfg, snr, frames, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fpgaOpt float64
+	for _, p := range tr.Platforms {
+		if p.Platform == "FPGA-optimized" {
+			fpgaOpt = p.Time.Seconds()
+		}
+	}
+	ratio := res.SimulatedTime.Seconds() / fpgaOpt
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Fatalf("accelerator %.6fs vs SimulateTiming %.6fs (ratio %.2f)",
+			res.SimulatedTime.Seconds(), fpgaOpt, ratio)
+	}
+}
+
+func TestEndToEndCodedPHYChain(t *testing.T) {
+	// The full chain: message → convolutional encode → Gray mapping →
+	// Rayleigh channel + AWGN → list sphere decoding (LLRs) → soft Viterbi
+	// → original message. At a moderate SNR the message must round-trip
+	// even when individual detections carry errors.
+	mcfg := mimo.Config{Tx: 4, Rx: 4, Mod: constellation.QAM4, Convention: channel.PerTransmitSymbol}
+	cons := constellation.New(mcfg.Mod)
+	code := fec.MustNewConvCode(7, 0o171, 0o133)
+	soft, err := sphere.NewSoft(sphere.Config{Const: cons, Strategy: sphere.SortedDFS}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(20230701)
+	const frameBits = 8 // 4 antennas × 2 bits
+	const snr = 4.0
+	nv := channel.NoiseVariance(mcfg.Convention, snr, mcfg.Tx)
+
+	failures := 0
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		msg := make([]int, 64)
+		r.Bits(msg)
+		coded, err := code.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for len(coded)%frameBits != 0 {
+			coded = append(coded, 0)
+		}
+		var llr []float64
+		for off := 0; off < len(coded); off += frameBits {
+			syms := cons.MapBits(coded[off : off+frameBits])
+			h := channel.Rayleigh(r, mcfg.Rx, mcfg.Tx)
+			y := channel.Transmit(r, h, cmatrix.Vector(syms), nv)
+			res, err := soft.DecodeSoft(h, y, nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			llr = append(llr, res.LLR...)
+		}
+		dec, err := code.DecodeSoft(llr[:code.CodedLen(len(msg))])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range msg {
+			if dec[i] != msg[i] {
+				failures++
+				break
+			}
+		}
+	}
+	if failures > trials/5 {
+		t.Fatalf("coded round trip failed %d/%d codewords at %g dB", failures, trials, snr)
+	}
+}
+
+func TestFacadeMetricsMatchAcrossAlgorithms(t *testing.T) {
+	// All exact algorithms must report identical metrics per link.
+	cfg := Config{TxAntennas: 5, RxAntennas: 5, Modulation: "4-QAM"}
+	for seed := uint64(0); seed < 5; seed++ {
+		l, err := RandomLink(cfg, 6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ref float64
+		for i, alg := range []Algorithm{AlgSphereDecoder, AlgSphereBestFS, AlgSphereSQRD} {
+			det, err := Detect(cfg, alg, l.H, l.Y, l.NoiseVar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = det.Metric
+				continue
+			}
+			if math.Abs(det.Metric-ref) > 1e-6*(1+ref) {
+				t.Fatalf("seed %d: %s metric %v != reference %v", seed, alg, det.Metric, ref)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package bench is the experiment harness: one generator per table and
+// figure of the paper's evaluation (Tables I–II, Figs. 6–12), each built on
+// the real sphere-decoder traces and the calibrated platform models. The
+// cmd/sdreport binary prints them; bench_test.go wraps them in testing.B
+// benchmarks; EXPERIMENTS.md records paper-vs-measured values.
+package bench
+
+import (
+	"repro/internal/channel"
+	"repro/internal/constellation"
+	"repro/internal/mimo"
+)
+
+// Params controls the fidelity (and cost) of the Monte-Carlo experiments.
+type Params struct {
+	// Frames is the batch size per SNR point for timing experiments. The
+	// canonical workload is 1000 received vectors — the scale at which the
+	// calibrated models reproduce the paper's absolute milliseconds.
+	Frames int
+	// BERFrames is the batch size per SNR point for BER measurement
+	// (Fig. 7 needs far more bits than a timing point).
+	BERFrames int
+	// Workers bounds simulation parallelism; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Seed makes every experiment reproducible.
+	Seed uint64
+}
+
+// Default returns publication-fidelity parameters.
+func Default() Params {
+	return Params{Frames: 1000, BERFrames: 20_000, Workers: 0, Seed: 0x5D2023}
+}
+
+// Quick returns cheap parameters for unit tests and smoke benchmarks. The
+// shapes survive; only the statistical resolution drops.
+func Quick() Params {
+	return Params{Frames: 60, BERFrames: 400, Workers: 0, Seed: 0x5D2023}
+}
+
+// The paper's standard SNR axis: 4–20 dB in 4 dB steps (Figs. 6–12).
+func SNRAxis() []float64 { return []float64{4, 8, 12, 16, 20} }
+
+// Standard configurations from the evaluation section.
+func Cfg10x10QAM4() mimo.Config {
+	return mimo.Config{Tx: 10, Rx: 10, Mod: constellation.QAM4, Convention: channel.PerTransmitSymbol}
+}
+func Cfg15x15QAM4() mimo.Config {
+	return mimo.Config{Tx: 15, Rx: 15, Mod: constellation.QAM4, Convention: channel.PerTransmitSymbol}
+}
+func Cfg20x20QAM4() mimo.Config {
+	return mimo.Config{Tx: 20, Rx: 20, Mod: constellation.QAM4, Convention: channel.PerTransmitSymbol}
+}
+func Cfg10x10QAM16() mimo.Config {
+	return mimo.Config{Tx: 10, Rx: 10, Mod: constellation.QAM16, Convention: channel.PerTransmitSymbol}
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/decoder"
+	"repro/internal/fpga"
+	"repro/internal/mimo"
+	"repro/internal/report"
+)
+
+// ReplicationRow is one pipeline-count entry of the replication study.
+type ReplicationRow struct {
+	Pipelines    int
+	LPTMs        float64
+	RoundRobinMs float64
+	LPTSpeedup   float64 // vs one pipeline
+	LPTImbalance float64
+}
+
+// ReplicationStudy quantifies the paper's future-work parallelization
+// (Section V): the optimized design's sub-50% footprint admits replicated
+// pipelines, and the question is how well a batch's heavy-tailed per-frame
+// decode costs actually split. The study decodes a real batch with
+// per-frame trace granularity, converts each frame's expansions into
+// optimized-pipeline cycles, and schedules them onto k pipelines with the
+// LPT heuristic versus a naive round-robin.
+func ReplicationStudy(p Params) (*report.Table, []ReplicationRow, error) {
+	cfg := Cfg10x10QAM4()
+	const snr = 4.0
+	d := sortedDFSFactory(cfg.Mod)()
+	_, frames, err := mimo.RunDetailed(cfg, snr, p.Frames, d, p.Seed^0x9E37)
+	if err != nil {
+		return nil, nil, err
+	}
+	design, err := fpga.NewDesign(fpga.Optimized, cfg.Mod, cfg.Tx, cfg.Rx)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Per-frame cycle cost on the optimized pipeline, from each frame's own
+	// trace (the same mapping BatchTime applies to aggregates).
+	costs := make([]int64, len(frames))
+	w1 := workloadFor(cfg, 1)
+	for i, f := range frames {
+		if f.Nodes == 0 {
+			costs[i] = 0
+			continue
+		}
+		dur, _, err := design.BatchTime(w1, frameCounters(f))
+		if err != nil {
+			return nil, nil, err
+		}
+		costs[i] = int64(dur.Seconds() * design.Variant.ClockHz())
+	}
+
+	clock := design.Variant.ClockHz()
+	t := report.NewTable(
+		fmt.Sprintf("Pipeline replication study: %v @ %g dB, %d frames", cfg, snr, len(frames)),
+		"pipelines", "LPT (ms)", "round-robin (ms)", "LPT speedup", "LPT imbalance")
+	var rows []ReplicationRow
+	var oneMs float64
+	for _, k := range []int{1, 2, 4, 8} {
+		lpt, err := fpga.ScheduleFrames(k, costs)
+		if err != nil {
+			return nil, nil, err
+		}
+		rr, err := fpga.RoundRobinSchedule(k, costs)
+		if err != nil {
+			return nil, nil, err
+		}
+		lptMs := float64(lpt.Makespan) / clock * 1e3
+		rrMs := float64(rr.Makespan) / clock * 1e3
+		if k == 1 {
+			oneMs = lptMs
+		}
+		row := ReplicationRow{
+			Pipelines:    k,
+			LPTMs:        lptMs,
+			RoundRobinMs: rrMs,
+			LPTSpeedup:   oneMs / lptMs,
+			LPTImbalance: lpt.Imbalance(),
+		}
+		rows = append(rows, row)
+		t.AddRow(fmt.Sprintf("%d", k),
+			fmt.Sprintf("%.3f", lptMs),
+			fmt.Sprintf("%.3f", rrMs),
+			fmt.Sprintf("%.2fx", row.LPTSpeedup),
+			fmt.Sprintf("%.3f", row.LPTImbalance))
+	}
+	return t, rows, nil
+}
+
+// frameCounters lifts per-frame stats into the counters shape the timing
+// models consume.
+func frameCounters(f mimo.FrameStats) (c decoder.Counters) {
+	c.NodesExpanded = f.Nodes
+	c.EvalDepthSum = f.EvalDepthSum
+	return c
+}

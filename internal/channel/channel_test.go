@@ -1,0 +1,269 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cmatrix"
+	"repro/internal/rng"
+)
+
+func TestNoiseVariancePerTransmitSymbol(t *testing.T) {
+	// 0 dB => sigma² = 1; 10 dB => 0.1; independent of M.
+	if v := NoiseVariance(PerTransmitSymbol, 0, 10); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("0 dB: %v", v)
+	}
+	if v := NoiseVariance(PerTransmitSymbol, 10, 20); math.Abs(v-0.1) > 1e-12 {
+		t.Fatalf("10 dB: %v", v)
+	}
+}
+
+func TestNoiseVariancePerReceiveAntenna(t *testing.T) {
+	// 0 dB => sigma² = M.
+	if v := NoiseVariance(PerReceiveAntenna, 0, 10); math.Abs(v-10) > 1e-12 {
+		t.Fatalf("0 dB M=10: %v", v)
+	}
+	if v := NoiseVariance(PerReceiveAntenna, 10, 10); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("10 dB M=10: %v", v)
+	}
+}
+
+func TestNoiseVarianceMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for db := -10.0; db <= 30; db += 2 {
+		v := NoiseVariance(PerTransmitSymbol, db, 10)
+		if v >= prev {
+			t.Fatalf("variance not decreasing at %v dB", db)
+		}
+		prev = v
+	}
+}
+
+func TestConventionString(t *testing.T) {
+	if PerTransmitSymbol.String() != "Es/N0" || PerReceiveAntenna.String() != "SNR-rx" {
+		t.Fatal("wrong convention names")
+	}
+	if SNRConvention(9).String() == "" {
+		t.Fatal("unknown convention should render")
+	}
+}
+
+func TestNoiseVarianceUnknownConventionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown convention did not panic")
+		}
+	}()
+	NoiseVariance(SNRConvention(7), 0, 1)
+}
+
+func TestRayleighStatistics(t *testing.T) {
+	r := rng.New(1)
+	h := Rayleigh(r, 200, 200)
+	var sum complex128
+	var sumSq float64
+	for _, v := range h.Data {
+		sum += v
+		sumSq += real(v)*real(v) + imag(v)*imag(v)
+	}
+	n := float64(len(h.Data))
+	if m := sum / complex(n, 0); math.Hypot(real(m), imag(m)) > 0.02 {
+		t.Errorf("entry mean %v, want ~0", m)
+	}
+	if v := sumSq / n; math.Abs(v-1) > 0.02 {
+		t.Errorf("entry variance %v, want ~1", v)
+	}
+}
+
+func TestRayleighShape(t *testing.T) {
+	h := Rayleigh(rng.New(2), 8, 4)
+	if h.Rows != 8 || h.Cols != 4 {
+		t.Fatalf("shape %dx%d", h.Rows, h.Cols)
+	}
+}
+
+func TestAWGNVariance(t *testing.T) {
+	r := rng.New(3)
+	const n = 100000
+	const variance = 0.5
+	noise := AWGN(r, n, variance)
+	sumSq := 0.0
+	for _, v := range noise {
+		sumSq += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if got := sumSq / n; math.Abs(got-variance) > 0.01 {
+		t.Fatalf("noise variance %v, want %v", got, variance)
+	}
+}
+
+func TestAWGNZeroVariance(t *testing.T) {
+	noise := AWGN(rng.New(4), 10, 0)
+	for _, v := range noise {
+		if v != 0 {
+			t.Fatal("zero-variance noise not zero")
+		}
+	}
+}
+
+func TestTransmitNoiseless(t *testing.T) {
+	r := rng.New(5)
+	h := Rayleigh(r, 6, 4)
+	s := make(cmatrix.Vector, 4)
+	for i := range s {
+		s[i] = r.ComplexNormal(1)
+	}
+	y := Transmit(r, h, s, 0)
+	want := cmatrix.MulVec(h, s)
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatal("noiseless transmit != H·s")
+		}
+	}
+}
+
+func TestTransmitNoisePower(t *testing.T) {
+	r := rng.New(6)
+	h := Rayleigh(r, 4, 4)
+	s := make(cmatrix.Vector, 4)
+	const noiseVar = 0.25
+	const trials = 20000
+	want := cmatrix.MulVec(h, s) // zero since s is zero
+	_ = want
+	sumSq := 0.0
+	for trial := 0; trial < trials; trial++ {
+		y := Transmit(r, h, s, noiseVar)
+		for _, v := range y {
+			sumSq += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	got := sumSq / float64(trials*4)
+	if math.Abs(got-noiseVar) > 0.01 {
+		t.Fatalf("residual noise power %v, want %v", got, noiseVar)
+	}
+}
+
+func TestTransmitShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	Transmit(rng.New(1), cmatrix.NewMatrix(4, 4), make(cmatrix.Vector, 3), 0.1)
+}
+
+func TestPerturbEstimate(t *testing.T) {
+	r := rng.New(21)
+	h := Rayleigh(r, 6, 6)
+	// Zero error variance: exact copy, not aliased.
+	same := PerturbEstimate(r, h, 0)
+	if !same.EqualApprox(h, 0) {
+		t.Fatal("zero-variance perturbation changed H")
+	}
+	same.Set(0, 0, 99)
+	if h.At(0, 0) == 99 {
+		t.Fatal("PerturbEstimate aliased its input")
+	}
+	// Positive variance: measured perturbation power matches.
+	const ev = 0.25
+	const trials = 2000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		p := PerturbEstimate(r, h, ev)
+		d := p.Sub(h)
+		for _, v := range d.Data {
+			sum += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	got := sum / float64(trials*36)
+	if math.Abs(got-ev) > 0.02 {
+		t.Fatalf("perturbation power %v, want %v", got, ev)
+	}
+}
+
+func TestExponentialCorrelation(t *testing.T) {
+	r, err := ExponentialCorrelation(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.At(0, 0) != 1 || r.At(2, 2) != 1 {
+		t.Fatal("diagonal not 1")
+	}
+	if real(r.At(0, 1)) != 0.5 || real(r.At(0, 3)) != 0.125 {
+		t.Fatalf("off-diagonals wrong: %v %v", r.At(0, 1), r.At(0, 3))
+	}
+	if !r.ConjTranspose().EqualApprox(r, 1e-12) {
+		t.Fatal("correlation matrix not Hermitian")
+	}
+	if _, err := ExponentialCorrelation(4, 1); err == nil {
+		t.Error("rho=1 accepted")
+	}
+	if _, err := ExponentialCorrelation(4, -1.5); err == nil {
+		t.Error("rho=-1.5 accepted")
+	}
+}
+
+func TestCorrelatedRayleighZeroRhoIsIID(t *testing.T) {
+	h1, err := CorrelatedRayleigh(rng.New(9), 4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2 := Rayleigh(rng.New(9), 4, 4)
+	if !h1.EqualApprox(h2, 0) {
+		t.Fatal("rho=0 should reduce to plain Rayleigh")
+	}
+}
+
+func TestCorrelatedRayleighStatistics(t *testing.T) {
+	// Empirical receive-side correlation of adjacent rows should approach ρ.
+	r := rng.New(10)
+	const rho = 0.7
+	const trials = 4000
+	var corr, power complex128
+	for i := 0; i < trials; i++ {
+		h, err := CorrelatedRayleigh(r, 4, 2, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// E[h_{0,j} · conj(h_{1,j})] ≈ ρ (per-entry unit power).
+		for j := 0; j < 2; j++ {
+			v0, v1 := h.At(0, j), h.At(1, j)
+			corr += v0 * complex(real(v1), -imag(v1))
+			power += v0 * complex(real(v0), -imag(v0))
+		}
+	}
+	est := real(corr) / real(power)
+	if math.Abs(est-rho) > 0.06 {
+		t.Fatalf("adjacent-antenna correlation %v, want ~%v", est, rho)
+	}
+}
+
+func TestCorrelatedRayleighPreservesPower(t *testing.T) {
+	r := rng.New(11)
+	const trials = 2000
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		h, err := CorrelatedRayleigh(r, 4, 4, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range h.Data {
+			sum += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	avg := sum / float64(trials*16)
+	if math.Abs(avg-1) > 0.05 {
+		t.Fatalf("per-entry power %v, want ~1", avg)
+	}
+}
+
+func TestTransmitDeterministicGivenSeed(t *testing.T) {
+	h := Rayleigh(rng.New(7), 3, 3)
+	s := cmatrix.Vector{1, 1i, -1}
+	y1 := Transmit(rng.New(8), h, s, 0.3)
+	y2 := Transmit(rng.New(8), h, s, 0.3)
+	for i := range y1 {
+		if y1[i] != y2[i] {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package cmatrix
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMulNaiveKnown(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	b := FromSlice(2, 2, []complex128{5, 6, 7, 8})
+	c := MulNaive(a, b)
+	want := FromSlice(2, 2, []complex128{19, 22, 43, 50})
+	if !c.EqualApprox(want, 1e-12) {
+		t.Fatalf("MulNaive = %v", c)
+	}
+}
+
+func TestMulNaiveComplex(t *testing.T) {
+	a := FromSlice(1, 1, []complex128{1 + 1i})
+	b := FromSlice(1, 1, []complex128{1 - 1i})
+	c := MulNaive(a, b)
+	if c.At(0, 0) != 2 {
+		t.Fatalf("(1+i)(1-i) = %v, want 2", c.At(0, 0))
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rng.New(1)
+	a := randomMatrix(r, 6, 6)
+	if !Mul(a, Identity(6)).EqualApprox(a, 1e-12) {
+		t.Fatal("A*I != A")
+	}
+	if !Mul(Identity(6), a).EqualApprox(a, 1e-12) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMulMatchesNaive(t *testing.T) {
+	r := rng.New(2)
+	shapes := [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {17, 9, 23}, {64, 64, 64}, {65, 70, 129}}
+	for _, s := range shapes {
+		a := randomMatrix(r, s[0], s[1])
+		b := randomMatrix(r, s[1], s[2])
+		want := MulNaive(a, b)
+		if got := Mul(a, b); !got.EqualApprox(want, 1e-9) {
+			t.Fatalf("Mul mismatch at shape %v", s)
+		}
+	}
+}
+
+func TestMulParallelMatchesNaive(t *testing.T) {
+	r := rng.New(3)
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		a := randomMatrix(r, 33, 21)
+		b := randomMatrix(r, 21, 47)
+		want := MulNaive(a, b)
+		if got := MulParallel(a, b, workers); !got.EqualApprox(want, 1e-9) {
+			t.Fatalf("MulParallel(workers=%d) mismatch", workers)
+		}
+	}
+}
+
+func TestMulDimensionPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	Mul(NewMatrix(2, 3), NewMatrix(2, 3))
+}
+
+func TestGEMMAlphaBeta(t *testing.T) {
+	r := rng.New(4)
+	a := randomMatrix(r, 4, 5)
+	b := randomMatrix(r, 5, 6)
+	c0 := randomMatrix(r, 4, 6)
+
+	// C = 2*A*B + 3*C0
+	c := c0.Clone()
+	GEMM(2, a, b, 3, c)
+	want := MulNaive(a, b).Scale(2).Add(c0.Scale(3))
+	if !c.EqualApprox(want, 1e-9) {
+		t.Fatal("GEMM alpha/beta mismatch")
+	}
+}
+
+func TestGEMMAlphaZeroScalesOnly(t *testing.T) {
+	r := rng.New(5)
+	a := randomMatrix(r, 3, 3)
+	b := randomMatrix(r, 3, 3)
+	c := randomMatrix(r, 3, 3)
+	want := c.Scale(0.5)
+	GEMM(0, a, b, 0.5, c)
+	if !c.EqualApprox(want, 1e-12) {
+		t.Fatal("GEMM with alpha=0 should only scale C")
+	}
+}
+
+func TestGEMMShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad GEMM output shape did not panic")
+		}
+	}()
+	GEMM(1, NewMatrix(2, 2), NewMatrix(2, 2), 0, NewMatrix(3, 3))
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	y := MulVec(a, Vector{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	r := rng.New(6)
+	a := randomMatrix(r, 9, 7)
+	x := randomVector(r, 7)
+	xm := NewMatrix(7, 1)
+	copy(xm.Data, x)
+	want := Mul(a, xm)
+	got := MulVec(a, x)
+	for i := range got {
+		if d := got[i] - want.At(i, 0); math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestConjTransposeMulVec(t *testing.T) {
+	r := rng.New(7)
+	a := randomMatrix(r, 8, 5)
+	x := randomVector(r, 8)
+	want := MulVec(a.ConjTranspose(), x)
+	got := ConjTransposeMulVec(a, x)
+	for i := range got {
+		if d := got[i] - want[i]; math.Hypot(real(d), imag(d)) > 1e-9 {
+			t.Fatalf("element %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGram(t *testing.T) {
+	r := rng.New(8)
+	a := randomMatrix(r, 10, 4)
+	want := MulNaive(a.ConjTranspose(), a)
+	got := Gram(a)
+	if !got.EqualApprox(want, 1e-9) {
+		t.Fatal("Gram != AᴴA")
+	}
+	// The Gram matrix must be Hermitian.
+	if !got.ConjTranspose().EqualApprox(got, 1e-9) {
+		t.Fatal("Gram matrix not Hermitian")
+	}
+}
+
+func TestFlopsGEMM(t *testing.T) {
+	if got := FlopsGEMM(2, 3, 4); got != 8*2*3*4 {
+		t.Fatalf("FlopsGEMM = %d", got)
+	}
+	// Must not overflow for large-MIMO-scale batched shapes.
+	if got := FlopsGEMM(100000, 256, 40); got <= 0 {
+		t.Fatalf("FlopsGEMM overflowed: %d", got)
+	}
+}
+
+func BenchmarkMulNaive32(b *testing.B) {
+	r := rng.New(1)
+	x := randomMatrix(r, 32, 32)
+	y := randomMatrix(r, 32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MulNaive(x, y)
+	}
+}
+
+func BenchmarkMulBlocked128(b *testing.B) {
+	r := rng.New(1)
+	x := randomMatrix(r, 128, 128)
+	y := randomMatrix(r, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Mul(x, y)
+	}
+}
+
+func BenchmarkMulParallel128(b *testing.B) {
+	r := rng.New(1)
+	x := randomMatrix(r, 128, 128)
+	y := randomMatrix(r, 128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MulParallel(x, y, 0)
+	}
+}

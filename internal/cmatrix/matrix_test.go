@@ -1,0 +1,337 @@
+package cmatrix
+
+import (
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randomMatrix(r *rng.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.ComplexNormal(1)
+	}
+	return m
+}
+
+func randomVector(r *rng.Rand, n int) Vector {
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = r.ComplexNormal(1)
+	}
+	return v
+}
+
+func TestNewMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 || len(m.Data) != 12 {
+		t.Fatalf("bad shape: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("new matrix not zeroed")
+		}
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	for _, shape := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMatrix(%v) did not panic", shape)
+				}
+			}()
+			NewMatrix(shape[0], shape[1])
+		}()
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	data := []complex128{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, data)
+	if m.At(0, 0) != 1 || m.At(0, 2) != 3 || m.At(1, 0) != 4 || m.At(1, 2) != 6 {
+		t.Fatalf("wrong layout: %v", m)
+	}
+	// Copy semantics: mutating the source must not affect the matrix.
+	data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("FromSlice aliased its input")
+	}
+}
+
+func TestFromSlicePanicsOnLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice(2, 2, []complex128{1, 2, 3})
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("I[%d][%d] = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5+6i)
+	if m.At(1, 2) != 5+6i {
+		t.Fatal("Set/At mismatch")
+	}
+	if m.Row(1)[2] != 5+6i {
+		t.Fatal("Row view mismatch")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	dst := NewMatrix(2, 2)
+	dst.CopyFrom(src)
+	if !dst.EqualApprox(src, 0) {
+		t.Fatal("CopyFrom failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom shape mismatch did not panic")
+		}
+	}()
+	NewMatrix(3, 2).CopyFrom(src)
+}
+
+func TestConjTranspose(t *testing.T) {
+	m := FromSlice(2, 3, []complex128{1 + 1i, 2, 3, 4, 5 - 2i, 6})
+	h := m.ConjTranspose()
+	if h.Rows != 3 || h.Cols != 2 {
+		t.Fatalf("shape %dx%d", h.Rows, h.Cols)
+	}
+	if h.At(0, 0) != 1-1i || h.At(1, 1) != 5+2i || h.At(2, 0) != 3 {
+		t.Fatalf("wrong values: %v", h)
+	}
+	// (Aᴴ)ᴴ == A
+	if !h.ConjTranspose().EqualApprox(m, 0) {
+		t.Fatal("double conjugate transpose != original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromSlice(2, 2, []complex128{1 + 1i, 2, 3, 4})
+	tr := m.Transpose()
+	if tr.At(0, 0) != 1+1i || tr.At(0, 1) != 3 || tr.At(1, 0) != 2 {
+		t.Fatalf("wrong transpose: %v", tr)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	b := FromSlice(2, 2, []complex128{4, 3, 2, 1})
+	sum := a.Add(b)
+	for _, v := range sum.Data {
+		if v != 5 {
+			t.Fatalf("Add: %v", sum.Data)
+		}
+	}
+	diff := sum.Sub(b)
+	if !diff.EqualApprox(a, 0) {
+		t.Fatal("Sub(Add) != identity")
+	}
+	sc := a.Scale(2i)
+	if sc.At(1, 1) != 8i {
+		t.Fatalf("Scale: %v", sc.At(1, 1))
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := FromSlice(3, 3, []complex128{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	s := m.SubMatrix(1, 3, 0, 2)
+	if s.Rows != 2 || s.Cols != 2 || s.At(0, 0) != 4 || s.At(1, 1) != 8 {
+		t.Fatalf("SubMatrix: %v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid SubMatrix did not panic")
+		}
+	}()
+	m.SubMatrix(2, 2, 0, 1)
+}
+
+func TestEqualApprox(t *testing.T) {
+	a := FromSlice(1, 2, []complex128{1, 2})
+	b := FromSlice(1, 2, []complex128{1 + 1e-10, 2})
+	if !a.EqualApprox(b, 1e-9) {
+		t.Fatal("should be approx equal")
+	}
+	if a.EqualApprox(b, 1e-12) {
+		t.Fatal("should not be equal at tight tolerance")
+	}
+	c := FromSlice(2, 1, []complex128{1, 2})
+	if a.EqualApprox(c, 1) {
+		t.Fatal("different shapes must not be equal")
+	}
+}
+
+func TestIsUpperTriangular(t *testing.T) {
+	u := FromSlice(3, 3, []complex128{1, 2, 3, 0, 4, 5, 0, 0, 6})
+	if !u.IsUpperTriangular(0) {
+		t.Fatal("upper-triangular matrix rejected")
+	}
+	u.Set(2, 0, 1e-3)
+	if u.IsUpperTriangular(1e-6) {
+		t.Fatal("non-triangular accepted")
+	}
+	if !u.IsUpperTriangular(1e-2) {
+		t.Fatal("tolerance not applied")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	m := NewMatrix(2, 2)
+	if m.HasNaN() {
+		t.Fatal("zero matrix has no NaN")
+	}
+	m.Set(1, 0, complex(math.NaN(), 0))
+	if !m.HasNaN() {
+		t.Fatal("NaN not detected")
+	}
+}
+
+func TestStringContainsShape(t *testing.T) {
+	if s := NewMatrix(2, 3).String(); !strings.HasPrefix(s, "2x3") {
+		t.Fatalf("String: %q", s)
+	}
+}
+
+func TestDotConjugatesFirstArg(t *testing.T) {
+	a := Vector{1i}
+	b := Vector{1i}
+	// conj(i)*i = -i*i = 1
+	if got := Dot(a, b); got != 1 {
+		t.Fatalf("Dot = %v, want 1", got)
+	}
+}
+
+func TestDotLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot length mismatch did not panic")
+		}
+	}()
+	Dot(Vector{1}, Vector{1, 2})
+}
+
+func TestAXPY(t *testing.T) {
+	x := Vector{1, 2}
+	y := Vector{10, 20}
+	AXPY(2, x, y)
+	if y[0] != 12 || y[1] != 24 {
+		t.Fatalf("AXPY: %v", y)
+	}
+}
+
+func TestVecSub(t *testing.T) {
+	got := VecSub(Vector{3, 4}, Vector{1, 1})
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("VecSub: %v", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := Vector{3, 4i}
+	if got := Norm2Sq(v); got != 25 {
+		t.Fatalf("Norm2Sq = %v", got)
+	}
+	if got := Norm2(v); got != 5 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m := FromSlice(2, 2, []complex128{1, 1, 1, 1})
+	if got := m.FrobeniusNorm(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Frobenius = %v", got)
+	}
+}
+
+func TestColumnNormsSq(t *testing.T) {
+	m := FromSlice(2, 3, []complex128{
+		1, 2i, 3,
+		1, 2, 0,
+	})
+	dst := make([]float64, 3)
+	m.ColumnNormsSq(dst)
+	want := []float64{2, 8, 9}
+	for j := range want {
+		if math.Abs(dst[j]-want[j]) > 1e-12 {
+			t.Fatalf("col %d norm² = %v, want %v", j, dst[j], want[j])
+		}
+	}
+}
+
+func TestColumnNormsSqMatchesPerColumn(t *testing.T) {
+	r := rng.New(5)
+	m := randomMatrix(r, 7, 5)
+	dst := make([]float64, 5)
+	m.ColumnNormsSq(dst)
+	for j := 0; j < 5; j++ {
+		col := make(Vector, 7)
+		for i := 0; i < 7; i++ {
+			col[i] = m.At(i, j)
+		}
+		if math.Abs(dst[j]-Norm2Sq(col)) > 1e-9 {
+			t.Fatalf("column %d mismatch", j)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := FromSlice(1, 2, []complex128{1, 2})
+	m.Zero()
+	if m.At(0, 0) != 0 || m.At(0, 1) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func TestCloneVector(t *testing.T) {
+	v := Vector{1, 2}
+	c := CloneVector(v)
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("CloneVector aliased")
+	}
+}
+
+func TestDotCauchySchwarz(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 50; trial++ {
+		a := randomVector(r, 8)
+		b := randomVector(r, 8)
+		lhs := cmplx.Abs(Dot(a, b))
+		rhs := Norm2(a) * Norm2(b)
+		if lhs > rhs+1e-9 {
+			t.Fatalf("Cauchy-Schwarz violated: |<a,b>|=%v > %v", lhs, rhs)
+		}
+	}
+}

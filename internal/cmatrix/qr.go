@@ -1,0 +1,356 @@
+package cmatrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a triangular solve or factorization meets a
+// (numerically) zero pivot. Rayleigh-fading channel matrices are almost
+// surely full rank, but the decoders must fail loudly rather than emit NaNs
+// when handed a degenerate channel estimate.
+var ErrSingular = errors.New("cmatrix: matrix is singular to working precision")
+
+// QRFactorization holds the thin QR decomposition H = Q·R of an N×M matrix
+// with N >= M: Q is N×M with orthonormal columns and R is M×M upper
+// triangular with real, non-negative diagonal. The sphere decoder's
+// preprocessing (Eq. 4 in the paper) reduces ‖y − Hs‖² to ‖Qᴴy − Rs‖² plus a
+// constant, which is what makes the tree recursion possible.
+type QRFactorization struct {
+	Q *Matrix // N×M, orthonormal columns
+	R *Matrix // M×M, upper triangular
+}
+
+// QR computes the thin Householder QR factorization of a. It requires
+// a.Rows >= a.Cols and returns ErrSingular if a diagonal of R underflows to
+// zero (rank-deficient input).
+func QR(a *Matrix) (*QRFactorization, error) {
+	n, m := a.Rows, a.Cols
+	if n < m {
+		return nil, fmt.Errorf("cmatrix: QR requires rows >= cols, got %dx%d", n, m)
+	}
+	// Work is overwritten with R in its upper triangle; the Householder
+	// vectors are stored below the diagonal. tau holds 2/‖v‖² per column and
+	// v0s the implicit leading component of each reflector.
+	work := a.Clone()
+	tau := make([]complex128, m)
+	v0s := make([]complex128, m)
+
+	for k := 0; k < m; k++ {
+		// Build the reflector for column k from rows k..n-1.
+		var normSq float64
+		for i := k; i < n; i++ {
+			v := work.At(i, k)
+			normSq += real(v)*real(v) + imag(v)*imag(v)
+		}
+		norm := math.Sqrt(normSq)
+		x0 := work.At(k, k)
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		// alpha = -sign(x0)*‖x‖ keeps the reflector well-conditioned; for
+		// complex x0 the "sign" is the unit phase.
+		var phase complex128 = 1
+		if x0 != 0 {
+			phase = x0 / complex(cmplx.Abs(x0), 0)
+		}
+		alpha := -phase * complex(norm, 0)
+		// v = x - alpha*e1, stored in place; v0 = x0 - alpha.
+		v0 := x0 - alpha
+		work.Set(k, k, alpha)
+		// tau = (alpha - x0)/alpha in the LAPACK convention translates to
+		// tau = 2/‖v‖² * |v0|² ... we instead store the standard
+		// beta = 2 / vᴴv and keep v unnormalized below the diagonal with
+		// an implicit leading v0.
+		var vNormSq = real(v0)*real(v0) + imag(v0)*imag(v0)
+		for i := k + 1; i < n; i++ {
+			v := work.At(i, k)
+			vNormSq += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if vNormSq == 0 {
+			tau[k] = 0
+			continue
+		}
+		tau[k] = complex(2/vNormSq, 0)
+		// Apply the reflector P = I - tau*v*vᴴ to the trailing columns.
+		for j := k + 1; j < m; j++ {
+			// w = vᴴ * A[:, j] over rows k..n-1
+			w := cmplx.Conj(v0) * work.At(k, j)
+			for i := k + 1; i < n; i++ {
+				w += cmplx.Conj(work.At(i, k)) * work.At(i, j)
+			}
+			w *= tau[k]
+			work.Set(k, j, work.At(k, j)-w*v0)
+			for i := k + 1; i < n; i++ {
+				work.Set(i, j, work.At(i, j)-w*work.At(i, k))
+			}
+		}
+		// Rows k+1..n-1 of work already hold the tail of v; record the
+		// implicit leading component for the Q-forming pass.
+		v0s[k] = v0
+	}
+
+	r := NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		for j := i; j < m; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+
+	// Form thin Q by applying the reflectors in reverse to the first m
+	// columns of the identity.
+	q := NewMatrix(n, m)
+	for j := 0; j < m; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := m - 1; k >= 0; k-- {
+		if tau[k] == 0 {
+			continue
+		}
+		v0 := v0s[k]
+		for j := 0; j < m; j++ {
+			w := cmplx.Conj(v0) * q.At(k, j)
+			for i := k + 1; i < n; i++ {
+				w += cmplx.Conj(work.At(i, k)) * q.At(i, j)
+			}
+			w *= tau[k]
+			q.Set(k, j, q.At(k, j)-w*v0)
+			for i := k + 1; i < n; i++ {
+				q.Set(i, j, q.At(i, j)-w*work.At(i, k))
+			}
+		}
+	}
+
+	// Normalize so the diagonal of R is real and non-negative: scale row k
+	// of R and column k of Q by the conjugate phase. A diagonal that is
+	// negligible relative to the matrix scale means rank deficiency.
+	pivotTol := 1e-12 * a.FrobeniusNorm() * float64(m)
+	for k := 0; k < m; k++ {
+		d := r.At(k, k)
+		ad := cmplx.Abs(d)
+		if ad <= pivotTol {
+			return nil, ErrSingular
+		}
+		phase := d / complex(ad, 0)
+		inv := cmplx.Conj(phase)
+		for j := k; j < m; j++ {
+			r.Set(k, j, r.At(k, j)*inv)
+		}
+		for i := 0; i < n; i++ {
+			q.Set(i, k, q.At(i, k)*phase)
+		}
+	}
+	return &QRFactorization{Q: q, R: r}, nil
+}
+
+// QHMulVec returns Qᴴ·y, the rotated receive vector ȳ of Eq. 4.
+func (f *QRFactorization) QHMulVec(y Vector) Vector {
+	return ConjTransposeMulVec(f.Q, y)
+}
+
+// BackSubstitute solves R·x = b for upper-triangular R, returning
+// ErrSingular on a zero pivot. This is the zero-forcing solve used by the
+// linear decoders after QR preprocessing.
+func BackSubstitute(r *Matrix, b Vector) (Vector, error) {
+	if r.Rows != r.Cols || len(b) != r.Rows {
+		return nil, fmt.Errorf("cmatrix: BackSubstitute shapes %dx%d, b=%d", r.Rows, r.Cols, len(b))
+	}
+	n := r.Rows
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		row := r.Row(i)
+		for j := i + 1; j < n; j++ {
+			sum -= row[j] * x[j]
+		}
+		d := row[i]
+		if cmplx.Abs(d) == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = sum / d
+	}
+	return x, nil
+}
+
+// ForwardSubstitute solves L·x = b for lower-triangular L.
+func ForwardSubstitute(l *Matrix, b Vector) (Vector, error) {
+	if l.Rows != l.Cols || len(b) != l.Rows {
+		return nil, fmt.Errorf("cmatrix: ForwardSubstitute shapes %dx%d, b=%d", l.Rows, l.Cols, len(b))
+	}
+	n := l.Rows
+	x := make(Vector, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		row := l.Row(i)
+		for j := 0; j < i; j++ {
+			sum -= row[j] * x[j]
+		}
+		d := row[i]
+		if cmplx.Abs(d) == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = sum / d
+	}
+	return x, nil
+}
+
+// Cholesky computes the lower-triangular L with A = L·Lᴴ for a Hermitian
+// positive-definite A. It returns ErrSingular if a pivot is not strictly
+// positive. MMSE uses this on (HᴴH + σ²I), which is always HPD for σ² > 0.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("cmatrix: Cholesky needs square input, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		// Diagonal entry.
+		sum := real(a.At(j, j))
+		for k := 0; k < j; k++ {
+			v := l.At(j, k)
+			sum -= real(v)*real(v) + imag(v)*imag(v)
+		}
+		if sum <= 0 || math.IsNaN(sum) {
+			return nil, ErrSingular
+		}
+		d := math.Sqrt(sum)
+		l.Set(j, j, complex(d, 0))
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * cmplx.Conj(l.At(j, k))
+			}
+			l.Set(i, j, s/complex(d, 0))
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves A·x = b given the Cholesky factor L of A.
+func CholeskySolve(l *Matrix, b Vector) (Vector, error) {
+	y, err := ForwardSubstitute(l, b)
+	if err != nil {
+		return nil, err
+	}
+	return BackSubstitute(l.ConjTranspose(), y)
+}
+
+// SolveHPD solves A·x = b for Hermitian positive-definite A.
+func SolveHPD(a *Matrix, b Vector) (Vector, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return CholeskySolve(l, b)
+}
+
+// InverseHPD inverts a Hermitian positive-definite matrix via Cholesky.
+func InverseHPD(a *Matrix) (*Matrix, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewMatrix(n, n)
+	e := make(Vector, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := CholeskySolve(l, e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// ConditionEstimate estimates the 2-norm condition number κ(A) = σmax/σmin
+// of a full-column-rank matrix by power iteration on the Gram matrix (for
+// σmax²) and inverse power iteration through Cholesky solves (for σmin²).
+// iters controls the iteration count; 30 gives a few digits, plenty for the
+// diagnostic use here (explaining why correlated channels inflate the
+// sphere search). Returns ErrSingular for rank-deficient input.
+func ConditionEstimate(a *Matrix, iters int) (float64, error) {
+	if a.Rows < a.Cols {
+		return 0, fmt.Errorf("cmatrix: ConditionEstimate requires rows >= cols, got %dx%d", a.Rows, a.Cols)
+	}
+	if iters <= 0 {
+		iters = 30
+	}
+	g := Gram(a)
+	l, err := Cholesky(g)
+	if err != nil {
+		return 0, err
+	}
+	n := a.Cols
+	// Deterministic start vector with nonzero overlap w.h.p. on all
+	// eigenvectors.
+	v := make(Vector, n)
+	for i := range v {
+		v[i] = complex(1+float64(i%7)/7, float64(i%3)/3)
+	}
+	normalize := func(x Vector) float64 {
+		nrm := Norm2(x)
+		if nrm == 0 {
+			return 0
+		}
+		for i := range x {
+			x[i] /= complex(nrm, 0)
+		}
+		return nrm
+	}
+	normalize(v)
+
+	// Largest eigenvalue of G.
+	var lambdaMax float64
+	for it := 0; it < iters; it++ {
+		v = MulVec(g, v)
+		lambdaMax = normalize(v)
+		if lambdaMax == 0 {
+			return 0, ErrSingular
+		}
+	}
+	// Smallest eigenvalue via inverse iteration. Restart from a generic
+	// vector: the converged top eigenvector can have (numerically) zero
+	// overlap with the bottom eigenspace, which would stall the iteration.
+	w := make(Vector, n)
+	for i := range w {
+		w[i] = complex(1+float64(i%5)/5, float64(i%2)/2)
+	}
+	normalize(w)
+	var growth float64
+	for it := 0; it < iters; it++ {
+		sol, err := CholeskySolve(l, w)
+		if err != nil {
+			return 0, err
+		}
+		w = sol
+		growth = normalize(w)
+		if growth == 0 {
+			return 0, ErrSingular
+		}
+	}
+	lambdaMin := 1 / growth
+	if lambdaMin <= 0 {
+		return 0, ErrSingular
+	}
+	return math.Sqrt(lambdaMax / lambdaMin), nil
+}
+
+// PseudoInverseLS solves the least-squares problem min ‖b − A·x‖ via QR for
+// A with full column rank, returning x = R⁻¹·Qᴴ·b.
+func PseudoInverseLS(a *Matrix, b Vector) (Vector, error) {
+	f, err := QR(a)
+	if err != nil {
+		return nil, err
+	}
+	return BackSubstitute(f.R, f.QHMulVec(b))
+}

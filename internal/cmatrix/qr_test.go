@@ -1,0 +1,408 @@
+package cmatrix
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// checkQR validates the three QR contract properties on a factorization of a.
+func checkQR(t *testing.T, a *Matrix, f *QRFactorization) {
+	t.Helper()
+	n, m := a.Rows, a.Cols
+
+	// 1. Reconstruction: Q*R == A.
+	if got := Mul(f.Q, f.R); !got.EqualApprox(a, 1e-9) {
+		t.Fatal("Q*R != A")
+	}
+	// 2. Orthonormal columns: QᴴQ == I.
+	if got := Mul(f.Q.ConjTranspose(), f.Q); !got.EqualApprox(Identity(m), 1e-9) {
+		t.Fatal("QᴴQ != I")
+	}
+	// 3. R upper triangular with real non-negative diagonal.
+	if !f.R.IsUpperTriangular(1e-9) {
+		t.Fatal("R not upper triangular")
+	}
+	for k := 0; k < m; k++ {
+		d := f.R.At(k, k)
+		if math.Abs(imag(d)) > 1e-9 || real(d) < 0 {
+			t.Fatalf("R[%d][%d] = %v, want real non-negative", k, k, d)
+		}
+	}
+	if f.Q.Rows != n || f.Q.Cols != m || f.R.Rows != m || f.R.Cols != m {
+		t.Fatalf("thin QR shapes: Q %dx%d, R %dx%d", f.Q.Rows, f.Q.Cols, f.R.Rows, f.R.Cols)
+	}
+}
+
+func TestQRSquare(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 3, 5, 10, 20} {
+		a := randomMatrix(r, n, n)
+		f, err := QR(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkQR(t, a, f)
+	}
+}
+
+func TestQRTall(t *testing.T) {
+	r := rng.New(2)
+	shapes := [][2]int{{3, 1}, {5, 3}, {10, 10}, {16, 10}, {40, 20}}
+	for _, s := range shapes {
+		a := randomMatrix(r, s[0], s[1])
+		f, err := QR(a)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		checkQR(t, a, f)
+	}
+}
+
+func TestQRWideRejected(t *testing.T) {
+	if _, err := QR(NewMatrix(2, 3)); err == nil {
+		t.Fatal("wide matrix accepted")
+	}
+}
+
+func TestQRSingular(t *testing.T) {
+	// Two identical columns: rank deficient.
+	a := FromSlice(3, 2, []complex128{1, 1, 2, 2, 3, 3})
+	_, err := QR(a)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestQRZeroMatrix(t *testing.T) {
+	_, err := QR(NewMatrix(3, 2))
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular for zero matrix", err)
+	}
+}
+
+func TestQRRealKnown(t *testing.T) {
+	// A classic example: A = [[1,2],[0,1],[1,0]] has a known R up to signs.
+	a := FromSlice(3, 2, []complex128{1, 2, 0, 1, 1, 0})
+	f, err := QR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkQR(t, a, f)
+	// R[0][0] = ||col0|| = sqrt(2).
+	if got := real(f.R.At(0, 0)); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Fatalf("R[0][0] = %v, want sqrt(2)", got)
+	}
+}
+
+func TestQRPreservesDistances(t *testing.T) {
+	// The whole point of Eq. 4: ‖y − Hs‖² = ‖ȳ − Rs‖² + c where c does not
+	// depend on s. Verify the difference is constant across many s.
+	r := rng.New(3)
+	const n, m = 8, 5
+	h := randomMatrix(r, n, m)
+	y := randomVector(r, n)
+	f, err := QR(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ybar := f.QHMulVec(y)
+
+	var c0 float64
+	for trial := 0; trial < 30; trial++ {
+		s := randomVector(r, m)
+		full := Norm2Sq(VecSub(y, MulVec(h, s)))
+		reduced := Norm2Sq(VecSub(ybar, MulVec(f.R, s)))
+		c := full - reduced
+		if trial == 0 {
+			c0 = c
+		} else if math.Abs(c-c0) > 1e-8*(1+math.Abs(c0)) {
+			t.Fatalf("distance offset not constant: %v vs %v", c, c0)
+		}
+	}
+	if c0 < -1e-9 {
+		t.Fatalf("offset must be non-negative (‖P⊥y‖²), got %v", c0)
+	}
+}
+
+func TestQRQuickProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		m := int(mRaw%6) + 1
+		n := m + int(nRaw%6)
+		r := rng.New(seed)
+		a := randomMatrix(r, n, m)
+		fac, err := QR(a)
+		if err != nil {
+			return false
+		}
+		return Mul(fac.Q, fac.R).EqualApprox(a, 1e-8) &&
+			Mul(fac.Q.ConjTranspose(), fac.Q).EqualApprox(Identity(m), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConditionEstimateKnown(t *testing.T) {
+	// Identity: κ = 1.
+	got, err := ConditionEstimate(Identity(5), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-6 {
+		t.Fatalf("κ(I) = %v, want 1", got)
+	}
+	// Diagonal (10, 1, 2): κ = 10.
+	d := NewMatrix(3, 3)
+	d.Set(0, 0, 10)
+	d.Set(1, 1, 1)
+	d.Set(2, 2, 2)
+	got, err = ConditionEstimate(d, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 0.01 {
+		t.Fatalf("κ(diag(10,1,2)) = %v, want 10", got)
+	}
+}
+
+func TestConditionEstimateErrors(t *testing.T) {
+	if _, err := ConditionEstimate(NewMatrix(2, 3), 10); err == nil {
+		t.Error("wide matrix accepted")
+	}
+	singular := FromSlice(3, 2, []complex128{1, 1, 2, 2, 3, 3})
+	if _, err := ConditionEstimate(singular, 10); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}
+
+func TestConditionGrowsWithCorrelation(t *testing.T) {
+	// Scaling the off-diagonal coupling of a Hermitian-based construction
+	// must raise the condition number — the mechanism behind the
+	// correlated-channel study.
+	r := rng.New(17)
+	base := randomMatrix(r, 8, 8)
+	prev := 0.0
+	for i, alpha := range []float64{0, 0.5, 0.9} {
+		// A + alpha·(rank-deficient direction): push columns together.
+		m := base.Clone()
+		for row := 0; row < 8; row++ {
+			for col := 1; col < 8; col++ {
+				m.Set(row, col, m.At(row, col)*(complex(1-alpha, 0))+m.At(row, 0)*complex(alpha, 0))
+			}
+		}
+		k, err := ConditionEstimate(m, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && k <= prev {
+			t.Fatalf("condition did not grow: %v -> %v at alpha=%v", prev, k, alpha)
+		}
+		prev = k
+	}
+}
+
+func TestQRCholeskyConsistency(t *testing.T) {
+	// Cross-validation of two independent factorizations: for full-rank H,
+	// the Cholesky factor L of HᴴH satisfies Lᴴ == R (both upper triangular
+	// with positive real diagonals, and HᴴH = RᴴR = L·Lᴴ with uniqueness).
+	r := rng.New(9)
+	for _, dim := range [][2]int{{4, 4}, {8, 5}, {12, 12}} {
+		h := randomMatrix(r, dim[0], dim[1])
+		f, err := QR(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := Cholesky(Gram(h))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !l.ConjTranspose().EqualApprox(f.R, 1e-7) {
+			t.Fatalf("%v: Cholesky(HᴴH)ᴴ != R from QR", dim)
+		}
+	}
+}
+
+func TestBackSubstitute(t *testing.T) {
+	r := FromSlice(3, 3, []complex128{2, 1, 1, 0, 3, 2, 0, 0, 4})
+	b := Vector{4, 5, 8}
+	x, err := BackSubstitute(r, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MulVec(r, x)
+	for i := range b {
+		if cmplx.Abs(got[i]-b[i]) > 1e-12 {
+			t.Fatalf("R*x != b at %d: %v vs %v", i, got[i], b[i])
+		}
+	}
+}
+
+func TestBackSubstituteSingular(t *testing.T) {
+	r := FromSlice(2, 2, []complex128{1, 2, 0, 0})
+	if _, err := BackSubstitute(r, Vector{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBackSubstituteShapeError(t *testing.T) {
+	if _, err := BackSubstitute(NewMatrix(2, 3), Vector{1, 1}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := BackSubstitute(Identity(2), Vector{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestForwardSubstitute(t *testing.T) {
+	l := FromSlice(3, 3, []complex128{2, 0, 0, 1, 3, 0, 1, 2, 4})
+	b := Vector{2, 4, 9}
+	x, err := ForwardSubstitute(l, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MulVec(l, x)
+	for i := range b {
+		if cmplx.Abs(got[i]-b[i]) > 1e-12 {
+			t.Fatalf("L*x != b at %d", i)
+		}
+	}
+}
+
+func TestForwardSubstituteSingular(t *testing.T) {
+	l := FromSlice(2, 2, []complex128{0, 0, 1, 1})
+	if _, err := ForwardSubstitute(l, Vector{1, 1}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func hermitianPD(r *rng.Rand, n int) *Matrix {
+	a := randomMatrix(r, n+3, n)
+	g := Gram(a) // AᴴA is HPD with probability 1
+	for i := 0; i < n; i++ {
+		g.Set(i, i, g.At(i, i)+complex(0.1, 0))
+	}
+	return g
+}
+
+func TestCholesky(t *testing.T) {
+	r := rng.New(4)
+	for _, n := range []int{1, 2, 3, 5, 12} {
+		a := hermitianPD(r, n)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := Mul(l, l.ConjTranspose()); !got.EqualApprox(a, 1e-8) {
+			t.Fatalf("n=%d: L·Lᴴ != A", n)
+		}
+		// L lower triangular: Lᴴ must be upper triangular.
+		if !l.ConjTranspose().IsUpperTriangular(1e-12) {
+			t.Fatalf("n=%d: L not lower triangular", n)
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1, 2, 2, 1}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCholeskyRejectsNonSquare(t *testing.T) {
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestSolveHPD(t *testing.T) {
+	r := rng.New(5)
+	a := hermitianPD(r, 6)
+	xTrue := randomVector(r, 6)
+	b := MulVec(a, xTrue)
+	x, err := SolveHPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-xTrue[i]) > 1e-7 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestInverseHPD(t *testing.T) {
+	r := rng.New(6)
+	a := hermitianPD(r, 5)
+	inv, err := InverseHPD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Mul(a, inv); !got.EqualApprox(Identity(5), 1e-7) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+	if got := Mul(inv, a); !got.EqualApprox(Identity(5), 1e-7) {
+		t.Fatal("A⁻¹·A != I")
+	}
+}
+
+func TestPseudoInverseLS(t *testing.T) {
+	// Overdetermined consistent system: exact recovery.
+	r := rng.New(7)
+	a := randomMatrix(r, 9, 4)
+	xTrue := randomVector(r, 4)
+	b := MulVec(a, xTrue)
+	x, err := PseudoInverseLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(x[i]-xTrue[i]) > 1e-8 {
+			t.Fatalf("LS solve x[%d] = %v, want %v", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestPseudoInverseLSMinimizesResidual(t *testing.T) {
+	// For an inconsistent system the residual must be orthogonal to the
+	// column space: Aᴴ(b − Ax) == 0.
+	r := rng.New(8)
+	a := randomMatrix(r, 10, 3)
+	b := randomVector(r, 10)
+	x, err := PseudoInverseLS(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := VecSub(b, MulVec(a, x))
+	grad := ConjTransposeMulVec(a, res)
+	if Norm2(grad) > 1e-8 {
+		t.Fatalf("normal equations violated: ‖Aᴴr‖ = %v", Norm2(grad))
+	}
+}
+
+func BenchmarkQR10x10(b *testing.B) {
+	r := rng.New(1)
+	a := randomMatrix(r, 10, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := QR(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQR20x20(b *testing.B) {
+	r := rng.New(1)
+	a := randomMatrix(r, 20, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := QR(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

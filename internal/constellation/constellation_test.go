@@ -1,0 +1,350 @@
+package constellation
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+var allMods = []Modulation{BPSK, QAM4, QAM16, QAM64, QAM256}
+
+func TestSizes(t *testing.T) {
+	want := map[Modulation]int{BPSK: 2, QAM4: 4, QAM16: 16, QAM64: 64, QAM256: 256}
+	for mod, n := range want {
+		c := New(mod)
+		if c.Size() != n {
+			t.Errorf("%v: size %d, want %d", mod, c.Size(), n)
+		}
+		if c.BitsPerSymbol() != bits(n) {
+			t.Errorf("%v: bits %d, want %d", mod, c.BitsPerSymbol(), bits(n))
+		}
+		if len(c.Points()) != n {
+			t.Errorf("%v: %d points", mod, len(c.Points()))
+		}
+	}
+}
+
+func bits(n int) int {
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}
+
+func TestUnitAverageEnergy(t *testing.T) {
+	for _, mod := range allMods {
+		c := New(mod)
+		if e := c.AvgEnergy(); math.Abs(e-1) > 1e-12 {
+			t.Errorf("%v: average energy %v, want 1", mod, e)
+		}
+	}
+}
+
+func TestPointsDistinct(t *testing.T) {
+	for _, mod := range allMods {
+		c := New(mod)
+		pts := c.Points()
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				if pts[i] == pts[j] {
+					t.Errorf("%v: duplicate points %d and %d", mod, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestBPSKPoints(t *testing.T) {
+	c := New(BPSK)
+	if c.Symbol(0) != complex(-1, 0) || c.Symbol(1) != complex(1, 0) {
+		t.Fatalf("BPSK points: %v", c.Points())
+	}
+}
+
+func TestQAM4Points(t *testing.T) {
+	c := New(QAM4)
+	s := 1 / math.Sqrt2
+	for idx, p := range c.Points() {
+		if math.Abs(math.Abs(real(p))-s) > 1e-12 || math.Abs(math.Abs(imag(p))-s) > 1e-12 {
+			t.Errorf("4-QAM point %d = %v not at (±1±1i)/√2", idx, p)
+		}
+	}
+}
+
+func TestQAM16Amplitudes(t *testing.T) {
+	c := New(QAM16)
+	s := 1 / math.Sqrt(10)
+	validAmp := func(x float64) bool {
+		for _, a := range []float64{-3, -1, 1, 3} {
+			if math.Abs(x-a*s) < 1e-12 {
+				return true
+			}
+		}
+		return false
+	}
+	for idx, p := range c.Points() {
+		if !validAmp(real(p)) || !validAmp(imag(p)) {
+			t.Errorf("16-QAM point %d = %v off grid", idx, p)
+		}
+	}
+}
+
+func TestGrayAdjacency(t *testing.T) {
+	// The defining property of Gray mapping: nearest neighbours on the grid
+	// differ in exactly one bit.
+	for _, mod := range []Modulation{QAM4, QAM16, QAM64, QAM256} {
+		c := New(mod)
+		minDist := c.MinDistance()
+		for i := 0; i < c.Size(); i++ {
+			for j := i + 1; j < c.Size(); j++ {
+				d := cmplx.Abs(c.Symbol(i) - c.Symbol(j))
+				if math.Abs(d-minDist) < 1e-9 {
+					if hd := c.HammingDistance(i, j); hd != 1 {
+						t.Errorf("%v: neighbours %d,%d differ in %d bits", mod, i, j, hd)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	for _, mod := range allMods {
+		c := New(mod)
+		buf := make([]int, c.BitsPerSymbol())
+		for idx := 0; idx < c.Size(); idx++ {
+			bits := c.BitsOf(idx, buf)
+			if got := c.Index(bits); got != idx {
+				t.Errorf("%v: Index(BitsOf(%d)) = %d", mod, idx, got)
+			}
+		}
+	}
+}
+
+func TestBitsOfPanics(t *testing.T) {
+	c := New(QAM16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("BitsOf with wrong dst length did not panic")
+		}
+	}()
+	c.BitsOf(0, make([]int, 3))
+}
+
+func TestIndexPanicsOnBadBit(t *testing.T) {
+	c := New(QAM4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Index with non-binary value did not panic")
+		}
+	}()
+	c.Index([]int{0, 2})
+}
+
+func TestMapBits(t *testing.T) {
+	c := New(QAM4)
+	syms := c.MapBits([]int{0, 0, 1, 1})
+	if len(syms) != 2 {
+		t.Fatalf("MapBits length %d", len(syms))
+	}
+	if syms[0] != c.Symbol(0) || syms[1] != c.Symbol(3) {
+		t.Fatal("MapBits wrong symbols")
+	}
+}
+
+func TestMapBitsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged MapBits did not panic")
+		}
+	}()
+	New(QAM16).MapBits([]int{1, 0, 1})
+}
+
+func TestSliceIdentity(t *testing.T) {
+	// Slicing an exact constellation point must return that point.
+	for _, mod := range allMods {
+		c := New(mod)
+		for idx := 0; idx < c.Size(); idx++ {
+			if got := c.Slice(c.Symbol(idx)); got != idx {
+				t.Errorf("%v: Slice(Symbol(%d)) = %d", mod, idx, got)
+			}
+		}
+	}
+}
+
+func TestSliceSmallPerturbation(t *testing.T) {
+	r := rng.New(1)
+	for _, mod := range allMods {
+		c := New(mod)
+		eps := c.MinDistance() / 4
+		for idx := 0; idx < c.Size(); idx++ {
+			for trial := 0; trial < 20; trial++ {
+				z := c.Symbol(idx) + complex(eps*(r.Float64()-0.5), eps*(r.Float64()-0.5))
+				if got := c.Slice(z); got != idx {
+					t.Errorf("%v: perturbed Slice = %d, want %d", mod, got, idx)
+				}
+			}
+		}
+	}
+}
+
+func TestSliceMatchesExhaustive(t *testing.T) {
+	r := rng.New(2)
+	for _, mod := range allMods {
+		c := New(mod)
+		for trial := 0; trial < 500; trial++ {
+			z := complex(3*r.NormFloat64(), 3*r.NormFloat64())
+			fast := c.Slice(z)
+			slow := c.SliceExhaustive(z)
+			if fast != slow {
+				// Tie-boundary disagreement is acceptable only if the two
+				// candidates are equidistant.
+				df := cmplx.Abs(z - c.Symbol(fast))
+				ds := cmplx.Abs(z - c.Symbol(slow))
+				if math.Abs(df-ds) > 1e-9 {
+					t.Fatalf("%v: Slice(%v) = %d (d=%v), exhaustive %d (d=%v)",
+						mod, z, fast, df, slow, ds)
+				}
+			}
+		}
+	}
+}
+
+func TestSliceQuick(t *testing.T) {
+	c := New(QAM16)
+	f := func(re, im float64) bool {
+		if math.IsNaN(re) || math.IsNaN(im) || math.Abs(re) > 1e6 || math.Abs(im) > 1e6 {
+			return true
+		}
+		z := complex(re, im)
+		fast := c.Slice(z)
+		slow := c.SliceExhaustive(z)
+		if fast == slow {
+			return true
+		}
+		return math.Abs(cmplx.Abs(z-c.Symbol(fast))-cmplx.Abs(z-c.Symbol(slow))) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceVector(t *testing.T) {
+	c := New(QAM4)
+	zs := []complex128{c.Symbol(2), c.Symbol(0)}
+	got := c.SliceVector(zs)
+	if got[0] != 2 || got[1] != 0 {
+		t.Fatalf("SliceVector = %v", got)
+	}
+}
+
+func TestSliceFarOutsideGrid(t *testing.T) {
+	// Amplitudes far beyond the grid must clamp to corners, not wrap.
+	c := New(QAM16)
+	idx := c.Slice(complex(100, 100))
+	p := c.Symbol(idx)
+	s := 3 / math.Sqrt(10)
+	if math.Abs(real(p)-s) > 1e-12 || math.Abs(imag(p)-s) > 1e-12 {
+		t.Fatalf("far slice picked %v, want corner (+3+3i)/√10", p)
+	}
+}
+
+func TestMinDistance(t *testing.T) {
+	// Known minimum distances for unit-energy constellations:
+	// BPSK 2, 4-QAM 2/√2=√2, 16-QAM 2/√10, 64-QAM 2/√42.
+	cases := []struct {
+		mod  Modulation
+		want float64
+	}{
+		{BPSK, 2},
+		{QAM4, math.Sqrt2},
+		{QAM16, 2 / math.Sqrt(10)},
+		{QAM64, 2 / math.Sqrt(42)},
+		{QAM256, 2 / math.Sqrt(170)},
+	}
+	for _, c := range cases {
+		if got := New(c.mod).MinDistance(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v: min distance %v, want %v", c.mod, got, c.want)
+		}
+	}
+}
+
+func TestGrayCodes(t *testing.T) {
+	for pos := 0; pos < 64; pos++ {
+		if got := grayDecode(grayEncode(pos)); got != pos {
+			t.Fatalf("gray round trip failed at %d: %d", pos, got)
+		}
+	}
+	// Successive Gray codes differ in one bit.
+	for pos := 0; pos < 63; pos++ {
+		x := grayEncode(pos) ^ grayEncode(pos+1)
+		if x&(x-1) != 0 {
+			t.Fatalf("gray(%d) and gray(%d) differ in >1 bit", pos, pos+1)
+		}
+	}
+}
+
+func TestParseModulation(t *testing.T) {
+	cases := map[string]Modulation{
+		"bpsk": BPSK, "BPSK": BPSK,
+		"qpsk": QAM4, "4-QAM": QAM4, "4qam": QAM4, "qam4": QAM4,
+		"16-qam": QAM16, "16QAM": QAM16,
+		"64_qam": QAM64,
+	}
+	for s, want := range cases {
+		got, err := ParseModulation(s)
+		if err != nil || got != want {
+			t.Errorf("ParseModulation(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseModulation("8psk"); err == nil {
+		t.Error("unknown modulation accepted")
+	}
+}
+
+func TestModulationString(t *testing.T) {
+	if QAM16.String() != "16-QAM" || QAM4.String() != "4-QAM" {
+		t.Fatal("wrong modulation names")
+	}
+	if Modulation(99).String() == "" {
+		t.Fatal("unknown modulation should still render")
+	}
+}
+
+func TestNewPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(unknown) did not panic")
+		}
+	}()
+	New(Modulation(42))
+}
+
+func TestHammingDistance(t *testing.T) {
+	c := New(QAM16)
+	if c.HammingDistance(0b0000, 0b1111) != 4 {
+		t.Fatal("wrong hamming distance")
+	}
+	if c.HammingDistance(5, 5) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}
+
+func BenchmarkSlice16QAM(b *testing.B) {
+	c := New(QAM16)
+	r := rng.New(1)
+	zs := make([]complex128, 1024)
+	for i := range zs {
+		zs[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.Slice(zs[i&1023])
+	}
+}

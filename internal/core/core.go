@@ -1,0 +1,221 @@
+// Package core assembles the paper's primary contribution: an FPGA-hosted
+// sphere-decoder accelerator. It couples the GEMM-refactored, sorted
+// depth-first sphere search (internal/sphere) with the cycle-approximate
+// Alveo U280 pipeline model (internal/fpga), so one object both *decodes*
+// (bit-exact ML detection) and *reports what the hardware would do*
+// (simulated decode time, per-module cycle budget, resource utilization,
+// power, and energy).
+//
+// A downstream user treats Accelerator as the product of the paper: build
+// one per (variant, modulation, MIMO size), stream batches of received
+// vectors through DecodeBatch, and read off both the detected symbols and
+// the hardware report.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/fpga"
+	"repro/internal/sphere"
+)
+
+// Options tune an Accelerator beyond its defaults.
+type Options struct {
+	// UseGEMM selects the batched BLAS-3 child evaluation (the paper's
+	// refactoring). It is the default; setting ScalarEval true switches to
+	// the incremental BLAS-2 recursion, which produces an identical
+	// traversal and identical decoded vectors but simulates faster in Go —
+	// the experiment harness uses it for large Monte-Carlo sweeps.
+	ScalarEval bool
+	// Pipelines replicates the decode pipeline (Section III-C4 headroom).
+	// Zero means 1.
+	Pipelines int
+	// InitialRadiusSq optionally fixes the starting sphere; zero keeps the
+	// decoder's default (+Inf, first leaf sets it).
+	InitialRadiusSq float64
+}
+
+// Accelerator is an FPGA sphere-decoder instance for one configuration.
+type Accelerator struct {
+	design *fpga.Design
+	sd     *sphere.SD
+	cons   *constellation.Constellation
+}
+
+// New builds an accelerator for the given variant, modulation, and MIMO
+// size (m transmitters, n receivers).
+func New(v fpga.Variant, mod constellation.Modulation, m, n int, opts Options) (*Accelerator, error) {
+	design, err := fpga.NewDesign(v, mod, m, n)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Pipelines > 0 {
+		if fit := design.MaxPipelines(); opts.Pipelines > fit {
+			return nil, fmt.Errorf("core: %d pipelines requested but only %d fit on %s",
+				opts.Pipelines, fit, design.Device.Name)
+		}
+		design.Pipelines = opts.Pipelines
+	}
+	cons := constellation.New(mod)
+	sd, err := sphere.New(sphere.Config{
+		Const:           cons,
+		Strategy:        sphere.SortedDFS,
+		UseGEMM:         !opts.ScalarEval,
+		InitialRadiusSq: opts.InitialRadiusSq,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !design.Resources().Fits() {
+		return nil, fmt.Errorf("core: design %s does not fit on %s", design.Name(), design.Device.Name)
+	}
+	return &Accelerator{design: design, sd: sd, cons: cons}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(v fpga.Variant, mod constellation.Modulation, m, n int, opts Options) *Accelerator {
+	a, err := New(v, mod, m, n, opts)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name implements decoder.Decoder.
+func (a *Accelerator) Name() string { return a.design.Name() }
+
+// Design exposes the underlying hardware design.
+func (a *Accelerator) Design() *fpga.Design { return a.design }
+
+// Constellation exposes the symbol alphabet.
+func (a *Accelerator) Constellation() *constellation.Constellation { return a.cons }
+
+// Resources reports the design's FPGA resource utilization (Table I).
+func (a *Accelerator) Resources() fpga.Utilization { return a.design.Resources() }
+
+// Power reports the modeled board power in watts (Table II).
+func (a *Accelerator) Power() float64 { return a.design.Power() }
+
+// Decode implements decoder.Decoder: it detects one received vector,
+// returning the exact sphere-decoder result with its operation trace.
+func (a *Accelerator) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*decoder.Result, error) {
+	if h.Cols != a.design.M || h.Rows != a.design.N {
+		return nil, fmt.Errorf("core: accelerator built for %dx%d, got channel %dx%d",
+			a.design.M, a.design.N, h.Cols, h.Rows)
+	}
+	return a.sd.Decode(h, y, noiseVar)
+}
+
+// BatchInput is one received vector with its channel state.
+type BatchInput struct {
+	H        *cmatrix.Matrix
+	Y        cmatrix.Vector
+	NoiseVar float64
+}
+
+// BatchReport is the outcome of pushing a batch through the accelerator:
+// the decoded vectors plus the simulated hardware behaviour.
+type BatchReport struct {
+	// Results holds one detection per input, in order.
+	Results []*decoder.Result
+	// Counters aggregates the search traces of the whole batch.
+	Counters decoder.Counters
+	// SimulatedTime is the modeled wall time the FPGA pipeline would take
+	// to decode the batch.
+	SimulatedTime time.Duration
+	// Breakdown attributes the simulated cycles to pipeline modules.
+	Breakdown fpga.CycleBreakdown
+	// PowerW and EnergyJ are the modeled power draw and energy for the
+	// batch.
+	PowerW  float64
+	EnergyJ float64
+}
+
+// DecodeBatch decodes a batch of received vectors and produces the hardware
+// report. Inputs must match the accelerator's configuration.
+func (a *Accelerator) DecodeBatch(inputs []BatchInput) (*BatchReport, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	rep := &BatchReport{Results: make([]*decoder.Result, 0, len(inputs))}
+	for i, in := range inputs {
+		res, err := a.Decode(in.H, in.Y, in.NoiseVar)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch element %d: %w", i, err)
+		}
+		rep.Results = append(rep.Results, res)
+		rep.Counters.Add(res.Counters)
+	}
+	w := decoder.Workload{M: a.design.M, N: a.design.N, P: a.cons.Size(), Frames: len(inputs)}
+	dur, breakdown, err := a.design.BatchTime(w, rep.Counters)
+	if err != nil {
+		return nil, err
+	}
+	rep.SimulatedTime = dur
+	rep.Breakdown = breakdown
+	rep.PowerW = a.design.Power()
+	rep.EnergyJ = a.design.Energy(dur.Seconds())
+	return rep, nil
+}
+
+// MeetsRealTime reports whether the simulated batch time satisfies the
+// paper's 10 ms real-time constraint [1].
+func (r *BatchReport) MeetsRealTime() bool {
+	return r.SimulatedTime <= 10*time.Millisecond
+}
+
+// SoftBatchReport extends BatchReport with per-vector bit LLRs.
+type SoftBatchReport struct {
+	BatchReport
+	// LLRs holds one slice per input (antenna-major, MSB-first bits;
+	// positive = bit 0 more likely).
+	LLRs [][]float64
+}
+
+// DecodeBatchSoft decodes a batch with the list sphere decoder (listSize
+// retained candidates per vector), producing max-log LLRs alongside the
+// exact hard decisions, and models the hardware cost of the larger list
+// search through the same pipeline. This is the accelerator configuration a
+// deployment with a downstream channel decoder would synthesize.
+func (a *Accelerator) DecodeBatchSoft(inputs []BatchInput, listSize int) (*SoftBatchReport, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("core: empty batch")
+	}
+	soft, err := sphere.NewSoft(sphere.Config{
+		Const:    a.cons,
+		Strategy: sphere.SortedDFS,
+	}, listSize)
+	if err != nil {
+		return nil, err
+	}
+	rep := &SoftBatchReport{}
+	rep.Results = make([]*decoder.Result, 0, len(inputs))
+	rep.LLRs = make([][]float64, 0, len(inputs))
+	for i, in := range inputs {
+		if in.H.Cols != a.design.M || in.H.Rows != a.design.N {
+			return nil, fmt.Errorf("core: batch element %d: channel %dx%d for a %dx%d accelerator",
+				i, in.H.Cols, in.H.Rows, a.design.M, a.design.N)
+		}
+		res, err := soft.DecodeSoft(in.H, in.Y, in.NoiseVar)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch element %d: %w", i, err)
+		}
+		rep.Results = append(rep.Results, &res.Result)
+		rep.LLRs = append(rep.LLRs, res.LLR)
+		rep.Counters.Add(res.Counters)
+	}
+	w := decoder.Workload{M: a.design.M, N: a.design.N, P: a.cons.Size(), Frames: len(inputs)}
+	dur, breakdown, err := a.design.BatchTime(w, rep.Counters)
+	if err != nil {
+		return nil, err
+	}
+	rep.SimulatedTime = dur
+	rep.Breakdown = breakdown
+	rep.PowerW = a.design.Power()
+	rep.EnergyJ = a.design.Energy(dur.Seconds())
+	return rep, nil
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/fpga"
+	"repro/internal/mimo"
+	"repro/internal/rng"
+)
+
+func cfg4() mimo.Config { return mimo.Config{Tx: 6, Rx: 6, Mod: constellation.QAM4} }
+
+func batchFor(t *testing.T, cfg mimo.Config, snr float64, n int, seed uint64) ([]BatchInput, [][]int) {
+	t.Helper()
+	r := rng.New(seed)
+	inputs := make([]BatchInput, n)
+	sent := make([][]int, n)
+	for i := 0; i < n; i++ {
+		f, err := mimo.GenerateFrame(r, cfg, snr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inputs[i] = BatchInput{H: f.H, Y: f.Y, NoiseVar: f.NoiseVar}
+		sent[i] = f.SymbolIdx
+	}
+	return inputs, sent
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(fpga.Optimized, constellation.QAM4, 0, 4, Options{}); err == nil {
+		t.Error("bad size accepted")
+	}
+	if _, err := New(fpga.Optimized, constellation.QAM4, 6, 6, Options{Pipelines: 1000}); err == nil {
+		t.Error("absurd pipeline count accepted")
+	}
+	// Baseline 64-QAM does not fit the device (URAM explosion).
+	if _, err := New(fpga.Baseline, constellation.QAM64, 10, 10, Options{}); err == nil {
+		t.Error("unfittable design accepted")
+	}
+}
+
+func TestAcceleratorImplementsDecoder(t *testing.T) {
+	var _ decoder.Decoder = MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+}
+
+func TestDecodeMatchesML(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	ml := decoder.NewML(c)
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 4, 4, Options{})
+	r := rng.New(3)
+	cfg := mimo.Config{Tx: 4, Rx: 4, Mod: constellation.QAM4}
+	for trial := 0; trial < 10; trial++ {
+		f, err := mimo.GenerateFrame(r, cfg, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ml.Decode(f.H, f.Y, f.NoiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := acc.Decode(f.H, f.Y, f.NoiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Metric-want.Metric) > 1e-6*(1+want.Metric) {
+			t.Fatalf("trial %d: accelerator %v, ML %v", trial, got.Metric, want.Metric)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongShape(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	inputs, _ := batchFor(t, mimo.Config{Tx: 4, Rx: 4, Mod: constellation.QAM4}, 10, 1, 1)
+	if _, err := acc.Decode(inputs[0].H, inputs[0].Y, inputs[0].NoiseVar); err == nil {
+		t.Fatal("wrong channel shape accepted")
+	}
+}
+
+func TestDecodeBatchReport(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{ScalarEval: true})
+	inputs, sent := batchFor(t, cfg4(), 14, 40, 7)
+	rep, err := acc.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 40 {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+	if rep.SimulatedTime <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if rep.Breakdown.Total() <= 0 {
+		t.Fatal("no cycle breakdown")
+	}
+	if rep.PowerW <= 0 || rep.EnergyJ <= 0 {
+		t.Fatal("no power/energy")
+	}
+	if got := rep.EnergyJ / rep.SimulatedTime.Seconds(); math.Abs(got-rep.PowerW) > 1e-9 {
+		t.Fatal("energy != power × time")
+	}
+	// High SNR: decodes should be error-free.
+	errs := 0
+	for i, res := range rep.Results {
+		for j := range sent[i] {
+			if res.SymbolIdx[j] != sent[i][j] {
+				errs++
+			}
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("%d symbol errors at 14 dB over 40 frames", errs)
+	}
+}
+
+func TestDecodeBatchEmpty(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	if _, err := acc.DecodeBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+func TestScalarAndGEMMIdenticalDecodes(t *testing.T) {
+	gemm := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	scalar := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{ScalarEval: true})
+	inputs, _ := batchFor(t, cfg4(), 6, 20, 9)
+	rg, err := gemm.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := scalar.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rg.Results {
+		for j := range rg.Results[i].SymbolIdx {
+			if rg.Results[i].SymbolIdx[j] != rs.Results[i].SymbolIdx[j] {
+				t.Fatalf("frame %d: GEMM and scalar decodes differ", i)
+			}
+		}
+	}
+	// Same traversal => same node counts => same simulated hardware time.
+	if rg.Counters.NodesExpanded != rs.Counters.NodesExpanded {
+		t.Fatal("node counts differ between evaluation paths")
+	}
+	if rg.SimulatedTime != rs.SimulatedTime {
+		t.Fatal("simulated time differs between evaluation paths")
+	}
+}
+
+func TestOptimizedFasterThanBaseline(t *testing.T) {
+	opt := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{ScalarEval: true})
+	base := MustNew(fpga.Baseline, constellation.QAM4, 6, 6, Options{ScalarEval: true})
+	inputs, _ := batchFor(t, cfg4(), 8, 30, 11)
+	ro, err := opt.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := base.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.SimulatedTime <= ro.SimulatedTime {
+		t.Fatalf("baseline (%v) not slower than optimized (%v)", rb.SimulatedTime, ro.SimulatedTime)
+	}
+	// Identical searches: the BER-preservation claim.
+	for i := range ro.Results {
+		for j := range ro.Results[i].SymbolIdx {
+			if ro.Results[i].SymbolIdx[j] != rb.Results[i].SymbolIdx[j] {
+				t.Fatal("baseline and optimized decoded different symbols")
+			}
+		}
+	}
+}
+
+func TestTwoPipelines(t *testing.T) {
+	one := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{ScalarEval: true})
+	two := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{ScalarEval: true, Pipelines: 2})
+	inputs, _ := batchFor(t, cfg4(), 6, 50, 13)
+	r1, err := one.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := two.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.SimulatedTime >= r1.SimulatedTime {
+		t.Fatalf("second pipeline did not help: %v vs %v", r2.SimulatedTime, r1.SimulatedTime)
+	}
+}
+
+func TestResourcesAndPowerExposed(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM16, 10, 10, Options{})
+	u := acc.Resources()
+	if !u.Fits() {
+		t.Fatal("reported non-fitting design")
+	}
+	if acc.Power() <= 0 {
+		t.Fatal("no power")
+	}
+	if acc.Name() == "" || acc.Design() == nil || acc.Constellation() == nil {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestDecodeBatchSoft(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	inputs, _ := batchFor(t, cfg4(), 10, 20, 15)
+	hard, err := acc.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := acc.DecodeBatchSoft(inputs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(soft.Results) != 20 || len(soft.LLRs) != 20 {
+		t.Fatalf("lengths %d/%d", len(soft.Results), len(soft.LLRs))
+	}
+	for i := range soft.Results {
+		if len(soft.LLRs[i]) != 12 { // 6 antennas × 2 bits
+			t.Fatalf("LLR length %d", len(soft.LLRs[i]))
+		}
+		// Hard decisions must agree with the plain batch (both exact).
+		for j := range soft.Results[i].SymbolIdx {
+			if soft.Results[i].SymbolIdx[j] != hard.Results[i].SymbolIdx[j] {
+				t.Fatalf("frame %d: soft hard-decision differs", i)
+			}
+		}
+	}
+	// The list search does at least as much work, so it cannot be faster.
+	if soft.SimulatedTime < hard.SimulatedTime {
+		t.Fatalf("soft batch (%v) faster than hard (%v)", soft.SimulatedTime, hard.SimulatedTime)
+	}
+	if _, err := acc.DecodeBatchSoft(nil, 8); err == nil {
+		t.Error("empty soft batch accepted")
+	}
+	if _, err := acc.DecodeBatchSoft(inputs, 0); err == nil {
+		t.Error("list size 0 accepted")
+	}
+}
+
+func TestMeetsRealTime(t *testing.T) {
+	r := &BatchReport{SimulatedTime: 9_000_000} // 9 ms
+	if !r.MeetsRealTime() {
+		t.Fatal("9 ms should meet the 10 ms bound")
+	}
+	r.SimulatedTime = 11_000_000
+	if r.MeetsRealTime() {
+		t.Fatal("11 ms should not meet the bound")
+	}
+}

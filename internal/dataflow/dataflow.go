@@ -1,0 +1,188 @@
+// Package dataflow is a cycle-driven simulator for linear hardware
+// pipelines: a chain of stages, each with an initiation interval (II) and a
+// latency, processing bursts of tokens subject to inter-burst dependencies.
+//
+// It exists to cross-validate the closed-form FPGA timing model in
+// internal/fpga: that model asserts per-expansion cycle costs; this
+// simulator derives them by actually streaming every child-evaluation token
+// of a recorded sphere-decoder search through the Fig. 4 pipeline
+// (branch → prefetch → GEMM → NORM → sort → prune) and timing the result.
+// The two are required by tests to agree within a modeling tolerance, which
+// guards both against drift.
+//
+// The simulator is generic: stages and jobs are plain data, so other
+// pipelines (e.g. a multi-pipeline replication study) can reuse it.
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+)
+
+// StageSpec describes one pipeline module.
+type StageSpec struct {
+	// Name identifies the stage in reports.
+	Name string
+	// II is the default initiation interval: the minimum number of cycles
+	// between accepting successive tokens. II = 0 means the stage is
+	// transparent (II 1, latency 0 — useful for disabled modules).
+	II int
+	// Latency is the number of cycles from accepting a token to emitting
+	// it to the next stage.
+	Latency int
+}
+
+// Job is one burst of tokens pushed through the pipeline — for the sphere
+// decoder, the |Ω| children of one node expansion.
+type Job struct {
+	// Tokens is the burst size (must be >= 1).
+	Tokens int
+	// StageII optionally overrides a stage's II for this job's tokens,
+	// keyed by stage name. This is how data-dependent costs enter: e.g.
+	// the prefetch stage's per-token cost grows with the node's tree depth.
+	StageII map[string]int
+	// Serial marks the job as dependent on full completion of the previous
+	// job (the DFS pop-after-sort dependency): its first token cannot enter
+	// stage 0 before the previous job's last token leaves the final stage.
+	Serial bool
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	// TotalCycles is the cycle at which the last token leaves the last
+	// stage.
+	TotalCycles int64
+	// Tokens is the number of tokens processed.
+	Tokens int64
+	// BusyCycles counts, per stage, the cycles the stage spent initiating
+	// tokens (II charged per token). BusyCycles[i] / TotalCycles is the
+	// stage's utilization.
+	BusyCycles []int64
+	// StallCycles counts, per stage, cycles tokens spent waiting to enter
+	// the stage after becoming ready (upstream-done but blocked by II).
+	StallCycles []int64
+	// Stages echoes the stage names in order.
+	Stages []string
+}
+
+// Utilization returns BusyCycles[i]/TotalCycles for each stage.
+func (r *Result) Utilization() []float64 {
+	out := make([]float64, len(r.BusyCycles))
+	if r.TotalCycles == 0 {
+		return out
+	}
+	for i, b := range r.BusyCycles {
+		out[i] = float64(b) / float64(r.TotalCycles)
+	}
+	return out
+}
+
+// String renders a compact utilization summary.
+func (r *Result) String() string {
+	s := fmt.Sprintf("%d cycles, %d tokens", r.TotalCycles, r.Tokens)
+	for i, name := range r.Stages {
+		s += fmt.Sprintf(" | %s %.0f%%", name, r.Utilization()[i]*100)
+	}
+	return s
+}
+
+// Errors.
+var (
+	ErrNoStages = errors.New("dataflow: pipeline has no stages")
+	ErrBadJob   = errors.New("dataflow: job must have at least one token")
+)
+
+// Simulate streams jobs through the stage chain and returns the timing.
+//
+// Timing recurrence per token k and stage s (classic pipelined dataflow):
+//
+//	enter(k, s) = max(enter(k-1, s) + II(s), exit(k, s-1))
+//	exit(k, s)  = enter(k, s) + latency(s)
+//
+// with Serial jobs additionally constrained by the previous job's final
+// exit. Stages are assumed to have enough buffering that backpressure never
+// propagates (single-token skid buffers suffice for these II patterns).
+func Simulate(stages []StageSpec, jobs []Job) (*Result, error) {
+	if len(stages) == 0 {
+		return nil, ErrNoStages
+	}
+	n := len(stages)
+	res := &Result{
+		BusyCycles:  make([]int64, n),
+		StallCycles: make([]int64, n),
+		Stages:      make([]string, n),
+	}
+	for i, st := range stages {
+		res.Stages[i] = st.Name
+	}
+
+	// lastEnter[s] is the enter time of the most recent token at stage s.
+	lastEnter := make([]int64, n)
+	for i := range lastEnter {
+		lastEnter[i] = -1 << 62
+	}
+	var prevJobDone int64 // exit time of the previous job's last token
+	var lastExit int64
+
+	for ji, job := range jobs {
+		if job.Tokens < 1 {
+			return nil, fmt.Errorf("%w (job %d)", ErrBadJob, ji)
+		}
+		// Effective per-stage II for this job.
+		ii := make([]int64, n)
+		lat := make([]int64, n)
+		for s, st := range stages {
+			v := st.II
+			if job.StageII != nil {
+				if o, ok := job.StageII[st.Name]; ok {
+					v = o
+				}
+			}
+			if v < 1 {
+				v = 1
+			}
+			ii[s] = int64(v)
+			l := st.Latency
+			if l < 0 {
+				l = 0
+			}
+			lat[s] = int64(l)
+		}
+
+		for t := 0; t < job.Tokens; t++ {
+			var upstreamExit int64
+			if t == 0 && job.Serial {
+				upstreamExit = prevJobDone
+			}
+			for s := 0; s < n; s++ {
+				ready := upstreamExit
+				earliest := lastEnter[s] + ii[s]
+				enter := ready
+				if earliest > enter {
+					enter = earliest
+				}
+				// Stage 0's upstream is the token source, which issues on
+				// demand — waiting there is pacing, not a stall.
+				if enter > ready && s > 0 {
+					res.StallCycles[s] += enter - ready
+				}
+				lastEnter[s] = enter
+				res.BusyCycles[s] += ii[s]
+				upstreamExit = enter + lat[s]
+			}
+			lastExit = upstreamExit
+			res.Tokens++
+		}
+		prevJobDone = lastExit
+	}
+	res.TotalCycles = lastExit
+	// BusyCycles charges a full II per initiation; the final initiation's
+	// interval extends past the simulation horizon, so clamp occupancy to
+	// the horizon to keep utilization within [0, 1].
+	for i := range res.BusyCycles {
+		if res.BusyCycles[i] > res.TotalCycles {
+			res.BusyCycles[i] = res.TotalCycles
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,306 @@
+package decoder
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/rng"
+)
+
+// makeInstance builds a random MIMO transmission and returns the pieces a
+// decoder needs plus the true symbol indices.
+func makeInstance(r *rng.Rand, c *constellation.Constellation, n, m int, snrDB float64) (*cmatrix.Matrix, cmatrix.Vector, float64, []int) {
+	h := channel.Rayleigh(r, n, m)
+	idx := make([]int, m)
+	s := make(cmatrix.Vector, m)
+	for i := range idx {
+		idx[i] = r.Intn(c.Size())
+		s[i] = c.Symbol(idx[i])
+	}
+	noiseVar := channel.NoiseVariance(channel.PerTransmitSymbol, snrDB, m)
+	y := channel.Transmit(r, h, s, noiseVar)
+	return h, y, noiseVar, idx
+}
+
+func symbolErrors(got, want []int) int {
+	e := 0
+	for i := range want {
+		if got[i] != want[i] {
+			e++
+		}
+	}
+	return e
+}
+
+func TestLinearDecodersRecoverNoiseless(t *testing.T) {
+	r := rng.New(1)
+	for _, mod := range []constellation.Modulation{constellation.QAM4, constellation.QAM16} {
+		c := constellation.New(mod)
+		for _, d := range []Decoder{NewZF(c), NewMMSE(c), NewML(c)} {
+			h, y, _, idx := makeInstance(r, c, 6, 3, 1000) // effectively noiseless
+			res, err := d.Decode(h, y, 1e-9)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", d.Name(), mod, err)
+			}
+			if e := symbolErrors(res.SymbolIdx, idx); e != 0 {
+				t.Errorf("%s/%v: %d symbol errors in noiseless decode", d.Name(), mod, e)
+			}
+		}
+	}
+}
+
+func TestMRCRecoversSingleStream(t *testing.T) {
+	// MRC ignores interference, so only test M=1 where it is optimal.
+	r := rng.New(2)
+	c := constellation.New(constellation.QAM16)
+	d := NewMRC(c)
+	for trial := 0; trial < 50; trial++ {
+		h, y, nv, idx := makeInstance(r, c, 4, 1, 30)
+		res, err := d.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SymbolIdx[0] != idx[0] {
+			t.Errorf("trial %d: MRC got %d want %d", trial, res.SymbolIdx[0], idx[0])
+		}
+	}
+}
+
+func TestMLIsOptimal(t *testing.T) {
+	// ML's metric must be <= any other decoder's metric on the same instance.
+	r := rng.New(3)
+	c := constellation.New(constellation.QAM4)
+	ml := NewML(c)
+	others := []Decoder{NewZF(c), NewMMSE(c), NewMRC(c)}
+	for trial := 0; trial < 25; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 4, 3, 8)
+		mlRes, err := ml.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range others {
+			res, err := d.Decode(h, y, nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mlRes.Metric > res.Metric+1e-9 {
+				t.Errorf("trial %d: ML metric %v > %s metric %v",
+					trial, mlRes.Metric, d.Name(), res.Metric)
+			}
+		}
+	}
+}
+
+func TestMLMatchesBruteForceBPSK(t *testing.T) {
+	// Hand-checkable scenario: 2x2 BPSK, enumerate all 4 candidates here
+	// and compare with the decoder.
+	r := rng.New(4)
+	c := constellation.New(constellation.BPSK)
+	ml := NewML(c)
+	for trial := 0; trial < 40; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 2, 2, 6)
+		res, err := ml.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestMetric := math.Inf(1)
+		var best [2]int
+		for a := 0; a < 2; a++ {
+			for b := 0; b < 2; b++ {
+				s := cmatrix.Vector{c.Symbol(a), c.Symbol(b)}
+				m := cmatrix.Norm2Sq(cmatrix.VecSub(y, cmatrix.MulVec(h, s)))
+				if m < bestMetric {
+					bestMetric = m
+					best = [2]int{a, b}
+				}
+			}
+		}
+		if res.SymbolIdx[0] != best[0] || res.SymbolIdx[1] != best[1] {
+			t.Fatalf("trial %d: ML %v, brute force %v", trial, res.SymbolIdx, best)
+		}
+		if math.Abs(res.Metric-bestMetric) > 1e-9 {
+			t.Fatalf("trial %d: metric %v vs %v", trial, res.Metric, bestMetric)
+		}
+	}
+}
+
+func TestMLSearchSpaceLimit(t *testing.T) {
+	c := constellation.New(constellation.QAM16)
+	ml := NewML(c)
+	ml.MaxCandidates = 1000
+	h := channel.Rayleigh(rng.New(5), 10, 10)
+	y := make(cmatrix.Vector, 10)
+	if _, err := ml.Decode(h, y, 0.1); err == nil {
+		t.Fatal("oversized ML search accepted")
+	}
+}
+
+func TestDimensionChecks(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	decoders := []Decoder{NewZF(c), NewMMSE(c), NewMRC(c), NewML(c)}
+	h := cmatrix.NewMatrix(4, 4)
+	for i := range h.Data {
+		h.Data[i] = 1
+	}
+	badY := make(cmatrix.Vector, 3)
+	for _, d := range decoders {
+		if _, err := d.Decode(h, badY, 0.1); !errors.Is(err, ErrDimension) {
+			t.Errorf("%s: err = %v, want ErrDimension", d.Name(), err)
+		}
+	}
+	// Underdetermined: more transmitters than receivers.
+	wide := cmatrix.NewMatrix(2, 4)
+	y2 := make(cmatrix.Vector, 2)
+	for _, d := range decoders {
+		if _, err := d.Decode(wide, y2, 0.1); !errors.Is(err, ErrDimension) {
+			t.Errorf("%s (wide): err = %v, want ErrDimension", d.Name(), err)
+		}
+	}
+}
+
+func TestZFSingularChannel(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	h := cmatrix.FromSlice(3, 2, []complex128{1, 1, 2, 2, 3, 3}) // rank 1
+	y := cmatrix.Vector{1, 2, 3}
+	if _, err := NewZF(c).Decode(h, y, 0.1); err == nil {
+		t.Fatal("ZF accepted a singular channel")
+	}
+}
+
+func TestMMSEHandlesSingularChannelWithNoise(t *testing.T) {
+	// MMSE regularizes with σ²I, so a rank-deficient H is fine when σ² > 0.
+	c := constellation.New(constellation.QAM4)
+	h := cmatrix.FromSlice(3, 2, []complex128{1, 1, 2, 2, 3, 3})
+	y := cmatrix.Vector{1, 2, 3}
+	if _, err := NewMMSE(c).Decode(h, y, 0.5); err != nil {
+		t.Fatalf("MMSE failed on regularizable channel: %v", err)
+	}
+}
+
+func TestMMSERejectsNegativeNoise(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	h := channel.Rayleigh(rng.New(6), 3, 2)
+	y := make(cmatrix.Vector, 3)
+	if _, err := NewMMSE(c).Decode(h, y, -1); err == nil {
+		t.Fatal("negative noise variance accepted")
+	}
+}
+
+func TestMRCZeroColumn(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	h := cmatrix.NewMatrix(3, 2)
+	h.Set(0, 0, 1) // column 1 is all zero
+	y := cmatrix.Vector{1, 0, 0}
+	if _, err := NewMRC(c).Decode(h, y, 0.1); err == nil {
+		t.Fatal("MRC accepted zero column")
+	}
+}
+
+func TestResultMetricConsistency(t *testing.T) {
+	// The reported metric must equal ‖y − H·ŝ‖² recomputed from the result.
+	r := rng.New(7)
+	c := constellation.New(constellation.QAM16)
+	for _, d := range []Decoder{NewZF(c), NewMMSE(c), NewMRC(c)} {
+		h, y, nv, _ := makeInstance(r, c, 5, 3, 10)
+		res, err := d.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cmatrix.Norm2Sq(cmatrix.VecSub(y, cmatrix.MulVec(h, res.Symbols)))
+		if math.Abs(res.Metric-want) > 1e-9 {
+			t.Errorf("%s: metric %v, recomputed %v", d.Name(), res.Metric, want)
+		}
+		for i, id := range res.SymbolIdx {
+			if res.Symbols[i] != c.Symbol(id) {
+				t.Errorf("%s: Symbols[%d] inconsistent with SymbolIdx", d.Name(), i)
+			}
+		}
+	}
+}
+
+func TestMMSEBeatsZFAtLowSNR(t *testing.T) {
+	// Statistical regression: over many noisy instances, MMSE's symbol
+	// error count should not exceed ZF's by more than noise wiggle.
+	r := rng.New(8)
+	c := constellation.New(constellation.QAM4)
+	zf, mmse := NewZF(c), NewMMSE(c)
+	var zfErr, mmseErr int
+	for trial := 0; trial < 400; trial++ {
+		h, y, nv, idx := makeInstance(r, c, 6, 6, 6)
+		rz, err := zf.Decode(h, y, nv)
+		if err != nil {
+			continue // singular draws are skipped for both
+		}
+		rm, err := mmse.Decode(h, y, nv)
+		if err != nil {
+			continue
+		}
+		zfErr += symbolErrors(rz.SymbolIdx, idx)
+		mmseErr += symbolErrors(rm.SymbolIdx, idx)
+	}
+	if mmseErr > zfErr+zfErr/10+10 {
+		t.Fatalf("MMSE (%d errors) much worse than ZF (%d errors)", mmseErr, zfErr)
+	}
+}
+
+func TestCountersPopulated(t *testing.T) {
+	r := rng.New(9)
+	c := constellation.New(constellation.QAM4)
+	for _, d := range []Decoder{NewZF(c), NewMMSE(c), NewMRC(c), NewML(c)} {
+		h, y, nv, _ := makeInstance(r, c, 4, 3, 10)
+		res, err := d.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.TotalFlops() <= 0 {
+			t.Errorf("%s: no flops recorded", d.Name())
+		}
+		if res.Counters.RegularLoads <= 0 {
+			t.Errorf("%s: no memory traffic recorded", d.Name())
+		}
+	}
+}
+
+func TestMLCountsLeaves(t *testing.T) {
+	r := rng.New(10)
+	c := constellation.New(constellation.QAM4)
+	h, y, nv, _ := makeInstance(r, c, 3, 3, 10)
+	res, err := NewML(c).Decode(h, y, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.LeavesReached != 64 { // 4^3
+		t.Fatalf("ML visited %d leaves, want 64", res.Counters.LeavesReached)
+	}
+	if res.Counters.RadiusUpdates < 1 {
+		t.Fatal("ML recorded no improving candidates")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{NodesExpanded: 1, GEMMFlops: 10, MaxListLen: 5}
+	b := Counters{NodesExpanded: 2, GEMMFlops: 20, MaxListLen: 3, CompareOps: 7}
+	a.Add(b)
+	if a.NodesExpanded != 3 || a.GEMMFlops != 30 || a.CompareOps != 7 {
+		t.Fatalf("Add result: %+v", a)
+	}
+	if a.MaxListLen != 5 {
+		t.Fatalf("MaxListLen should keep the max, got %d", a.MaxListLen)
+	}
+}
+
+func TestDecoderNames(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	want := map[Decoder]string{
+		NewZF(c): "ZF", NewMMSE(c): "MMSE", NewMRC(c): "MRC", NewML(c): "ML",
+	}
+	for d, name := range want {
+		if d.Name() != name {
+			t.Errorf("Name() = %q, want %q", d.Name(), name)
+		}
+	}
+}

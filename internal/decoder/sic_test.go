@@ -1,0 +1,102 @@
+package decoder
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/rng"
+)
+
+func TestSICRecoversNoiseless(t *testing.T) {
+	r := rng.New(61)
+	for _, mod := range []constellation.Modulation{constellation.QAM4, constellation.QAM16} {
+		c := constellation.New(mod)
+		d := NewSIC(c)
+		for trial := 0; trial < 20; trial++ {
+			h, y, _, idx := makeInstance(r, c, 5, 4, 300)
+			res, err := d.Decode(h, y, 1e-9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range idx {
+				if res.SymbolIdx[i] != idx[i] {
+					t.Fatalf("%v trial %d antenna %d: %d vs %d", mod, trial, i, res.SymbolIdx[i], idx[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSICBetweenMMSEAndML(t *testing.T) {
+	// The whole point of V-BLAST: better than plain MMSE at moderate SNR.
+	r := rng.New(62)
+	c := constellation.New(constellation.QAM4)
+	sic := NewSIC(c)
+	mmse := NewMMSE(c)
+	ml := NewML(c)
+	var sicErr, mmseErr, mlErr int
+	for trial := 0; trial < 500; trial++ {
+		h, y, nv, idx := makeInstance(r, c, 6, 6, 8)
+		rs, err := sic.Decode(h, y, nv)
+		if err != nil {
+			continue
+		}
+		rm, err := mmse.Decode(h, y, nv)
+		if err != nil {
+			continue
+		}
+		rml, err := ml.Decode(h, y, nv)
+		if err != nil {
+			continue
+		}
+		sicErr += symbolErrors(rs.SymbolIdx, idx)
+		mmseErr += symbolErrors(rm.SymbolIdx, idx)
+		mlErr += symbolErrors(rml.SymbolIdx, idx)
+	}
+	if sicErr >= mmseErr {
+		t.Fatalf("SIC (%d errors) not better than MMSE (%d)", sicErr, mmseErr)
+	}
+	if mlErr > sicErr {
+		// ML is optimal; SIC must not beat it (statistically).
+		if sicErr < mlErr*9/10 {
+			t.Fatalf("SIC (%d errors) implausibly beats ML (%d)", sicErr, mlErr)
+		}
+	}
+}
+
+func TestSICMetricConsistency(t *testing.T) {
+	r := rng.New(63)
+	c := constellation.New(constellation.QAM16)
+	d := NewSIC(c)
+	for trial := 0; trial < 10; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 6, 4, 12)
+		res, err := d.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cmatrix.Norm2Sq(cmatrix.VecSub(y, cmatrix.MulVec(h, res.Symbols)))
+		if math.Abs(res.Metric-want) > 1e-9*(1+want) {
+			t.Fatalf("metric %v, residual %v", res.Metric, want)
+		}
+		if res.Counters.TotalFlops() <= 0 {
+			t.Fatal("no work recorded")
+		}
+	}
+}
+
+func TestSICValidation(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	d := NewSIC(c)
+	h, y, _, _ := makeInstance(rng.New(64), c, 4, 4, 10)
+	if _, err := d.Decode(h, y[:3], 0.1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := d.Decode(h, y, -1); err == nil {
+		t.Error("negative noise variance accepted")
+	}
+	if d.Name() != "SIC" {
+		t.Errorf("name %q", d.Name())
+	}
+}

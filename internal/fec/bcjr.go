@@ -1,0 +1,167 @@
+package fec
+
+import (
+	"fmt"
+	"math"
+)
+
+// BCJRResult is the soft output of maximum-a-posteriori decoding.
+type BCJRResult struct {
+	// Msg is the hard decision per message bit.
+	Msg []int
+	// APP holds the a-posteriori LLR per message bit (positive = bit 0),
+	// the confidence a concatenated outer stage would consume.
+	APP []float64
+}
+
+// DecodeBCJR runs max-log BCJR (MAP) decoding over per-coded-bit channel
+// LLRs, optionally combined with a-priori message-bit LLRs (nil for none).
+// Where Viterbi returns only the ML path, BCJR returns per-bit posteriors —
+// the soft output that serial concatenation and iterative
+// detection-decoding schemes require. In the max-log approximation the hard
+// decisions coincide with Viterbi's on a terminated trellis.
+func (c *ConvCode) DecodeBCJR(llr []float64, prior []float64) (*BCJRResult, error) {
+	n := len(c.Polys)
+	if len(llr)%n != 0 {
+		return nil, fmt.Errorf("%w: %d bits, rate 1/%d", ErrCodedLength, len(llr), n)
+	}
+	steps := len(llr) / n
+	msgLen := steps - (c.K - 1)
+	if msgLen < 0 {
+		return nil, fmt.Errorf("%w: shorter than the tail", ErrCodedLength)
+	}
+	if prior != nil && len(prior) != msgLen {
+		return nil, fmt.Errorf("fec: %d priors for %d message bits", len(prior), msgLen)
+	}
+	S := c.states()
+	stateMask := uint32(S - 1)
+	const negInf = -math.MaxFloat64 / 4
+
+	// Branch tables (as in Viterbi).
+	type branch struct {
+		next uint32
+		out  uint32
+	}
+	br := make([][2]branch, S)
+	for s := 0; s < S; s++ {
+		for b := 0; b < 2; b++ {
+			full := uint32(s)<<1 | uint32(b)
+			var o uint32
+			for j, p := range c.Polys {
+				o |= uint32(onesParity(full&p)) << j
+			}
+			br[s][b] = branch{next: full & stateMask, out: o}
+		}
+	}
+
+	// Branch metric: correlation form, γ = Σ_j ½·l_j·(1−2e_j) plus the
+	// a-priori term for the input bit. Higher is better.
+	gamma := func(t, s, b int) float64 {
+		seg := llr[t*n : (t+1)*n]
+		o := br[s][b].out
+		g := 0.0
+		for j := 0; j < n; j++ {
+			e := float64((o >> j) & 1)
+			g += 0.5 * seg[j] * (1 - 2*e)
+		}
+		if prior != nil && t < msgLen {
+			g += 0.5 * prior[t] * (1 - 2*float64(b))
+		}
+		return g
+	}
+
+	// Forward recursion α.
+	alpha := make([][]float64, steps+1)
+	for t := range alpha {
+		alpha[t] = make([]float64, S)
+		for s := range alpha[t] {
+			alpha[t][s] = negInf
+		}
+	}
+	alpha[0][0] = 0
+	for t := 0; t < steps; t++ {
+		maxIn := 2
+		if t >= msgLen {
+			maxIn = 1 // tail forces zero inputs
+		}
+		for s := 0; s < S; s++ {
+			if alpha[t][s] <= negInf/2 {
+				continue
+			}
+			for b := 0; b < maxIn; b++ {
+				ns := br[s][b].next
+				if v := alpha[t][s] + gamma(t, s, b); v > alpha[t+1][ns] {
+					alpha[t+1][ns] = v
+				}
+			}
+		}
+	}
+
+	// Backward recursion β (terminated trellis: end in state 0).
+	beta := make([][]float64, steps+1)
+	for t := range beta {
+		beta[t] = make([]float64, S)
+		for s := range beta[t] {
+			beta[t][s] = negInf
+		}
+	}
+	beta[steps][0] = 0
+	for t := steps - 1; t >= 0; t-- {
+		maxIn := 2
+		if t >= msgLen {
+			maxIn = 1
+		}
+		for s := 0; s < S; s++ {
+			best := negInf
+			for b := 0; b < maxIn; b++ {
+				ns := br[s][b].next
+				if beta[t+1][ns] <= negInf/2 {
+					continue
+				}
+				if v := gamma(t, s, b) + beta[t+1][ns]; v > best {
+					best = v
+				}
+			}
+			beta[t][s] = best
+		}
+	}
+
+	res := &BCJRResult{Msg: make([]int, msgLen), APP: make([]float64, msgLen)}
+	for t := 0; t < msgLen; t++ {
+		best0, best1 := negInf, negInf
+		for s := 0; s < S; s++ {
+			if alpha[t][s] <= negInf/2 {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				ns := br[s][b].next
+				if beta[t+1][ns] <= negInf/2 {
+					continue
+				}
+				v := alpha[t][s] + gamma(t, s, b) + beta[t+1][ns]
+				if b == 0 {
+					if v > best0 {
+						best0 = v
+					}
+				} else if v > best1 {
+					best1 = v
+				}
+			}
+		}
+		res.APP[t] = best0 - best1
+		if res.APP[t] < 0 {
+			res.Msg[t] = 1
+		}
+	}
+	return res, nil
+}
+
+// onesParity returns the parity of the set bits of x.
+func onesParity(x uint32) int {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return int(x & 1)
+}

@@ -1,0 +1,189 @@
+package fec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// noisyLLRs encodes msg and produces channel LLRs with the given confidence,
+// flipping the sign (i.e. corrupting) the listed positions.
+func noisyLLRs(t *testing.T, c *ConvCode, msg []int, confidence float64, flips []int) []float64 {
+	t.Helper()
+	coded, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llr := make([]float64, len(coded))
+	for i, b := range coded {
+		llr[i] = confidence
+		if b == 1 {
+			llr[i] = -confidence
+		}
+	}
+	for _, f := range flips {
+		llr[f] = -llr[f] / 4 // wrong sign, low confidence
+	}
+	return llr
+}
+
+func TestBCJRMatchesViterbiCleanChannel(t *testing.T) {
+	r := rng.New(71)
+	for _, c := range []*ConvCode{code753(), codeK7()} {
+		for trial := 0; trial < 10; trial++ {
+			msg := make([]int, 30)
+			r.Bits(msg)
+			llr := noisyLLRs(t, c, msg, 3, nil)
+			vit, err := c.DecodeSoft(llr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bcjr, err := c.DecodeBCJR(llr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range msg {
+				if vit[i] != msg[i] || bcjr.Msg[i] != msg[i] {
+					t.Fatalf("K=%d trial %d bit %d: viterbi %d bcjr %d want %d",
+						c.K, trial, i, vit[i], bcjr.Msg[i], msg[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBCJRCorrectsErrors(t *testing.T) {
+	r := rng.New(72)
+	c := codeK7()
+	msg := make([]int, 40)
+	r.Bits(msg)
+	llr := noisyLLRs(t, c, msg, 3, []int{6, 7, 20, 55})
+	res, err := c.DecodeBCJR(llr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if res.Msg[i] != msg[i] {
+			t.Fatalf("bit %d not corrected", i)
+		}
+	}
+}
+
+func TestBCJRAPPSignsMatchDecisions(t *testing.T) {
+	r := rng.New(73)
+	c := code753()
+	msg := make([]int, 25)
+	r.Bits(msg)
+	llr := noisyLLRs(t, c, msg, 2, []int{3, 11})
+	res, err := c.DecodeBCJR(llr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, app := range res.APP {
+		if app == 0 {
+			continue
+		}
+		if (app > 0) != (res.Msg[i] == 0) {
+			t.Fatalf("bit %d: APP %v contradicts decision %d", i, app, res.Msg[i])
+		}
+	}
+}
+
+func TestBCJRConfidenceReflectsChannel(t *testing.T) {
+	// Stronger channel LLRs must produce larger average |APP|.
+	r := rng.New(74)
+	c := code753()
+	msg := make([]int, 30)
+	r.Bits(msg)
+	weak, err := c.DecodeBCJR(noisyLLRs(t, c, msg, 0.5, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := c.DecodeBCJR(noisyLLRs(t, c, msg, 5, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanAbs(strong.APP) <= meanAbs(weak.APP) {
+		t.Fatalf("APP confidence did not grow: %v vs %v", meanAbs(weak.APP), meanAbs(strong.APP))
+	}
+}
+
+func meanAbs(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += math.Abs(x)
+	}
+	return s / float64(len(xs))
+}
+
+func TestBCJRPriorsResolveAmbiguity(t *testing.T) {
+	// Erase a message bit's strongest evidence and let a confident prior
+	// decide it: the decoder must follow the prior.
+	c := code753()
+	msg := []int{1, 0, 1, 1, 0, 1, 0, 0}
+	coded, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llr := make([]float64, len(coded))
+	for i, b := range coded {
+		llr[i] = 2
+		if b == 1 {
+			llr[i] = -2
+		}
+	}
+	// Erase all channel evidence for step 3 (both output bits).
+	llr[6], llr[7] = 0, 0
+
+	priorWrong := make([]float64, len(msg))
+	priorWrong[3] = 30 // strongly claim bit 3 == 0 (it is actually 1)
+	res, err := c.DecodeBCJR(llr, priorWrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A strong enough prior on an erased position can flip the decision
+	// only if the code structure permits; at minimum the APP must move
+	// toward the prior relative to no-prior decoding.
+	noPrior, err := c.DecodeBCJR(llr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.APP[3] <= noPrior.APP[3] {
+		t.Fatalf("prior did not move APP: %v -> %v", noPrior.APP[3], res.APP[3])
+	}
+}
+
+func TestBCJRValidation(t *testing.T) {
+	c := code753()
+	if _, err := c.DecodeBCJR([]float64{1}, nil); err == nil {
+		t.Error("ragged LLR length accepted")
+	}
+	if _, err := c.DecodeBCJR([]float64{1, -1}, nil); err == nil {
+		t.Error("shorter-than-tail accepted")
+	}
+	msg := []int{1, 0, 1}
+	coded, _ := c.Encode(msg)
+	llr := make([]float64, len(coded))
+	if _, err := c.DecodeBCJR(llr, []float64{1}); err == nil {
+		t.Error("wrong prior length accepted")
+	}
+}
+
+func TestBCJRAllZeroLLRsStillTerminates(t *testing.T) {
+	// No channel information at all: decisions are arbitrary but the
+	// decoder must return cleanly with zero-ish APPs.
+	c := code753()
+	msg := make([]int, 10)
+	coded, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.DecodeBCJR(make([]float64, len(coded)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Msg) != 10 || len(res.APP) != 10 {
+		t.Fatalf("bad lengths: %d %d", len(res.Msg), len(res.APP))
+	}
+}

@@ -1,0 +1,212 @@
+// Package fec implements a feed-forward convolutional code with hard- and
+// soft-decision Viterbi decoding. It completes the PHY chain around the
+// sphere detector: real systems never run uncoded, and the list sphere
+// decoder's LLR output (sphere.SoftDecoder) only earns its cost when a
+// soft-input channel decoder consumes it. The examples use this package to
+// demonstrate the coded-BER gain of soft over hard detection output.
+package fec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// ConvCode is a rate-1/n feed-forward convolutional code with constraint
+// length K: each input bit produces n output bits from K taps.
+type ConvCode struct {
+	// K is the constraint length (register spans K bits including the
+	// current input).
+	K int
+	// Polys holds the n generator polynomials, one per output bit, with
+	// bit K−1 tapping the current input and bit 0 the oldest register bit.
+	Polys []uint32
+}
+
+// NewConvCode validates and builds a code. The classic rate-1/2 K=3 code is
+// NewConvCode(3, 0b111, 0b101); the industry-standard K=7 code is
+// NewConvCode(7, 0o171, 0o133).
+func NewConvCode(k int, polys ...uint32) (*ConvCode, error) {
+	if k < 2 || k > 16 {
+		return nil, fmt.Errorf("fec: constraint length %d outside [2,16]", k)
+	}
+	if len(polys) < 2 {
+		return nil, fmt.Errorf("fec: need at least 2 generator polynomials, got %d", len(polys))
+	}
+	mask := uint32(1)<<k - 1
+	for i, p := range polys {
+		if p == 0 || p&^mask != 0 {
+			return nil, fmt.Errorf("fec: polynomial %d (%#o) not a nonzero %d-bit tap set", i, p, k)
+		}
+	}
+	return &ConvCode{K: k, Polys: append([]uint32(nil), polys...)}, nil
+}
+
+// MustNewConvCode panics on error.
+func MustNewConvCode(k int, polys ...uint32) *ConvCode {
+	c, err := NewConvCode(k, polys...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Rate returns the code rate numerator and denominator (1, n).
+func (c *ConvCode) Rate() (int, int) { return 1, len(c.Polys) }
+
+// states returns the trellis state count 2^(K−1).
+func (c *ConvCode) states() int { return 1 << (c.K - 1) }
+
+// CodedLen returns the number of coded bits for msgLen message bits,
+// including the K−1 zero tail bits that terminate the trellis.
+func (c *ConvCode) CodedLen(msgLen int) int {
+	return (msgLen + c.K - 1) * len(c.Polys)
+}
+
+// Encode convolves the message with the generators and terminates the
+// trellis with K−1 zero tail bits. Message bits must be 0/1.
+func (c *ConvCode) Encode(msg []int) ([]int, error) {
+	out := make([]int, 0, c.CodedLen(len(msg)))
+	state := uint32(0)
+	emit := func(b int) error {
+		if b != 0 && b != 1 {
+			return fmt.Errorf("fec: message bit %d", b)
+		}
+		full := state<<1 | uint32(b)
+		for _, p := range c.Polys {
+			out = append(out, int(bits.OnesCount32(full&p)&1))
+		}
+		state = full & (uint32(1)<<(c.K-1) - 1)
+		return nil
+	}
+	for _, b := range msg {
+		if err := emit(b); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < c.K-1; i++ {
+		if err := emit(0); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ErrCodedLength reports a coded stream whose length does not match the
+// code's framing.
+var ErrCodedLength = errors.New("fec: coded length does not match the code framing")
+
+// DecodeHard runs hard-decision Viterbi over 0/1 coded bits, returning the
+// message (tail bits stripped).
+func (c *ConvCode) DecodeHard(coded []int) ([]int, error) {
+	llr := make([]float64, len(coded))
+	for i, b := range coded {
+		switch b {
+		case 0:
+			llr[i] = 1
+		case 1:
+			llr[i] = -1
+		default:
+			return nil, fmt.Errorf("fec: coded bit %d", b)
+		}
+	}
+	return c.DecodeSoft(llr)
+}
+
+// DecodeSoft runs soft-decision Viterbi over per-bit LLRs (positive = bit 0
+// more likely, the convention of sphere.SoftDecoder). The branch penalty
+// for hypothesizing a coded bit that contradicts an LLR is its magnitude,
+// the max-log metric.
+func (c *ConvCode) DecodeSoft(llr []float64) ([]int, error) {
+	n := len(c.Polys)
+	if len(llr)%n != 0 {
+		return nil, fmt.Errorf("%w: %d bits, rate 1/%d", ErrCodedLength, len(llr), n)
+	}
+	steps := len(llr) / n
+	msgLen := steps - (c.K - 1)
+	if msgLen < 0 {
+		return nil, fmt.Errorf("%w: shorter than the tail", ErrCodedLength)
+	}
+	S := c.states()
+	stateMask := uint32(S - 1)
+
+	// Precompute branch outputs: outBits[state][input] packs the n output
+	// bits of the transition.
+	outBits := make([][2]uint32, S)
+	nextState := make([][2]uint32, S)
+	for s := 0; s < S; s++ {
+		for b := 0; b < 2; b++ {
+			full := uint32(s)<<1 | uint32(b)
+			var o uint32
+			for j, p := range c.Polys {
+				o |= uint32(bits.OnesCount32(full&p)&1) << j
+			}
+			outBits[s][b] = o
+			nextState[s][b] = full & stateMask
+		}
+	}
+
+	const inf = math.MaxFloat64 / 4
+	metric := make([]float64, S)
+	next := make([]float64, S)
+	for s := 1; s < S; s++ {
+		metric[s] = inf // trellis starts in the zero state
+	}
+	// decisions[t][s] is the input bit that won state s at step t, plus the
+	// predecessor encoded in bit 1..: store prev state and bit.
+	type decision struct {
+		prev uint32
+		bit  uint8
+	}
+	decisions := make([][]decision, steps)
+
+	for t := 0; t < steps; t++ {
+		seg := llr[t*n : (t+1)*n]
+		for s := range next {
+			next[s] = inf
+		}
+		dec := make([]decision, S)
+		for s := 0; s < S; s++ {
+			if metric[s] >= inf {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				if t >= msgLen && b == 1 {
+					continue // tail: only zero inputs allowed
+				}
+				o := outBits[s][b]
+				cost := metric[s]
+				for j := 0; j < n; j++ {
+					hyp := int(o>>j) & 1
+					l := seg[j]
+					// Penalty when the hypothesized bit contradicts the
+					// LLR sign: |l|. Agreeing costs nothing (max-log).
+					if (hyp == 0 && l < 0) || (hyp == 1 && l > 0) {
+						cost += math.Abs(l)
+					}
+				}
+				ns := nextState[s][b]
+				if cost < next[ns] {
+					next[ns] = cost
+					dec[ns] = decision{prev: uint32(s), bit: uint8(b)}
+				}
+			}
+		}
+		decisions[t] = dec
+		metric, next = next, metric
+	}
+
+	// Terminated trellis: trace back from the zero state.
+	if metric[0] >= inf {
+		return nil, errors.New("fec: no surviving path to the zero state")
+	}
+	msg := make([]int, steps)
+	state := uint32(0)
+	for t := steps - 1; t >= 0; t-- {
+		d := decisions[t][state]
+		msg[t] = int(d.bit)
+		state = d.prev
+	}
+	return msg[:msgLen], nil
+}

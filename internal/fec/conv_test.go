@@ -1,0 +1,228 @@
+package fec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func code753() *ConvCode { return MustNewConvCode(3, 0b111, 0b101) }
+func codeK7() *ConvCode  { return MustNewConvCode(7, 0o171, 0o133) }
+
+func TestNewConvCodeValidation(t *testing.T) {
+	if _, err := NewConvCode(1, 0b11, 0b01); err == nil {
+		t.Error("K=1 accepted")
+	}
+	if _, err := NewConvCode(3, 0b111); err == nil {
+		t.Error("single polynomial accepted")
+	}
+	if _, err := NewConvCode(3, 0b111, 0); err == nil {
+		t.Error("zero polynomial accepted")
+	}
+	if _, err := NewConvCode(3, 0b111, 0b1111); err == nil {
+		t.Error("oversized polynomial accepted")
+	}
+	if _, err := NewConvCode(17, 0b11, 0b01); err == nil {
+		t.Error("K=17 accepted")
+	}
+}
+
+func TestKnownEncoding(t *testing.T) {
+	// The (7,5) K=3 code on input 1 0 1 1 (+ 2 tail zeros) is a textbook
+	// example: outputs 11 10 00 01 01 11.
+	c := code753()
+	got, err := c.Encode([]int{1, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 1, 1, 0, 0, 0, 0, 1, 0, 1, 1, 1}
+	if len(got) != len(want) {
+		t.Fatalf("coded length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("encode = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCodedLen(t *testing.T) {
+	c := code753()
+	if got := c.CodedLen(4); got != 12 {
+		t.Fatalf("CodedLen(4) = %d", got)
+	}
+	if k, n := c.Rate(); k != 1 || n != 2 {
+		t.Fatalf("rate %d/%d", k, n)
+	}
+}
+
+func TestEncodeRejectsBadBits(t *testing.T) {
+	if _, err := code753().Encode([]int{0, 2}); err == nil {
+		t.Fatal("bit value 2 accepted")
+	}
+}
+
+func TestRoundTripNoNoise(t *testing.T) {
+	r := rng.New(1)
+	for _, c := range []*ConvCode{code753(), codeK7()} {
+		for trial := 0; trial < 20; trial++ {
+			msg := make([]int, 40)
+			r.Bits(msg)
+			coded, err := c.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.DecodeHard(coded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range msg {
+				if got[i] != msg[i] {
+					t.Fatalf("K=%d trial %d: bit %d flipped", c.K, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCorrectsSingleError(t *testing.T) {
+	// Free distance of (7,5) is 5: any single coded-bit error is corrected.
+	c := code753()
+	r := rng.New(2)
+	msg := make([]int, 30)
+	r.Bits(msg)
+	coded, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := range coded {
+		corrupted := append([]int(nil), coded...)
+		corrupted[pos] ^= 1
+		got, err := c.DecodeHard(corrupted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range msg {
+			if got[i] != msg[i] {
+				t.Fatalf("flip at %d not corrected", pos)
+			}
+		}
+	}
+}
+
+func TestCorrectsDoubleErrorsSpacedApart(t *testing.T) {
+	c := code753()
+	r := rng.New(3)
+	msg := make([]int, 40)
+	r.Bits(msg)
+	coded, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]int(nil), coded...)
+	corrupted[4] ^= 1
+	corrupted[40] ^= 1 // far apart: independent events for the decoder
+	got, err := c.DecodeHard(corrupted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatal("spaced double error not corrected")
+		}
+	}
+}
+
+func TestSoftBeatsHardOnWeakBits(t *testing.T) {
+	// Flip three coded bits but mark them as low-confidence in the LLRs;
+	// soft decoding must recover where the flips would otherwise cluster.
+	c := code753()
+	r := rng.New(4)
+	msg := make([]int, 30)
+	r.Bits(msg)
+	coded, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llr := make([]float64, len(coded))
+	for i, b := range coded {
+		confidence := 4.0
+		llr[i] = confidence
+		if b == 1 {
+			llr[i] = -confidence
+		}
+	}
+	// Corrupt a burst of three adjacent bits with small wrong-signed LLRs.
+	for _, pos := range []int{10, 11, 12} {
+		llr[pos] = -llr[pos] / 8
+	}
+	got, err := c.DecodeSoft(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatalf("soft decode failed at bit %d", i)
+		}
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	c := code753()
+	if _, err := c.DecodeHard([]int{1, 0, 1}); err == nil {
+		t.Error("odd coded length accepted")
+	}
+	if _, err := c.DecodeHard([]int{1, 2}); err == nil {
+		t.Error("bad coded bit accepted")
+	}
+	if _, err := c.DecodeSoft([]float64{1}); err == nil {
+		t.Error("ragged LLR length accepted")
+	}
+	if _, err := c.DecodeSoft([]float64{1, -1}); err == nil {
+		t.Error("shorter-than-tail stream accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	c := codeK7()
+	f := func(seed uint64, lenRaw uint8) bool {
+		r := rng.New(seed)
+		msg := make([]int, int(lenRaw%64)+1)
+		r.Bits(msg)
+		coded, err := c.Encode(msg)
+		if err != nil {
+			return false
+		}
+		got, err := c.DecodeHard(coded)
+		if err != nil {
+			return false
+		}
+		for i := range msg {
+			if got[i] != msg[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkViterbiK7(b *testing.B) {
+	c := codeK7()
+	r := rng.New(1)
+	msg := make([]int, 256)
+	r.Bits(msg)
+	coded, err := c.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeHard(coded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package fpga
+
+import (
+	"fmt"
+
+	"repro/internal/constellation"
+)
+
+// Design describes one synthesized sphere-decoder pipeline: a variant
+// (baseline or optimized) specialized for a modulation (the paper builds a
+// separate design per modulation to strip control logic) and a MIMO size.
+type Design struct {
+	Variant Variant
+	Mod     constellation.Modulation
+	// M, N are the transmit/receive antenna counts the design is sized for.
+	M, N int
+	// Pipelines is the number of replicated decode pipelines. The paper's
+	// resource optimization explicitly targets keeping one pipeline under
+	// 50% so a second can be instantiated (Section III-C4); >1 models that
+	// future-work replication.
+	Pipelines int
+	// Device is the target card.
+	Device DeviceSpec
+}
+
+// NewDesign validates and returns a design with defaults applied
+// (one pipeline on a U280).
+func NewDesign(v Variant, mod constellation.Modulation, m, n int) (*Design, error) {
+	if m <= 0 || n < m {
+		return nil, fmt.Errorf("fpga: invalid MIMO size %dx%d", m, n)
+	}
+	switch mod {
+	case constellation.BPSK, constellation.QAM4, constellation.QAM16, constellation.QAM64:
+	default:
+		return nil, fmt.Errorf("fpga: unknown modulation %v", mod)
+	}
+	if v != Baseline && v != Optimized {
+		return nil, fmt.Errorf("fpga: unknown variant %d", v)
+	}
+	return &Design{Variant: v, Mod: mod, M: m, N: n, Pipelines: 1, Device: U280}, nil
+}
+
+// MustNewDesign is NewDesign that panics on error.
+func MustNewDesign(v Variant, mod constellation.Modulation, m, n int) *Design {
+	d, err := NewDesign(v, mod, m, n)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// P returns the modulation factor |Ω| — the pipeline's branching width.
+func (d *Design) P() int { return constellation.New(d.Mod).Size() }
+
+// Name renders e.g. "FPGA-optimized(4-QAM,10x10)".
+func (d *Design) Name() string {
+	return fmt.Sprintf("FPGA-%s(%v,%dx%d)", d.Variant, d.Mod, d.M, d.N)
+}
+
+// sortStages returns the latency in pipeline stages of a bitonic sorting
+// network over p elements: log₂p·(log₂p+1)/2 compare-exchange stages.
+func sortStages(p int) int {
+	lg := 0
+	for 1<<lg < p {
+		lg++
+	}
+	return lg * (lg + 1) / 2
+}

@@ -1,0 +1,85 @@
+// Package fpga is the hardware substitution at the heart of this
+// reproduction: a cycle-approximate model of the paper's Xilinx Alveo U280
+// sphere-decoder pipeline (Fig. 4). We do not own a U280, so decoding time,
+// resource utilization, and power are produced by models that consume the
+// *real* operation trace of the search (decoder.Counters) rather than by
+// measurement. The models are calibrated against the paper's published
+// numbers — Table I for resources, Table II for power — and their structure
+// follows the architecture the paper describes: a branching unit, a
+// pre-fetching unit with double buffering, a systolic-array GEMM engine with
+// a NORM stage, a bitonic pruning sorter, and the Meta State Table in
+// URAM-backed storage.
+package fpga
+
+// U280 describes the Alveo U280 resource inventory used for utilization
+// percentages (paper Section IV-A and [23]).
+type DeviceSpec struct {
+	Name  string
+	LUTs  int
+	FFs   int
+	DSPs  int
+	BRAMs int // 18 Kb blocks
+	URAMs int // 288 Kb blocks
+	// HBMBandwidthGBs is the aggregate HBM bandwidth available over the 32
+	// pseudo-channels.
+	HBMBandwidthGBs float64
+}
+
+// U280 is the Alveo U280 card hosting the paper's designs.
+var U280 = DeviceSpec{
+	Name:            "Xilinx Alveo U280",
+	LUTs:            1_303_680,
+	FFs:             2_607_360,
+	DSPs:            9_024,
+	BRAMs:           4_032,
+	URAMs:           960,
+	HBMBandwidthGBs: 460,
+}
+
+// U250 is the larger (logic-wise) DDR-based Alveo card: more LUTs/DSPs/URAM
+// but no HBM. Retargeting studies use it to ask how far the paper's designs
+// scale on a bigger fabric — e.g. whether the 16-QAM baseline's URAM
+// pressure relaxes, and how many replicated pipelines fit.
+var U250 = DeviceSpec{
+	Name:            "Xilinx Alveo U250",
+	LUTs:            1_728_000,
+	FFs:             3_456_000,
+	DSPs:            12_288,
+	BRAMs:           5_376,
+	URAMs:           1_280,
+	HBMBandwidthGBs: 77, // DDR4 aggregate; no HBM stacks
+}
+
+// Variant selects between the paper's two implementations.
+type Variant int
+
+const (
+	// Baseline is the direct HLS port of the CPU code (Section IV-C):
+	// generic Vitis BLAS engines, no pre-fetch double buffering, sequential
+	// pruning sort, 253 MHz.
+	Baseline Variant = iota
+	// Optimized applies the Section III-C optimizations: extracted GEMM
+	// engine, pre-fetching unit hiding irregular accesses, per-modulation
+	// control logic, pipelined bitonic sorter, 300 MHz.
+	Optimized
+)
+
+// String names the variant as in Table I.
+func (v Variant) String() string {
+	switch v {
+	case Baseline:
+		return "baseline"
+	case Optimized:
+		return "optimized"
+	default:
+		return "unknown"
+	}
+}
+
+// ClockHz returns the synthesis clock of the variant (Table I).
+func (v Variant) ClockHz() float64 {
+	if v == Optimized {
+		return 300e6
+	}
+	return 253e6
+}

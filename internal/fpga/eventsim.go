@@ -1,0 +1,188 @@
+package fpga
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataflow"
+)
+
+// ExpansionTrace records, in traversal order, the tree depth of every node
+// expansion of a search — the replay input for the event-driven pipeline
+// simulator. Populate it through sphere.Config.OnExpand.
+type ExpansionTrace struct {
+	Depths []int16
+}
+
+// Add records one expansion at the given depth.
+func (t *ExpansionTrace) Add(depth int) {
+	t.Depths = append(t.Depths, int16(depth))
+}
+
+// Len returns the number of recorded expansions.
+func (t *ExpansionTrace) Len() int { return len(t.Depths) }
+
+// Hook returns a callback suitable for sphere.Config.OnExpand.
+func (t *ExpansionTrace) Hook() func(int) {
+	return func(depth int) { t.Add(depth) }
+}
+
+// Stage names of the Fig. 4 pipeline as used by the event simulator.
+const (
+	StageBranch = "branch"
+	StageGather = "gather"
+	StageGEMM   = "gemm"
+	StageNORM   = "norm"
+	StageSort   = "sort"
+	StagePrune  = "prune"
+)
+
+// EventSim replays a recorded search through a cycle-driven dataflow model
+// of the pipeline and returns the simulated batch time plus per-stage
+// occupancy. It is the structural cross-check of the closed-form BatchTime
+// model: BatchTime asserts per-expansion cycle costs; EventSim derives them
+// by streaming every child token through the stage graph.
+//
+// Design mapping (Section III):
+//
+//   - Optimized: expansions flow speculatively — the sorted insertion
+//     returns the best child to the stack top while buffered work keeps the
+//     pipeline full ("minimizing bubbles in the architecture's pipeline"),
+//     so jobs are pipelined, the gather stage is transparent (prefetch
+//     double-buffering), and the GEMM engine initiates one child per cycle
+//     for dot products up to the array depth.
+//   - Baseline: the direct HLS port executes expansions strictly in order
+//     (Serial jobs), pays the un-prefetched gather per path element, and
+//     sorts through a slower comparator network.
+func (d *Design) EventSim(w Workload, trace *ExpansionTrace) (time.Duration, *dataflow.Result, error) {
+	if err := w.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if trace == nil || trace.Len() == 0 {
+		return 0, nil, fmt.Errorf("fpga: empty expansion trace")
+	}
+
+	var stages []dataflow.StageSpec
+	serial := false
+	switch d.Variant {
+	case Optimized:
+		stages = []dataflow.StageSpec{
+			{Name: StageBranch, II: 1, Latency: 1},
+			{Name: StageGather, II: 1, Latency: 1}, // hidden by double buffering
+			{Name: StageGEMM, II: 1, Latency: 4},
+			{Name: StageNORM, II: 1, Latency: 2},
+			{Name: StageSort, II: 1, Latency: sortStages(w.P)},
+			{Name: StagePrune, II: 1, Latency: 1},
+		}
+	case Baseline:
+		stages = []dataflow.StageSpec{
+			{Name: StageBranch, II: 2, Latency: 2},
+			{Name: StageGather, II: 1, Latency: 4}, // II overridden per job
+			{Name: StageGEMM, II: baseEvalRounds, Latency: 6},
+			{Name: StageNORM, II: 1, Latency: 2},
+			{Name: StageSort, II: 2, Latency: sortStages(w.P) * 2},
+			{Name: StagePrune, II: 1, Latency: 1},
+		}
+		serial = true
+	default:
+		return 0, nil, fmt.Errorf("fpga: unknown variant %d", d.Variant)
+	}
+
+	depthLanes := optDepthLanes
+	if d.Variant == Baseline {
+		depthLanes = baseDepthLanes
+	}
+
+	jobs := make([]dataflow.Job, 0, trace.Len())
+	for _, depth := range trace.Depths {
+		dotDepth := int(depth) + 1 // children evaluate a (depth+1)-deep dot product
+		job := dataflow.Job{Tokens: w.P, Serial: serial}
+		override := map[string]int{}
+		if rounds := 1 + (dotDepth-1)/depthLanes; rounds > 1 {
+			override[StageGEMM] = rounds * stageII(stages, StageGEMM)
+		}
+		if d.Variant == Baseline && depth > 0 {
+			// Un-prefetched path gather: gatherCyclesPerLoad per path
+			// element, spread over the P child tokens.
+			per := (int(depth)*gatherCyclesPerLoad + w.P - 1) / w.P
+			if per > 1 {
+				override[StageGather] = per
+			}
+		}
+		if len(override) > 0 {
+			job.StageII = override
+		}
+		jobs = append(jobs, job)
+	}
+
+	res, err := dataflow.Simulate(stages, jobs)
+	if err != nil {
+		return 0, nil, err
+	}
+	cycles := res.TotalCycles + int64(w.Frames)*fillCyclesPerFrame
+	seconds := float64(cycles) / d.Variant.ClockHz()
+	return time.Duration(seconds * float64(time.Second)), res, nil
+}
+
+// EventSimMulti replays per-frame traces over several replicated pipelines
+// under a given frame→pipeline assignment (e.g. from ScheduleFrames) and
+// returns the makespan — the event-level counterpart of the scheduler's
+// cycle arithmetic. traces[i] is frame i's expansion trace; assignment[i]
+// its pipeline. The per-pipeline times also come back for imbalance
+// inspection.
+func (d *Design) EventSimMulti(w Workload, traces []*ExpansionTrace, assignment []int, pipelines int) (time.Duration, []time.Duration, error) {
+	if err := w.Validate(); err != nil {
+		return 0, nil, err
+	}
+	if pipelines < 1 {
+		return 0, nil, fmt.Errorf("fpga: need at least one pipeline")
+	}
+	if len(traces) != len(assignment) {
+		return 0, nil, fmt.Errorf("fpga: %d traces vs %d assignments", len(traces), len(assignment))
+	}
+	// Concatenate each pipeline's assigned traces and simulate them
+	// independently (replicated pipelines share nothing but the ingress).
+	merged := make([]*ExpansionTrace, pipelines)
+	frameCounts := make([]int, pipelines)
+	for i, tr := range traces {
+		p := assignment[i]
+		if p < 0 || p >= pipelines {
+			return 0, nil, fmt.Errorf("fpga: frame %d assigned to pipeline %d of %d", i, p, pipelines)
+		}
+		if merged[p] == nil {
+			merged[p] = &ExpansionTrace{}
+		}
+		merged[p].Depths = append(merged[p].Depths, tr.Depths...)
+		frameCounts[p]++
+	}
+	perPipe := make([]time.Duration, pipelines)
+	var makespan time.Duration
+	for p := 0; p < pipelines; p++ {
+		if merged[p] == nil || merged[p].Len() == 0 {
+			continue
+		}
+		wp := w
+		wp.Frames = frameCounts[p]
+		dur, _, err := d.EventSim(wp, merged[p])
+		if err != nil {
+			return 0, nil, err
+		}
+		perPipe[p] = dur
+		if dur > makespan {
+			makespan = dur
+		}
+	}
+	return makespan, perPipe, nil
+}
+
+func stageII(stages []dataflow.StageSpec, name string) int {
+	for _, s := range stages {
+		if s.Name == name {
+			if s.II < 1 {
+				return 1
+			}
+			return s.II
+		}
+	}
+	return 1
+}

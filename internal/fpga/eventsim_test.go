@@ -1,0 +1,233 @@
+package fpga
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/rng"
+	"repro/internal/sphere"
+)
+
+// tracedRun decodes a batch with the sorted-DFS decoder, recording both the
+// aggregate counters and the per-expansion depth trace.
+func tracedRun(t *testing.T, mod constellation.Modulation, m, n, frames int, snr float64) (Workload, *ExpansionTrace, int64) {
+	t.Helper()
+	cons := constellation.New(mod)
+	trace := &ExpansionTrace{}
+	sd := sphere.MustNew(sphere.Config{
+		Const:    cons,
+		Strategy: sphere.SortedDFS,
+		OnExpand: trace.Hook(),
+	})
+	r := rng.New(42)
+	var nodes int64
+	for i := 0; i < frames; i++ {
+		h := channel.Rayleigh(r, n, m)
+		s := make(cmatrix.Vector, m)
+		for j := range s {
+			s[j] = cons.Symbol(r.Intn(cons.Size()))
+		}
+		nv := channel.NoiseVariance(channel.PerTransmitSymbol, snr, m)
+		y := channel.Transmit(r, h, s, nv)
+		res, err := sd.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes += res.Counters.NodesExpanded
+	}
+	return Workload{M: m, N: n, P: cons.Size(), Frames: frames}, trace, nodes
+}
+
+func TestTraceRecordsEveryExpansion(t *testing.T) {
+	_, trace, nodes := tracedRun(t, constellation.QAM4, 8, 8, 20, 8)
+	if int64(trace.Len()) != nodes {
+		t.Fatalf("trace has %d records, search expanded %d nodes", trace.Len(), nodes)
+	}
+	for _, d := range trace.Depths {
+		if d < 0 || d >= 8 {
+			t.Fatalf("depth %d out of range", d)
+		}
+	}
+}
+
+func TestEventSimAgreesWithAnalyticModel(t *testing.T) {
+	// The event-driven replay and the closed-form BatchTime must agree
+	// within modeling tolerance (3x either way) — they encode the same
+	// architecture at different abstraction levels.
+	for _, variant := range []Variant{Optimized, Baseline} {
+		w, trace, nodes := tracedRun(t, constellation.QAM4, 8, 8, 50, 8)
+		d := MustNewDesign(variant, constellation.QAM4, 8, 8)
+
+		avgDepth := 0.0
+		for _, dep := range trace.Depths {
+			avgDepth += float64(dep) + 1
+		}
+		avgDepth /= float64(trace.Len())
+		counters := traceFor(nodes, 8, 4)
+		counters.EvalDepthSum = int64(avgDepth * float64(nodes))
+		counters.IrregularLoads = 0
+		for _, dep := range trace.Depths {
+			counters.IrregularLoads += int64(dep)
+		}
+
+		analytic, _, err := d.BatchTime(w, counters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		event, _, err := d.EventSim(w, trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(event) / float64(analytic)
+		if ratio < 1.0/3 || ratio > 3 {
+			t.Fatalf("%v: event sim %v vs analytic %v (ratio %.2f)", variant, event, analytic, ratio)
+		}
+	}
+}
+
+func TestEventSimBaselineSlower(t *testing.T) {
+	w, trace, _ := tracedRun(t, constellation.QAM4, 8, 8, 30, 8)
+	opt, _, err := MustNewDesign(Optimized, constellation.QAM4, 8, 8).EventSim(w, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := MustNewDesign(Baseline, constellation.QAM4, 8, 8).EventSim(w, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base <= opt {
+		t.Fatalf("baseline event sim %v not slower than optimized %v", base, opt)
+	}
+}
+
+func TestEventSimUtilizationReport(t *testing.T) {
+	w, trace, _ := tracedRun(t, constellation.QAM16, 6, 6, 10, 10)
+	_, res, err := MustNewDesign(Optimized, constellation.QAM16, 6, 6).EventSim(w, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stages) != 6 {
+		t.Fatalf("%d stages", len(res.Stages))
+	}
+	for i, u := range res.Utilization() {
+		if u < 0 || u > 1 {
+			t.Fatalf("stage %s utilization %v", res.Stages[i], u)
+		}
+	}
+	// For 16-QAM the sort network is the long-latency stage; under
+	// speculative pipelining the GEMM/branch stages should still be busy.
+	if res.Utilization()[0] == 0 {
+		t.Fatal("branch stage idle")
+	}
+}
+
+func TestEventSimScalesWithTrace(t *testing.T) {
+	w, trace, _ := tracedRun(t, constellation.QAM4, 8, 8, 10, 8)
+	w.Frames = 1 // suppress the per-frame fill term so scaling is visible
+	d := MustNewDesign(Optimized, constellation.QAM4, 8, 8)
+	t1, _, err := d.EventSim(w, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Double the trace => roughly double the time (minus fill).
+	double := &ExpansionTrace{Depths: append(append([]int16{}, trace.Depths...), trace.Depths...)}
+	t2, _, err := d.EventSim(w, double)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 < t1*3/2 {
+		t.Fatalf("event sim not scaling with trace: %v -> %v", t1, t2)
+	}
+}
+
+// perFrameTraces decodes frames individually, one trace per frame.
+func perFrameTraces(t *testing.T, n int) (Workload, []*ExpansionTrace) {
+	t.Helper()
+	cons := constellation.New(constellation.QAM4)
+	traces := make([]*ExpansionTrace, n)
+	r := rng.New(99)
+	for i := range traces {
+		tr := &ExpansionTrace{}
+		sd := sphere.MustNew(sphere.Config{Const: cons, Strategy: sphere.SortedDFS, OnExpand: tr.Hook()})
+		h := channel.Rayleigh(r, 8, 8)
+		s := make(cmatrix.Vector, 8)
+		for j := range s {
+			s[j] = cons.Symbol(r.Intn(4))
+		}
+		nv := channel.NoiseVariance(channel.PerTransmitSymbol, 6, 8)
+		y := channel.Transmit(r, h, s, nv)
+		if _, err := sd.Decode(h, y, nv); err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = tr
+	}
+	return Workload{M: 8, N: 8, P: 4, Frames: n}, traces
+}
+
+func TestEventSimMultiMatchesScheduler(t *testing.T) {
+	const n = 40
+	w, traces := perFrameTraces(t, n)
+	d := MustNewDesign(Optimized, constellation.QAM4, 8, 8)
+
+	// Cost each frame by its own event sim, schedule with LPT, then verify
+	// the multi-pipeline event replay lands near the scheduler's makespan.
+	costs := make([]int64, n)
+	for i, tr := range traces {
+		wi := w
+		wi.Frames = 1
+		dur, _, err := d.EventSim(wi, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs[i] = int64(dur.Seconds() * d.Variant.ClockHz())
+	}
+	for _, k := range []int{1, 2, 4} {
+		sched, err := ScheduleFrames(k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		makespan, perPipe, err := d.EventSimMulti(w, traces, sched.Assignment, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(perPipe) != k {
+			t.Fatalf("%d per-pipe entries", len(perPipe))
+		}
+		schedMs := float64(sched.Makespan) / d.Variant.ClockHz()
+		ratio := makespan.Seconds() / schedMs
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Fatalf("k=%d: event makespan %.3gs vs scheduler %.3gs (ratio %.2f)",
+				k, makespan.Seconds(), schedMs, ratio)
+		}
+	}
+}
+
+func TestEventSimMultiValidation(t *testing.T) {
+	w, traces := perFrameTraces(t, 4)
+	d := MustNewDesign(Optimized, constellation.QAM4, 8, 8)
+	if _, _, err := d.EventSimMulti(w, traces, []int{0, 0, 0}, 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, _, err := d.EventSimMulti(w, traces, []int{0, 1, 2, 5}, 2); err == nil {
+		t.Error("out-of-range assignment accepted")
+	}
+	if _, _, err := d.EventSimMulti(w, traces, []int{0, 0, 0, 0}, 0); err == nil {
+		t.Error("zero pipelines accepted")
+	}
+}
+
+func TestEventSimValidation(t *testing.T) {
+	d := MustNewDesign(Optimized, constellation.QAM4, 8, 8)
+	if _, _, err := d.EventSim(Workload{}, &ExpansionTrace{Depths: []int16{0}}); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	w := Workload{M: 8, N: 8, P: 4, Frames: 1}
+	if _, _, err := d.EventSim(w, nil); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, _, err := d.EventSim(w, &ExpansionTrace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

@@ -1,0 +1,321 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+)
+
+func TestNewDesignValidation(t *testing.T) {
+	if _, err := NewDesign(Optimized, constellation.QAM4, 0, 10); err == nil {
+		t.Error("M=0 accepted")
+	}
+	if _, err := NewDesign(Optimized, constellation.QAM4, 10, 5); err == nil {
+		t.Error("N<M accepted")
+	}
+	if _, err := NewDesign(Optimized, constellation.Modulation(9), 10, 10); err == nil {
+		t.Error("bad modulation accepted")
+	}
+	if _, err := NewDesign(Variant(7), constellation.QAM4, 10, 10); err == nil {
+		t.Error("bad variant accepted")
+	}
+	d, err := NewDesign(Optimized, constellation.QAM16, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Pipelines != 1 || d.Device.Name != U280.Name {
+		t.Fatal("defaults not applied")
+	}
+	if d.P() != 16 {
+		t.Fatalf("P = %d", d.P())
+	}
+}
+
+func TestVariantClocksMatchTableI(t *testing.T) {
+	if Baseline.ClockHz() != 253e6 {
+		t.Errorf("baseline clock %v", Baseline.ClockHz())
+	}
+	if Optimized.ClockHz() != 300e6 {
+		t.Errorf("optimized clock %v", Optimized.ClockHz())
+	}
+}
+
+// TestResourcesReproduceTableI checks the four calibration points against
+// the paper's Table I within 1.5 percentage points.
+func TestResourcesReproduceTableI(t *testing.T) {
+	cases := []struct {
+		variant                  Variant
+		mod                      constellation.Modulation
+		lut, ff, dsp, bram, uram float64 // paper's fractions
+	}{
+		{Baseline, constellation.QAM4, 0.29, 0.20, 0.08, 0.11, 0.14},
+		{Baseline, constellation.QAM16, 0.50, 0.27, 0.15, 0.14, 0.60},
+		{Optimized, constellation.QAM4, 0.11, 0.07, 0.03, 0.08, 0.07},
+		{Optimized, constellation.QAM16, 0.23, 0.11, 0.07, 0.10, 0.30},
+	}
+	for _, c := range cases {
+		d := MustNewDesign(c.variant, c.mod, 10, 10)
+		u := d.Resources()
+		lut, ff, dsp, bram, uram := u.Frac()
+		check := func(name string, got, want float64) {
+			if math.Abs(got-want) > 0.015 {
+				t.Errorf("%s %v %s: %.3f, paper %.3f", c.variant, c.mod, name, got, want)
+			}
+		}
+		check("LUT", lut, c.lut)
+		check("FF", ff, c.ff)
+		check("DSP", dsp, c.dsp)
+		check("BRAM", bram, c.bram)
+		check("URAM", uram, c.uram)
+	}
+}
+
+func TestOptimizedLeavesRoomForSecondPipeline(t *testing.T) {
+	// The whole point of Section III-C4: the optimized designs stay under
+	// 50% on every resource so a second pipeline fits; the 16-QAM baseline
+	// does not (50% LUT, 60% URAM).
+	for _, mod := range []constellation.Modulation{constellation.QAM4, constellation.QAM16} {
+		opt := MustNewDesign(Optimized, mod, 10, 10)
+		if got := opt.MaxPipelines(); got < 2 {
+			t.Errorf("optimized %v: MaxPipelines = %d, want >= 2", mod, got)
+		}
+	}
+	base16 := MustNewDesign(Baseline, constellation.QAM16, 10, 10)
+	if got := base16.MaxPipelines(); got != 1 {
+		t.Errorf("baseline 16-QAM: MaxPipelines = %d, want 1", got)
+	}
+}
+
+func TestURAMScalesWithModulationSquared(t *testing.T) {
+	// Section IV-E: the tree state matrix size is 4·Modulation²·N, so
+	// 16-QAM consumes ~16× the variable URAM of 4-QAM.
+	d4 := MustNewDesign(Optimized, constellation.QAM4, 10, 10)
+	d16 := MustNewDesign(Optimized, constellation.QAM16, 10, 10)
+	c := coeffs[Optimized]
+	v4 := float64(d4.Resources().URAMs) - c.uramFixed
+	v16 := float64(d16.Resources().URAMs) - c.uramFixed
+	ratio := v16 / v4
+	if ratio < 12 || ratio > 20 {
+		t.Fatalf("URAM variable ratio %.1f, want ~16", ratio)
+	}
+}
+
+func TestResourcesScaleWithN(t *testing.T) {
+	small := MustNewDesign(Optimized, constellation.QAM4, 10, 10).Resources()
+	large := MustNewDesign(Optimized, constellation.QAM4, 20, 20).Resources()
+	if large.URAMs <= small.URAMs {
+		t.Fatal("URAM did not grow with N")
+	}
+	if large.LUTs != small.LUTs {
+		t.Fatal("logic should not depend on N in this model")
+	}
+}
+
+func TestFitsAndOverflow(t *testing.T) {
+	ok := MustNewDesign(Optimized, constellation.QAM16, 10, 10).Resources()
+	if !ok.Fits() {
+		t.Fatal("optimized 16-QAM should fit")
+	}
+	// 64-QAM baseline: URAM demand explodes with P² and must not fit.
+	big := MustNewDesign(Baseline, constellation.QAM64, 10, 10).Resources()
+	if big.Fits() {
+		t.Fatalf("baseline 64-QAM should overflow the device: %v", big)
+	}
+}
+
+func TestUtilizationString(t *testing.T) {
+	s := MustNewDesign(Optimized, constellation.QAM4, 10, 10).Resources().String()
+	if s == "" {
+		t.Fatal("empty utilization string")
+	}
+}
+
+// traceFor synthesizes an aggregate trace resembling a sorted-DFS run:
+// nodes expansions with average depth m/2.
+func traceFor(nodes int64, m, p int) decoder.Counters {
+	return decoder.Counters{
+		NodesExpanded:     nodes,
+		ChildrenGenerated: nodes * int64(p),
+		EvalDepthSum:      nodes * int64(m) / 2,
+		IrregularLoads:    nodes * int64(m) / 2,
+		LeavesReached:     nodes / 10,
+	}
+}
+
+func TestBatchTimeAnchor10x10(t *testing.T) {
+	// Calibration anchor: 10×10 4-QAM at 4 dB explores ~70 nodes/vector
+	// (measured); a 1000-vector batch on the optimized design should land
+	// near Table II's 2 ms (within 2x either way).
+	d := MustNewDesign(Optimized, constellation.QAM4, 10, 10)
+	w := Workload{M: 10, N: 10, P: 4, Frames: 1000}
+	dur, b, err := d.BatchTime(w, traceFor(70_000, 10, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur < 500*time.Microsecond || dur > 4*time.Millisecond {
+		t.Fatalf("optimized batch time %v, want ~2 ms", dur)
+	}
+	if b.Gather != 0 {
+		t.Fatal("optimized design must hide gather cycles")
+	}
+	if b.Total() <= 0 {
+		t.Fatal("empty breakdown")
+	}
+}
+
+func TestBaselineSlowerThanOptimized(t *testing.T) {
+	w := Workload{M: 10, N: 10, P: 4, Frames: 1000}
+	trace := traceFor(70_000, 10, 4)
+	opt, _, err := MustNewDesign(Optimized, constellation.QAM4, 10, 10).BatchTime(w, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, bb, err := MustNewDesign(Baseline, constellation.QAM4, 10, 10).BatchTime(w, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(base) / float64(opt)
+	if ratio < 2 || ratio > 8 {
+		t.Fatalf("baseline/optimized ratio %.2f, want ~3-4 (paper: 5x vs 1.4x of CPU)", ratio)
+	}
+	if bb.Gather == 0 {
+		t.Fatal("baseline must pay gather stalls")
+	}
+}
+
+func TestBatchTimeScalesWithNodes(t *testing.T) {
+	d := MustNewDesign(Optimized, constellation.QAM4, 10, 10)
+	w := Workload{M: 10, N: 10, P: 4, Frames: 1000}
+	t1, _, err := d.BatchTime(w, traceFor(10_000, 10, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := d.BatchTime(w, traceFor(100_000, 10, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2 < 5*t1 {
+		t.Fatalf("time not ~linear in nodes: %v vs %v", t1, t2)
+	}
+}
+
+func TestTwoPipelinesNearlyHalveTime(t *testing.T) {
+	w := Workload{M: 10, N: 10, P: 4, Frames: 1000}
+	trace := traceFor(200_000, 10, 4)
+	one := MustNewDesign(Optimized, constellation.QAM4, 10, 10)
+	two := MustNewDesign(Optimized, constellation.QAM4, 10, 10)
+	two.Pipelines = 2
+	t1, _, err := one.BatchTime(w, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := two.BatchTime(w, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(t1) / float64(t2)
+	if ratio < 1.7 || ratio > 2.05 {
+		t.Fatalf("2-pipeline speedup %.2f, want ~2", ratio)
+	}
+}
+
+func TestBatchTimeRejectsBadWorkload(t *testing.T) {
+	d := MustNewDesign(Optimized, constellation.QAM4, 10, 10)
+	if _, _, err := d.BatchTime(Workload{M: 0, N: 10, P: 4, Frames: 1}, decoder.Counters{}); err == nil {
+		t.Error("M=0 accepted")
+	}
+	if _, _, err := d.BatchTime(Workload{M: 10, N: 10, P: 1, Frames: 1}, decoder.Counters{}); err == nil {
+		t.Error("P=1 accepted")
+	}
+	if _, _, err := d.BatchTime(Workload{M: 10, N: 10, P: 4, Frames: 0}, decoder.Counters{}); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+func TestPowerReproducesTableII(t *testing.T) {
+	cases := []struct {
+		mod  constellation.Modulation
+		m, n int
+		want float64
+	}{
+		{constellation.QAM4, 10, 10, 8},
+		{constellation.QAM4, 15, 15, 11.7},
+		{constellation.QAM4, 20, 20, 12},
+		{constellation.QAM16, 10, 10, 12.8},
+	}
+	for _, c := range cases {
+		d := MustNewDesign(Optimized, c.mod, c.m, c.n)
+		got := d.Power()
+		// Within 20% of the paper's Vitis Analyzer measurement.
+		if math.Abs(got-c.want)/c.want > 0.20 {
+			t.Errorf("%v %dx%d: power %.2f W, paper %.1f W", c.mod, c.m, c.n, got, c.want)
+		}
+	}
+}
+
+func TestPowerFarBelowCPUClass(t *testing.T) {
+	// Every modeled FPGA configuration must stay an order of magnitude
+	// below the CPU's 82–142 W (Table II).
+	for _, mod := range []constellation.Modulation{constellation.QAM4, constellation.QAM16} {
+		for _, n := range []int{10, 15, 20} {
+			d := MustNewDesign(Optimized, mod, n, n)
+			if p := d.Power(); p < 3 || p > 25 {
+				t.Errorf("%v %dx%d: power %.1f W out of FPGA class", mod, n, n, p)
+			}
+		}
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	d := MustNewDesign(Optimized, constellation.QAM4, 10, 10)
+	if e := d.Energy(2); math.Abs(e-2*d.Power()) > 1e-9 {
+		t.Fatalf("Energy(2s) = %v", e)
+	}
+}
+
+func TestSortStages(t *testing.T) {
+	cases := map[int]int{2: 1, 4: 3, 8: 6, 16: 10, 64: 21}
+	for p, want := range cases {
+		if got := sortStages(p); got != want {
+			t.Errorf("sortStages(%d) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestRetargetToU250(t *testing.T) {
+	// The same design retargeted to the larger U250 must report lower
+	// fractional utilization and at least as much replication headroom.
+	for _, mod := range []constellation.Modulation{constellation.QAM4, constellation.QAM16} {
+		d280 := MustNewDesign(Optimized, mod, 10, 10)
+		d250 := MustNewDesign(Optimized, mod, 10, 10)
+		d250.Device = U250
+		u280 := d280.Resources()
+		u250 := d250.Resources()
+		l280, _, _, _, ur280 := u280.Frac()
+		l250, _, _, _, ur250 := u250.Frac()
+		if l250 >= l280 || ur250 >= ur280 {
+			t.Errorf("%v: U250 fractions not lower (LUT %.3f vs %.3f, URAM %.3f vs %.3f)",
+				mod, l250, l280, ur250, ur280)
+		}
+		if d250.MaxPipelines() < d280.MaxPipelines() {
+			t.Errorf("%v: U250 headroom %d below U280's %d", mod, d250.MaxPipelines(), d280.MaxPipelines())
+		}
+	}
+	// Absolute consumption is device-independent.
+	a := MustNewDesign(Baseline, constellation.QAM16, 10, 10)
+	b := MustNewDesign(Baseline, constellation.QAM16, 10, 10)
+	b.Device = U250
+	if a.Resources().URAMs != b.Resources().URAMs {
+		t.Error("absolute URAM usage changed with the device")
+	}
+}
+
+func TestDesignName(t *testing.T) {
+	d := MustNewDesign(Optimized, constellation.QAM4, 10, 10)
+	if d.Name() != "FPGA-optimized(4-QAM,10x10)" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}

@@ -1,0 +1,110 @@
+package fpga
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schedule is the result of assigning per-frame decode costs to replicated
+// pipelines — the paper's future-work parallelization (Section V), enabled
+// by the optimized design's sub-50% resource footprint.
+type Schedule struct {
+	// Makespan is the busiest pipeline's total cycles: the batch finishes
+	// when it does.
+	Makespan int64
+	// PerPipeline holds each pipeline's assigned cycles.
+	PerPipeline []int64
+	// Assignment maps frame index → pipeline index.
+	Assignment []int
+}
+
+// Imbalance returns makespan / (total/k): 1.0 is a perfect split.
+func (s *Schedule) Imbalance() float64 {
+	var total int64
+	for _, c := range s.PerPipeline {
+		total += c
+	}
+	if total == 0 {
+		return 1
+	}
+	ideal := float64(total) / float64(len(s.PerPipeline))
+	return float64(s.Makespan) / ideal
+}
+
+// ScheduleFrames distributes frames across pipelines using the
+// longest-processing-time (LPT) greedy rule: frames sorted by descending
+// cost, each placed on the currently least-loaded pipeline. LPT's makespan
+// is within 4/3 of optimal, which matters here because sphere-decoding
+// costs are heavy-tailed — a naive even split leaves one pipeline stuck
+// with the pathological frames.
+//
+// frameCycles[i] is the simulated cycle cost of decoding frame i.
+func ScheduleFrames(pipelines int, frameCycles []int64) (*Schedule, error) {
+	if pipelines < 1 {
+		return nil, fmt.Errorf("fpga: need at least one pipeline, got %d", pipelines)
+	}
+	if len(frameCycles) == 0 {
+		return nil, fmt.Errorf("fpga: no frames to schedule")
+	}
+	for i, c := range frameCycles {
+		if c < 0 {
+			return nil, fmt.Errorf("fpga: negative cost for frame %d", i)
+		}
+	}
+	idx := make([]int, len(frameCycles))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return frameCycles[idx[a]] > frameCycles[idx[b]] })
+
+	s := &Schedule{
+		PerPipeline: make([]int64, pipelines),
+		Assignment:  make([]int, len(frameCycles)),
+	}
+	for _, frame := range idx {
+		best := 0
+		for p := 1; p < pipelines; p++ {
+			if s.PerPipeline[p] < s.PerPipeline[best] {
+				best = p
+			}
+		}
+		s.PerPipeline[best] += frameCycles[frame]
+		s.Assignment[frame] = best
+	}
+	for _, c := range s.PerPipeline {
+		if c > s.Makespan {
+			s.Makespan = c
+		}
+	}
+	return s, nil
+}
+
+// RoundRobinSchedule is the naive comparator: frame i goes to pipeline
+// i mod k. Used by tests and the replication study to quantify what LPT
+// buys on heavy-tailed decode costs.
+func RoundRobinSchedule(pipelines int, frameCycles []int64) (*Schedule, error) {
+	if pipelines < 1 {
+		return nil, fmt.Errorf("fpga: need at least one pipeline, got %d", pipelines)
+	}
+	if len(frameCycles) == 0 {
+		return nil, fmt.Errorf("fpga: no frames to schedule")
+	}
+	s := &Schedule{
+		PerPipeline: make([]int64, pipelines),
+		Assignment:  make([]int, len(frameCycles)),
+	}
+	for i, c := range frameCycles {
+		if c < 0 {
+			return nil, fmt.Errorf("fpga: negative cost for frame %d", i)
+		}
+		p := i % pipelines
+		s.PerPipeline[p] += c
+		s.Assignment[i] = p
+	}
+	for _, c := range s.PerPipeline {
+		if c > s.Makespan {
+			s.Makespan = c
+		}
+	}
+	return s, nil
+}

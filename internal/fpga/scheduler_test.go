@@ -1,0 +1,190 @@
+package fpga
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestLPTBasics(t *testing.T) {
+	s, err := ScheduleFrames(2, []int64{5, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LPT: 5 → p0, 3 → p1, 2 → p1 ⇒ makespan 5.
+	if s.Makespan != 5 {
+		t.Fatalf("makespan %d, want 5", s.Makespan)
+	}
+	if got := s.PerPipeline[0] + s.PerPipeline[1]; got != 10 {
+		t.Fatalf("work lost: %d", got)
+	}
+	if len(s.Assignment) != 3 {
+		t.Fatal("missing assignments")
+	}
+}
+
+func TestLPTConservesWorkAndBounds(t *testing.T) {
+	r := rng.New(1)
+	costs := make([]int64, 200)
+	var total, max int64
+	for i := range costs {
+		// Heavy-tailed costs, like sphere decode times.
+		c := int64(10 + r.Intn(50))
+		if r.Intn(20) == 0 {
+			c *= 50
+		}
+		costs[i] = c
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	for _, k := range []int{1, 2, 4, 7} {
+		s, err := ScheduleFrames(k, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum int64
+		for _, c := range s.PerPipeline {
+			sum += c
+		}
+		if sum != total {
+			t.Fatalf("k=%d: work not conserved: %d vs %d", k, sum, total)
+		}
+		lower := total / int64(k)
+		if max > lower {
+			lower = max
+		}
+		if s.Makespan < lower {
+			t.Fatalf("k=%d: makespan %d below lower bound %d", k, s.Makespan, lower)
+		}
+		// LPT guarantee: ≤ (4/3 − 1/3k)·OPT ≤ 4/3·(lower bound is ≤ OPT,
+		// so allow 4/3 of a slightly padded bound).
+		if float64(s.Makespan) > 4.0/3.0*float64(lower)+float64(max) {
+			t.Fatalf("k=%d: makespan %d far above LPT bound (lower %d)", k, s.Makespan, lower)
+		}
+	}
+}
+
+func TestLPTBeatsRoundRobinOnHeavyTail(t *testing.T) {
+	// Adversarial heavy tail: round-robin piles the giants on one pipeline.
+	costs := make([]int64, 64)
+	for i := range costs {
+		if i%4 == 0 {
+			costs[i] = 1000
+		} else {
+			costs[i] = 10
+		}
+	}
+	lpt, err := ScheduleFrames(4, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RoundRobinSchedule(4, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lpt.Makespan >= rr.Makespan {
+		t.Fatalf("LPT makespan %d not below round-robin %d", lpt.Makespan, rr.Makespan)
+	}
+	if lpt.Imbalance() > 1.1 {
+		t.Fatalf("LPT imbalance %.3f too high", lpt.Imbalance())
+	}
+	if rr.Imbalance() < 2 {
+		t.Fatalf("round-robin should be badly imbalanced here, got %.3f", rr.Imbalance())
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	if _, err := ScheduleFrames(0, []int64{1}); err == nil {
+		t.Error("zero pipelines accepted")
+	}
+	if _, err := ScheduleFrames(2, nil); err == nil {
+		t.Error("empty frames accepted")
+	}
+	if _, err := ScheduleFrames(2, []int64{1, -1}); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := RoundRobinSchedule(0, []int64{1}); err == nil {
+		t.Error("RR zero pipelines accepted")
+	}
+	if _, err := RoundRobinSchedule(2, nil); err == nil {
+		t.Error("RR empty frames accepted")
+	}
+	if _, err := RoundRobinSchedule(2, []int64{-1}); err == nil {
+		t.Error("RR negative cost accepted")
+	}
+}
+
+func TestImbalanceIdentity(t *testing.T) {
+	s, err := ScheduleFrames(2, []int64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Imbalance() != 1 {
+		t.Fatalf("perfect split imbalance %.3f", s.Imbalance())
+	}
+	empty := &Schedule{PerPipeline: []int64{0, 0}}
+	if empty.Imbalance() != 1 {
+		t.Fatal("zero-work imbalance should be 1")
+	}
+}
+
+func TestTransferUnder3Percent(t *testing.T) {
+	// The paper's claim (Section III-B): the one-time PCIe ingress is <3%
+	// of execution time. Check it for the canonical 10×10 4-QAM batch at
+	// its measured decode time (~2 ms).
+	tm := NewTransfer()
+	w := Workload{M: 10, N: 10, P: 4, Frames: 1000}
+	frac, err := tm.TransferFraction(w, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac >= 0.03 {
+		t.Fatalf("transfer fraction %.4f, paper claims <3%%", frac)
+	}
+}
+
+func TestTransferWorstCasePerFrameChannel(t *testing.T) {
+	// Sending a fresh H per frame breaks the 3% claim for fast decodes —
+	// the block-fading reuse is load-bearing, which is worth pinning down.
+	tm := NewTransfer()
+	tm.ChannelReuse = 1
+	w := Workload{M: 10, N: 10, P: 4, Frames: 1000}
+	fracFresh, err := tm.TransferFraction(w, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm.ChannelReuse = 1 << 30
+	fracShared, err := tm.TransferFraction(w, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fracFresh <= fracShared*5 {
+		t.Fatalf("per-frame channel (%.4f) should cost far more than shared (%.4f)", fracFresh, fracShared)
+	}
+}
+
+func TestIngressBytes(t *testing.T) {
+	tm := TransferModel{PCIeGBs: 12, ChannelReuse: 10}
+	w := Workload{M: 4, N: 4, P: 4, Frames: 20}
+	// 2 blocks × 16 complex × 8 B + 20 × 4 complex × 8 B = 256 + 640.
+	if got := tm.IngressBytes(w); got != 896 {
+		t.Fatalf("IngressBytes = %d, want 896", got)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	tm := NewTransfer()
+	if _, err := tm.IngressTime(Workload{}); err == nil {
+		t.Error("invalid workload accepted")
+	}
+	bad := TransferModel{PCIeGBs: 0, ChannelReuse: 1}
+	if _, err := bad.IngressTime(Workload{M: 4, N: 4, P: 4, Frames: 1}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := tm.TransferFraction(Workload{M: 4, N: 4, P: 4, Frames: 1}, 0); err == nil {
+		t.Error("zero decode time accepted")
+	}
+}

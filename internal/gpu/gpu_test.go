@@ -1,0 +1,75 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/decoder"
+)
+
+func w10() decoder.Workload { return decoder.Workload{M: 10, N: 10, P: 4, Frames: 1000} }
+
+func TestAnchor6msAt12dB(t *testing.T) {
+	// Fig. 11 anchor: the GPU GEMM-BFS decodes the 10×10 4-QAM batch in
+	// ~6 ms at 12 dB, where the conservative-radius BFS explores a few tens
+	// of nodes per vector.
+	m := NewA100()
+	c := decoder.Counters{NodesExpanded: 30_000, EvalDepthSum: 30_000 * 11 / 2}
+	dur, err := m.BatchTime(w10(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur < 3*time.Millisecond || dur > 10*time.Millisecond {
+		t.Fatalf("GPU batch time %v, paper ~6 ms", dur)
+	}
+}
+
+func TestSyncDominatesAtHighSNR(t *testing.T) {
+	// Even with almost no tree work, the per-level synchronization floor
+	// keeps the GPU in the milliseconds — the paper's core argument.
+	m := NewA100()
+	c := decoder.Counters{NodesExpanded: 100, EvalDepthSum: 550}
+	dur, err := m.BatchTime(w10(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := time.Duration(float64(w10().M) * m.PerLevelSyncUs * 1e3)
+	if dur < floor {
+		t.Fatalf("GPU time %v below the sync floor %v", dur, floor)
+	}
+}
+
+func TestSyncFloorScalesWithLevels(t *testing.T) {
+	m := NewA100()
+	c := decoder.Counters{NodesExpanded: 100, EvalDepthSum: 550}
+	t10, err := m.BatchTime(decoder.Workload{M: 10, N: 10, P: 4, Frames: 1000}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t20, err := m.BatchTime(decoder.Workload{M: 20, N: 20, P: 4, Frames: 1000}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t20 < t10*3/2 {
+		t.Fatalf("sync floor did not scale with levels: %v vs %v", t10, t20)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewA100().BatchTime(decoder.Workload{}, decoder.Counters{}); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestPowerAndName(t *testing.T) {
+	m := NewA100()
+	if m.Name() == "" {
+		t.Fatal("no name")
+	}
+	if p := m.Power(w10()); p < 100 || p > 500 {
+		t.Fatalf("A100 power %v out of class", p)
+	}
+	if m.RadiusScale <= 2 {
+		t.Fatal("GPU BFS radius must be conservative (scale > default 2)")
+	}
+}

@@ -1,0 +1,223 @@
+package lattice
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/mimo"
+	"repro/internal/rng"
+)
+
+func TestRoundGaussian(t *testing.T) {
+	cases := map[complex128]complex128{
+		complex(0.4, -0.4): 0,
+		complex(0.6, 1.4):  complex(1, 1),
+		complex(-1.6, 2.5): complex(-2, 3), // Go rounds half away from zero
+	}
+	for in, want := range cases {
+		if got := roundGaussian(in); got != want {
+			t.Errorf("roundGaussian(%v) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// checkReduction validates the LLL contract on a reduction of h.
+func checkReduction(t *testing.T, h *cmatrix.Matrix, red *Reduction) {
+	t.Helper()
+	// 1. Same lattice: H·T == Reduced.
+	if !cmatrix.Mul(h, red.T).EqualApprox(red.Reduced, 1e-8) {
+		t.Fatal("H·T != reduced basis")
+	}
+	// 2. T unimodular over Z[i]: integer entries and T·T⁻¹ = I.
+	for _, v := range red.T.Data {
+		if cmplx.Abs(v-roundGaussian(v)) > 1e-9 {
+			t.Fatalf("T entry %v not a Gaussian integer", v)
+		}
+	}
+	if !cmatrix.Mul(red.T, red.TInv).EqualApprox(cmatrix.Identity(h.Cols), 1e-8) {
+		t.Fatal("T·T⁻¹ != I")
+	}
+}
+
+func TestLLLContract(t *testing.T) {
+	r := rng.New(1)
+	for _, dim := range [][2]int{{4, 4}, {6, 4}, {8, 8}, {10, 10}} {
+		h := channel.Rayleigh(r, dim[0], dim[1])
+		red, err := LLL(h, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", dim, err)
+		}
+		checkReduction(t, h, red)
+	}
+}
+
+func TestLLLImprovesOrthogonality(t *testing.T) {
+	r := rng.New(2)
+	improved := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		h := channel.Rayleigh(r, 8, 8)
+		before, err := OrthogonalityDefect(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := LLL(h, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := OrthogonalityDefect(red.Reduced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after <= before+1e-9 {
+			improved++
+		}
+		if after < 1-1e-9 {
+			t.Fatalf("defect %v below 1", after)
+		}
+	}
+	if improved < trials*8/10 {
+		t.Fatalf("LLL improved orthogonality in only %d/%d trials", improved, trials)
+	}
+}
+
+func TestLLLIdempotentOnReducedBasis(t *testing.T) {
+	// Reducing an already reduced basis should need (almost) no swaps.
+	r := rng.New(3)
+	h := channel.Rayleigh(r, 6, 6)
+	red, err := LLL(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := LLL(red.Reduced, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Swaps != 0 {
+		t.Fatalf("re-reduction performed %d swaps", again.Swaps)
+	}
+}
+
+func TestLLLOrthogonalInputUntouched(t *testing.T) {
+	h := cmatrix.Identity(5)
+	red, err := LLL(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Swaps != 0 || !red.Reduced.EqualApprox(h, 1e-12) {
+		t.Fatal("identity basis modified")
+	}
+}
+
+func TestLLLValidation(t *testing.T) {
+	if _, err := LLL(cmatrix.NewMatrix(2, 3), 0); err == nil {
+		t.Error("wide matrix accepted")
+	}
+	h := channel.Rayleigh(rng.New(4), 4, 4)
+	if _, err := LLL(h, 0.3); err == nil {
+		t.Error("delta <= 1/2 accepted")
+	}
+	if _, err := LLL(h, 1.5); err == nil {
+		t.Error("delta > 1 accepted")
+	}
+	singular := cmatrix.FromSlice(3, 2, []complex128{1, 1, 2, 2, 3, 3})
+	if _, err := LLL(singular, 0); !errors.Is(err, cmatrix.ErrSingular) {
+		t.Errorf("singular basis: err = %v", err)
+	}
+}
+
+func TestDecoderRecoversNoiseless(t *testing.T) {
+	r := rng.New(5)
+	for _, mod := range []constellation.Modulation{constellation.QAM4, constellation.QAM16} {
+		c := constellation.New(mod)
+		d := NewDecoder(c)
+		cfg := mimo.Config{Tx: 5, Rx: 5, Mod: mod}
+		for trial := 0; trial < 20; trial++ {
+			f, err := mimo.GenerateFrame(r, cfg, 300)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := d.Decode(f.H, f.Y, 1e-30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range f.SymbolIdx {
+				if res.SymbolIdx[i] != f.SymbolIdx[i] {
+					t.Fatalf("%v trial %d antenna %d: %d vs %d",
+						mod, trial, i, res.SymbolIdx[i], f.SymbolIdx[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecoderBetweenZFAndML(t *testing.T) {
+	// The point of lattice reduction: LLL-ZF should beat plain ZF on BER
+	// while costing far less than the sphere search. Statistical check at
+	// a stressed operating point.
+	cfg := mimo.Config{Tx: 8, Rx: 8, Mod: constellation.QAM4}
+	c := constellation.New(cfg.Mod)
+	zf, err := mimo.Run(cfg, 10, 600, decoder.NewZF(c), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lll, err := mimo.Run(cfg, 10, 600, NewDecoder(c), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lll.BitErrors >= zf.BitErrors {
+		t.Fatalf("LLL-ZF (%d bit errors) not better than ZF (%d)", lll.BitErrors, zf.BitErrors)
+	}
+}
+
+func TestDecoderMetricConsistency(t *testing.T) {
+	r := rng.New(6)
+	c := constellation.New(constellation.QAM4)
+	d := NewDecoder(c)
+	cfg := mimo.Config{Tx: 6, Rx: 6, Mod: constellation.QAM4}
+	for trial := 0; trial < 10; trial++ {
+		f, err := mimo.GenerateFrame(r, cfg, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Decode(f.H, f.Y, f.NoiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := cmatrix.Norm2Sq(cmatrix.VecSub(f.Y, cmatrix.MulVec(f.H, res.Symbols)))
+		if math.Abs(res.Metric-want) > 1e-9*(1+want) {
+			t.Fatalf("metric %v vs residual %v", res.Metric, want)
+		}
+		if res.Counters.TotalFlops() <= 0 {
+			t.Fatal("no work recorded")
+		}
+	}
+}
+
+func TestDecoderValidation(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	d := NewDecoder(c)
+	h := channel.Rayleigh(rng.New(7), 4, 4)
+	if _, err := d.Decode(h, make(cmatrix.Vector, 3), 0.1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if d.Name() != "LLL-ZF" {
+		t.Errorf("name %q", d.Name())
+	}
+}
+
+func TestOrthogonalityDefectIdentity(t *testing.T) {
+	got, err := OrthogonalityDefect(cmatrix.Identity(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("identity defect %v, want 1", got)
+	}
+}

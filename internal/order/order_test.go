@@ -1,0 +1,214 @@
+package order
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/mimo"
+	"repro/internal/rng"
+	"repro/internal/sphere"
+)
+
+func isPermutation(p []int, n int) bool {
+	if len(p) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range p {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestPermutationValidity(t *testing.T) {
+	r := rng.New(1)
+	h := channel.Rayleigh(r, 8, 6)
+	for _, s := range []Strategy{None, ByColumnNorm, SQRD} {
+		perm, err := Permutation(s, h)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if !isPermutation(perm, 6) {
+			t.Fatalf("%v: %v is not a permutation", s, perm)
+		}
+	}
+	if _, err := Permutation(Strategy(42), h); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestNoneIsIdentity(t *testing.T) {
+	h := channel.Rayleigh(rng.New(2), 5, 5)
+	perm, err := Permutation(None, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range perm {
+		if p != i {
+			t.Fatalf("None permuted: %v", perm)
+		}
+	}
+}
+
+func TestByColumnNormOrdering(t *testing.T) {
+	// Build a matrix with known column norms 3 > 1 > 2 (indices 0,1,2).
+	h := cmatrix.NewMatrix(3, 3)
+	h.Set(0, 0, 3)
+	h.Set(1, 1, 1)
+	h.Set(2, 2, 2)
+	perm, err := Permutation(ByColumnNorm, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ascending norms: column 1 (norm 1), column 2 (norm 4), column 0 (9).
+	want := []int{1, 2, 0}
+	for i := range want {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+}
+
+func TestSQRDOnOrthogonalMatchesNormSort(t *testing.T) {
+	// For orthogonal columns, residual norms never change, so SQRD reduces
+	// to the plain norm sort.
+	h := cmatrix.NewMatrix(4, 3)
+	h.Set(0, 0, 2)
+	h.Set(1, 1, 0.5)
+	h.Set(2, 2, 1)
+	sqrd, err := Permutation(SQRD, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := Permutation(ByColumnNorm, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range norm {
+		if sqrd[i] != norm[i] {
+			t.Fatalf("SQRD %v != norm sort %v on orthogonal columns", sqrd, norm)
+		}
+	}
+}
+
+func TestPermuteColumns(t *testing.T) {
+	h := cmatrix.FromSlice(2, 3, []complex128{1, 2, 3, 4, 5, 6})
+	p := PermuteColumns(h, []int{2, 0, 1})
+	want := cmatrix.FromSlice(2, 3, []complex128{3, 1, 2, 6, 4, 5})
+	if !p.EqualApprox(want, 0) {
+		t.Fatalf("PermuteColumns = %v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad permutation length did not panic")
+		}
+	}()
+	PermuteColumns(h, []int{0, 1})
+}
+
+func TestOrderedDecoderExactness(t *testing.T) {
+	// Ordering must not change the detected vector (the problem is
+	// permutation-invariant and the inner decoder is exact).
+	cfg := mimo.Config{Tx: 6, Rx: 6, Mod: constellation.QAM4}
+	cons := constellation.New(cfg.Mod)
+	r := rng.New(3)
+	plain := sphere.MustNew(sphere.Config{Const: cons, Strategy: sphere.SortedDFS})
+	for _, s := range []Strategy{None, ByColumnNorm, SQRD} {
+		ordered := NewDecoder(sphere.MustNew(sphere.Config{Const: cons, Strategy: sphere.SortedDFS}), s)
+		for trial := 0; trial < 15; trial++ {
+			f, err := mimo.GenerateFrame(r, cfg, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := plain.Decode(f.H, f.Y, f.NoiseVar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ordered.Decode(f.H, f.Y, f.NoiseVar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Metric-want.Metric) > 1e-6*(1+want.Metric) {
+				t.Fatalf("%v: metric %v vs %v", s, got.Metric, want.Metric)
+			}
+			for i := range want.SymbolIdx {
+				if got.SymbolIdx[i] != want.SymbolIdx[i] {
+					t.Fatalf("%v trial %d: symbols differ at antenna %d", s, trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestOrderingReducesNodesAtLowSNR(t *testing.T) {
+	// The reason ordering exists: fewer expansions on average. Compare
+	// aggregate node counts with and without SQRD at a stressed operating
+	// point.
+	cfg := mimo.Config{Tx: 10, Rx: 10, Mod: constellation.QAM4}
+	cons := constellation.New(cfg.Mod)
+	mk := func(s Strategy) func() decoder.Decoder {
+		return func() decoder.Decoder {
+			inner := sphere.MustNew(sphere.Config{Const: cons, Strategy: sphere.SortedDFS})
+			if s == None {
+				return inner
+			}
+			return NewDecoder(inner, s)
+		}
+	}
+	base, err := mimo.RunParallel(cfg, 2, 300, 0, mk(None), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqrd, err := mimo.RunParallel(cfg, 2, 300, 0, mk(SQRD), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sqrd.Counters.NodesExpanded >= base.Counters.NodesExpanded {
+		t.Fatalf("SQRD did not reduce nodes: %d vs %d",
+			sqrd.Counters.NodesExpanded, base.Counters.NodesExpanded)
+	}
+	// And it must not change the error rate (exactness).
+	if sqrd.BitErrors != base.BitErrors {
+		t.Fatalf("SQRD changed bit errors: %d vs %d", sqrd.BitErrors, base.BitErrors)
+	}
+}
+
+func TestDecoderName(t *testing.T) {
+	cons := constellation.New(constellation.QAM4)
+	d := NewDecoder(sphere.MustNew(sphere.Config{Const: cons}), SQRD)
+	if d.Name() != "SD-SortedDFS+SQRD" {
+		t.Fatalf("name %q", d.Name())
+	}
+}
+
+func TestDecoderPropagatesErrors(t *testing.T) {
+	cons := constellation.New(constellation.QAM4)
+	d := NewDecoder(sphere.MustNew(sphere.Config{Const: cons}), SQRD)
+	h := channel.Rayleigh(rng.New(4), 4, 4)
+	if _, err := d.Decode(h, make(cmatrix.Vector, 3), 0.1); err == nil {
+		t.Fatal("dimension error not propagated")
+	}
+	bad := &Decoder{Inner: sphere.MustNew(sphere.Config{Const: cons}), Strategy: Strategy(99)}
+	if _, err := bad.Decode(h, make(cmatrix.Vector, 4), 0.1); err == nil {
+		t.Fatal("unknown strategy not rejected at decode time")
+	}
+}
+
+func TestSQRDRankDeficientDoesNotPanic(t *testing.T) {
+	// Two identical columns: SQRD must still return a valid permutation.
+	h := cmatrix.FromSlice(3, 2, []complex128{1, 1, 2, 2, 3, 3})
+	perm, err := Permutation(SQRD, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isPermutation(perm, 2) {
+		t.Fatalf("invalid permutation %v", perm)
+	}
+}

@@ -1,0 +1,119 @@
+// Package quantize implements IEEE 754 binary16 (FP16) emulation and
+// reduced-precision variants of the decoder's data path. The paper's
+// conclusion names half-precision and mixed-precision implementations as
+// future work — FPGAs can trade DSP/URAM footprint for numerical headroom —
+// and this package provides the software instrumentation for that study:
+// exact float64↔float16 conversion with round-to-nearest-even, quantized
+// matrices/vectors, FP16 GEMM (both FP16- and FP32-accumulate flavors), and
+// a helper that quantizes a sphere-decoding problem's inputs so BER and
+// node-count impact can be measured end to end.
+package quantize
+
+import "math"
+
+// Float16 is an IEEE 754 binary16 value in its raw bit representation:
+// 1 sign bit, 5 exponent bits, 10 mantissa bits.
+type Float16 uint16
+
+// FromFloat64 converts with round-to-nearest-even, producing subnormals,
+// ±Inf on overflow, and quiet NaN for NaN input.
+func FromFloat64(f float64) Float16 {
+	bits := math.Float64bits(f)
+	sign := uint16((bits >> 48) & 0x8000)
+	exp := int((bits>>52)&0x7ff) - 1023
+	mant := bits & 0xfffffffffffff
+
+	switch {
+	case exp == 1024: // Inf or NaN
+		if mant != 0 {
+			return Float16(sign | 0x7e00) // quiet NaN
+		}
+		return Float16(sign | 0x7c00)
+	case exp > 15: // overflow → Inf
+		return Float16(sign | 0x7c00)
+	case exp >= -14: // normal range
+		// Keep 10 mantissa bits; round-to-nearest-even on the rest.
+		m := mant >> 42 // top 10 bits
+		rest := mant & ((1 << 42) - 1)
+		half := uint64(1) << 41
+		if rest > half || (rest == half && m&1 == 1) {
+			m++
+			if m == 1<<10 { // mantissa overflow bumps the exponent
+				m = 0
+				exp++
+				if exp > 15 {
+					return Float16(sign | 0x7c00)
+				}
+			}
+		}
+		return Float16(sign | uint16(exp+15)<<10 | uint16(m))
+	case exp >= -25: // subnormal range (including values that round up
+		// from just below the smallest subnormal)
+		// The subnormal payload is m = round(value / 2⁻²⁴). With the
+		// 53-bit integer significand full = 1.mant·2⁵², the value is
+		// full·2^(exp−52), so m = full >> (28 − exp) with
+		// round-to-nearest-even on the dropped bits.
+		shift := uint(28 - exp)
+		full := (uint64(1) << 52) | mant
+		m := full >> shift
+		rest := full & ((uint64(1) << shift) - 1)
+		half := uint64(1) << (shift - 1)
+		if rest > half || (rest == half && m&1 == 1) {
+			m++
+			// Subnormal rounding can carry into the smallest normal, which
+			// the encoding below represents correctly (m == 1<<10).
+		}
+		return Float16(sign | uint16(m))
+	default: // underflow → signed zero
+		return Float16(sign)
+	}
+}
+
+// Float64 converts back exactly (every binary16 value is representable).
+func (h Float16) Float64() float64 {
+	sign := uint64(h&0x8000) << 48
+	exp := int((h >> 10) & 0x1f)
+	mant := uint64(h & 0x3ff)
+	switch {
+	case exp == 0x1f: // Inf/NaN
+		if mant != 0 {
+			return math.Float64frombits(sign | 0x7ff8000000000000)
+		}
+		return math.Float64frombits(sign | 0x7ff0000000000000)
+	case exp == 0: // zero or subnormal
+		if mant == 0 {
+			return math.Float64frombits(sign)
+		}
+		// Normalize the subnormal: value = mant·2⁻²⁴ = 1.x·2^e.
+		e := -14
+		for mant&(1<<10) == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float64frombits(sign | uint64(e+1023)<<52 | mant<<42)
+	default:
+		return math.Float64frombits(sign | uint64(exp-15+1023)<<52 | mant<<42)
+	}
+}
+
+// Round squeezes a float64 through binary16 and back: the fundamental
+// quantization operator.
+func Round(f float64) float64 { return FromFloat64(f).Float64() }
+
+// RoundComplex quantizes both components of a complex number.
+func RoundComplex(z complex128) complex128 {
+	return complex(Round(real(z)), Round(imag(z)))
+}
+
+// RelativeError returns |Round(f)−f|/|f| (0 for f == 0) — bounded by
+// 2⁻¹¹ ≈ 4.9e-4 inside the normal range.
+func RelativeError(f float64) float64 {
+	if f == 0 {
+		return 0
+	}
+	return math.Abs(Round(f)-f) / math.Abs(f)
+}
+
+// MaxRelativeError is the unit roundoff of binary16 in its normal range.
+const MaxRelativeError = 1.0 / 2048

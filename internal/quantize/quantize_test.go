@@ -1,0 +1,278 @@
+package quantize
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/mimo"
+	"repro/internal/rng"
+	"repro/internal/sphere"
+)
+
+func TestKnownFloat16Values(t *testing.T) {
+	cases := []struct {
+		f    float64
+		bits Float16
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                 // largest finite
+		{6.103515625e-05, 0x0400},       // smallest normal
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal
+		{math.Inf(1), 0x7c00},
+		{math.Inf(-1), 0xfc00},
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.f); got != c.bits {
+			t.Errorf("FromFloat64(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if back := c.bits.Float64(); back != c.f {
+			t.Errorf("Float64(%#04x) = %v, want %v", c.bits, back, c.f)
+		}
+	}
+}
+
+func TestNaN(t *testing.T) {
+	h := FromFloat64(math.NaN())
+	if !math.IsNaN(h.Float64()) {
+		t.Fatalf("NaN round trip: %v", h.Float64())
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	if got := FromFloat64(70000).Float64(); !math.IsInf(got, 1) {
+		t.Fatalf("70000 -> %v, want +Inf", got)
+	}
+	if got := FromFloat64(-1e300).Float64(); !math.IsInf(got, -1) {
+		t.Fatalf("-1e300 -> %v, want -Inf", got)
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	if got := FromFloat64(1e-10).Float64(); got != 0 {
+		t.Fatalf("1e-10 -> %v, want 0", got)
+	}
+	if got := FromFloat64(-1e-10); got != 0x8000 {
+		t.Fatalf("-1e-10 -> %#04x, want signed zero", got)
+	}
+}
+
+func TestRoundTripIdempotent(t *testing.T) {
+	// Round(Round(x)) == Round(x): every binary16 value is exactly
+	// representable in float64.
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		once := Round(x)
+		return Round(once) == once || (math.IsNaN(once) && math.IsNaN(Round(once)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeErrorBound(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 5000; i++ {
+		// Values in the binary16 normal range.
+		x := (r.Float64()*2 - 1) * 1000
+		if x == 0 {
+			continue
+		}
+		if math.Abs(x) < 6.2e-5 {
+			continue
+		}
+		if re := RelativeError(x); re > MaxRelativeError {
+			t.Fatalf("relative error %v > %v for %v", re, MaxRelativeError, x)
+		}
+	}
+	if RelativeError(0) != 0 {
+		t.Fatal("RelativeError(0) != 0")
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly between 1 and 1+2^-10; ties go to even (1).
+	x := 1 + math.Pow(2, -11)
+	if got := Round(x); got != 1 {
+		t.Fatalf("tie not rounded to even: %v", got)
+	}
+	// 1 + 3·2^-11 ties between 1+2^-10 and 1+2^-9... actually rounds up to
+	// the even mantissa 1+2^-9? No: it is between 1+2^-10 (odd mantissa 1)
+	// and 1+2^-9 (even mantissa 2): tie → even.
+	y := 1 + 3*math.Pow(2, -11)
+	if got := Round(y); got != 1+math.Pow(2, -9) {
+		t.Fatalf("tie at odd mantissa rounded to %v", got)
+	}
+}
+
+func TestMantissaOverflowCarries(t *testing.T) {
+	// Just below 2: rounds up across the exponent boundary.
+	x := 2 - math.Pow(2, -12)
+	if got := Round(x); got != 2 {
+		t.Fatalf("carry across exponent: %v", got)
+	}
+	// Just below the overflow threshold rounds to Inf.
+	if got := Round(65520); !math.IsInf(got, 1) {
+		t.Fatalf("65520 -> %v, want +Inf (rounds past 65504)", got)
+	}
+}
+
+func TestRoundComplex(t *testing.T) {
+	z := RoundComplex(complex(1+1e-9, -2-1e-9))
+	if z != complex(1, -2) {
+		t.Fatalf("RoundComplex = %v", z)
+	}
+}
+
+func TestRoundMatrixAndVector(t *testing.T) {
+	r := rng.New(2)
+	m := cmatrix.NewMatrix(3, 3)
+	for i := range m.Data {
+		m.Data[i] = r.ComplexNormal(1)
+	}
+	q := RoundMatrix(m)
+	if q == m {
+		t.Fatal("RoundMatrix must copy")
+	}
+	for i := range q.Data {
+		if q.Data[i] != RoundComplex(m.Data[i]) {
+			t.Fatal("matrix element not quantized")
+		}
+	}
+	v := cmatrix.Vector{complex(1+1e-9, 0)}
+	if RoundVector(v)[0] != 1 {
+		t.Fatal("vector element not quantized")
+	}
+}
+
+func TestMulFP16CloseToExact(t *testing.T) {
+	r := rng.New(3)
+	a := cmatrix.NewMatrix(6, 6)
+	b := cmatrix.NewMatrix(6, 6)
+	for i := range a.Data {
+		a.Data[i] = r.ComplexNormal(1)
+		b.Data[i] = r.ComplexNormal(1)
+	}
+	exact := cmatrix.MulNaive(a, b)
+	for _, mode := range []Precision{FP32Accumulate, FP16Accumulate} {
+		got := MulFP16(a, b, mode)
+		// Error bound: a few ulps of fp16 per accumulation step.
+		maxErr := 0.0
+		for i := range got.Data {
+			d := got.Data[i] - exact.Data[i]
+			e := math.Hypot(real(d), imag(d))
+			if e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 0.1 {
+			t.Errorf("%v: max error %v too large", mode, maxErr)
+		}
+		if maxErr == 0 {
+			t.Errorf("%v: suspiciously exact (quantization had no effect)", mode)
+		}
+	}
+}
+
+func TestFP32AccumulateMoreAccurate(t *testing.T) {
+	r := rng.New(4)
+	const dim = 32 // long dot products amplify accumulation rounding
+	a := cmatrix.NewMatrix(dim, dim)
+	b := cmatrix.NewMatrix(dim, dim)
+	for i := range a.Data {
+		a.Data[i] = r.ComplexNormal(1)
+		b.Data[i] = r.ComplexNormal(1)
+	}
+	exact := cmatrix.MulNaive(a, b)
+	err16 := gemErr(MulFP16(a, b, FP16Accumulate), exact)
+	err32 := gemErr(MulFP16(a, b, FP32Accumulate), exact)
+	if err32 >= err16 {
+		t.Fatalf("fp32-acc error %v not below fp16-acc %v", err32, err16)
+	}
+}
+
+func gemErr(got, want *cmatrix.Matrix) float64 {
+	sum := 0.0
+	for i := range got.Data {
+		d := got.Data[i] - want.Data[i]
+		sum += real(d)*real(d) + imag(d)*imag(d)
+	}
+	return math.Sqrt(sum)
+}
+
+func TestMulFP16DimPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	MulFP16(cmatrix.NewMatrix(2, 3), cmatrix.NewMatrix(2, 3), FP32Accumulate)
+}
+
+func TestQuantizedProblemDecodes(t *testing.T) {
+	// End-to-end: FP16-quantized inputs through the exact decoder must
+	// still recover symbols at moderate SNR (the future-work claim that
+	// half precision is viable).
+	cfg := mimo.Config{Tx: 6, Rx: 6, Mod: constellation.QAM4}
+	cons := constellation.New(cfg.Mod)
+	sd := sphere.MustNew(sphere.Config{Const: cons, Strategy: sphere.SortedDFS})
+	r := rng.New(5)
+	errsFull, errsQuant := 0, 0
+	const frames = 60
+	for i := 0; i < frames; i++ {
+		f, err := mimo.GenerateFrame(r, cfg, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := sd.Decode(f.H, f.Y, f.NoiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := QuantizeProblem(f.H, f.Y, f.NoiseVar)
+		quant, err := sd.Decode(q.H, q.Y, q.NoiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errsFull += mimo.CountBitErrors(cons, f.SymbolIdx, full.SymbolIdx)
+		errsQuant += mimo.CountBitErrors(cons, f.SymbolIdx, quant.SymbolIdx)
+	}
+	if errsQuant > errsFull+4 {
+		t.Fatalf("quantized path much worse: %d vs %d bit errors", errsQuant, errsFull)
+	}
+}
+
+func TestExhaustiveBitPatternRoundTrip(t *testing.T) {
+	// Every one of the 65536 binary16 bit patterns must survive
+	// Float64 → FromFloat64 unchanged (NaN payloads map to the canonical
+	// quiet NaN and are checked for NaN-ness only).
+	for bits := 0; bits <= 0xffff; bits++ {
+		h := Float16(bits)
+		f := h.Float64()
+		back := FromFloat64(f)
+		exp := (bits >> 10) & 0x1f
+		mant := bits & 0x3ff
+		if exp == 0x1f && mant != 0 { // NaN
+			if !math.IsNaN(back.Float64()) {
+				t.Fatalf("NaN pattern %#04x lost NaN-ness", bits)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("pattern %#04x -> %v -> %#04x", bits, f, back)
+		}
+	}
+}
+
+func TestPrecisionString(t *testing.T) {
+	if FP32Accumulate.String() == "" || FP16Accumulate.String() == "" || Precision(9).String() == "" {
+		t.Fatal("empty precision names")
+	}
+}

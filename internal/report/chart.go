@@ -1,0 +1,111 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders the figure as an ASCII scatter chart with a logarithmic
+// y-axis — the scale every execution-time and BER figure in the paper uses.
+// Each series is drawn with its own marker; zero or negative values (e.g.
+// an exactly-zero measured BER) are skipped. width and height are the plot
+// area in characters; small values are clamped to a readable minimum.
+func (f *Figure) Chart(w io.Writer, width, height int) error {
+	if width < 20 {
+		width = 20
+	}
+	if height < 6 {
+		height = 6
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Log-range over all positive values.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, v := range s.Values {
+			if v <= 0 {
+				continue
+			}
+			l := math.Log10(v)
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return fmt.Errorf("report: no positive values to chart in %q", f.Title)
+	}
+	if hi-lo < 1e-9 {
+		hi = lo + 1 // flat data: give it a decade of headroom
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	xPos := func(i int) int {
+		if len(f.X) == 1 {
+			return width / 2
+		}
+		return i * (width - 1) / (len(f.X) - 1)
+	}
+	yPos := func(v float64) int {
+		frac := (math.Log10(v) - lo) / (hi - lo)
+		row := int(math.Round(float64(height-1) * (1 - frac)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+	for si, s := range f.Series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Values {
+			if v <= 0 {
+				continue
+			}
+			grid[yPos(v)][xPos(i)] = m
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s  (log %s)\n", f.Title, f.YLabel)
+	topLabel := fmt.Sprintf("%.3g", math.Pow(10, hi))
+	botLabel := fmt.Sprintf("%.3g", math.Pow(10, lo))
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = pad(topLabel, labelW)
+		case height - 1:
+			label = pad(botLabel, labelW)
+		}
+		fmt.Fprintf(&sb, "%s |%s|\n", label, string(row))
+	}
+	// X axis: first and last tick.
+	axis := strings.Repeat(" ", labelW+2)
+	first := fmt.Sprintf("%g", f.X[0])
+	last := fmt.Sprintf("%g", f.X[len(f.X)-1])
+	gap := width - len(first) - len(last)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&sb, "%s%s%s%s  (%s)\n", axis, first, strings.Repeat(" ", gap), last, f.XLabel)
+	// Legend.
+	for si, s := range f.Series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

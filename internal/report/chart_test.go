@@ -1,0 +1,114 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func chartFigure(t *testing.T) *Figure {
+	t.Helper()
+	f := NewFigure("Demo", "SNR(dB)", "time(ms)", []float64{4, 8, 12, 16, 20})
+	if err := f.Add("CPU", []float64{11.7, 4.4, 3.5, 3.4, 3.3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("FPGA", []float64{2.0, 0.67, 0.47, 0.44, 0.43}); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestChartRenders(t *testing.T) {
+	f := chartFigure(t)
+	var sb strings.Builder
+	if err := f.Chart(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "CPU", "FPGA", "SNR(dB)", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Axis ticks present.
+	if !strings.Contains(out, "4") || !strings.Contains(out, "20") {
+		t.Errorf("missing x ticks:\n%s", out)
+	}
+}
+
+func TestChartOrdering(t *testing.T) {
+	// The larger series must plot above the smaller at the same x: find
+	// the column of the first x position and compare marker rows.
+	f := chartFigure(t)
+	var sb strings.Builder
+	if err := f.Chart(&sb, 40, 12); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	var starRow, oRow int = -1, -1
+	for i, line := range lines {
+		bar := strings.IndexByte(line, '|')
+		if bar < 0 {
+			continue
+		}
+		// First plotted column is right after the bar.
+		if idx := strings.IndexByte(line[bar:], '*'); idx >= 0 && starRow < 0 {
+			starRow = i
+		}
+		if idx := strings.IndexByte(line[bar:], 'o'); idx >= 0 && oRow < 0 {
+			oRow = i
+		}
+	}
+	if starRow < 0 || oRow < 0 {
+		t.Fatalf("markers not found:\n%s", sb.String())
+	}
+	if starRow >= oRow {
+		t.Fatalf("CPU (row %d) should plot above FPGA (row %d)", starRow, oRow)
+	}
+}
+
+func TestChartSkipsNonPositive(t *testing.T) {
+	f := NewFigure("BER", "SNR", "BER", []float64{4, 8})
+	if err := f.Add("SD", []float64{4e-5, 0}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f.Chart(&sb, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "*") != 2 { // 1 data point + 1 legend marker
+		t.Fatalf("zero value should be skipped:\n%s", sb.String())
+	}
+}
+
+func TestChartAllZeroErrors(t *testing.T) {
+	f := NewFigure("empty", "x", "y", []float64{1})
+	if err := f.Add("s", []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f.Chart(&sb, 30, 8); err == nil {
+		t.Fatal("all-zero chart should error")
+	}
+}
+
+func TestChartFlatSeries(t *testing.T) {
+	f := NewFigure("flat", "x", "y", []float64{1, 2})
+	if err := f.Add("s", []float64{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := f.Chart(&sb, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	f := chartFigure(t)
+	var sb strings.Builder
+	if err := f.Chart(&sb, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) == 0 {
+		t.Fatal("empty chart")
+	}
+}

@@ -1,0 +1,197 @@
+// Package report renders the experiment harness's outputs: fixed-width
+// ASCII tables in the shape of the paper's Tables I–II, figure data as
+// aligned series (one row per SNR point, one column per platform), and CSV
+// for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned table builder.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteString("\n")
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// CSV writes the table as comma-separated values (quoted when needed).
+func (t *Table) CSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := io.WriteString(w, strings.Join(parts, ",")+"\n")
+		return err
+	}
+	if err := writeLine(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is one curve of a figure: a label plus y-values aligned with the
+// figure's shared x-axis.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Figure is the data behind one of the paper's figures: a shared x-axis
+// (SNR points) and one series per platform/decoder.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// NewFigure creates a figure with the given axes.
+func NewFigure(title, xlabel, ylabel string, x []float64) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, YLabel: ylabel, X: x}
+}
+
+// Add appends a series; its length must match the x-axis.
+func (f *Figure) Add(label string, values []float64) error {
+	if len(values) != len(f.X) {
+		return fmt.Errorf("report: series %q has %d values for %d x-points", label, len(values), len(f.X))
+	}
+	f.Series = append(f.Series, Series{Label: label, Values: values})
+	return nil
+}
+
+// Render writes the figure as an aligned data table: one row per x point.
+func (f *Figure) Render(w io.Writer) error {
+	t := NewTable(fmt.Sprintf("%s  [%s vs %s]", f.Title, f.YLabel, f.XLabel))
+	t.Header = append(t.Header, f.XLabel)
+	for _, s := range f.Series {
+		t.Header = append(t.Header, s.Label)
+	}
+	for i, x := range f.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			row = append(row, FormatSI(s.Values[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.Render(w)
+}
+
+// CSV writes the figure data as CSV.
+func (f *Figure) CSV(w io.Writer) error {
+	t := &Table{Header: append([]string{f.XLabel}, labels(f.Series)...)}
+	for i, x := range f.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			row = append(row, fmt.Sprintf("%g", s.Values[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t.CSV(w)
+}
+
+func labels(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// FormatSI renders a value with a readable number of significant digits,
+// using scientific notation for very small magnitudes (BER values).
+func FormatSI(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 0:
+		return "-" + FormatSI(-v)
+	case v < 1e-3:
+		return fmt.Sprintf("%.2e", v)
+	case v < 10:
+		return fmt.Sprintf("%.3f", v)
+	case v < 1000:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// FormatMillis renders a duration in seconds as milliseconds, the unit of
+// every execution-time figure in the paper.
+func FormatMillis(seconds float64) string {
+	return fmt.Sprintf("%.3g ms", seconds*1e3)
+}

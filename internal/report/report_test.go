@@ -1,0 +1,124 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta-long-name", "2")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "beta-long-name", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns aligned: every data line has the value column starting at the
+	// same offset.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatal("no header")
+	}
+	if lines[3][idx:idx+1] != "1" {
+		t.Errorf("misaligned column:\n%s", out)
+	}
+}
+
+func TestTableShortRowsPadded(t *testing.T) {
+	tab := NewTable("", "a", "b", "c")
+	tab.AddRow("x")
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows[0]) != 3 {
+		t.Fatal("row not padded")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("ignored", "a", "b")
+	tab.AddRow("1", "hello, world")
+	tab.AddRow("2", `say "hi"`)
+	var sb strings.Builder
+	if err := tab.CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `"hello, world"`) {
+		t.Errorf("comma not quoted: %s", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Errorf("quote not escaped: %s", out)
+	}
+	if strings.Contains(out, "ignored") {
+		t.Error("CSV should not include the title")
+	}
+}
+
+func TestFigure(t *testing.T) {
+	f := NewFigure("Fig X", "SNR", "time", []float64{4, 8, 12})
+	if err := f.Add("CPU", []float64{7, 3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("FPGA", []float64{1.4, 0.9, 0.4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Add("bad", []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	var sb strings.Builder
+	if err := f.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig X", "CPU", "FPGA", "SNR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	if err := f.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "SNR,CPU,FPGA") {
+		t.Errorf("CSV header: %s", csv.String())
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != 4 {
+		t.Errorf("CSV has %d lines", lines)
+	}
+}
+
+func TestFormatSI(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.00001: "1.00e-05",
+		0.5:     "0.500",
+		42:      "42.0",
+		12345:   "12345",
+	}
+	for v, want := range cases {
+		if got := FormatSI(v); got != want {
+			t.Errorf("FormatSI(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := FormatSI(-42); got != "-42.0" {
+		t.Errorf("negative: %q", got)
+	}
+}
+
+func TestFormatMillis(t *testing.T) {
+	if got := FormatMillis(0.007); got != "7 ms" {
+		t.Errorf("FormatMillis = %q", got)
+	}
+	if got := FormatMillis(0.0441); got != "44.1 ms" {
+		t.Errorf("FormatMillis = %q", got)
+	}
+}

@@ -1,0 +1,281 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero seed generator produced duplicates: %d unique of 100", len(seen))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 3, 7, 16, 1000} {
+		for i := 0; i < 2000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: %d draws, want ~%v", i, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 400000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormFloat64Tails(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	beyond2 := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(r.NormFloat64()) > 2 {
+			beyond2++
+		}
+	}
+	frac := float64(beyond2) / n
+	// P(|Z|>2) ~ 0.0455.
+	if frac < 0.040 || frac > 0.051 {
+		t.Fatalf("P(|Z|>2) = %v, want ~0.0455", frac)
+	}
+}
+
+func TestComplexNormalVariance(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	const variance = 2.5
+	var sumRe, sumIm, sumMag float64
+	for i := 0; i < n; i++ {
+		z := r.ComplexNormal(variance)
+		sumRe += real(z)
+		sumIm += imag(z)
+		sumMag += real(z)*real(z) + imag(z)*imag(z)
+	}
+	if m := sumRe / n; math.Abs(m) > 0.02 {
+		t.Errorf("real mean = %v, want ~0", m)
+	}
+	if m := sumIm / n; math.Abs(m) > 0.02 {
+		t.Errorf("imag mean = %v, want ~0", m)
+	}
+	if v := sumMag / n; math.Abs(v-variance) > 0.05 {
+		t.Errorf("E|z|^2 = %v, want %v", v, variance)
+	}
+}
+
+func TestChildIndependence(t *testing.T) {
+	parent := New(23)
+	c0 := parent.Child(0)
+	c1 := parent.Child(1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c0.Uint64() == c1.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("children 0 and 1 produced %d identical draws", same)
+	}
+}
+
+func TestChildDeterministic(t *testing.T) {
+	a := New(29).Child(5)
+	b := New(29).Child(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Child(5) of identical parents diverged")
+		}
+	}
+}
+
+func TestSplitAdvancesParent(t *testing.T) {
+	a := New(31)
+	b := New(31)
+	_ = a.Split()
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("Split did not advance the parent stream")
+	}
+}
+
+func TestBitsBalanced(t *testing.T) {
+	r := New(37)
+	bits := make([]int, 100000)
+	r.Bits(bits)
+	ones := 0
+	for _, b := range bits {
+		if b != 0 && b != 1 {
+			t.Fatalf("bit value %d", b)
+		}
+		ones += b
+	}
+	frac := float64(ones) / float64(len(bits))
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("bit balance %v, want ~0.5", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(41)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestMul128AgainstMathBits(t *testing.T) {
+	f := func(a, b uint64) bool {
+		hi, lo := mul128(a, b)
+		// Verify via the identity on 32-bit halves computed with big-ish math:
+		// cross-check against the schoolbook recomputation.
+		wantHi, wantLo := mul128Reference(a, b)
+		return hi == wantHi && lo == wantLo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// mul128Reference is an independent 128-bit multiply used to cross-check
+// mul128 in tests.
+func mul128Reference(a, b uint64) (hi, lo uint64) {
+	a0, a1 := a&0xffffffff, a>>32
+	b0, b1 := b&0xffffffff, b>>32
+	p00 := a0 * b0
+	p01 := a0 * b1
+	p10 := a1 * b0
+	p11 := a1 * b1
+	mid := p01 + p00>>32
+	midHi := mid >> 32
+	mid = mid&0xffffffff + p10
+	hi = p11 + midHi + mid>>32
+	lo = mid<<32 | p00&0xffffffff
+	return hi, lo
+}
+
+func TestUint64QuickUniqueness(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		a, b := r.Uint64(), r.Uint64()
+		return a != b // astronomically unlikely to collide for a healthy PRNG
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

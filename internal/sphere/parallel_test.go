@@ -1,0 +1,152 @@
+package sphere
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/rng"
+)
+
+func TestParallelMatchesML(t *testing.T) {
+	r := rng.New(21)
+	c := constellation.New(constellation.QAM4)
+	ml := decoder.NewML(c)
+	for _, workers := range []int{1, 2, 4, 0} {
+		pd, err := NewParallel(Config{Const: c, Strategy: SortedDFS}, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			h, y, nv, _ := makeInstance(r, c, 5, 4, 6)
+			want, err := ml.Decode(h, y, nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pd.Decode(h, y, nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Metric-want.Metric) > 1e-6*(1+want.Metric) {
+				t.Fatalf("workers=%d trial %d: parallel %v, ML %v", workers, trial, got.Metric, want.Metric)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rng.New(22)
+	c := constellation.New(constellation.QAM16)
+	seq := MustNew(Config{Const: c, Strategy: SortedDFS})
+	par, err := NewParallel(Config{Const: c, Strategy: SortedDFS}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 6, 5, 10)
+		rs, err := seq.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := par.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rs.Metric-rp.Metric) > 1e-6*(1+rs.Metric) {
+			t.Fatalf("trial %d: sequential %v, parallel %v", trial, rs.Metric, rp.Metric)
+		}
+		for i := range rs.SymbolIdx {
+			if rs.SymbolIdx[i] != rp.SymbolIdx[i] {
+				t.Fatalf("trial %d: symbol vectors differ at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestParallelRejectsNonDFS(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	if _, err := NewParallel(Config{Const: c, Strategy: BFS}, 2); err == nil {
+		t.Fatal("BFS accepted by parallel decoder")
+	}
+	if _, err := NewParallel(Config{Const: c, Strategy: BestFS}, 2); err == nil {
+		t.Fatal("BestFS accepted by parallel decoder")
+	}
+}
+
+func TestParallelName(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	pd, err := NewParallel(Config{Const: c, Strategy: SortedDFS}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Name() != "SD-SortedDFS-parallel" {
+		t.Fatalf("name = %q", pd.Name())
+	}
+}
+
+func TestParallelCountersAggregate(t *testing.T) {
+	r := rng.New(23)
+	c := constellation.New(constellation.QAM4)
+	pd, err := NewParallel(Config{Const: c, Strategy: SortedDFS}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, y, nv, _ := makeInstance(r, c, 8, 8, 6)
+	res, err := pd.Decode(h, y, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.NodesExpanded == 0 || res.Counters.LeavesReached == 0 {
+		t.Fatalf("empty counters: %+v", res.Counters)
+	}
+	if res.Counters.ChildrenGenerated != res.Counters.NodesExpanded*int64(c.Size()) {
+		t.Fatal("child conservation violated in parallel trace")
+	}
+}
+
+func TestParallelDimsChecked(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	pd, err := NewParallel(Config{Const: c, Strategy: SortedDFS}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, y, _, _ := makeInstance(rng.New(24), c, 4, 4, 10)
+	if _, err := pd.Decode(h, y[:3], 0.1); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestSharedRadiusTighten(t *testing.T) {
+	s := &sharedRadius{}
+	s.store(math.Inf(1))
+	if !s.tighten(5) {
+		t.Fatal("tighten from +Inf failed")
+	}
+	if s.tighten(7) {
+		t.Fatal("tighten raised the radius")
+	}
+	if got := s.load(); got != 5 {
+		t.Fatalf("radius = %v", got)
+	}
+	if !s.tighten(2) || s.load() != 2 {
+		t.Fatal("second tighten failed")
+	}
+}
+
+func TestParallelRaceFree(t *testing.T) {
+	// Exercise concurrent radius updates under -race with many workers on a
+	// hard instance.
+	r := rng.New(25)
+	c := constellation.New(constellation.QAM4)
+	pd, err := NewParallel(Config{Const: c, Strategy: SortedDFS}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 10, 10, 2)
+		if _, err := pd.Decode(h, y, nv); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package sphere
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/rng"
+)
+
+func TestRVDRejectsBPSK(t *testing.T) {
+	if _, err := NewRVD(constellation.New(constellation.BPSK)); err == nil {
+		t.Fatal("BPSK accepted")
+	}
+}
+
+func TestRVDPAMLevels(t *testing.T) {
+	d, err := NewRVD(constellation.New(constellation.QAM16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.axisL != 4 || len(d.pam) != 4 {
+		t.Fatalf("axisL=%d pam=%v", d.axisL, d.pam)
+	}
+	for i := 1; i < len(d.pam); i++ {
+		if d.pam[i] <= d.pam[i-1] {
+			t.Fatalf("PAM not ascending: %v", d.pam)
+		}
+	}
+}
+
+func TestRVDMatchesML(t *testing.T) {
+	r := rng.New(81)
+	for _, mod := range []constellation.Modulation{constellation.QAM4, constellation.QAM16} {
+		c := constellation.New(mod)
+		ml := decoder.NewML(c)
+		rvd, err := NewRVD(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 12; trial++ {
+			h, y, nv, _ := makeInstance(r, c, 4, 4, 8)
+			want, err := ml.Decode(h, y, nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rvd.Decode(h, y, nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Metric-want.Metric) > 1e-6*(1+want.Metric) {
+				t.Fatalf("%v trial %d: RVD %v vs ML %v", mod, trial, got.Metric, want.Metric)
+			}
+		}
+	}
+}
+
+func TestRVDMatchesComplexSD(t *testing.T) {
+	// Both formulations are exact: decoded vectors must agree.
+	r := rng.New(82)
+	c := constellation.New(constellation.QAM4)
+	complexSD := MustNew(Config{Const: c, Strategy: SortedDFS})
+	rvd, err := NewRVD(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 15; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 8, 8, 6)
+		a, err := complexSD.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rvd.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.SymbolIdx {
+			if a.SymbolIdx[i] != b.SymbolIdx[i] {
+				t.Fatalf("trial %d: formulations disagree at antenna %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestRVDNoiselessRecovery(t *testing.T) {
+	r := rng.New(83)
+	c := constellation.New(constellation.QAM16)
+	rvd, err := NewRVD(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, y, _, idx := makeInstance(r, c, 5, 5, 300)
+	res, err := rvd.Decode(h, y, 1e-30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range idx {
+		if res.SymbolIdx[i] != idx[i] {
+			t.Fatalf("antenna %d: %d vs %d", i, res.SymbolIdx[i], idx[i])
+		}
+	}
+}
+
+func TestRVDTreeShape(t *testing.T) {
+	// 16-QAM RVD: branching 4 over 2M levels, so children per expansion is
+	// the PAM size, not |Ω|.
+	r := rng.New(84)
+	c := constellation.New(constellation.QAM16)
+	rvd, err := NewRVD(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, y, nv, _ := makeInstance(r, c, 4, 4, 10)
+	res, err := rvd.Decode(h, y, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.ChildrenGenerated != res.Counters.NodesExpanded*4 {
+		t.Fatalf("children %d for %d expansions (want ×4)",
+			res.Counters.ChildrenGenerated, res.Counters.NodesExpanded)
+	}
+	// The real tree must be at least 2M deep: the best leaf path visits
+	// 2M levels, so at least 2M expansions happened.
+	if res.Counters.NodesExpanded < 8 {
+		t.Fatalf("only %d expansions for a 2M=8 level tree", res.Counters.NodesExpanded)
+	}
+}
+
+func TestRVDValidation(t *testing.T) {
+	c := constellation.New(constellation.QAM4)
+	rvd, err := NewRVD(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, y, _, _ := makeInstance(rng.New(85), c, 4, 4, 10)
+	if _, err := rvd.Decode(h, y[:3], 0.1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if rvd.Name() != "SD-RVD" {
+		t.Errorf("name %q", rvd.Name())
+	}
+	rvd.MaxNodes = 2
+	if _, err := rvd.Decode(h, y, 0.1); err == nil {
+		t.Error("budget exhaustion not reported")
+	}
+}

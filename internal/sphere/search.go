@@ -1,0 +1,487 @@
+package sphere
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"repro/internal/cmatrix"
+	"repro/internal/decoder"
+)
+
+// search holds the state of one tree exploration: the reduced system
+// (R, ȳ), the Meta State Table, the current sphere radius, the incumbent
+// leaf, and the operation trace.
+type search struct {
+	cfg  *Config
+	m    int // transmit antennas == tree height
+	p    int // |Ω| == branching factor
+	r    *cmatrix.Matrix
+	ybar cmatrix.Vector
+	pts  []complex128
+	mst  *MST
+
+	radiusSq float64
+	bestPD   float64
+	bestLeaf int32
+
+	counters decoder.Counters
+
+	// Reusable scratch.
+	pathBuf []int
+	childPD []float64
+	order   []int
+}
+
+func newSearch(cfg *Config, r *cmatrix.Matrix, ybar cmatrix.Vector, radiusSq float64) *search {
+	m := r.Cols
+	p := cfg.Const.Size()
+	return &search{
+		cfg:      cfg,
+		m:        m,
+		p:        p,
+		r:        r,
+		ybar:     ybar,
+		pts:      cfg.Const.Points(),
+		mst:      NewMST(m),
+		radiusSq: radiusSq,
+		bestPD:   math.Inf(1),
+		bestLeaf: -1,
+		pathBuf:  make([]int, m),
+		childPD:  make([]float64, p),
+		order:    make([]int, p),
+	}
+}
+
+// run dispatches to the configured traversal.
+func (s *search) run() error {
+	switch s.cfg.Strategy {
+	case SortedDFS, PlainDFS:
+		return s.runDFS(s.cfg.Strategy == SortedDFS)
+	case BestFS:
+		return s.runBestFS()
+	case BFS:
+		return s.runBFS()
+	case FSD:
+		return s.runFSD()
+	}
+	panic("sphere: unreachable strategy")
+}
+
+// evalChildren computes the PDs of all |Ω| children of the node id, filling
+// s.childPD and s.childSym. The node sits at depth d, so the children decide
+// antenna k = m−1−d and the PD increment is |ȳ_k − Σ_{i≥k} R[k][i]·s_i|²
+// (Eq. 6). Two arithmetic paths produce the same values:
+//
+//   - scalar (BLAS-2 profile): walk the MST path once, accumulate the inner
+//     product, then one fused update per child;
+//   - GEMM (BLAS-3 profile, the paper's refactoring): gather the tree-state
+//     block into a (m−k)×|Ω| matrix and multiply by the R row block.
+func (s *search) evalChildren(id int32) {
+	d := s.mst.Depth(id)
+	if s.cfg.OnExpand != nil {
+		s.cfg.OnExpand(d)
+	}
+	k := s.m - 1 - d
+	parentPD := s.mst.PD(id)
+	row := s.r.Row(k)
+
+	visited := s.mst.PathSymbols(id, s.m, s.pathBuf)
+	s.counters.IrregularLoads += int64(visited)
+
+	if s.cfg.UseGEMM {
+		s.evalChildrenGEMM(k, parentPD, row)
+	} else {
+		s.evalChildrenScalar(k, parentPD, row)
+	}
+	s.counters.ChildrenGenerated += int64(s.p)
+	s.counters.EvalDepthSum += int64(s.m - k)
+	// Reset the iteration order to natural; sortChildren permutes it.
+	for c := 0; c < s.p; c++ {
+		s.order[c] = c
+	}
+}
+
+func (s *search) evalChildrenScalar(k int, parentPD float64, row []complex128) {
+	// inner = Σ_{i>k} R[k][i]·s_i over the already-decided path symbols.
+	var inner complex128
+	for i := k + 1; i < s.m; i++ {
+		inner += row[i] * s.pts[s.pathBuf[i]]
+	}
+	target := s.ybar[k] - inner
+	rkk := row[k]
+	for c := 0; c < s.p; c++ {
+		diff := target - rkk*s.pts[c]
+		s.childPD[c] = parentPD + real(diff)*real(diff) + imag(diff)*imag(diff)
+	}
+	s.counters.OtherFlops += 8*int64(s.m-1-k) + int64(s.p)*12
+	s.counters.RegularLoads += int64(s.m - k)
+}
+
+func (s *search) evalChildrenGEMM(k int, parentPD float64, row []complex128) {
+	depth := s.m - k // block height: the new symbol plus the decided path
+	// Tree-state block: column c is [ω_c, s_{k+1}, …, s_{m−1}]ᵀ.
+	state := cmatrix.NewMatrix(depth, s.p)
+	for c := 0; c < s.p; c++ {
+		state.Set(0, c, s.pts[c])
+	}
+	for i := k + 1; i < s.m; i++ {
+		sym := s.pts[s.pathBuf[i]]
+		r := state.Row(i - k)
+		for c := 0; c < s.p; c++ {
+			r[c] = sym
+		}
+	}
+	// A is the 1×depth row block R[k, k:m].
+	a := cmatrix.NewMatrix(1, depth)
+	copy(a.Row(0), row[k:s.m])
+	w := cmatrix.NewMatrix(1, s.p)
+	cmatrix.GEMM(1, a, state, 0, w)
+	s.counters.GEMMCalls++
+	s.counters.GEMMFlops += cmatrix.FlopsGEMM(1, s.p, depth)
+	s.counters.RegularLoads += int64(depth) * int64(s.p+1)
+
+	yk := s.ybar[k]
+	for c := 0; c < s.p; c++ {
+		diff := yk - w.At(0, c)
+		s.childPD[c] = parentPD + real(diff)*real(diff) + imag(diff)*imag(diff)
+	}
+	s.counters.OtherFlops += int64(s.p) * 6 // NORM module work
+}
+
+// sortChildren orders s.order by ascending child PD, counting comparator
+// work. This is the paper's phase-3 sort (Fig. 3).
+func (s *search) sortChildren() {
+	s.counters.SortedBatches++
+	sort.Slice(s.order, func(i, j int) bool {
+		s.counters.CompareOps++
+		return s.childPD[s.order[i]] < s.childPD[s.order[j]]
+	})
+}
+
+// commitLeaf processes a full-depth child: every evaluated leaf counts, and
+// an improving one shrinks the radius (Algorithm 1 lines 7–9).
+func (s *search) commitLeaf(parent int32, sym int, pd float64) {
+	s.counters.LeavesReached++
+	if pd < s.radiusSq && pd < s.bestPD {
+		s.bestPD = pd
+		s.radiusSq = pd
+		s.bestLeaf = s.mst.Add(parent, sym, pd)
+		s.counters.RadiusUpdates++
+	}
+}
+
+func (s *search) budgetExceeded() bool {
+	return s.counters.NodesExpanded >= s.cfg.MaxNodes
+}
+
+func (s *search) noteListLen(n int) {
+	if int64(n) > s.counters.MaxListLen {
+		s.counters.MaxListLen = int64(n)
+	}
+}
+
+// --- Depth-first (plain and sorted) ----------------------------------------
+
+// runDFS explores the tree with an explicit LIFO stack. With sorted == true
+// the children of each expansion are pushed so the lowest-PD child pops
+// first — the paper's traversal (Fig. 3's sorted insertion + LIFO pop).
+func (s *search) runDFS(sorted bool) error {
+	stack := make([]int32, 0, s.m*s.p)
+	stack = append(stack, s.mst.Root())
+	for len(stack) > 0 {
+		s.noteListLen(len(stack))
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// A node enqueued earlier may have lost its sphere membership to a
+		// later radius update; re-check before paying for the expansion.
+		if s.mst.PD(id) >= s.radiusSq {
+			s.counters.ChildrenPruned++ // late prune of a committed node
+			continue
+		}
+		if s.budgetExceeded() {
+			return ErrBudget
+		}
+		s.counters.NodesExpanded++
+		s.evalChildren(id)
+
+		depth := s.mst.Depth(id)
+		isLeafLevel := depth == s.m-1
+		if sorted {
+			s.sortChildren()
+		}
+		if isLeafLevel {
+			for _, c := range s.order {
+				pd := s.childPD[c]
+				if pd >= s.radiusSq {
+					s.counters.ChildrenPruned++
+					continue
+				}
+				s.commitLeaf(id, c, pd)
+			}
+			continue
+		}
+		// Push surviving children in reverse order so the best (sorted) or
+		// first (plain) child is popped next.
+		for i := s.p - 1; i >= 0; i-- {
+			c := s.order[i]
+			pd := s.childPD[c]
+			if pd >= s.radiusSq {
+				s.counters.ChildrenPruned++
+				continue
+			}
+			stack = append(stack, s.mst.Add(id, c, pd))
+		}
+	}
+	return nil
+}
+
+// --- Best-first --------------------------------------------------------------
+
+// pdHeap is a min-heap of MST node ids keyed by partial distance.
+type pdHeap struct {
+	ids []int32
+	mst *MST
+}
+
+func (h *pdHeap) Len() int           { return len(h.ids) }
+func (h *pdHeap) Less(i, j int) bool { return h.mst.PD(h.ids[i]) < h.mst.PD(h.ids[j]) }
+func (h *pdHeap) Swap(i, j int)      { h.ids[i], h.ids[j] = h.ids[j], h.ids[i] }
+func (h *pdHeap) Push(x interface{}) { h.ids = append(h.ids, x.(int32)) }
+func (h *pdHeap) Pop() interface{} {
+	old := h.ids
+	n := len(old)
+	x := old[n-1]
+	h.ids = old[:n-1]
+	return x
+}
+
+// runBestFS pops the globally lowest-PD node first. Because PDs only grow
+// with depth, the search can terminate as soon as the queue minimum is no
+// better than the incumbent radius.
+func (s *search) runBestFS() error {
+	h := &pdHeap{mst: s.mst}
+	heap.Push(h, s.mst.Root())
+	for h.Len() > 0 {
+		s.noteListLen(h.Len())
+		id := heap.Pop(h).(int32)
+		if s.mst.PD(id) >= s.radiusSq {
+			// Global minimum outside the sphere: nothing left can improve.
+			return nil
+		}
+		if s.budgetExceeded() {
+			return ErrBudget
+		}
+		s.counters.NodesExpanded++
+		s.evalChildren(id)
+		depth := s.mst.Depth(id)
+		if depth == s.m-1 {
+			for c := 0; c < s.p; c++ {
+				pd := s.childPD[c]
+				if pd >= s.radiusSq {
+					s.counters.ChildrenPruned++
+					continue
+				}
+				s.commitLeaf(id, c, pd)
+			}
+			continue
+		}
+		for c := 0; c < s.p; c++ {
+			pd := s.childPD[c]
+			if pd >= s.radiusSq {
+				s.counters.ChildrenPruned++
+				continue
+			}
+			heap.Push(h, s.mst.Add(id, c, pd))
+		}
+	}
+	return nil
+}
+
+// --- Breadth-first (the GPU baseline of [1]) --------------------------------
+
+// runBFS expands the whole frontier level by level. Children are pruned
+// against the (fixed) radius; radius updates only happen when the final
+// level is reached, which is exactly why BFS explores orders of magnitude
+// more nodes than the sorted DFS (the effect behind Fig. 11).
+//
+// With UseGEMM the per-level evaluation is one large batched matrix product
+// over the entire frontier — the actual GEMM shape of [1], where the level
+// is the unit of device work — so GEMMCalls counts levels, not nodes. The
+// scalar path evaluates per node; both produce identical PDs.
+func (s *search) runBFS() error {
+	frontier := []int32{s.mst.Root()}
+	for depth := 0; depth < s.m; depth++ {
+		if len(frontier) == 0 {
+			return nil // sphere emptied out; caller may retry with larger r
+		}
+		s.noteListLen(len(frontier))
+		isLeafLevel := depth == s.m-1
+
+		var levelPD []float64
+		if s.cfg.UseGEMM {
+			if s.budgetExceeded() {
+				return ErrBudget
+			}
+			var err error
+			levelPD, err = s.evalFrontierGEMM(frontier, depth)
+			if err != nil {
+				return err
+			}
+		}
+
+		var next []int32
+		for fi, id := range frontier {
+			if s.budgetExceeded() {
+				return ErrBudget
+			}
+			s.counters.NodesExpanded++
+			if levelPD != nil {
+				copy(s.childPD, levelPD[fi*s.p:(fi+1)*s.p])
+			} else {
+				s.evalChildren(id)
+			}
+			if isLeafLevel {
+				for c := 0; c < s.p; c++ {
+					pd := s.childPD[c]
+					if pd >= s.radiusSq {
+						s.counters.ChildrenPruned++
+						continue
+					}
+					s.commitLeaf(id, c, pd)
+				}
+				continue
+			}
+			for c := 0; c < s.p; c++ {
+				pd := s.childPD[c]
+				if pd >= s.radiusSq {
+					s.counters.ChildrenPruned++
+					continue
+				}
+				next = append(next, s.mst.Add(id, c, pd))
+			}
+		}
+		if s.cfg.KBest > 0 && len(next) > s.cfg.KBest {
+			// Keep the K lowest-PD nodes (one global sort per level).
+			s.counters.SortedBatches++
+			sort.Slice(next, func(i, j int) bool {
+				s.counters.CompareOps++
+				return s.mst.PD(next[i]) < s.mst.PD(next[j])
+			})
+			s.counters.ChildrenPruned += int64(len(next) - s.cfg.KBest)
+			next = next[:s.cfg.KBest]
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// evalFrontierGEMM evaluates all |Ω| children of every frontier node at one
+// tree level with a single matrix–matrix product — the level-batched GEMM
+// of [1]. The tree-state matrix has one column per (node, child) pair:
+// column f·P+c holds [ω_c, path symbols of node f]. Returns the flat PD
+// array indexed the same way, with the bookkeeping counters (expansion
+// counts excepted — the caller owns those) updated to match evalChildren's
+// accounting.
+func (s *search) evalFrontierGEMM(frontier []int32, depth int) ([]float64, error) {
+	k := s.m - 1 - depth
+	blockH := s.m - k
+	batch := len(frontier) * s.p
+	state := cmatrix.NewMatrix(blockH, batch)
+	for fi, id := range frontier {
+		if s.cfg.OnExpand != nil {
+			s.cfg.OnExpand(depth)
+		}
+		visited := s.mst.PathSymbols(id, s.m, s.pathBuf)
+		s.counters.IrregularLoads += int64(visited)
+		base := fi * s.p
+		for c := 0; c < s.p; c++ {
+			state.Set(0, base+c, s.pts[c])
+		}
+		for i := k + 1; i < s.m; i++ {
+			sym := s.pts[s.pathBuf[i]]
+			row := state.Row(i - k)
+			for c := 0; c < s.p; c++ {
+				row[base+c] = sym
+			}
+		}
+	}
+	a := cmatrix.NewMatrix(1, blockH)
+	copy(a.Row(0), s.r.Row(k)[k:s.m])
+	w := cmatrix.NewMatrix(1, batch)
+	cmatrix.GEMM(1, a, state, 0, w)
+	s.counters.GEMMCalls++
+	s.counters.GEMMFlops += cmatrix.FlopsGEMM(1, batch, blockH)
+	s.counters.RegularLoads += int64(blockH) * int64(batch+1)
+	s.counters.ChildrenGenerated += int64(batch)
+	s.counters.EvalDepthSum += int64(blockH) * int64(len(frontier))
+	s.counters.OtherFlops += int64(batch) * 6 // NORM module
+
+	yk := s.ybar[k]
+	pds := make([]float64, batch)
+	for fi, id := range frontier {
+		parentPD := s.mst.PD(id)
+		base := fi * s.p
+		for c := 0; c < s.p; c++ {
+			diff := yk - w.At(0, base+c)
+			pds[base+c] = parentPD + real(diff)*real(diff) + imag(diff)*imag(diff)
+		}
+	}
+	// Natural child order for the caller's pruning loop.
+	for c := 0; c < s.p; c++ {
+		s.order[c] = c
+	}
+	return pds, nil
+}
+
+// --- Fixed-complexity SD ------------------------------------------------------
+
+// runFSD enumerates all |Ω| symbols at the first tree level and follows a
+// single decision-feedback path below each: at every lower level only the
+// child with the smallest PD survives. Complexity is fixed at |Ω|·M
+// expansions regardless of SNR — the trade the related work [5,9] makes for
+// parallel hardware friendliness — and ML optimality is lost.
+func (s *search) runFSD() error {
+	// First level: all children of the root.
+	if s.budgetExceeded() {
+		return ErrBudget
+	}
+	s.counters.NodesExpanded++
+	s.evalChildren(s.mst.Root())
+	paths := make([]int32, 0, s.p)
+	firstPD := append([]float64(nil), s.childPD[:s.p]...)
+	for c := 0; c < s.p; c++ {
+		paths = append(paths, s.mst.Add(s.mst.Root(), c, firstPD[c]))
+	}
+	s.noteListLen(len(paths))
+	// Decision feedback below: keep only the best child of each path.
+	for depth := 1; depth < s.m; depth++ {
+		for i, id := range paths {
+			if s.budgetExceeded() {
+				return ErrBudget
+			}
+			s.counters.NodesExpanded++
+			s.evalChildren(id)
+			best, bestPD := 0, math.Inf(1)
+			for c := 0; c < s.p; c++ {
+				if s.childPD[c] < bestPD {
+					best, bestPD = c, s.childPD[c]
+				}
+			}
+			s.counters.ChildrenPruned += int64(s.p - 1)
+			if depth == s.m-1 {
+				s.commitLeaf(id, best, bestPD)
+				// FSD accepts the best leaf among its |Ω| candidates even
+				// outside the initial sphere, so force-commit if needed.
+				if bestPD < s.bestPD {
+					s.bestPD = bestPD
+					s.radiusSq = bestPD
+					s.bestLeaf = s.mst.Add(id, best, bestPD)
+				}
+			} else {
+				paths[i] = s.mst.Add(id, best, bestPD)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,223 @@
+package sphere
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/rng"
+)
+
+func softCfg() Config {
+	return Config{Const: constellation.New(constellation.QAM4), Strategy: SortedDFS}
+}
+
+func TestNewSoftValidation(t *testing.T) {
+	if _, err := NewSoft(Config{Const: constellation.New(constellation.QAM4), Strategy: BFS}, 4); err == nil {
+		t.Error("BFS accepted for soft output")
+	}
+	if _, err := NewSoft(softCfg(), 0); err == nil {
+		t.Error("list size 0 accepted")
+	}
+	if _, err := NewSoft(Config{}, 4); err == nil {
+		t.Error("missing constellation accepted")
+	}
+	d, err := NewSoft(softCfg(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "SD-SortedDFS-list8" {
+		t.Errorf("name %q", d.Name())
+	}
+}
+
+func TestSoftHardDecisionIsML(t *testing.T) {
+	r := rng.New(51)
+	c := constellation.New(constellation.QAM4)
+	ml := decoder.NewML(c)
+	for _, listSize := range []int{1, 4, 16} {
+		sd, err := NewSoft(softCfg(), listSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			h, y, nv, _ := makeInstance(r, c, 5, 4, 6)
+			want, err := ml.Decode(h, y, nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sd.DecodeSoft(h, y, nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Metric-want.Metric) > 1e-6*(1+want.Metric) {
+				t.Fatalf("list %d trial %d: soft hard-decision metric %v, ML %v",
+					listSize, trial, got.Metric, want.Metric)
+			}
+		}
+	}
+}
+
+func TestLLRSignsMatchHardDecision(t *testing.T) {
+	// Whenever both bit hypotheses appear in the list, the LLR sign must
+	// agree with the ML decision's bit value: positive ⇔ bit 0.
+	r := rng.New(52)
+	c := constellation.New(constellation.QAM4)
+	sd, err := NewSoft(softCfg(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := make([]int, c.BitsPerSymbol())
+	for trial := 0; trial < 15; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 6, 5, 8)
+		res, err := sd.DecodeSoft(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.LLR) != 5*2 {
+			t.Fatalf("LLR length %d", len(res.LLR))
+		}
+		for a, sym := range res.SymbolIdx {
+			c.BitsOf(sym, bits)
+			for b, bit := range bits {
+				llr := res.LLR[a*2+b]
+				if llr == 0 {
+					continue // exact tie: either decision is consistent
+				}
+				if (llr > 0) != (bit == 0) {
+					t.Fatalf("trial %d antenna %d bit %d: LLR %v contradicts decision %d",
+						trial, a, b, llr, bit)
+				}
+			}
+		}
+	}
+}
+
+func TestLLRMagnitudeGrowsWithSNR(t *testing.T) {
+	// At high SNR the metric gap between hypotheses widens relative to σ²,
+	// so average |LLR| must grow.
+	c := constellation.New(constellation.QAM4)
+	sd, err := NewSoft(softCfg(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanAbs := func(snr float64, seed uint64) float64 {
+		r := rng.New(seed)
+		sum, n := 0.0, 0
+		for trial := 0; trial < 20; trial++ {
+			h, y, nv, _ := makeInstance(r, c, 6, 5, snr)
+			res, err := sd.DecodeSoft(h, y, nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range res.LLR {
+				sum += math.Abs(l)
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	low := meanAbs(0, 53)
+	high := meanAbs(12, 53)
+	if high <= low {
+		t.Fatalf("mean |LLR| did not grow with SNR: %v at 0 dB vs %v at 12 dB", low, high)
+	}
+}
+
+func TestLLRClamped(t *testing.T) {
+	r := rng.New(54)
+	c := constellation.New(constellation.QAM4)
+	sd, err := NewSoft(softCfg(), 2) // tiny list: missing hypotheses guaranteed
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd.LLRClamp = 7
+	h, y, nv, _ := makeInstance(r, c, 6, 5, 20)
+	res, err := sd.DecodeSoft(h, y, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range res.LLR {
+		if math.Abs(l) > 7+1e-12 {
+			t.Fatalf("LLR[%d] = %v exceeds clamp", i, l)
+		}
+	}
+	if res.Candidates > 2 {
+		t.Fatalf("list overflow: %d candidates", res.Candidates)
+	}
+}
+
+func TestSoftListSizeOneMatchesHardSearch(t *testing.T) {
+	r := rng.New(55)
+	c := constellation.New(constellation.QAM16)
+	hard := MustNew(Config{Const: c, Strategy: SortedDFS})
+	soft, err := NewSoft(Config{Const: c, Strategy: SortedDFS}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 5, 4, 10)
+		rh, err := hard.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := soft.DecodeSoft(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range rh.SymbolIdx {
+			if rh.SymbolIdx[i] != rs.SymbolIdx[i] {
+				t.Fatalf("trial %d: hard and list-1 decisions differ", trial)
+			}
+		}
+	}
+}
+
+func TestSoftRejectsBadInputs(t *testing.T) {
+	sd, err := NewSoft(softCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(56)
+	c := constellation.New(constellation.QAM4)
+	h, y, _, _ := makeInstance(r, c, 4, 4, 10)
+	if _, err := sd.DecodeSoft(h, y[:3], 0.1); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := sd.DecodeSoft(h, y, 0); err == nil {
+		t.Error("zero noise variance accepted (LLR needs σ² > 0)")
+	}
+	if _, err := sd.DecodeSoft(h, y, -1); err == nil {
+		t.Error("negative noise variance accepted")
+	}
+}
+
+func TestSoftExploresMoreThanHard(t *testing.T) {
+	// Keeping a list loosens the radius, so the list search does at least
+	// as much work as the hard search.
+	r := rng.New(57)
+	c := constellation.New(constellation.QAM4)
+	hard := MustNew(Config{Const: c, Strategy: SortedDFS})
+	soft, err := NewSoft(Config{Const: c, Strategy: SortedDFS}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nHard, nSoft int64
+	for trial := 0; trial < 10; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 7, 7, 8)
+		rh, err := hard.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := soft.DecodeSoft(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nHard += rh.Counters.NodesExpanded
+		nSoft += rs.Counters.NodesExpanded
+	}
+	if nSoft < nHard {
+		t.Fatalf("list search expanded fewer nodes (%d) than hard search (%d)", nSoft, nHard)
+	}
+}

@@ -1,0 +1,358 @@
+// Package sphere implements the paper's primary algorithmic contribution:
+// the Sphere Decoder (SD) family for MIMO signal detection, refactored
+// around batched GEMM evaluation (after Arfaoui et al. [1]) and a
+// sorted-children depth-first traversal (after Geosphere [14]) — the
+// combination the paper maps onto its FPGA pipeline.
+//
+// The decoder solves ŝ = argmin ‖y − Hs‖² over s ∈ Ωᴹ by QR-reducing the
+// problem to ‖ȳ − Rs‖² (Eq. 4) and searching an M-level tree in which depth
+// d decides the symbol of antenna M−d. Each node carries a partial Euclidean
+// distance (PD); branches whose PD exceeds the sphere radius r² are pruned
+// (Algorithm 1). Several traversal strategies are provided because the
+// paper's evaluation hinges on comparing them:
+//
+//   - SortedDFS — the paper's design: children sorted by PD, explored
+//     depth-first (LIFO, Fig. 3), radius updated at every improving leaf.
+//   - PlainDFS — ablation: depth-first without child sorting.
+//   - BestFS — true best-first via a global priority queue.
+//   - BFS — level-synchronous breadth-first, the GPU baseline of [1].
+//   - FSD — fixed-complexity SD (Barbero & Thompson), a related-work
+//     comparator: full enumeration at the top level, decision feedback below.
+//
+// All exact strategies (SortedDFS, PlainDFS, BestFS with infinite initial
+// radius) provably return the ML solution; this invariant is property-tested
+// against the exhaustive detector in internal/decoder.
+package sphere
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+)
+
+// Strategy selects the tree traversal order.
+type Strategy int
+
+const (
+	// SortedDFS is depth-first with children sorted by ascending PD — the
+	// paper's traversal (it calls this Best-FS following Geosphere).
+	SortedDFS Strategy = iota
+	// PlainDFS is depth-first in natural symbol order (ablation baseline).
+	PlainDFS
+	// BestFS is global best-first using a priority queue keyed on PD.
+	BestFS
+	// BFS is level-synchronous breadth-first — the traversal used by the
+	// GPU GEMM implementation of [1] that Fig. 11 compares against.
+	BFS
+	// FSD is the fixed-complexity sphere decoder: exhaustive on the first
+	// tree level, decision-feedback (best child only) below. Suboptimal
+	// but embarrassingly parallel.
+	FSD
+)
+
+// String names the strategy as used in reports.
+func (s Strategy) String() string {
+	switch s {
+	case SortedDFS:
+		return "SD-SortedDFS"
+	case PlainDFS:
+		return "SD-PlainDFS"
+	case BestFS:
+		return "SD-BestFS"
+	case BFS:
+		return "SD-BFS"
+	case FSD:
+		return "FSD"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Config parameterizes a sphere decoder.
+type Config struct {
+	// Const is the symbol alphabet Ω (required).
+	Const *constellation.Constellation
+	// Strategy selects the traversal; the zero value is SortedDFS.
+	Strategy Strategy
+	// InitialRadiusSq is the starting r². Zero means automatic: +Inf for
+	// the depth-first strategies (first leaf sets the radius, the
+	// Geosphere approach), and RadiusScale·N·σ² for BFS, which cannot
+	// reach a leaf early and must start with a finite sphere.
+	InitialRadiusSq float64
+	// RadiusScale scales the automatic radius r² = scale·N·σ².
+	// Zero means 2, which covers the expected noise ball ‖n‖² ≈ N·σ²
+	// with comfortable margin.
+	RadiusScale float64
+	// AutoRadius enables the noise-statistics initial radius
+	// r² = RadiusScale·N·σ² for every strategy, not just BFS. This is
+	// Algorithm 1's user-set initial radius: it bounds the worst-case
+	// depth-first excursions on pathological channel draws (the heavy tail
+	// of the decode-time distribution) while remaining exact, because a
+	// sphere that turns out empty is retried with a doubled radius.
+	AutoRadius bool
+	// BabaiRadius initializes the sphere from the Babai point: the
+	// zero-forcing solution rounded to the constellation via successive
+	// back-substitution. Its distance is a valid leaf metric, so the
+	// sphere is never empty (no retries possible) and the search remains
+	// exact. Takes precedence over AutoRadius.
+	BabaiRadius bool
+	// UseGEMM evaluates children through batched matrix–matrix products
+	// (the paper's BLAS-3 refactoring). When false, evaluation uses the
+	// incremental scalar recursion (the memory-bound BLAS-2 profile).
+	// Both produce identical PDs up to floating-point rounding.
+	UseGEMM bool
+	// KBest, when positive, caps the BFS frontier at the K lowest-PD nodes
+	// per level (the K-best variant GPU implementations use to bound
+	// memory). Zero means unlimited.
+	KBest int
+	// MaxNodes bounds the number of node expansions before Decode aborts
+	// with ErrBudget. Zero means 50 million.
+	MaxNodes int64
+	// RetryOnEmpty controls whether a search that found no leaf inside the
+	// sphere restarts with a doubled radius (standard SD practice when the
+	// initial radius was guessed too small). Defaults to true; set
+	// DisableRetry to turn it off.
+	DisableRetry bool
+	// OnExpand, when non-nil, is invoked once per node expansion with the
+	// depth of the node being expanded (0 for the root). The event-driven
+	// pipeline simulator uses this to replay the exact traversal through
+	// the hardware model. The callback must be cheap; it runs on the
+	// decoding hot path.
+	OnExpand func(depth int)
+}
+
+// Errors returned by Decode.
+var (
+	// ErrBudget reports that the node-expansion budget was exhausted.
+	ErrBudget = errors.New("sphere: node budget exhausted")
+	// ErrNoLeaf reports that no candidate was found inside the sphere and
+	// retries were disabled.
+	ErrNoLeaf = errors.New("sphere: no leaf found within the sphere radius")
+)
+
+// SD is a sphere decoder. It implements decoder.Decoder.
+type SD struct {
+	cfg Config
+}
+
+// New validates cfg and returns a decoder.
+func New(cfg Config) (*SD, error) {
+	if cfg.Const == nil {
+		return nil, errors.New("sphere: Config.Const is required")
+	}
+	if cfg.InitialRadiusSq < 0 || math.IsNaN(cfg.InitialRadiusSq) {
+		return nil, fmt.Errorf("sphere: invalid initial radius² %v", cfg.InitialRadiusSq)
+	}
+	if cfg.RadiusScale < 0 {
+		return nil, fmt.Errorf("sphere: invalid radius scale %v", cfg.RadiusScale)
+	}
+	if cfg.RadiusScale == 0 {
+		cfg.RadiusScale = 2
+	}
+	if cfg.MaxNodes == 0 {
+		cfg.MaxNodes = 50_000_000
+	}
+	if cfg.KBest < 0 {
+		return nil, fmt.Errorf("sphere: invalid KBest %d", cfg.KBest)
+	}
+	switch cfg.Strategy {
+	case SortedDFS, PlainDFS, BestFS, BFS, FSD:
+	default:
+		return nil, fmt.Errorf("sphere: unknown strategy %d", cfg.Strategy)
+	}
+	return &SD{cfg: cfg}, nil
+}
+
+// MustNew is New that panics on error, for tests and internal wiring.
+func MustNew(cfg Config) *SD {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name implements decoder.Decoder.
+func (d *SD) Name() string {
+	n := d.cfg.Strategy.String()
+	if d.cfg.UseGEMM {
+		n += "+GEMM"
+	}
+	return n
+}
+
+// Config returns the decoder's configuration.
+func (d *SD) Config() Config { return d.cfg }
+
+// Decode implements decoder.Decoder. It returns the detected symbol vector
+// together with the full operation trace of the search.
+func (d *SD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*decoder.Result, error) {
+	res, _, err := d.DecodeTraced(h, y, noiseVar)
+	return res, err
+}
+
+// SearchInfo exposes search internals the experiment harness needs beyond
+// decoder.Counters.
+type SearchInfo struct {
+	// MST is the final Meta State Table of the search (retries replace it).
+	MST *MST
+	// Retries counts radius-doubling restarts.
+	Retries int
+	// FinalRadiusSq is the squared radius at termination.
+	FinalRadiusSq float64
+	// Preprocessing flops (QR + ȳ), included in the counters as well.
+	PreprocessFlops int64
+}
+
+// DecodeTraced is Decode plus search internals.
+func (d *SD) DecodeTraced(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*decoder.Result, *SearchInfo, error) {
+	if err := decoder.CheckDims(h, y); err != nil {
+		return nil, nil, err
+	}
+	if noiseVar < 0 || math.IsNaN(noiseVar) {
+		return nil, nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
+	}
+	f, err := cmatrix.QR(h)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
+	}
+	ybar := f.QHMulVec(y)
+	// ‖y − Hs‖² = ‖ȳ − Rs‖² + offset; offset = ‖y‖² − ‖ȳ‖² ≥ 0.
+	offset := cmatrix.Norm2Sq(y) - cmatrix.Norm2Sq(ybar)
+	if offset < 0 { // numerical guard
+		offset = 0
+	}
+
+	n, m := int64(h.Rows), int64(h.Cols)
+	preFlops := 32*n*m*m + 8*n*m + 4*(n+m)
+
+	radius := d.initialRadius(h.Rows, noiseVar)
+	if d.cfg.BabaiRadius && d.cfg.InitialRadiusSq == 0 {
+		radius = babaiRadiusSq(f.R, ybar, d.cfg.Const)
+		preFlops += 8 * m * m // back-substitution + slicing pass
+	}
+	info := &SearchInfo{PreprocessFlops: preFlops}
+
+	var st *search
+	for attempt := 0; ; attempt++ {
+		st = newSearch(&d.cfg, f.R, ybar, radius)
+		st.counters.OtherFlops += preFlops
+		st.counters.RegularLoads += n * m
+
+		if err := st.run(); err != nil {
+			return nil, nil, err
+		}
+		if st.bestLeaf >= 0 {
+			break
+		}
+		if d.cfg.DisableRetry {
+			return nil, nil, fmt.Errorf("%w (r²=%v)", ErrNoLeaf, radius)
+		}
+		if math.IsInf(radius, 1) {
+			// An infinite sphere with no leaf means the tree itself was
+			// never completed — only possible via the node budget, which
+			// run() reports; reaching here indicates a logic error.
+			return nil, nil, fmt.Errorf("%w despite infinite radius", ErrNoLeaf)
+		}
+		radius *= 2
+		info.Retries++
+		if info.Retries > 60 {
+			return nil, nil, fmt.Errorf("%w after %d radius doublings", ErrNoLeaf, info.Retries)
+		}
+		// Carry the wasted work forward so the platform models pay for it.
+		preFlops += st.counters.TotalFlops() - preFlops
+	}
+
+	info.MST = st.mst
+	info.FinalRadiusSq = st.radiusSq
+
+	mInt := h.Cols
+	idx := make([]int, mInt)
+	st.mst.PathSymbols(st.bestLeaf, mInt, idx)
+	syms := make(cmatrix.Vector, mInt)
+	for i, id := range idx {
+		syms[i] = d.cfg.Const.Symbol(id)
+	}
+	return &decoder.Result{
+		SymbolIdx: idx,
+		Symbols:   syms,
+		Metric:    st.bestPD + offset,
+		Counters:  st.counters,
+	}, info, nil
+}
+
+// babaiRadiusSq computes the squared distance of the Babai point — the
+// decision-feedback (successive back-substitution + slicing) solution — and
+// returns it, slightly inflated, as the initial sphere radius. The Babai
+// point is itself a leaf inside that sphere, so the search can never come
+// up empty, and any leaf that survives the radius is at least as good.
+func babaiRadiusSq(r *cmatrix.Matrix, ybar cmatrix.Vector, cons *constellation.Constellation) float64 {
+	m := r.Cols
+	syms := make([]complex128, m)
+	pd := 0.0
+	for k := m - 1; k >= 0; k-- {
+		row := r.Row(k)
+		inner := ybar[k]
+		for i := k + 1; i < m; i++ {
+			inner -= row[i] * syms[i]
+		}
+		var z complex128
+		if row[k] != 0 {
+			z = inner / row[k]
+		}
+		s := cons.Symbol(cons.Slice(z))
+		syms[k] = s
+		diff := inner - row[k]*s
+		pd += real(diff)*real(diff) + imag(diff)*imag(diff)
+	}
+	radius := pd * (1 + 1e-9)
+	if radius <= 0 {
+		radius = 1e-12 // exact Babai hit: keep the sphere strictly positive
+	}
+	return radius
+}
+
+// RadiusTrajectory returns the partial distances of the improving leaves in
+// discovery order — the radius-shrinking path of Algorithm 1 lines 7–9.
+// Only improving leaves enter the Meta State Table at full depth, so the
+// trajectory is exactly the full-depth records in insertion order, and it
+// is strictly decreasing.
+func (info *SearchInfo) RadiusTrajectory(m int) []float64 {
+	if info.MST == nil {
+		return nil
+	}
+	var out []float64
+	for id := int32(0); id < int32(info.MST.Len()); id++ {
+		if info.MST.Depth(id) == m {
+			out = append(out, info.MST.PD(id))
+		}
+	}
+	return out
+}
+
+// initialRadius picks the starting r² per the strategy rules documented on
+// Config.InitialRadiusSq.
+func (d *SD) initialRadius(nRx int, noiseVar float64) float64 {
+	if d.cfg.InitialRadiusSq > 0 {
+		return d.cfg.InitialRadiusSq
+	}
+	if d.cfg.BabaiRadius {
+		// Resolved in DecodeTraced once R and ȳ exist; the fallback here
+		// only matters if a caller bypasses that path.
+		return math.Inf(1)
+	}
+	if d.cfg.AutoRadius || d.cfg.Strategy == BFS {
+		r := d.cfg.RadiusScale * float64(nRx) * noiseVar
+		if r <= 0 {
+			// Noiseless search: fall back to a small positive sphere that
+			// the retry loop can grow until the true solution fits.
+			r = 1e-6
+		}
+		return r
+	}
+	return math.Inf(1)
+}

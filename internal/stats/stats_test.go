@@ -1,0 +1,294 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{5}, 5},
+		{[]float64{-1, 1}, 0},
+		{[]float64{0, 0, 0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Population variance is 4; sample variance is 32/7.
+	if got, want := Variance(xs), 32.0/7.0; !almostEq(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestVarianceDegenerate(t *testing.T) {
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of single sample should be NaN")
+	}
+	if !math.IsNaN(Variance(nil)) {
+		t.Error("Variance of empty sample should be NaN")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, math.Sqrt(8), 1e-12) {
+		t.Fatalf("GeoMean(1,8) = %v, want sqrt(8)", got)
+	}
+	// The paper's Table II energy reductions: geo-mean should be ~38.1.
+	got, err = GeoMean([]float64{35.8, 36.8, 38.4, 41.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 38.0 || got > 38.3 {
+		t.Fatalf("Table II geomean = %v, paper reports 38.1", got)
+	}
+}
+
+func TestGeoMeanErrors(t *testing.T) {
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("GeoMean(nil) should error")
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("GeoMean with zero should error")
+	}
+	if _, err := GeoMean([]float64{1, -2}); err == nil {
+		t.Error("GeoMean with negative should error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %v", got)
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("Min/Max of empty should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile of empty should be NaN")
+	}
+	if !math.IsNaN(Percentile(xs, -1)) || !math.IsNaN(Percentile(xs, 101)) {
+		t.Error("Percentile outside [0,100] should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	_ = Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatalf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || !almostEq(s.Mean, 2.5, 1e-12) {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestMeanCIShrinksWithN(t *testing.T) {
+	r := rng.New(1)
+	small := make([]float64, 50)
+	large := make([]float64, 5000)
+	for i := range small {
+		small[i] = r.NormFloat64()
+	}
+	for i := range large {
+		large[i] = r.NormFloat64()
+	}
+	_, hwSmall := MeanCI(small, 0.95)
+	_, hwLarge := MeanCI(large, 0.95)
+	if hwLarge >= hwSmall {
+		t.Fatalf("CI did not shrink: small=%v large=%v", hwSmall, hwLarge)
+	}
+}
+
+func TestMeanCICoverage(t *testing.T) {
+	// 95% CI should contain the true mean ~95% of the time.
+	r := rng.New(2)
+	const trials = 400
+	const n = 100
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = 3 + 2*r.NormFloat64()
+		}
+		mean, hw := MeanCI(xs, 0.95)
+		if math.Abs(mean-3) <= hw {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("CI coverage %v, want ~0.95", frac)
+	}
+}
+
+func TestWilsonCIBasics(t *testing.T) {
+	lo, hi := WilsonCI(0, 0, 0.95)
+	if lo != 0 || hi != 1 {
+		t.Errorf("no-trial CI = [%v,%v], want [0,1]", lo, hi)
+	}
+	lo, hi = WilsonCI(50, 100, 0.95)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("CI [%v,%v] does not bracket 0.5", lo, hi)
+	}
+	if lo < 0.38 || hi > 0.62 {
+		t.Errorf("CI [%v,%v] too wide for k=50 n=100", lo, hi)
+	}
+	lo, hi = WilsonCI(0, 1000, 0.95)
+	if lo != 0 {
+		t.Errorf("zero-success CI lower bound = %v, want 0", lo)
+	}
+	if hi <= 0 || hi > 0.01 {
+		t.Errorf("zero-success upper bound = %v", hi)
+	}
+}
+
+func TestWilsonCIOrdering(t *testing.T) {
+	f := func(k8, n8 uint8) bool {
+		n := int(n8%100) + 1
+		k := int(k8) % (n + 1)
+		lo, hi := WilsonCI(k, n, 0.95)
+		p := float64(k) / float64(n)
+		return lo >= 0 && hi <= 1 && lo <= p+1e-9 && hi >= p-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.841344746, 1.0},
+		{0.158655254, -1.0},
+		// Tail branches of the Acklam approximation.
+		{0.001, -3.090232},
+		{0.999, 3.090232},
+		{1e-6, -4.753424},
+	}
+	for _, c := range cases {
+		if got := zQuantile(c.p); !almostEq(got, c.want, 1e-4) {
+			t.Errorf("zQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(zQuantile(0)) || !math.IsNaN(zQuantile(1)) {
+		t.Error("zQuantile at 0/1 should be NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("under=%d over=%d", h.Under, h.Over)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Errorf("bin0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bin1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Errorf("bin4 = %d, want 1", h.Counts[4])
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid histogram did not panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 2); got != 5 {
+		t.Errorf("Speedup(10,2) = %v", got)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("Speedup by zero should be +Inf")
+	}
+}
+
+func TestMeanQuickTranslationInvariance(t *testing.T) {
+	f := func(raw []float64, shiftRaw float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				return true // skip pathological quick inputs
+			}
+			xs = append(xs, v)
+		}
+		shift := math.Mod(shiftRaw, 1000)
+		if math.IsNaN(shift) {
+			return true
+		}
+		shifted := make([]float64, len(xs))
+		for i, v := range xs {
+			shifted[i] = v + shift
+		}
+		return almostEq(Mean(shifted), Mean(xs)+shift, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,144 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+
+func uniform(n int, v time.Duration) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestUnderloadedStreamAllOnTime(t *testing.T) {
+	cfg := Config{Period: ms(10)}
+	res, err := Simulate(cfg, uniform(100, ms(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed != 0 || res.Dropped != 0 || res.OnTime != 100 {
+		t.Fatalf("underloaded stream missed: %+v", res)
+	}
+	if res.MeanSojourn != ms(2) || res.MaxSojourn != ms(2) {
+		t.Fatalf("sojourn should equal service time: %+v", res)
+	}
+	if res.MaxBacklog != 1 {
+		t.Fatalf("backlog %d, want 1 (only the in-service batch)", res.MaxBacklog)
+	}
+	if res.Utilization < 0.15 || res.Utilization > 0.25 {
+		t.Fatalf("utilization %v, want ~0.2", res.Utilization)
+	}
+}
+
+func TestOverloadedStreamCascades(t *testing.T) {
+	// Service 12 ms > period 10 ms: every batch adds 2 ms of backlog, so
+	// sojourns grow linearly and later batches miss by more and more.
+	cfg := Config{Period: ms(10)}
+	res, err := Simulate(cfg, uniform(50, ms(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnTime > 1 {
+		t.Fatalf("overloaded stream should miss almost everything: %+v", res)
+	}
+	// Last sojourn ≈ 12 + 49·2 = 110 ms.
+	if res.MaxSojourn < ms(100) {
+		t.Fatalf("cascade too small: max sojourn %v", res.MaxSojourn)
+	}
+	if res.Utilization < 0.99 {
+		t.Fatalf("overloaded utilization %v", res.Utilization)
+	}
+}
+
+func TestSingleSlowBatchRecovers(t *testing.T) {
+	// One pathological batch (25 ms) in an otherwise light stream: it and
+	// its immediate successors miss, then the queue drains.
+	svc := uniform(30, ms(2))
+	svc[5] = ms(25)
+	cfg := Config{Period: ms(10)}
+	res, err := Simulate(cfg, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed == 0 {
+		t.Fatal("pathological batch should miss")
+	}
+	if res.Missed > 3 {
+		t.Fatalf("cascade should be short: %d missed", res.Missed)
+	}
+	if res.MissRate() >= 0.2 {
+		t.Fatalf("miss rate %v too high", res.MissRate())
+	}
+}
+
+func TestExplicitDeadline(t *testing.T) {
+	cfg := Config{Period: ms(10), Deadline: ms(3)}
+	res, err := Simulate(cfg, uniform(10, ms(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed != 10 {
+		t.Fatalf("5 ms service vs 3 ms deadline: all should miss, got %+v", res)
+	}
+}
+
+func TestQueueCapDrops(t *testing.T) {
+	cfg := Config{Period: ms(10), QueueCap: 2}
+	res, err := Simulate(cfg, uniform(40, ms(30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatalf("bounded queue under overload must drop: %+v", res)
+	}
+	if res.Dropped+res.Missed+res.OnTime != res.Batches {
+		t.Fatalf("accounting broken: %+v", res)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Simulate(Config{Period: 0}, uniform(1, ms(1))); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := Simulate(Config{Period: ms(10)}, nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Simulate(Config{Period: ms(10)}, []time.Duration{-1}); err == nil {
+		t.Error("negative service time accepted")
+	}
+	if _, err := Simulate(Config{Period: ms(10), Deadline: -ms(1)}, uniform(1, ms(1))); err == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+func TestP99AboveMean(t *testing.T) {
+	svc := uniform(200, ms(1))
+	for i := 0; i < 200; i += 50 {
+		svc[i] = ms(9)
+	}
+	res, err := Simulate(Config{Period: ms(10)}, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P99Sojourn < res.MeanSojourn {
+		t.Fatalf("p99 %v below mean %v", res.P99Sojourn, res.MeanSojourn)
+	}
+	if res.MaxSojourn < res.P99Sojourn {
+		t.Fatalf("max %v below p99 %v", res.MaxSojourn, res.P99Sojourn)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	r := &Result{Batches: 10, Missed: 1, Dropped: 1}
+	if r.MissRate() != 0.2 {
+		t.Fatalf("miss rate %v", r.MissRate())
+	}
+	if (&Result{}).MissRate() != 0 {
+		t.Fatal("empty miss rate")
+	}
+}

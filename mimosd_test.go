@@ -1,0 +1,305 @@
+package mimosd
+
+import (
+	"math"
+	"testing"
+)
+
+func cfg44() Config { return Config{TxAntennas: 4, RxAntennas: 4, Modulation: "4-QAM"} }
+
+func TestRandomLinkShape(t *testing.T) {
+	l, err := RandomLink(cfg44(), 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.H) != 4 || len(l.H[0]) != 4 || len(l.Y) != 4 {
+		t.Fatal("wrong link shapes")
+	}
+	if len(l.SentSymbols) != 4 || len(l.SentBits) != 8 {
+		t.Fatal("wrong sent lengths")
+	}
+	if l.NoiseVar <= 0 {
+		t.Fatal("bad noise variance")
+	}
+}
+
+func TestRandomLinkValidation(t *testing.T) {
+	if _, err := RandomLink(Config{TxAntennas: 4, RxAntennas: 2, Modulation: "4-QAM"}, 10, 1); err == nil {
+		t.Error("underdetermined config accepted")
+	}
+	if _, err := RandomLink(Config{TxAntennas: 4, RxAntennas: 4, Modulation: "8-PSK"}, 10, 1); err == nil {
+		t.Error("unknown modulation accepted")
+	}
+}
+
+func TestDetectAlgorithmsAgreeAtHighSNR(t *testing.T) {
+	l, err := RandomLink(cfg44(), 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{AlgSphereDecoder, AlgSphereBestFS, AlgSphereBFS, AlgFSD, AlgSphereSQRD, AlgSphereFP16, AlgLLLZF, AlgSIC, AlgSphereRVD, AlgML, AlgZF, AlgMMSE} {
+		det, err := Detect(cfg44(), alg, l.H, l.Y, l.NoiseVar)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		for i := range l.SentSymbols {
+			if det.SymbolIndices[i] != l.SentSymbols[i] {
+				t.Errorf("%s: antenna %d decoded %d, sent %d", alg, i, det.SymbolIndices[i], l.SentSymbols[i])
+			}
+		}
+		for i := range l.SentBits {
+			if det.Bits[i] != l.SentBits[i] {
+				t.Errorf("%s: bit %d mismatch", alg, i)
+				break
+			}
+		}
+	}
+}
+
+func TestDetectSphereMatchesML(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		l, err := RandomLink(cfg44(), 6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd, err := Detect(cfg44(), AlgSphereDecoder, l.H, l.Y, l.NoiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ml, err := Detect(cfg44(), AlgML, l.H, l.Y, l.NoiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sd.Metric-ml.Metric) > 1e-6*(1+ml.Metric) {
+			t.Fatalf("seed %d: SD metric %v, ML %v", seed, sd.Metric, ml.Metric)
+		}
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	l, _ := RandomLink(cfg44(), 10, 1)
+	if _, err := Detect(cfg44(), "nope", l.H, l.Y, l.NoiseVar); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := Detect(cfg44(), AlgZF, l.H[:2], l.Y, l.NoiseVar); err == nil {
+		t.Error("short H accepted")
+	}
+	badH := [][]complex128{{1}, {1}, {1}, {1}}
+	if _, err := Detect(cfg44(), AlgZF, badH, l.Y, l.NoiseVar); err == nil {
+		t.Error("ragged H accepted")
+	}
+}
+
+func TestSimulateBER(t *testing.T) {
+	rep, err := SimulateBER(cfg44(), AlgSphereDecoder, 12, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames != 200 || rep.Bits != 200*8 {
+		t.Fatalf("accounting: %+v", rep)
+	}
+	if rep.BER < 0 || rep.BER > 0.1 {
+		t.Fatalf("BER %v out of band at 12 dB", rep.BER)
+	}
+	if rep.CILow > rep.BER || rep.CIHigh < rep.BER {
+		t.Fatal("CI does not bracket BER")
+	}
+	if rep.NodesPerFrame <= 0 {
+		t.Fatal("no node statistics")
+	}
+	if _, err := SimulateBER(cfg44(), "bogus", 12, 10, 3); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestSimulateTiming(t *testing.T) {
+	rep, err := SimulateTiming(Config{TxAntennas: 8, RxAntennas: 8, Modulation: "4-QAM"}, 8, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Platforms) != 3 {
+		t.Fatalf("%d platforms", len(rep.Platforms))
+	}
+	var cpu, opt PlatformTiming
+	for _, p := range rep.Platforms {
+		switch p.Platform {
+		case "CPU":
+			cpu = p
+		case "FPGA-optimized":
+			opt = p
+		}
+	}
+	if opt.Time >= cpu.Time {
+		t.Fatalf("FPGA-optimized (%v) not faster than CPU (%v)", opt.Time, cpu.Time)
+	}
+	if opt.PowerW >= cpu.PowerW {
+		t.Fatal("FPGA power not below CPU")
+	}
+	if opt.ThroughputMbps <= cpu.ThroughputMbps || cpu.ThroughputMbps <= 0 {
+		t.Fatalf("throughput ordering wrong: FPGA %.1f vs CPU %.1f Mbps",
+			opt.ThroughputMbps, cpu.ThroughputMbps)
+	}
+	if len(rep.MeetsRealTime) != 3 {
+		t.Fatal("real-time map incomplete")
+	}
+}
+
+func TestAcceleratorEndToEnd(t *testing.T) {
+	cfg := Config{TxAntennas: 6, RxAntennas: 6, Modulation: "4-QAM"}
+	acc, err := NewAccelerator(cfg, VariantOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := acc.Hardware()
+	if !hw.Fits {
+		t.Fatal("design reported as not fitting")
+	}
+	if hw.FreqMHz != 300 || hw.PowerW <= 0 || hw.MaxPipelines < 1 {
+		t.Fatalf("bad hardware report: %+v", hw)
+	}
+
+	links := make([]*Link, 25)
+	for i := range links {
+		l, err := RandomLink(cfg, 14, uint64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[i] = l
+	}
+	res, err := acc.DecodeBatch(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) != len(links) {
+		t.Fatal("missing detections")
+	}
+	if res.SimulatedTime <= 0 || res.EnergyJ <= 0 || res.NodesExplored <= 0 {
+		t.Fatalf("bad batch result: %+v", res)
+	}
+	errs := 0
+	for i, det := range res.Detections {
+		for j := range links[i].SentSymbols {
+			if det.SymbolIndices[j] != links[i].SentSymbols[j] {
+				errs++
+			}
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("%d symbol errors at 14 dB", errs)
+	}
+}
+
+func TestAcceleratorValidation(t *testing.T) {
+	cfg := cfg44()
+	if _, err := NewAccelerator(cfg, "turbo"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	acc, err := NewAccelerator(cfg, VariantBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.DecodeBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	l, _ := RandomLink(Config{TxAntennas: 6, RxAntennas: 6, Modulation: "4-QAM"}, 10, 1)
+	if _, err := acc.DecodeBatch([]*Link{l}); err == nil {
+		t.Error("mismatched link shape accepted")
+	}
+}
+
+func TestDetectSoft(t *testing.T) {
+	l, err := RandomLink(cfg44(), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := DetectSoft(cfg44(), l.H, l.Y, l.NoiseVar, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(soft.LLR) != 8 {
+		t.Fatalf("LLR length %d", len(soft.LLR))
+	}
+	// Hard decision must equal the plain SD decision.
+	hard, err := Detect(cfg44(), AlgSphereDecoder, l.H, l.Y, l.NoiseVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hard.SymbolIndices {
+		if soft.SymbolIndices[i] != hard.SymbolIndices[i] {
+			t.Fatal("soft hard-decision differs from SD")
+		}
+	}
+	// LLR signs consistent with the decided bits (when nonzero).
+	for i, bit := range soft.Bits {
+		if soft.LLR[i] != 0 && (soft.LLR[i] > 0) != (bit == 0) {
+			t.Fatalf("bit %d: LLR %v contradicts decision %d", i, soft.LLR[i], bit)
+		}
+	}
+	if soft.Candidates < 1 || soft.Candidates > 16 {
+		t.Fatalf("candidates %d", soft.Candidates)
+	}
+	// Validation paths.
+	if _, err := DetectSoft(cfg44(), l.H, l.Y, l.NoiseVar, 0); err == nil {
+		t.Error("list size 0 accepted")
+	}
+	if _, err := DetectSoft(cfg44(), l.H[:2], l.Y, l.NoiseVar, 4); err == nil {
+		t.Error("short H accepted")
+	}
+}
+
+func TestAcceleratorDecodeBatchSoft(t *testing.T) {
+	cfg := Config{TxAntennas: 6, RxAntennas: 6, Modulation: "4-QAM"}
+	acc, err := NewAccelerator(cfg, VariantOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make([]*Link, 15)
+	for i := range links {
+		l, err := RandomLink(cfg, 10, uint64(900+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[i] = l
+	}
+	hard, err := acc.DecodeBatch(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := acc.DecodeBatchSoft(links, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(soft.Detections) != 15 || len(soft.LLRs) != 15 {
+		t.Fatal("missing soft outputs")
+	}
+	for i := range links {
+		if len(soft.LLRs[i]) != 12 {
+			t.Fatalf("LLR length %d", len(soft.LLRs[i]))
+		}
+		for j := range hard.Detections[i].SymbolIndices {
+			if soft.Detections[i].SymbolIndices[j] != hard.Detections[i].SymbolIndices[j] {
+				t.Fatal("soft hard-decision differs from hard batch")
+			}
+		}
+	}
+	if soft.SimulatedTime < hard.SimulatedTime {
+		t.Fatal("list search cannot be faster than hard search")
+	}
+	if _, err := acc.DecodeBatchSoft(nil, 8); err == nil {
+		t.Error("empty soft batch accepted")
+	}
+}
+
+func TestDeterministicAcrossCalls(t *testing.T) {
+	a, err := SimulateBER(cfg44(), AlgSphereDecoder, 8, 100, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateBER(cfg44(), AlgSphereDecoder, 8, 100, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BitErrors != b.BitErrors || a.NodesPerFrame != b.NodesPerFrame {
+		t.Fatal("same seed produced different results")
+	}
+}
