@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz
+
+# check is the gate: static analysis, build, and the full test suite under
+# the race detector.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz runs the native fuzzers for a short budget each (they also run as
+# plain regression tests under `make test` via their seed corpora).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzQR -fuzztime=30s ./internal/cmatrix/
+	$(GO) test -run='^$$' -fuzz=FuzzSlice -fuzztime=30s ./internal/constellation/

@@ -194,6 +194,21 @@ func (m *Matrix) HasNaN() bool {
 	return false
 }
 
+// IsFinite reports whether every entry is finite (no NaN or Inf component).
+func (m *Matrix) IsFinite() bool {
+	for _, v := range m.Data {
+		if !isFiniteC(v) {
+			return false
+		}
+	}
+	return true
+}
+
+func isFiniteC(v complex128) bool {
+	return !math.IsNaN(real(v)) && !math.IsInf(real(v), 0) &&
+		!math.IsNaN(imag(v)) && !math.IsInf(imag(v), 0)
+}
+
 // String renders the matrix for debugging.
 func (m *Matrix) String() string {
 	var sb strings.Builder
@@ -230,6 +245,16 @@ func CloneVector(v Vector) Vector {
 	c := make(Vector, len(v))
 	copy(c, v)
 	return c
+}
+
+// IsFinite reports whether every entry is finite (no NaN or Inf component).
+func (v Vector) IsFinite() bool {
+	for _, x := range v {
+		if !isFiniteC(x) {
+			return false
+		}
+	}
+	return true
 }
 
 // Dot returns the inner product conj(a)·b (conjugating the first argument,

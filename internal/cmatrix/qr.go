@@ -13,6 +13,12 @@ import (
 // when handed a degenerate channel estimate.
 var ErrSingular = errors.New("cmatrix: matrix is singular to working precision")
 
+// ErrNonFinite is returned when a factorization input contains NaN or Inf.
+// NaN in particular defeats magnitude-based pivot checks (every comparison
+// with NaN is false), so it must be caught explicitly before it can
+// propagate into "successful" garbage output.
+var ErrNonFinite = errors.New("cmatrix: input has NaN or Inf entries")
+
 // QRFactorization holds the thin QR decomposition H = Q·R of an N×M matrix
 // with N >= M: Q is N×M with orthonormal columns and R is M×M upper
 // triangular with real, non-negative diagonal. The sphere decoder's
@@ -24,12 +30,15 @@ type QRFactorization struct {
 }
 
 // QR computes the thin Householder QR factorization of a. It requires
-// a.Rows >= a.Cols and returns ErrSingular if a diagonal of R underflows to
-// zero (rank-deficient input).
+// a.Rows >= a.Cols, returns ErrNonFinite for NaN/Inf input, and returns
+// ErrSingular if a diagonal of R underflows to zero (rank-deficient input).
 func QR(a *Matrix) (*QRFactorization, error) {
 	n, m := a.Rows, a.Cols
 	if n < m {
 		return nil, fmt.Errorf("cmatrix: QR requires rows >= cols, got %dx%d", n, m)
+	}
+	if !a.IsFinite() {
+		return nil, ErrNonFinite
 	}
 	// Work is overwritten with R in its upper triangle; the Householder
 	// vectors are stored below the diagonal. tau holds 2/‖v‖² per column and
@@ -142,6 +151,11 @@ func QR(a *Matrix) (*QRFactorization, error) {
 		for i := 0; i < n; i++ {
 			q.Set(i, k, q.At(i, k)*phase)
 		}
+	}
+	// Extreme (but finite) inputs can overflow the reflector norms to Inf;
+	// refuse to hand back a factorization with non-finite entries.
+	if !r.IsFinite() || !q.IsFinite() {
+		return nil, ErrNonFinite
 	}
 	return &QRFactorization{Q: q, R: r}, nil
 }

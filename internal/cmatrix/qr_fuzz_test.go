@@ -1,0 +1,72 @@
+package cmatrix
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzQR drives the Householder factorization with adversarial matrices —
+// NaN/Inf, denormals, huge magnitudes, rank-deficient shapes — and checks
+// the contract: no panic, and either a typed error or a finite, consistent
+// factorization.
+func FuzzQR(f *testing.F) {
+	f.Add(uint8(4), uint8(3), []byte{})
+	f.Add(uint8(2), uint8(2), []byte{0, 0, 0, 0, 0, 0, 0xF0, 0x7F}) // +Inf
+	f.Add(uint8(2), uint8(2), []byte{1, 0, 0, 0, 0, 0, 0xF8, 0x7F}) // NaN
+	f.Add(uint8(3), uint8(1), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xEF, 0x7F})
+	f.Add(uint8(0), uint8(0), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Fuzz(func(t *testing.T, mRaw, extraRaw uint8, data []byte) {
+		m := int(mRaw)%6 + 1
+		n := m + int(extraRaw)%4
+		a := NewMatrix(n, m)
+		idx := 0
+		next := func() float64 {
+			if idx+8 > len(data) {
+				// Deterministic tail so short inputs still build full
+				// matrices (zeros exercise the rank-deficient path).
+				return 0
+			}
+			v := math.Float64frombits(binary.LittleEndian.Uint64(data[idx:]))
+			idx += 8
+			return v
+		}
+		for i := range a.Data {
+			a.Data[i] = complex(next(), next())
+		}
+		fqr, err := QR(a)
+		if err != nil {
+			if !errors.Is(err, ErrSingular) && !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("untyped QR error: %v", err)
+			}
+			if !a.IsFinite() && !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("non-finite input rejected as %v, want ErrNonFinite", err)
+			}
+			return
+		}
+		if !a.IsFinite() {
+			t.Fatal("QR accepted a NaN/Inf matrix")
+		}
+		if !fqr.Q.IsFinite() || !fqr.R.IsFinite() {
+			t.Fatal("QR returned non-finite factors without error")
+		}
+		if !fqr.R.IsUpperTriangular(1e-9 * (1 + fqr.R.FrobeniusNorm())) {
+			t.Fatal("R is not upper triangular")
+		}
+		for k := 0; k < m; k++ {
+			d := fqr.R.At(k, k)
+			if real(d) < 0 || math.Abs(imag(d)) > 1e-9*(1+math.Abs(real(d))) {
+				t.Fatalf("R diagonal %d not real non-negative: %v", k, d)
+			}
+		}
+		// Reconstruction Q·R ≈ A, on inputs whose scale keeps the check
+		// numerically meaningful.
+		norm := a.FrobeniusNorm()
+		if norm > 1e-6 && norm < 1e6 {
+			if !Mul(fqr.Q, fqr.R).EqualApprox(a, 1e-8*(1+norm)) {
+				t.Fatal("Q·R does not reconstruct the input")
+			}
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package constellation
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSlice drives the O(1) slicer with adversarial observations — NaN,
+// ±Inf, denormals, huge magnitudes — and checks the contract: no panic, an
+// index inside the alphabet, and agreement with the exhaustive
+// nearest-neighbour search for finite inputs.
+func FuzzSlice(f *testing.F) {
+	f.Add(0.0, 0.0)
+	f.Add(math.NaN(), 1.0)
+	f.Add(math.Inf(1), math.Inf(-1))
+	f.Add(1e308, -1e308)
+	f.Add(5e-324, -5e-324)
+	f.Add(-0.707, 0.707)
+	mods := []Modulation{BPSK, QAM4, QAM16, QAM64, QAM256}
+	f.Fuzz(func(t *testing.T, re, im float64) {
+		z := complex(re, im)
+		for _, mod := range mods {
+			c := New(mod)
+			idx := c.Slice(z)
+			if idx < 0 || idx >= c.Size() {
+				t.Fatalf("%v: Slice(%v) = %d outside [0, %d)", mod, z, idx, c.Size())
+			}
+			if math.IsNaN(re) || math.IsNaN(im) {
+				continue // any in-range index is acceptable for NaN input
+			}
+			want := c.SliceExhaustive(z)
+			got, ref := c.Symbol(idx), c.Symbol(want)
+			// Equidistant points may tie; accept any point at the minimal
+			// distance (within rounding).
+			dGot, dRef := dist(got, z), dist(ref, z)
+			if dGot > dRef*(1+1e-12)+1e-300 {
+				t.Fatalf("%v: Slice(%v) picked %v (d=%v), exhaustive picked %v (d=%v)",
+					mod, z, got, dGot, ref, dRef)
+			}
+		}
+	})
+}
+
+func dist(a, b complex128) float64 {
+	dr, di := real(a)-real(b), imag(a)-imag(b)
+	return dr*dr + di*di
+}

@@ -13,7 +13,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/cmatrix"
@@ -22,6 +24,11 @@ import (
 	"repro/internal/fpga"
 	"repro/internal/sphere"
 )
+
+// ErrInvalidInput flags a malformed batch element: non-finite channel or
+// observation entries, a dimension mismatch, or a non-positive noise
+// variance. Test with errors.Is.
+var ErrInvalidInput = errors.New("core: invalid input")
 
 // Options tune an Accelerator beyond its defaults.
 type Options struct {
@@ -37,6 +44,13 @@ type Options struct {
 	// InitialRadiusSq optionally fixes the starting sphere; zero keeps the
 	// decoder's default (+Inf, first leaf sets it).
 	InitialRadiusSq float64
+	// MaxNodes bounds each decode's tree expansions. Exhaustion yields a
+	// flagged degraded result (the anytime contract), never an error. Zero
+	// keeps the decoder's default ceiling.
+	MaxNodes int64
+	// Deadline bounds each decode's wall-clock time; overrun yields a
+	// flagged degraded result. Zero means no per-decode deadline.
+	Deadline time.Duration
 }
 
 // Accelerator is an FPGA sphere-decoder instance for one configuration.
@@ -66,6 +80,8 @@ func New(v fpga.Variant, mod constellation.Modulation, m, n int, opts Options) (
 		Strategy:        sphere.SortedDFS,
 		UseGEMM:         !opts.ScalarEval,
 		InitialRadiusSq: opts.InitialRadiusSq,
+		MaxNodes:        opts.MaxNodes,
+		Deadline:        opts.Deadline,
 	})
 	if err != nil {
 		return nil, err
@@ -117,6 +133,51 @@ type BatchInput struct {
 	NoiseVar float64
 }
 
+// validateInput checks one batch element against the accelerator's
+// configuration and the numeric contract (finite entries, positive noise
+// variance). All failures wrap ErrInvalidInput.
+func (a *Accelerator) validateInput(i int, in BatchInput) error {
+	if in.H == nil {
+		return fmt.Errorf("%w: batch element %d: nil channel matrix", ErrInvalidInput, i)
+	}
+	if in.H.Cols != a.design.M || in.H.Rows != a.design.N {
+		return fmt.Errorf("%w: batch element %d: channel %dx%d for a %dx%d accelerator",
+			ErrInvalidInput, i, in.H.Cols, in.H.Rows, a.design.M, a.design.N)
+	}
+	if len(in.Y) != a.design.N {
+		return fmt.Errorf("%w: batch element %d: observation length %d, want %d",
+			ErrInvalidInput, i, len(in.Y), a.design.N)
+	}
+	if !in.H.IsFinite() {
+		return fmt.Errorf("%w: batch element %d: channel matrix has NaN/Inf entries", ErrInvalidInput, i)
+	}
+	if !in.Y.IsFinite() {
+		return fmt.Errorf("%w: batch element %d: observation has NaN/Inf entries", ErrInvalidInput, i)
+	}
+	if in.NoiseVar <= 0 || math.IsNaN(in.NoiseVar) || math.IsInf(in.NoiseVar, 0) {
+		return fmt.Errorf("%w: batch element %d: noise variance %v (want finite > 0)",
+			ErrInvalidInput, i, in.NoiseVar)
+	}
+	return nil
+}
+
+// BatchBudget bounds a whole batch rather than one decode. A batch that
+// exhausts its budget is not an error: frames already decoded keep their
+// results, in-flight work keeps whatever the cut search found, and remaining
+// frames are shed to the linear fallback point — every frame still gets a
+// decision, flagged by Result.Quality.
+type BatchBudget struct {
+	// Deadline bounds the *modeled FPGA time* of the batch: after each frame
+	// the accelerator re-prices the work done so far through the pipeline
+	// model, and once the modeled time reaches the deadline every remaining
+	// frame is shed to the fallback decoder. Zero means no deadline.
+	Deadline time.Duration
+	// NodeBudget bounds total tree expansions across the batch. Each frame
+	// searches with the budget left over from its predecessors; once spent,
+	// remaining frames are shed. Zero means no node budget.
+	NodeBudget int64
+}
+
 // BatchReport is the outcome of pushing a batch through the accelerator:
 // the decoded vectors plus the simulated hardware behaviour.
 type BatchReport struct {
@@ -133,24 +194,102 @@ type BatchReport struct {
 	// batch.
 	PowerW  float64
 	EnergyJ float64
+	// Degraded reports whether any frame was cut or shed (quality below
+	// exact).
+	Degraded bool
+	// QualityCounts maps decoder.Quality names ("exact", "best-effort",
+	// "fallback") to the number of frames that finished at that quality.
+	QualityCounts map[string]int
+}
+
+// tallyQuality fills QualityCounts and Degraded from Results.
+func (r *BatchReport) tallyQuality() {
+	r.QualityCounts = make(map[string]int, 3)
+	for _, res := range r.Results {
+		r.QualityCounts[res.Quality.String()]++
+		if res.Quality.Degraded() {
+			r.Degraded = true
+		}
+	}
 }
 
 // DecodeBatch decodes a batch of received vectors and produces the hardware
 // report. Inputs must match the accelerator's configuration.
 func (a *Accelerator) DecodeBatch(inputs []BatchInput) (*BatchReport, error) {
+	return a.DecodeBatchBudget(inputs, BatchBudget{})
+}
+
+// DecodeBatchBudget is DecodeBatch under a batch-level budget. Overrunning
+// batches are cut at the budget, never late: the report always covers every
+// input, with cut or shed frames flagged via Result.Quality and counted in
+// QualityCounts.
+func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget) (*BatchReport, error) {
 	if len(inputs) == 0 {
-		return nil, fmt.Errorf("core: empty batch")
+		return nil, fmt.Errorf("%w: empty batch", ErrInvalidInput)
 	}
-	rep := &BatchReport{Results: make([]*decoder.Result, 0, len(inputs))}
+	if budget.Deadline < 0 {
+		return nil, fmt.Errorf("%w: negative batch deadline %v", ErrInvalidInput, budget.Deadline)
+	}
+	if budget.NodeBudget < 0 {
+		return nil, fmt.Errorf("%w: negative node budget %d", ErrInvalidInput, budget.NodeBudget)
+	}
 	for i, in := range inputs {
-		res, err := a.Decode(in.H, in.Y, in.NoiseVar)
+		if err := a.validateInput(i, in); err != nil {
+			return nil, err
+		}
+	}
+	w := decoder.Workload{M: a.design.M, N: a.design.N, P: a.cons.Size()}
+	rep := &BatchReport{Results: make([]*decoder.Result, 0, len(inputs))}
+	shedBy := "" // non-empty once the batch budget is spent
+	for i, in := range inputs {
+		var res *decoder.Result
+		var err error
+		switch {
+		case shedBy != "":
+			res, err = a.sd.DecodeFallback(in.H, in.Y, in.NoiseVar)
+			if res != nil {
+				res.DegradedBy = shedBy
+			}
+		case budget.NodeBudget > 0:
+			// Search with whatever the earlier frames left over.
+			remaining := budget.NodeBudget - rep.Counters.NodesExpanded
+			if remaining <= 0 {
+				shedBy = decoder.DegradedByBudget
+				res, err = a.sd.DecodeFallback(in.H, in.Y, in.NoiseVar)
+				if res != nil {
+					res.DegradedBy = shedBy
+				}
+				break
+			}
+			cfg := a.sd.Config()
+			cfg.MaxNodes = remaining
+			cfg.HardBudget = false
+			var sd *sphere.SD
+			if sd, err = sphere.New(cfg); err == nil {
+				res, err = sd.Decode(in.H, in.Y, in.NoiseVar)
+			}
+		default:
+			res, err = a.sd.Decode(in.H, in.Y, in.NoiseVar)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("core: batch element %d: %w", i, err)
 		}
 		rep.Results = append(rep.Results, res)
 		rep.Counters.Add(res.Counters)
+		if shedBy == "" && budget.Deadline > 0 {
+			// Re-price the work done so far through the pipeline model; once
+			// the modeled time reaches the deadline, shed the rest.
+			w.Frames = i + 1
+			dur, _, err := a.design.BatchTime(w, rep.Counters)
+			if err != nil {
+				return nil, err
+			}
+			if dur >= budget.Deadline {
+				shedBy = decoder.DegradedByBatchDeadline
+			}
+		}
 	}
-	w := decoder.Workload{M: a.design.M, N: a.design.N, P: a.cons.Size(), Frames: len(inputs)}
+	w.Frames = len(inputs)
 	dur, breakdown, err := a.design.BatchTime(w, rep.Counters)
 	if err != nil {
 		return nil, err
@@ -159,6 +298,7 @@ func (a *Accelerator) DecodeBatch(inputs []BatchInput) (*BatchReport, error) {
 	rep.Breakdown = breakdown
 	rep.PowerW = a.design.Power()
 	rep.EnergyJ = a.design.Energy(dur.Seconds())
+	rep.tallyQuality()
 	return rep, nil
 }
 
@@ -183,7 +323,7 @@ type SoftBatchReport struct {
 // deployment with a downstream channel decoder would synthesize.
 func (a *Accelerator) DecodeBatchSoft(inputs []BatchInput, listSize int) (*SoftBatchReport, error) {
 	if len(inputs) == 0 {
-		return nil, fmt.Errorf("core: empty batch")
+		return nil, fmt.Errorf("%w: empty batch", ErrInvalidInput)
 	}
 	soft, err := sphere.NewSoft(sphere.Config{
 		Const:    a.cons,
@@ -196,9 +336,8 @@ func (a *Accelerator) DecodeBatchSoft(inputs []BatchInput, listSize int) (*SoftB
 	rep.Results = make([]*decoder.Result, 0, len(inputs))
 	rep.LLRs = make([][]float64, 0, len(inputs))
 	for i, in := range inputs {
-		if in.H.Cols != a.design.M || in.H.Rows != a.design.N {
-			return nil, fmt.Errorf("core: batch element %d: channel %dx%d for a %dx%d accelerator",
-				i, in.H.Cols, in.H.Rows, a.design.M, a.design.N)
+		if err := a.validateInput(i, in); err != nil {
+			return nil, err
 		}
 		res, err := soft.DecodeSoft(in.H, in.Y, in.NoiseVar)
 		if err != nil {
@@ -217,5 +356,6 @@ func (a *Accelerator) DecodeBatchSoft(inputs []BatchInput, listSize int) (*SoftB
 	rep.Breakdown = breakdown
 	rep.PowerW = a.design.Power()
 	rep.EnergyJ = a.design.Energy(dur.Seconds())
+	rep.tallyQuality()
 	return rep, nil
 }

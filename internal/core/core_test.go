@@ -1,9 +1,11 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"testing"
 
+	"repro/internal/cmatrix"
 	"repro/internal/constellation"
 	"repro/internal/decoder"
 	"repro/internal/fpga"
@@ -251,5 +253,121 @@ func TestMeetsRealTime(t *testing.T) {
 	r.SimulatedTime = 11_000_000
 	if r.MeetsRealTime() {
 		t.Fatal("11 ms should not meet the bound")
+	}
+}
+
+func TestDecodeBatchBudgetNodeBudget(t *testing.T) {
+	cfg := cfg4()
+	a := MustNew(fpga.Optimized, cfg.Mod, cfg.Tx, cfg.Rx, Options{ScalarEval: true})
+	inputs, _ := batchFor(t, cfg, 6, 12, 301)
+	// Unbudgeted reference: every frame exact.
+	full, err := a.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Degraded || full.QualityCounts["exact"] != 12 {
+		t.Fatalf("unbudgeted batch degraded: %+v", full.QualityCounts)
+	}
+	// A node budget far below the exact cost must cut/shed frames, never err.
+	budget := full.Counters.NodesExpanded / 10
+	if budget < 1 {
+		budget = 1
+	}
+	rep, err := a.DecodeBatchBudget(inputs, BatchBudget{NodeBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 12 {
+		t.Fatalf("budgeted batch returned %d/12 results", len(rep.Results))
+	}
+	if !rep.Degraded {
+		t.Fatal("starved batch not flagged degraded")
+	}
+	if rep.Counters.NodesExpanded > budget {
+		t.Fatalf("spent %d nodes on a %d budget", rep.Counters.NodesExpanded, budget)
+	}
+	total := 0
+	for _, n := range rep.QualityCounts {
+		total += n
+	}
+	if total != 12 {
+		t.Fatalf("quality histogram covers %d/12 frames: %+v", total, rep.QualityCounts)
+	}
+	for _, res := range rep.Results {
+		if len(res.SymbolIdx) != cfg.Tx {
+			t.Fatalf("degraded frame has %d symbols", len(res.SymbolIdx))
+		}
+	}
+}
+
+func TestDecodeBatchBudgetDeadline(t *testing.T) {
+	cfg := cfg4()
+	a := MustNew(fpga.Optimized, cfg.Mod, cfg.Tx, cfg.Rx, Options{ScalarEval: true})
+	inputs, _ := batchFor(t, cfg, 6, 10, 302)
+	full, err := a.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A modeled deadline well under the full batch time forces shedding.
+	rep, err := a.DecodeBatchBudget(inputs, BatchBudget{Deadline: full.SimulatedTime / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded {
+		t.Fatalf("deadline %v vs full %v did not degrade", full.SimulatedTime/4, full.SimulatedTime)
+	}
+	sawShed := false
+	for _, res := range rep.Results {
+		if res.DegradedBy == decoder.DegradedByBatchDeadline {
+			sawShed = true
+			if res.Quality != decoder.QualityFallback {
+				t.Fatalf("shed frame quality %v", res.Quality)
+			}
+		}
+	}
+	if !sawShed {
+		t.Fatal("no frame attributed to the batch deadline")
+	}
+	if rep.SimulatedTime >= full.SimulatedTime {
+		t.Fatalf("degraded batch modeled no faster: %v vs %v", rep.SimulatedTime, full.SimulatedTime)
+	}
+}
+
+func TestDecodeBatchBudgetValidation(t *testing.T) {
+	cfg := cfg4()
+	a := MustNew(fpga.Optimized, cfg.Mod, cfg.Tx, cfg.Rx, Options{ScalarEval: true})
+	inputs, _ := batchFor(t, cfg, 6, 2, 303)
+	if _, err := a.DecodeBatchBudget(inputs, BatchBudget{Deadline: -1}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("negative deadline: %v", err)
+	}
+	if _, err := a.DecodeBatchBudget(inputs, BatchBudget{NodeBudget: -5}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("negative node budget: %v", err)
+	}
+	bad := inputs[0]
+	bad.NoiseVar = 0
+	if _, err := a.DecodeBatch([]BatchInput{bad}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("zero noise variance: %v", err)
+	}
+	bad = inputs[0]
+	bad.Y = append(cmatrix.Vector(nil), bad.Y...)
+	bad.Y[0] = complex(math.NaN(), 0)
+	if _, err := a.DecodeBatch([]BatchInput{bad}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("NaN observation: %v", err)
+	}
+	bad = inputs[0]
+	bad.H = bad.H.Clone()
+	bad.H.Set(0, 0, complex(math.Inf(1), 0))
+	if _, err := a.DecodeBatch([]BatchInput{bad}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("Inf channel: %v", err)
+	}
+	bad = inputs[0]
+	bad.H = nil
+	if _, err := a.DecodeBatch([]BatchInput{bad}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("nil channel: %v", err)
+	}
+	bad = inputs[0]
+	bad.Y = bad.Y[:len(bad.Y)-1]
+	if _, err := a.DecodeBatch([]BatchInput{bad}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("short observation: %v", err)
 	}
 }

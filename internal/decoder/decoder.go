@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/cmatrix"
 	"repro/internal/constellation"
@@ -92,6 +93,57 @@ func (w Workload) Validate() error {
 	return nil
 }
 
+// Quality grades a detection result for the anytime-decoding contract:
+// a search cut short by a node budget or deadline still returns a usable
+// decision, flagged so the caller can tell it from an exact one.
+type Quality int
+
+const (
+	// QualityExact means the search ran to completion: the result is the
+	// detector's nominal output (ML-equal for the exact sphere strategies).
+	// It is the zero value, so decoders that never degrade report it for
+	// free.
+	QualityExact Quality = iota
+	// QualityBestEffort means the search was cut short (budget or
+	// deadline) but had already reached at least one leaf; the returned
+	// vector is the best leaf found so far.
+	QualityBestEffort
+	// QualityFallback means the search was cut short before reaching any
+	// leaf; the returned vector is a linear-complexity fallback (the better
+	// of the Babai decision-feedback point and the sliced zero-forcing
+	// solution), so its metric is never worse than plain ZF detection.
+	QualityFallback
+)
+
+// String names the quality grade as used in reports and histograms.
+func (q Quality) String() string {
+	switch q {
+	case QualityExact:
+		return "exact"
+	case QualityBestEffort:
+		return "best-effort"
+	case QualityFallback:
+		return "fallback"
+	default:
+		return fmt.Sprintf("Quality(%d)", int(q))
+	}
+}
+
+// Degraded reports whether the result is anything less than exact.
+func (q Quality) Degraded() bool { return q != QualityExact }
+
+// Reasons recorded in Result.DegradedBy.
+const (
+	// DegradedByBudget marks a search cut by its node-expansion budget.
+	DegradedByBudget = "node-budget"
+	// DegradedByDeadline marks a search cut by its wall-clock deadline.
+	DegradedByDeadline = "deadline"
+	// DegradedByBatchDeadline marks a decode shed to the fallback path
+	// because the enclosing batch had already spent its modeled-time or
+	// node budget.
+	DegradedByBatchDeadline = "batch-deadline"
+)
+
 // Result is the outcome of one detection.
 type Result struct {
 	// SymbolIdx holds the detected constellation index per transmit
@@ -104,6 +156,14 @@ type Result struct {
 	Metric float64
 	// Counters is the operation trace of this call.
 	Counters Counters
+	// Quality grades the result; the zero value is QualityExact.
+	Quality Quality
+	// DegradedBy names what cut the search short ("" when exact): one of
+	// DegradedByBudget, DegradedByDeadline, DegradedByBatchDeadline.
+	DegradedBy string
+	// Elapsed is the wall-clock search time, recorded when the decoder
+	// tracks deadlines (zero otherwise).
+	Elapsed time.Duration
 }
 
 // Decoder is a MIMO signal detector. Implementations must be safe for

@@ -1,0 +1,214 @@
+// Package faultinject corrupts detector inputs the way a deployed receiver
+// sees them corrupted — NaN/Inf from DSP glitches, near-singular channels
+// from keyhole propagation, CSI estimation spikes, broken noise tracking —
+// and checks the robustness contract the API promises:
+//
+//  1. never panic,
+//  2. never return silent garbage (a "successful" result must carry finite
+//     outputs and an honest quality flag),
+//  3. reject unusable input with a typed error.
+//
+// The package owns the corruption catalogue and the recover-based contract
+// checker; the wiring to the public mimosd API lives in the package tests,
+// which drive every fault through every detector family.
+package faultinject
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Fault is one corruption of a clean link. Apply returns corrupted copies —
+// the original link is never mutated, so one link can feed many faults.
+type Fault struct {
+	Name string
+	// Apply corrupts (h, y, noiseVar). r gives deterministic randomness for
+	// faults that pick entries or draw spike magnitudes.
+	Apply func(r *rng.Rand, h [][]complex128, y []complex128, noiseVar float64) ([][]complex128, []complex128, float64)
+}
+
+func cloneH(h [][]complex128) [][]complex128 {
+	out := make([][]complex128, len(h))
+	for i, row := range h {
+		out[i] = append([]complex128(nil), row...)
+	}
+	return out
+}
+
+func cloneY(y []complex128) []complex128 {
+	return append([]complex128(nil), y...)
+}
+
+// Catalogue returns the standard fault set. Every fault is deterministic
+// given the rng stream.
+func Catalogue() []Fault {
+	nan := math.NaN()
+	return []Fault{
+		{
+			Name: "nan-channel-entry",
+			Apply: func(r *rng.Rand, h [][]complex128, y []complex128, nv float64) ([][]complex128, []complex128, float64) {
+				h = cloneH(h)
+				i, j := r.Intn(len(h)), r.Intn(len(h[0]))
+				h[i][j] = complex(nan, imag(h[i][j]))
+				return h, y, nv
+			},
+		},
+		{
+			Name: "inf-channel-entry",
+			Apply: func(r *rng.Rand, h [][]complex128, y []complex128, nv float64) ([][]complex128, []complex128, float64) {
+				h = cloneH(h)
+				i, j := r.Intn(len(h)), r.Intn(len(h[0]))
+				h[i][j] = complex(real(h[i][j]), math.Inf(1))
+				return h, y, nv
+			},
+		},
+		{
+			Name: "nan-observation",
+			Apply: func(r *rng.Rand, h [][]complex128, y []complex128, nv float64) ([][]complex128, []complex128, float64) {
+				y = cloneY(y)
+				y[r.Intn(len(y))] = complex(nan, nan)
+				return h, y, nv
+			},
+		},
+		{
+			Name: "inf-observation",
+			Apply: func(r *rng.Rand, h [][]complex128, y []complex128, nv float64) ([][]complex128, []complex128, float64) {
+				y = cloneY(y)
+				y[r.Intn(len(y))] = complex(math.Inf(-1), 0)
+				return h, y, nv
+			},
+		},
+		{
+			// Two effectively identical columns: the channel drops rank to
+			// within machine precision (keyhole/pinhole propagation). Input
+			// is finite, so validation passes — the decoder must survive the
+			// near-singular QR.
+			Name: "near-singular-channel",
+			Apply: func(r *rng.Rand, h [][]complex128, y []complex128, nv float64) ([][]complex128, []complex128, float64) {
+				h = cloneH(h)
+				if len(h[0]) < 2 {
+					return h, y, nv
+				}
+				a, b := 0, 1
+				for i := range h {
+					h[i][b] = h[i][a] * complex(1+1e-14, 0)
+				}
+				return h, y, nv
+			},
+		},
+		{
+			// One CSI entry spikes by many orders of magnitude — a burst
+			// error in the channel estimator. Finite, so it must decode (the
+			// result may be poor, but it must be flagged honestly and finite).
+			Name: "csi-spike",
+			Apply: func(r *rng.Rand, h [][]complex128, y []complex128, nv float64) ([][]complex128, []complex128, float64) {
+				h = cloneH(h)
+				i, j := r.Intn(len(h)), r.Intn(len(h[0]))
+				h[i][j] *= complex(1e9*(1+r.Float64()), 0)
+				return h, y, nv
+			},
+		},
+		{
+			Name: "zero-noise-variance",
+			Apply: func(r *rng.Rand, h [][]complex128, y []complex128, nv float64) ([][]complex128, []complex128, float64) {
+				return h, y, 0
+			},
+		},
+		{
+			Name: "negative-noise-variance",
+			Apply: func(r *rng.Rand, h [][]complex128, y []complex128, nv float64) ([][]complex128, []complex128, float64) {
+				return h, y, -nv
+			},
+		},
+		{
+			Name: "nan-noise-variance",
+			Apply: func(r *rng.Rand, h [][]complex128, y []complex128, nv float64) ([][]complex128, []complex128, float64) {
+				return h, y, nan
+			},
+		},
+	}
+}
+
+// Outcome is what a decode attempt produced under fault injection.
+type Outcome struct {
+	// Quality is the result's quality flag when the decode returned a
+	// result ("exact", "best-effort", "fallback").
+	Quality string
+	// Finite reports whether every numeric output (metric, symbols) was
+	// finite. Only meaningful when Err is nil.
+	Finite bool
+}
+
+// DecodeFunc runs one detection on a (possibly corrupted) link. It returns
+// the outcome of a successful decode, or an error.
+type DecodeFunc func(h [][]complex128, y []complex128, noiseVar float64) (Outcome, error)
+
+// Verdict is the contract checker's classification of one faulted decode.
+type Verdict struct {
+	Fault    string
+	Panicked bool
+	// PanicValue holds the recovered value when Panicked.
+	PanicValue interface{}
+	// Err is the decode error, if any.
+	Err error
+	// Outcome is the decode outcome when Err is nil and no panic occurred.
+	Outcome Outcome
+}
+
+// OK reports whether the verdict satisfies the robustness contract: no
+// panic, and either a typed error or a finite, quality-flagged result.
+func (v Verdict) OK() bool {
+	if v.Panicked {
+		return false
+	}
+	if v.Err != nil {
+		return true // an error is an acceptable, honest answer
+	}
+	return v.Outcome.Finite && v.Outcome.Quality != ""
+}
+
+// String renders the verdict for failure messages.
+func (v Verdict) String() string {
+	switch {
+	case v.Panicked:
+		return fmt.Sprintf("%s: PANIC %v", v.Fault, v.PanicValue)
+	case v.Err != nil:
+		return fmt.Sprintf("%s: error %v", v.Fault, v.Err)
+	default:
+		return fmt.Sprintf("%s: %s (finite=%v)", v.Fault, v.Outcome.Quality, v.Outcome.Finite)
+	}
+}
+
+// Check applies one fault to a clean link and runs the decoder under a
+// recover barrier.
+func Check(f Fault, r *rng.Rand, h [][]complex128, y []complex128, noiseVar float64, decode DecodeFunc) (v Verdict) {
+	v.Fault = f.Name
+	fh, fy, fnv := f.Apply(r, h, y, noiseVar)
+	defer func() {
+		if p := recover(); p != nil {
+			v.Panicked = true
+			v.PanicValue = p
+		}
+	}()
+	out, err := decode(fh, fy, fnv)
+	v.Err = err
+	v.Outcome = out
+	return v
+}
+
+// FiniteOutputs is a helper for DecodeFunc implementations: it reports
+// whether a metric and a symbol vector are free of NaN/Inf.
+func FiniteOutputs(metric float64, symbols []complex128) bool {
+	if math.IsNaN(metric) || math.IsInf(metric, 0) {
+		return false
+	}
+	for _, s := range symbols {
+		if math.IsNaN(real(s)) || math.IsInf(real(s), 0) ||
+			math.IsNaN(imag(s)) || math.IsInf(imag(s), 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+package faultinject_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	mimosd "repro"
+	"repro/internal/channel"
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/faultinject"
+	"repro/internal/rng"
+	"repro/internal/sphere"
+)
+
+// faultCfg is the system every fault is injected into.
+func faultCfg() mimosd.Config {
+	return mimosd.Config{TxAntennas: 4, RxAntennas: 4, Modulation: "16-QAM"}
+}
+
+// detectFunc adapts mimosd.Detect for one algorithm to the harness.
+func detectFunc(cfg mimosd.Config, alg mimosd.Algorithm) faultinject.DecodeFunc {
+	return func(h [][]complex128, y []complex128, nv float64) (faultinject.Outcome, error) {
+		det, err := mimosd.Detect(cfg, alg, h, y, nv)
+		if err != nil {
+			return faultinject.Outcome{}, err
+		}
+		return faultinject.Outcome{
+			Quality: det.Quality,
+			Finite:  faultinject.FiniteOutputs(det.Metric, det.Symbols),
+		}, nil
+	}
+}
+
+// TestContractAllFaultsAllAlgorithms drives the full fault catalogue through
+// every detector family reachable from the public API: no panics, and every
+// outcome is a typed error or a finite flagged result.
+func TestContractAllFaultsAllAlgorithms(t *testing.T) {
+	cfg := faultCfg()
+	algs := []mimosd.Algorithm{
+		mimosd.AlgSphereDecoder, mimosd.AlgSphereBFS, mimosd.AlgSphereBestFS,
+		mimosd.AlgFSD, mimosd.AlgSphereSQRD, mimosd.AlgSphereFP16,
+		mimosd.AlgML, mimosd.AlgZF, mimosd.AlgMMSE, mimosd.AlgMRC,
+		mimosd.AlgLLLZF, mimosd.AlgSIC, mimosd.AlgSphereRVD,
+	}
+	r := rng.New(0xFA17)
+	for trial := 0; trial < 3; trial++ {
+		link, err := mimosd.RandomLink(cfg, 10, uint64(900+trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range faultinject.Catalogue() {
+			for _, alg := range algs {
+				v := faultinject.Check(f, r, link.H, link.Y, link.NoiseVar, detectFunc(cfg, alg))
+				if !v.OK() {
+					t.Errorf("trial %d alg %s fault %s: contract violated: %v", trial, alg, f.Name, v)
+				}
+			}
+		}
+	}
+}
+
+// TestNonFiniteInputsRejectedTyped pins down the error type: NaN/Inf inputs
+// and broken noise variances must be ErrInvalidInput, not a generic failure.
+func TestNonFiniteInputsRejectedTyped(t *testing.T) {
+	cfg := faultCfg()
+	link, err := mimosd.RandomLink(cfg, 10, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(0xFA18)
+	typed := map[string]bool{
+		"nan-channel-entry": true, "inf-channel-entry": true,
+		"nan-observation": true, "inf-observation": true,
+		"zero-noise-variance": true, "negative-noise-variance": true,
+		"nan-noise-variance": true,
+	}
+	for _, f := range faultinject.Catalogue() {
+		if !typed[f.Name] {
+			continue
+		}
+		v := faultinject.Check(f, r, link.H, link.Y, link.NoiseVar, detectFunc(cfg, mimosd.AlgSphereDecoder))
+		if v.Panicked {
+			t.Fatalf("fault %s panicked: %v", f.Name, v.PanicValue)
+		}
+		if !errors.Is(v.Err, mimosd.ErrInvalidInput) {
+			t.Errorf("fault %s: err = %v, want ErrInvalidInput", f.Name, v.Err)
+		}
+	}
+}
+
+// TestSoftAndBatchPathsSurviveFaults pushes faults through DetectSoft and
+// the accelerator batch path, which have their own preprocessing.
+func TestSoftAndBatchPathsSurviveFaults(t *testing.T) {
+	cfg := faultCfg()
+	link, err := mimosd.RandomLink(cfg, 10, 78)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := mimosd.NewAccelerator(cfg, mimosd.VariantOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft := func(h [][]complex128, y []complex128, nv float64) (faultinject.Outcome, error) {
+		det, err := mimosd.DetectSoft(cfg, h, y, nv, 4)
+		if err != nil {
+			return faultinject.Outcome{}, err
+		}
+		for _, l := range det.LLR {
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				return faultinject.Outcome{Quality: det.Quality, Finite: false}, nil
+			}
+		}
+		return faultinject.Outcome{
+			Quality: det.Quality,
+			Finite:  faultinject.FiniteOutputs(det.Metric, det.Symbols),
+		}, nil
+	}
+	batch := func(h [][]complex128, y []complex128, nv float64) (faultinject.Outcome, error) {
+		rep, err := acc.DecodeBatch([]*mimosd.Link{{H: h, Y: y, NoiseVar: nv}})
+		if err != nil {
+			return faultinject.Outcome{}, err
+		}
+		d := rep.Detections[0]
+		return faultinject.Outcome{
+			Quality: d.Quality,
+			Finite:  faultinject.FiniteOutputs(d.Metric, d.Symbols),
+		}, nil
+	}
+	r := rng.New(0xFA19)
+	for _, f := range faultinject.Catalogue() {
+		for name, fn := range map[string]faultinject.DecodeFunc{"soft": soft, "batch": batch} {
+			v := faultinject.Check(f, r, link.H, link.Y, link.NoiseVar, fn)
+			if !v.OK() {
+				t.Errorf("%s path, fault %s: contract violated: %v", name, f.Name, v)
+			}
+		}
+	}
+}
+
+// TestBudgetStarvation is the resource fault: a decode budget far below the
+// work the search needs. Every starvation level must yield a flagged,
+// finite decision — never a panic, never an unflagged result.
+func TestBudgetStarvation(t *testing.T) {
+	c := constellation.New(constellation.QAM16)
+	r := rng.New(0xFA20)
+	for _, budget := range []int64{1, 2, 3, 5, 17} {
+		sd, err := sphere.New(sphere.Config{Const: c, Strategy: sphere.SortedDFS, MaxNodes: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			h := channel.Rayleigh(r, 8, 8)
+			s := make([]complex128, 8)
+			for i := range s {
+				s[i] = c.Symbol(r.Intn(c.Size()))
+			}
+			nv := channel.NoiseVariance(channel.PerTransmitSymbol, 6, 8)
+			y := channel.Transmit(r, h, s, nv)
+			res, err := sd.Decode(h, y, nv)
+			if err != nil {
+				t.Fatalf("budget %d: starved decode errored: %v", budget, err)
+			}
+			if !res.Quality.Degraded() {
+				// The search may legitimately finish inside a generous
+				// budget — but then it must not have overspent.
+				if res.Counters.NodesExpanded > budget {
+					t.Fatalf("budget %d: spent %d nodes yet reported exact",
+						budget, res.Counters.NodesExpanded)
+				}
+			}
+			if !faultinject.FiniteOutputs(res.Metric, res.Symbols) {
+				t.Fatalf("budget %d: non-finite starved output", budget)
+			}
+		}
+	}
+}
+
+// TestDegradedBERAgainstZFFloor measures detection under starvation: the
+// budget-starved sphere decoder falls back to min(Babai, sliced-ZF), whose
+// metric never exceeds the ZF point's — so over a batch of links its symbol
+// error count must not exceed the ZF decoder's.
+func TestDegradedBERAgainstZFFloor(t *testing.T) {
+	c := constellation.New(constellation.QAM16)
+	zf := decoder.NewZF(c)
+	starved, err := sphere.New(sphere.Config{Const: c, Strategy: sphere.SortedDFS, MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(0xFA21)
+	var starvedErrs, zfErrs, symbols int
+	for trial := 0; trial < 400; trial++ {
+		h := channel.Rayleigh(r, 6, 6)
+		sent := make([]int, 6)
+		s := make([]complex128, 6)
+		for i := range s {
+			sent[i] = r.Intn(c.Size())
+			s[i] = c.Symbol(sent[i])
+		}
+		nv := channel.NoiseVariance(channel.PerTransmitSymbol, 14, 6)
+		y := channel.Transmit(r, h, s, nv)
+		sres, err := starved.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zres, err := zf.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sres.Metric > zres.Metric*(1+1e-9) {
+			t.Fatalf("trial %d: degraded metric %v above ZF floor %v", trial, sres.Metric, zres.Metric)
+		}
+		for i := range sent {
+			symbols++
+			if sres.SymbolIdx[i] != sent[i] {
+				starvedErrs++
+			}
+			if zres.SymbolIdx[i] != sent[i] {
+				zfErrs++
+			}
+		}
+	}
+	if zfErrs == 0 {
+		t.Fatalf("ZF made no errors over %d symbols; SNR too high for the comparison", symbols)
+	}
+	if starvedErrs > zfErrs {
+		t.Fatalf("starved SD made %d symbol errors vs ZF's %d over %d symbols",
+			starvedErrs, zfErrs, symbols)
+	}
+	t.Logf("symbol errors over %d symbols: starved SD %d, ZF %d", symbols, starvedErrs, zfErrs)
+}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cmatrix"
 	"repro/internal/decoder"
@@ -76,6 +77,14 @@ func (d *ParallelSD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float6
 	if err := decoder.CheckDims(h, y); err != nil {
 		return nil, err
 	}
+	if noiseVar < 0 || math.IsNaN(noiseVar) {
+		return nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
+	}
+	start := time.Now()
+	var deadline time.Time
+	if d.cfg.Deadline > 0 {
+		deadline = start.Add(d.cfg.Deadline)
+	}
 	f, err := cmatrix.QR(h)
 	if err != nil {
 		return nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
@@ -125,10 +134,10 @@ func (d *ParallelSD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float6
 	}
 
 	type peResult struct {
-		leafPath []int
-		pd       float64
-		counters decoder.Counters
-		err      error
+		leafPath  []int
+		pd        float64
+		counters  decoder.Counters
+		truncated string // stop reason, "" while exact
 	}
 	results := make([]peResult, workers)
 	var next atomic.Int64
@@ -150,15 +159,18 @@ func (d *ParallelSD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float6
 					continue
 				}
 				pe := newPESearch(&d.cfg, f.R, ybar, radius)
-				path, pd, err := pe.exploreSubtree(st.sym, st.pd)
+				pe.deadline = deadline
+				path, pd := pe.exploreSubtree(st.sym, st.pd)
 				res.counters.Add(pe.counters)
-				if err != nil {
-					res.err = err
-					return
-				}
 				if path != nil && pd < res.pd {
 					res.pd = pd
 					res.leafPath = path
+				}
+				if pe.stopReason != "" {
+					// This PE ran out of budget or time; stop pulling
+					// subtrees and report the truncation upward.
+					res.truncated = pe.stopReason
+					return
 				}
 			}
 		}(w)
@@ -168,29 +180,47 @@ func (d *ParallelSD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float6
 	var counters decoder.Counters
 	bestPD := math.Inf(1)
 	var bestPath []int
+	truncated := ""
 	for i := range results {
-		if results[i].err != nil {
-			return nil, results[i].err
-		}
 		counters.Add(results[i].counters)
+		if results[i].truncated != "" {
+			truncated = results[i].truncated
+		}
 		if results[i].leafPath != nil && results[i].pd < bestPD {
 			bestPD = results[i].pd
 			bestPath = results[i].leafPath
 		}
 	}
-	if bestPath == nil {
+	res := &decoder.Result{Counters: counters}
+	if d.cfg.Deadline > 0 {
+		res.Elapsed = time.Since(start)
+	}
+	switch {
+	case truncated != "" && d.cfg.HardBudget:
+		if truncated == decoder.DegradedByDeadline {
+			return nil, ErrDeadline
+		}
+		return nil, ErrBudget
+	case truncated != "":
+		res.Quality = decoder.QualityBestEffort
+		res.DegradedBy = truncated
+		fbIdx, fbPD, fbFlops := fallbackPoint(f.R, ybar, d.cfg.Const)
+		res.Counters.OtherFlops += fbFlops
+		if bestPath == nil || fbPD < bestPD {
+			bestPath, bestPD = fbIdx, fbPD
+			res.Quality = decoder.QualityFallback
+		}
+	case bestPath == nil:
 		return nil, fmt.Errorf("%w (parallel, r²=%v)", ErrNoLeaf, init)
 	}
 	syms := make(cmatrix.Vector, m)
 	for i, id := range bestPath {
 		syms[i] = d.cfg.Const.Symbol(id)
 	}
-	return &decoder.Result{
-		SymbolIdx: bestPath,
-		Symbols:   syms,
-		Metric:    bestPD + offset,
-		Counters:  counters,
-	}, nil
+	res.SymbolIdx = bestPath
+	res.Symbols = syms
+	res.Metric = bestPD + offset
+	return res, nil
 }
 
 // peSearch is a per-worker sorted DFS over one first-level subtree, pruning
@@ -207,6 +237,10 @@ type peSearch struct {
 	pathBuf  []int
 	childPD  []float64
 	order    []int
+
+	// deadline/stopReason mirror the sequential search's anytime state.
+	deadline   time.Time
+	stopReason string
 }
 
 func newPESearch(cfg *Config, r *cmatrix.Matrix, ybar cmatrix.Vector, radius *sharedRadius) *peSearch {
@@ -226,7 +260,10 @@ func newPESearch(cfg *Config, r *cmatrix.Matrix, ybar cmatrix.Vector, radius *sh
 // exploreSubtree runs a sorted DFS under the first-level child with symbol
 // sym and PD pd, returning the best full path found (antenna-indexed) and
 // its PD, or (nil, +Inf) if the subtree held no leaf inside the sphere.
-func (s *peSearch) exploreSubtree(sym int, pd float64) ([]int, float64, error) {
+// When the node budget or deadline cuts the traversal, the best leaf found
+// so far is returned and s.stopReason records why the subtree is
+// incomplete.
+func (s *peSearch) exploreSubtree(sym int, pd float64) ([]int, float64) {
 	root := s.mst.Add(s.mst.Root(), sym, pd)
 	bestPD := math.Inf(1)
 	var bestLeaf int32 = -1
@@ -244,7 +281,12 @@ func (s *peSearch) exploreSubtree(sym int, pd float64) ([]int, float64, error) {
 			continue
 		}
 		if s.counters.NodesExpanded >= s.cfg.MaxNodes {
-			return nil, 0, ErrBudget
+			s.stopReason = decoder.DegradedByBudget
+			break
+		}
+		if !s.deadline.IsZero() && s.counters.NodesExpanded&63 == 0 && time.Now().After(s.deadline) {
+			s.stopReason = decoder.DegradedByDeadline
+			break
 		}
 		s.counters.NodesExpanded++
 		s.evalChildren(id)
@@ -293,11 +335,11 @@ func (s *peSearch) exploreSubtree(sym int, pd float64) ([]int, float64, error) {
 		}
 	}
 	if bestLeaf < 0 {
-		return nil, math.Inf(1), nil
+		return nil, math.Inf(1)
 	}
 	path := make([]int, s.m)
 	s.mst.PathSymbols(bestLeaf, s.m, path)
-	return path, bestPD, nil
+	return path, bestPD
 }
 
 // evalChildren mirrors search.evalChildren for the worker-local state.

@@ -150,3 +150,46 @@ func TestParallelRaceFree(t *testing.T) {
 		}
 	}
 }
+
+func TestParallelBudgetDegrades(t *testing.T) {
+	r := rng.New(26)
+	c := constellation.New(constellation.QAM16)
+	zf := decoder.NewZF(c)
+	pd, err := NewParallel(Config{Const: c, Strategy: SortedDFS, MaxNodes: 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 8, 8, 4)
+		res, err := pd.Decode(h, y, nv)
+		if err != nil {
+			t.Fatalf("trial %d: degraded parallel decode failed: %v", trial, err)
+		}
+		if !res.Quality.Degraded() {
+			t.Fatalf("trial %d: 4-node budget not flagged (quality %v)", trial, res.Quality)
+		}
+		if res.DegradedBy != decoder.DegradedByBudget {
+			t.Fatalf("trial %d: DegradedBy = %q", trial, res.DegradedBy)
+		}
+		zres, err := zf.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metric > zres.Metric*(1+1e-9) {
+			t.Fatalf("trial %d: degraded metric %v worse than ZF %v", trial, res.Metric, zres.Metric)
+		}
+	}
+}
+
+func TestParallelHardBudget(t *testing.T) {
+	r := rng.New(27)
+	c := constellation.New(constellation.QAM16)
+	pd, err := NewParallel(Config{Const: c, Strategy: SortedDFS, MaxNodes: 4, HardBudget: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, y, nv, _ := makeInstance(r, c, 8, 8, 4)
+	if _, err := pd.Decode(h, y, nv); err == nil {
+		t.Fatal("hard budget exhaustion not reported")
+	}
+}

@@ -25,8 +25,12 @@ import (
 // comparator (it is exact, like the complex-valued search).
 type RVD struct {
 	Const *constellation.Constellation
-	// MaxNodes bounds expansions as in Config.MaxNodes (0 = 50M).
+	// MaxNodes bounds expansions as in Config.MaxNodes (0 = 50M). Budget
+	// exhaustion degrades the result (Result.Quality) unless HardBudget is
+	// set, matching the complex-valued decoder's anytime contract.
 	MaxNodes int64
+	// HardBudget restores the fail-hard ErrBudget contract.
+	HardBudget bool
 
 	pam   []float64 // per-axis amplitudes in natural (ascending) order
 	axisL int       // PAM levels per axis
@@ -123,6 +127,7 @@ func (d *RVD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*de
 	pathBuf := make([]int, dim)
 	childPD := make([]float64, d.axisL)
 	order := make([]int, d.axisL)
+	truncated := false
 	stack := []int32{mst.Root()}
 	for len(stack) > 0 {
 		if int64(len(stack)) > counters.MaxListLen {
@@ -135,7 +140,11 @@ func (d *RVD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*de
 			continue
 		}
 		if counters.NodesExpanded >= maxNodes {
-			return nil, ErrBudget
+			if d.HardBudget {
+				return nil, ErrBudget
+			}
+			truncated = true
+			break
 		}
 		counters.NodesExpanded++
 		depth := mst.Depth(id)
@@ -191,12 +200,30 @@ func (d *RVD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*de
 			stack = append(stack, mst.Add(id, c, childPD[c]))
 		}
 	}
-	if bestLeaf < 0 {
+	res := &decoder.Result{Counters: counters}
+	switch {
+	case truncated:
+		res.Quality = decoder.QualityBestEffort
+		res.DegradedBy = decoder.DegradedByBudget
+		// Real-domain Babai fallback: successive slicing to the nearest
+		// PAM level. Like the complex fallback, it always produces a
+		// decision; prefer it when the truncated search has nothing better.
+		fbPath, fbPD := d.babaiReal(r, ybar, dim)
+		res.Counters.OtherFlops += 4 * int64(dim) * int64(dim)
+		if bestLeaf < 0 || fbPD < bestPD {
+			copy(pathBuf, fbPath)
+			bestPD = fbPD
+			res.Quality = decoder.QualityFallback
+		} else {
+			mst.PathSymbols(bestLeaf, dim, pathBuf)
+		}
+	case bestLeaf < 0:
 		return nil, fmt.Errorf("%w (RVD)", ErrNoLeaf)
+	default:
+		mst.PathSymbols(bestLeaf, dim, pathBuf)
 	}
 
 	// Map the 2M PAM decisions back onto constellation indices.
-	mst.PathSymbols(bestLeaf, dim, pathBuf)
 	idx := make([]int, m)
 	syms := make(cmatrix.Vector, m)
 	for j := 0; j < m; j++ {
@@ -204,10 +231,42 @@ func (d *RVD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*de
 		idx[j] = d.Const.Slice(point)
 		syms[j] = d.Const.Symbol(idx[j])
 	}
-	return &decoder.Result{
-		SymbolIdx: idx,
-		Symbols:   syms,
-		Metric:    bestPD + offset,
-		Counters:  counters,
-	}, nil
+	res.SymbolIdx = idx
+	res.Symbols = syms
+	res.Metric = bestPD + offset
+	return res, nil
+}
+
+// babaiReal is the decision-feedback fallback in the real (RVD) domain:
+// back-substitute one coordinate at a time, slicing each to the nearest PAM
+// amplitude. Returns the per-coordinate PAM indices and the reduced-domain
+// metric.
+func (d *RVD) babaiReal(r *cmatrix.Matrix, ybar cmatrix.Vector, dim int) ([]int, float64) {
+	path := make([]int, dim)
+	vals := make([]float64, dim)
+	pd := 0.0
+	for k := dim - 1; k >= 0; k-- {
+		row := r.Row(k)
+		inner := real(ybar[k])
+		for i := k + 1; i < dim; i++ {
+			inner -= real(row[i]) * vals[i]
+		}
+		rkk := real(row[k])
+		var z float64
+		if rkk != 0 {
+			z = inner / rkk
+		}
+		best, bestDist := 0, math.Inf(1)
+		for c, amp := range d.pam {
+			dist := math.Abs(z - amp)
+			if dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		path[k] = best
+		vals[k] = d.pam[best]
+		diff := inner - rkk*vals[k]
+		pd += diff * diff
+	}
+	return path, pd
 }

@@ -141,7 +141,41 @@ func TestRVDValidation(t *testing.T) {
 		t.Errorf("name %q", rvd.Name())
 	}
 	rvd.MaxNodes = 2
+	res, err := rvd.Decode(h, y, 0.1)
+	if err != nil {
+		t.Fatalf("degraded RVD decode failed: %v", err)
+	}
+	if !res.Quality.Degraded() || res.DegradedBy != decoder.DegradedByBudget {
+		t.Errorf("budget exhaustion not flagged: %v/%q", res.Quality, res.DegradedBy)
+	}
+	rvd.HardBudget = true
 	if _, err := rvd.Decode(h, y, 0.1); err == nil {
-		t.Error("budget exhaustion not reported")
+		t.Error("hard budget exhaustion not reported")
+	}
+}
+
+func TestRVDDegradedUsable(t *testing.T) {
+	r := rng.New(86)
+	c := constellation.New(constellation.QAM16)
+	rvd, err := NewRVD(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rvd.MaxNodes = 3
+	for trial := 0; trial < 30; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 6, 6, 4)
+		res, err := rvd.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Quality.Degraded() {
+			t.Fatalf("trial %d: 3-node budget not degraded", trial)
+		}
+		if math.IsNaN(res.Metric) || math.IsInf(res.Metric, 0) {
+			t.Fatalf("trial %d: degraded metric %v", trial, res.Metric)
+		}
+		if len(res.SymbolIdx) != 6 {
+			t.Fatalf("trial %d: %d symbols", trial, len(res.SymbolIdx))
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/cmatrix"
 	"repro/internal/decoder"
@@ -24,6 +25,12 @@ type search struct {
 	radiusSq float64
 	bestPD   float64
 	bestLeaf int32
+
+	// deadline, when non-zero, bounds the wall-clock time of the
+	// traversal; stopReason records what cut the search short ("" while
+	// it is still exact).
+	deadline   time.Time
+	stopReason string
 
 	counters decoder.Counters
 
@@ -171,8 +178,27 @@ func (s *search) commitLeaf(parent int32, sym int, pd float64) {
 	}
 }
 
+// budgetExceeded reports whether the traversal must stop — node budget
+// spent or deadline passed — and records the reason. The deadline is
+// polled every 64 expansions to keep time syscalls off the per-node path.
 func (s *search) budgetExceeded() bool {
-	return s.counters.NodesExpanded >= s.cfg.MaxNodes
+	if s.counters.NodesExpanded >= s.cfg.MaxNodes {
+		s.stopReason = decoder.DegradedByBudget
+		return true
+	}
+	if !s.deadline.IsZero() && s.counters.NodesExpanded&63 == 0 && time.Now().After(s.deadline) {
+		s.stopReason = decoder.DegradedByDeadline
+		return true
+	}
+	return false
+}
+
+// stopErr maps the recorded stop reason to its sentinel error.
+func (s *search) stopErr() error {
+	if s.stopReason == decoder.DegradedByDeadline {
+		return ErrDeadline
+	}
+	return ErrBudget
 }
 
 func (s *search) noteListLen(n int) {
@@ -200,7 +226,7 @@ func (s *search) runDFS(sorted bool) error {
 			continue
 		}
 		if s.budgetExceeded() {
-			return ErrBudget
+			return s.stopErr()
 		}
 		s.counters.NodesExpanded++
 		s.evalChildren(id)
@@ -270,7 +296,7 @@ func (s *search) runBestFS() error {
 			return nil
 		}
 		if s.budgetExceeded() {
-			return ErrBudget
+			return s.stopErr()
 		}
 		s.counters.NodesExpanded++
 		s.evalChildren(id)
@@ -321,7 +347,7 @@ func (s *search) runBFS() error {
 		var levelPD []float64
 		if s.cfg.UseGEMM {
 			if s.budgetExceeded() {
-				return ErrBudget
+				return s.stopErr()
 			}
 			var err error
 			levelPD, err = s.evalFrontierGEMM(frontier, depth)
@@ -333,7 +359,7 @@ func (s *search) runBFS() error {
 		var next []int32
 		for fi, id := range frontier {
 			if s.budgetExceeded() {
-				return ErrBudget
+				return s.stopErr()
 			}
 			s.counters.NodesExpanded++
 			if levelPD != nil {
@@ -444,7 +470,7 @@ func (s *search) evalFrontierGEMM(frontier []int32, depth int) ([]float64, error
 func (s *search) runFSD() error {
 	// First level: all children of the root.
 	if s.budgetExceeded() {
-		return ErrBudget
+		return s.stopErr()
 	}
 	s.counters.NodesExpanded++
 	s.evalChildren(s.mst.Root())
@@ -458,7 +484,7 @@ func (s *search) runFSD() error {
 	for depth := 1; depth < s.m; depth++ {
 		for i, id := range paths {
 			if s.budgetExceeded() {
-				return ErrBudget
+				return s.stopErr()
 			}
 			s.counters.NodesExpanded++
 			s.evalChildren(id)

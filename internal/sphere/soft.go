@@ -2,8 +2,10 @@ package sphere
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/cmatrix"
 	"repro/internal/decoder"
@@ -103,18 +105,61 @@ func (d *SoftDecoder) DecodeSoft(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar f
 	}
 	m := h.Cols
 
+	start := time.Now()
 	st := newSearch(&d.cfg, f.R, ybar, math.Inf(1))
-	cands := &candidateHeap{mst: st.mst}
-	if err := st.runListDFS(cands, d.ListSize); err != nil {
-		return nil, err
+	if d.cfg.Deadline > 0 {
+		st.deadline = start.Add(d.cfg.Deadline)
 	}
-	if cands.Len() == 0 {
-		return nil, fmt.Errorf("%w (soft)", ErrNoLeaf)
+	cands := &candidateHeap{mst: st.mst}
+	truncated := false
+	if err := st.runListDFS(cands, d.ListSize); err != nil {
+		if (errors.Is(err, ErrBudget) || errors.Is(err, ErrDeadline)) && !d.cfg.HardBudget {
+			truncated = true
+		} else {
+			return nil, err
+		}
 	}
 
 	cons := d.cfg.Const
 	bps := cons.BitsPerSymbol()
 	nBits := m * bps
+
+	if cands.Len() == 0 {
+		if !truncated {
+			return nil, fmt.Errorf("%w (soft)", ErrNoLeaf)
+		}
+		// Truncated before any leaf: hard fallback decision with saturated
+		// LLRs in the direction of the fallback bits — flagged so a channel
+		// decoder can deweight or discard the frame.
+		fbIdx, fbPD, fbFlops := fallbackPoint(f.R, ybar, cons)
+		st.counters.OtherFlops += fbFlops
+		syms := make(cmatrix.Vector, m)
+		llr := make([]float64, nBits)
+		bitBuf := make([]int, bps)
+		for a, id := range fbIdx {
+			syms[a] = cons.Symbol(id)
+			cons.BitsOf(id, bitBuf)
+			for b, bit := range bitBuf {
+				if bit == 0 {
+					llr[a*bps+b] = d.LLRClamp
+				} else {
+					llr[a*bps+b] = -d.LLRClamp
+				}
+			}
+		}
+		res := decoder.Result{
+			SymbolIdx:  fbIdx,
+			Symbols:    syms,
+			Metric:     fbPD + offset,
+			Counters:   st.counters,
+			Quality:    decoder.QualityFallback,
+			DegradedBy: st.stopReason,
+		}
+		if d.cfg.Deadline > 0 {
+			res.Elapsed = time.Since(start)
+		}
+		return &SoftResult{Result: res, LLR: llr, Candidates: 0}, nil
+	}
 
 	// Best metric per bit value, initialized empty.
 	best0 := make([]float64, nBits)
@@ -176,13 +221,21 @@ func (d *SoftDecoder) DecodeSoft(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar f
 	for i, id := range idx {
 		syms[i] = cons.Symbol(id)
 	}
+	res := decoder.Result{
+		SymbolIdx: idx,
+		Symbols:   syms,
+		Metric:    bestPD + offset,
+		Counters:  st.counters,
+	}
+	if truncated {
+		res.Quality = decoder.QualityBestEffort
+		res.DegradedBy = st.stopReason
+	}
+	if d.cfg.Deadline > 0 {
+		res.Elapsed = time.Since(start)
+	}
 	return &SoftResult{
-		Result: decoder.Result{
-			SymbolIdx: idx,
-			Symbols:   syms,
-			Metric:    bestPD + offset,
-			Counters:  st.counters,
-		},
+		Result:     res,
 		LLR:        llr,
 		Candidates: cands.Len(),
 	}, nil
@@ -204,7 +257,7 @@ func (s *search) runListDFS(cands *candidateHeap, listSize int) error {
 			continue
 		}
 		if s.budgetExceeded() {
-			return ErrBudget
+			return s.stopErr()
 		}
 		s.counters.NodesExpanded++
 		s.evalChildren(id)

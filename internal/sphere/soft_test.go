@@ -221,3 +221,69 @@ func TestSoftExploresMoreThanHard(t *testing.T) {
 		t.Fatalf("list search expanded fewer nodes (%d) than hard search (%d)", nSoft, nHard)
 	}
 }
+
+func TestSoftBudgetFallback(t *testing.T) {
+	// A budget too small to reach any leaf must still yield a hard decision
+	// with saturated LLRs, flagged as a fallback.
+	r := rng.New(61)
+	cfg := Config{Const: constellation.New(constellation.QAM16), Strategy: SortedDFS, MaxNodes: 2}
+	sd, err := NewSoft(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, y, nv, _ := makeInstance(r, cfg.Const, 10, 10, 4)
+	res, err := sd.DecodeSoft(h, y, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality != decoder.QualityFallback {
+		t.Fatalf("quality %v, want fallback", res.Quality)
+	}
+	if res.Candidates != 0 {
+		t.Fatalf("candidates %d on leafless truncation", res.Candidates)
+	}
+	if len(res.LLR) != 10*4 {
+		t.Fatalf("LLR length %d", len(res.LLR))
+	}
+	for k, v := range res.LLR {
+		if math.Abs(v) != sd.LLRClamp {
+			t.Fatalf("LLR[%d] = %v, want saturated ±%v", k, v, sd.LLRClamp)
+		}
+	}
+	// Hard mode keeps the error contract.
+	hardCfg := cfg
+	hardCfg.HardBudget = true
+	hard, err := NewSoft(hardCfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hard.DecodeSoft(h, y, nv); err == nil {
+		t.Fatal("hard budget exhaustion not reported")
+	}
+}
+
+func TestSoftBudgetBestEffort(t *testing.T) {
+	// A budget large enough to reach leaves but not finish must report
+	// best-effort with real LLRs.
+	r := rng.New(62)
+	cfg := Config{Const: constellation.New(constellation.QAM16), Strategy: SortedDFS, MaxNodes: 40}
+	sd, err := NewSoft(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		h, y, nv, _ := makeInstance(r, cfg.Const, 12, 12, 2)
+		res, err := sd.DecodeSoft(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Quality.Degraded() {
+			continue // occasionally finishes inside the budget
+		}
+		if res.Candidates > 0 && res.Quality != decoder.QualityBestEffort {
+			t.Fatalf("trial %d: %d candidates but quality %v", trial, res.Candidates, res.Quality)
+		}
+		return
+	}
+	t.Skip("budget never truncated in 20 trials")
+}

@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/cmatrix"
 	"repro/internal/constellation"
@@ -109,9 +110,23 @@ type Config struct {
 	// per level (the K-best variant GPU implementations use to bound
 	// memory). Zero means unlimited.
 	KBest int
-	// MaxNodes bounds the number of node expansions before Decode aborts
-	// with ErrBudget. Zero means 50 million.
+	// MaxNodes bounds the number of node expansions. Zero means 50
+	// million. A search that exhausts the budget returns the best leaf
+	// found so far (QualityBestEffort) or the linear fallback point
+	// (QualityFallback) — it aborts with ErrBudget only when HardBudget is
+	// set.
 	MaxNodes int64
+	// Deadline bounds the wall-clock time of one Decode call. Zero means
+	// none. Like MaxNodes, hitting the deadline degrades the result
+	// instead of failing unless HardBudget is set. The search polls the
+	// clock every 64 expansions, so the cut is accurate to well under a
+	// microsecond of search work.
+	Deadline time.Duration
+	// HardBudget restores the fail-hard contract: budget or deadline
+	// exhaustion returns ErrBudget / ErrDeadline with no result. The
+	// default (false) is the anytime contract: Decode always returns a
+	// decision, flagged through Result.Quality when it is not exact.
+	HardBudget bool
 	// RetryOnEmpty controls whether a search that found no leaf inside the
 	// sphere restarts with a doubled radius (standard SD practice when the
 	// initial radius was guessed too small). Defaults to true; set
@@ -128,7 +143,12 @@ type Config struct {
 // Errors returned by Decode.
 var (
 	// ErrBudget reports that the node-expansion budget was exhausted.
+	// Only returned when Config.HardBudget is set; the default anytime
+	// contract degrades the result instead.
 	ErrBudget = errors.New("sphere: node budget exhausted")
+	// ErrDeadline reports that the wall-clock deadline passed. Like
+	// ErrBudget it is only returned under Config.HardBudget.
+	ErrDeadline = errors.New("sphere: decode deadline exceeded")
 	// ErrNoLeaf reports that no candidate was found inside the sphere and
 	// retries were disabled.
 	ErrNoLeaf = errors.New("sphere: no leaf found within the sphere radius")
@@ -155,6 +175,12 @@ func New(cfg Config) (*SD, error) {
 	}
 	if cfg.MaxNodes == 0 {
 		cfg.MaxNodes = 50_000_000
+	}
+	if cfg.MaxNodes < 0 {
+		return nil, fmt.Errorf("sphere: invalid node budget %d", cfg.MaxNodes)
+	}
+	if cfg.Deadline < 0 {
+		return nil, fmt.Errorf("sphere: invalid deadline %v", cfg.Deadline)
 	}
 	if cfg.KBest < 0 {
 		return nil, fmt.Errorf("sphere: invalid KBest %d", cfg.KBest)
@@ -216,6 +242,11 @@ func (d *SD) DecodeTraced(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64)
 	if noiseVar < 0 || math.IsNaN(noiseVar) {
 		return nil, nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
 	}
+	start := time.Now()
+	var deadline time.Time
+	if d.cfg.Deadline > 0 {
+		deadline = start.Add(d.cfg.Deadline)
+	}
 	f, err := cmatrix.QR(h)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
@@ -238,12 +269,19 @@ func (d *SD) DecodeTraced(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64)
 	info := &SearchInfo{PreprocessFlops: preFlops}
 
 	var st *search
+	truncated := false
 	for attempt := 0; ; attempt++ {
 		st = newSearch(&d.cfg, f.R, ybar, radius)
+		st.deadline = deadline
 		st.counters.OtherFlops += preFlops
 		st.counters.RegularLoads += n * m
 
 		if err := st.run(); err != nil {
+			if (errors.Is(err, ErrBudget) || errors.Is(err, ErrDeadline)) && !d.cfg.HardBudget {
+				// Anytime contract: stop searching and degrade below.
+				truncated = true
+				break
+			}
 			return nil, nil, err
 		}
 		if st.bestLeaf >= 0 {
@@ -271,27 +309,86 @@ func (d *SD) DecodeTraced(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64)
 	info.FinalRadiusSq = st.radiusSq
 
 	mInt := h.Cols
+	res := &decoder.Result{Counters: st.counters}
+	if d.cfg.Deadline > 0 {
+		res.Elapsed = time.Since(start)
+	}
 	idx := make([]int, mInt)
-	st.mst.PathSymbols(st.bestLeaf, mInt, idx)
+	pd := st.bestPD
+	if truncated {
+		res.Quality = decoder.QualityBestEffort
+		res.DegradedBy = st.stopReason
+		// The emergency decision: the better of the Babai point and the
+		// sliced ZF solution — always available, metric ≤ plain ZF. Use it
+		// whenever the truncated search has nothing better.
+		fbIdx, fbPD, fbFlops := fallbackPoint(f.R, ybar, d.cfg.Const)
+		res.Counters.OtherFlops += fbFlops
+		if st.bestLeaf >= 0 && st.bestPD <= fbPD {
+			st.mst.PathSymbols(st.bestLeaf, mInt, idx)
+		} else {
+			copy(idx, fbIdx)
+			pd = fbPD
+			res.Quality = decoder.QualityFallback
+		}
+	} else {
+		st.mst.PathSymbols(st.bestLeaf, mInt, idx)
+	}
 	syms := make(cmatrix.Vector, mInt)
 	for i, id := range idx {
 		syms[i] = d.cfg.Const.Symbol(id)
 	}
-	return &decoder.Result{
-		SymbolIdx: idx,
-		Symbols:   syms,
-		Metric:    st.bestPD + offset,
-		Counters:  st.counters,
-	}, info, nil
+	res.SymbolIdx = idx
+	res.Symbols = syms
+	res.Metric = pd + offset
+	return res, info, nil
 }
 
-// babaiRadiusSq computes the squared distance of the Babai point — the
-// decision-feedback (successive back-substitution + slicing) solution — and
-// returns it, slightly inflated, as the initial sphere radius. The Babai
-// point is itself a leaf inside that sphere, so the search can never come
-// up empty, and any leaf that survives the radius is at least as good.
-func babaiRadiusSq(r *cmatrix.Matrix, ybar cmatrix.Vector, cons *constellation.Constellation) float64 {
+// DecodeFallback skips the tree search entirely and returns the linear
+// fallback decision (the better of the Babai point and sliced ZF), flagged
+// QualityFallback. The batch scheduler in internal/core sheds overrunning
+// frames to this path, so a batch that blows its deadline still emits a
+// decision per frame.
+func (d *SD) DecodeFallback(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*decoder.Result, error) {
+	if err := decoder.CheckDims(h, y); err != nil {
+		return nil, err
+	}
+	if noiseVar < 0 || math.IsNaN(noiseVar) {
+		return nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
+	}
+	f, err := cmatrix.QR(h)
+	if err != nil {
+		return nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
+	}
+	ybar := f.QHMulVec(y)
+	offset := cmatrix.Norm2Sq(y) - cmatrix.Norm2Sq(ybar)
+	if offset < 0 {
+		offset = 0
+	}
+	n, m := int64(h.Rows), int64(h.Cols)
+	idx, pd, fbFlops := fallbackPoint(f.R, ybar, d.cfg.Const)
+	syms := make(cmatrix.Vector, h.Cols)
+	for i, id := range idx {
+		syms[i] = d.cfg.Const.Symbol(id)
+	}
+	var counters decoder.Counters
+	counters.OtherFlops = 32*n*m*m + 8*n*m + fbFlops
+	counters.RegularLoads = n * m
+	return &decoder.Result{
+		SymbolIdx:  idx,
+		Symbols:    syms,
+		Metric:     pd + offset,
+		Counters:   counters,
+		Quality:    decoder.QualityFallback,
+		DegradedBy: decoder.DegradedByBatchDeadline,
+	}, nil
+}
+
+// babaiPoint computes the Babai decision-feedback point — successive
+// back-substitution with per-coordinate slicing — returning its symbol
+// indices and its reduced-domain metric ‖ȳ − R·s‖².
+func babaiPoint(r *cmatrix.Matrix, ybar cmatrix.Vector, cons *constellation.Constellation) ([]int, float64) {
 	m := r.Cols
+	idx := make([]int, m)
 	syms := make([]complex128, m)
 	pd := 0.0
 	for k := m - 1; k >= 0; k-- {
@@ -304,11 +401,66 @@ func babaiRadiusSq(r *cmatrix.Matrix, ybar cmatrix.Vector, cons *constellation.C
 		if row[k] != 0 {
 			z = inner / row[k]
 		}
-		s := cons.Symbol(cons.Slice(z))
+		idx[k] = cons.Slice(z)
+		s := cons.Symbol(idx[k])
 		syms[k] = s
 		diff := inner - row[k]*s
 		pd += real(diff)*real(diff) + imag(diff)*imag(diff)
 	}
+	return idx, pd
+}
+
+// zfPoint computes the sliced zero-forcing decision — solve R·z = ȳ, then
+// slice each coordinate independently — returning its symbol indices and
+// reduced-domain metric. Returns pd = +Inf if R has a (numerically) zero
+// pivot, so callers taking a min simply prefer the Babai point.
+func zfPoint(r *cmatrix.Matrix, ybar cmatrix.Vector, cons *constellation.Constellation) ([]int, float64) {
+	z, err := cmatrix.BackSubstitute(r, ybar[:r.Cols])
+	if err != nil {
+		return nil, math.Inf(1)
+	}
+	m := r.Cols
+	idx := make([]int, m)
+	syms := make(cmatrix.Vector, m)
+	for i, v := range z {
+		idx[i] = cons.Slice(v)
+		syms[i] = cons.Symbol(idx[i])
+	}
+	pd := 0.0
+	for k := 0; k < m; k++ {
+		row := r.Row(k)
+		diff := ybar[k]
+		for i := k; i < m; i++ {
+			diff -= row[i] * syms[i]
+		}
+		pd += real(diff)*real(diff) + imag(diff)*imag(diff)
+	}
+	return idx, pd
+}
+
+// fallbackPoint is the emergency decision of the anytime contract: the
+// better (smaller reduced-domain metric) of the Babai point and the sliced
+// ZF solution. Because the ZF decision is one of the two candidates, the
+// returned metric is never worse than plain zero-forcing detection — the
+// floor the degradation property tests assert against. The returned flops
+// cover both candidates (two O(m²) passes).
+func fallbackPoint(r *cmatrix.Matrix, ybar cmatrix.Vector, cons *constellation.Constellation) ([]int, float64, int64) {
+	bIdx, bPD := babaiPoint(r, ybar, cons)
+	zIdx, zPD := zfPoint(r, ybar, cons)
+	m := int64(r.Cols)
+	flops := 24 * m * m // Babai sweep + ZF back-substitution + metric pass
+	if zPD < bPD {
+		return zIdx, zPD, flops
+	}
+	return bIdx, bPD, flops
+}
+
+// babaiRadiusSq computes the squared distance of the Babai point and
+// returns it, slightly inflated, as the initial sphere radius. The Babai
+// point is itself a leaf inside that sphere, so the search can never come
+// up empty, and any leaf that survives the radius is at least as good.
+func babaiRadiusSq(r *cmatrix.Matrix, ybar cmatrix.Vector, cons *constellation.Constellation) float64 {
+	_, pd := babaiPoint(r, ybar, cons)
 	radius := pd * (1 + 1e-9)
 	if radius <= 0 {
 		radius = 1e-12 // exact Babai hit: keep the sphere strictly positive

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/channel"
 	"repro/internal/cmatrix"
@@ -313,13 +314,126 @@ func TestNoLeafErrorWhenRetryDisabled(t *testing.T) {
 	}
 }
 
-func TestBudgetExceeded(t *testing.T) {
+func TestBudgetExceededHard(t *testing.T) {
 	r := rng.New(9)
 	c := constellation.New(constellation.QAM16)
 	h, y, nv, _ := makeInstance(r, c, 8, 8, 2)
-	sd := MustNew(Config{Const: c, Strategy: BFS, MaxNodes: 5})
+	sd := MustNew(Config{Const: c, Strategy: BFS, MaxNodes: 5, HardBudget: true})
 	if _, err := sd.Decode(h, y, nv); !errors.Is(err, ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+// TestBudgetExceededDegrades is the anytime contract: a search killed by its
+// node budget still returns a flagged decision whose metric is never worse
+// than the zero-forcing floor on the same link.
+func TestBudgetExceededDegrades(t *testing.T) {
+	r := rng.New(9)
+	c := constellation.New(constellation.QAM16)
+	zf := decoder.NewZF(c)
+	for trial := 0; trial < 50; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 8, 8, 2)
+		for _, strat := range []Strategy{SortedDFS, PlainDFS, BestFS, BFS} {
+			sd := MustNew(Config{Const: c, Strategy: strat, MaxNodes: 5})
+			res, err := sd.Decode(h, y, nv)
+			if err != nil {
+				t.Fatalf("%v: degraded decode failed: %v", strat, err)
+			}
+			if !res.Quality.Degraded() {
+				t.Fatalf("%v: budget-killed search reported quality %v", strat, res.Quality)
+			}
+			if res.DegradedBy != decoder.DegradedByBudget {
+				t.Fatalf("%v: DegradedBy = %q", strat, res.DegradedBy)
+			}
+			zres, err := zf.Decode(h, y, nv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Metric > zres.Metric*(1+1e-9) {
+				t.Fatalf("%v: degraded metric %v worse than ZF floor %v", strat, res.Metric, zres.Metric)
+			}
+			if len(res.SymbolIdx) != 8 {
+				t.Fatalf("%v: degraded result has %d symbols", strat, len(res.SymbolIdx))
+			}
+		}
+	}
+}
+
+// TestDegradedQualityProvenance checks the BestEffort/Fallback distinction:
+// a tiny budget that cannot reach a leaf must report QualityFallback, and
+// quality on an unconstrained search stays QualityExact.
+func TestDegradedQualityProvenance(t *testing.T) {
+	r := rng.New(19)
+	c := constellation.New(constellation.QAM16)
+	h, y, nv, _ := makeInstance(r, c, 10, 10, 4)
+	// BFS expands level-synchronously: 3 expansions cannot reach depth 10,
+	// so no leaf exists and the fallback point must be used.
+	sd := MustNew(Config{Const: c, Strategy: BFS, MaxNodes: 3})
+	res, err := sd.Decode(h, y, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality != decoder.QualityFallback {
+		t.Fatalf("leafless truncation: quality %v, want fallback", res.Quality)
+	}
+	exact, err := MustNew(Config{Const: c, Strategy: SortedDFS}).Decode(h, y, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Quality != decoder.QualityExact || exact.DegradedBy != "" {
+		t.Fatalf("unconstrained search flagged degraded: %v/%q", exact.Quality, exact.DegradedBy)
+	}
+}
+
+// TestDeadlineDegrades drives the wall-clock deadline: a deadline that has
+// effectively already passed must cut the search and still yield a decision.
+func TestDeadlineDegrades(t *testing.T) {
+	r := rng.New(29)
+	c := constellation.New(constellation.QAM16)
+	h, y, nv, _ := makeInstance(r, c, 10, 10, 0)
+	sd := MustNew(Config{Const: c, Strategy: SortedDFS, Deadline: time.Nanosecond})
+	res, err := sd.Decode(h, y, nv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quality.Degraded() {
+		t.Fatalf("1 ns deadline produced quality %v", res.Quality)
+	}
+	if res.DegradedBy != decoder.DegradedByDeadline {
+		t.Fatalf("DegradedBy = %q, want %q", res.DegradedBy, decoder.DegradedByDeadline)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("Elapsed not recorded under a deadline")
+	}
+	// Hard mode keeps the old error contract.
+	hard := MustNew(Config{Const: c, Strategy: SortedDFS, Deadline: time.Nanosecond, HardBudget: true})
+	if _, err := hard.Decode(h, y, nv); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("hard deadline err = %v, want ErrDeadline", err)
+	}
+}
+
+// TestDecodeFallback exercises the batch scheduler's shed path directly.
+func TestDecodeFallback(t *testing.T) {
+	r := rng.New(39)
+	c := constellation.New(constellation.QAM4)
+	zf := decoder.NewZF(c)
+	for trial := 0; trial < 30; trial++ {
+		h, y, nv, _ := makeInstance(r, c, 6, 6, 8)
+		sd := MustNew(Config{Const: c, Strategy: SortedDFS})
+		res, err := sd.DecodeFallback(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Quality != decoder.QualityFallback {
+			t.Fatalf("fallback quality %v", res.Quality)
+		}
+		zres, err := zf.Decode(h, y, nv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metric > zres.Metric*(1+1e-9) {
+			t.Fatalf("fallback metric %v worse than ZF %v", res.Metric, zres.Metric)
+		}
 	}
 }
 

@@ -16,6 +16,54 @@ import (
 	"time"
 )
 
+// PolicyMode selects how the engine reacts to backlog pressure.
+type PolicyMode int
+
+const (
+	// DropOnly is the legacy behaviour: arrivals beyond QueueCap are
+	// dropped, everything else is served at full quality.
+	DropOnly PolicyMode = iota
+	// ShrinkBudget serves backlogged batches with a shrunk decode budget:
+	// service time scales by Policy.Shrink and the batch completes at
+	// best-effort quality instead of queueing at full cost.
+	ShrinkBudget
+	// ShedToLinear serves backlogged batches with the linear fallback
+	// detector (Policy.LinearTime of engine time, fallback quality).
+	ShedToLinear
+)
+
+// String names the mode.
+func (m PolicyMode) String() string {
+	switch m {
+	case DropOnly:
+		return "drop-only"
+	case ShrinkBudget:
+		return "shrink-budget"
+	case ShedToLinear:
+		return "shed-to-linear"
+	default:
+		return fmt.Sprintf("PolicyMode(%d)", int(m))
+	}
+}
+
+// Policy is the degradation policy applied under backlog: instead of letting
+// queue overflow silently drop frames, the engine trades decode quality for
+// service time once the backlog reaches a threshold. The zero value is
+// DropOnly (no degradation), preserving the original simulator semantics.
+type Policy struct {
+	Mode PolicyMode
+	// BacklogThreshold is the number of pending batches at which degradation
+	// starts. Zero means 1 (degrade as soon as one batch is waiting).
+	BacklogThreshold int
+	// Shrink scales a degraded batch's service time in ShrinkBudget mode;
+	// must be in (0, 1). Zero means 0.5.
+	Shrink float64
+	// LinearTime is the degraded service time in ShedToLinear mode; it
+	// stands for the cost of a linear (ZF/Babai) decode of the batch.
+	// Required (> 0) in that mode.
+	LinearTime time.Duration
+}
+
 // Config describes the arrival process and deadline.
 type Config struct {
 	// Period is the inter-arrival time of decode batches (one TTI).
@@ -26,7 +74,16 @@ type Config struct {
 	// QueueCap bounds the number of batches waiting (not yet started);
 	// arrivals beyond it are dropped. Zero means unbounded.
 	QueueCap int
+	// Policy is the backlog degradation policy (zero value: drop-only).
+	Policy Policy
 }
+
+// Quality labels for Result.Quality, matching decoder.Quality.String().
+const (
+	QualityExact      = "exact"
+	QualityBestEffort = "best-effort"
+	QualityFallback   = "fallback"
+)
 
 // Result summarizes a simulated stream.
 type Result struct {
@@ -34,6 +91,13 @@ type Result struct {
 	Dropped int
 	Missed  int // completed after their deadline
 	OnTime  int
+	// Quality counts completed batches by decode quality: "exact" for full
+	// service, "best-effort" for shrunk budgets, "fallback" for batches shed
+	// to the linear decoder. Dropped batches do not appear (they produced
+	// nothing).
+	Quality map[string]int
+	// Degraded is the number of completed batches below exact quality.
+	Degraded int
 	// Sojourn statistics over completed batches (queueing + service).
 	MeanSojourn time.Duration
 	P99Sojourn  time.Duration
@@ -67,8 +131,31 @@ func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
 	if deadline < 0 {
 		return nil, fmt.Errorf("stream: negative deadline %v", deadline)
 	}
+	pol := cfg.Policy
+	switch pol.Mode {
+	case DropOnly:
+	case ShrinkBudget:
+		if pol.Shrink == 0 {
+			pol.Shrink = 0.5
+		}
+		if pol.Shrink <= 0 || pol.Shrink >= 1 {
+			return nil, fmt.Errorf("stream: shrink factor %v outside (0, 1)", pol.Shrink)
+		}
+	case ShedToLinear:
+		if pol.LinearTime <= 0 {
+			return nil, fmt.Errorf("stream: shed-to-linear needs LinearTime > 0, got %v", pol.LinearTime)
+		}
+	default:
+		return nil, fmt.Errorf("stream: unknown policy mode %v", pol.Mode)
+	}
+	if pol.BacklogThreshold == 0 {
+		pol.BacklogThreshold = 1
+	}
+	if pol.BacklogThreshold < 0 {
+		return nil, fmt.Errorf("stream: negative backlog threshold %d", pol.BacklogThreshold)
+	}
 
-	res := &Result{Batches: len(serviceTimes)}
+	res := &Result{Batches: len(serviceTimes), Quality: map[string]int{}}
 	var engineFree time.Duration // when the engine next becomes idle
 	var totalService time.Duration
 	sojourns := make([]time.Duration, 0, len(serviceTimes))
@@ -79,20 +166,30 @@ func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
 			return nil, fmt.Errorf("stream: negative service time for batch %d", i)
 		}
 		arrival := time.Duration(i) * cfg.Period
-		// Backlog = batches that arrived but have not started by now.
-		if cfg.QueueCap > 0 {
-			backlog := 0
-			// Count prior batches still pending at this arrival: the engine
-			// is busy until engineFree; batches are FIFO so pending count is
-			// derivable from completion times. Track via a simpler bound:
-			// if the wait would exceed QueueCap periods, drop.
-			waitPeriods := int((engineFree - arrival) / cfg.Period)
-			if waitPeriods > 0 {
-				backlog = waitPeriods
-			}
-			if backlog >= cfg.QueueCap {
-				res.Dropped++
-				continue
+		// Backlog = batches that arrived but have not started by now: the
+		// engine is busy until engineFree and batches are FIFO, so the wait
+		// expressed in periods bounds the pending count.
+		backlog := 0
+		if waitPeriods := int((engineFree - arrival) / cfg.Period); waitPeriods > 0 {
+			backlog = waitPeriods
+		}
+		if cfg.QueueCap > 0 && backlog >= cfg.QueueCap {
+			res.Dropped++
+			continue
+		}
+		// Degradation policy: under backlog, trade quality for engine time
+		// at dispatch instead of letting the queue cascade.
+		quality := QualityExact
+		if pol.Mode != DropOnly && backlog >= pol.BacklogThreshold {
+			switch pol.Mode {
+			case ShrinkBudget:
+				svc = time.Duration(float64(svc) * pol.Shrink)
+				quality = QualityBestEffort
+			case ShedToLinear:
+				if pol.LinearTime < svc {
+					svc = pol.LinearTime
+				}
+				quality = QualityFallback
 			}
 		}
 		start := arrival
@@ -110,6 +207,10 @@ func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
 			res.Missed++
 		} else {
 			res.OnTime++
+		}
+		res.Quality[quality]++
+		if quality != QualityExact {
+			res.Degraded++
 		}
 		if backlog := int((start - arrival) / cfg.Period); backlog+1 > res.MaxBacklog {
 			res.MaxBacklog = backlog + 1

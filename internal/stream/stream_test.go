@@ -142,3 +142,154 @@ func TestMissRate(t *testing.T) {
 		t.Fatal("empty miss rate")
 	}
 }
+
+func TestShrinkBudgetBeatsDropOnly(t *testing.T) {
+	// A sustained overload: every batch costs 1.5 periods at full quality,
+	// with a deadline of three periods (degradation buys time across TTIs).
+	// Drop-only fills the queue — survivors wait ~3 periods and miss anyway;
+	// shrinking to half cost brings degraded batches under the period, so
+	// the backlog drains and completions stay inside the deadline.
+	svc := uniform(200, ms(15))
+	dropCfg := Config{Period: ms(10), Deadline: ms(30), QueueCap: 3}
+	drop, err := Simulate(dropCfg, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrinkCfg := dropCfg
+	shrinkCfg.Policy = Policy{Mode: ShrinkBudget, Shrink: 0.5}
+	shrink, err := Simulate(shrinkCfg, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shrink.MissRate() >= drop.MissRate() {
+		t.Fatalf("shrink miss rate %.3f not below drop-only %.3f", shrink.MissRate(), drop.MissRate())
+	}
+	if shrink.Degraded == 0 {
+		t.Fatal("overloaded shrink policy degraded nothing")
+	}
+	if shrink.Quality[QualityBestEffort] != shrink.Degraded {
+		t.Fatalf("quality histogram %v inconsistent with Degraded=%d", shrink.Quality, shrink.Degraded)
+	}
+	total := 0
+	for _, n := range shrink.Quality {
+		total += n
+	}
+	if total+shrink.Dropped != shrink.Batches {
+		t.Fatalf("histogram %v + dropped %d != batches %d", shrink.Quality, shrink.Dropped, shrink.Batches)
+	}
+}
+
+func TestShedToLinearBeatsDropOnly(t *testing.T) {
+	svc := uniform(200, ms(18))
+	dropCfg := Config{Period: ms(10), Deadline: ms(30), QueueCap: 2}
+	drop, err := Simulate(dropCfg, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shedCfg := dropCfg
+	shedCfg.Policy = Policy{Mode: ShedToLinear, LinearTime: ms(1)}
+	shed, err := Simulate(shedCfg, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shed.MissRate() >= drop.MissRate() {
+		t.Fatalf("shed miss rate %.3f not below drop-only %.3f", shed.MissRate(), drop.MissRate())
+	}
+	if shed.Quality[QualityFallback] == 0 {
+		t.Fatal("no batch shed to the linear decoder")
+	}
+	if shed.Dropped >= drop.Dropped && drop.Dropped > 0 {
+		t.Fatalf("shedding dropped %d, drop-only dropped %d", shed.Dropped, drop.Dropped)
+	}
+}
+
+func TestPolicyIdleStreamStaysExact(t *testing.T) {
+	// Degradation must not trigger without backlog.
+	cfg := Config{Period: ms(10), Policy: Policy{Mode: ShrinkBudget}}
+	res, err := Simulate(cfg, uniform(50, ms(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded != 0 || res.Quality[QualityExact] != 50 {
+		t.Fatalf("idle stream degraded: %v", res.Quality)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	svc := uniform(3, ms(1))
+	if _, err := Simulate(Config{Period: ms(10), Policy: Policy{Mode: ShrinkBudget, Shrink: 1.5}}, svc); err == nil {
+		t.Error("shrink > 1 accepted")
+	}
+	if _, err := Simulate(Config{Period: ms(10), Policy: Policy{Mode: ShrinkBudget, Shrink: -0.5}}, svc); err == nil {
+		t.Error("negative shrink accepted")
+	}
+	if _, err := Simulate(Config{Period: ms(10), Policy: Policy{Mode: ShedToLinear}}, svc); err == nil {
+		t.Error("shed without LinearTime accepted")
+	}
+	if _, err := Simulate(Config{Period: ms(10), Policy: Policy{Mode: PolicyMode(9)}}, svc); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := Simulate(Config{Period: ms(10), Policy: Policy{Mode: ShrinkBudget, BacklogThreshold: -1}}, svc); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestQueueCapDropAccounting(t *testing.T) {
+	// Every batch costs 3 periods; with QueueCap 1 the engine serves one,
+	// and while it runs the wait for newcomers is >= 1 period, so they drop
+	// until the engine frees. Dropped + completed must equal arrivals and
+	// drops must never be served.
+	cfg := Config{Period: ms(10), QueueCap: 1}
+	res, err := Simulate(cfg, uniform(30, ms(30)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("no drops under 3x overload with QueueCap 1")
+	}
+	if res.Dropped+res.OnTime+res.Missed != res.Batches {
+		t.Fatalf("accounting: %d dropped + %d on-time + %d missed != %d",
+			res.Dropped, res.OnTime, res.Missed, res.Batches)
+	}
+	if res.MaxBacklog > cfg.QueueCap+1 {
+		t.Fatalf("backlog %d exceeded cap %d + in-service", res.MaxBacklog, cfg.QueueCap)
+	}
+}
+
+func TestZeroAndNegativePeriod(t *testing.T) {
+	if _, err := Simulate(Config{Period: 0}, uniform(3, ms(1))); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := Simulate(Config{Period: -ms(1)}, uniform(3, ms(1))); err == nil {
+		t.Error("negative period accepted")
+	}
+}
+
+func TestDeadlineLongerThanPeriod(t *testing.T) {
+	// Deadline 3x the period: transient backlog is fine as long as sojourn
+	// stays under the deadline.
+	cfg := Config{Period: ms(10), Deadline: ms(30)}
+	svc := uniform(20, ms(12)) // each batch 1.2 periods: backlog grows slowly
+	res, err := Simulate(cfg, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch i completes at 12(i+1) ms, arrives at 10i ms: sojourn 2i+12 ms,
+	// within 30 ms for i <= 8, beyond for i >= 10.
+	if res.OnTime == 0 || res.Missed == 0 {
+		t.Fatalf("want a mix of on-time and missed: %+v", res)
+	}
+}
+
+func TestExactBoundaryCompletionOnTime(t *testing.T) {
+	// Sojourn exactly equal to the deadline counts as on time (miss is
+	// strictly later than the bound).
+	cfg := Config{Period: ms(10), Deadline: ms(10)}
+	res, err := Simulate(cfg, uniform(5, ms(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missed != 0 || res.OnTime != 5 {
+		t.Fatalf("exact-boundary completions misclassified: %+v", res)
+	}
+}

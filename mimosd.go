@@ -24,6 +24,7 @@ package mimosd
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/channel"
@@ -40,6 +41,11 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sphere"
 )
+
+// ErrInvalidInput flags malformed caller input: NaN/Inf entries in the
+// channel or observation, a non-positive noise variance, or a dimension
+// mismatch against the configuration. Test with errors.Is.
+var ErrInvalidInput = errors.New("mimosd: invalid input")
 
 // Algorithm selects a detector.
 type Algorithm string
@@ -145,6 +151,18 @@ func newDecoder(alg Algorithm, cons *constellation.Constellation) (decoder.Decod
 	}
 }
 
+// errDecoder is a decoder stub whose Decode always fails with a fixed
+// construction error. Parallel simulation factories return it instead of
+// panicking when a decoder cannot be built, so the failure is accounted as
+// decode failures instead of crossing the API boundary as a panic.
+type errDecoder struct{ err error }
+
+func (d errDecoder) Name() string { return "invalid" }
+
+func (d errDecoder) Decode(*cmatrix.Matrix, cmatrix.Vector, float64) (*decoder.Result, error) {
+	return nil, d.err
+}
+
 // Link is one Monte-Carlo transmission: the channel state the receiver
 // knows, the observation, and (for scoring) what was sent.
 type Link struct {
@@ -198,34 +216,47 @@ type Detection struct {
 	NodesExplored int64
 	// Algorithm echoes the detector used.
 	Algorithm string
+	// Quality is "exact", "best-effort", or "fallback" — below exact, the
+	// search was cut by a budget or deadline and the decision is the best
+	// available, not the maximum-likelihood point. See DESIGN.md.
+	Quality string
+	// DegradedBy names what cut the search ("node-budget", "deadline",
+	// "batch-deadline"); empty for exact detections.
+	DegradedBy string
 }
 
-// Detect runs one detection.
-func Detect(cfg Config, alg Algorithm, h [][]complex128, y []complex128, noiseVar float64) (*Detection, error) {
-	mc, cons, err := cfg.parse()
-	if err != nil {
-		return nil, err
-	}
+// checkLinkInput validates raw caller input against the configuration and
+// packs the channel into matrix form. All failures wrap ErrInvalidInput.
+func checkLinkInput(mc mimo.Config, h [][]complex128, y []complex128, noiseVar float64) (*cmatrix.Matrix, error) {
 	if len(h) != mc.Rx {
-		return nil, fmt.Errorf("mimosd: H has %d rows, config says %d", len(h), mc.Rx)
+		return nil, fmt.Errorf("%w: H has %d rows, config says %d", ErrInvalidInput, len(h), mc.Rx)
 	}
 	hm := cmatrix.NewMatrix(mc.Rx, mc.Tx)
 	for i, row := range h {
 		if len(row) != mc.Tx {
-			return nil, fmt.Errorf("mimosd: H row %d has %d columns, config says %d", i, len(row), mc.Tx)
+			return nil, fmt.Errorf("%w: H row %d has %d columns, config says %d", ErrInvalidInput, i, len(row), mc.Tx)
 		}
 		copy(hm.Row(i), row)
 	}
-	d, err := newDecoder(alg, cons)
-	if err != nil {
-		return nil, err
+	if !hm.IsFinite() {
+		return nil, fmt.Errorf("%w: channel matrix has NaN/Inf entries", ErrInvalidInput)
 	}
-	res, err := d.Decode(hm, cmatrix.Vector(y), noiseVar)
-	if err != nil {
-		return nil, err
+	if len(y) != mc.Rx {
+		return nil, fmt.Errorf("%w: Y has %d entries, config says %d", ErrInvalidInput, len(y), mc.Rx)
 	}
-	bits := make([]int, 0, mc.Tx*cons.BitsPerSymbol())
+	if !cmatrix.Vector(y).IsFinite() {
+		return nil, fmt.Errorf("%w: observation has NaN/Inf entries", ErrInvalidInput)
+	}
+	if noiseVar <= 0 || math.IsNaN(noiseVar) || math.IsInf(noiseVar, 0) {
+		return nil, fmt.Errorf("%w: noise variance %v (want finite > 0)", ErrInvalidInput, noiseVar)
+	}
+	return hm, nil
+}
+
+// detectionFrom converts an internal decode result to the public form.
+func detectionFrom(res *decoder.Result, cons *constellation.Constellation, name string) *Detection {
 	buf := make([]int, cons.BitsPerSymbol())
+	bits := make([]int, 0, len(res.SymbolIdx)*cons.BitsPerSymbol())
 	for _, idx := range res.SymbolIdx {
 		bits = append(bits, cons.BitsOf(idx, buf)...)
 	}
@@ -235,8 +266,31 @@ func Detect(cfg Config, alg Algorithm, h [][]complex128, y []complex128, noiseVa
 		Bits:          bits,
 		Metric:        res.Metric,
 		NodesExplored: res.Counters.NodesExpanded,
-		Algorithm:     d.Name(),
-	}, nil
+		Algorithm:     name,
+		Quality:       res.Quality.String(),
+		DegradedBy:    res.DegradedBy,
+	}
+}
+
+// Detect runs one detection.
+func Detect(cfg Config, alg Algorithm, h [][]complex128, y []complex128, noiseVar float64) (*Detection, error) {
+	mc, cons, err := cfg.parse()
+	if err != nil {
+		return nil, err
+	}
+	hm, err := checkLinkInput(mc, h, y, noiseVar)
+	if err != nil {
+		return nil, err
+	}
+	d, err := newDecoder(alg, cons)
+	if err != nil {
+		return nil, err
+	}
+	res, err := d.Decode(hm, cmatrix.Vector(y), noiseVar)
+	if err != nil {
+		return nil, err
+	}
+	return detectionFrom(res, cons, d.Name()), nil
 }
 
 // SoftDetection is a Detection plus per-bit log-likelihood ratios.
@@ -256,15 +310,9 @@ func DetectSoft(cfg Config, h [][]complex128, y []complex128, noiseVar float64, 
 	if err != nil {
 		return nil, err
 	}
-	if len(h) != mc.Rx {
-		return nil, fmt.Errorf("mimosd: H has %d rows, config says %d", len(h), mc.Rx)
-	}
-	hm := cmatrix.NewMatrix(mc.Rx, mc.Tx)
-	for i, row := range h {
-		if len(row) != mc.Tx {
-			return nil, fmt.Errorf("mimosd: H row %d has %d columns, config says %d", i, len(row), mc.Tx)
-		}
-		copy(hm.Row(i), row)
+	hm, err := checkLinkInput(mc, h, y, noiseVar)
+	if err != nil {
+		return nil, err
 	}
 	sd, err := sphere.NewSoft(sphere.Config{Const: cons, Strategy: sphere.SortedDFS}, listSize)
 	if err != nil {
@@ -274,20 +322,8 @@ func DetectSoft(cfg Config, h [][]complex128, y []complex128, noiseVar float64, 
 	if err != nil {
 		return nil, err
 	}
-	bits := make([]int, 0, mc.Tx*cons.BitsPerSymbol())
-	buf := make([]int, cons.BitsPerSymbol())
-	for _, idx := range res.SymbolIdx {
-		bits = append(bits, cons.BitsOf(idx, buf)...)
-	}
 	return &SoftDetection{
-		Detection: Detection{
-			SymbolIndices: res.SymbolIdx,
-			Symbols:       append([]complex128(nil), res.Symbols...),
-			Bits:          bits,
-			Metric:        res.Metric,
-			NodesExplored: res.Counters.NodesExpanded,
-			Algorithm:     sd.Name(),
-		},
+		Detection:  *detectionFrom(&res.Result, cons, sd.Name()),
 		LLR:        res.LLR,
 		Candidates: res.Candidates,
 	}, nil
@@ -315,15 +351,18 @@ func SimulateBER(cfg Config, alg Algorithm, snrDB float64, frames int, seed uint
 	if err != nil {
 		return nil, err
 	}
+	if _, err := newDecoder(alg, cons); err != nil {
+		return nil, err
+	}
+	// The algorithm is validated above; if a per-worker rebuild still fails
+	// (it should not), the worker decodes nothing and the failure surfaces
+	// as DecodeFailures rather than a panic across the API boundary.
 	factory := func() decoder.Decoder {
 		d, err := newDecoder(alg, cons)
 		if err != nil {
-			panic(err) // validated above via the same path
+			return errDecoder{err: err}
 		}
 		return d
-	}
-	if _, err := newDecoder(alg, cons); err != nil {
-		return nil, err
 	}
 	run, err := mimo.RunParallel(mc, snrDB, frames, 0, factory, seed)
 	if err != nil {
@@ -371,7 +410,11 @@ func SimulateTiming(cfg Config, snrDB float64, frames int, seed uint64) (*Timing
 		return nil, err
 	}
 	factory := func() decoder.Decoder {
-		return sphere.MustNew(sphere.Config{Const: cons, Strategy: sphere.SortedDFS})
+		d, err := sphere.New(sphere.Config{Const: cons, Strategy: sphere.SortedDFS})
+		if err != nil {
+			return errDecoder{err: err}
+		}
+		return d
 	}
 	run, err := mimo.RunParallel(mc, snrDB, frames, 0, factory, seed)
 	if err != nil {
@@ -492,63 +535,83 @@ type BatchResult struct {
 	MeetsRealTime bool
 	// NodesExplored aggregates tree expansions over the batch.
 	NodesExplored int64
+	// Degraded reports whether any frame finished below exact quality.
+	Degraded bool
+	// QualityCounts maps quality names ("exact", "best-effort", "fallback")
+	// to the number of frames that finished at that quality.
+	QualityCounts map[string]int
 }
 
 // batchInputs converts links into the accelerator's input form.
 func (a *Accelerator) batchInputs(links []*Link) ([]core.BatchInput, error) {
 	if len(links) == 0 {
-		return nil, errors.New("mimosd: empty batch")
+		return nil, fmt.Errorf("%w: empty batch", ErrInvalidInput)
 	}
 	inputs := make([]core.BatchInput, len(links))
 	for i, l := range links {
-		hm := cmatrix.NewMatrix(a.cfg.Rx, a.cfg.Tx)
-		if len(l.H) != a.cfg.Rx {
-			return nil, fmt.Errorf("mimosd: link %d has %d channel rows, want %d", i, len(l.H), a.cfg.Rx)
+		if l == nil {
+			return nil, fmt.Errorf("%w: link %d is nil", ErrInvalidInput, i)
 		}
-		for r, row := range l.H {
-			if len(row) != a.cfg.Tx {
-				return nil, fmt.Errorf("mimosd: link %d channel row %d has %d cols, want %d", i, r, len(row), a.cfg.Tx)
-			}
-			copy(hm.Row(r), row)
+		hm, err := checkLinkInput(a.cfg, l.H, l.Y, l.NoiseVar)
+		if err != nil {
+			return nil, fmt.Errorf("link %d: %w", i, err)
 		}
 		inputs[i] = core.BatchInput{H: hm, Y: cmatrix.Vector(l.Y), NoiseVar: l.NoiseVar}
 	}
 	return inputs, nil
 }
 
-// DecodeBatch decodes a batch of links on the simulated FPGA.
-func (a *Accelerator) DecodeBatch(links []*Link) (*BatchResult, error) {
-	inputs, err := a.batchInputs(links)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := a.inner.DecodeBatch(inputs)
-	if err != nil {
-		return nil, err
-	}
+// BatchBudget bounds a whole DecodeBatchBudget call. Exhaustion never drops
+// frames: overrunning work is cut at the budget and the remaining links are
+// shed to the linear fallback detector, each flagged via Detection.Quality.
+type BatchBudget struct {
+	// Deadline bounds the modeled FPGA time of the batch; 0 = none.
+	Deadline time.Duration
+	// NodeBudget bounds total tree expansions across the batch; 0 = none.
+	NodeBudget int64
+}
+
+// batchResultFrom converts a core batch report into the public form.
+func (a *Accelerator) batchResultFrom(rep *core.BatchReport, name string) *BatchResult {
 	cons := a.inner.Constellation()
-	buf := make([]int, cons.BitsPerSymbol())
 	out := &BatchResult{
 		SimulatedTime: rep.SimulatedTime,
 		EnergyJ:       rep.EnergyJ,
 		MeetsRealTime: rep.MeetsRealTime(),
 		NodesExplored: rep.Counters.NodesExpanded,
+		Degraded:      rep.Degraded,
+		QualityCounts: rep.QualityCounts,
 	}
 	for _, res := range rep.Results {
-		bits := make([]int, 0, len(res.SymbolIdx)*cons.BitsPerSymbol())
-		for _, idx := range res.SymbolIdx {
-			bits = append(bits, cons.BitsOf(idx, buf)...)
-		}
-		out.Detections = append(out.Detections, &Detection{
-			SymbolIndices: res.SymbolIdx,
-			Symbols:       append([]complex128(nil), res.Symbols...),
-			Bits:          bits,
-			Metric:        res.Metric,
-			NodesExplored: res.Counters.NodesExpanded,
-			Algorithm:     a.inner.Name(),
-		})
+		out.Detections = append(out.Detections, detectionFrom(res, cons, name))
 	}
-	return out, nil
+	return out
+}
+
+// DecodeBatch decodes a batch of links on the simulated FPGA.
+func (a *Accelerator) DecodeBatch(links []*Link) (*BatchResult, error) {
+	return a.DecodeBatchBudget(links, BatchBudget{})
+}
+
+// DecodeBatchBudget decodes a batch under a batch-level budget. The result
+// always covers every link; frames cut by the budget carry Quality
+// "best-effort" or "fallback" and are tallied in QualityCounts.
+func (a *Accelerator) DecodeBatchBudget(links []*Link, budget BatchBudget) (*BatchResult, error) {
+	inputs, err := a.batchInputs(links)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := a.inner.DecodeBatchBudget(inputs, core.BatchBudget{
+		Deadline:   budget.Deadline,
+		NodeBudget: budget.NodeBudget,
+	})
+	if err != nil {
+		if errors.Is(err, core.ErrInvalidInput) {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		}
+		return nil, err
+	}
+	return a.batchResultFrom(rep, a.inner.Name()), nil
 }
 
 // SoftBatchResult is a BatchResult with per-link bit LLRs.
@@ -569,28 +632,14 @@ func (a *Accelerator) DecodeBatchSoft(links []*Link, listSize int) (*SoftBatchRe
 	}
 	rep, err := a.inner.DecodeBatchSoft(inputs, listSize)
 	if err != nil {
+		if errors.Is(err, core.ErrInvalidInput) {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		}
 		return nil, err
 	}
-	cons := a.inner.Constellation()
-	buf := make([]int, cons.BitsPerSymbol())
-	out := &SoftBatchResult{LLRs: rep.LLRs}
-	out.SimulatedTime = rep.SimulatedTime
-	out.EnergyJ = rep.EnergyJ
-	out.MeetsRealTime = rep.MeetsRealTime()
-	out.NodesExplored = rep.Counters.NodesExpanded
-	for _, res := range rep.Results {
-		bits := make([]int, 0, len(res.SymbolIdx)*cons.BitsPerSymbol())
-		for _, idx := range res.SymbolIdx {
-			bits = append(bits, cons.BitsOf(idx, buf)...)
-		}
-		out.Detections = append(out.Detections, &Detection{
-			SymbolIndices: res.SymbolIdx,
-			Symbols:       append([]complex128(nil), res.Symbols...),
-			Bits:          bits,
-			Metric:        res.Metric,
-			NodesExplored: res.Counters.NodesExpanded,
-			Algorithm:     a.inner.Name() + "+soft",
-		})
+	out := &SoftBatchResult{
+		BatchResult: *a.batchResultFrom(&rep.BatchReport, a.inner.Name()+"+soft"),
+		LLRs:        rep.LLRs,
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package mimosd
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -301,5 +302,141 @@ func TestDeterministicAcrossCalls(t *testing.T) {
 	}
 	if a.BitErrors != b.BitErrors || a.NodesPerFrame != b.NodesPerFrame {
 		t.Fatal("same seed produced different results")
+	}
+}
+
+func TestDetectInvalidInput(t *testing.T) {
+	cfg := cfg44()
+	l, err := RandomLink(cfg, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, h [][]complex128, y []complex128, nv float64) {
+		t.Helper()
+		if _, err := Detect(cfg, AlgZF, h, y, nv); !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("%s: err = %v, want ErrInvalidInput", name, err)
+		}
+	}
+	badH := make([][]complex128, len(l.H))
+	for i := range badH {
+		badH[i] = append([]complex128(nil), l.H[i]...)
+	}
+	badH[1][2] = complex(math.NaN(), 0)
+	check("NaN in H", badH, l.Y, l.NoiseVar)
+	badY := append([]complex128(nil), l.Y...)
+	badY[0] = complex(0, math.Inf(-1))
+	check("Inf in Y", l.H, badY, l.NoiseVar)
+	check("zero noise variance", l.H, l.Y, 0)
+	check("negative noise variance", l.H, l.Y, -0.5)
+	check("NaN noise variance", l.H, l.Y, math.NaN())
+	check("short Y", l.H, l.Y[:3], l.NoiseVar)
+	check("short H", l.H[:3], l.Y, l.NoiseVar)
+}
+
+func TestDetectQualityExact(t *testing.T) {
+	cfg := cfg44()
+	l, err := RandomLink(cfg, 12, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := Detect(cfg, AlgSphereDecoder, l.H, l.Y, l.NoiseVar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Quality != "exact" || det.DegradedBy != "" {
+		t.Fatalf("unconstrained detect quality %q/%q", det.Quality, det.DegradedBy)
+	}
+}
+
+func TestAcceleratorDecodeBatchBudget(t *testing.T) {
+	cfg := Config{TxAntennas: 6, RxAntennas: 6, Modulation: "4-QAM"}
+	acc, err := NewAccelerator(cfg, VariantOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make([]*Link, 10)
+	for i := range links {
+		l, err := RandomLink(cfg, 6, uint64(400+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[i] = l
+	}
+	full, err := acc.DecodeBatch(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Degraded || full.QualityCounts["exact"] != 10 {
+		t.Fatalf("unbudgeted batch: degraded=%v counts=%v", full.Degraded, full.QualityCounts)
+	}
+	budget := full.NodesExplored / 8
+	if budget < 1 {
+		budget = 1
+	}
+	rep, err := acc.DecodeBatchBudget(links, BatchBudget{NodeBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Detections) != 10 {
+		t.Fatalf("budgeted batch returned %d/10 detections", len(rep.Detections))
+	}
+	if !rep.Degraded {
+		t.Fatal("starved batch not flagged")
+	}
+	total := 0
+	for _, n := range rep.QualityCounts {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("quality histogram covers %d/10: %v", total, rep.QualityCounts)
+	}
+	sawDegraded := false
+	for _, d := range rep.Detections {
+		if d.Quality != "exact" {
+			sawDegraded = true
+			if d.DegradedBy == "" {
+				t.Fatalf("degraded detection lacks a cause (quality %q)", d.Quality)
+			}
+		}
+		if len(d.SymbolIndices) != 6 {
+			t.Fatalf("detection has %d symbols", len(d.SymbolIndices))
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("no individual detection flagged")
+	}
+	// Batch deadline path via the facade.
+	dl, err := acc.DecodeBatchBudget(links, BatchBudget{Deadline: full.SimulatedTime / 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dl.Degraded {
+		t.Fatal("modeled deadline did not degrade the batch")
+	}
+}
+
+func TestAcceleratorBatchInvalidInput(t *testing.T) {
+	cfg := cfg44()
+	acc, err := NewAccelerator(cfg, VariantBaseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := RandomLink(cfg, 10, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := *l
+	bad.NoiseVar = math.Inf(1)
+	if _, err := acc.DecodeBatch([]*Link{&bad}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("Inf noise variance: %v", err)
+	}
+	if _, err := acc.DecodeBatch(nil); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("empty batch: %v", err)
+	}
+	if _, err := acc.DecodeBatch([]*Link{nil}); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("nil link: %v", err)
+	}
+	if _, err := acc.DecodeBatchSoft([]*Link{&bad}, 4); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("soft Inf noise variance: %v", err)
 	}
 }
