@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz
+.PHONY: check vet build test race race-serve serve-smoke fuzz
 
-# check is the gate: static analysis, build, and the full test suite under
-# the race detector.
-check: vet build race
+# check is the gate: static analysis, build, the serving scheduler under the
+# race detector (its tests are the most concurrency-sensitive, so they run
+# first and fail fast), then the full suite under the race detector.
+check: vet build race-serve race
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +18,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+race-serve:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/serve/...
+
+# serve-smoke boots sdserver, fires sdload at it for 2 s, and asserts a
+# non-zero decoded count (end-to-end liveness of the serving stack).
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # fuzz runs the native fuzzers for a short budget each (they also run as
 # plain regression tests under `make test` via their seed corpora).

@@ -1,0 +1,149 @@
+// Command sdserver serves the sphere-decoder accelerator over HTTP: it
+// accepts single-frame detection requests, coalesces them into batches (the
+// shape the paper's GEMM refactoring is built for), decodes them on a worker
+// pool under anytime budgets, and exposes live metrics.
+//
+// Endpoints:
+//
+//	POST /v1/decode  one frame in, one detection out (JSON, complex as [re,im])
+//	GET  /v1/config  the server's MIMO and scheduler configuration
+//	GET  /metrics    scheduler counters, histograms, quality mix (JSON)
+//	GET  /healthz    200 while accepting, 503 while draining
+//
+// Usage:
+//
+//	sdserver -addr :8080 -tx 4 -rx 4 -mod qpsk -max-batch 16 -max-wait 1ms \
+//	         -workers 2 -queue-cap 256 -policy reject
+//
+// SIGINT/SIGTERM drain gracefully: admission stops, queued frames decode,
+// in-flight batches finish, then the process exits with a final stats line.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fpga"
+	"repro/internal/serve"
+)
+
+// options collects the flag values; split out so tests can build configs
+// without touching the flag package.
+type options struct {
+	tx, rx     int
+	mod        string
+	variant    string
+	maxBatch   int
+	maxWait    time.Duration
+	workers    int
+	queueCap   int
+	policy     string
+	deadline   time.Duration
+	nodeBudget int64
+	scalarEval bool
+}
+
+// buildServer turns options into a running scheduler plus its HTTP handler.
+func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
+	mod, err := constellation.ParseModulation(o.mod)
+	if err != nil {
+		return nil, nil, err
+	}
+	var v fpga.Variant
+	switch o.variant {
+	case "baseline":
+		v = fpga.Baseline
+	case "optimized":
+		v = fpga.Optimized
+	default:
+		return nil, nil, fmt.Errorf("unknown variant %q (want baseline or optimized)", o.variant)
+	}
+	policy, err := serve.ParseOverloadPolicy(o.policy)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := serve.Config{
+		MaxBatch: o.maxBatch,
+		MaxWait:  o.maxWait,
+		Workers:  o.workers,
+		QueueCap: o.queueCap,
+		Policy:   policy,
+		Budget:   core.BatchBudget{Deadline: o.deadline, NodeBudget: o.nodeBudget},
+	}
+	factory := func() (serve.Backend, error) {
+		return core.New(v, mod, o.tx, o.rx, core.Options{ScalarEval: o.scalarEval})
+	}
+	s, err := serve.New(cfg, factory)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, serve.NewHandler(s, o.tx, o.rx, mod.String()), nil
+}
+
+func main() {
+	var (
+		addr = flag.String("addr", ":8080", "listen address")
+		o    options
+	)
+	flag.IntVar(&o.tx, "tx", 4, "transmit antennas (M)")
+	flag.IntVar(&o.rx, "rx", 4, "receive antennas (N >= M)")
+	flag.StringVar(&o.mod, "mod", "qpsk", "modulation: bpsk, 4qam/qpsk, 16qam, 64qam")
+	flag.StringVar(&o.variant, "variant", "optimized", "FPGA design variant: baseline, optimized")
+	flag.IntVar(&o.maxBatch, "max-batch", 16, "coalescing ceiling: dispatch when a batch reaches this size")
+	flag.DurationVar(&o.maxWait, "max-wait", time.Millisecond, "coalescing deadline: dispatch when the oldest frame has waited this long")
+	flag.IntVar(&o.workers, "workers", 2, "decode workers (one accelerator instance each)")
+	flag.IntVar(&o.queueCap, "queue-cap", 256, "admission queue bound (frames)")
+	flag.StringVar(&o.policy, "policy", "reject", "overload policy: reject, shed-to-linear, block")
+	flag.DurationVar(&o.deadline, "batch-deadline", 0, "modeled-time budget per dispatched batch (0 = none)")
+	flag.Int64Var(&o.nodeBudget, "node-budget", 0, "tree-expansion budget per dispatched batch (0 = none)")
+	flag.BoolVar(&o.scalarEval, "scalar-eval", true, "use the scalar evaluation path (identical decodes, faster in simulation)")
+	flag.Parse()
+
+	sched, handler, err := buildServer(o)
+	if err != nil {
+		log.Fatalf("sdserver: %v", err)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		<-sigs
+		log.Printf("sdserver: draining (in-flight batches finish, queue empties)")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("sdserver: http shutdown: %v", err)
+		}
+		sched.Close()
+	}()
+
+	cfg := sched.Config()
+	log.Printf("sdserver: %dx%d %s on %s — max-batch %d, max-wait %v, %d workers, queue %d, policy %s",
+		o.tx, o.rx, o.mod, *addr, cfg.MaxBatch, cfg.MaxWait, cfg.Workers, cfg.QueueCap, cfg.Policy)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("sdserver: %v", err)
+	}
+	<-done
+
+	st := sched.Stats()
+	summary, _ := json.Marshal(map[string]any{
+		"completed": st.Completed, "rejected": st.Rejected, "shed": st.Shed,
+		"batches": st.Batches, "mean_batch_size": st.MeanBatchSize,
+		"quality": st.QualityCounts,
+	})
+	log.Printf("sdserver: final stats %s", summary)
+}

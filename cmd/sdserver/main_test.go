@@ -1,0 +1,63 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func defaultOptions() options {
+	return options{
+		tx: 4, rx: 4, mod: "qpsk", variant: "optimized",
+		maxBatch: 8, maxWait: time.Millisecond, workers: 1, queueCap: 32,
+		policy: "reject", scalarEval: true,
+	}
+}
+
+func TestBuildServer(t *testing.T) {
+	sched, handler, err := buildServer(defaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info serve.ConfigInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.TxAntennas != 4 || info.Modulation != "4-QAM" || info.Policy != "reject" || info.MaxBatch != 8 {
+		t.Fatalf("config %+v", info)
+	}
+	if !sched.Healthy() {
+		t.Fatal("fresh server not healthy")
+	}
+}
+
+func TestBuildServerRejectsBadOptions(t *testing.T) {
+	cases := []func(*options){
+		func(o *options) { o.mod = "8psk" },
+		func(o *options) { o.variant = "quantum" },
+		func(o *options) { o.policy = "pray" },
+		func(o *options) { o.tx = 0 },
+		func(o *options) { o.deadline = -time.Second },
+	}
+	for i, mutate := range cases {
+		o := defaultOptions()
+		mutate(&o)
+		sched, _, err := buildServer(o)
+		if err == nil {
+			sched.Close()
+			t.Errorf("case %d: bad options accepted: %+v", i, o)
+		}
+	}
+}

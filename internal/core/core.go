@@ -133,30 +133,42 @@ type BatchInput struct {
 	NoiseVar float64
 }
 
-// validateInput checks one batch element against the accelerator's
+// ValidateInput checks one batch element against the accelerator's
 // configuration and the numeric contract (finite entries, positive noise
-// variance). All failures wrap ErrInvalidInput.
-func (a *Accelerator) validateInput(i int, in BatchInput) error {
+// variance) without decoding it. All failures wrap ErrInvalidInput.
+//
+// Serving front ends (internal/serve) call this at admission time so a
+// malformed frame is rejected at submit instead of poisoning the coalesced
+// batch it would have been dispatched with.
+func (a *Accelerator) ValidateInput(in BatchInput) error {
 	if in.H == nil {
-		return fmt.Errorf("%w: batch element %d: nil channel matrix", ErrInvalidInput, i)
+		return fmt.Errorf("%w: nil channel matrix", ErrInvalidInput)
 	}
 	if in.H.Cols != a.design.M || in.H.Rows != a.design.N {
-		return fmt.Errorf("%w: batch element %d: channel %dx%d for a %dx%d accelerator",
-			ErrInvalidInput, i, in.H.Cols, in.H.Rows, a.design.M, a.design.N)
+		return fmt.Errorf("%w: channel %dx%d for a %dx%d accelerator",
+			ErrInvalidInput, in.H.Cols, in.H.Rows, a.design.M, a.design.N)
 	}
 	if len(in.Y) != a.design.N {
-		return fmt.Errorf("%w: batch element %d: observation length %d, want %d",
-			ErrInvalidInput, i, len(in.Y), a.design.N)
+		return fmt.Errorf("%w: observation length %d, want %d",
+			ErrInvalidInput, len(in.Y), a.design.N)
 	}
 	if !in.H.IsFinite() {
-		return fmt.Errorf("%w: batch element %d: channel matrix has NaN/Inf entries", ErrInvalidInput, i)
+		return fmt.Errorf("%w: channel matrix has NaN/Inf entries", ErrInvalidInput)
 	}
 	if !in.Y.IsFinite() {
-		return fmt.Errorf("%w: batch element %d: observation has NaN/Inf entries", ErrInvalidInput, i)
+		return fmt.Errorf("%w: observation has NaN/Inf entries", ErrInvalidInput)
 	}
 	if in.NoiseVar <= 0 || math.IsNaN(in.NoiseVar) || math.IsInf(in.NoiseVar, 0) {
-		return fmt.Errorf("%w: batch element %d: noise variance %v (want finite > 0)",
-			ErrInvalidInput, i, in.NoiseVar)
+		return fmt.Errorf("%w: noise variance %v (want finite > 0)", ErrInvalidInput, in.NoiseVar)
+	}
+	return nil
+}
+
+// validateInput is ValidateInput with the batch position prefixed to the
+// failure message.
+func (a *Accelerator) validateInput(i int, in BatchInput) error {
+	if err := a.ValidateInput(in); err != nil {
+		return fmt.Errorf("batch element %d: %w", i, err)
 	}
 	return nil
 }
@@ -290,6 +302,51 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 		}
 	}
 	w.Frames = len(inputs)
+	dur, breakdown, err := a.design.BatchTime(w, rep.Counters)
+	if err != nil {
+		return nil, err
+	}
+	rep.SimulatedTime = dur
+	rep.Breakdown = breakdown
+	rep.PowerW = a.design.Power()
+	rep.EnergyJ = a.design.Energy(dur.Seconds())
+	rep.tallyQuality()
+	return rep, nil
+}
+
+// DecodeFallback decodes one input with the linear fallback detector (the
+// better of the Babai decision-feedback point and sliced ZF) without any
+// tree search. The result carries QualityFallback. This is the shed path a
+// serving scheduler uses when its admission queue is full: a linear-cost
+// decision now instead of an exact decision too late.
+func (a *Accelerator) DecodeFallback(in BatchInput) (*decoder.Result, error) {
+	if err := a.ValidateInput(in); err != nil {
+		return nil, err
+	}
+	return a.sd.DecodeFallback(in.H, in.Y, in.NoiseVar)
+}
+
+// DecodeBatchFallback decodes a whole batch with the linear fallback
+// detector and prices it through the pipeline model — the cost a deployment
+// pays for a batch it chose to shed entirely.
+func (a *Accelerator) DecodeBatchFallback(inputs []BatchInput) (*BatchReport, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrInvalidInput)
+	}
+	rep := &BatchReport{Results: make([]*decoder.Result, 0, len(inputs))}
+	for i, in := range inputs {
+		if err := a.validateInput(i, in); err != nil {
+			return nil, err
+		}
+		res, err := a.sd.DecodeFallback(in.H, in.Y, in.NoiseVar)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch element %d: %w", i, err)
+		}
+		res.DegradedBy = decoder.DegradedByOverload
+		rep.Results = append(rep.Results, res)
+		rep.Counters.Add(res.Counters)
+	}
+	w := decoder.Workload{M: a.design.M, N: a.design.N, P: a.cons.Size(), Frames: len(inputs)}
 	dur, breakdown, err := a.design.BatchTime(w, rep.Counters)
 	if err != nil {
 		return nil, err

@@ -371,3 +371,90 @@ func TestDecodeBatchBudgetValidation(t *testing.T) {
 		t.Errorf("short observation: %v", err)
 	}
 }
+
+func TestValidateInput(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	inputs, _ := batchFor(t, cfg4(), 10, 1, 5)
+	good := inputs[0]
+	if err := acc.ValidateInput(good); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+	cases := map[string]BatchInput{
+		"nil H":     {H: nil, Y: good.Y, NoiseVar: good.NoiseVar},
+		"short Y":   {H: good.H, Y: good.Y[:5], NoiseVar: good.NoiseVar},
+		"neg noise": {H: good.H, Y: good.Y, NoiseVar: -1},
+		"nan noise": {H: good.H, Y: good.Y, NoiseVar: math.NaN()},
+	}
+	for name, in := range cases {
+		if err := acc.ValidateInput(in); !errors.Is(err, ErrInvalidInput) {
+			t.Errorf("%s: %v, want ErrInvalidInput", name, err)
+		}
+	}
+	wrong := cmatrix.NewMatrix(4, 4)
+	if err := acc.ValidateInput(BatchInput{H: wrong, Y: good.Y[:4], NoiseVar: good.NoiseVar}); !errors.Is(err, ErrInvalidInput) {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestDecodeFallbackSingle(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	inputs, _ := batchFor(t, cfg4(), 14, 4, 9)
+	zf := decoder.NewZF(constellation.New(constellation.QAM4))
+	for i, in := range inputs {
+		res, err := acc.DecodeFallback(in)
+		if err != nil {
+			t.Fatalf("DecodeFallback %d: %v", i, err)
+		}
+		if res.Quality != decoder.QualityFallback {
+			t.Fatalf("quality %v, want fallback", res.Quality)
+		}
+		if res.Counters.NodesExpanded != 0 {
+			t.Fatalf("fallback expanded %d nodes", res.Counters.NodesExpanded)
+		}
+		// The fallback contract: never worse than sliced ZF.
+		zres, err := zf.Decode(in.H, in.Y, in.NoiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metric > zres.Metric*(1+1e-9) {
+			t.Fatalf("fallback metric %v worse than ZF %v", res.Metric, zres.Metric)
+		}
+	}
+	if _, err := acc.DecodeFallback(BatchInput{}); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("empty input: %v", err)
+	}
+}
+
+func TestDecodeBatchFallback(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	inputs, _ := batchFor(t, cfg4(), 14, 5, 13)
+	rep, err := acc.DecodeBatchFallback(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(inputs) {
+		t.Fatalf("%d results for %d inputs", len(rep.Results), len(inputs))
+	}
+	if !rep.Degraded || rep.QualityCounts["fallback"] != len(inputs) {
+		t.Fatalf("quality %v degraded=%v", rep.QualityCounts, rep.Degraded)
+	}
+	for i, res := range rep.Results {
+		if res.DegradedBy != decoder.DegradedByOverload {
+			t.Fatalf("result %d DegradedBy %q", i, res.DegradedBy)
+		}
+	}
+	if rep.SimulatedTime <= 0 || rep.EnergyJ <= 0 {
+		t.Fatalf("hardware pricing missing: %v / %v J", rep.SimulatedTime, rep.EnergyJ)
+	}
+	// Shedding the whole batch must be cheaper than searching it.
+	full, err := acc.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimulatedTime >= full.SimulatedTime {
+		t.Fatalf("fallback batch (%v) not cheaper than full search (%v)", rep.SimulatedTime, full.SimulatedTime)
+	}
+	if _, err := acc.DecodeBatchFallback(nil); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("empty batch: %v", err)
+	}
+}

@@ -142,6 +142,10 @@ const (
 	// because the enclosing batch had already spent its modeled-time or
 	// node budget.
 	DegradedByBatchDeadline = "batch-deadline"
+	// DegradedByOverload marks a decode shed to the fallback path by a
+	// serving scheduler whose admission queue was full (internal/serve's
+	// shed-to-linear overload policy).
+	DegradedByOverload = "overload"
 )
 
 // Result is the outcome of one detection.

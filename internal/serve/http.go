@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/cmatrix"
+	"repro/internal/core"
+)
+
+// Wire format: complex numbers travel as [re, im] pairs so clients need no
+// custom marshalling.
+
+// DecodeRequest is the JSON body of POST /v1/decode.
+type DecodeRequest struct {
+	// H is the Rx×Tx channel estimate, row-major, entries as [re, im].
+	H [][][2]float64 `json:"h"`
+	// Y is the received vector, entries as [re, im].
+	Y [][2]float64 `json:"y"`
+	// NoiseVar is the complex noise variance σ².
+	NoiseVar float64 `json:"noise_var"`
+}
+
+// DecodeResponse is the JSON body answering POST /v1/decode.
+type DecodeResponse struct {
+	SymbolIndices []int   `json:"symbol_indices"`
+	Bits          []int   `json:"bits"`
+	Metric        float64 `json:"metric"`
+	NodesExplored int64   `json:"nodes_explored"`
+	Quality       string  `json:"quality"`
+	DegradedBy    string  `json:"degraded_by,omitempty"`
+	BatchSize     int     `json:"batch_size"`
+	QueueWaitNS   int64   `json:"queue_wait_ns"`
+	ServiceNS     int64   `json:"service_ns"`
+	SimulatedNS   int64   `json:"simulated_ns"`
+	Shed          bool    `json:"shed,omitempty"`
+}
+
+// ConfigInfo is the JSON body of GET /v1/config: what a client needs to
+// build well-formed requests (and what a load generator needs to match the
+// server's MIMO configuration).
+type ConfigInfo struct {
+	Backend    string `json:"backend"`
+	TxAntennas int    `json:"tx_antennas"`
+	RxAntennas int    `json:"rx_antennas"`
+	Modulation string `json:"modulation"`
+	MaxBatch   int    `json:"max_batch"`
+	MaxWaitNS  int64  `json:"max_wait_ns"`
+	Workers    int    `json:"workers"`
+	QueueCap   int    `json:"queue_cap"`
+	Policy     string `json:"policy"`
+	BudgetNS   int64  `json:"budget_deadline_ns"`
+	NodeBudget int64  `json:"node_budget"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// handler serves the scheduler over HTTP.
+type handler struct {
+	s   *Scheduler
+	tx  int
+	rx  int
+	mod string
+	mux *http.ServeMux
+}
+
+// NewHandler wraps a scheduler in the HTTP/JSON front end. tx, rx, mod
+// describe the MIMO configuration the backends were built for and are
+// echoed by /v1/config.
+func NewHandler(s *Scheduler, tx, rx int, mod string) http.Handler {
+	h := &handler{s: s, tx: tx, rx: rx, mod: mod, mux: http.NewServeMux()}
+	h.mux.HandleFunc("POST /v1/decode", h.decode)
+	h.mux.HandleFunc("GET /v1/config", h.config)
+	h.mux.HandleFunc("GET /metrics", h.metrics)
+	h.mux.HandleFunc("GET /healthz", h.healthz)
+	return h
+}
+
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// toBatchInput converts the wire request into the decoder's input form.
+func (r *DecodeRequest) toBatchInput() (core.BatchInput, error) {
+	rows := len(r.H)
+	if rows == 0 {
+		return core.BatchInput{}, errors.New("empty channel matrix")
+	}
+	cols := len(r.H[0])
+	hm := cmatrix.NewMatrix(rows, cols)
+	for i, row := range r.H {
+		if len(row) != cols {
+			return core.BatchInput{}, fmt.Errorf("ragged channel matrix: row %d has %d entries, row 0 has %d", i, len(row), cols)
+		}
+		dst := hm.Row(i)
+		for j, e := range row {
+			dst[j] = complex(e[0], e[1])
+		}
+	}
+	y := make(cmatrix.Vector, len(r.Y))
+	for i, e := range r.Y {
+		y[i] = complex(e[0], e[1])
+	}
+	return core.BatchInput{H: hm, Y: y, NoiseVar: r.NoiseVar}, nil
+}
+
+func (h *handler) decode(w http.ResponseWriter, r *http.Request) {
+	var req DecodeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed request body: %w", err))
+		return
+	}
+	in, err := req.toBatchInput()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := h.s.Submit(r.Context(), in)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrOverloaded):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, core.ErrInvalidInput):
+			writeError(w, http.StatusBadRequest, err)
+		case r.Context().Err() != nil:
+			writeError(w, http.StatusGatewayTimeout, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	cons := h.s.Backend().Constellation()
+	buf := make([]int, cons.BitsPerSymbol())
+	bits := make([]int, 0, len(resp.Result.SymbolIdx)*cons.BitsPerSymbol())
+	for _, idx := range resp.Result.SymbolIdx {
+		bits = append(bits, cons.BitsOf(idx, buf)...)
+	}
+	writeJSON(w, http.StatusOK, DecodeResponse{
+		SymbolIndices: resp.Result.SymbolIdx,
+		Bits:          bits,
+		Metric:        resp.Result.Metric,
+		NodesExplored: resp.Result.Counters.NodesExpanded,
+		Quality:       resp.Result.Quality.String(),
+		DegradedBy:    resp.Result.DegradedBy,
+		BatchSize:     resp.BatchSize,
+		QueueWaitNS:   int64(resp.QueueWait),
+		ServiceNS:     int64(resp.Service),
+		SimulatedNS:   int64(resp.SimulatedTime),
+		Shed:          resp.Shed,
+	})
+}
+
+func (h *handler) config(w http.ResponseWriter, _ *http.Request) {
+	cfg := h.s.Config()
+	writeJSON(w, http.StatusOK, ConfigInfo{
+		Backend:    h.s.Backend().Name(),
+		TxAntennas: h.tx,
+		RxAntennas: h.rx,
+		Modulation: h.mod,
+		MaxBatch:   cfg.MaxBatch,
+		MaxWaitNS:  int64(cfg.MaxWait),
+		Workers:    cfg.Workers,
+		QueueCap:   cfg.QueueCap,
+		Policy:     cfg.Policy.String(),
+		BudgetNS:   int64(cfg.Budget.Deadline),
+		NodeBudget: cfg.Budget.NodeBudget,
+	})
+}
+
+func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.s.Stats())
+}
+
+func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	if h.s.Healthy() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+}

@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// durBounds are the upper edges of the latency histogram buckets. The last
+// bucket is unbounded. Exponentialish spacing from 10µs to 5s covers both
+// the µs-scale decode of small systems and pathological queueing tails.
+var durBounds = []time.Duration{
+	10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2 * time.Second, 5 * time.Second,
+}
+
+// DurationDist is a snapshot of a latency distribution: exact count/sum/max
+// plus bucket counts against durBounds for quantile estimates.
+type DurationDist struct {
+	Count   uint64          `json:"count"`
+	Sum     time.Duration   `json:"sum_ns"`
+	Max     time.Duration   `json:"max_ns"`
+	Buckets []uint64        `json:"buckets"`
+	Bounds  []time.Duration `json:"bounds_ns"`
+}
+
+// Mean returns the exact mean (0 when empty).
+func (d DurationDist) Mean() time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / time.Duration(d.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) from the
+// bucket counts: the upper edge of the bucket the quantile falls in, or Max
+// for the unbounded bucket. Zero when empty.
+func (d DurationDist) Quantile(q float64) time.Duration {
+	if d.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(d.Count))
+	if rank >= d.Count {
+		rank = d.Count - 1
+	}
+	var cum uint64
+	for i, n := range d.Buckets {
+		cum += n
+		if rank < cum {
+			if i < len(d.Bounds) {
+				return d.Bounds[i]
+			}
+			return d.Max
+		}
+	}
+	return d.Max
+}
+
+// durHist is the mutable accumulator behind DurationDist. Callers hold the
+// metrics mutex.
+type durHist struct {
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+	buckets []uint64 // len(durBounds)+1, last is unbounded
+}
+
+func (h *durHist) observe(d time.Duration) {
+	if h.buckets == nil {
+		h.buckets = make([]uint64, len(durBounds)+1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	for i, b := range durBounds {
+		if d <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(durBounds)]++
+}
+
+func (h *durHist) snapshot() DurationDist {
+	buckets := h.buckets
+	if buckets == nil {
+		buckets = make([]uint64, len(durBounds)+1)
+	}
+	return DurationDist{
+		Count:   h.count,
+		Sum:     h.sum,
+		Max:     h.max,
+		Buckets: append([]uint64(nil), buckets...),
+		Bounds:  append([]time.Duration(nil), durBounds...),
+	}
+}
+
+// Stats is a point-in-time snapshot of the scheduler's counters. All fields
+// are cumulative since construction except the gauges at the bottom.
+type Stats struct {
+	// Request accounting.
+	Submitted uint64 `json:"submitted"` // accepted past validation
+	Completed uint64 `json:"completed"` // decoded via a dispatched batch
+	Rejected  uint64 `json:"rejected"`  // refused with ErrOverloaded
+	Shed      uint64 `json:"shed"`      // served inline by the linear fallback
+	Invalid   uint64 `json:"invalid"`   // failed admission-time validation
+	Failed    uint64 `json:"failed"`    // dispatched but the batch decode errored
+
+	// Batch accounting.
+	Batches        uint64   `json:"batches"`
+	BatchedFrames  uint64   `json:"batched_frames"`
+	MeanBatchSize  float64  `json:"mean_batch_size"`
+	BatchSizeHist  []uint64 `json:"batch_size_hist"` // index i counts batches of size i+1
+	SimulatedTotal
+	// QualityCounts histograms completed+shed frames by decode quality
+	// ("exact", "best-effort", "fallback").
+	QualityCounts map[string]uint64 `json:"quality_counts"`
+	Degraded      uint64            `json:"degraded"`
+
+	// Latency distributions.
+	QueueWait DurationDist `json:"queue_wait"` // submit → batch dispatch
+	Service   DurationDist `json:"service"`    // batch decode wall time
+
+	// Gauges.
+	QueueDepth int  `json:"queue_depth"` // frames waiting for a batch slot
+	InFlight   int  `json:"in_flight"`   // frames inside dispatched batches
+	Draining   bool `json:"draining"`    // Close has begun
+}
+
+// SimulatedTotal aggregates the modeled hardware cost of everything decoded
+// so far — what the Alveo pipeline would have spent on the served load.
+type SimulatedTotal struct {
+	SimulatedTime time.Duration `json:"simulated_ns"`
+	EnergyJ       float64       `json:"energy_j"`
+}
+
+// metrics is the scheduler's internal accumulator.
+type metrics struct {
+	mu            sync.Mutex
+	submitted     uint64
+	completed     uint64
+	rejected      uint64
+	shed          uint64
+	invalid       uint64
+	failed        uint64
+	batches       uint64
+	batchedFrames uint64
+	batchSizes    []uint64 // index i counts batches of size i+1
+	simTime       time.Duration
+	energyJ       float64
+	quality       map[string]uint64
+	degraded      uint64
+	queueWait     durHist
+	service       durHist
+	inFlight      int
+}
+
+func newMetrics(maxBatch int) *metrics {
+	return &metrics{
+		batchSizes: make([]uint64, maxBatch),
+		quality:    make(map[string]uint64, 3),
+	}
+}
+
+func (m *metrics) snapshot(queueDepth int, draining bool) Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Submitted:     m.submitted,
+		Completed:     m.completed,
+		Rejected:      m.rejected,
+		Shed:          m.shed,
+		Invalid:       m.invalid,
+		Failed:        m.failed,
+		Batches:       m.batches,
+		BatchedFrames: m.batchedFrames,
+		BatchSizeHist: append([]uint64(nil), m.batchSizes...),
+		SimulatedTotal: SimulatedTotal{
+			SimulatedTime: m.simTime,
+			EnergyJ:       m.energyJ,
+		},
+		QualityCounts: make(map[string]uint64, len(m.quality)),
+		Degraded:      m.degraded,
+		QueueWait:     m.queueWait.snapshot(),
+		Service:       m.service.snapshot(),
+		QueueDepth:    queueDepth,
+		InFlight:      m.inFlight,
+		Draining:      draining,
+	}
+	for k, v := range m.quality {
+		st.QualityCounts[k] = v
+	}
+	if m.batches > 0 {
+		st.MeanBatchSize = float64(m.batchedFrames) / float64(m.batches)
+	}
+	return st
+}

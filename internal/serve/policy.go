@@ -1,0 +1,104 @@
+// Package serve is the online counterpart of internal/stream: a concurrent
+// detection service that accepts per-frame decode requests, coalesces them
+// into bounded batches, and schedules the batches onto the sphere-decoder
+// accelerator under PR 1's anytime budgets.
+//
+// The coalescing step is where the paper's core refactoring pays off at
+// serving time: the GEMM formulation amortizes per-node cost only when many
+// independent frames share one dispatch (BLAS-3 child evaluation, one
+// channel-estimate transfer per batch), so the scheduler's job is to turn an
+// arrival stream of single frames into the batched workload the accelerator
+// was designed for — without letting any frame wait longer than MaxWait or
+// the queue grow without bound.
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// OverloadPolicy selects what Submit does when the admission queue is full.
+// It is the live-scheduler face of stream.PolicyMode: Config.SimulationConfig
+// maps a serve configuration onto the discrete-event model so the same
+// overload scenario can be predicted offline and measured online.
+type OverloadPolicy int
+
+const (
+	// Reject fails the request immediately with ErrOverloaded (a typed
+	// error the HTTP layer turns into 429). The stream-model analogue is
+	// DropOnly with a bounded queue.
+	Reject OverloadPolicy = iota
+	// ShedToLinear decodes the request inline with the linear fallback
+	// detector instead of queueing it: the caller gets an immediate
+	// Quality "fallback" decision (DegradedBy "overload") at linear cost.
+	// The stream-model analogue is stream.ShedToLinear.
+	ShedToLinear
+	// Block parks the submitter until queue space frees up (or its context
+	// expires). The stream-model analogue is an unbounded queue.
+	Block
+)
+
+// String names the policy as used in flags, logs, and metrics.
+func (p OverloadPolicy) String() string {
+	switch p {
+	case Reject:
+		return "reject"
+	case ShedToLinear:
+		return "shed-to-linear"
+	case Block:
+		return "block"
+	default:
+		return fmt.Sprintf("OverloadPolicy(%d)", int(p))
+	}
+}
+
+// ParseOverloadPolicy is the inverse of String, for flag parsing.
+func ParseOverloadPolicy(s string) (OverloadPolicy, error) {
+	switch s {
+	case "reject":
+		return Reject, nil
+	case "shed-to-linear", "shed":
+		return ShedToLinear, nil
+	case "block":
+		return Block, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown overload policy %q (want reject, shed-to-linear, block)", s)
+	}
+}
+
+// SimulationConfig maps this serving configuration onto the discrete-event
+// model in internal/stream, so stream.Simulate can predict the scheduler's
+// overload behaviour before a single request is sent.
+//
+// The mapping works at batch granularity (the stream model's unit of work):
+// period is the batch inter-arrival time of the offered load, service the
+// full-quality decode time of one coalesced batch, and linearTime the cost
+// of the shed path. The request-level admission queue of QueueCap frames
+// holds about QueueCap/MaxBatch batches.
+func (c Config) SimulationConfig(period, service, linearTime time.Duration) stream.Config {
+	c = c.withDefaults()
+	out := stream.Config{
+		Period:   period,
+		Deadline: c.MaxWait + service,
+	}
+	batchCap := c.QueueCap / c.MaxBatch
+	if batchCap < 1 {
+		batchCap = 1
+	}
+	switch c.Policy {
+	case Reject:
+		out.QueueCap = batchCap
+	case ShedToLinear:
+		out.QueueCap = 0
+		out.Policy = stream.Policy{
+			Mode:             stream.ShedToLinear,
+			BacklogThreshold: batchCap,
+			LinearTime:       linearTime,
+		}
+	case Block:
+		out.QueueCap = 0 // blocking admission is an unbounded queue to the model
+	}
+	return out
+}

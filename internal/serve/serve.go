@@ -1,0 +1,453 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/decoder"
+)
+
+// Typed admission errors. Test with errors.Is.
+var (
+	// ErrOverloaded is returned under the Reject policy when the admission
+	// queue is full.
+	ErrOverloaded = errors.New("serve: overloaded, request rejected")
+	// ErrClosed is returned for submissions after Close has begun.
+	ErrClosed = errors.New("serve: scheduler closed")
+)
+
+// Backend is the decode engine a Scheduler drives. core.Accelerator
+// implements it. Backends are not required to be safe for concurrent use:
+// the scheduler builds one per worker from the factory and serializes the
+// shed path behind a mutex.
+type Backend interface {
+	Name() string
+	Constellation() *constellation.Constellation
+	ValidateInput(in core.BatchInput) error
+	DecodeBatchBudget(inputs []core.BatchInput, budget core.BatchBudget) (*core.BatchReport, error)
+	DecodeFallback(in core.BatchInput) (*decoder.Result, error)
+}
+
+// Config tunes a Scheduler. The zero value is usable: defaults fill in.
+type Config struct {
+	// MaxBatch is the coalescing ceiling: a batch dispatches as soon as it
+	// holds this many frames. Default 16.
+	MaxBatch int
+	// MaxWait is the coalescing deadline: a batch dispatches when its
+	// oldest frame has waited this long, full or not. Default 1ms.
+	MaxWait time.Duration
+	// Workers is the number of decode workers; each gets its own Backend
+	// instance from the factory. Default 1.
+	Workers int
+	// QueueCap bounds the admission queue (frames accepted but not yet
+	// claimed by the batcher). Default 256.
+	QueueCap int
+	// Policy selects what Submit does when the queue is full.
+	Policy OverloadPolicy
+	// Budget bounds each dispatched batch (modeled-time deadline and/or
+	// shared node budget — PR 1's DecodeBatchBudget semantics). Overruns
+	// degrade quality, they never drop frames.
+	Budget core.BatchBudget
+}
+
+// withDefaults returns c with zero fields replaced by defaults.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	return c
+}
+
+// Response is what a successful Submit returns: the detection plus the
+// scheduling telemetry the request experienced.
+type Response struct {
+	// Result is the detection (Quality flags budget cuts and sheds).
+	Result *decoder.Result
+	// BatchSize is the number of frames coalesced into the dispatch that
+	// served this request (1 when the request was shed inline).
+	BatchSize int
+	// QueueWait is submit → dispatch; Service is the batch decode wall
+	// time; SimulatedTime the modeled FPGA time of the batch.
+	QueueWait     time.Duration
+	Service       time.Duration
+	SimulatedTime time.Duration
+	// Shed reports the request was served by the inline fallback path
+	// instead of a dispatched batch.
+	Shed bool
+}
+
+// result pairs a Response with a dispatch error for the reply channel.
+type result struct {
+	out *Response
+	err error
+}
+
+// request is one queued frame.
+type request struct {
+	in   core.BatchInput
+	enq  time.Time
+	resp chan result // buffered 1: workers never block on reply
+}
+
+// Scheduler coalesces single-frame decode requests into batches and runs
+// them on a worker pool of accelerator backends. Safe for concurrent use.
+type Scheduler struct {
+	cfg Config
+
+	queue    chan *request
+	dispatch chan []*request
+	stop     chan struct{}
+
+	// admit guards the closed flag against the enqueue: Submit holds it
+	// shared around (check closed, enqueue), Close holds it exclusively to
+	// flip closed — so no frame can enter the queue after Close begins and
+	// the batcher's final drain is complete.
+	admit  sync.RWMutex
+	closed bool
+
+	validator Backend    // used only for read-only validation
+	shedMu    sync.Mutex // serializes the inline shed backend
+	shedBE    Backend
+
+	batcherDone chan struct{}
+	workersWG   sync.WaitGroup
+
+	m *metrics
+}
+
+// New builds and starts a scheduler. factory must return a fresh Backend
+// per call; the scheduler creates Workers+2 of them (one per worker, one
+// for admission validation, one for the inline shed path).
+func New(cfg Config, factory func() (Backend, error)) (*Scheduler, error) {
+	if factory == nil {
+		return nil, errors.New("serve: nil backend factory")
+	}
+	cfg = cfg.withDefaults()
+	if cfg.Budget.Deadline < 0 || cfg.Budget.NodeBudget < 0 {
+		return nil, fmt.Errorf("serve: negative batch budget %+v", cfg.Budget)
+	}
+	switch cfg.Policy {
+	case Reject, ShedToLinear, Block:
+	default:
+		return nil, fmt.Errorf("serve: unknown overload policy %v", int(cfg.Policy))
+	}
+	s := &Scheduler{
+		cfg:         cfg,
+		queue:       make(chan *request, cfg.QueueCap),
+		dispatch:    make(chan []*request, cfg.Workers),
+		stop:        make(chan struct{}),
+		batcherDone: make(chan struct{}),
+		m:           newMetrics(cfg.MaxBatch),
+	}
+	var err error
+	if s.validator, err = factory(); err != nil {
+		return nil, fmt.Errorf("serve: backend factory: %w", err)
+	}
+	if s.shedBE, err = factory(); err != nil {
+		return nil, fmt.Errorf("serve: backend factory: %w", err)
+	}
+	backends := make([]Backend, cfg.Workers)
+	for i := range backends {
+		if backends[i], err = factory(); err != nil {
+			return nil, fmt.Errorf("serve: backend factory: %w", err)
+		}
+	}
+	go s.batcher()
+	s.workersWG.Add(cfg.Workers)
+	for _, be := range backends {
+		go s.worker(be)
+	}
+	return s, nil
+}
+
+// Config returns the scheduler's effective (default-filled) configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Backend returns the validation backend (for its name/constellation).
+func (s *Scheduler) Backend() Backend { return s.validator }
+
+// Stats returns a snapshot of the scheduler's counters and gauges.
+func (s *Scheduler) Stats() Stats {
+	s.admit.RLock()
+	draining := s.closed
+	s.admit.RUnlock()
+	return s.m.snapshot(len(s.queue), draining)
+}
+
+// Healthy reports whether the scheduler is accepting work.
+func (s *Scheduler) Healthy() bool {
+	s.admit.RLock()
+	defer s.admit.RUnlock()
+	return !s.closed
+}
+
+// Submit enqueues one frame and blocks until it is decoded, shed, rejected,
+// or ctx expires. A ctx expiry after admission abandons the wait but not the
+// work: the frame still decodes with its batch and is counted in Stats.
+func (s *Scheduler) Submit(ctx context.Context, in core.BatchInput) (*Response, error) {
+	if err := s.validator.ValidateInput(in); err != nil {
+		s.m.mu.Lock()
+		s.m.invalid++
+		s.m.mu.Unlock()
+		return nil, err
+	}
+	req := &request{in: in, enq: time.Now(), resp: make(chan result, 1)}
+
+	s.admit.RLock()
+	if s.closed {
+		s.admit.RUnlock()
+		return nil, ErrClosed
+	}
+	admitted, err := s.enqueue(ctx, req)
+	s.admit.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if !admitted {
+		// Queue full under ShedToLinear: serve inline at linear cost.
+		return s.shedInline(req)
+	}
+
+	s.m.mu.Lock()
+	s.m.submitted++
+	s.m.mu.Unlock()
+
+	select {
+	case r := <-req.resp:
+		return r.out, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// enqueue applies the overload policy. It reports whether the request made
+// it into the queue; (false, nil) means "shed it inline". Callers hold
+// s.admit shared.
+func (s *Scheduler) enqueue(ctx context.Context, req *request) (bool, error) {
+	switch s.cfg.Policy {
+	case Block:
+		select {
+		case s.queue <- req:
+			return true, nil
+		default:
+		}
+		// Queue full: park until space, cancellation, or shutdown.
+		select {
+		case s.queue <- req:
+			return true, nil
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case <-s.stop:
+			return false, ErrClosed
+		}
+	case ShedToLinear:
+		select {
+		case s.queue <- req:
+			return true, nil
+		default:
+			return false, nil
+		}
+	default: // Reject
+		select {
+		case s.queue <- req:
+			return true, nil
+		default:
+			s.m.mu.Lock()
+			s.m.rejected++
+			s.m.mu.Unlock()
+			return false, ErrOverloaded
+		}
+	}
+}
+
+// shedInline serves a request on the caller's goroutine with the linear
+// fallback decoder — the queue was full and the policy trades quality for
+// immediate service.
+func (s *Scheduler) shedInline(req *request) (*Response, error) {
+	start := time.Now()
+	s.shedMu.Lock()
+	res, err := s.shedBE.DecodeFallback(req.in)
+	s.shedMu.Unlock()
+	if err != nil {
+		s.m.mu.Lock()
+		s.m.failed++
+		s.m.mu.Unlock()
+		return nil, fmt.Errorf("serve: shed decode: %w", err)
+	}
+	res.DegradedBy = decoder.DegradedByOverload
+	svc := time.Since(start)
+	s.m.mu.Lock()
+	s.m.shed++
+	s.m.quality[res.Quality.String()]++
+	s.m.degraded++
+	s.m.service.observe(svc)
+	s.m.queueWait.observe(start.Sub(req.enq))
+	s.m.mu.Unlock()
+	return &Response{
+		Result:    res,
+		BatchSize: 1,
+		QueueWait: start.Sub(req.enq),
+		Service:   svc,
+		Shed:      true,
+	}, nil
+}
+
+// batcher is the coalescing loop: it claims the oldest queued frame, gives
+// it up to MaxWait to attract company (capped at MaxBatch frames), and
+// hands the batch to the worker pool. On shutdown it drains whatever the
+// queue still holds into final batches before closing the dispatch channel.
+func (s *Scheduler) batcher() {
+	defer close(s.batcherDone)
+	defer close(s.dispatch)
+	for {
+		select {
+		case first := <-s.queue:
+			s.dispatch <- s.fill(first)
+		case <-s.stop:
+			s.drain()
+			return
+		}
+	}
+}
+
+// fill grows a batch around its first frame until MaxBatch, MaxWait, or
+// shutdown (shutdown flushes immediately; the main loop's drain handles the
+// rest of the queue).
+func (s *Scheduler) fill(first *request) []*request {
+	batch := make([]*request, 1, s.cfg.MaxBatch)
+	batch[0] = first
+	if s.cfg.MaxBatch == 1 {
+		return batch
+	}
+	timer := time.NewTimer(s.cfg.MaxWait)
+	defer timer.Stop()
+	for len(batch) < s.cfg.MaxBatch {
+		select {
+		case req := <-s.queue:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		case <-s.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// drain empties the queue into maximal batches after stop. No frame
+// admitted before Close is lost: the admit lock guarantees nothing enters
+// the queue once drain has run.
+func (s *Scheduler) drain() {
+	var batch []*request
+	flush := func() {
+		if len(batch) > 0 {
+			s.dispatch <- batch
+			batch = nil
+		}
+	}
+	for {
+		select {
+		case req := <-s.queue:
+			batch = append(batch, req)
+			if len(batch) == s.cfg.MaxBatch {
+				flush()
+			}
+		default:
+			flush()
+			return
+		}
+	}
+}
+
+// worker decodes dispatched batches on its private backend.
+func (s *Scheduler) worker(be Backend) {
+	defer s.workersWG.Done()
+	for batch := range s.dispatch {
+		s.runBatch(be, batch)
+	}
+}
+
+// runBatch decodes one coalesced batch and fans results back out.
+func (s *Scheduler) runBatch(be Backend, batch []*request) {
+	start := time.Now()
+	s.m.mu.Lock()
+	s.m.inFlight += len(batch)
+	s.m.mu.Unlock()
+
+	inputs := make([]core.BatchInput, len(batch))
+	for i, req := range batch {
+		inputs[i] = req.in
+	}
+	rep, err := be.DecodeBatchBudget(inputs, s.cfg.Budget)
+	svc := time.Since(start)
+
+	s.m.mu.Lock()
+	s.m.inFlight -= len(batch)
+	if err != nil {
+		s.m.failed += uint64(len(batch))
+	} else {
+		s.m.completed += uint64(len(batch))
+		s.m.batches++
+		s.m.batchedFrames += uint64(len(batch))
+		s.m.batchSizes[len(batch)-1]++
+		s.m.simTime += rep.SimulatedTime
+		s.m.energyJ += rep.EnergyJ
+		s.m.service.observe(svc)
+		for _, res := range rep.Results {
+			s.m.quality[res.Quality.String()]++
+			if res.Quality.Degraded() {
+				s.m.degraded++
+			}
+		}
+		for _, req := range batch {
+			s.m.queueWait.observe(start.Sub(req.enq))
+		}
+	}
+	s.m.mu.Unlock()
+
+	for i, req := range batch {
+		if err != nil {
+			req.resp <- result{err: fmt.Errorf("serve: batch decode: %w", err)}
+			continue
+		}
+		req.resp <- result{out: &Response{
+			Result:        rep.Results[i],
+			BatchSize:     len(batch),
+			QueueWait:     start.Sub(req.enq),
+			Service:       svc,
+			SimulatedTime: rep.SimulatedTime,
+		}}
+	}
+}
+
+// Close stops admission, drains every already-admitted frame through the
+// decoders, and waits for the workers to finish. Safe to call more than
+// once; later Submits return ErrClosed.
+func (s *Scheduler) Close() {
+	s.admit.Lock()
+	if s.closed {
+		s.admit.Unlock()
+		<-s.batcherDone
+		s.workersWG.Wait()
+		return
+	}
+	s.closed = true
+	s.admit.Unlock()
+	close(s.stop)
+	<-s.batcherDone
+	s.workersWG.Wait()
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/stream"
+)
+
+// These tests close the loop between the live scheduler and the
+// discrete-event model in internal/stream: Config.SimulationConfig maps a
+// serving configuration onto the model, the model predicts the overload
+// behaviour, and the live scheduler is held to the prediction's direction
+// (zero-loss stays zero-loss, overload loss shows up as typed
+// rejections/sheds — never as unbounded queue growth or hangs).
+
+// TestSimulationConfigMapping pins the policy translation.
+func TestSimulationConfigMapping(t *testing.T) {
+	base := Config{MaxBatch: 8, MaxWait: 2 * time.Millisecond, QueueCap: 32}
+	period, service, linear := time.Millisecond, 4*time.Millisecond, 100*time.Microsecond
+
+	rej := base
+	rej.Policy = Reject
+	sc := rej.SimulationConfig(period, service, linear)
+	if sc.QueueCap != 4 { // 32 frames / 8 per batch
+		t.Fatalf("reject queue cap %d, want 4", sc.QueueCap)
+	}
+	if sc.Policy.Mode != stream.DropOnly {
+		t.Fatalf("reject maps to %v", sc.Policy.Mode)
+	}
+	if sc.Deadline != base.MaxWait+service {
+		t.Fatalf("deadline %v", sc.Deadline)
+	}
+
+	shed := base
+	shed.Policy = ShedToLinear
+	sc = shed.SimulationConfig(period, service, linear)
+	if sc.Policy.Mode != stream.ShedToLinear || sc.Policy.LinearTime != linear {
+		t.Fatalf("shed maps to %+v", sc.Policy)
+	}
+	if sc.QueueCap != 0 {
+		t.Fatalf("shed queue cap %d, want unbounded", sc.QueueCap)
+	}
+
+	blk := base
+	blk.Policy = Block
+	sc = blk.SimulationConfig(period, service, linear)
+	if sc.QueueCap != 0 || sc.Policy.Mode != stream.DropOnly {
+		t.Fatalf("block maps to %+v", sc)
+	}
+}
+
+// TestUnderloadMatchesPrediction: when the model predicts a loss-free
+// stream, the live scheduler at the same (generous) load must lose nothing
+// and keep every frame exact.
+func TestUnderloadMatchesPrediction(t *testing.T) {
+	cfg := Config{MaxBatch: 4, MaxWait: time.Millisecond, Workers: 2, QueueCap: 16, Policy: Reject}
+
+	// Model: batches every 10ms, 1ms of service each — far under capacity.
+	service := make([]time.Duration, 20)
+	for i := range service {
+		service[i] = time.Millisecond
+	}
+	pred, err := stream.Simulate(cfg.SimulationConfig(10*time.Millisecond, time.Millisecond, 100*time.Microsecond), service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.MissRate() != 0 || pred.Dropped != 0 {
+		t.Fatalf("model predicts loss under 10%% utilization: %+v", pred)
+	}
+
+	// Live: the same shape — sequential submits with idle gaps dwarfing the
+	// µs-scale decode time.
+	s := newScheduler(t, cfg)
+	inputs := genInputs(t, 20, 83)
+	for i, in := range inputs {
+		if _, err := s.Submit(context.Background(), in); err != nil {
+			t.Fatalf("Submit %d: %v (model predicted zero loss)", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Rejected != 0 || st.Shed != 0 || st.Failed != 0 {
+		t.Fatalf("live run lost work the model said it would not: %+v", st)
+	}
+	if st.QualityCounts["exact"] != 20 {
+		t.Fatalf("live quality %v", st.QualityCounts)
+	}
+}
+
+// TestOverloadMatchesPrediction: when the model predicts drops for an
+// offered load, the live scheduler under the equivalent burst must reject
+// (Reject) or shed (ShedToLinear) — and serve the rest.
+func TestOverloadMatchesPrediction(t *testing.T) {
+	const burst = 16
+	workerDelay := 20 * time.Millisecond
+	cfg := Config{MaxBatch: 1, MaxWait: time.Millisecond, Workers: 1, QueueCap: 2, Policy: Reject}
+
+	// Model: a burst arriving much faster than the engine drains.
+	service := make([]time.Duration, burst)
+	for i := range service {
+		service[i] = workerDelay
+	}
+	pred, err := stream.Simulate(cfg.SimulationConfig(time.Millisecond, workerDelay, time.Millisecond), service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Dropped == 0 {
+		t.Fatalf("model predicts no drops for a %d-burst at 20x capacity: %+v", burst, pred)
+	}
+
+	run := func(policy OverloadPolicy) Stats {
+		c := cfg
+		c.Policy = policy
+		s, err := New(c, newSlowFactory(t, workerDelay))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		inputs := genInputs(t, burst, 89)
+		var wg sync.WaitGroup
+		for i := range inputs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, err := s.Submit(context.Background(), inputs[i])
+				if err != nil && !errors.Is(err, ErrOverloaded) {
+					t.Errorf("submit %d: %v", i, err)
+				}
+			}(i)
+		}
+		wg.Wait()
+		return s.Stats()
+	}
+
+	rej := run(Reject)
+	if rej.Rejected == 0 {
+		t.Fatalf("model predicted %d drops, live Reject run rejected nothing: %+v", pred.Dropped, rej)
+	}
+	if rej.Completed == 0 {
+		t.Fatalf("live Reject run served nothing: %+v", rej)
+	}
+
+	// Shed variant of the same overload: the model predicts fallback-quality
+	// completions instead of drops; the live run must shed, not reject.
+	shedCfg := cfg
+	shedCfg.Policy = ShedToLinear
+	shedPred, err := stream.Simulate(shedCfg.SimulationConfig(time.Millisecond, workerDelay, time.Millisecond), service)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shedPred.Quality[stream.QualityFallback] == 0 || shedPred.Dropped != 0 {
+		t.Fatalf("shed model prediction: %+v", shedPred)
+	}
+	shed := run(ShedToLinear)
+	if shed.Shed == 0 {
+		t.Fatalf("model predicted %d fallback batches, live shed run shed nothing: %+v",
+			shedPred.Quality[stream.QualityFallback], shed)
+	}
+	if shed.Rejected != 0 {
+		t.Fatalf("shed run rejected: %+v", shed)
+	}
+	if shed.QualityCounts["fallback"] == 0 {
+		t.Fatalf("shed run quality: %v", shed.QualityCounts)
+	}
+	// Every frame of the burst produced a decision under shed.
+	if shed.Completed+shed.Shed != burst {
+		t.Fatalf("shed run lost frames: %+v", shed)
+	}
+}

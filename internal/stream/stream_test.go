@@ -293,3 +293,16 @@ func TestExactBoundaryCompletionOnTime(t *testing.T) {
 		t.Fatalf("exact-boundary completions misclassified: %+v", res)
 	}
 }
+
+// TestMissRateZeroBatches is the regression test for the zero-batch
+// division guard: a Result that processed nothing (constructed directly,
+// since Simulate refuses empty inputs) must report a 0 miss rate, not NaN.
+func TestMissRateZeroBatches(t *testing.T) {
+	var r Result
+	if got := r.MissRate(); got != 0 {
+		t.Fatalf("zero-batch MissRate = %v, want 0", got)
+	}
+	if got := (&Result{Dropped: 3, Missed: 2}).MissRate(); got != 0 {
+		t.Fatalf("zero-batch MissRate with stale counters = %v, want 0", got)
+	}
+}

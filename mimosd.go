@@ -614,6 +614,25 @@ func (a *Accelerator) DecodeBatchBudget(links []*Link, budget BatchBudget) (*Bat
 	return a.batchResultFrom(rep, a.inner.Name()), nil
 }
 
+// DecodeBatchFallback decodes a batch with the linear fallback detector
+// only (no tree search): every Detection carries Quality "fallback". This is
+// the decision an overloaded deployment emits when it sheds a batch rather
+// than queue it — linear-decoder cost, metric never worse than sliced ZF.
+func (a *Accelerator) DecodeBatchFallback(links []*Link) (*BatchResult, error) {
+	inputs, err := a.batchInputs(links)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := a.inner.DecodeBatchFallback(inputs)
+	if err != nil {
+		if errors.Is(err, core.ErrInvalidInput) {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		}
+		return nil, err
+	}
+	return a.batchResultFrom(rep, a.inner.Name()+"+fallback"), nil
+}
+
 // SoftBatchResult is a BatchResult with per-link bit LLRs.
 type SoftBatchResult struct {
 	BatchResult

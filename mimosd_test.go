@@ -440,3 +440,40 @@ func TestAcceleratorBatchInvalidInput(t *testing.T) {
 		t.Errorf("soft Inf noise variance: %v", err)
 	}
 }
+
+func TestAcceleratorDecodeBatchFallback(t *testing.T) {
+	cfg := cfg44()
+	acc, err := NewAccelerator(cfg, VariantOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var links []*Link
+	for i := 0; i < 4; i++ {
+		l, err := RandomLink(cfg, 12, uint64(200+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		links = append(links, l)
+	}
+	res, err := acc.DecodeBatchFallback(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) != len(links) {
+		t.Fatalf("%d detections for %d links", len(res.Detections), len(links))
+	}
+	if !res.Degraded || res.QualityCounts["fallback"] != len(links) {
+		t.Fatalf("quality counts %v degraded=%v", res.QualityCounts, res.Degraded)
+	}
+	for i, d := range res.Detections {
+		if d.Quality != "fallback" || d.DegradedBy != "overload" {
+			t.Fatalf("detection %d: quality %q degradedBy %q", i, d.Quality, d.DegradedBy)
+		}
+		if len(d.SymbolIndices) != cfg.TxAntennas {
+			t.Fatalf("detection %d: %d symbols", i, len(d.SymbolIndices))
+		}
+	}
+	if _, err := acc.DecodeBatchFallback(nil); !errors.Is(err, ErrInvalidInput) {
+		t.Fatalf("empty batch: %v", err)
+	}
+}

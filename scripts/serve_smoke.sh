@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# serve-smoke: boot sdserver, fire sdload at it for 2 s, and assert a
+# non-zero decoded count (sdload exits 1 below -min-ok). No curl needed:
+# sdload itself waits for the server to come up (-patience).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp="$(mktemp -d)"
+addr="127.0.0.1:${SDSERVER_PORT:-18099}"
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/sdserver" ./cmd/sdserver
+go build -o "$tmp/sdload" ./cmd/sdload
+
+"$tmp/sdserver" -addr "$addr" -max-batch 16 -max-wait 1ms -workers 2 &
+pid=$!
+
+"$tmp/sdload" -addr "http://$addr" -duration 2s -conc 8 -min-ok 1 -patience 10s
+
+# Graceful drain: SIGINT must stop the server cleanly.
+kill -INT "$pid"
+wait "$pid"
+pid=""
+echo "serve-smoke: OK"
