@@ -1,11 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race race-serve serve-smoke fuzz
+.PHONY: check vet build test race race-serve serve-smoke fuzz bench bench-check
 
-# check is the gate: static analysis, build, the serving scheduler under the
-# race detector (its tests are the most concurrency-sensitive, so they run
-# first and fail fast), then the full suite under the race detector.
-check: vet build race-serve race
+# check is the gate: static analysis, build, a single-iteration pass over
+# every benchmark (so the bench harness itself cannot rot), the serving
+# scheduler under the race detector (its tests are the most
+# concurrency-sensitive, so they run first and fail fast), then the full
+# suite under the race detector.
+check: vet build bench-check race-serve race
 
 vet:
 	$(GO) vet ./...
@@ -27,6 +29,16 @@ race-serve:
 # non-zero decoded count (end-to-end liveness of the serving stack).
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# bench regenerates BENCH_decode.json: the software hot-path figures
+# (ns/decode, allocs/op, nodes/s, and the QR-reuse batch speedup).
+bench:
+	$(GO) run ./cmd/sdbench -out BENCH_decode.json
+
+# bench-check smoke-runs every benchmark for one iteration — a compile-and-
+# liveness gate for the bench harness, cheap enough to sit inside check.
+bench-check:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # fuzz runs the native fuzzers for a short budget each (they also run as
 # plain regression tests under `make test` via their seed corpora).

@@ -1,0 +1,200 @@
+// Command sdbench measures the decoder's software hot path and writes the
+// results as JSON (default BENCH_decode.json). It complements `go test
+// -bench`: the same kernels, but packaged as a one-shot artifact the
+// Makefile regenerates, with the derived ratios (batch speedup from QR
+// reuse, single-frame speedup from the pooled zero-alloc path) computed in
+// one place.
+//
+// All figures time the Go simulation, not the modeled FPGA: this is the
+// harness-cost budget that bounds Monte-Carlo sweep sizes and serving
+// throughput, orthogonal to the cycle model's hardware predictions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/fpga"
+	"repro/internal/rng"
+	"repro/internal/sphere"
+)
+
+// Report is the schema of BENCH_decode.json.
+type Report struct {
+	// Environment.
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Generated string `json:"generated"`
+
+	// Workloads.
+	SingleFrameWorkload string `json:"single_frame_workload"`
+	BatchWorkload       string `json:"batch_workload"`
+
+	// SingleFrame is the steady-state hot path: pooled search, shared QR
+	// handle, reused result (sphere.DecodePreInto, SortedDFS+GEMM).
+	SingleFrame FrameStats `json:"single_frame"`
+	// SingleFrameInline factors H and allocates the result on every call —
+	// the seed's only path.
+	SingleFrameInline FrameStats `json:"single_frame_inline"`
+	// SingleFrameSpeedup is inline ns / hot-path ns.
+	SingleFrameSpeedup float64 `json:"single_frame_speedup"`
+
+	// BatchReuse / BatchNoReuse decode a 32-frame coherence block (all
+	// frames share one channel) with the QR factored once vs once per
+	// frame.
+	BatchReuse   FrameStats `json:"batch_repeated_h_reuse"`
+	BatchNoReuse FrameStats `json:"batch_repeated_h_noreuse"`
+	// BatchSpeedup is no-reuse ns / reuse ns.
+	BatchSpeedup float64 `json:"batch_repeated_h_speedup"`
+
+	// BatchParallel is the same batch through the worker pool (Workers:
+	// GOMAXPROCS); on a single-core host it tracks BatchReuse.
+	BatchParallel        FrameStats `json:"batch_parallel"`
+	BatchParallelWorkers int        `json:"batch_parallel_workers"`
+}
+
+// FrameStats is one benchmark's headline numbers.
+type FrameStats struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// NodesPerSec is search throughput (0 where not applicable).
+	NodesPerSec float64 `json:"nodes_per_sec,omitempty"`
+}
+
+func stats(r testing.BenchmarkResult) FrameStats {
+	return FrameStats{
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// coherenceBlock builds frames independent transmissions over one channel.
+func coherenceBlock(seed uint64, n, m, frames int, snrDB float64) []core.BatchInput {
+	r := rng.New(seed)
+	c := constellation.New(constellation.QAM4)
+	h := channel.Rayleigh(r, n, m)
+	nv := channel.NoiseVariance(channel.PerTransmitSymbol, snrDB, m)
+	inputs := make([]core.BatchInput, frames)
+	for i := range inputs {
+		s := make(cmatrix.Vector, m)
+		for j := range s {
+			s[j] = c.Symbol(r.Intn(c.Size()))
+		}
+		inputs[i] = core.BatchInput{H: h, Y: channel.Transmit(r, h, s, nv), NoiseVar: nv}
+	}
+	return inputs
+}
+
+func main() {
+	out := flag.String("out", "BENCH_decode.json", "output path")
+	flag.Parse()
+
+	rep := Report{
+		GOOS:                runtime.GOOS,
+		GOARCH:              runtime.GOARCH,
+		CPUs:                runtime.GOMAXPROCS(0),
+		Generated:           time.Now().UTC().Format(time.RFC3339),
+		SingleFrameWorkload: "10x10 4-QAM, 8 dB, SortedDFS+GEMM",
+		BatchWorkload:       "32-frame coherence block, 10x10 4-QAM, 14 dB",
+	}
+
+	// --- Single frame -----------------------------------------------------
+	c := constellation.New(constellation.QAM4)
+	d := sphere.MustNew(sphere.Config{Const: c, Strategy: sphere.SortedDFS, UseGEMM: true})
+	single := coherenceBlock(61, 10, 10, 1, 8)[0]
+	pre, err := sphere.Preprocess(single.H)
+	if err != nil {
+		fatal(err)
+	}
+	var res decoder.Result
+	if err := d.DecodePreInto(pre, single.Y, single.NoiseVar, 0, &res); err != nil {
+		fatal(err)
+	}
+	nodes := res.Counters.NodesExpanded
+
+	hot := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := d.DecodePreInto(pre, single.Y, single.NoiseVar, 0, &res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SingleFrame = stats(hot)
+	if hot.NsPerOp() > 0 {
+		rep.SingleFrame.NodesPerSec = float64(nodes) / (float64(hot.NsPerOp()) * 1e-9)
+	}
+
+	inline := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Decode(single.H, single.Y, single.NoiseVar); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.SingleFrameInline = stats(inline)
+	if rep.SingleFrame.NsPerOp > 0 {
+		rep.SingleFrameSpeedup = rep.SingleFrameInline.NsPerOp / rep.SingleFrame.NsPerOp
+	}
+
+	// --- Coherence-block batch -------------------------------------------
+	inputs := coherenceBlock(71, 10, 10, 32, 14)
+	reuse := core.MustNew(fpga.Optimized, constellation.QAM4, 10, 10, core.Options{})
+	noReuse := core.MustNew(fpga.Optimized, constellation.QAM4, 10, 10, core.Options{DisableQRReuse: true})
+	parallel := core.MustNew(fpga.Optimized, constellation.QAM4, 10, 10, core.Options{Workers: -1})
+
+	benchBatch := func(a *core.Accelerator) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.DecodeBatch(inputs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	rr := benchBatch(reuse)
+	rn := benchBatch(noReuse)
+	rp := benchBatch(parallel)
+	rep.BatchReuse = stats(rr)
+	rep.BatchNoReuse = stats(rn)
+	rep.BatchParallel = stats(rp)
+	rep.BatchParallelWorkers = runtime.GOMAXPROCS(0)
+	if rep.BatchReuse.NsPerOp > 0 {
+		rep.BatchSpeedup = rep.BatchNoReuse.NsPerOp / rep.BatchReuse.NsPerOp
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("single frame: %.0f ns/op (%d allocs), inline %.0f ns/op -> %.2fx\n",
+		rep.SingleFrame.NsPerOp, rep.SingleFrame.AllocsPerOp, rep.SingleFrameInline.NsPerOp, rep.SingleFrameSpeedup)
+	fmt.Printf("batch: reuse %.0f ns/op, no-reuse %.0f ns/op -> %.2fx; parallel(%d) %.0f ns/op\n",
+		rep.BatchReuse.NsPerOp, rep.BatchNoReuse.NsPerOp, rep.BatchSpeedup,
+		rep.BatchParallelWorkers, rep.BatchParallel.NsPerOp)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sdbench:", err)
+	os.Exit(1)
+}

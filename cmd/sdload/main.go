@@ -56,6 +56,12 @@ type summary struct {
 	MeanBatchSize float64        `json:"mean_batch_size"`
 	Quality       map[string]int `json:"quality"`
 	Shed          int            `json:"shed"`
+
+	// Server-side runtime health, copied from a final GET /metrics (zero if
+	// the fetch failed): cumulative GC pause and allocations per decoded
+	// frame — the live regression signal for the zero-alloc hot path.
+	GCPauseNs         uint64  `json:"go_gc_pause_ns"`
+	DecodeAllocsPerOp float64 `json:"decode_allocs_per_op"`
 }
 
 // percentile returns the p-quantile (0..1) of sorted latencies.
@@ -139,6 +145,24 @@ func fetchConfig(client *http.Client, addr string, patience time.Duration) (*ser
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
+}
+
+// fetchMetrics grabs one Stats snapshot from GET /metrics.
+func fetchMetrics(client *http.Client, addr string) (*serve.Stats, error) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, fmt.Errorf("metrics endpoint: HTTP %d", resp.StatusCode)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
 }
 
 // buildBodies pre-marshals a pool of request bodies matching the server's
@@ -292,6 +316,12 @@ func main() {
 	elapsed := time.Since(start)
 
 	s := summarize(samples, elapsed)
+	if st, err := fetchMetrics(client, *addr); err != nil {
+		fmt.Fprintf(os.Stderr, "sdload: metrics fetch failed: %v\n", err)
+	} else {
+		s.GCPauseNs = st.GCPauseNs
+		s.DecodeAllocsPerOp = st.DecodeAllocsPerOp
+	}
 	if *jsonOut {
 		out, _ := json.MarshalIndent(s, "", "  ")
 		fmt.Println(string(out))
@@ -306,6 +336,8 @@ func main() {
 		fmt.Printf("  latency     p50 %v  p95 %v  p99 %v  max %v\n", s.P50, s.P95, s.P99, s.MaxLatency)
 		fmt.Printf("  batch size  mean %.2f (server-side coalescing)\n", s.MeanBatchSize)
 		fmt.Printf("  quality     %v  shed %d\n", s.Quality, s.Shed)
+		fmt.Printf("  server      gc pause %v total, %.1f allocs/frame\n",
+			time.Duration(s.GCPauseNs), s.DecodeAllocsPerOp)
 	}
 	if s.OK < *minOK {
 		fmt.Fprintf(os.Stderr, "sdload: only %d ok responses, need %d\n", s.OK, *minOK)

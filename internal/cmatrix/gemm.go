@@ -43,12 +43,17 @@ func MulNaive(a, b *Matrix) *Matrix {
 // typical 256 KiB L2 slice.
 const blockSize = 64
 
-// Mul returns A*B using a cache-blocked kernel.
+// Mul returns A*B using a cache-blocked kernel. Products large enough to
+// amortize the plane conversion route through the split-plane (SoA) kernel.
 func Mul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("cmatrix: Mul inner dims %d vs %d", a.Cols, b.Rows))
 	}
 	c := NewMatrix(a.Rows, b.Cols)
+	if useSplitKernel(a.Rows, b.Cols, a.Cols) {
+		mulSplitInto(c, a, b, 1)
+		return c
+	}
 	gemmBlockedInto(c, a, b, 0, a.Rows)
 	return c
 }
@@ -101,7 +106,15 @@ func MulParallel(a, b *Matrix, workers int) *Matrix {
 	}
 	c := NewMatrix(a.Rows, b.Cols)
 	if workers <= 1 {
-		gemmBlockedInto(c, a, b, 0, a.Rows)
+		if useSplitKernel(a.Rows, b.Cols, a.Cols) {
+			mulSplitInto(c, a, b, 1)
+		} else {
+			gemmBlockedInto(c, a, b, 0, a.Rows)
+		}
+		return c
+	}
+	if useSplitKernel(a.Rows, b.Cols, a.Cols) {
+		mulSplitParallel(c, a, b, workers)
 		return c
 	}
 	var wg sync.WaitGroup
@@ -126,7 +139,9 @@ func MulParallel(a, b *Matrix, workers int) *Matrix {
 }
 
 // GEMM computes C = alpha*A*B + beta*C in place. C must already have shape
-// a.Rows × b.Cols.
+// a.Rows × b.Cols. Per BLAS semantics, beta == 0 overwrites C without reading
+// it, so pre-existing NaN/Inf (or garbage in a reused scratch buffer) cannot
+// leak into the product.
 func GEMM(alpha complex128, a, b *Matrix, beta complex128, c *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("cmatrix: GEMM inner dims %d vs %d", a.Cols, b.Rows))
@@ -135,12 +150,22 @@ func GEMM(alpha complex128, a, b *Matrix, beta complex128, c *Matrix) {
 		panic(fmt.Sprintf("cmatrix: GEMM output shape %dx%d, want %dx%d",
 			c.Rows, c.Cols, a.Rows, b.Cols))
 	}
-	if beta != 1 {
+	switch beta {
+	case 1:
+	case 0:
+		for i := range c.Data {
+			c.Data[i] = 0
+		}
+	default:
 		for i := range c.Data {
 			c.Data[i] *= beta
 		}
 	}
 	if alpha == 0 {
+		return
+	}
+	if useSplitKernel(a.Rows, b.Cols, a.Cols) {
+		gemmSplitAccum(alpha, a, b, c)
 		return
 	}
 	for i := 0; i < a.Rows; i++ {
@@ -179,18 +204,31 @@ func MulVec(a *Matrix, x Vector) Vector {
 
 // ConjTransposeMulVec returns Aᴴ*x without materializing Aᴴ.
 func ConjTransposeMulVec(a *Matrix, x Vector) Vector {
+	y := make(Vector, a.Cols)
+	ConjTransposeMulVecInto(y, a, x)
+	return y
+}
+
+// ConjTransposeMulVecInto computes dst = Aᴴ*x into caller-owned storage —
+// the allocation-free form the pooled sphere search uses for the per-frame
+// ȳ = Qᴴy rotation. dst must have length a.Cols.
+func ConjTransposeMulVecInto(dst Vector, a *Matrix, x Vector) {
 	if a.Rows != len(x) {
 		panic(fmt.Sprintf("cmatrix: ConjTransposeMulVec dims %d vs %d", a.Rows, len(x)))
 	}
-	y := make(Vector, a.Cols)
+	if len(dst) != a.Cols {
+		panic(fmt.Sprintf("cmatrix: ConjTransposeMulVecInto needs %d slots, got %d", a.Cols, len(dst)))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i := 0; i < a.Rows; i++ {
 		row := a.Row(i)
 		xi := x[i]
 		for j, v := range row {
-			y[j] += complex(real(v), -imag(v)) * xi
+			dst[j] += complex(real(v), -imag(v)) * xi
 		}
 	}
-	return y
 }
 
 // Gram returns Aᴴ*A, the Gram matrix needed by the ZF and MMSE linear

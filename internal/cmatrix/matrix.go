@@ -184,6 +184,32 @@ func (m *Matrix) IsUpperTriangular(tol float64) bool {
 	return true
 }
 
+// Fingerprint returns a 64-bit FNV-1a hash over the matrix shape and the
+// raw bit patterns of every element. The sphere decoder's preprocessing
+// cache keys QR factorizations by this value (with a full equality check on
+// hit, so a collision costs a recompute, never a wrong factorization).
+func (m *Matrix) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= u & 0xff
+			h *= prime64
+			u >>= 8
+		}
+	}
+	mix(uint64(m.Rows))
+	mix(uint64(m.Cols))
+	for _, v := range m.Data {
+		mix(math.Float64bits(real(v)))
+		mix(math.Float64bits(imag(v)))
+	}
+	return h
+}
+
 // HasNaN reports whether the matrix contains a NaN component.
 func (m *Matrix) HasNaN() bool {
 	for _, v := range m.Data {

@@ -165,6 +165,12 @@ func (f *QRFactorization) QHMulVec(y Vector) Vector {
 	return ConjTransposeMulVec(f.Q, y)
 }
 
+// QHMulVecInto computes ȳ = Qᴴ·y into caller-owned storage of length Q.Cols,
+// keeping the per-frame rotation off the allocator on the decode hot path.
+func (f *QRFactorization) QHMulVecInto(dst Vector, y Vector) {
+	ConjTransposeMulVecInto(dst, f.Q, y)
+}
+
 // BackSubstitute solves R·x = b for upper-triangular R, returning
 // ErrSingular on a zero pivot. This is the zero-forcing solve used by the
 // linear decoders after QR preprocessing.

@@ -1,0 +1,38 @@
+package cmatrix
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Mul dispatches to the split-plane kernel above the gate; MulNaive is the
+// reference triple loop. The pair quantifies the SoA win per shape; the
+// GEMM variant shows the allocation-free in-place form.
+func benchmarkMulShape(b *testing.B, n int) {
+	r := rng.New(uint64(n))
+	a := randomMatrix(r, n, n)
+	m := randomMatrix(r, n, n)
+	c := NewMatrix(n, n)
+	b.Run(fmt.Sprintf("dispatch-%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = Mul(a, m)
+		}
+	})
+	b.Run(fmt.Sprintf("naive-%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = MulNaive(a, m)
+		}
+	})
+	b.Run(fmt.Sprintf("gemm-inplace-%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			GEMM(1, a, m, 0, c)
+		}
+	})
+}
+
+func BenchmarkMul32(b *testing.B)  { benchmarkMulShape(b, 32) }
+func BenchmarkMul64(b *testing.B)  { benchmarkMulShape(b, 64) }
+func BenchmarkMul128(b *testing.B) { benchmarkMulShape(b, 128) }

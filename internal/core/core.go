@@ -16,6 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cmatrix"
@@ -51,13 +54,33 @@ type Options struct {
 	// Deadline bounds each decode's wall-clock time; overrun yields a
 	// flagged degraded result. Zero means no per-decode deadline.
 	Deadline time.Duration
+	// Workers sets the decode parallelism for DecodeBatch: 0 or 1 decodes
+	// serially, N > 1 uses N goroutines, and a negative value uses
+	// GOMAXPROCS. Results are returned in input order regardless, and the
+	// non-budgeted parallel path is bit-exact with the serial one. Batches
+	// under a modeled-time Deadline always run serially (the repricing after
+	// each frame is inherently sequential).
+	Workers int
+	// PreprocessCacheEntries sizes the cross-batch QR cache: 0 selects
+	// sphere.DefaultCacheEntries, a negative value disables caching across
+	// batches (each batch still factors every distinct H only once).
+	PreprocessCacheEntries int
+	// DisableQRReuse restores the seed behaviour of factoring H once per
+	// frame (and charging the full QR flops per frame). It exists as the
+	// benchmark baseline for the shared-preprocessing speedup and as an
+	// escape hatch for callers that mutate channel matrices in place.
+	DisableQRReuse bool
 }
 
 // Accelerator is an FPGA sphere-decoder instance for one configuration.
+// It is safe for concurrent use.
 type Accelerator struct {
-	design *fpga.Design
-	sd     *sphere.SD
-	cons   *constellation.Constellation
+	design  *fpga.Design
+	sd      *sphere.SD
+	cons    *constellation.Constellation
+	cache   *sphere.PreprocessCache // nil when cross-batch reuse is off
+	workers int                     // resolved batch parallelism (>= 1)
+	reuseQR bool                    // factor each distinct H once per batch
 }
 
 // New builds an accelerator for the given variant, modulation, and MIMO
@@ -89,7 +112,24 @@ func New(v fpga.Variant, mod constellation.Modulation, m, n int, opts Options) (
 	if !design.Resources().Fits() {
 		return nil, fmt.Errorf("core: design %s does not fit on %s", design.Name(), design.Device.Name)
 	}
-	return &Accelerator{design: design, sd: sd, cons: cons}, nil
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 0 {
+		workers = 1
+	}
+	a := &Accelerator{
+		design:  design,
+		sd:      sd,
+		cons:    cons,
+		workers: workers,
+		reuseQR: !opts.DisableQRReuse,
+	}
+	if a.reuseQR && opts.PreprocessCacheEntries >= 0 {
+		a.cache = sphere.NewPreprocessCache(opts.PreprocessCacheEntries)
+	}
+	return a, nil
 }
 
 // MustNew is New that panics on error.
@@ -117,13 +157,34 @@ func (a *Accelerator) Resources() fpga.Utilization { return a.design.Resources()
 func (a *Accelerator) Power() float64 { return a.design.Power() }
 
 // Decode implements decoder.Decoder: it detects one received vector,
-// returning the exact sphere-decoder result with its operation trace.
+// returning the exact sphere-decoder result with its operation trace. When
+// the preprocessing cache is enabled, repeated calls under the same channel
+// skip the QR factorization; the trace still charges the full QR cost each
+// call so counters stay deterministic (the cache saves wall-clock, not
+// modeled work — the hardware pre-fetch unit hides the latency, it does not
+// change the pipeline's accounting).
 func (a *Accelerator) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*decoder.Result, error) {
 	if h.Cols != a.design.M || h.Rows != a.design.N {
 		return nil, fmt.Errorf("core: accelerator built for %dx%d, got channel %dx%d",
 			a.design.M, a.design.N, h.Cols, h.Rows)
 	}
+	if a.cache != nil {
+		pre, err := a.cache.Get(h)
+		if err != nil {
+			return nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
+		}
+		return a.sd.DecodePre(pre, y, noiseVar, pre.Flops)
+	}
 	return a.sd.Decode(h, y, noiseVar)
+}
+
+// PreprocessCacheStats reports cumulative (hits, misses) of the QR cache;
+// zeros when caching is disabled.
+func (a *Accelerator) PreprocessCacheStats() (hits, misses int64) {
+	if a.cache == nil {
+		return 0, 0
+	}
+	return a.cache.Stats()
 }
 
 // BatchInput is one received vector with its channel state.
@@ -250,6 +311,17 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 			return nil, err
 		}
 	}
+	// Factor each distinct channel once for the whole batch. charge[i]
+	// carries the QR flop cost on the first frame that uses each handle, so
+	// aggregate counters are deterministic regardless of cross-batch cache
+	// warmth or decode order.
+	pres, charge, err := a.preprocessBatch(inputs)
+	if err != nil {
+		return nil, err
+	}
+	if a.workers > 1 && len(inputs) > 1 && budget.Deadline == 0 {
+		return a.decodeBatchParallel(inputs, pres, charge, budget)
+	}
 	w := decoder.Workload{M: a.design.M, N: a.design.N, P: a.cons.Size()}
 	rep := &BatchReport{Results: make([]*decoder.Result, 0, len(inputs))}
 	shedBy := "" // non-empty once the batch budget is spent
@@ -258,7 +330,7 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 		var err error
 		switch {
 		case shedBy != "":
-			res, err = a.sd.DecodeFallback(in.H, in.Y, in.NoiseVar)
+			res, err = a.sd.DecodeFallbackPre(pres[i], in.Y, in.NoiseVar, charge[i])
 			if res != nil {
 				res.DegradedBy = shedBy
 			}
@@ -267,7 +339,7 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 			remaining := budget.NodeBudget - rep.Counters.NodesExpanded
 			if remaining <= 0 {
 				shedBy = decoder.DegradedByBudget
-				res, err = a.sd.DecodeFallback(in.H, in.Y, in.NoiseVar)
+				res, err = a.sd.DecodeFallbackPre(pres[i], in.Y, in.NoiseVar, charge[i])
 				if res != nil {
 					res.DegradedBy = shedBy
 				}
@@ -278,10 +350,10 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 			cfg.HardBudget = false
 			var sd *sphere.SD
 			if sd, err = sphere.New(cfg); err == nil {
-				res, err = sd.Decode(in.H, in.Y, in.NoiseVar)
+				res, err = sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
 			}
 		default:
-			res, err = a.sd.Decode(in.H, in.Y, in.NoiseVar)
+			res, err = a.sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: batch element %d: %w", i, err)
@@ -301,7 +373,128 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 			}
 		}
 	}
-	w.Frames = len(inputs)
+	return a.finishReport(rep, len(inputs))
+}
+
+// preprocessBatch resolves every input's channel to a Preprocessed handle.
+// With QR reuse on, frames sharing a channel (by pointer or by content)
+// share one factorization; charge[i] is pres[i].Flops on the first frame
+// using each distinct handle and 0 after, so the batch trace charges each
+// QR exactly once. With reuse off, every frame gets its own factorization
+// and full charge — the seed accounting.
+func (a *Accelerator) preprocessBatch(inputs []BatchInput) ([]*sphere.Preprocessed, []int64, error) {
+	pres := make([]*sphere.Preprocessed, len(inputs))
+	charge := make([]int64, len(inputs))
+	if !a.reuseQR {
+		for i, in := range inputs {
+			p, err := sphere.Preprocess(in.H)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: batch element %d: sphere: preprocessing failed: %w", i, err)
+			}
+			pres[i], charge[i] = p, p.Flops
+		}
+		return pres, charge, nil
+	}
+	cache := a.cache
+	if cache == nil {
+		// Cross-batch caching disabled: dedup within this batch only.
+		cache = sphere.NewPreprocessCache(len(inputs))
+	}
+	byPtr := make(map[*cmatrix.Matrix]*sphere.Preprocessed, len(inputs))
+	seen := make(map[*sphere.Preprocessed]bool, len(inputs))
+	for i, in := range inputs {
+		p := byPtr[in.H]
+		if p == nil {
+			var err error
+			p, err = cache.Get(in.H)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: batch element %d: sphere: preprocessing failed: %w", i, err)
+			}
+			byPtr[in.H] = p
+		}
+		pres[i] = p
+		if !seen[p] {
+			seen[p] = true
+			charge[i] = p.Flops
+		}
+	}
+	return pres, charge, nil
+}
+
+// decodeBatchParallel fans a batch over the worker pool. Results land in
+// input order and, without a budget, are bit-exact with the serial path
+// (each frame's search is independent). Under a NodeBudget the workers
+// share one atomic node pool: each frame searches with a snapshot of what
+// is left and pays its expansions back, so the batch total honours the
+// budget to within the overshoot of the frames in flight when it empties —
+// the same anytime contract, with scheduling-dependent (but always
+// flagged) shed boundaries.
+func (a *Accelerator) decodeBatchParallel(inputs []BatchInput, pres []*sphere.Preprocessed, charge []int64, budget BatchBudget) (*BatchReport, error) {
+	workers := a.workers
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	results := make([]*decoder.Result, len(inputs))
+	errs := make([]error, len(inputs))
+	var nodesLeft atomic.Int64
+	useNodes := budget.NodeBudget > 0
+	if useNodes {
+		nodesLeft.Store(budget.NodeBudget)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(inputs) {
+					return
+				}
+				in := inputs[i]
+				var res *decoder.Result
+				var err error
+				switch {
+				case !useNodes:
+					res, err = a.sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
+				case nodesLeft.Load() <= 0:
+					res, err = a.sd.DecodeFallbackPre(pres[i], in.Y, in.NoiseVar, charge[i])
+					if res != nil {
+						res.DegradedBy = decoder.DegradedByBudget
+					}
+				default:
+					cfg := a.sd.Config()
+					cfg.MaxNodes = nodesLeft.Load()
+					cfg.HardBudget = false
+					var sd *sphere.SD
+					if sd, err = sphere.New(cfg); err == nil {
+						res, err = sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
+					}
+					if res != nil {
+						nodesLeft.Add(-res.Counters.NodesExpanded)
+					}
+				}
+				results[i] = res
+				errs[i] = err
+			}
+		}()
+	}
+	wg.Wait()
+	rep := &BatchReport{Results: results}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch element %d: %w", i, err)
+		}
+		rep.Counters.Add(results[i].Counters)
+	}
+	return a.finishReport(rep, len(inputs))
+}
+
+// finishReport prices the aggregated batch trace through the pipeline model
+// and fills the report's hardware fields.
+func (a *Accelerator) finishReport(rep *BatchReport, frames int) (*BatchReport, error) {
+	w := decoder.Workload{M: a.design.M, N: a.design.N, P: a.cons.Size(), Frames: frames}
 	dur, breakdown, err := a.design.BatchTime(w, rep.Counters)
 	if err != nil {
 		return nil, err

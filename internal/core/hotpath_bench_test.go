@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/fpga"
+	"repro/internal/rng"
+)
+
+// benchBatch builds a coherence-block batch: one channel draw, frames
+// independent transmissions over it — the workload the preprocessing cache
+// is for.
+func benchBatch(b *testing.B, frames int, snrDB float64) []BatchInput {
+	b.Helper()
+	const m, n = 10, 10
+	r := rng.New(71)
+	c := constellation.New(constellation.QAM4)
+	h := channel.Rayleigh(r, n, m)
+	nv := channel.NoiseVariance(channel.PerTransmitSymbol, snrDB, m)
+	inputs := make([]BatchInput, frames)
+	for i := range inputs {
+		s := make(cmatrix.Vector, m)
+		for j := range s {
+			s[j] = c.Symbol(r.Intn(c.Size()))
+		}
+		inputs[i] = BatchInput{H: h, Y: channel.Transmit(r, h, s, nv), NoiseVar: nv}
+	}
+	return inputs
+}
+
+func benchmarkBatch(b *testing.B, opts Options, frames int, snrDB float64) {
+	a := MustNew(fpga.Optimized, constellation.QAM4, 10, 10, opts)
+	inputs := benchBatch(b, frames, snrDB)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.DecodeBatch(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The RepeatedH pair is the headline batch speedup: one coherence block of
+// 32 frames at the paper's high-SNR operating point, QR factored once
+// (Reuse) vs once per frame (NoReuse — the seed's behaviour).
+func BenchmarkDecodeBatchRepeatedHReuse(b *testing.B) {
+	benchmarkBatch(b, Options{}, 32, 14)
+}
+
+func BenchmarkDecodeBatchRepeatedHNoReuse(b *testing.B) {
+	benchmarkBatch(b, Options{DisableQRReuse: true}, 32, 14)
+}
+
+func BenchmarkDecodeBatchParallel4(b *testing.B) {
+	benchmarkBatch(b, Options{Workers: 4}, 32, 14)
+}
+
+func BenchmarkDecodeBatchParallelAuto(b *testing.B) {
+	benchmarkBatch(b, Options{Workers: -1}, 32, 14)
+}

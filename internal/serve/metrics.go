@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"runtime"
 	"sync"
 	"time"
 )
@@ -139,6 +140,15 @@ type Stats struct {
 	QueueDepth int  `json:"queue_depth"` // frames waiting for a batch slot
 	InFlight   int  `json:"in_flight"`   // frames inside dispatched batches
 	Draining   bool `json:"draining"`    // Close has begun
+
+	// Runtime health. GCPauseNs is the process's cumulative stop-the-world
+	// GC pause time; DecodeAllocsPerOp is heap allocations per completed
+	// frame since the scheduler started (process-wide mallocs over
+	// completions, so it is approximate — HTTP plumbing allocates too — but
+	// it trends to the decode hot path's figure under sustained load and is
+	// the regression signal for the zero-alloc search contract).
+	GCPauseNs         uint64  `json:"go_gc_pause_ns"`
+	DecodeAllocsPerOp float64 `json:"decode_allocs_per_op"`
 }
 
 // SimulatedTotal aggregates the modeled hardware cost of everything decoded
@@ -167,16 +177,22 @@ type metrics struct {
 	queueWait     durHist
 	service       durHist
 	inFlight      int
+	baseMallocs   uint64 // heap mallocs at construction
 }
 
 func newMetrics(maxBatch int) *metrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	return &metrics{
-		batchSizes: make([]uint64, maxBatch),
-		quality:    make(map[string]uint64, 3),
+		batchSizes:  make([]uint64, maxBatch),
+		quality:     make(map[string]uint64, 3),
+		baseMallocs: ms.Mallocs,
 	}
 }
 
 func (m *metrics) snapshot(queueDepth int, draining bool) Stats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms) // outside the lock: it stops the world, not us
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Stats{
@@ -206,6 +222,10 @@ func (m *metrics) snapshot(queueDepth int, draining bool) Stats {
 	}
 	if m.batches > 0 {
 		st.MeanBatchSize = float64(m.batchedFrames) / float64(m.batches)
+	}
+	st.GCPauseNs = ms.PauseTotalNs
+	if done := m.completed + m.shed; done > 0 && ms.Mallocs >= m.baseMallocs {
+		st.DecodeAllocsPerOp = float64(ms.Mallocs-m.baseMallocs) / float64(done)
 	}
 	return st
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -576,5 +578,33 @@ func TestDurationDistQuantile(t *testing.T) {
 	}
 	if mean := d.Mean(); mean < 3*time.Millisecond || mean > 6*time.Millisecond {
 		t.Fatalf("mean %v", mean)
+	}
+}
+
+// TestRuntimeHealthStats: the /metrics runtime fields must populate — a
+// non-zero (or at least well-defined) cumulative GC pause and a finite
+// allocs-per-frame figure once frames have completed.
+func TestRuntimeHealthStats(t *testing.T) {
+	s := newScheduler(t, Config{MaxBatch: 4, MaxWait: time.Millisecond})
+	for i, in := range genInputs(t, 6, 31) {
+		if _, err := s.Submit(context.Background(), in); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != 6 {
+		t.Fatalf("completed %d, want 6", st.Completed)
+	}
+	// Allocations certainly happened between newMetrics and now (the test
+	// harness alone allocates), so per-frame allocs must be strictly
+	// positive and finite.
+	if st.DecodeAllocsPerOp <= 0 || math.IsInf(st.DecodeAllocsPerOp, 0) || math.IsNaN(st.DecodeAllocsPerOp) {
+		t.Fatalf("decode_allocs_per_op = %v, want finite > 0", st.DecodeAllocsPerOp)
+	}
+	// GCPauseNs is cumulative since process start; forcing a cycle makes it
+	// observable regardless of how little the suite has allocated so far.
+	runtime.GC()
+	if got := s.Stats().GCPauseNs; got == 0 {
+		t.Fatalf("go_gc_pause_ns = 0 after forced GC")
 	}
 }

@@ -1,0 +1,96 @@
+package sphere
+
+import (
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/rng"
+)
+
+// BenchmarkDecodePreInto is the steady-state hot path: pooled search, shared
+// QR handle, reused result. nodes/s is the simulation throughput the
+// Monte-Carlo harness sees.
+func BenchmarkDecodePreInto(b *testing.B) {
+	r := rng.New(61)
+	c := constellation.New(constellation.QAM4)
+	d := MustNew(Config{Const: c, Strategy: SortedDFS, UseGEMM: true})
+	h, y, nv, _ := makeInstance(r, c, 10, 10, 8)
+	pre, err := Preprocess(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res decoder.Result
+	if err := d.DecodePreInto(pre, y, nv, 0, &res); err != nil {
+		b.Fatal(err)
+	}
+	nodes := res.Counters.NodesExpanded
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.DecodePreInto(pre, y, nv, 0, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "nodes/s")
+	}
+}
+
+// BenchmarkDecodeInline is the per-frame-QR form (the seed's only path):
+// factor H, search, allocate the result. The gap to DecodePreInto is the
+// preprocessing-cache + zero-alloc win.
+func BenchmarkDecodeInline(b *testing.B) {
+	r := rng.New(61)
+	c := constellation.New(constellation.QAM4)
+	d := MustNew(Config{Const: c, Strategy: SortedDFS, UseGEMM: true})
+	h, y, nv, _ := makeInstance(r, c, 10, 10, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(h, y, nv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeScalarPreInto is the BLAS-2 evaluation path through the
+// same pooled machinery.
+func BenchmarkDecodeScalarPreInto(b *testing.B) {
+	r := rng.New(61)
+	c := constellation.New(constellation.QAM4)
+	d := MustNew(Config{Const: c, Strategy: SortedDFS})
+	h, y, nv, _ := makeInstance(r, c, 10, 10, 8)
+	pre, err := Preprocess(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res decoder.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.DecodePreInto(pre, y, nv, 0, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreprocessCacheGet prices a warm cache lookup (fingerprint +
+// verify) against the QR it saves.
+func BenchmarkPreprocessCacheGet(b *testing.B) {
+	r := rng.New(62)
+	c := constellation.New(constellation.QAM4)
+	cache := NewPreprocessCache(8)
+	h, _, _, _ := makeInstance(r, c, 10, 10, 8)
+	if _, err := cache.Get(h); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Get(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

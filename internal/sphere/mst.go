@@ -25,13 +25,26 @@ type MST struct {
 
 // NewMST creates a table for a tree of m levels and inserts the root.
 func NewMST(m int) *MST {
-	t := &MST{
-		nodes:    make([]mstNode, 0, 1024),
-		perDepth: make([]int64, m+1),
+	t := &MST{nodes: make([]mstNode, 0, 1024)}
+	t.Reset(m)
+	return t
+}
+
+// Reset clears the table for a tree of m levels, keeping the record arena's
+// capacity so a pooled search reuses it allocation-free, and re-inserts the
+// root. This is the software twin of re-initializing the FPGA's partitioned
+// MST memory between frames without re-synthesizing it.
+func (t *MST) Reset(m int) {
+	t.nodes = t.nodes[:0]
+	if cap(t.perDepth) < m+1 {
+		t.perDepth = make([]int64, m+1)
+	}
+	t.perDepth = t.perDepth[:m+1]
+	for i := range t.perDepth {
+		t.perDepth[i] = 0
 	}
 	t.nodes = append(t.nodes, mstNode{parent: -1, symbol: -1, depth: 0, pd: 0})
 	t.perDepth[0] = 1
-	return t
 }
 
 // Root returns the root node id.

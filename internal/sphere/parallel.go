@@ -77,6 +77,19 @@ func (d *ParallelSD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float6
 	if err := decoder.CheckDims(h, y); err != nil {
 		return nil, err
 	}
+	pre, err := Preprocess(h)
+	if err != nil {
+		return nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
+	}
+	return d.DecodePre(pre, y, noiseVar)
+}
+
+// DecodePre is Decode against a precomputed channel factorization, letting
+// batches under one coherence block share the QR work across frames.
+func (d *ParallelSD) DecodePre(pre *Preprocessed, y cmatrix.Vector, noiseVar float64) (*decoder.Result, error) {
+	if err := pre.CheckY(y); err != nil {
+		return nil, err
+	}
 	if noiseVar < 0 || math.IsNaN(noiseVar) {
 		return nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
 	}
@@ -85,16 +98,13 @@ func (d *ParallelSD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float6
 	if d.cfg.Deadline > 0 {
 		deadline = start.Add(d.cfg.Deadline)
 	}
-	f, err := cmatrix.QR(h)
-	if err != nil {
-		return nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
-	}
+	f := pre.F
 	ybar := f.QHMulVec(y)
 	offset := cmatrix.Norm2Sq(y) - cmatrix.Norm2Sq(ybar)
 	if offset < 0 {
 		offset = 0
 	}
-	m := h.Cols
+	m := pre.M
 	p := d.cfg.Const.Size()
 	pts := d.cfg.Const.Points()
 

@@ -1,0 +1,162 @@
+package sphere
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/cmatrix"
+	"repro/internal/decoder"
+)
+
+// Preprocessed is a channel handle: the QR factors of one channel matrix H,
+// computed once and reused across every received vector observed under that
+// channel. It is the software analogue of the paper's pre-fetching /
+// double-buffering unit, which keeps the factored channel resident next to
+// the pipeline so per-frame work starts at the ȳ = Qᴴy rotation instead of
+// the O(N·M²) factorization.
+//
+// The handle keeps a reference to H (it does not copy it); callers must not
+// mutate a channel matrix after preprocessing it. A Preprocessed value is
+// immutable after construction and safe for concurrent use.
+type Preprocessed struct {
+	// H is the factored channel (N×M).
+	H *cmatrix.Matrix
+	// F holds the thin QR factors H = Q·R.
+	F *cmatrix.QRFactorization
+	// N and M are the receive/transmit dimensions of H.
+	N, M int
+	// Flops is the factorization cost (32·N·M² real operations), charged
+	// into a decode trace once per distinct channel — by the single-frame
+	// wrappers on every call, and by the batch scheduler only on the first
+	// frame that uses the handle.
+	Flops int64
+}
+
+// Preprocess factors h for reuse. It returns cmatrix.ErrNonFinite /
+// cmatrix.ErrSingular (wrapped) exactly as the inline QR paths did.
+func Preprocess(h *cmatrix.Matrix) (*Preprocessed, error) {
+	f, err := cmatrix.QR(h)
+	if err != nil {
+		return nil, err
+	}
+	n, m := int64(h.Rows), int64(h.Cols)
+	return &Preprocessed{H: h, F: f, N: h.Rows, M: h.Cols, Flops: 32 * n * m * m}, nil
+}
+
+// CheckY validates a received vector against the handle's dimensions.
+func (p *Preprocessed) CheckY(y cmatrix.Vector) error {
+	if len(y) != p.N {
+		return fmt.Errorf("%w: y has %d entries, H is %dx%d",
+			decoder.ErrDimension, len(y), p.N, p.M)
+	}
+	return nil
+}
+
+// PreprocessCache is a fingerprint-keyed LRU of Preprocessed handles. A
+// batch whose frames arrive under a slowly varying channel (one coherence
+// block spans many frames) factors each distinct H once and serves every
+// other frame from the cache. Safe for concurrent use.
+//
+// Lookups hash the full matrix (FNV-1a over the raw bit patterns) and then
+// verify data equality on a hit, so a fingerprint collision costs one extra
+// factorization, never a wrong one.
+type PreprocessCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[uint64]*list.Element
+	order    *list.List // front = most recently used
+	hits     int64
+	misses   int64
+}
+
+type cacheEntry struct {
+	key uint64
+	pre *Preprocessed
+}
+
+// DefaultCacheEntries is the cache capacity used when none is configured:
+// enough for the distinct channels of several coalesced batches.
+const DefaultCacheEntries = 64
+
+// NewPreprocessCache builds a cache holding up to capacity distinct
+// channels. capacity <= 0 selects DefaultCacheEntries.
+func NewPreprocessCache(capacity int) *PreprocessCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &PreprocessCache{
+		capacity: capacity,
+		entries:  make(map[uint64]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// Get returns the handle for h, factoring it on a miss. The returned handle
+// may be shared with other callers; it is immutable.
+func (c *PreprocessCache) Get(h *cmatrix.Matrix) (*Preprocessed, error) {
+	fp := h.Fingerprint()
+	c.mu.Lock()
+	if el, ok := c.entries[fp]; ok {
+		pre := el.Value.(*cacheEntry).pre
+		if sameMatrix(pre.H, h) {
+			c.order.MoveToFront(el)
+			c.hits++
+			c.mu.Unlock()
+			return pre, nil
+		}
+		// Fingerprint collision: evict the impostor and recompute below.
+		c.order.Remove(el)
+		delete(c.entries, fp)
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Factor outside the lock so a large QR does not stall unrelated
+	// lookups; a concurrent miss on the same H duplicates the work once.
+	pre, err := Preprocess(h)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if _, ok := c.entries[fp]; !ok {
+		c.entries[fp] = c.order.PushFront(&cacheEntry{key: fp, pre: pre})
+		for c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*cacheEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return pre, nil
+}
+
+// Len returns the number of cached channels.
+func (c *PreprocessCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative (hits, misses).
+func (c *PreprocessCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// sameMatrix reports bit-level equality of two matrices (shapes included).
+// QR rejects non-finite input, so NaN never reaches a cached handle and ==
+// is a sound equality here.
+func sameMatrix(a, b *cmatrix.Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i, v := range a.Data {
+		if v != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}

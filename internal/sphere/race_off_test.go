@@ -1,0 +1,5 @@
+//go:build !race
+
+package sphere
+
+const raceEnabled = false

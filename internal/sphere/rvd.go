@@ -100,10 +100,14 @@ func (d *RVD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*de
 		yr[i] = complex(real(y[i]), 0)
 		yr[i+n] = complex(imag(y[i]), 0)
 	}
-	f, err := cmatrix.QR(hr)
+	// Route through the shared preprocessing handle so the embedding's QR
+	// is computed by the same code path (and cacheable by callers decoding
+	// many frames under one channel).
+	pre, err := Preprocess(hr)
 	if err != nil {
 		return nil, fmt.Errorf("sphere: RVD preprocessing failed: %w", err)
 	}
+	f := pre.F
 	ybar := f.QHMulVec(yr)
 	offset := cmatrix.Norm2Sq(yr) - cmatrix.Norm2Sq(ybar)
 	if offset < 0 {

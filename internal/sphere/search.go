@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cmatrix"
@@ -13,6 +14,11 @@ import (
 // search holds the state of one tree exploration: the reduced system
 // (R, ȳ), the Meta State Table, the current sphere radius, the incumbent
 // leaf, and the operation trace.
+//
+// Searches are pooled: the decode hot path acquires one, runs, extracts the
+// result, and releases it, so steady-state decoding performs no heap
+// allocation. All scratch slices and the MST arena keep their capacity
+// across the pool round-trip.
 type search struct {
 	cfg  *Config
 	m    int // transmit antennas == tree height
@@ -38,26 +44,121 @@ type search struct {
 	pathBuf []int
 	childPD []float64
 	order   []int
+	stack   []int32
+
+	// pathIDs[d] is the MST id of the node at depth d on the DFS path
+	// currently mirrored in pathBuf; incPath enables the incremental
+	// maintenance, which is only valid for strict-LIFO traversals (see
+	// updatePath).
+	pathIDs []int32
+	incPath bool
+
+	// ybarBuf backs ybar when the caller routes through computeYbar.
+	ybarBuf cmatrix.Vector
+
+	// GEMM scratch reused across node expansions (the allocation profile
+	// that motivated the paper's extracted GEMM engine: operands live in
+	// dedicated buffers, not freshly carved memory).
+	gemmState cmatrix.Matrix
+	gemmA     cmatrix.Matrix
+	gemmW     cmatrix.Matrix
+	levelPD   []float64
 }
 
-func newSearch(cfg *Config, r *cmatrix.Matrix, ybar cmatrix.Vector, radiusSq float64) *search {
+var searchPool = sync.Pool{New: func() any { return new(search) }}
+
+// acquireSearch checks a search out of the pool, sized for the reduced
+// system rooted at R. Install ȳ via computeYbar (or assign s.ybar), call
+// beginAttempt before running, and release when done.
+func acquireSearch(cfg *Config, r *cmatrix.Matrix) *search {
+	s := searchPool.Get().(*search)
 	m := r.Cols
 	p := cfg.Const.Size()
-	return &search{
-		cfg:      cfg,
-		m:        m,
-		p:        p,
-		r:        r,
-		ybar:     ybar,
-		pts:      cfg.Const.Points(),
-		mst:      NewMST(m),
-		radiusSq: radiusSq,
-		bestPD:   math.Inf(1),
-		bestLeaf: -1,
-		pathBuf:  make([]int, m),
-		childPD:  make([]float64, p),
-		order:    make([]int, p),
+	s.cfg, s.m, s.p, s.r, s.ybar = cfg, m, p, r, nil
+	s.pts = cfg.Const.Points()
+	if s.mst == nil {
+		s.mst = NewMST(m)
 	}
+	s.pathBuf = growInts(s.pathBuf, m)
+	s.pathIDs = growInt32s(s.pathIDs, m)
+	s.childPD = growFloats(s.childPD, p)
+	s.order = growInts(s.order, p)
+	s.incPath = false
+	return s
+}
+
+// computeYbar rotates y into the reduced domain (ȳ = Qᴴy) using the pooled
+// buffer and installs it as the search's ȳ.
+func (s *search) computeYbar(f *cmatrix.QRFactorization, y cmatrix.Vector) cmatrix.Vector {
+	n := f.Q.Cols
+	if cap(s.ybarBuf) < n {
+		s.ybarBuf = make(cmatrix.Vector, n)
+	}
+	s.ybarBuf = s.ybarBuf[:n]
+	f.QHMulVecInto(s.ybarBuf, y)
+	s.ybar = s.ybarBuf
+	return s.ybar
+}
+
+// beginAttempt resets the per-attempt state (MST, counters, incumbent) for
+// a fresh traversal at the given radius. Retries call it again with a
+// doubled radius.
+func (s *search) beginAttempt(radiusSq float64, deadline time.Time) {
+	s.mst.Reset(s.m)
+	s.radiusSq = radiusSq
+	s.bestPD = math.Inf(1)
+	s.bestLeaf = -1
+	s.deadline = deadline
+	s.stopReason = ""
+	s.counters = decoder.Counters{}
+	for i := range s.pathIDs {
+		s.pathIDs[i] = -1
+	}
+}
+
+// release drops the reference fields and returns the search (and its
+// scratch capacity) to the pool. A caller that handed the MST out (the
+// traced API) sets s.mst = nil first; the next acquire re-allocates one.
+func (s *search) release() {
+	s.cfg = nil
+	s.r = nil
+	s.ybar = nil
+	s.pts = nil
+	searchPool.Put(s)
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// reshape resizes a scratch matrix header in place, reusing its backing
+// slice when the capacity suffices. Contents are unspecified afterwards;
+// callers overwrite every element (or multiply with beta == 0).
+func reshape(mat *cmatrix.Matrix, rows, cols int) *cmatrix.Matrix {
+	n := rows * cols
+	if cap(mat.Data) < n {
+		mat.Data = make([]complex128, n)
+	}
+	mat.Data = mat.Data[:n]
+	mat.Rows, mat.Cols = rows, cols
+	return mat
 }
 
 // run dispatches to the configured traversal.
@@ -73,6 +174,38 @@ func (s *search) run() error {
 		return s.runFSD()
 	}
 	panic("sphere: unreachable strategy")
+}
+
+// updatePath brings pathBuf (the symbols decided along the path to node id,
+// indexed by antenna) up to date and charges the MST gather.
+//
+// The trace charge is the full path depth regardless of how the software
+// maintains it: the hardware's pre-fetch unit must still stream d records
+// out of the MST for a depth-d node, so IrregularLoads is identical to the
+// old walk-every-time accounting.
+//
+// With incPath set the walk copies only the stale suffix: it stops at the
+// first depth whose recorded id already matches the ancestor chain. That
+// early stop is provably correct only for strict-LIFO traversals (DFS and
+// list-DFS), where the popped node's parent is always the most recently
+// expanded node on the current path; best-first and level orders can leave
+// a stale deeper entry that coincidentally matches, so they keep the full
+// walk.
+func (s *search) updatePath(id int32, d int) {
+	s.counters.IrregularLoads += int64(d)
+	if !s.incPath {
+		s.mst.PathSymbols(id, s.m, s.pathBuf)
+		return
+	}
+	for n := id; ; {
+		dep := s.mst.Depth(n)
+		if dep == 0 || s.pathIDs[dep] == n {
+			break
+		}
+		s.pathIDs[dep] = n
+		s.pathBuf[s.m-dep] = s.mst.Symbol(n)
+		n = s.mst.Parent(n)
+	}
 }
 
 // evalChildren computes the PDs of all |Ω| children of the node id, filling
@@ -93,8 +226,7 @@ func (s *search) evalChildren(id int32) {
 	parentPD := s.mst.PD(id)
 	row := s.r.Row(k)
 
-	visited := s.mst.PathSymbols(id, s.m, s.pathBuf)
-	s.counters.IrregularLoads += int64(visited)
+	s.updatePath(id, d)
 
 	if s.cfg.UseGEMM {
 		s.evalChildrenGEMM(k, parentPD, row)
@@ -127,8 +259,9 @@ func (s *search) evalChildrenScalar(k int, parentPD float64, row []complex128) {
 
 func (s *search) evalChildrenGEMM(k int, parentPD float64, row []complex128) {
 	depth := s.m - k // block height: the new symbol plus the decided path
-	// Tree-state block: column c is [ω_c, s_{k+1}, …, s_{m−1}]ᵀ.
-	state := cmatrix.NewMatrix(depth, s.p)
+	// Tree-state block: column c is [ω_c, s_{k+1}, …, s_{m−1}]ᵀ. Every
+	// element is overwritten, so the pooled scratch needs no clearing.
+	state := reshape(&s.gemmState, depth, s.p)
 	for c := 0; c < s.p; c++ {
 		state.Set(0, c, s.pts[c])
 	}
@@ -140,9 +273,9 @@ func (s *search) evalChildrenGEMM(k int, parentPD float64, row []complex128) {
 		}
 	}
 	// A is the 1×depth row block R[k, k:m].
-	a := cmatrix.NewMatrix(1, depth)
+	a := reshape(&s.gemmA, 1, depth)
 	copy(a.Row(0), row[k:s.m])
-	w := cmatrix.NewMatrix(1, s.p)
+	w := reshape(&s.gemmW, 1, s.p)
 	cmatrix.GEMM(1, a, state, 0, w)
 	s.counters.GEMMCalls++
 	s.counters.GEMMFlops += cmatrix.FlopsGEMM(1, s.p, depth)
@@ -157,13 +290,21 @@ func (s *search) evalChildrenGEMM(k int, parentPD float64, row []complex128) {
 }
 
 // sortChildren orders s.order by ascending child PD, counting comparator
-// work. This is the paper's phase-3 sort (Fig. 3).
+// work. This is the paper's phase-3 sort (Fig. 3). An insertion sort over
+// the small fixed alphabet (|Ω| = 4–64) beats sort.Slice here: no closure
+// allocation, no comparator indirection, and CompareOps counts the exact
+// number of comparisons the hardware sorter would burn.
 func (s *search) sortChildren() {
 	s.counters.SortedBatches++
-	sort.Slice(s.order, func(i, j int) bool {
-		s.counters.CompareOps++
-		return s.childPD[s.order[i]] < s.childPD[s.order[j]]
-	})
+	for i := 1; i < s.p; i++ {
+		for j := i; j > 0; j-- {
+			s.counters.CompareOps++
+			if s.childPD[s.order[j]] >= s.childPD[s.order[j-1]] {
+				break
+			}
+			s.order[j], s.order[j-1] = s.order[j-1], s.order[j]
+		}
+	}
 }
 
 // commitLeaf processes a full-depth child: every evaluated leaf counts, and
@@ -213,7 +354,10 @@ func (s *search) noteListLen(n int) {
 // the children of each expansion are pushed so the lowest-PD child pops
 // first — the paper's traversal (Fig. 3's sorted insertion + LIFO pop).
 func (s *search) runDFS(sorted bool) error {
-	stack := make([]int32, 0, s.m*s.p)
+	s.incPath = true
+	defer func() { s.incPath = false }()
+	stack := s.stack[:0]
+	defer func() { s.stack = stack[:0] }()
 	stack = append(stack, s.mst.Root())
 	for len(stack) > 0 {
 		s.noteListLen(len(stack))
@@ -408,12 +552,13 @@ func (s *search) runBFS() error {
 // column f·P+c holds [ω_c, path symbols of node f]. Returns the flat PD
 // array indexed the same way, with the bookkeeping counters (expansion
 // counts excepted — the caller owns those) updated to match evalChildren's
-// accounting.
+// accounting. The returned slice aliases pooled scratch valid until the
+// next level's call.
 func (s *search) evalFrontierGEMM(frontier []int32, depth int) ([]float64, error) {
 	k := s.m - 1 - depth
 	blockH := s.m - k
 	batch := len(frontier) * s.p
-	state := cmatrix.NewMatrix(blockH, batch)
+	state := reshape(&s.gemmState, blockH, batch)
 	for fi, id := range frontier {
 		if s.cfg.OnExpand != nil {
 			s.cfg.OnExpand(depth)
@@ -432,9 +577,9 @@ func (s *search) evalFrontierGEMM(frontier []int32, depth int) ([]float64, error
 			}
 		}
 	}
-	a := cmatrix.NewMatrix(1, blockH)
+	a := reshape(&s.gemmA, 1, blockH)
 	copy(a.Row(0), s.r.Row(k)[k:s.m])
-	w := cmatrix.NewMatrix(1, batch)
+	w := reshape(&s.gemmW, 1, batch)
 	cmatrix.GEMM(1, a, state, 0, w)
 	s.counters.GEMMCalls++
 	s.counters.GEMMFlops += cmatrix.FlopsGEMM(1, batch, blockH)
@@ -444,7 +589,8 @@ func (s *search) evalFrontierGEMM(frontier []int32, depth int) ([]float64, error
 	s.counters.OtherFlops += int64(batch) * 6 // NORM module
 
 	yk := s.ybar[k]
-	pds := make([]float64, batch)
+	pds := growFloats(s.levelPD, batch)
+	s.levelPD = pds
 	for fi, id := range frontier {
 		parentPD := s.mst.PD(id)
 		base := fi * s.p

@@ -91,25 +91,38 @@ func (d *SoftDecoder) DecodeSoft(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar f
 	if err := decoder.CheckDims(h, y); err != nil {
 		return nil, err
 	}
-	if noiseVar <= 0 || math.IsNaN(noiseVar) {
-		return nil, fmt.Errorf("sphere: soft output needs a positive noise variance, got %v", noiseVar)
-	}
-	f, err := cmatrix.QR(h)
+	pre, err := Preprocess(h)
 	if err != nil {
 		return nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
 	}
-	ybar := f.QHMulVec(y)
+	return d.DecodeSoftPre(pre, y, noiseVar)
+}
+
+// DecodeSoftPre is DecodeSoft against a precomputed channel factorization,
+// so a batch under one coherence block factors H once for all its frames.
+func (d *SoftDecoder) DecodeSoftPre(pre *Preprocessed, y cmatrix.Vector, noiseVar float64) (*SoftResult, error) {
+	if err := pre.CheckY(y); err != nil {
+		return nil, err
+	}
+	if noiseVar <= 0 || math.IsNaN(noiseVar) {
+		return nil, fmt.Errorf("sphere: soft output needs a positive noise variance, got %v", noiseVar)
+	}
+	f := pre.F
+	start := time.Now()
+	st := acquireSearch(&d.cfg, f.R)
+	defer st.release()
+	ybar := st.computeYbar(f, y)
 	offset := cmatrix.Norm2Sq(y) - cmatrix.Norm2Sq(ybar)
 	if offset < 0 {
 		offset = 0
 	}
-	m := h.Cols
+	m := pre.M
 
-	start := time.Now()
-	st := newSearch(&d.cfg, f.R, ybar, math.Inf(1))
+	var deadline time.Time
 	if d.cfg.Deadline > 0 {
-		st.deadline = start.Add(d.cfg.Deadline)
+		deadline = start.Add(d.cfg.Deadline)
 	}
+	st.beginAttempt(math.Inf(1), deadline)
 	cands := &candidateHeap{mst: st.mst}
 	truncated := false
 	if err := st.runListDFS(cands, d.ListSize); err != nil {
@@ -246,7 +259,12 @@ func (d *SoftDecoder) DecodeSoft(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar f
 // candidate once the list is full.
 func (s *search) runListDFS(cands *candidateHeap, listSize int) error {
 	sorted := s.cfg.Strategy == SortedDFS
-	stack := make([]int32, 0, s.m*s.p)
+	// Strict LIFO traversal: the incremental DFS-path maintenance applies
+	// (see updatePath).
+	s.incPath = true
+	defer func() { s.incPath = false }()
+	stack := s.stack[:0]
+	defer func() { s.stack = stack[:0] }()
 	stack = append(stack, s.mst.Root())
 	for len(stack) > 0 {
 		s.noteListLen(len(stack))

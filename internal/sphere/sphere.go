@@ -239,81 +239,128 @@ func (d *SD) DecodeTraced(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64)
 	if err := decoder.CheckDims(h, y); err != nil {
 		return nil, nil, err
 	}
+	pre, err := Preprocess(h)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
+	}
+	res := new(decoder.Result)
+	info, err := d.decodePre(pre, y, noiseVar, pre.Flops, true, res)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, info, nil
+}
+
+// DecodePre decodes one received vector against a precomputed channel
+// factorization (the cached-preprocessing hot path). qrFlops is the
+// factorization cost to charge into this decode's trace: pass pre.Flops
+// when the call should pay for the QR (a standalone decode) and 0 when a
+// batch already charged it to an earlier frame sharing the channel.
+func (d *SD) DecodePre(pre *Preprocessed, y cmatrix.Vector, noiseVar float64, qrFlops int64) (*decoder.Result, error) {
+	res := new(decoder.Result)
+	if err := d.DecodePreInto(pre, y, noiseVar, qrFlops, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecodePreInto is DecodePre writing into caller-owned storage: res and the
+// backing arrays of res.SymbolIdx / res.Symbols are reused when their
+// capacity suffices, so a warmed-up decode loop performs zero heap
+// allocations per call.
+func (d *SD) DecodePreInto(pre *Preprocessed, y cmatrix.Vector, noiseVar float64, qrFlops int64, res *decoder.Result) error {
+	_, err := d.decodePre(pre, y, noiseVar, qrFlops, false, res)
+	return err
+}
+
+// decodePre runs the search against pre's reduced system. When wantInfo is
+// set the Meta State Table is detached from the pooled search and handed to
+// the caller inside a SearchInfo; otherwise everything returns to the pool.
+func (d *SD) decodePre(pre *Preprocessed, y cmatrix.Vector, noiseVar float64, qrFlops int64, wantInfo bool, res *decoder.Result) (*SearchInfo, error) {
+	if err := pre.CheckY(y); err != nil {
+		return nil, err
+	}
 	if noiseVar < 0 || math.IsNaN(noiseVar) {
-		return nil, nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
+		return nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
 	}
 	start := time.Now()
 	var deadline time.Time
 	if d.cfg.Deadline > 0 {
 		deadline = start.Add(d.cfg.Deadline)
 	}
-	f, err := cmatrix.QR(h)
-	if err != nil {
-		return nil, nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
-	}
-	ybar := f.QHMulVec(y)
+	st := acquireSearch(&d.cfg, pre.F.R)
+	ybar := st.computeYbar(pre.F, y)
 	// ‖y − Hs‖² = ‖ȳ − Rs‖² + offset; offset = ‖y‖² − ‖ȳ‖² ≥ 0.
 	offset := cmatrix.Norm2Sq(y) - cmatrix.Norm2Sq(ybar)
 	if offset < 0 { // numerical guard
 		offset = 0
 	}
 
-	n, m := int64(h.Rows), int64(h.Cols)
-	preFlops := 32*n*m*m + 8*n*m + 4*(n+m)
+	n, m := int64(pre.N), int64(pre.M)
+	preFlops := qrFlops + 8*n*m + 4*(n+m)
 
-	radius := d.initialRadius(h.Rows, noiseVar)
+	radius := d.initialRadius(pre.N, noiseVar)
 	if d.cfg.BabaiRadius && d.cfg.InitialRadiusSq == 0 {
-		radius = babaiRadiusSq(f.R, ybar, d.cfg.Const)
+		radius = babaiRadiusSq(pre.F.R, ybar, d.cfg.Const)
 		preFlops += 8 * m * m // back-substitution + slicing pass
 	}
-	info := &SearchInfo{PreprocessFlops: preFlops}
+	var info *SearchInfo
+	if wantInfo {
+		info = &SearchInfo{PreprocessFlops: preFlops}
+	}
 
-	var st *search
+	retries := 0
 	truncated := false
-	for attempt := 0; ; attempt++ {
-		st = newSearch(&d.cfg, f.R, ybar, radius)
-		st.deadline = deadline
-		st.counters.OtherFlops += preFlops
-		st.counters.RegularLoads += n * m
-
+	st.beginAttempt(radius, deadline)
+	st.counters.OtherFlops += preFlops
+	st.counters.RegularLoads += n * m
+	for {
 		if err := st.run(); err != nil {
 			if (errors.Is(err, ErrBudget) || errors.Is(err, ErrDeadline)) && !d.cfg.HardBudget {
 				// Anytime contract: stop searching and degrade below.
 				truncated = true
 				break
 			}
-			return nil, nil, err
+			st.release()
+			return nil, err
 		}
 		if st.bestLeaf >= 0 {
 			break
 		}
 		if d.cfg.DisableRetry {
-			return nil, nil, fmt.Errorf("%w (r²=%v)", ErrNoLeaf, radius)
+			st.release()
+			return nil, fmt.Errorf("%w (r²=%v)", ErrNoLeaf, radius)
 		}
 		if math.IsInf(radius, 1) {
 			// An infinite sphere with no leaf means the tree itself was
 			// never completed — only possible via the node budget, which
 			// run() reports; reaching here indicates a logic error.
-			return nil, nil, fmt.Errorf("%w despite infinite radius", ErrNoLeaf)
+			st.release()
+			return nil, fmt.Errorf("%w despite infinite radius", ErrNoLeaf)
 		}
 		radius *= 2
-		info.Retries++
-		if info.Retries > 60 {
-			return nil, nil, fmt.Errorf("%w after %d radius doublings", ErrNoLeaf, info.Retries)
+		retries++
+		if retries > 60 {
+			st.release()
+			return nil, fmt.Errorf("%w after %d radius doublings", ErrNoLeaf, retries)
 		}
 		// Carry the wasted work forward so the platform models pay for it.
-		preFlops += st.counters.TotalFlops() - preFlops
+		carried := st.counters.TotalFlops()
+		st.beginAttempt(radius, deadline)
+		st.counters.OtherFlops += carried
+		st.counters.RegularLoads += n * m
 	}
 
-	info.MST = st.mst
-	info.FinalRadiusSq = st.radiusSq
-
-	mInt := h.Cols
-	res := &decoder.Result{Counters: st.counters}
+	mInt := pre.M
+	// res may be a reused value: every field is (re)assigned here.
+	res.Counters = st.counters
+	res.Quality = decoder.QualityExact
+	res.DegradedBy = ""
+	res.Elapsed = 0
 	if d.cfg.Deadline > 0 {
 		res.Elapsed = time.Since(start)
 	}
-	idx := make([]int, mInt)
+	idx := growInts(res.SymbolIdx, mInt)
 	pd := st.bestPD
 	if truncated {
 		res.Quality = decoder.QualityBestEffort
@@ -321,7 +368,7 @@ func (d *SD) DecodeTraced(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64)
 		// The emergency decision: the better of the Babai point and the
 		// sliced ZF solution — always available, metric ≤ plain ZF. Use it
 		// whenever the truncated search has nothing better.
-		fbIdx, fbPD, fbFlops := fallbackPoint(f.R, ybar, d.cfg.Const)
+		fbIdx, fbPD, fbFlops := fallbackPoint(pre.F.R, ybar, d.cfg.Const)
 		res.Counters.OtherFlops += fbFlops
 		if st.bestLeaf >= 0 && st.bestPD <= fbPD {
 			st.mst.PathSymbols(st.bestLeaf, mInt, idx)
@@ -333,14 +380,26 @@ func (d *SD) DecodeTraced(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64)
 	} else {
 		st.mst.PathSymbols(st.bestLeaf, mInt, idx)
 	}
-	syms := make(cmatrix.Vector, mInt)
+	syms := res.Symbols
+	if cap(syms) < mInt {
+		syms = make(cmatrix.Vector, mInt)
+	}
+	syms = syms[:mInt]
 	for i, id := range idx {
 		syms[i] = d.cfg.Const.Symbol(id)
 	}
 	res.SymbolIdx = idx
 	res.Symbols = syms
 	res.Metric = pd + offset
-	return res, info, nil
+
+	if wantInfo {
+		info.MST = st.mst
+		info.FinalRadiusSq = st.radiusSq
+		info.Retries = retries
+		st.mst = nil // detached: the caller owns the table now
+	}
+	st.release()
+	return info, nil
 }
 
 // DecodeFallback skips the tree search entirely and returns the linear
@@ -355,23 +414,36 @@ func (d *SD) DecodeFallback(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float6
 	if noiseVar < 0 || math.IsNaN(noiseVar) {
 		return nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
 	}
-	f, err := cmatrix.QR(h)
+	pre, err := Preprocess(h)
 	if err != nil {
 		return nil, fmt.Errorf("sphere: preprocessing failed: %w", err)
 	}
-	ybar := f.QHMulVec(y)
+	return d.DecodeFallbackPre(pre, y, noiseVar, pre.Flops)
+}
+
+// DecodeFallbackPre is DecodeFallback against a precomputed factorization.
+// qrFlops follows the DecodePre convention: pre.Flops for a standalone
+// call, 0 when the batch already paid for the factorization.
+func (d *SD) DecodeFallbackPre(pre *Preprocessed, y cmatrix.Vector, noiseVar float64, qrFlops int64) (*decoder.Result, error) {
+	if err := pre.CheckY(y); err != nil {
+		return nil, err
+	}
+	if noiseVar < 0 || math.IsNaN(noiseVar) {
+		return nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
+	}
+	ybar := pre.F.QHMulVec(y)
 	offset := cmatrix.Norm2Sq(y) - cmatrix.Norm2Sq(ybar)
 	if offset < 0 {
 		offset = 0
 	}
-	n, m := int64(h.Rows), int64(h.Cols)
-	idx, pd, fbFlops := fallbackPoint(f.R, ybar, d.cfg.Const)
-	syms := make(cmatrix.Vector, h.Cols)
+	n, m := int64(pre.N), int64(pre.M)
+	idx, pd, fbFlops := fallbackPoint(pre.F.R, ybar, d.cfg.Const)
+	syms := make(cmatrix.Vector, pre.M)
 	for i, id := range idx {
 		syms[i] = d.cfg.Const.Symbol(id)
 	}
 	var counters decoder.Counters
-	counters.OtherFlops = 32*n*m*m + 8*n*m + fbFlops
+	counters.OtherFlops = qrFlops + 8*n*m + fbFlops
 	counters.RegularLoads = n * m
 	return &decoder.Result{
 		SymbolIdx:  idx,

@@ -21,7 +21,15 @@ go build -o "$tmp/sdload" ./cmd/sdload
 "$tmp/sdserver" -addr "$addr" -max-batch 16 -max-wait 1ms -workers 2 &
 pid=$!
 
-"$tmp/sdload" -addr "http://$addr" -duration 2s -conc 8 -min-ok 1 -patience 10s
+"$tmp/sdload" -addr "http://$addr" -duration 2s -conc 8 -min-ok 1 -patience 10s \
+    | tee "$tmp/sdload.out"
+
+# The runtime-health line (GC pause + allocs/frame from /metrics) must be
+# present — it is the live regression signal for the zero-alloc hot path.
+grep -q 'server .*gc pause' "$tmp/sdload.out" || {
+    echo "serve-smoke: sdload output missing server runtime metrics" >&2
+    exit 1
+}
 
 # Graceful drain: SIGINT must stop the server cleanly.
 kill -INT "$pid"
