@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race race-serve serve-smoke fuzz bench bench-check
+.PHONY: check vet build test race race-serve serve-smoke trace-smoke fuzz bench bench-check
 
 # check is the gate: static analysis, build, a single-iteration pass over
 # every benchmark (so the bench harness itself cannot rot), the serving
 # scheduler under the race detector (its tests are the most
-# concurrency-sensitive, so they run first and fail fast), then the full
-# suite under the race detector.
-check: vet build bench-check race-serve race
+# concurrency-sensitive, so they run first and fail fast), the full suite
+# under the race detector, then the observability path end to end.
+check: vet build bench-check race-serve race trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,12 @@ race-serve:
 # non-zero decoded count (end-to-end liveness of the serving stack).
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# trace-smoke boots sdserver, captures a self-stimulated trace via sdtrace,
+# and asserts every streamed line passes schema validation (recorder → hub →
+# /v1/trace → capture, end to end).
+trace-smoke:
+	bash scripts/trace_smoke.sh
 
 # bench regenerates BENCH_decode.json: the software hot-path figures
 # (ns/decode, allocs/op, nodes/s, and the QR-reuse batch speedup).

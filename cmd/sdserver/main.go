@@ -5,10 +5,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/decode  one frame in, one detection out (JSON, complex as [re,im])
+//	POST /v1/decode  one frame (h/y/noise_var) or a batch (frames: [...]) in,
+//	                 detections out (JSON, complex as [re,im])
 //	GET  /v1/config  the server's MIMO and scheduler configuration
-//	GET  /metrics    scheduler counters, histograms, quality mix (JSON)
+//	GET  /v1/trace   JSON-lines search traces (?frames=N); subscribing arms tracing
+//	GET  /metrics    scheduler counters, histograms, quality mix (JSON by
+//	                 default, Prometheus text with ?format=prometheus)
 //	GET  /healthz    200 while accepting, 503 while draining
+//	/debug/pprof/*   Go profiling endpoints (only with -pprof)
 //
 // Usage:
 //
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +57,7 @@ type options struct {
 	deadline   time.Duration
 	nodeBudget int64
 	scalarEval bool
+	pprof      bool
 }
 
 // buildServer turns options into a running scheduler plus its HTTP handler.
@@ -88,7 +94,18 @@ func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return s, serve.NewHandler(s, o.tx, o.rx, mod.String()), nil
+	handler := serve.NewHandler(s, o.tx, o.rx, mod.String())
+	if o.pprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	return s, handler, nil
 }
 
 func main() {
@@ -108,6 +125,7 @@ func main() {
 	flag.DurationVar(&o.deadline, "batch-deadline", 0, "modeled-time budget per dispatched batch (0 = none)")
 	flag.Int64Var(&o.nodeBudget, "node-budget", 0, "tree-expansion budget per dispatched batch (0 = none)")
 	flag.BoolVar(&o.scalarEval, "scalar-eval", true, "use the scalar evaluation path (identical decodes, faster in simulation)")
+	flag.BoolVar(&o.pprof, "pprof", false, "expose Go profiling under /debug/pprof/")
 	flag.Parse()
 
 	sched, handler, err := buildServer(o)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/fpga"
 	"repro/internal/sphere"
+	"repro/internal/trace"
 )
 
 // ErrInvalidInput flags a malformed batch element: non-finite channel or
@@ -287,16 +288,33 @@ func (r *BatchReport) tallyQuality() {
 }
 
 // DecodeBatch decodes a batch of received vectors and produces the hardware
-// report. Inputs must match the accelerator's configuration.
-func (a *Accelerator) DecodeBatch(inputs []BatchInput) (*BatchReport, error) {
-	return a.DecodeBatchBudget(inputs, BatchBudget{})
+// report. Inputs must match the accelerator's configuration. Options select
+// the batch mode: WithBudget bounds the whole batch, WithFallback skips the
+// tree search entirely, WithTrace records per-frame search traces and phase
+// spans. With no options this is the plain exhaustive batch decode.
+func (a *Accelerator) DecodeBatch(inputs []BatchInput, opts ...BatchOption) (*BatchReport, error) {
+	var o batchConfig
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.fallback {
+		return a.decodeBatchFallback(inputs, o.bt)
+	}
+	return a.decodeBatchBudget(inputs, &o)
 }
 
-// DecodeBatchBudget is DecodeBatch under a batch-level budget. Overrunning
-// batches are cut at the budget, never late: the report always covers every
-// input, with cut or shed frames flagged via Result.Quality and counted in
-// QualityCounts.
+// DecodeBatchBudget is DecodeBatch under a batch-level budget.
+//
+// Deprecated: use DecodeBatch(inputs, WithBudget(budget)).
 func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget) (*BatchReport, error) {
+	return a.DecodeBatch(inputs, WithBudget(budget))
+}
+
+// decodeBatchBudget is the searching batch path. Overrunning batches are cut
+// at the budget, never late: the report always covers every input, with cut
+// or shed frames flagged via Result.Quality and counted in QualityCounts.
+func (a *Accelerator) decodeBatchBudget(inputs []BatchInput, o *batchConfig) (*BatchReport, error) {
+	budget := o.budget
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrInvalidInput)
 	}
@@ -315,17 +333,28 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 	// carries the QR flop cost on the first frame that uses each handle, so
 	// aggregate counters are deterministic regardless of cross-batch cache
 	// warmth or decode order.
+	preStart := time.Now()
 	pres, charge, err := a.preprocessBatch(inputs)
 	if err != nil {
 		return nil, err
 	}
-	if a.workers > 1 && len(inputs) > 1 && budget.Deadline == 0 {
+	if o.bt != nil {
+		o.bt.AddPhase("preprocess", preStart, time.Now())
+		o.bt.Frames = make([]*trace.SearchTrace, len(inputs))
+	}
+	if a.workers > 1 && len(inputs) > 1 && budget.Deadline == 0 && o.bt == nil {
 		return a.decodeBatchParallel(inputs, pres, charge, budget)
 	}
 	w := decoder.Workload{M: a.design.M, N: a.design.N, P: a.cons.Size()}
 	rep := &BatchReport{Results: make([]*decoder.Result, 0, len(inputs))}
+	searchStart := time.Now()
 	shedBy := "" // non-empty once the batch budget is spent
 	for i, in := range inputs {
+		var ft *trace.SearchTrace
+		if o.bt != nil {
+			ft = trace.NewSearchTrace()
+			o.bt.Frames[i] = ft
+		}
 		var res *decoder.Result
 		var err error
 		switch {
@@ -333,6 +362,11 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 			res, err = a.sd.DecodeFallbackPre(pres[i], in.Y, in.NoiseVar, charge[i])
 			if res != nil {
 				res.DegradedBy = shedBy
+			}
+			if ft != nil {
+				ft.SearchStart(a.design.M, a.cons.Size(), 0)
+				ft.Degraded(shedBy)
+				ft.SearchEnd(0, 0)
 			}
 		case budget.NodeBudget > 0:
 			// Search with whatever the earlier frames left over.
@@ -343,11 +377,29 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 				if res != nil {
 					res.DegradedBy = shedBy
 				}
+				if ft != nil {
+					ft.SearchStart(a.design.M, a.cons.Size(), 0)
+					ft.Degraded(shedBy)
+					ft.SearchEnd(0, 0)
+				}
 				break
 			}
 			cfg := a.sd.Config()
 			cfg.MaxNodes = remaining
 			cfg.HardBudget = false
+			if ft != nil {
+				cfg.Recorder = ft
+			}
+			var sd *sphere.SD
+			if sd, err = sphere.New(cfg); err == nil {
+				res, err = sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
+			}
+		case ft != nil:
+			// A recorder is per-frame state, so the traced path builds a
+			// dedicated decoder instead of touching the shared one (which
+			// other goroutines may be using concurrently).
+			cfg := a.sd.Config()
+			cfg.Recorder = ft
 			var sd *sphere.SD
 			if sd, err = sphere.New(cfg); err == nil {
 				res, err = sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
@@ -372,6 +424,9 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 				shedBy = decoder.DegradedByBatchDeadline
 			}
 		}
+	}
+	if o.bt != nil {
+		o.bt.AddPhase("search", searchStart, time.Now())
 	}
 	return a.finishReport(rep, len(inputs))
 }
@@ -520,12 +575,24 @@ func (a *Accelerator) DecodeFallback(in BatchInput) (*decoder.Result, error) {
 }
 
 // DecodeBatchFallback decodes a whole batch with the linear fallback
+// detector.
+//
+// Deprecated: use DecodeBatch(inputs, WithFallback()).
+func (a *Accelerator) DecodeBatchFallback(inputs []BatchInput) (*BatchReport, error) {
+	return a.DecodeBatch(inputs, WithFallback())
+}
+
+// decodeBatchFallback decodes a whole batch with the linear fallback
 // detector and prices it through the pipeline model — the cost a deployment
 // pays for a batch it chose to shed entirely.
-func (a *Accelerator) DecodeBatchFallback(inputs []BatchInput) (*BatchReport, error) {
+func (a *Accelerator) decodeBatchFallback(inputs []BatchInput, bt *trace.BatchTrace) (*BatchReport, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrInvalidInput)
 	}
+	if bt != nil {
+		bt.Frames = make([]*trace.SearchTrace, len(inputs))
+	}
+	searchStart := time.Now()
 	rep := &BatchReport{Results: make([]*decoder.Result, 0, len(inputs))}
 	for i, in := range inputs {
 		if err := a.validateInput(i, in); err != nil {
@@ -538,18 +605,18 @@ func (a *Accelerator) DecodeBatchFallback(inputs []BatchInput) (*BatchReport, er
 		res.DegradedBy = decoder.DegradedByOverload
 		rep.Results = append(rep.Results, res)
 		rep.Counters.Add(res.Counters)
+		if bt != nil {
+			ft := trace.NewSearchTrace()
+			ft.SearchStart(a.design.M, a.cons.Size(), 0)
+			ft.Degraded(decoder.DegradedByOverload)
+			ft.SearchEnd(0, 0)
+			bt.Frames[i] = ft
+		}
 	}
-	w := decoder.Workload{M: a.design.M, N: a.design.N, P: a.cons.Size(), Frames: len(inputs)}
-	dur, breakdown, err := a.design.BatchTime(w, rep.Counters)
-	if err != nil {
-		return nil, err
+	if bt != nil {
+		bt.AddPhase("search", searchStart, time.Now())
 	}
-	rep.SimulatedTime = dur
-	rep.Breakdown = breakdown
-	rep.PowerW = a.design.Power()
-	rep.EnergyJ = a.design.Energy(dur.Seconds())
-	rep.tallyQuality()
-	return rep, nil
+	return a.finishReport(rep, len(inputs))
 }
 
 // MeetsRealTime reports whether the simulated batch time satisfies the

@@ -1,0 +1,38 @@
+package core
+
+import "repro/internal/trace"
+
+// batchConfig is the resolved option set of one DecodeBatch call.
+type batchConfig struct {
+	budget   BatchBudget
+	fallback bool
+	bt       *trace.BatchTrace
+}
+
+// BatchOption configures one DecodeBatch call. The zero option set is the
+// plain exhaustive batch decode; options compose (a traced, budgeted batch
+// is DecodeBatch(in, WithBudget(b), WithTrace(bt))).
+type BatchOption func(*batchConfig)
+
+// WithBudget bounds the whole batch (modeled-time deadline and/or shared
+// node budget). Overrunning batches are cut, never late: every frame still
+// gets a decision, flagged via Result.Quality.
+func WithBudget(b BatchBudget) BatchOption {
+	return func(c *batchConfig) { c.budget = b }
+}
+
+// WithFallback decodes the batch entirely with the linear fallback detector
+// (no tree search) — the path a scheduler sheds whole batches to under
+// overload. It overrides WithBudget (there is no search to budget).
+func WithFallback() BatchOption {
+	return func(c *batchConfig) { c.fallback = true }
+}
+
+// WithTrace records the batch into bt: per-frame SearchTraces (in input
+// order) plus preprocess/search phase spans under bt's batch span. Tracing
+// forces the serial decode path — recorders are per-frame, and serializing
+// is what makes the per-level tallies attributable — so it is a diagnostic
+// mode, not a throughput mode. A nil bt is ignored.
+func WithTrace(bt *trace.BatchTrace) BatchOption {
+	return func(c *batchConfig) { c.bt = bt }
+}

@@ -5,26 +5,39 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync"
 
 	"repro/internal/cmatrix"
 	"repro/internal/core"
 )
 
+// APIVersion is the wire version echoed by every /v1 response body.
+const APIVersion = "v1"
+
 // Wire format: complex numbers travel as [re, im] pairs so clients need no
 // custom marshalling.
 
-// DecodeRequest is the JSON body of POST /v1/decode.
+// DecodeRequest is the JSON body of POST /v1/decode. Two forms are accepted:
+// a single frame (h, y, noise_var) or a batch envelope (frames: [...]), never
+// both in one body. Unknown fields are rejected with a typed 400.
 type DecodeRequest struct {
 	// H is the Rx×Tx channel estimate, row-major, entries as [re, im].
-	H [][][2]float64 `json:"h"`
+	H [][][2]float64 `json:"h,omitempty"`
 	// Y is the received vector, entries as [re, im].
-	Y [][2]float64 `json:"y"`
+	Y [][2]float64 `json:"y,omitempty"`
 	// NoiseVar is the complex noise variance σ².
-	NoiseVar float64 `json:"noise_var"`
+	NoiseVar float64 `json:"noise_var,omitempty"`
+	// Frames is the batch form: each entry is a single-frame request. The
+	// frames are submitted concurrently so the scheduler can coalesce them
+	// into one dispatch. Entries may not themselves carry frames.
+	Frames []DecodeRequest `json:"frames,omitempty"`
 }
 
-// DecodeResponse is the JSON body answering POST /v1/decode.
+// DecodeResponse is the JSON body answering a single-frame POST /v1/decode.
 type DecodeResponse struct {
+	APIVersion    string  `json:"api_version"`
 	SymbolIndices []int   `json:"symbol_indices"`
 	Bits          []int   `json:"bits"`
 	Metric        float64 `json:"metric"`
@@ -38,10 +51,26 @@ type DecodeResponse struct {
 	Shed          bool    `json:"shed,omitempty"`
 }
 
+// BatchDecodeResult is one frame's outcome inside a BatchDecodeResponse:
+// either a DecodeResponse or an error, never both.
+type BatchDecodeResult struct {
+	*DecodeResponse
+	Error string `json:"error,omitempty"`
+}
+
+// BatchDecodeResponse answers the batch form of POST /v1/decode. The HTTP
+// status is 200 whenever the envelope itself was well-formed; per-frame
+// failures ride in Results[i].Error.
+type BatchDecodeResponse struct {
+	APIVersion string              `json:"api_version"`
+	Results    []BatchDecodeResult `json:"results"`
+}
+
 // ConfigInfo is the JSON body of GET /v1/config: what a client needs to
 // build well-formed requests (and what a load generator needs to match the
 // server's MIMO configuration).
 type ConfigInfo struct {
+	APIVersion string `json:"api_version"`
 	Backend    string `json:"backend"`
 	TxAntennas int    `json:"tx_antennas"`
 	RxAntennas int    `json:"rx_antennas"`
@@ -55,9 +84,20 @@ type ConfigInfo struct {
 	NodeBudget int64  `json:"node_budget"`
 }
 
+// Machine-readable error codes carried by errorBody.Code.
+const (
+	CodeBadRequest   = "bad_request"   // malformed body, unknown field, bad envelope
+	CodeInvalidInput = "invalid_input" // well-formed but undecodable (shape, NaN, σ²≤0)
+	CodeOverloaded   = "overloaded"    // admission queue full under Reject
+	CodeUnavailable  = "unavailable"   // scheduler draining/closed
+	CodeTimeout      = "timeout"       // client context expired
+	CodeInternal     = "internal"
+)
+
 // errorBody is the JSON error envelope.
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
 // handler serves the scheduler over HTTP.
@@ -76,6 +116,7 @@ func NewHandler(s *Scheduler, tx, rx int, mod string) http.Handler {
 	h := &handler{s: s, tx: tx, rx: rx, mod: mod, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /v1/decode", h.decode)
 	h.mux.HandleFunc("GET /v1/config", h.config)
+	h.mux.HandleFunc("GET /v1/trace", h.trace)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	return h
@@ -89,8 +130,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorBody{Error: err.Error()})
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
+}
+
+// submitStatus maps a Submit error to (HTTP status, wire code).
+func submitStatus(r *http.Request, err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests, CodeOverloaded
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable, CodeUnavailable
+	case errors.Is(err, core.ErrInvalidInput):
+		return http.StatusBadRequest, CodeInvalidInput
+	case r.Context().Err() != nil:
+		return http.StatusGatewayTimeout, CodeTimeout
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
 }
 
 // toBatchInput converts the wire request into the decoder's input form.
@@ -117,40 +174,16 @@ func (r *DecodeRequest) toBatchInput() (core.BatchInput, error) {
 	return core.BatchInput{H: hm, Y: y, NoiseVar: r.NoiseVar}, nil
 }
 
-func (h *handler) decode(w http.ResponseWriter, r *http.Request) {
-	var req DecodeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed request body: %w", err))
-		return
-	}
-	in, err := req.toBatchInput()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	resp, err := h.s.Submit(r.Context(), in)
-	if err != nil {
-		switch {
-		case errors.Is(err, ErrOverloaded):
-			writeError(w, http.StatusTooManyRequests, err)
-		case errors.Is(err, ErrClosed):
-			writeError(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, core.ErrInvalidInput):
-			writeError(w, http.StatusBadRequest, err)
-		case r.Context().Err() != nil:
-			writeError(w, http.StatusGatewayTimeout, err)
-		default:
-			writeError(w, http.StatusInternalServerError, err)
-		}
-		return
-	}
+// responseFrom shapes one scheduler Response for the wire.
+func (h *handler) responseFrom(resp *Response) *DecodeResponse {
 	cons := h.s.Backend().Constellation()
 	buf := make([]int, cons.BitsPerSymbol())
 	bits := make([]int, 0, len(resp.Result.SymbolIdx)*cons.BitsPerSymbol())
 	for _, idx := range resp.Result.SymbolIdx {
 		bits = append(bits, cons.BitsOf(idx, buf)...)
 	}
-	writeJSON(w, http.StatusOK, DecodeResponse{
+	return &DecodeResponse{
+		APIVersion:    APIVersion,
 		SymbolIndices: resp.Result.SymbolIdx,
 		Bits:          bits,
 		Metric:        resp.Result.Metric,
@@ -162,12 +195,126 @@ func (h *handler) decode(w http.ResponseWriter, r *http.Request) {
 		ServiceNS:     int64(resp.Service),
 		SimulatedNS:   int64(resp.SimulatedTime),
 		Shed:          resp.Shed,
-	})
+	}
+}
+
+func (h *handler) decode(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req DecodeRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("malformed request body: %w", err))
+		return
+	}
+	if len(req.Frames) > 0 {
+		if len(req.H) > 0 || len(req.Y) > 0 || req.NoiseVar != 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				errors.New("request mixes single-frame fields (h/y/noise_var) with the batch form (frames)"))
+			return
+		}
+		h.decodeBatch(w, r, req.Frames)
+		return
+	}
+	in, err := req.toBatchInput()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
+		return
+	}
+	resp, err := h.s.Submit(r.Context(), in)
+	if err != nil {
+		status, code := submitStatus(r, err)
+		writeError(w, status, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h.responseFrom(resp))
+}
+
+// decodeBatch serves the frames form: every frame is submitted concurrently
+// so the scheduler's batcher can coalesce them into shared dispatches.
+func (h *handler) decodeBatch(w http.ResponseWriter, r *http.Request, frames []DecodeRequest) {
+	results := make([]BatchDecodeResult, len(frames))
+	var wg sync.WaitGroup
+	for i := range frames {
+		if len(frames[i].Frames) > 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("frames[%d] nests a frames array", i))
+			return
+		}
+		in, err := frames[i].toBatchInput()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("frames[%d]: %w", i, err))
+			return
+		}
+		wg.Add(1)
+		go func(i int, in core.BatchInput) {
+			defer wg.Done()
+			resp, err := h.s.Submit(r.Context(), in)
+			if err != nil {
+				results[i] = BatchDecodeResult{Error: err.Error()}
+				return
+			}
+			results[i] = BatchDecodeResult{DecodeResponse: h.responseFrom(resp)}
+		}(i, in)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchDecodeResponse{APIVersion: APIVersion, Results: results})
+}
+
+// trace streams JSON-lines search traces (GET /v1/trace?frames=N). The
+// subscription itself is what arms tracing: batches dispatched while at
+// least one subscriber is connected record spans and publish frames.
+func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
+	n := 16
+	if q := r.URL.Query().Get("frames"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("frames must be a positive integer, got %q", q))
+			return
+		}
+		n = v
+	}
+	buf := n
+	if buf > 1024 {
+		buf = 1024
+	}
+	ch := h.s.Traces().Subscribe(buf)
+	defer h.s.Traces().Unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush() // commit headers so clients see the stream open
+	}
+	for sent := 0; sent < n; {
+		select {
+		case f, ok := <-ch:
+			if !ok {
+				return
+			}
+			line, err := f.MarshalLine()
+			if err != nil {
+				continue
+			}
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			sent++
+		case <-r.Context().Done():
+			return
+		case <-h.s.stop:
+			return
+		}
+	}
 }
 
 func (h *handler) config(w http.ResponseWriter, _ *http.Request) {
 	cfg := h.s.Config()
 	writeJSON(w, http.StatusOK, ConfigInfo{
+		APIVersion: APIVersion,
 		Backend:    h.s.Backend().Name(),
 		TxAntennas: h.tx,
 		RxAntennas: h.rx,
@@ -182,8 +329,20 @@ func (h *handler) config(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (h *handler) metrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, h.s.Stats())
+// metrics serves the stats snapshot: JSON by default (what sdload and the
+// smoke scripts parse), Prometheus text exposition when the client asks via
+// ?format=prometheus or an Accept header preferring text/plain.
+func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
+	st := h.s.Stats()
+	format := r.URL.Query().Get("format")
+	accept := r.Header.Get("Accept")
+	if format == "prometheus" || (format == "" && strings.Contains(accept, "text/plain")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		WritePrometheus(w, st)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {

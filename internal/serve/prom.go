@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders a Stats snapshot in the Prometheus text exposition
+// format (version 0.0.4). Output order is deterministic: fixed metric
+// sequence, label values sorted. Durations are exported in seconds, per the
+// Prometheus base-unit convention; the JSON surface keeps nanoseconds.
+func WritePrometheus(w io.Writer, st Stats) {
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, formatFloat(v))
+	}
+
+	counter("mimosd_requests_submitted_total", "Requests accepted past validation.", float64(st.Submitted))
+	counter("mimosd_requests_completed_total", "Requests decoded via a dispatched batch.", float64(st.Completed))
+	counter("mimosd_requests_rejected_total", "Requests refused with ErrOverloaded.", float64(st.Rejected))
+	counter("mimosd_requests_shed_total", "Requests served inline by the linear fallback.", float64(st.Shed))
+	counter("mimosd_requests_invalid_total", "Requests failing admission-time validation.", float64(st.Invalid))
+	counter("mimosd_requests_failed_total", "Requests whose batch decode errored.", float64(st.Failed))
+	counter("mimosd_batches_total", "Dispatched batches.", float64(st.Batches))
+	counter("mimosd_batched_frames_total", "Frames carried by dispatched batches.", float64(st.BatchedFrames))
+	counter("mimosd_degraded_frames_total", "Frames finishing below exact quality.", float64(st.Degraded))
+	counter("mimosd_simulated_seconds_total", "Modeled FPGA time of everything decoded.", st.SimulatedTime.Seconds())
+	counter("mimosd_energy_joules_total", "Modeled FPGA energy of everything decoded.", st.EnergyJ)
+	counter("mimosd_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(st.GCPauseNs)/1e9)
+
+	fmt.Fprintf(w, "# HELP mimosd_frames_by_quality_total Frames by decode quality.\n# TYPE mimosd_frames_by_quality_total counter\n")
+	qualities := make([]string, 0, len(st.QualityCounts))
+	for q := range st.QualityCounts {
+		qualities = append(qualities, q)
+	}
+	sort.Strings(qualities)
+	for _, q := range qualities {
+		fmt.Fprintf(w, "mimosd_frames_by_quality_total{quality=%q} %d\n", q, st.QualityCounts[q])
+	}
+
+	fmt.Fprintf(w, "# HELP mimosd_batch_size Batches by coalesced size.\n# TYPE mimosd_batch_size histogram\n")
+	var cum uint64
+	for i, n := range st.BatchSizeHist {
+		cum += n
+		fmt.Fprintf(w, "mimosd_batch_size_bucket{le=\"%d\"} %d\n", i+1, cum)
+	}
+	fmt.Fprintf(w, "mimosd_batch_size_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "mimosd_batch_size_sum %d\n", st.BatchedFrames)
+	fmt.Fprintf(w, "mimosd_batch_size_count %d\n", st.Batches)
+
+	writeDurHist(w, "mimosd_queue_wait_seconds", "Submit-to-dispatch wait.", st.QueueWait)
+	writeDurHist(w, "mimosd_service_seconds", "Batch decode wall time.", st.Service)
+
+	gauge("mimosd_queue_depth", "Frames waiting for a batch slot.", float64(st.QueueDepth))
+	gauge("mimosd_in_flight_frames", "Frames inside dispatched batches.", float64(st.InFlight))
+	draining := 0.0
+	if st.Draining {
+		draining = 1
+	}
+	gauge("mimosd_draining", "1 while Close is draining the scheduler.", draining)
+	gauge("mimosd_decode_allocs_per_op", "Approximate heap allocations per completed frame.", st.DecodeAllocsPerOp)
+}
+
+// writeDurHist renders a DurationDist as a Prometheus histogram in seconds
+// with cumulative bucket counts.
+func writeDurHist(w io.Writer, name, help string, d DurationDist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, b := range d.Bounds {
+		if i < len(d.Buckets) {
+			cum += d.Buckets[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, formatFloat(b.Seconds()), cum)
+	}
+	if n := len(d.Bounds); n < len(d.Buckets) {
+		cum += d.Buckets[n]
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(d.Sum.Seconds()))
+	fmt.Fprintf(w, "%s_count %d\n", name, d.Count)
+}
+
+// formatFloat renders a sample value the way Prometheus expects: shortest
+// representation that round-trips, no exponent for typical magnitudes.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/decoder"
+	"repro/internal/trace"
 )
 
 // Typed admission errors. Test with errors.Is.
@@ -29,7 +30,7 @@ type Backend interface {
 	Name() string
 	Constellation() *constellation.Constellation
 	ValidateInput(in core.BatchInput) error
-	DecodeBatchBudget(inputs []core.BatchInput, budget core.BatchBudget) (*core.BatchReport, error)
+	DecodeBatch(inputs []core.BatchInput, opts ...core.BatchOption) (*core.BatchReport, error)
 	DecodeFallback(in core.BatchInput) (*decoder.Result, error)
 }
 
@@ -50,8 +51,8 @@ type Config struct {
 	// Policy selects what Submit does when the queue is full.
 	Policy OverloadPolicy
 	// Budget bounds each dispatched batch (modeled-time deadline and/or
-	// shared node budget — PR 1's DecodeBatchBudget semantics). Overruns
-	// degrade quality, they never drop frames.
+	// shared node budget — core.WithBudget semantics). Overruns degrade
+	// quality, they never drop frames.
 	Budget core.BatchBudget
 }
 
@@ -103,13 +104,20 @@ type request struct {
 	resp chan result // buffered 1: workers never block on reply
 }
 
+// batch is one coalesced dispatch: the claimed requests plus the instant
+// coalescing began (the batch-form span start when tracing).
+type batch struct {
+	reqs []*request
+	born time.Time
+}
+
 // Scheduler coalesces single-frame decode requests into batches and runs
 // them on a worker pool of accelerator backends. Safe for concurrent use.
 type Scheduler struct {
 	cfg Config
 
 	queue    chan *request
-	dispatch chan []*request
+	dispatch chan batch
 	stop     chan struct{}
 
 	// admit guards the closed flag against the enqueue: Submit holds it
@@ -126,7 +134,8 @@ type Scheduler struct {
 	batcherDone chan struct{}
 	workersWG   sync.WaitGroup
 
-	m *metrics
+	m      *metrics
+	traces *trace.Hub
 }
 
 // New builds and starts a scheduler. factory must return a fresh Backend
@@ -148,10 +157,11 @@ func New(cfg Config, factory func() (Backend, error)) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:         cfg,
 		queue:       make(chan *request, cfg.QueueCap),
-		dispatch:    make(chan []*request, cfg.Workers),
+		dispatch:    make(chan batch, cfg.Workers),
 		stop:        make(chan struct{}),
 		batcherDone: make(chan struct{}),
 		m:           newMetrics(cfg.MaxBatch),
+		traces:      trace.NewHub(),
 	}
 	var err error
 	if s.validator, err = factory(); err != nil {
@@ -179,6 +189,11 @@ func (s *Scheduler) Config() Config { return s.cfg }
 
 // Backend returns the validation backend (for its name/constellation).
 func (s *Scheduler) Backend() Backend { return s.validator }
+
+// Traces returns the scheduler's trace hub. Subscribing a consumer turns on
+// batch tracing for every subsequently dispatched batch; with no subscribers
+// the decode path never touches the trace machinery.
+func (s *Scheduler) Traces() *trace.Hub { return s.traces }
 
 // Stats returns a snapshot of the scheduler's counters and gauges.
 func (s *Scheduler) Stats() Stats {
@@ -327,43 +342,43 @@ func (s *Scheduler) batcher() {
 // fill grows a batch around its first frame until MaxBatch, MaxWait, or
 // shutdown (shutdown flushes immediately; the main loop's drain handles the
 // rest of the queue).
-func (s *Scheduler) fill(first *request) []*request {
-	batch := make([]*request, 1, s.cfg.MaxBatch)
-	batch[0] = first
+func (s *Scheduler) fill(first *request) batch {
+	b := batch{reqs: make([]*request, 1, s.cfg.MaxBatch), born: time.Now()}
+	b.reqs[0] = first
 	if s.cfg.MaxBatch == 1 {
-		return batch
+		return b
 	}
 	timer := time.NewTimer(s.cfg.MaxWait)
 	defer timer.Stop()
-	for len(batch) < s.cfg.MaxBatch {
+	for len(b.reqs) < s.cfg.MaxBatch {
 		select {
 		case req := <-s.queue:
-			batch = append(batch, req)
+			b.reqs = append(b.reqs, req)
 		case <-timer.C:
-			return batch
+			return b
 		case <-s.stop:
-			return batch
+			return b
 		}
 	}
-	return batch
+	return b
 }
 
 // drain empties the queue into maximal batches after stop. No frame
 // admitted before Close is lost: the admit lock guarantees nothing enters
 // the queue once drain has run.
 func (s *Scheduler) drain() {
-	var batch []*request
+	b := batch{born: time.Now()}
 	flush := func() {
-		if len(batch) > 0 {
-			s.dispatch <- batch
-			batch = nil
+		if len(b.reqs) > 0 {
+			s.dispatch <- b
+			b = batch{born: time.Now()}
 		}
 	}
 	for {
 		select {
 		case req := <-s.queue:
-			batch = append(batch, req)
-			if len(batch) == s.cfg.MaxBatch {
+			b.reqs = append(b.reqs, req)
+			if len(b.reqs) == s.cfg.MaxBatch {
 				flush()
 			}
 		default:
@@ -376,34 +391,53 @@ func (s *Scheduler) drain() {
 // worker decodes dispatched batches on its private backend.
 func (s *Scheduler) worker(be Backend) {
 	defer s.workersWG.Done()
-	for batch := range s.dispatch {
-		s.runBatch(be, batch)
+	for b := range s.dispatch {
+		s.runBatch(be, b)
 	}
 }
 
-// runBatch decodes one coalesced batch and fans results back out.
-func (s *Scheduler) runBatch(be Backend, batch []*request) {
+// runBatch decodes one coalesced batch and fans results back out. When the
+// trace hub has subscribers it records the batch's span breakdown
+// (queue-wait → batch-form → preprocess → search → respond) and publishes one
+// wire Frame per request; with no subscribers the only cost is one atomic
+// load.
+func (s *Scheduler) runBatch(be Backend, b batch) {
+	reqs := b.reqs
 	start := time.Now()
 	s.m.mu.Lock()
-	s.m.inFlight += len(batch)
+	s.m.inFlight += len(reqs)
 	s.m.mu.Unlock()
 
-	inputs := make([]core.BatchInput, len(batch))
-	for i, req := range batch {
+	inputs := make([]core.BatchInput, len(reqs))
+	for i, req := range reqs {
 		inputs[i] = req.in
 	}
-	rep, err := be.DecodeBatchBudget(inputs, s.cfg.Budget)
+	var bt *trace.BatchTrace
+	opts := []core.BatchOption{core.WithBudget(s.cfg.Budget)}
+	if s.traces.Active() {
+		bt = trace.NewBatchTrace()
+		oldest := reqs[0].enq
+		for _, req := range reqs[1:] {
+			if req.enq.Before(oldest) {
+				oldest = req.enq
+			}
+		}
+		bt.AddPhase("queue-wait", oldest, b.born)
+		bt.AddPhase("batch-form", b.born, start)
+		opts = append(opts, core.WithTrace(bt))
+	}
+	rep, err := be.DecodeBatch(inputs, opts...)
 	svc := time.Since(start)
 
 	s.m.mu.Lock()
-	s.m.inFlight -= len(batch)
+	s.m.inFlight -= len(reqs)
 	if err != nil {
-		s.m.failed += uint64(len(batch))
+		s.m.failed += uint64(len(reqs))
 	} else {
-		s.m.completed += uint64(len(batch))
+		s.m.completed += uint64(len(reqs))
 		s.m.batches++
-		s.m.batchedFrames += uint64(len(batch))
-		s.m.batchSizes[len(batch)-1]++
+		s.m.batchedFrames += uint64(len(reqs))
+		s.m.batchSizes[len(reqs)-1]++
 		s.m.simTime += rep.SimulatedTime
 		s.m.energyJ += rep.EnergyJ
 		s.m.service.observe(svc)
@@ -413,24 +447,48 @@ func (s *Scheduler) runBatch(be Backend, batch []*request) {
 				s.m.degraded++
 			}
 		}
-		for _, req := range batch {
+		for _, req := range reqs {
 			s.m.queueWait.observe(start.Sub(req.enq))
 		}
 	}
 	s.m.mu.Unlock()
 
-	for i, req := range batch {
+	respondStart := time.Now()
+	for i, req := range reqs {
 		if err != nil {
 			req.resp <- result{err: fmt.Errorf("serve: batch decode: %w", err)}
 			continue
 		}
 		req.resp <- result{out: &Response{
 			Result:        rep.Results[i],
-			BatchSize:     len(batch),
+			BatchSize:     len(reqs),
 			QueueWait:     start.Sub(req.enq),
 			Service:       svc,
 			SimulatedTime: rep.SimulatedTime,
 		}}
+	}
+	if bt != nil && err == nil {
+		end := time.Now()
+		bt.AddPhase("respond", respondStart, end)
+		bt.Batch.End = end
+		s.publishFrames(bt, rep, len(reqs))
+	}
+}
+
+// publishFrames converts one traced batch into wire frames and fans them out
+// to the hub's subscribers.
+func (s *Scheduler) publishFrames(bt *trace.BatchTrace, rep *core.BatchReport, n int) {
+	for i := 0; i < n; i++ {
+		if i >= len(bt.Frames) || bt.Frames[i] == nil {
+			continue
+		}
+		f := trace.NewFrame(bt.Frames[i], "serve")
+		f.FrameID = s.traces.NextFrameID()
+		res := rep.Results[i]
+		f.Quality = res.Quality.String()
+		f.DegradedBy = res.DegradedBy
+		f.AttachBatch(bt, n)
+		s.traces.Publish(f)
 	}
 }
 

@@ -65,9 +65,9 @@ type slowBackend struct {
 	delay time.Duration
 }
 
-func (b *slowBackend) DecodeBatchBudget(inputs []core.BatchInput, budget core.BatchBudget) (*core.BatchReport, error) {
+func (b *slowBackend) DecodeBatch(inputs []core.BatchInput, opts ...core.BatchOption) (*core.BatchReport, error) {
 	time.Sleep(b.delay)
-	return b.Backend.DecodeBatchBudget(inputs, budget)
+	return b.Backend.DecodeBatch(inputs, opts...)
 }
 
 func newSlowFactory(t *testing.T, delay time.Duration) func() (Backend, error) {

@@ -6,7 +6,50 @@ import (
 	"repro/internal/constellation"
 	"repro/internal/decoder"
 	"repro/internal/rng"
+	"repro/internal/trace"
 )
+
+// BenchmarkDecodeSingle is the reference single-frame decode figure: the
+// 10×10 QAM-4 steady-state hot path with recording disabled. The trace
+// acceptance gate compares this against the BENCH_decode.json baseline — a
+// disabled Recorder must stay at 0 allocs/op and within noise of the
+// pre-observability decode cost.
+func BenchmarkDecodeSingle(b *testing.B) {
+	benchDecodeSingle(b, nil)
+}
+
+// BenchmarkDecodeSingleTraced is the same decode with a SearchTrace
+// installed — the price of recording, visible next to BenchmarkDecodeSingle
+// in one `go test -bench 'DecodeSingle'` run.
+func BenchmarkDecodeSingleTraced(b *testing.B) {
+	benchDecodeSingle(b, trace.NewSearchTrace())
+}
+
+func benchDecodeSingle(b *testing.B, rec *trace.SearchTrace) {
+	r := rng.New(61)
+	c := constellation.New(constellation.QAM4)
+	cfg := Config{Const: c, Strategy: SortedDFS, UseGEMM: true}
+	if rec != nil {
+		cfg.Recorder = rec
+	}
+	d := MustNew(cfg)
+	h, y, nv, _ := makeInstance(r, c, 10, 10, 8)
+	pre, err := Preprocess(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res decoder.Result
+	if err := d.DecodePreInto(pre, y, nv, 0, &res); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.DecodePreInto(pre, y, nv, 0, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkDecodePreInto is the steady-state hot path: pooled search, shared
 // QR handle, reused result. nodes/s is the simulation throughput the

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cmatrix"
 	"repro/internal/decoder"
+	"repro/internal/trace"
 )
 
 // search holds the state of one tree exploration: the reduced system
@@ -39,6 +40,13 @@ type search struct {
 	stopReason string
 
 	counters decoder.Counters
+
+	// rec mirrors cfg.Recorder; nil (the common case) disables all trace
+	// hooks. Recorder bookkeeping piggybacks on the counters the search
+	// maintains anyway: hook sites snapshot a counter before a child loop
+	// and report the delta after, so the disabled path executes no extra
+	// work beyond one nil check.
+	rec trace.Recorder
 
 	// Reusable scratch.
 	pathBuf []int
@@ -75,6 +83,7 @@ func acquireSearch(cfg *Config, r *cmatrix.Matrix) *search {
 	m := r.Cols
 	p := cfg.Const.Size()
 	s.cfg, s.m, s.p, s.r, s.ybar = cfg, m, p, r, nil
+	s.rec = cfg.Recorder
 	s.pts = cfg.Const.Points()
 	if s.mst == nil {
 		s.mst = NewMST(m)
@@ -114,6 +123,12 @@ func (s *search) beginAttempt(radiusSq float64, deadline time.Time) {
 	for i := range s.pathIDs {
 		s.pathIDs[i] = -1
 	}
+	if s.rec != nil {
+		// Each retry re-announces the attempt, resetting the recorder's
+		// per-level tallies — they must describe the same (final) attempt
+		// the counters describe.
+		s.rec.SearchStart(s.m, s.p, radiusSq)
+	}
 }
 
 // release drops the reference fields and returns the search (and its
@@ -124,6 +139,7 @@ func (s *search) release() {
 	s.r = nil
 	s.ybar = nil
 	s.pts = nil
+	s.rec = nil
 	searchPool.Put(s)
 }
 
@@ -316,6 +332,9 @@ func (s *search) commitLeaf(parent int32, sym int, pd float64) {
 		s.radiusSq = pd
 		s.bestLeaf = s.mst.Add(parent, sym, pd)
 		s.counters.RadiusUpdates++
+		if s.rec != nil {
+			s.rec.RadiusUpdate(pd)
+		}
 	}
 }
 
@@ -367,18 +386,28 @@ func (s *search) runDFS(sorted bool) error {
 		// later radius update; re-check before paying for the expansion.
 		if s.mst.PD(id) >= s.radiusSq {
 			s.counters.ChildrenPruned++ // late prune of a committed node
+			if s.rec != nil {
+				s.rec.Children(s.mst.Depth(id), 1, 0)
+			}
 			continue
 		}
 		if s.budgetExceeded() {
 			return s.stopErr()
 		}
 		s.counters.NodesExpanded++
+		if s.rec != nil {
+			s.rec.NodeExpanded(s.mst.Depth(id))
+		}
 		s.evalChildren(id)
 
 		depth := s.mst.Depth(id)
 		isLeafLevel := depth == s.m-1
 		if sorted {
 			s.sortChildren()
+		}
+		var pruneMark int64
+		if s.rec != nil {
+			pruneMark = s.counters.ChildrenPruned
 		}
 		if isLeafLevel {
 			for _, c := range s.order {
@@ -388,6 +417,10 @@ func (s *search) runDFS(sorted bool) error {
 					continue
 				}
 				s.commitLeaf(id, c, pd)
+			}
+			if s.rec != nil {
+				pruned := int(s.counters.ChildrenPruned - pruneMark)
+				s.rec.Children(s.m, pruned, s.p-pruned)
 			}
 			continue
 		}
@@ -401,6 +434,10 @@ func (s *search) runDFS(sorted bool) error {
 				continue
 			}
 			stack = append(stack, s.mst.Add(id, c, pd))
+		}
+		if s.rec != nil {
+			pruned := int(s.counters.ChildrenPruned - pruneMark)
+			s.rec.Children(depth+1, pruned, s.p-pruned)
 		}
 	}
 	return nil
@@ -443,8 +480,15 @@ func (s *search) runBestFS() error {
 			return s.stopErr()
 		}
 		s.counters.NodesExpanded++
-		s.evalChildren(id)
 		depth := s.mst.Depth(id)
+		if s.rec != nil {
+			s.rec.NodeExpanded(depth)
+		}
+		s.evalChildren(id)
+		var pruneMark int64
+		if s.rec != nil {
+			pruneMark = s.counters.ChildrenPruned
+		}
 		if depth == s.m-1 {
 			for c := 0; c < s.p; c++ {
 				pd := s.childPD[c]
@@ -453,6 +497,10 @@ func (s *search) runBestFS() error {
 					continue
 				}
 				s.commitLeaf(id, c, pd)
+			}
+			if s.rec != nil {
+				pruned := int(s.counters.ChildrenPruned - pruneMark)
+				s.rec.Children(s.m, pruned, s.p-pruned)
 			}
 			continue
 		}
@@ -463,6 +511,10 @@ func (s *search) runBestFS() error {
 				continue
 			}
 			heap.Push(h, s.mst.Add(id, c, pd))
+		}
+		if s.rec != nil {
+			pruned := int(s.counters.ChildrenPruned - pruneMark)
+			s.rec.Children(depth+1, pruned, s.p-pruned)
 		}
 	}
 	return nil
@@ -506,10 +558,17 @@ func (s *search) runBFS() error {
 				return s.stopErr()
 			}
 			s.counters.NodesExpanded++
+			if s.rec != nil {
+				s.rec.NodeExpanded(depth)
+			}
 			if levelPD != nil {
 				copy(s.childPD, levelPD[fi*s.p:(fi+1)*s.p])
 			} else {
 				s.evalChildren(id)
+			}
+			var pruneMark int64
+			if s.rec != nil {
+				pruneMark = s.counters.ChildrenPruned
 			}
 			if isLeafLevel {
 				for c := 0; c < s.p; c++ {
@@ -519,6 +578,10 @@ func (s *search) runBFS() error {
 						continue
 					}
 					s.commitLeaf(id, c, pd)
+				}
+				if s.rec != nil {
+					pruned := int(s.counters.ChildrenPruned - pruneMark)
+					s.rec.Children(s.m, pruned, s.p-pruned)
 				}
 				continue
 			}
@@ -530,6 +593,10 @@ func (s *search) runBFS() error {
 				}
 				next = append(next, s.mst.Add(id, c, pd))
 			}
+			if s.rec != nil {
+				pruned := int(s.counters.ChildrenPruned - pruneMark)
+				s.rec.Children(depth+1, pruned, s.p-pruned)
+			}
 		}
 		if s.cfg.KBest > 0 && len(next) > s.cfg.KBest {
 			// Keep the K lowest-PD nodes (one global sort per level).
@@ -538,6 +605,11 @@ func (s *search) runBFS() error {
 				s.counters.CompareOps++
 				return s.mst.PD(next[i]) < s.mst.PD(next[j])
 			})
+			if s.rec != nil {
+				// Frontier trim: these were reported kept above; the trim
+				// re-prunes them (LevelStats.Kept is an upper bound here).
+				s.rec.Children(depth+1, len(next)-s.cfg.KBest, 0)
+			}
 			s.counters.ChildrenPruned += int64(len(next) - s.cfg.KBest)
 			next = next[:s.cfg.KBest]
 		}
@@ -619,7 +691,13 @@ func (s *search) runFSD() error {
 		return s.stopErr()
 	}
 	s.counters.NodesExpanded++
+	if s.rec != nil {
+		s.rec.NodeExpanded(0)
+	}
 	s.evalChildren(s.mst.Root())
+	if s.rec != nil {
+		s.rec.Children(1, 0, s.p) // full enumeration: nothing pruned
+	}
 	paths := make([]int32, 0, s.p)
 	firstPD := append([]float64(nil), s.childPD[:s.p]...)
 	for c := 0; c < s.p; c++ {
@@ -633,6 +711,9 @@ func (s *search) runFSD() error {
 				return s.stopErr()
 			}
 			s.counters.NodesExpanded++
+			if s.rec != nil {
+				s.rec.NodeExpanded(depth)
+			}
 			s.evalChildren(id)
 			best, bestPD := 0, math.Inf(1)
 			for c := 0; c < s.p; c++ {
@@ -641,6 +722,9 @@ func (s *search) runFSD() error {
 				}
 			}
 			s.counters.ChildrenPruned += int64(s.p - 1)
+			if s.rec != nil {
+				s.rec.Children(depth+1, s.p-1, 1)
+			}
 			if depth == s.m-1 {
 				s.commitLeaf(id, best, bestPD)
 				// FSD accepts the best leaf among its |Ω| candidates even
@@ -649,6 +733,9 @@ func (s *search) runFSD() error {
 					s.bestPD = bestPD
 					s.radiusSq = bestPD
 					s.bestLeaf = s.mst.Add(id, best, bestPD)
+					if s.rec != nil {
+						s.rec.RadiusUpdate(bestPD)
+					}
 				}
 			} else {
 				paths[i] = s.mst.Add(id, best, bestPD)

@@ -132,6 +132,12 @@ func (d *SoftDecoder) DecodeSoftPre(pre *Preprocessed, y cmatrix.Vector, noiseVa
 			return nil, err
 		}
 	}
+	if st.rec != nil {
+		if truncated {
+			st.rec.Degraded(st.stopReason)
+		}
+		st.rec.SearchEnd(st.radiusSq, 0)
+	}
 
 	cons := d.cfg.Const
 	bps := cons.BitsPerSymbol()
@@ -272,16 +278,26 @@ func (s *search) runListDFS(cands *candidateHeap, listSize int) error {
 		stack = stack[:len(stack)-1]
 		if s.mst.PD(id) >= s.radiusSq {
 			s.counters.ChildrenPruned++
+			if s.rec != nil {
+				s.rec.Children(s.mst.Depth(id), 1, 0)
+			}
 			continue
 		}
 		if s.budgetExceeded() {
 			return s.stopErr()
 		}
 		s.counters.NodesExpanded++
+		if s.rec != nil {
+			s.rec.NodeExpanded(s.mst.Depth(id))
+		}
 		s.evalChildren(id)
 		depth := s.mst.Depth(id)
 		if sorted {
 			s.sortChildren()
+		}
+		var pruneMark int64
+		if s.rec != nil {
+			pruneMark = s.counters.ChildrenPruned
 		}
 		if depth == s.m-1 {
 			for _, c := range s.order {
@@ -299,7 +315,14 @@ func (s *search) runListDFS(cands *candidateHeap, listSize int) error {
 					// Radius now guards the list's worst member.
 					s.radiusSq = s.mst.PD(cands.ids[0])
 					s.counters.RadiusUpdates++
+					if s.rec != nil {
+						s.rec.RadiusUpdate(s.radiusSq)
+					}
 				}
+			}
+			if s.rec != nil {
+				pruned := int(s.counters.ChildrenPruned - pruneMark)
+				s.rec.Children(s.m, pruned, s.p-pruned)
 			}
 			continue
 		}
@@ -311,6 +334,10 @@ func (s *search) runListDFS(cands *candidateHeap, listSize int) error {
 				continue
 			}
 			stack = append(stack, s.mst.Add(id, c, pd))
+		}
+		if s.rec != nil {
+			pruned := int(s.counters.ChildrenPruned - pruneMark)
+			s.rec.Children(depth+1, pruned, s.p-pruned)
 		}
 	}
 	return nil

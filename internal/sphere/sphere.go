@@ -33,6 +33,7 @@ import (
 	"repro/internal/cmatrix"
 	"repro/internal/constellation"
 	"repro/internal/decoder"
+	"repro/internal/trace"
 )
 
 // Strategy selects the tree traversal order.
@@ -138,6 +139,15 @@ type Config struct {
 	// the hardware model. The callback must be cheap; it runs on the
 	// decoding hot path.
 	OnExpand func(depth int)
+	// Recorder, when non-nil, receives the structured trace of each search:
+	// per-level visit/prune tallies, the radius trajectory, and degradation
+	// events — the software analogue of the paper's on-chip counters. Every
+	// hook site guards on nil, so a disabled recorder costs nothing (the
+	// zero-alloc steady-state tests pin this). The recorder is invoked from
+	// the decoding goroutine; installing one on a decoder shared across
+	// goroutines races, so per-frame tracing builds a dedicated SD per
+	// frame (see internal/core).
+	Recorder trace.Recorder
 }
 
 // Errors returned by Decode.
@@ -391,6 +401,13 @@ func (d *SD) decodePre(pre *Preprocessed, y cmatrix.Vector, noiseVar float64, qr
 	res.SymbolIdx = idx
 	res.Symbols = syms
 	res.Metric = pd + offset
+
+	if st.rec != nil {
+		if res.DegradedBy != "" {
+			st.rec.Degraded(res.DegradedBy)
+		}
+		st.rec.SearchEnd(st.radiusSq, retries)
+	}
 
 	if wantInfo {
 		info.MST = st.mst

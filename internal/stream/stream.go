@@ -76,6 +76,25 @@ type Config struct {
 	QueueCap int
 	// Policy is the backlog degradation policy (zero value: drop-only).
 	Policy Policy
+	// Observer, when non-nil, receives one BatchEvent per arriving batch —
+	// drops included — in arrival order, as the simulation computes it. It
+	// is the simulator's trace hook: the aggregate Result stays unchanged.
+	Observer func(BatchEvent)
+}
+
+// BatchEvent is one batch's fate in the simulated timeline. All times are
+// offsets from simulation start. For dropped batches Start/Complete are zero
+// and Quality is empty.
+type BatchEvent struct {
+	Index    int
+	Arrival  time.Duration
+	Start    time.Duration
+	Complete time.Duration
+	Quality  string
+	Dropped  bool
+	// Backlog is the number of batches pending (arrived, not started) at
+	// this batch's arrival — what the degradation policy saw.
+	Backlog int
 }
 
 // Quality labels for Result.Quality, matching decoder.Quality.String().
@@ -175,6 +194,9 @@ func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
 		}
 		if cfg.QueueCap > 0 && backlog >= cfg.QueueCap {
 			res.Dropped++
+			if cfg.Observer != nil {
+				cfg.Observer(BatchEvent{Index: i, Arrival: arrival, Dropped: true, Backlog: backlog})
+			}
 			continue
 		}
 		// Degradation policy: under backlog, trade quality for engine time
@@ -211,6 +233,12 @@ func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
 		res.Quality[quality]++
 		if quality != QualityExact {
 			res.Degraded++
+		}
+		if cfg.Observer != nil {
+			cfg.Observer(BatchEvent{
+				Index: i, Arrival: arrival, Start: start, Complete: complete,
+				Quality: quality, Backlog: backlog,
+			})
 		}
 		if backlog := int((start - arrival) / cfg.Period); backlog+1 > res.MaxBacklog {
 			res.MaxBacklog = backlog + 1

@@ -306,3 +306,79 @@ func TestMissRateZeroBatches(t *testing.T) {
 		t.Fatalf("zero-batch MissRate with stale counters = %v, want 0", got)
 	}
 }
+
+// TestObserverSeesEveryBatch: the observer fires once per arrival — drops
+// included — in order, with event fields consistent with the aggregate
+// Result.
+func TestObserverSeesEveryBatch(t *testing.T) {
+	var events []BatchEvent
+	cfg := Config{
+		Period:   ms(10),
+		QueueCap: 1,
+		Observer: func(e BatchEvent) { events = append(events, e) },
+	}
+	// 25 ms service over a 10 ms period with QueueCap 1: backlog builds, some
+	// arrivals drop.
+	res, err := Simulate(cfg, uniform(10, ms(25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != res.Batches {
+		t.Fatalf("%d events for %d batches", len(events), res.Batches)
+	}
+	drops, completes := 0, 0
+	for i, e := range events {
+		if e.Index != i {
+			t.Fatalf("event %d carries index %d", i, e.Index)
+		}
+		if e.Arrival != time.Duration(i)*cfg.Period {
+			t.Fatalf("event %d arrival %v", i, e.Arrival)
+		}
+		if e.Dropped {
+			drops++
+			if e.Quality != "" || e.Start != 0 || e.Complete != 0 {
+				t.Fatalf("dropped event %d has service fields: %+v", i, e)
+			}
+			continue
+		}
+		completes++
+		if e.Start < e.Arrival || e.Complete <= e.Start {
+			t.Fatalf("event %d timeline inverted: %+v", i, e)
+		}
+		if e.Quality != QualityExact {
+			t.Fatalf("drop-only policy produced quality %q", e.Quality)
+		}
+	}
+	if drops != res.Dropped {
+		t.Fatalf("observer saw %d drops, result reports %d", drops, res.Dropped)
+	}
+	if completes != res.OnTime+res.Missed {
+		t.Fatalf("observer saw %d completions, result reports %d", completes, res.OnTime+res.Missed)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("premise failed: no drops under a 1-deep queue at 2.5x overload")
+	}
+}
+
+// TestObserverDegradedQuality: degraded service shows up in the events.
+func TestObserverDegradedQuality(t *testing.T) {
+	var got []string
+	cfg := Config{
+		Period:   ms(10),
+		Policy:   Policy{Mode: ShedToLinear, LinearTime: ms(1)},
+		Observer: func(e BatchEvent) { got = append(got, e.Quality) },
+	}
+	res, err := Simulate(cfg, uniform(8, ms(25)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallbacks := 0
+	for _, q := range got {
+		if q == QualityFallback {
+			fallbacks++
+		}
+	}
+	if fallbacks != res.Quality[QualityFallback] || fallbacks == 0 {
+		t.Fatalf("observer saw %d fallbacks, result %d", fallbacks, res.Quality[QualityFallback])
+	}
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// SchemaVersion identifies the JSON-lines trace wire format. Consumers must
+// reject lines whose schema field differs.
+const SchemaVersion = "mimosd.trace.v1"
+
+// Frame is one decoded frame's trace on the wire: a single JSON object per
+// line (ndjson) streamed by /v1/trace and written by cmd/sdtrace.
+//
+// Squared radii are non-negative; the sentinel -1 encodes "unbounded"
+// (the depth-first strategies start with r² = +Inf, which JSON cannot
+// carry).
+type Frame struct {
+	Schema  string `json:"schema"`
+	FrameID uint64 `json:"frame_id"`
+	// Source is "serve" for frames captured from the live scheduler and
+	// "sim" for local Monte-Carlo traces.
+	Source string `json:"source"`
+
+	// MIMO shape: M-level tree, |Ω| = Alphabet branching.
+	M        int `json:"m"`
+	Alphabet int `json:"alphabet"`
+
+	// Decode outcome.
+	Quality    string `json:"quality"`
+	DegradedBy string `json:"degraded_by,omitempty"`
+
+	// Search profile. NodesVisited is the decoder-reported expansion count;
+	// the per-level Visits sum to it exactly (ValidateFrame enforces this).
+	// FullTreeNodes = Σ_{d=0..M} |Ω|^d is the exhaustive-search node count
+	// the paper's Fig. 5 pruning evidence compares against.
+	NodesVisited    int64        `json:"nodes_visited"`
+	FullTreeNodes   float64      `json:"full_tree_nodes"`
+	InitialRadiusSq float64      `json:"initial_radius_sq"` // -1 = unbounded
+	FinalRadiusSq   float64      `json:"final_radius_sq"`   // -1 = unbounded
+	Retries         int          `json:"retries"`
+	SearchNS        int64        `json:"search_ns"`
+	Levels          []FrameLevel `json:"levels"`
+	Radius          []FrameRadius `json:"radius,omitempty"`
+
+	// Serving-pipeline spans (absent for local simulations).
+	BatchSpanID uint64      `json:"batch_span_id,omitempty"`
+	BatchSize   int         `json:"batch_size,omitempty"`
+	Spans       []FrameSpan `json:"spans,omitempty"`
+}
+
+// FrameLevel is one tree level's tally. FullWidth = |Ω|^depth is the level
+// population of the exhaustive tree.
+type FrameLevel struct {
+	Depth     int     `json:"depth"`
+	Visits    int64   `json:"visits"`
+	Pruned    int64   `json:"pruned"`
+	Kept      int64   `json:"kept"`
+	FullWidth float64 `json:"full_width"`
+}
+
+// FrameRadius is one radius shrink, relative to search start.
+type FrameRadius struct {
+	TNS      int64   `json:"t_ns"`
+	RadiusSq float64 `json:"radius_sq"`
+}
+
+// FrameSpan is the wire form of a pipeline Span. StartNS is Unix nanoseconds.
+type FrameSpan struct {
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_span_id,omitempty"`
+	Name     string `json:"name"`
+	StartNS  int64  `json:"start_ns"`
+	DurNS    int64  `json:"dur_ns"`
+}
+
+// sanitizeRadius maps +Inf/NaN onto the JSON-safe -1 sentinel.
+func sanitizeRadius(r float64) float64 {
+	if math.IsInf(r, 0) || math.IsNaN(r) {
+		return -1
+	}
+	return r
+}
+
+// NewFrame converts a recorded search into its wire form. Quality and
+// degradation default to the trace's own record; callers holding the decoder
+// result overwrite Quality/DegradedBy/NodesVisited from it (they must agree
+// — ValidateFrame cross-checks the level sums).
+func NewFrame(st *SearchTrace, source string) *Frame {
+	f := &Frame{
+		Schema:          SchemaVersion,
+		Source:          source,
+		M:               st.M,
+		Alphabet:        st.Alphabet,
+		DegradedBy:      st.DegradedBy,
+		NodesVisited:    st.NodesVisited(),
+		InitialRadiusSq: sanitizeRadius(st.InitialRadiusSq),
+		FinalRadiusSq:   sanitizeRadius(st.FinalRadiusSq),
+		Retries:         st.Retries,
+		SearchNS:        st.Duration.Nanoseconds(),
+	}
+	f.Levels = make([]FrameLevel, len(st.Levels))
+	width := 1.0
+	for d := range st.Levels {
+		f.Levels[d] = FrameLevel{
+			Depth:     d,
+			Visits:    st.Levels[d].Visits,
+			Pruned:    st.Levels[d].Pruned,
+			Kept:      st.Levels[d].Kept,
+			FullWidth: width,
+		}
+		f.FullTreeNodes += width
+		width *= float64(st.Alphabet)
+	}
+	if len(st.Radius) > 0 {
+		f.Radius = make([]FrameRadius, len(st.Radius))
+		for i, p := range st.Radius {
+			f.Radius[i] = FrameRadius{TNS: p.T.Nanoseconds(), RadiusSq: sanitizeRadius(p.RadiusSq)}
+		}
+	}
+	return f
+}
+
+// AttachBatch links the frame to its serving-pipeline batch: the parent span
+// plus every recorded phase span, batch first.
+func (f *Frame) AttachBatch(bt *BatchTrace, batchSize int) {
+	f.BatchSpanID = bt.Batch.ID
+	f.BatchSize = batchSize
+	f.Spans = make([]FrameSpan, 0, len(bt.Spans)+1)
+	f.Spans = append(f.Spans, FrameSpan{
+		SpanID: bt.Batch.ID, Name: bt.Batch.Name,
+		StartNS: bt.Batch.Start.UnixNano(), DurNS: bt.Batch.Duration().Nanoseconds(),
+	})
+	for _, s := range bt.Spans {
+		f.Spans = append(f.Spans, FrameSpan{
+			SpanID: s.ID, ParentID: s.Parent, Name: s.Name,
+			StartNS: s.Start.UnixNano(), DurNS: s.Duration().Nanoseconds(),
+		})
+	}
+}
+
+// MarshalLine renders the frame as one JSON line (no trailing newline).
+func (f *Frame) MarshalLine() ([]byte, error) { return json.Marshal(f) }
+
+// ValidateFrame strictly decodes one JSON line and checks the schema
+// invariants: version match, plausible shape, level depths in order, and the
+// per-level visit counts summing exactly to the decoder-reported
+// NodesVisited — the paper's counter-consistency property, executable.
+func ValidateFrame(line []byte) (*Frame, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var f Frame
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: malformed frame: %w", err)
+	}
+	if f.Schema != SchemaVersion {
+		return nil, fmt.Errorf("trace: schema %q, want %q", f.Schema, SchemaVersion)
+	}
+	if f.M <= 0 || f.Alphabet < 2 {
+		return nil, fmt.Errorf("trace: implausible shape m=%d alphabet=%d", f.M, f.Alphabet)
+	}
+	if f.Quality == "" {
+		return nil, fmt.Errorf("trace: missing quality")
+	}
+	if len(f.Levels) != f.M+1 {
+		return nil, fmt.Errorf("trace: %d levels for an m=%d tree (want %d)", len(f.Levels), f.M, f.M+1)
+	}
+	var visits int64
+	for d, l := range f.Levels {
+		if l.Depth != d {
+			return nil, fmt.Errorf("trace: level %d labeled depth %d", d, l.Depth)
+		}
+		if l.Visits < 0 || l.Pruned < 0 || l.Kept < 0 {
+			return nil, fmt.Errorf("trace: negative tally at depth %d", d)
+		}
+		visits += l.Visits
+	}
+	if visits != f.NodesVisited {
+		return nil, fmt.Errorf("trace: per-level visits sum to %d, frame reports nodes_visited=%d", visits, f.NodesVisited)
+	}
+	if f.InitialRadiusSq < 0 && f.InitialRadiusSq != -1 {
+		return nil, fmt.Errorf("trace: invalid initial_radius_sq %v", f.InitialRadiusSq)
+	}
+	for i, s := range f.Spans {
+		if s.Name == "" {
+			return nil, fmt.Errorf("trace: span %d has no name", i)
+		}
+		if s.DurNS < 0 {
+			return nil, fmt.Errorf("trace: span %q has negative duration", s.Name)
+		}
+	}
+	return &f, nil
+}

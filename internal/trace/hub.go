@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Hub fans completed Frames out to live subscribers (the /v1/trace handler).
+// The serving hot path asks Active() once per batch — a single atomic load —
+// and skips all trace assembly when nobody is listening, preserving the
+// zero-overhead-when-disabled contract at the pipeline level too.
+type Hub struct {
+	nsubs   atomic.Int64
+	frameID atomic.Uint64
+
+	mu   sync.Mutex
+	subs map[chan *Frame]struct{}
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[chan *Frame]struct{})}
+}
+
+// Active reports whether at least one subscriber is listening. Safe to call
+// from the hot path: one atomic load, no locks.
+func (h *Hub) Active() bool { return h.nsubs.Load() > 0 }
+
+// NextFrameID allocates a process-unique frame identifier.
+func (h *Hub) NextFrameID() uint64 { return h.frameID.Add(1) }
+
+// Subscribe registers a listener with the given channel buffer. The channel
+// is owned by the hub: it is closed by Unsubscribe, never by the caller.
+func (h *Hub) Subscribe(buf int) chan *Frame {
+	ch := make(chan *Frame, buf)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	h.nsubs.Add(1)
+	return ch
+}
+
+// Unsubscribe removes a listener and closes its channel. Closing happens
+// under the same lock Publish sends under, so no send-on-closed race exists.
+func (h *Hub) Unsubscribe(ch chan *Frame) {
+	h.mu.Lock()
+	if _, ok := h.subs[ch]; ok {
+		delete(h.subs, ch)
+		close(ch)
+		h.nsubs.Add(-1)
+	}
+	h.mu.Unlock()
+}
+
+// Publish delivers a frame to every subscriber, dropping it for listeners
+// whose buffer is full — a slow trace reader must never stall the decode
+// pipeline.
+func (h *Hub) Publish(f *Frame) {
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- f:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// spanIDs allocates process-unique span identifiers. IDs start at 1 so a
+// zero Parent unambiguously means "root span".
+var spanIDs atomic.Uint64
+
+// NewSpanID returns the next process-unique span ID.
+func NewSpanID() uint64 { return spanIDs.Add(1) }
+
+// Span is one timed stage of the serving pipeline. Parent links child stages
+// (queue-wait, batch-form, preprocess, search, respond) to the batch span of
+// the coalesced dispatch they belong to.
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  time.Time
+	End    time.Time
+}
+
+// StartSpan opens a span now under the given parent (0 = root).
+func StartSpan(name string, parent uint64) Span {
+	return Span{ID: NewSpanID(), Parent: parent, Name: name, Start: time.Now()}
+}
+
+// Duration is End − Start (0 while the span is open).
+func (s Span) Duration() time.Duration {
+	if s.End.IsZero() {
+		return 0
+	}
+	return s.End.Sub(s.Start)
+}
+
+// BatchTrace collects the observability record of one batch decode: the
+// parent batch span, its child phase spans, and one SearchTrace per frame.
+// core.Accelerator fills Frames and the preprocess/search phases when the
+// batch runs with core.WithTrace; the serving scheduler adds the
+// queue-wait/batch-form/respond phases around it.
+type BatchTrace struct {
+	// Batch is the parent span of the whole dispatch.
+	Batch Span
+	// Spans are the child phase spans, each with Parent == Batch.ID.
+	Spans []Span
+	// Frames holds one recorded search per batch input, in input order.
+	// Frames shed to the linear fallback carry an empty (zero-visit) trace
+	// with DegradedBy set.
+	Frames []*SearchTrace
+}
+
+// NewBatchTrace opens a batch trace with its parent span started now.
+func NewBatchTrace() *BatchTrace {
+	return &BatchTrace{Batch: StartSpan("batch", 0)}
+}
+
+// AddPhase appends a completed child phase span.
+func (bt *BatchTrace) AddPhase(name string, start, end time.Time) {
+	bt.Spans = append(bt.Spans, Span{
+		ID: NewSpanID(), Parent: bt.Batch.ID, Name: name, Start: start, End: end,
+	})
+}

@@ -1,0 +1,282 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// deterministicFrame builds a fully-populated frame with fixed values, so its
+// serialized form is stable across runs (the golden-file requirement).
+func deterministicFrame() *Frame {
+	st := &SearchTrace{
+		M:               3,
+		Alphabet:        4,
+		InitialRadiusSq: math.Inf(1),
+		FinalRadiusSq:   2.5,
+		Retries:         1,
+		DegradedBy:      "node-budget",
+		Levels: []LevelStats{
+			{Visits: 1, Pruned: 0, Kept: 4},
+			{Visits: 4, Pruned: 6, Kept: 10},
+			{Visits: 7, Pruned: 20, Kept: 8},
+			{Visits: 0, Pruned: 0, Kept: 0},
+		},
+		Radius: []RadiusPoint{
+			{T: 1500 * time.Nanosecond, RadiusSq: 9.25},
+			{T: 4200 * time.Nanosecond, RadiusSq: 2.5},
+		},
+		Duration: 7 * time.Microsecond,
+	}
+	f := NewFrame(st, "sim")
+	f.FrameID = 42
+	f.Quality = "best_effort"
+	bt := &BatchTrace{Batch: Span{ID: 100, Name: "batch",
+		Start: time.Unix(1700000000, 0).UTC(), End: time.Unix(1700000000, 5000).UTC()}}
+	bt.Spans = []Span{
+		{ID: 101, Parent: 100, Name: "queue-wait",
+			Start: time.Unix(1700000000, 0).UTC(), End: time.Unix(1700000000, 1000).UTC()},
+		{ID: 102, Parent: 100, Name: "search",
+			Start: time.Unix(1700000000, 1000).UTC(), End: time.Unix(1700000000, 4000).UTC()},
+	}
+	f.AttachBatch(bt, 8)
+	return f
+}
+
+// TestFrameGolden pins the wire schema: the serialized frame must match the
+// checked-in golden line byte for byte, and the golden line must satisfy
+// ValidateFrame. Regenerate with -update when the schema deliberately
+// changes (and bump SchemaVersion when it does).
+func TestFrameGolden(t *testing.T) {
+	line, err := deterministicFrame().MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "frame.golden.jsonl")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, append(line, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	want = bytes.TrimRight(want, "\n")
+	if !bytes.Equal(line, want) {
+		t.Fatalf("frame serialization drifted from golden\n got: %s\nwant: %s", line, want)
+	}
+	if _, err := ValidateFrame(want); err != nil {
+		t.Fatalf("golden line fails its own validator: %v", err)
+	}
+}
+
+// TestFrameFieldPresence asserts the required keys exist on the wire — a
+// schema consumer contract independent of Go struct names.
+func TestFrameFieldPresence(t *testing.T) {
+	line, err := deterministicFrame().MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"schema", "frame_id", "source", "m", "alphabet", "quality",
+		"degraded_by", "nodes_visited", "full_tree_nodes",
+		"initial_radius_sq", "final_radius_sq", "retries", "search_ns",
+		"levels", "radius", "batch_span_id", "batch_size", "spans",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("wire frame lacks %q", key)
+		}
+	}
+	lv, ok := m["levels"].([]any)
+	if !ok || len(lv) != 4 {
+		t.Fatalf("levels: %v", m["levels"])
+	}
+	l0 := lv[0].(map[string]any)
+	for _, key := range []string{"depth", "visits", "pruned", "kept", "full_width"} {
+		if _, ok := l0[key]; !ok {
+			t.Errorf("level entry lacks %q", key)
+		}
+	}
+}
+
+// TestFrameRoundTrip: marshal → validate → marshal must be a fixed point.
+func TestFrameRoundTrip(t *testing.T) {
+	f := deterministicFrame()
+	line, err := f.MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateFrame(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line2, err := got.MarshalLine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(line, line2) {
+		t.Fatalf("round trip not stable:\n %s\n %s", line, line2)
+	}
+	if got.NodesVisited != 12 || got.FullTreeNodes != 1+4+16+64 {
+		t.Fatalf("decoded frame: visits %d, full tree %v", got.NodesVisited, got.FullTreeNodes)
+	}
+	if got.InitialRadiusSq != -1 {
+		t.Fatalf("+Inf initial radius should wire as -1, got %v", got.InitialRadiusSq)
+	}
+}
+
+// TestValidateFrameRejects covers the rejection paths: wrong schema, unknown
+// fields, level miscounts, and the visit-sum cross-check.
+func TestValidateFrameRejects(t *testing.T) {
+	base := deterministicFrame()
+	mutate := func(fn func(m map[string]any)) []byte {
+		line, _ := base.MarshalLine()
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatal(err)
+		}
+		fn(m)
+		out, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		line []byte
+	}{
+		{"not json", []byte("{nope")},
+		{"wrong schema", mutate(func(m map[string]any) { m["schema"] = "mimosd.trace.v0" })},
+		{"unknown field", mutate(func(m map[string]any) { m["surprise"] = 1 })},
+		{"missing quality", mutate(func(m map[string]any) { delete(m, "quality") })},
+		{"level count", mutate(func(m map[string]any) { m["levels"] = m["levels"].([]any)[:2] })},
+		{"visit sum", mutate(func(m map[string]any) { m["nodes_visited"] = 99 })},
+		{"bad shape", mutate(func(m map[string]any) { m["m"] = 0 })},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateFrame(tc.line); err == nil {
+			t.Errorf("%s: validator accepted a bad frame", tc.name)
+		}
+	}
+}
+
+// TestSearchTraceReuse: SearchStart must fully reset a reused trace.
+func TestSearchTraceReuse(t *testing.T) {
+	st := NewSearchTrace()
+	st.SearchStart(4, 4, math.Inf(1))
+	st.NodeExpanded(0)
+	st.Children(1, 2, 2)
+	st.RadiusUpdate(5)
+	st.Degraded("deadline")
+	st.SearchEnd(5, 0)
+	if st.NodesVisited() != 1 || st.ChildrenPruned() != 2 {
+		t.Fatalf("first attempt tallies wrong: %d/%d", st.NodesVisited(), st.ChildrenPruned())
+	}
+	st.SearchStart(3, 2, 7)
+	if st.NodesVisited() != 0 || st.ChildrenPruned() != 0 {
+		t.Fatal("SearchStart did not reset tallies")
+	}
+	if len(st.Levels) != 4 || len(st.Radius) != 0 || st.DegradedBy != "" {
+		t.Fatalf("stale state after reset: %d levels, %d radius points, degraded %q",
+			len(st.Levels), len(st.Radius), st.DegradedBy)
+	}
+	if st.InitialRadiusSq != 7 {
+		t.Fatalf("initial radius %v", st.InitialRadiusSq)
+	}
+}
+
+// TestSpanIDsUnique: span IDs must be process-unique and nonzero (zero is
+// the "no parent" sentinel).
+func TestSpanIDsUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewSpanID()
+		if id == 0 {
+			t.Fatal("span ID 0 collides with the root sentinel")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestBatchTraceSpans: AddPhase children must point at the batch span.
+func TestBatchTraceSpans(t *testing.T) {
+	bt := NewBatchTrace()
+	now := time.Now()
+	bt.AddPhase("queue-wait", now, now.Add(time.Millisecond))
+	bt.AddPhase("search", now.Add(time.Millisecond), now.Add(3*time.Millisecond))
+	if len(bt.Spans) != 2 {
+		t.Fatalf("%d spans", len(bt.Spans))
+	}
+	for _, s := range bt.Spans {
+		if s.Parent != bt.Batch.ID {
+			t.Fatalf("span %q parent %d, batch %d", s.Name, s.Parent, bt.Batch.ID)
+		}
+		if s.ID == bt.Batch.ID {
+			t.Fatalf("span %q reused the batch ID", s.Name)
+		}
+	}
+	if bt.Spans[1].Duration() != 2*time.Millisecond {
+		t.Fatalf("duration %v", bt.Spans[1].Duration())
+	}
+}
+
+// TestHub covers fanout, slow-subscriber drop, and the Active fast path.
+func TestHub(t *testing.T) {
+	h := NewHub()
+	if h.Active() {
+		t.Fatal("empty hub reports active")
+	}
+	h.Publish(&Frame{}) // no subscribers: must not panic
+	a := h.Subscribe(2)
+	b := h.Subscribe(1)
+	if !h.Active() {
+		t.Fatal("hub with subscribers reports inactive")
+	}
+	f1, f2 := &Frame{FrameID: 1}, &Frame{FrameID: 2}
+	h.Publish(f1)
+	h.Publish(f2) // b's buffer (1) is full: dropped for b, kept for a
+	if got := <-a; got != f1 {
+		t.Fatalf("a got frame %d", got.FrameID)
+	}
+	if got := <-a; got != f2 {
+		t.Fatalf("a got frame %d", got.FrameID)
+	}
+	if got := <-b; got != f1 {
+		t.Fatalf("b got frame %d", got.FrameID)
+	}
+	select {
+	case f := <-b:
+		if f != nil {
+			t.Fatalf("b should have dropped frame 2, got %d", f.FrameID)
+		}
+	default:
+	}
+	h.Unsubscribe(a)
+	if _, open := <-a; open {
+		t.Fatal("unsubscribed channel still open")
+	}
+	h.Unsubscribe(a) // double-unsubscribe must be a no-op
+	h.Unsubscribe(b)
+	if h.Active() {
+		t.Fatal("drained hub reports active")
+	}
+	if h.NextFrameID() == h.NextFrameID() {
+		t.Fatal("frame IDs not unique")
+	}
+}

@@ -253,6 +253,33 @@ func checkLinkInput(mc mimo.Config, h [][]complex128, y []complex128, noiseVar f
 	return hm, nil
 }
 
+// prepareInput is the single validation path of the public detectors: parse
+// the configuration, check the raw input against it, and pack the channel
+// into matrix form. Every failure — including a malformed Config — wraps
+// ErrInvalidInput, so Detect, DetectSoft, and batch submission reject bad
+// input identically.
+func prepareInput(cfg Config, h [][]complex128, y []complex128, noiseVar float64) (mimo.Config, *constellation.Constellation, *cmatrix.Matrix, error) {
+	mc, cons, err := cfg.parse()
+	if err != nil {
+		return mimo.Config{}, nil, nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+	}
+	hm, err := checkLinkInput(mc, h, y, noiseVar)
+	if err != nil {
+		return mimo.Config{}, nil, nil, err
+	}
+	return mc, cons, hm, nil
+}
+
+// ValidateInput checks one detection input against cfg without decoding it:
+// configuration validity, dimensions, finiteness, and the noise-variance
+// contract. It is exactly the admission check Detect and DetectSoft perform;
+// a nil return guarantees those calls will not reject the input. All
+// failures wrap ErrInvalidInput.
+func ValidateInput(cfg Config, h [][]complex128, y []complex128, noiseVar float64) error {
+	_, _, _, err := prepareInput(cfg, h, y, noiseVar)
+	return err
+}
+
 // detectionFrom converts an internal decode result to the public form.
 func detectionFrom(res *decoder.Result, cons *constellation.Constellation, name string) *Detection {
 	buf := make([]int, cons.BitsPerSymbol())
@@ -272,13 +299,10 @@ func detectionFrom(res *decoder.Result, cons *constellation.Constellation, name 
 	}
 }
 
-// Detect runs one detection.
+// Detect runs one detection. Input validation is ValidateInput: a link that
+// passes it is decodable.
 func Detect(cfg Config, alg Algorithm, h [][]complex128, y []complex128, noiseVar float64) (*Detection, error) {
-	mc, cons, err := cfg.parse()
-	if err != nil {
-		return nil, err
-	}
-	hm, err := checkLinkInput(mc, h, y, noiseVar)
+	_, cons, hm, err := prepareInput(cfg, h, y, noiseVar)
 	if err != nil {
 		return nil, err
 	}
@@ -306,11 +330,7 @@ type SoftDetection struct {
 // DetectSoft runs list sphere decoding and returns the ML hard decision
 // together with max-log LLRs over listSize retained candidates.
 func DetectSoft(cfg Config, h [][]complex128, y []complex128, noiseVar float64, listSize int) (*SoftDetection, error) {
-	mc, cons, err := cfg.parse()
-	if err != nil {
-		return nil, err
-	}
-	hm, err := checkLinkInput(mc, h, y, noiseVar)
+	_, cons, hm, err := prepareInput(cfg, h, y, noiseVar)
 	if err != nil {
 		return nil, err
 	}
@@ -588,49 +608,79 @@ func (a *Accelerator) batchResultFrom(rep *core.BatchReport, name string) *Batch
 	return out
 }
 
-// DecodeBatch decodes a batch of links on the simulated FPGA.
-func (a *Accelerator) DecodeBatch(links []*Link) (*BatchResult, error) {
-	return a.DecodeBatchBudget(links, BatchBudget{})
+// batchOptions is the resolved option set of one DecodeBatch call.
+type batchOptions struct {
+	budget   BatchBudget
+	fallback bool
 }
 
-// DecodeBatchBudget decodes a batch under a batch-level budget. The result
-// always covers every link; frames cut by the budget carry Quality
-// "best-effort" or "fallback" and are tallied in QualityCounts.
+// BatchOption configures one Accelerator.DecodeBatch call.
+type BatchOption func(*batchOptions)
+
+// WithBudget bounds the whole batch: exhaustion never drops frames —
+// overrunning work is cut at the budget and remaining links are shed to the
+// linear fallback detector, each flagged via Detection.Quality.
+func WithBudget(b BatchBudget) BatchOption {
+	return func(o *batchOptions) { o.budget = b }
+}
+
+// WithFallback decodes the batch with the linear fallback detector only (no
+// tree search): every Detection carries Quality "fallback". This is the
+// decision an overloaded deployment emits when it sheds a batch rather than
+// queue it — linear-decoder cost, metric never worse than sliced ZF. It
+// overrides WithBudget.
+func WithFallback() BatchOption {
+	return func(o *batchOptions) { o.fallback = true }
+}
+
+// DecodeBatch decodes a batch of links on the simulated FPGA. Options select
+// the batch mode (WithBudget, WithFallback); with none it is the plain
+// exhaustive batch decode. The result always covers every link; frames cut
+// by a budget carry Quality "best-effort" or "fallback" and are tallied in
+// QualityCounts.
+func (a *Accelerator) DecodeBatch(links []*Link, opts ...BatchOption) (*BatchResult, error) {
+	var o batchOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	inputs, err := a.batchInputs(links)
+	if err != nil {
+		return nil, err
+	}
+	var coreOpts []core.BatchOption
+	name := a.inner.Name()
+	switch {
+	case o.fallback:
+		coreOpts = append(coreOpts, core.WithFallback())
+		name += "+fallback"
+	case o.budget != (BatchBudget{}):
+		coreOpts = append(coreOpts, core.WithBudget(core.BatchBudget{
+			Deadline:   o.budget.Deadline,
+			NodeBudget: o.budget.NodeBudget,
+		}))
+	}
+	rep, err := a.inner.DecodeBatch(inputs, coreOpts...)
+	if err != nil {
+		if errors.Is(err, core.ErrInvalidInput) {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		}
+		return nil, err
+	}
+	return a.batchResultFrom(rep, name), nil
+}
+
+// DecodeBatchBudget decodes a batch under a batch-level budget.
+//
+// Deprecated: use DecodeBatch(links, WithBudget(budget)).
 func (a *Accelerator) DecodeBatchBudget(links []*Link, budget BatchBudget) (*BatchResult, error) {
-	inputs, err := a.batchInputs(links)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := a.inner.DecodeBatchBudget(inputs, core.BatchBudget{
-		Deadline:   budget.Deadline,
-		NodeBudget: budget.NodeBudget,
-	})
-	if err != nil {
-		if errors.Is(err, core.ErrInvalidInput) {
-			return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
-		}
-		return nil, err
-	}
-	return a.batchResultFrom(rep, a.inner.Name()), nil
+	return a.DecodeBatch(links, WithBudget(budget))
 }
 
-// DecodeBatchFallback decodes a batch with the linear fallback detector
-// only (no tree search): every Detection carries Quality "fallback". This is
-// the decision an overloaded deployment emits when it sheds a batch rather
-// than queue it — linear-decoder cost, metric never worse than sliced ZF.
+// DecodeBatchFallback decodes a batch with the linear fallback detector.
+//
+// Deprecated: use DecodeBatch(links, WithFallback()).
 func (a *Accelerator) DecodeBatchFallback(links []*Link) (*BatchResult, error) {
-	inputs, err := a.batchInputs(links)
-	if err != nil {
-		return nil, err
-	}
-	rep, err := a.inner.DecodeBatchFallback(inputs)
-	if err != nil {
-		if errors.Is(err, core.ErrInvalidInput) {
-			return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
-		}
-		return nil, err
-	}
-	return a.batchResultFrom(rep, a.inner.Name()+"+fallback"), nil
+	return a.DecodeBatch(links, WithFallback())
 }
 
 // SoftBatchResult is a BatchResult with per-link bit LLRs.

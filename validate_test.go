@@ -1,0 +1,106 @@
+package mimosd
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestValidateInputConsistency: Detect and DetectSoft must reject a bad
+// input with exactly the error ValidateInput predicts — one validation path,
+// one message, ErrInvalidInput wrapping everywhere.
+func TestValidateInputConsistency(t *testing.T) {
+	cfg := Config{TxAntennas: 2, RxAntennas: 2, Modulation: "4-QAM"}
+	good, err := RandomLink(cfg, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bads := []struct {
+		name string
+		cfg  Config
+		h    [][]complex128
+		y    []complex128
+		nv   float64
+	}{
+		{"bad modulation", Config{TxAntennas: 2, RxAntennas: 2, Modulation: "nope"}, good.H, good.Y, good.NoiseVar},
+		{"bad shape", Config{TxAntennas: 0, RxAntennas: 2, Modulation: "4-QAM"}, good.H, good.Y, good.NoiseVar},
+		{"row count", cfg, good.H[:1], good.Y, good.NoiseVar},
+		{"y length", cfg, good.H, good.Y[:1], good.NoiseVar},
+		{"nan channel", cfg, [][]complex128{{complex(math.NaN(), 0), 1}, {1, 1}}, good.Y, good.NoiseVar},
+		{"zero noise", cfg, good.H, good.Y, 0},
+	}
+	for _, tc := range bads {
+		vErr := ValidateInput(tc.cfg, tc.h, tc.y, tc.nv)
+		if vErr == nil {
+			t.Errorf("%s: ValidateInput accepted it", tc.name)
+			continue
+		}
+		if !errors.Is(vErr, ErrInvalidInput) {
+			t.Errorf("%s: ValidateInput error does not wrap ErrInvalidInput: %v", tc.name, vErr)
+		}
+		if _, dErr := Detect(tc.cfg, AlgSphereDecoder, tc.h, tc.y, tc.nv); dErr == nil || dErr.Error() != vErr.Error() {
+			t.Errorf("%s: Detect error %q, ValidateInput predicts %q", tc.name, dErr, vErr)
+		}
+		if _, sErr := DetectSoft(tc.cfg, tc.h, tc.y, tc.nv, 4); sErr == nil || sErr.Error() != vErr.Error() {
+			t.Errorf("%s: DetectSoft error %q, ValidateInput predicts %q", tc.name, sErr, vErr)
+		}
+	}
+	if err := ValidateInput(cfg, good.H, good.Y, good.NoiseVar); err != nil {
+		t.Fatalf("ValidateInput rejected a decodable link: %v", err)
+	}
+	if _, err := Detect(cfg, AlgSphereDecoder, good.H, good.Y, good.NoiseVar); err != nil {
+		t.Fatalf("Detect rejected a validated link: %v", err)
+	}
+}
+
+// TestDecodeBatchOptions: the variadic batch surface and its deprecated
+// wrappers must agree.
+func TestDecodeBatchOptions(t *testing.T) {
+	cfg := Config{TxAntennas: 4, RxAntennas: 4, Modulation: "4-QAM"}
+	acc, err := NewAccelerator(cfg, VariantOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := make([]*Link, 4)
+	for i := range links {
+		l, err := RandomLink(cfg, 10, uint64(100+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		links[i] = l
+	}
+	plain, err := acc.DecodeBatch(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := acc.DecodeBatchBudget(links, BatchBudget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NodesExplored != budgeted.NodesExplored {
+		t.Fatal("deprecated DecodeBatchBudget wrapper diverged")
+	}
+	fb, err := acc.DecodeBatch(links, WithFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, det := range fb.Detections {
+		if det.Quality != "fallback" {
+			t.Fatalf("link %d: fallback batch produced quality %q", i, det.Quality)
+		}
+	}
+	fbOld, err := acc.DecodeBatchFallback(links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Detections[0].Algorithm != fbOld.Detections[0].Algorithm {
+		t.Fatal("fallback naming diverged between surfaces")
+	}
+	tight, err := acc.DecodeBatch(links, WithBudget(BatchBudget{NodeBudget: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tight.Degraded {
+		t.Fatal("1-node batch budget did not degrade")
+	}
+}
