@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race race-serve serve-smoke trace-smoke fuzz bench bench-check
+.PHONY: check vet build test race race-serve serve-smoke trace-smoke chaos-smoke fuzz bench bench-check
 
 # check is the gate: static analysis, build, a single-iteration pass over
 # every benchmark (so the bench harness itself cannot rot), the serving
 # scheduler under the race detector (its tests are the most
 # concurrency-sensitive, so they run first and fail fast), the full suite
-# under the race detector, then the observability path end to end.
-check: vet build bench-check race-serve race trace-smoke
+# under the race detector, then the observability path and the
+# self-healing contract end to end.
+check: vet build bench-check race-serve race trace-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +36,12 @@ serve-smoke:
 # /v1/trace → capture, end to end).
 trace-smoke:
 	bash scripts/trace_smoke.sh
+
+# chaos-smoke boots sdserver with fault injection on every worker backend,
+# drives load through the storm, and asserts the self-healing contract:
+# no crash, no dropped requests, breaker opens, health returns to ok.
+chaos-smoke:
+	bash scripts/chaos_smoke.sh
 
 # bench regenerates BENCH_decode.json: the software hot-path figures
 # (ns/decode, allocs/op, nodes/s, and the QR-reuse batch speedup).

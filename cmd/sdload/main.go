@@ -43,19 +43,25 @@ type sample struct {
 
 // summary aggregates a run.
 type summary struct {
-	Requests      int            `json:"requests"`
-	OK            int            `json:"ok"`
-	Rejected      int            `json:"rejected"` // HTTP 429
-	Errors        int            `json:"errors"`
-	Elapsed       time.Duration  `json:"elapsed_ns"`
-	Throughput    float64        `json:"throughput_rps"`
-	P50           time.Duration  `json:"p50_ns"`
-	P95           time.Duration  `json:"p95_ns"`
-	P99           time.Duration  `json:"p99_ns"`
-	MaxLatency    time.Duration  `json:"max_ns"`
-	MeanBatchSize float64        `json:"mean_batch_size"`
-	Quality       map[string]int `json:"quality"`
-	Shed          int            `json:"shed"`
+	Requests int `json:"requests"`
+	OK       int `json:"ok"`
+	Rejected int `json:"rejected"` // HTTP 429
+	// Errors counts HTTP-level failures (the server answered with a non-OK,
+	// non-429 status); TransportErrors counts requests that never got an
+	// HTTP answer at all (dial/read failures, malformed bodies). The chaos
+	// smoke asserts TransportErrors == 0: under fault injection every frame
+	// must still be answered or typed-rejected, never dropped on the floor.
+	Errors          int            `json:"errors"`
+	TransportErrors int            `json:"transport_errors"`
+	Elapsed         time.Duration  `json:"elapsed_ns"`
+	Throughput      float64        `json:"throughput_rps"`
+	P50             time.Duration  `json:"p50_ns"`
+	P95             time.Duration  `json:"p95_ns"`
+	P99             time.Duration  `json:"p99_ns"`
+	MaxLatency      time.Duration  `json:"max_ns"`
+	MeanBatchSize   float64        `json:"mean_batch_size"`
+	Quality         map[string]int `json:"quality"`
+	Shed            int            `json:"shed"`
 
 	// Server-side runtime health, copied from a final GET /metrics (zero if
 	// the fetch failed): cumulative GC pause and allocations per decoded
@@ -96,6 +102,8 @@ func summarize(samples []sample, elapsed time.Duration) summary {
 			}
 		case sm.status == http.StatusTooManyRequests:
 			s.Rejected++
+		case sm.status < 0:
+			s.TransportErrors++
 		default:
 			s.Errors++
 		}
@@ -114,6 +122,33 @@ func summarize(samples []sample, elapsed time.Duration) summary {
 		s.Throughput = float64(s.OK) / elapsed.Seconds()
 	}
 	return s
+}
+
+// waitReady polls GET /healthz with short exponential backoff until the
+// server answers at all — any HTTP status counts (a draining or degraded
+// server is up, just not ok), only transport errors keep us waiting. This
+// absorbs the connection-refused window when a smoke script starts sdload
+// and sdserver together.
+func waitReady(client *http.Client, addr string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	backoff := 20 * time.Millisecond
+	var lastErr error
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not reachable after %v: %w", patience, lastErr)
+		}
+		time.Sleep(backoff)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
+	}
 }
 
 // fetchConfig polls GET /v1/config until the server answers (it may still
@@ -243,6 +278,9 @@ func main() {
 			MaxIdleConnsPerHost: 2048,
 		},
 	}
+	if err := waitReady(client, *addr, *patience); err != nil {
+		log.Fatalf("sdload: %v", err)
+	}
 	info, err := fetchConfig(client, *addr, *patience)
 	if err != nil {
 		log.Fatalf("sdload: %v", err)
@@ -331,7 +369,8 @@ func main() {
 			mode = fmt.Sprintf("open-loop rate=%g/s", *rate)
 		}
 		fmt.Printf("sdload: %s against %s (%dx%d %s)\n", mode, *addr, info.TxAntennas, info.RxAntennas, info.Modulation)
-		fmt.Printf("  requests    %d (ok %d, rejected %d, errors %d) in %v\n", s.Requests, s.OK, s.Rejected, s.Errors, elapsed.Round(time.Millisecond))
+		fmt.Printf("  requests    %d (ok %d, rejected %d, errors %d, transport %d) in %v\n",
+			s.Requests, s.OK, s.Rejected, s.Errors, s.TransportErrors, elapsed.Round(time.Millisecond))
 		fmt.Printf("  throughput  %.1f req/s\n", s.Throughput)
 		fmt.Printf("  latency     p50 %v  p95 %v  p99 %v  max %v\n", s.P50, s.P95, s.P99, s.MaxLatency)
 		fmt.Printf("  batch size  mean %.2f (server-side coalescing)\n", s.MeanBatchSize)

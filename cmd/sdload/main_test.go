@@ -37,10 +37,11 @@ func TestSummarize(t *testing.T) {
 		{latency: 4 * time.Millisecond, status: http.StatusOK, batchSize: 2, quality: "exact"},
 		{latency: 1 * time.Millisecond, status: http.StatusOK, batchSize: 3, quality: "fallback", shed: true},
 		{latency: time.Millisecond, status: http.StatusTooManyRequests},
-		{latency: time.Millisecond, status: -1},
+		{latency: time.Millisecond, status: http.StatusInternalServerError},
+		{latency: time.Millisecond, status: -1}, // transport failure: no HTTP answer at all
 	}
 	s := summarize(samples, time.Second)
-	if s.Requests != 5 || s.OK != 3 || s.Rejected != 1 || s.Errors != 1 {
+	if s.Requests != 6 || s.OK != 3 || s.Rejected != 1 || s.Errors != 1 || s.TransportErrors != 1 {
 		t.Fatalf("summary %+v", s)
 	}
 	if s.Throughput != 3 {

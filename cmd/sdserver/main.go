@@ -11,7 +11,8 @@
 //	GET  /v1/trace   JSON-lines search traces (?frames=N); subscribing arms tracing
 //	GET  /metrics    scheduler counters, histograms, quality mix (JSON by
 //	                 default, Prometheus text with ?format=prometheus)
-//	GET  /healthz    200 while accepting, 503 while draining
+//	GET  /healthz    graded health (ok|degraded → 200, draining|unhealthy → 503)
+//	                 with per-backend breaker/quarantine state
 //	/debug/pprof/*   Go profiling endpoints (only with -pprof)
 //
 // Usage:
@@ -39,6 +40,7 @@ import (
 
 	"repro/internal/constellation"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/fpga"
 	"repro/internal/serve"
 )
@@ -58,6 +60,23 @@ type options struct {
 	nodeBudget int64
 	scalarEval bool
 	pprof      bool
+
+	// Resilience knobs (zero values = library defaults).
+	noResilience  bool
+	failThreshold int
+	cooldownBase  time.Duration
+	cooldownCap   time.Duration
+	maxRestarts   int
+	retryMax      int
+	retryBudget   float64
+	hedgeAfter    time.Duration
+	hedgeBudget   float64
+	wedgeTimeout  time.Duration
+
+	// chaos is a faultinject.ParseServePlan spec wrapping every worker
+	// backend with injected faults ("" = no chaos).
+	chaos     string
+	chaosSeed uint64
 }
 
 // buildServer turns options into a running scheduler plus its HTTP handler.
@@ -86,6 +105,31 @@ func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
 		QueueCap: o.queueCap,
 		Policy:   policy,
 		Budget:   core.BatchBudget{Deadline: o.deadline, NodeBudget: o.nodeBudget},
+		Resilience: serve.ResilienceConfig{
+			Disable:          o.noResilience,
+			FailureThreshold: o.failThreshold,
+			CooldownBase:     o.cooldownBase,
+			CooldownCap:      o.cooldownCap,
+			MaxRestarts:      o.maxRestarts,
+			RetryMax:         o.retryMax,
+			RetryBudget:      o.retryBudget,
+			HedgeAfter:       o.hedgeAfter,
+			HedgeBudget:      o.hedgeBudget,
+			WedgeTimeout:     o.wedgeTimeout,
+		},
+	}
+	if o.chaos != "" {
+		spec := o.chaos
+		if o.chaosSeed != 0 {
+			spec = fmt.Sprintf("%s,seed=%d", spec, o.chaosSeed)
+		}
+		plan, err := faultinject.ParseServePlan(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.WrapWorker = func(_ int, be serve.Backend) serve.Backend {
+			return serve.NewFaultyBackend(be, plan)
+		}
 	}
 	factory := func() (serve.Backend, error) {
 		return core.New(v, mod, o.tx, o.rx, core.Options{ScalarEval: o.scalarEval})
@@ -126,6 +170,18 @@ func main() {
 	flag.Int64Var(&o.nodeBudget, "node-budget", 0, "tree-expansion budget per dispatched batch (0 = none)")
 	flag.BoolVar(&o.scalarEval, "scalar-eval", true, "use the scalar evaluation path (identical decodes, faster in simulation)")
 	flag.BoolVar(&o.pprof, "pprof", false, "expose Go profiling under /debug/pprof/")
+	flag.BoolVar(&o.noResilience, "no-resilience", false, "disable worker supervision, breakers, and retries (seed behaviour)")
+	flag.IntVar(&o.failThreshold, "breaker-threshold", 0, "consecutive failures tripping a worker's circuit breaker (0 = default 5)")
+	flag.DurationVar(&o.cooldownBase, "breaker-cooldown", 0, "breaker open-dwell jitter base (0 = default 100ms)")
+	flag.DurationVar(&o.cooldownCap, "breaker-cooldown-cap", 0, "breaker open-dwell cap (0 = default 5s)")
+	flag.IntVar(&o.maxRestarts, "max-restarts", 0, "backend restarts per 30s window before quarantine (0 = default 3)")
+	flag.IntVar(&o.retryMax, "retry-max", 0, "extra decode attempts per batch for transient faults (0 = default 2)")
+	flag.Float64Var(&o.retryBudget, "retry-budget", 0, "retry tokens earned per successful batch (0 = default 0.2, negative disables)")
+	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "abandon a primary decode running this long and answer from the fallback (0 = off)")
+	flag.Float64Var(&o.hedgeBudget, "hedge-budget", 0, "hedge tokens earned per successful batch (0 = default 0.1)")
+	flag.DurationVar(&o.wedgeTimeout, "wedge-timeout", 0, "declare a primary decode wedged after this long (0 = off)")
+	flag.StringVar(&o.chaos, "chaos", "", "chaos plan for worker backends, e.g. panic=0.05,error=0.1,clear-after=500 (empty = off)")
+	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "seed override for the -chaos roll stream")
 	flag.Parse()
 
 	sched, handler, err := buildServer(o)
@@ -161,7 +217,11 @@ func main() {
 	summary, _ := json.Marshal(map[string]any{
 		"completed": st.Completed, "rejected": st.Rejected, "shed": st.Shed,
 		"batches": st.Batches, "mean_batch_size": st.MeanBatchSize,
-		"quality": st.QualityCounts,
+		"quality": st.QualityCounts, "health": st.Health,
+		"panics": st.Panics, "worker_restarts": st.Restarts, "quarantines": st.Quarantines,
+		"retries": st.Retries, "hedges": st.Hedges, "wedges": st.Wedges,
+		"abandoned_frames": st.Abandoned, "breaker_opened": st.BreakerOpened,
+		"breaker_reclosed": st.BreakerReclosed, "fallback_by_reason": st.FallbackByReason,
 	})
 	log.Printf("sdserver: final stats %s", summary)
 }

@@ -129,6 +129,21 @@ func (q Quality) String() string {
 	}
 }
 
+// ParseQuality is the inverse of String, for consumers reading quality
+// grades off the wire (metrics JSON, trace frames).
+func ParseQuality(s string) (Quality, error) {
+	switch s {
+	case "exact":
+		return QualityExact, nil
+	case "best-effort":
+		return QualityBestEffort, nil
+	case "fallback":
+		return QualityFallback, nil
+	default:
+		return 0, fmt.Errorf("decoder: unknown quality %q (want exact, best-effort, fallback)", s)
+	}
+}
+
 // Degraded reports whether the result is anything less than exact.
 func (q Quality) Degraded() bool { return q != QualityExact }
 

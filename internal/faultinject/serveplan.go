@@ -1,0 +1,208 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ServeFault is one backend-level fault class the serving chaos harness can
+// inject into a decode call. Unlike the input corruptions in Catalogue (which
+// the decoder must survive numerically), these model the accelerator itself
+// misbehaving: crashing, stalling, wedging, or emitting garbage.
+type ServeFault int
+
+const (
+	// ServeNone: the call proceeds untouched.
+	ServeNone ServeFault = iota
+	// ServePanic: the backend panics mid-decode.
+	ServePanic
+	// ServeStall: the decode completes, but only after an injected delay.
+	ServeStall
+	// ServeGarbage: the backend "succeeds" with a malformed report
+	// (NaN metric, empty decisions) — the silent-garbage case the serving
+	// layer must catch.
+	ServeGarbage
+	// ServeError: the backend fails with a transient error.
+	ServeError
+	// ServeWedge: the decode blocks far past any reasonable deadline.
+	ServeWedge
+)
+
+// String names the fault class.
+func (f ServeFault) String() string {
+	switch f {
+	case ServeNone:
+		return "none"
+	case ServePanic:
+		return "panic"
+	case ServeStall:
+		return "stall"
+	case ServeGarbage:
+		return "garbage"
+	case ServeError:
+		return "error"
+	case ServeWedge:
+		return "wedge"
+	default:
+		return fmt.Sprintf("ServeFault(%d)", int(f))
+	}
+}
+
+// ServePlanConfig parameterizes a ServePlan.
+type ServePlanConfig struct {
+	// Rates are per-call probabilities in [0, 1].
+	PanicRate   float64
+	StallRate   float64
+	GarbageRate float64
+	ErrorRate   float64
+	WedgeRate   float64
+	// StallFor is the injected stall duration. Default 2ms.
+	StallFor time.Duration
+	// WedgeFor is how long a wedged call blocks. Default 1s — far past any
+	// sane WedgeTimeout, short enough for tests to drain.
+	WedgeFor time.Duration
+	// ClearAfter ends the fault phase after this many decode calls
+	// (0 = faults never clear).
+	ClearAfter int
+	// Seed drives the roll stream.
+	Seed uint64
+}
+
+// ServePlan is a deterministic schedule of backend faults: each decode call
+// rolls once against the rates (first match in the fixed order panic, stall,
+// garbage, error, wedge wins). After ClearAfter calls the fault phase ends
+// and every subsequent roll is clean — the recovery half of a chaos scenario,
+// letting breakers re-close and health climb back to ok. Safe for concurrent
+// use; the draw sequence is deterministic per seed but interleaving across
+// backends depends on scheduling.
+type ServePlan struct {
+	// Config is the plan's (default-filled) parameterization, read-only
+	// after NewServePlan.
+	Config ServePlanConfig
+
+	mu    sync.Mutex
+	r     *rng.Rand
+	calls int
+}
+
+// NewServePlan fills defaults and arms the roll stream.
+func NewServePlan(cfg ServePlanConfig) *ServePlan {
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 2 * time.Millisecond
+	}
+	if cfg.WedgeFor <= 0 {
+		cfg.WedgeFor = time.Second
+	}
+	return &ServePlan{Config: cfg, r: rng.New(cfg.Seed)}
+}
+
+// Next rolls the fault for one decode call.
+func (p *ServePlan) Next() ServeFault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	if p.Config.ClearAfter > 0 && p.calls > p.Config.ClearAfter {
+		return ServeNone
+	}
+	u := p.r.Float64()
+	for _, c := range []struct {
+		rate  float64
+		fault ServeFault
+	}{
+		{p.Config.PanicRate, ServePanic},
+		{p.Config.StallRate, ServeStall},
+		{p.Config.GarbageRate, ServeGarbage},
+		{p.Config.ErrorRate, ServeError},
+		{p.Config.WedgeRate, ServeWedge},
+	} {
+		if u < c.rate {
+			return c.fault
+		}
+		u -= c.rate
+	}
+	return ServeNone
+}
+
+// Calls returns how many rolls the plan has served.
+func (p *ServePlan) Calls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+// ParseServePlan parses a chaos spec of comma-separated key=value terms:
+//
+//	panic=0.05,garbage=0.1,error=0.1,stall=0.2,wedge=0.01,
+//	stall-for=2ms,wedge-for=1s,clear-after=500,seed=7
+//
+// Rates must lie in [0, 1] and sum to at most 1. An empty spec is a valid
+// all-clean plan.
+func ParseServePlan(spec string) (*ServePlan, error) {
+	var p ServePlanConfig
+	if strings.TrimSpace(spec) == "" {
+		return NewServePlan(p), nil
+	}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(term, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: term %q is not key=value", term)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "panic", "stall", "garbage", "error", "wedge":
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("faultinject: rate %s=%q must be in [0, 1]", key, val)
+			}
+			switch key {
+			case "panic":
+				p.PanicRate = rate
+			case "stall":
+				p.StallRate = rate
+			case "garbage":
+				p.GarbageRate = rate
+			case "error":
+				p.ErrorRate = rate
+			case "wedge":
+				p.WedgeRate = rate
+			}
+		case "stall-for", "wedge-for":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("faultinject: duration %s=%q must be a positive duration", key, val)
+			}
+			if key == "stall-for" {
+				p.StallFor = d
+			} else {
+				p.WedgeFor = d
+			}
+		case "clear-after":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: clear-after=%q must be a non-negative integer", val)
+			}
+			p.ClearAfter = n
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: seed=%q must be an unsigned integer", val)
+			}
+			p.Seed = n
+		default:
+			return nil, fmt.Errorf("faultinject: unknown chaos term %q (want panic/stall/garbage/error/wedge/stall-for/wedge-for/clear-after/seed)", key)
+		}
+	}
+	if sum := p.PanicRate + p.StallRate + p.GarbageRate + p.ErrorRate + p.WedgeRate; sum > 1 {
+		return nil, fmt.Errorf("faultinject: fault rates sum to %.3f > 1", sum)
+	}
+	return NewServePlan(p), nil
+}

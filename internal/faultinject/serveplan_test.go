@@ -1,0 +1,94 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseServePlan(t *testing.T) {
+	p, err := ParseServePlan("panic=0.05,stall=0.1,garbage=0.2,error=0.3,wedge=0.01," +
+		"stall-for=3ms,wedge-for=2s,clear-after=500,seed=42")
+	if err != nil {
+		t.Fatalf("ParseServePlan: %v", err)
+	}
+	c := p.Config
+	if c.PanicRate != 0.05 || c.StallRate != 0.1 || c.GarbageRate != 0.2 ||
+		c.ErrorRate != 0.3 || c.WedgeRate != 0.01 {
+		t.Fatalf("rates %+v", c)
+	}
+	if c.StallFor != 3*time.Millisecond || c.WedgeFor != 2*time.Second {
+		t.Fatalf("durations %v / %v", c.StallFor, c.WedgeFor)
+	}
+	if c.ClearAfter != 500 || c.Seed != 42 {
+		t.Fatalf("clear-after %d seed %d", c.ClearAfter, c.Seed)
+	}
+}
+
+func TestParseServePlanDefaultsAndEmpty(t *testing.T) {
+	p, err := ParseServePlan("  ")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	if p.Config.StallFor != 2*time.Millisecond || p.Config.WedgeFor != time.Second {
+		t.Fatalf("defaults not filled: %+v", p.Config)
+	}
+	for i := 0; i < 100; i++ {
+		if f := p.Next(); f != ServeNone {
+			t.Fatalf("all-clean plan drew %v", f)
+		}
+	}
+}
+
+func TestParseServePlanRejects(t *testing.T) {
+	for _, spec := range []string{
+		"panic=1.5",           // rate out of range
+		"panic=-0.1",          // negative rate
+		"error=0.6,stall=0.6", // rates sum past 1
+		"stall-for=-3ms",      // non-positive duration
+		"clear-after=-1",      // negative count
+		"seed=abc",            // non-numeric seed
+		"wobble=0.1",          // unknown key
+		"panic",               // not key=value
+	} {
+		if _, err := ParseServePlan(spec); err == nil {
+			t.Errorf("ParseServePlan(%q) accepted", spec)
+		}
+	}
+}
+
+func TestServePlanDeterministicAndClears(t *testing.T) {
+	cfg := ServePlanConfig{PanicRate: 0.2, ErrorRate: 0.5, ClearAfter: 50, Seed: 7}
+	a, b := NewServePlan(cfg), NewServePlan(cfg)
+	var faulted int
+	for i := 0; i < 200; i++ {
+		fa, fb := a.Next(), b.Next()
+		if fa != fb {
+			t.Fatalf("call %d: same seed drew %v vs %v", i, fa, fb)
+		}
+		if i >= 50 && fa != ServeNone {
+			t.Fatalf("call %d: fault %v after clear-after", i, fa)
+		}
+		if fa != ServeNone {
+			faulted++
+		}
+	}
+	// 50 storm calls at 0.7 aggregate rate: expect a healthy number of faults.
+	if faulted < 20 {
+		t.Fatalf("only %d faults in the storm phase", faulted)
+	}
+	if a.Calls() != 200 {
+		t.Fatalf("calls = %d", a.Calls())
+	}
+}
+
+func TestServeFaultString(t *testing.T) {
+	want := map[ServeFault]string{
+		ServeNone: "none", ServePanic: "panic", ServeStall: "stall",
+		ServeGarbage: "garbage", ServeError: "error", ServeWedge: "wedge",
+	}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), s)
+		}
+	}
+}

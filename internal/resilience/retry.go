@@ -1,0 +1,115 @@
+package resilience
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ErrTransient marks an error worth retrying: the same call may well succeed
+// a moment later (a glitched transfer, a momentarily wedged queue). Producers
+// wrap with fmt.Errorf("...: %w", resilience.ErrTransient) or implement
+// interface{ Transient() bool }; consumers test with Transient.
+var ErrTransient = errors.New("resilience: transient fault")
+
+// Transient reports whether err is worth retrying: it wraps ErrTransient or
+// some error in its chain implements interface{ Transient() bool }.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// Budget is a token bucket bounding how much *extra* work (retries, hedges)
+// the layer may add on top of the primary load, so a fault storm degrades
+// into sheds instead of amplifying itself: each primary operation earns Ratio
+// tokens (capped at Burst), each retry or hedge spends one. Safe for
+// concurrent use.
+type Budget struct {
+	mu     sync.Mutex
+	ratio  float64
+	burst  float64
+	tokens float64
+}
+
+// NewBudget builds a budget that allows ratio extra operations per primary
+// operation, with at most burst banked. A non-positive ratio disables the
+// budget (Spend always fails); a non-positive burst defaults to 10. The
+// bucket starts full so cold-start faults can still retry.
+func NewBudget(ratio, burst float64) *Budget {
+	if burst <= 0 {
+		burst = 10
+	}
+	return &Budget{ratio: ratio, burst: burst, tokens: burst}
+}
+
+// Earn credits n primary operations.
+func (b *Budget) Earn(n int) {
+	if b == nil || b.ratio <= 0 {
+		return
+	}
+	b.mu.Lock()
+	b.tokens = math.Min(b.burst, b.tokens+float64(n)*b.ratio)
+	b.mu.Unlock()
+}
+
+// Spend takes one token; false means the budget is exhausted and the caller
+// must not add the extra operation.
+func (b *Budget) Spend() bool {
+	if b == nil || b.ratio <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Backoff generates full-jitter exponential delays: attempt k (0-based)
+// sleeps uniform(0, min(Cap, Base·2^k)). The jitter stream is deterministic
+// per Backoff value. Safe for concurrent use.
+type Backoff struct {
+	Base time.Duration
+	Cap  time.Duration
+
+	mu     sync.Mutex
+	jitter *rng.Rand
+}
+
+// NewBackoff builds a backoff; non-positive base defaults to 1ms, cap to
+// 100ms.
+func NewBackoff(base, cap time.Duration, seed uint64) *Backoff {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 100 * time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &Backoff{Base: base, Cap: cap, jitter: rng.New(seed)}
+}
+
+// Delay returns the sleep before retry attempt k (0-based).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	ceil := b.Base << uint(attempt)
+	if ceil > b.Cap || ceil <= 0 { // <= 0 guards shift overflow
+		ceil = b.Cap
+	}
+	b.mu.Lock()
+	f := b.jitter.Float64()
+	b.mu.Unlock()
+	return time.Duration(f * float64(ceil))
+}

@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrWorkerPanic marks an error recovered from a panicking worker. Test with
+// errors.Is; the concrete *PanicError carries the panic value and stack.
+var ErrWorkerPanic = errors.New("resilience: worker panic")
+
+// PanicError is a recovered panic as a typed error: the panic value plus the
+// goroutine stack captured at the recovery point, so a supervised crash is
+// debuggable without taking the process down.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resilience: worker panic: %v", e.Value)
+}
+
+// Unwrap lets errors.Is(err, ErrWorkerPanic) match.
+func (e *PanicError) Unwrap() error { return ErrWorkerPanic }
+
+// Recover runs f under a recovery barrier: a panic becomes a *PanicError
+// (stack captured), any ordinary error passes through unchanged.
+func Recover(f func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return f()
+}
+
+// RestartBudget decides between restarting a crashed worker and quarantining
+// its backend: up to Max restarts are allowed within a sliding Window; one
+// more inside the window means the fault is not transient and the backend is
+// quarantined. Safe for concurrent use.
+type RestartBudget struct {
+	// Max is the restart allowance per window. Default 3.
+	Max int
+	// Window is the sliding interval restarts are counted over. Default 30s.
+	Window time.Duration
+
+	mu     sync.Mutex
+	stamps []time.Time
+	now    func() time.Time // test hook
+}
+
+// NewRestartBudget builds a budget; zero arguments select the defaults.
+func NewRestartBudget(max int, window time.Duration) *RestartBudget {
+	if max <= 0 {
+		max = 3
+	}
+	if window <= 0 {
+		window = 30 * time.Second
+	}
+	return &RestartBudget{Max: max, Window: window, now: time.Now}
+}
+
+// AllowRestart records one crash and reports whether the worker may restart
+// (false means: quarantine).
+func (r *RestartBudget) AllowRestart() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	cutoff := now.Add(-r.Window)
+	kept := r.stamps[:0]
+	for _, t := range r.stamps {
+		if t.After(cutoff) {
+			kept = append(kept, t)
+		}
+	}
+	r.stamps = kept
+	if len(r.stamps) >= r.Max {
+		return false
+	}
+	r.stamps = append(r.stamps, now)
+	return true
+}

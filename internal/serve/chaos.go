@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
+)
+
+// FaultyBackend wraps a Backend with a faultinject.ServePlan, injecting
+// accelerator-level faults into DecodeBatch only: panics, stalls, garbage
+// reports, transient errors, and wedges. Validation and the linear fallback
+// pass through untouched — chaos targets the primary decode path, the
+// resilience layer's job is to keep the fallback answering. Install it via
+// Config.WrapWorker so supervised restarts rebuild the wrapper too.
+type FaultyBackend struct {
+	inner Backend
+	plan  *faultinject.ServePlan
+}
+
+// NewFaultyBackend wraps inner with the chaos plan.
+func NewFaultyBackend(inner Backend, plan *faultinject.ServePlan) *FaultyBackend {
+	return &FaultyBackend{inner: inner, plan: plan}
+}
+
+// Name marks the wrapped backend so health reports show the chaos wiring.
+func (f *FaultyBackend) Name() string { return f.inner.Name() + "+faulty" }
+
+// Constellation passes through.
+func (f *FaultyBackend) Constellation() *constellation.Constellation { return f.inner.Constellation() }
+
+// ValidateInput passes through: admission must stay honest under chaos.
+func (f *FaultyBackend) ValidateInput(in core.BatchInput) error { return f.inner.ValidateInput(in) }
+
+// DecodeFallback passes through clean — the shed path is the safety net the
+// chaos scenarios verify, so it is never the fault site.
+func (f *FaultyBackend) DecodeFallback(in core.BatchInput) (*decoder.Result, error) {
+	return f.inner.DecodeFallback(in)
+}
+
+// DecodeBatch rolls the plan once per call and injects the drawn fault.
+func (f *FaultyBackend) DecodeBatch(inputs []core.BatchInput, opts ...core.BatchOption) (*core.BatchReport, error) {
+	switch f.plan.Next() {
+	case faultinject.ServePanic:
+		panic("chaos: injected backend panic")
+	case faultinject.ServeStall:
+		time.Sleep(f.plan.Config.StallFor)
+	case faultinject.ServeGarbage:
+		// A "successful" report with nothing usable in it: NaN metric, no
+		// decisions. checkReport must refuse it.
+		rep := &core.BatchReport{Results: make([]*decoder.Result, len(inputs))}
+		for i := range rep.Results {
+			rep.Results[i] = &decoder.Result{Metric: math.NaN()}
+		}
+		return rep, nil
+	case faultinject.ServeError:
+		return nil, fmt.Errorf("chaos: injected transfer glitch: %w", resilience.ErrTransient)
+	case faultinject.ServeWedge:
+		time.Sleep(f.plan.Config.WedgeFor)
+	}
+	return f.inner.DecodeBatch(inputs, opts...)
+}

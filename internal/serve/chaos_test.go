@@ -1,0 +1,472 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/faultinject"
+	"repro/internal/mimo"
+	"repro/internal/rng"
+)
+
+// chaosWrap returns a WrapWorker hook installing a FaultyBackend driven by
+// the given plan on every worker.
+func chaosWrap(plan *faultinject.ServePlan) func(int, Backend) Backend {
+	return func(_ int, be Backend) Backend { return NewFaultyBackend(be, plan) }
+}
+
+// waitStats polls the scheduler until pred holds or the deadline passes.
+func waitStats(t *testing.T, s *Scheduler, what string, pred func(Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred(s.Stats()) {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("waiting for %s: last stats %+v", what, s.Stats())
+}
+
+// TestPanicRecovery: a backend that panics on its first decodes must not
+// crash the scheduler; the frames are answered (retried onto a rebuilt
+// backend or shed), the panic is counted, and the stack is captured.
+func TestPanicRecovery(t *testing.T) {
+	plan := faultinject.NewServePlan(faultinject.ServePlanConfig{
+		PanicRate: 1, ClearAfter: 2,
+	})
+	s := newScheduler(t, Config{
+		MaxBatch: 1, Workers: 1,
+		WrapWorker: chaosWrap(plan),
+		Resilience: ResilienceConfig{RetryBudget: 1, RestartWindow: time.Minute},
+	})
+	for i, in := range genInputs(t, 4, 11) {
+		resp, err := s.Submit(context.Background(), in)
+		if err != nil {
+			t.Fatalf("Submit %d under panics: %v", i, err)
+		}
+		if resp.Result.Quality == decoder.QualityExact && plan.Calls() <= 2 {
+			t.Fatalf("Submit %d: exact quality while the backend was panicking", i)
+		}
+	}
+	st := s.Stats()
+	if st.Panics == 0 {
+		t.Fatalf("no panics recorded: %+v", st)
+	}
+	if st.Restarts == 0 {
+		t.Fatalf("no restarts recorded: %+v", st)
+	}
+	if st.LastPanic == "" {
+		t.Fatal("LastPanic empty after recovered panics")
+	}
+}
+
+// TestBreakerOpensRoutesAndRecovers walks the full breaker lifecycle through
+// the serving path: transient faults trip it, routed frames degrade to the
+// fallback with DegradedByBreaker, and after the fault clears and the
+// cooldown passes a probe re-closes it.
+func TestBreakerOpensRoutesAndRecovers(t *testing.T) {
+	plan := faultinject.NewServePlan(faultinject.ServePlanConfig{
+		ErrorRate: 1, ClearAfter: 3,
+	})
+	s := newScheduler(t, Config{
+		MaxBatch: 1, Workers: 1,
+		WrapWorker: chaosWrap(plan),
+		Resilience: ResilienceConfig{
+			FailureThreshold: 3,
+			CooldownBase:     20 * time.Millisecond,
+			CooldownCap:      20 * time.Millisecond,
+			RetryBudget:      1,
+		},
+	})
+	inputs := genInputs(t, 4, 13)
+
+	// Frame 0 burns its attempts against the erroring backend (3 calls = 3
+	// breaker failures = the threshold) and is answered by the fallback.
+	resp, err := s.Submit(context.Background(), inputs[0])
+	if err != nil {
+		t.Fatalf("Submit under errors: %v", err)
+	}
+	if resp.Result.Quality != decoder.QualityFallback || resp.Result.DegradedBy != DegradedByTransient {
+		t.Fatalf("faulted frame: quality %v degraded-by %q, want fallback/%s",
+			resp.Result.Quality, resp.Result.DegradedBy, DegradedByTransient)
+	}
+	st := s.Stats()
+	if st.BreakerOpened == 0 {
+		t.Fatalf("breaker never opened: %+v", st)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("no retries recorded: %+v", st)
+	}
+	if st.Health != "degraded" {
+		t.Fatalf("health %q with an open breaker, want degraded", st.Health)
+	}
+
+	// Frame 1 arrives while the breaker is open: routed straight to the
+	// fallback without touching the backend.
+	calls := plan.Calls()
+	resp, err = s.Submit(context.Background(), inputs[1])
+	if err != nil {
+		t.Fatalf("Submit with open breaker: %v", err)
+	}
+	if resp.Result.DegradedBy != DegradedByBreaker {
+		t.Fatalf("open-breaker frame degraded by %q, want %s", resp.Result.DegradedBy, DegradedByBreaker)
+	}
+	if plan.Calls() != calls {
+		t.Fatal("open breaker still dispatched to the backend")
+	}
+
+	// The fault has cleared (3 calls made); after the cooldown the next frame
+	// is the half-open probe, succeeds, and re-closes the breaker.
+	time.Sleep(40 * time.Millisecond)
+	resp, err = s.Submit(context.Background(), inputs[2])
+	if err != nil {
+		t.Fatalf("probe Submit: %v", err)
+	}
+	if resp.Result.Quality != decoder.QualityExact {
+		t.Fatalf("probe frame quality %v, want exact", resp.Result.Quality)
+	}
+	st = s.Stats()
+	if st.BreakerReclosed == 0 || st.BreakerProbes == 0 {
+		t.Fatalf("breaker never probed/re-closed: %+v", st)
+	}
+	if st.Health != "ok" {
+		t.Fatalf("health %q after recovery, want ok", st.Health)
+	}
+	if st.FallbackByReason[DegradedByBreaker] == 0 || st.FallbackByReason[DegradedByTransient] == 0 {
+		t.Fatalf("fallback reasons not recorded: %v", st.FallbackByReason)
+	}
+}
+
+// TestRetryRecoversTransientFault: one transient glitch, then clean — the
+// retry path must deliver an exact result, not a shed.
+func TestRetryRecoversTransientFault(t *testing.T) {
+	plan := faultinject.NewServePlan(faultinject.ServePlanConfig{
+		ErrorRate: 1, ClearAfter: 1,
+	})
+	s := newScheduler(t, Config{
+		MaxBatch: 1, Workers: 1,
+		WrapWorker: chaosWrap(plan),
+		Resilience: ResilienceConfig{RetryBudget: 1},
+	})
+	resp, err := s.Submit(context.Background(), genInputs(t, 1, 17)[0])
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp.Result.Quality != decoder.QualityExact {
+		t.Fatalf("quality %v after one transient fault, want exact via retry", resp.Result.Quality)
+	}
+	if st := s.Stats(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1: %+v", st.Retries, st)
+	}
+}
+
+// TestGarbageReportCaught: a backend "succeeding" with NaN metrics and empty
+// decisions must be treated as a fault, never forwarded to the client.
+func TestGarbageReportCaught(t *testing.T) {
+	plan := faultinject.NewServePlan(faultinject.ServePlanConfig{
+		GarbageRate: 1, ClearAfter: 1,
+	})
+	s := newScheduler(t, Config{
+		MaxBatch: 1, Workers: 1,
+		WrapWorker: chaosWrap(plan),
+		Resilience: ResilienceConfig{RetryBudget: 1},
+	})
+	resp, err := s.Submit(context.Background(), genInputs(t, 1, 19)[0])
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if len(resp.Result.SymbolIdx) == 0 {
+		t.Fatal("empty decision reached the client")
+	}
+	if resp.Result.Quality != decoder.QualityExact {
+		t.Fatalf("quality %v, want exact via retry after garbage", resp.Result.Quality)
+	}
+}
+
+// TestQuarantineAfterRepeatedPanics: a permanently crashing backend exhausts
+// its restart budget, the worker is quarantined, frames keep flowing via the
+// fallback, and (with every worker down) health reads unhealthy.
+func TestQuarantineAfterRepeatedPanics(t *testing.T) {
+	plan := faultinject.NewServePlan(faultinject.ServePlanConfig{PanicRate: 1})
+	s := newScheduler(t, Config{
+		MaxBatch: 1, Workers: 1,
+		WrapWorker: chaosWrap(plan),
+		Resilience: ResilienceConfig{
+			MaxRestarts: 2, RestartWindow: time.Minute, RetryBudget: 1,
+		},
+	})
+	for i, in := range genInputs(t, 6, 23) {
+		if _, err := s.Submit(context.Background(), in); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Quarantines != 1 {
+		t.Fatalf("quarantines = %d, want 1: %+v", st.Quarantines, st)
+	}
+	if st.Health != "unhealthy" {
+		t.Fatalf("health %q with the only worker quarantined, want unhealthy", st.Health)
+	}
+	if st.FallbackByReason[DegradedByQuarantine] == 0 {
+		t.Fatalf("no quarantine-shed frames: %v", st.FallbackByReason)
+	}
+	// Quarantined workers must answer instantly from the fallback.
+	resp, err := s.Submit(context.Background(), genInputs(t, 1, 29)[0])
+	if err != nil {
+		t.Fatalf("Submit after quarantine: %v", err)
+	}
+	if resp.Result.DegradedBy != DegradedByQuarantine {
+		t.Fatalf("post-quarantine frame degraded by %q, want %s", resp.Result.DegradedBy, DegradedByQuarantine)
+	}
+}
+
+// TestWedgeTimeout: a decode blocking far past WedgeTimeout is declared
+// wedged; the frame is answered by the fallback and the backend replaced.
+func TestWedgeTimeout(t *testing.T) {
+	plan := faultinject.NewServePlan(faultinject.ServePlanConfig{
+		WedgeRate: 1, ClearAfter: 1, WedgeFor: 200 * time.Millisecond,
+	})
+	s := newScheduler(t, Config{
+		MaxBatch: 1, Workers: 1,
+		WrapWorker: chaosWrap(plan),
+		Resilience: ResilienceConfig{
+			WedgeTimeout: 10 * time.Millisecond, RetryBudget: 1, RestartWindow: time.Minute,
+		},
+	})
+	start := time.Now()
+	resp, err := s.Submit(context.Background(), genInputs(t, 1, 31)[0])
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp.Result.DegradedBy != DegradedByWedge {
+		t.Fatalf("wedged frame degraded by %q, want %s", resp.Result.DegradedBy, DegradedByWedge)
+	}
+	if el := time.Since(start); el > 150*time.Millisecond {
+		t.Fatalf("wedged frame took %v, the wedge timeout did not fire", el)
+	}
+	st := s.Stats()
+	if st.Wedges == 0 || st.Restarts == 0 {
+		t.Fatalf("wedge not recorded/restarted: %+v", st)
+	}
+}
+
+// TestHedgedSubmit: with HedgeAfter armed, a slow primary is abandoned and
+// the batch answered from the fallback quickly; the abandoned decode's clean
+// finish is counted as hedge waste.
+func TestHedgedSubmit(t *testing.T) {
+	slow := func(_ int, be Backend) Backend {
+		return &slowBackend{Backend: be, delay: 100 * time.Millisecond}
+	}
+	s := newScheduler(t, Config{
+		MaxBatch: 1, Workers: 1,
+		WrapWorker: slow,
+		Resilience: ResilienceConfig{
+			HedgeAfter: 5 * time.Millisecond, HedgeBudget: 1, RestartWindow: time.Minute,
+		},
+	})
+	start := time.Now()
+	resp, err := s.Submit(context.Background(), genInputs(t, 1, 37)[0])
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if resp.Result.DegradedBy != DegradedByHedge {
+		t.Fatalf("hedged frame degraded by %q, want %s", resp.Result.DegradedBy, DegradedByHedge)
+	}
+	if el := time.Since(start); el > 80*time.Millisecond {
+		t.Fatalf("hedged answer took %v, slower than the abandoned primary", el)
+	}
+	waitStats(t, s, "hedge waste after the primary finishes", func(st Stats) bool {
+		return st.Hedges >= 1 && st.HedgeWaste >= 1
+	})
+}
+
+// TestAbandonedFrame: a submitter whose context expires mid-queue abandons
+// only the wait — the frame still decodes with its batch and is counted.
+func TestAbandonedFrame(t *testing.T) {
+	s, err := New(Config{MaxBatch: 1, Workers: 1}, newSlowFactory(t, 30*time.Millisecond))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := s.Submit(ctx, genInputs(t, 1, 41)[0]); err != context.DeadlineExceeded {
+		t.Fatalf("Submit with expired ctx: %v, want deadline exceeded", err)
+	}
+	waitStats(t, s, "abandoned frame accounting", func(st Stats) bool {
+		return st.Abandoned == 1 && st.Completed == 1
+	})
+}
+
+// TestChaosSoak is the in-process half of the chaos-smoke acceptance: a
+// mixed-fault storm followed by a clean recovery phase. Every frame must be
+// answered, the breaker must open, health must return to ok, and the served
+// detections must be no worse than the plain zero-forcing floor.
+func TestChaosSoak(t *testing.T) {
+	const frames = 120
+	plan := faultinject.NewServePlan(faultinject.ServePlanConfig{
+		PanicRate: 0.1, StallRate: 0.1, GarbageRate: 0.2, ErrorRate: 0.4,
+		StallFor: 500 * time.Microsecond, ClearAfter: 40, Seed: 3,
+	})
+	s := newScheduler(t, Config{
+		MaxBatch: 1, Workers: 1,
+		WrapWorker: chaosWrap(plan),
+		Resilience: ResilienceConfig{
+			FailureThreshold: 3,
+			CooldownBase:     5 * time.Millisecond,
+			CooldownCap:      10 * time.Millisecond,
+			RetryBudget:      0.5,
+			RestartWindow:    time.Minute,
+			MaxRestarts:      1000, // storm phase: keep restarting, never quarantine
+			Seed:             3,
+		},
+	})
+
+	r := rng.New(99)
+	cons := constellation.New(testMIMO.Mod)
+	zf := decoder.NewZF(cons)
+	var servedErrs, zfErrs, bits int
+	for i := 0; i < frames; i++ {
+		// When the breaker is open, pause past its cooldown so the next
+		// submit is a half-open probe: each probe reaches the backend and
+		// advances the plan toward its all-clear, so the storm always ends
+		// and the breaker can re-close.
+		if i > 0 && s.Stats().Health != "ok" {
+			time.Sleep(12 * time.Millisecond)
+		}
+		f, err := mimo.GenerateFrame(r, testMIMO, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := s.Submit(context.Background(), core.BatchInput{H: f.H, Y: f.Y, NoiseVar: f.NoiseVar})
+		if err != nil {
+			t.Fatalf("frame %d unanswered under chaos: %v", i, err)
+		}
+		if len(resp.Result.SymbolIdx) != testMIMO.Tx {
+			t.Fatalf("frame %d: %d decisions for %d antennas", i, len(resp.Result.SymbolIdx), testMIMO.Tx)
+		}
+		servedErrs += mimo.CountBitErrors(cons, f.SymbolIdx, resp.Result.SymbolIdx)
+		zfRes, err := zf.Decode(f.H, f.Y, f.NoiseVar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zfErrs += mimo.CountBitErrors(cons, f.SymbolIdx, zfRes.SymbolIdx)
+		bits += len(f.Bits)
+	}
+
+	st := s.Stats()
+	if st.Completed != frames {
+		t.Fatalf("completed %d of %d frames: %+v", st.Completed, frames, st)
+	}
+	if st.BreakerOpened == 0 {
+		t.Fatalf("the storm never opened the breaker: %+v", st)
+	}
+	if st.Health != "ok" {
+		t.Fatalf("health %q after recovery phase, want ok", st.Health)
+	}
+	if servedErrs > zfErrs {
+		t.Fatalf("served BER %d/%d worse than the ZF floor %d/%d under chaos",
+			servedErrs, bits, zfErrs, bits)
+	}
+	t.Logf("soak: %d frames, bit errors served=%d zf=%d, stats: panics=%d restarts=%d retries=%d breaker open/reclose=%d/%d fallback=%v",
+		frames, servedErrs, zfErrs, st.Panics, st.Restarts, st.Retries,
+		st.BreakerOpened, st.BreakerReclosed, st.FallbackByReason)
+}
+
+// TestResilienceDisableMatchesSeedPath: with Disable set, the decode path is
+// the bare backend call — exact results, no resilience accounting.
+func TestResilienceDisableMatchesSeedPath(t *testing.T) {
+	s := newScheduler(t, Config{
+		MaxBatch: 2, Workers: 1,
+		Resilience: ResilienceConfig{Disable: true},
+	})
+	for i, in := range genInputs(t, 4, 43) {
+		resp, err := s.Submit(context.Background(), in)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		if resp.Result.Quality != decoder.QualityExact {
+			t.Fatalf("frame %d quality %v", i, resp.Result.Quality)
+		}
+	}
+	st := s.Stats()
+	if st.Retries != 0 || st.Panics != 0 || len(st.FallbackByReason) != 0 {
+		t.Fatalf("disabled layer recorded resilience activity: %+v", st)
+	}
+}
+
+// TestHealthStateRoundTrip covers the Parse(String()) inverse across every
+// state, plus rejection of garbage.
+func TestHealthStateRoundTrip(t *testing.T) {
+	for _, h := range []HealthState{HealthOK, HealthDegraded, HealthDraining, HealthUnhealthy} {
+		got, err := ParseHealthState(h.String())
+		if err != nil || got != h {
+			t.Errorf("ParseHealthState(%q) = %v, %v", h.String(), got, err)
+		}
+	}
+	if _, err := ParseHealthState("sideways"); err == nil {
+		t.Error("ParseHealthState accepted garbage")
+	}
+}
+
+// TestQualityRoundTrip covers decoder.ParseQuality across every grade.
+func TestQualityRoundTrip(t *testing.T) {
+	for _, q := range []decoder.Quality{decoder.QualityExact, decoder.QualityBestEffort, decoder.QualityFallback} {
+		got, err := decoder.ParseQuality(q.String())
+		if err != nil || got != q {
+			t.Errorf("ParseQuality(%q) = %v, %v", q.String(), got, err)
+		}
+	}
+	if _, err := decoder.ParseQuality("miraculous"); err == nil {
+		t.Error("ParseQuality accepted garbage")
+	}
+}
+
+// TestConcurrentChaos hammers a multi-worker scheduler with concurrent
+// submitters during a fault storm — the no-crash, every-frame-answered
+// contract under real contention (meaningful mostly under -race).
+func TestConcurrentChaos(t *testing.T) {
+	plan := faultinject.NewServePlan(faultinject.ServePlanConfig{
+		PanicRate: 0.05, GarbageRate: 0.05, ErrorRate: 0.1, ClearAfter: 100, Seed: 5,
+	})
+	s := newScheduler(t, Config{
+		MaxBatch: 4, Workers: 3, Policy: ShedToLinear,
+		WrapWorker: chaosWrap(plan),
+		Resilience: ResilienceConfig{
+			FailureThreshold: 3,
+			CooldownBase:     2 * time.Millisecond,
+			CooldownCap:      10 * time.Millisecond,
+			RetryBudget:      0.5,
+			RestartWindow:    time.Minute,
+			MaxRestarts:      1000,
+			Seed:             5,
+		},
+	})
+	inputs := genInputs(t, 64, 47)
+	var wg sync.WaitGroup
+	errs := make(chan error, len(inputs))
+	for i := range inputs {
+		wg.Add(1)
+		go func(in core.BatchInput) {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), in); err != nil {
+				errs <- err
+			}
+		}(inputs[i])
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("Submit under concurrent chaos: %v", err)
+	}
+	st := s.Stats()
+	if got := st.Completed + st.Shed; got != uint64(len(inputs)) {
+		t.Fatalf("answered %d of %d frames: %+v", got, len(inputs), st)
+	}
+}

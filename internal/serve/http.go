@@ -345,10 +345,14 @@ func (h *handler) metrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
+// healthz serves the graded health report. ok and degraded answer 200 (the
+// service is still doing useful work, possibly at reduced quality); draining
+// and unhealthy answer 503 so load balancers route away.
 func (h *handler) healthz(w http.ResponseWriter, _ *http.Request) {
-	if h.s.Healthy() {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-		return
+	state, report := h.s.Health()
+	code := http.StatusOK
+	if state == HealthDraining || state == HealthUnhealthy {
+		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	writeJSON(w, code, report)
 }

@@ -122,10 +122,10 @@ type Stats struct {
 	Failed    uint64 `json:"failed"`    // dispatched but the batch decode errored
 
 	// Batch accounting.
-	Batches        uint64   `json:"batches"`
-	BatchedFrames  uint64   `json:"batched_frames"`
-	MeanBatchSize  float64  `json:"mean_batch_size"`
-	BatchSizeHist  []uint64 `json:"batch_size_hist"` // index i counts batches of size i+1
+	Batches       uint64   `json:"batches"`
+	BatchedFrames uint64   `json:"batched_frames"`
+	MeanBatchSize float64  `json:"mean_batch_size"`
+	BatchSizeHist []uint64 `json:"batch_size_hist"` // index i counts batches of size i+1
 	SimulatedTotal
 	// QualityCounts histograms completed+shed frames by decode quality
 	// ("exact", "best-effort", "fallback").
@@ -135,6 +135,26 @@ type Stats struct {
 	// Latency distributions.
 	QueueWait DurationDist `json:"queue_wait"` // submit → batch dispatch
 	Service   DurationDist `json:"service"`    // batch decode wall time
+
+	// Resilience accounting (see resilient.go). FallbackByReason histograms
+	// fallback-served frames by the DegradedBy reason they carry; the breaker
+	// counters aggregate transitions across every worker's breaker.
+	Panics               uint64            `json:"panics"`
+	Restarts             uint64            `json:"worker_restarts"`
+	Quarantines          uint64            `json:"quarantines"`
+	Retries              uint64            `json:"retries"`
+	RetryBudgetExhausted uint64            `json:"retry_budget_exhausted"`
+	Hedges               uint64            `json:"hedges"`
+	HedgeWaste           uint64            `json:"hedge_waste"` // abandoned primaries that finished fine
+	Wedges               uint64            `json:"wedges"`
+	Abandoned            uint64            `json:"abandoned_frames"` // decoded but the submitter had left
+	FallbackByReason     map[string]uint64 `json:"fallback_by_reason,omitempty"`
+	BreakerOpened        uint64            `json:"breaker_opened"`
+	BreakerProbes        uint64            `json:"breaker_probes"`
+	BreakerReclosed      uint64            `json:"breaker_reclosed"`
+	BreakerShortCircuit  uint64            `json:"breaker_short_circuited"`
+	Health               string            `json:"health"`
+	LastPanic            string            `json:"last_panic,omitempty"`
 
 	// Gauges.
 	QueueDepth int  `json:"queue_depth"` // frames waiting for a batch slot
@@ -178,15 +198,29 @@ type metrics struct {
 	service       durHist
 	inFlight      int
 	baseMallocs   uint64 // heap mallocs at construction
+
+	// Resilience counters (guarded by mu like everything else).
+	panics               uint64
+	restarts             uint64
+	quarantines          uint64
+	retries              uint64
+	retryBudgetExhausted uint64
+	hedges               uint64
+	hedgeWaste           uint64
+	wedges               uint64
+	abandoned            uint64
+	fallbackByReason     map[string]uint64
+	lastPanic            string
 }
 
 func newMetrics(maxBatch int) *metrics {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	return &metrics{
-		batchSizes:  make([]uint64, maxBatch),
-		quality:     make(map[string]uint64, 3),
-		baseMallocs: ms.Mallocs,
+		batchSizes:       make([]uint64, maxBatch),
+		quality:          make(map[string]uint64, 3),
+		fallbackByReason: make(map[string]uint64, 4),
+		baseMallocs:      ms.Mallocs,
 	}
 }
 
@@ -216,9 +250,26 @@ func (m *metrics) snapshot(queueDepth int, draining bool) Stats {
 		QueueDepth:    queueDepth,
 		InFlight:      m.inFlight,
 		Draining:      draining,
+
+		Panics:               m.panics,
+		Restarts:             m.restarts,
+		Quarantines:          m.quarantines,
+		Retries:              m.retries,
+		RetryBudgetExhausted: m.retryBudgetExhausted,
+		Hedges:               m.hedges,
+		HedgeWaste:           m.hedgeWaste,
+		Wedges:               m.wedges,
+		Abandoned:            m.abandoned,
+		LastPanic:            m.lastPanic,
 	}
 	for k, v := range m.quality {
 		st.QualityCounts[k] = v
+	}
+	if len(m.fallbackByReason) > 0 {
+		st.FallbackByReason = make(map[string]uint64, len(m.fallbackByReason))
+		for k, v := range m.fallbackByReason {
+			st.FallbackByReason[k] = v
+		}
 	}
 	if m.batches > 0 {
 		st.MeanBatchSize = float64(m.batchedFrames) / float64(m.batches)

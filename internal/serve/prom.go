@@ -31,6 +31,38 @@ func WritePrometheus(w io.Writer, st Stats) {
 	counter("mimosd_simulated_seconds_total", "Modeled FPGA time of everything decoded.", st.SimulatedTime.Seconds())
 	counter("mimosd_energy_joules_total", "Modeled FPGA energy of everything decoded.", st.EnergyJ)
 	counter("mimosd_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", float64(st.GCPauseNs)/1e9)
+	counter("mimosd_worker_panics_total", "Panics recovered from decode workers.", float64(st.Panics))
+	counter("mimosd_worker_restarts_total", "Backend rebuilds after panics/wedges/hedges.", float64(st.Restarts))
+	counter("mimosd_quarantines_total", "Workers quarantined after exhausting the restart budget.", float64(st.Quarantines))
+	counter("mimosd_retries_total", "Extra decode attempts after transient faults.", float64(st.Retries))
+	counter("mimosd_retry_budget_exhausted_total", "Retries refused by the token-bucket budget.", float64(st.RetryBudgetExhausted))
+	counter("mimosd_hedges_total", "Batches answered by a hedged fallback submit.", float64(st.Hedges))
+	counter("mimosd_hedge_waste_total", "Abandoned primary decodes that finished fine.", float64(st.HedgeWaste))
+	counter("mimosd_wedges_total", "Primary decodes declared wedged by timeout.", float64(st.Wedges))
+	counter("mimosd_abandoned_frames_total", "Frames decoded after their submitter left.", float64(st.Abandoned))
+	counter("mimosd_breaker_opened_total", "Circuit breaker closed-to-open transitions.", float64(st.BreakerOpened))
+	counter("mimosd_breaker_probes_total", "Half-open probe decodes admitted.", float64(st.BreakerProbes))
+	counter("mimosd_breaker_reclosed_total", "Circuit breaker half-open-to-closed recoveries.", float64(st.BreakerReclosed))
+	counter("mimosd_breaker_short_circuited_total", "Batches refused by an open breaker.", float64(st.BreakerShortCircuit))
+
+	fmt.Fprintf(w, "# HELP mimosd_fallback_frames_total Frames answered by the linear fallback, by reason.\n# TYPE mimosd_fallback_frames_total counter\n")
+	reasons := make([]string, 0, len(st.FallbackByReason))
+	for r := range st.FallbackByReason {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, "mimosd_fallback_frames_total{reason=%q} %d\n", r, st.FallbackByReason[r])
+	}
+
+	fmt.Fprintf(w, "# HELP mimosd_health Current health state (1 on the active state's line).\n# TYPE mimosd_health gauge\n")
+	for _, h := range []string{"ok", "degraded", "draining", "unhealthy"} {
+		v := 0
+		if st.Health == h {
+			v = 1
+		}
+		fmt.Fprintf(w, "mimosd_health{state=%q} %d\n", h, v)
+	}
 
 	fmt.Fprintf(w, "# HELP mimosd_frames_by_quality_total Frames by decode quality.\n# TYPE mimosd_frames_by_quality_total counter\n")
 	qualities := make([]string, 0, len(st.QualityCounts))

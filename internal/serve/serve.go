@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/decoder"
+	"repro/internal/resilience"
 	"repro/internal/trace"
 )
 
@@ -54,6 +56,14 @@ type Config struct {
 	// shared node budget — core.WithBudget semantics). Overruns degrade
 	// quality, they never drop frames.
 	Budget core.BatchBudget
+	// Resilience tunes worker supervision, the per-backend circuit breaker,
+	// retries, and hedging. The zero value enables supervision with
+	// defaults; set Resilience.Disable for the unsupervised seed behaviour.
+	Resilience ResilienceConfig
+	// WrapWorker, when non-nil, wraps each decode worker's backend (and is
+	// re-applied on supervised restarts). The chaos harness injects its
+	// FaultyBackend here; validation and the shed path stay unwrapped.
+	WrapWorker func(worker int, be Backend) Backend
 }
 
 // withDefaults returns c with zero fields replaced by defaults.
@@ -97,11 +107,15 @@ type result struct {
 	err error
 }
 
-// request is one queued frame.
+// request is one queued frame. claimed settles the race between the worker
+// delivering the response and the submitter abandoning the wait on context
+// expiry: exactly one side wins the CAS, so an abandoned frame is counted
+// once and its (unobservable) response is never published to trace streams.
 type request struct {
-	in   core.BatchInput
-	enq  time.Time
-	resp chan result // buffered 1: workers never block on reply
+	in      core.BatchInput
+	enq     time.Time
+	resp    chan result // buffered 1: workers never block on reply
+	claimed atomic.Bool
 }
 
 // batch is one coalesced dispatch: the claimed requests plus the instant
@@ -131,6 +145,15 @@ type Scheduler struct {
 	shedMu    sync.Mutex // serializes the inline shed backend
 	shedBE    Backend
 
+	// Resilience layer: one supervised control block per worker, plus the
+	// shared retry/hedge budgets and backoff (see resilient.go).
+	factory     func() (Backend, error)
+	rcfg        ResilienceConfig
+	workers     []*workerCtl
+	retryBudget *resilience.Budget
+	hedgeBudget *resilience.Budget
+	backoff     *resilience.Backoff
+
 	batcherDone chan struct{}
 	workersWG   sync.WaitGroup
 
@@ -154,12 +177,22 @@ func New(cfg Config, factory func() (Backend, error)) (*Scheduler, error) {
 	default:
 		return nil, fmt.Errorf("serve: unknown overload policy %v", int(cfg.Policy))
 	}
+	rcfg := cfg.Resilience.withDefaults()
+	if rcfg.HedgeAfter < 0 || rcfg.WedgeTimeout < 0 {
+		return nil, fmt.Errorf("serve: negative resilience timer (hedge %v, wedge %v)",
+			rcfg.HedgeAfter, rcfg.WedgeTimeout)
+	}
 	s := &Scheduler{
 		cfg:         cfg,
 		queue:       make(chan *request, cfg.QueueCap),
 		dispatch:    make(chan batch, cfg.Workers),
 		stop:        make(chan struct{}),
 		batcherDone: make(chan struct{}),
+		factory:     factory,
+		rcfg:        rcfg,
+		retryBudget: resilience.NewBudget(rcfg.RetryBudget, 10),
+		hedgeBudget: resilience.NewBudget(rcfg.HedgeBudget, 4),
+		backoff:     resilience.NewBackoff(rcfg.RetryBase, rcfg.RetryCap, rcfg.Seed),
 		m:           newMetrics(cfg.MaxBatch),
 		traces:      trace.NewHub(),
 	}
@@ -170,16 +203,31 @@ func New(cfg Config, factory func() (Backend, error)) (*Scheduler, error) {
 	if s.shedBE, err = factory(); err != nil {
 		return nil, fmt.Errorf("serve: backend factory: %w", err)
 	}
-	backends := make([]Backend, cfg.Workers)
-	for i := range backends {
-		if backends[i], err = factory(); err != nil {
+	s.workers = make([]*workerCtl, cfg.Workers)
+	for i := range s.workers {
+		be, err := factory()
+		if err != nil {
 			return nil, fmt.Errorf("serve: backend factory: %w", err)
+		}
+		if cfg.WrapWorker != nil {
+			be = cfg.WrapWorker(i, be)
+		}
+		s.workers[i] = &workerCtl{
+			id: i,
+			be: be,
+			breaker: resilience.NewBreaker(resilience.BreakerConfig{
+				FailureThreshold: rcfg.FailureThreshold,
+				CooldownBase:     rcfg.CooldownBase,
+				CooldownCap:      rcfg.CooldownCap,
+				Seed:             rcfg.Seed + uint64(i) + 1,
+			}),
+			restarts: resilience.NewRestartBudget(rcfg.MaxRestarts, rcfg.RestartWindow),
 		}
 	}
 	go s.batcher()
 	s.workersWG.Add(cfg.Workers)
-	for _, be := range backends {
-		go s.worker(be)
+	for _, w := range s.workers {
+		go s.worker(w)
 	}
 	return s, nil
 }
@@ -200,7 +248,17 @@ func (s *Scheduler) Stats() Stats {
 	s.admit.RLock()
 	draining := s.closed
 	s.admit.RUnlock()
-	return s.m.snapshot(len(s.queue), draining)
+	st := s.m.snapshot(len(s.queue), draining)
+	state, _ := s.Health()
+	st.Health = state.String()
+	for _, w := range s.workers {
+		c := w.breaker.Counters()
+		st.BreakerOpened += c.Opened
+		st.BreakerProbes += c.Probes
+		st.BreakerReclosed += c.Reclosed
+		st.BreakerShortCircuit += c.ShortCircuited
+	}
+	return st
 }
 
 // Healthy reports whether the scheduler is accepting work.
@@ -245,6 +303,13 @@ func (s *Scheduler) Submit(ctx context.Context, in core.BatchInput) (*Response, 
 	case r := <-req.resp:
 		return r.out, r.err
 	case <-ctx.Done():
+		if !req.claimed.CompareAndSwap(false, true) {
+			// Lost the race: the worker already committed a response, so
+			// deliver it (the buffered send has either happened or is
+			// imminent) rather than reporting a timeout for decoded work.
+			r := <-req.resp
+			return r.out, r.err
+		}
 		return nil, ctx.Err()
 	}
 }
@@ -388,20 +453,36 @@ func (s *Scheduler) drain() {
 	}
 }
 
-// worker decodes dispatched batches on its private backend.
-func (s *Scheduler) worker(be Backend) {
+// worker decodes dispatched batches on its private, supervised backend. The
+// loop itself runs under a recovery barrier too, so even a panic escaping
+// the per-batch supervision (bookkeeping bugs, not backend faults) restarts
+// the loop instead of killing the process.
+func (s *Scheduler) worker(w *workerCtl) {
 	defer s.workersWG.Done()
 	for b := range s.dispatch {
-		s.runBatch(be, b)
+		b := b
+		if err := resilience.Recover(func() error { s.runBatch(w, b); return nil }); err != nil {
+			// The batch's frames may be unanswered; a typed error is the
+			// honest answer of last resort.
+			var pe *resilience.PanicError
+			if errors.As(err, &pe) {
+				s.recordPanic(w.id, pe)
+			}
+			for _, req := range b.reqs {
+				if req.claimed.CompareAndSwap(false, true) {
+					req.resp <- result{err: fmt.Errorf("serve: batch decode: %w", err)}
+				}
+			}
+		}
 	}
 }
 
-// runBatch decodes one coalesced batch and fans results back out. When the
-// trace hub has subscribers it records the batch's span breakdown
-// (queue-wait → batch-form → preprocess → search → respond) and publishes one
-// wire Frame per request; with no subscribers the only cost is one atomic
-// load.
-func (s *Scheduler) runBatch(be Backend, b batch) {
+// runBatch decodes one coalesced batch through the resilient path and fans
+// results back out. When the trace hub has subscribers it records the
+// batch's span breakdown (queue-wait → batch-form → preprocess → search →
+// respond) and publishes one wire Frame per request; with no subscribers the
+// only cost is one atomic load.
+func (s *Scheduler) runBatch(w *workerCtl, b batch) {
 	reqs := b.reqs
 	start := time.Now()
 	s.m.mu.Lock()
@@ -426,11 +507,25 @@ func (s *Scheduler) runBatch(be Backend, b batch) {
 		bt.AddPhase("batch-form", b.born, start)
 		opts = append(opts, core.WithTrace(bt))
 	}
-	rep, err := be.DecodeBatch(inputs, opts...)
+	rep, oc, err := s.decodeResilient(w, inputs, opts)
 	svc := time.Since(start)
+	if bt != nil && err == nil && oc.fallbackReason != "" {
+		// The batch never reached the accelerator (or its attempt was
+		// abandoned): synthesize the degraded per-frame traces the traced
+		// decode would have produced.
+		s.synthesizeFallbackTraces(bt, inputs, oc.fallbackReason)
+	}
 
 	s.m.mu.Lock()
 	s.m.inFlight -= len(reqs)
+	s.m.retries += uint64(oc.retries)
+	s.m.wedges += uint64(oc.wedges)
+	if oc.hedged {
+		s.m.hedges++
+	}
+	if oc.fallbackReason != "" {
+		s.m.fallbackByReason[oc.fallbackReason] += uint64(len(reqs))
+	}
 	if err != nil {
 		s.m.failed += uint64(len(reqs))
 	} else {
@@ -454,7 +549,17 @@ func (s *Scheduler) runBatch(be Backend, b batch) {
 	s.m.mu.Unlock()
 
 	respondStart := time.Now()
+	abandoned := make([]bool, len(reqs))
+	var abandonedCount uint64
 	for i, req := range reqs {
+		if !req.claimed.CompareAndSwap(false, true) {
+			// The submitter's context expired and it left: the decode
+			// happened (it was coalesced with live frames) but nobody can
+			// observe the response.
+			abandoned[i] = true
+			abandonedCount++
+			continue
+		}
 		if err != nil {
 			req.resp <- result{err: fmt.Errorf("serve: batch decode: %w", err)}
 			continue
@@ -467,19 +572,42 @@ func (s *Scheduler) runBatch(be Backend, b batch) {
 			SimulatedTime: rep.SimulatedTime,
 		}}
 	}
+	if abandonedCount > 0 {
+		s.m.mu.Lock()
+		s.m.abandoned += abandonedCount
+		s.m.mu.Unlock()
+	}
 	if bt != nil && err == nil {
 		end := time.Now()
 		bt.AddPhase("respond", respondStart, end)
 		bt.Batch.End = end
-		s.publishFrames(bt, rep, len(reqs))
+		s.publishFrames(bt, rep, abandoned, oc.annotations())
+	}
+}
+
+// synthesizeFallbackTraces fills bt.Frames with the zero-visit degraded
+// traces a shed batch carries (the accelerator never ran, so there is no
+// recorded search to publish).
+func (s *Scheduler) synthesizeFallbackTraces(bt *trace.BatchTrace, inputs []core.BatchInput, reason string) {
+	alphabet := s.validator.Constellation().Size()
+	bt.Frames = make([]*trace.SearchTrace, len(inputs))
+	for i, in := range inputs {
+		ft := trace.NewSearchTrace()
+		ft.SearchStart(in.H.Cols, alphabet, 0)
+		ft.Degraded(reason)
+		ft.SearchEnd(0, 0)
+		bt.Frames[i] = ft
 	}
 }
 
 // publishFrames converts one traced batch into wire frames and fans them out
-// to the hub's subscribers.
-func (s *Scheduler) publishFrames(bt *trace.BatchTrace, rep *core.BatchReport, n int) {
+// to the hub's subscribers. Abandoned frames are skipped — their respond
+// phase never happened, so publishing them would break the span invariants
+// consumers check.
+func (s *Scheduler) publishFrames(bt *trace.BatchTrace, rep *core.BatchReport, abandoned []bool, annotations []string) {
+	n := len(rep.Results)
 	for i := 0; i < n; i++ {
-		if i >= len(bt.Frames) || bt.Frames[i] == nil {
+		if i >= len(bt.Frames) || bt.Frames[i] == nil || (i < len(abandoned) && abandoned[i]) {
 			continue
 		}
 		f := trace.NewFrame(bt.Frames[i], "serve")
@@ -487,6 +615,7 @@ func (s *Scheduler) publishFrames(bt *trace.BatchTrace, rep *core.BatchReport, n
 		res := rep.Results[i]
 		f.Quality = res.Quality.String()
 		f.DegradedBy = res.DegradedBy
+		f.Annotations = annotations
 		f.AttachBatch(bt, n)
 		s.traces.Publish(f)
 	}

@@ -28,21 +28,23 @@ type Frame struct {
 	M        int `json:"m"`
 	Alphabet int `json:"alphabet"`
 
-	// Decode outcome.
-	Quality    string `json:"quality"`
-	DegradedBy string `json:"degraded_by,omitempty"`
+	// Decode outcome. Annotations are resilience markers the serving layer
+	// stamps on the whole batch: "retried", "hedged", "shed:<reason>".
+	Quality     string   `json:"quality"`
+	DegradedBy  string   `json:"degraded_by,omitempty"`
+	Annotations []string `json:"annotations,omitempty"`
 
 	// Search profile. NodesVisited is the decoder-reported expansion count;
 	// the per-level Visits sum to it exactly (ValidateFrame enforces this).
 	// FullTreeNodes = Σ_{d=0..M} |Ω|^d is the exhaustive-search node count
 	// the paper's Fig. 5 pruning evidence compares against.
-	NodesVisited    int64        `json:"nodes_visited"`
-	FullTreeNodes   float64      `json:"full_tree_nodes"`
-	InitialRadiusSq float64      `json:"initial_radius_sq"` // -1 = unbounded
-	FinalRadiusSq   float64      `json:"final_radius_sq"`   // -1 = unbounded
-	Retries         int          `json:"retries"`
-	SearchNS        int64        `json:"search_ns"`
-	Levels          []FrameLevel `json:"levels"`
+	NodesVisited    int64         `json:"nodes_visited"`
+	FullTreeNodes   float64       `json:"full_tree_nodes"`
+	InitialRadiusSq float64       `json:"initial_radius_sq"` // -1 = unbounded
+	FinalRadiusSq   float64       `json:"final_radius_sq"`   // -1 = unbounded
+	Retries         int           `json:"retries"`
+	SearchNS        int64         `json:"search_ns"`
+	Levels          []FrameLevel  `json:"levels"`
 	Radius          []FrameRadius `json:"radius,omitempty"`
 
 	// Serving-pipeline spans (absent for local simulations).

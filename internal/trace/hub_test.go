@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHubSubscribePublishBasics: published frames reach every subscriber,
+// full buffers drop instead of blocking, and Unsubscribe closes the channel.
+func TestHubSubscribePublishBasics(t *testing.T) {
+	h := NewHub()
+	if h.Active() {
+		t.Fatal("empty hub reports active")
+	}
+	a, b := h.Subscribe(4), h.Subscribe(1)
+	if !h.Active() {
+		t.Fatal("hub with subscribers reports inactive")
+	}
+	for i := 0; i < 3; i++ {
+		h.Publish(&Frame{FrameID: uint64(i + 1)})
+	}
+	if len(a) != 3 {
+		t.Fatalf("deep subscriber holds %d frames, want 3", len(a))
+	}
+	if len(b) != 1 {
+		t.Fatalf("shallow subscriber holds %d frames, want 1 (drops, never blocks)", len(b))
+	}
+	h.Unsubscribe(a)
+	if _, ok := <-a; len(a) != 0 && !ok {
+		t.Fatal("unsubscribed channel not drained-then-closed")
+	}
+	h.Unsubscribe(b)
+	h.Unsubscribe(b) // double-unsubscribe is a no-op
+	if h.Active() {
+		t.Fatal("hub reports active after every unsubscribe")
+	}
+}
+
+// TestHubConcurrentHammer drives Subscribe/Publish/Unsubscribe/Active from
+// many goroutines at once — the send-on-closed-channel and counter races the
+// hub's locking must exclude. Run with -race for the real assertion.
+func TestHubConcurrentHammer(t *testing.T) {
+	h := NewHub()
+	const (
+		publishers  = 8
+		subscribers = 8
+		churns      = 50
+		frames      = 200
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				// The serving hot path checks Active before assembling a
+				// frame; hammer the same read-then-publish interleaving.
+				_ = h.Active()
+				h.Publish(&Frame{FrameID: h.NextFrameID()})
+			}
+		}()
+	}
+	for s := 0; s < subscribers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < churns; i++ {
+				ch := h.Subscribe(2)
+				// Drain a little so publishers hit both full and empty
+				// buffers, then churn the subscription.
+				for j := 0; j < 3; j++ {
+					select {
+					case <-ch:
+					case <-stop:
+					default:
+					}
+				}
+				h.Unsubscribe(ch)
+				// Reading after close must yield closed, not panic or race.
+				for range ch {
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	if h.Active() {
+		t.Fatalf("hub still active after all churns")
+	}
+}
