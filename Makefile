@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race race-serve serve-smoke trace-smoke chaos-smoke fuzz bench bench-check
+.PHONY: check vet build test race race-serve race-cluster serve-smoke trace-smoke chaos-smoke cluster-smoke fuzz bench bench-check
 
 # check is the gate: static analysis, build, a single-iteration pass over
 # every benchmark (so the bench harness itself cannot rot), the serving
 # scheduler under the race detector (its tests are the most
-# concurrency-sensitive, so they run first and fail fast), the full suite
-# under the race detector, then the observability path and the
-# self-healing contract end to end.
-check: vet build bench-check race-serve race trace-smoke chaos-smoke
+# concurrency-sensitive, so they run first and fail fast), the cluster
+# proxy and breaker under the race detector, the full suite under the race
+# detector, then the observability path, the single-node self-healing
+# contract, and the cluster failover contract end to end.
+check: vet build bench-check race-serve race-cluster race trace-smoke chaos-smoke cluster-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +27,13 @@ race-serve:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/serve/...
 
+# race-cluster runs the sharding/failover/hedging layer and the circuit
+# breaker (whose half-open exclusivity the proxy leans on) under the race
+# detector — the cluster race loop is the most contended code in the repo.
+race-cluster:
+	$(GO) vet ./internal/cluster/... ./internal/resilience/...
+	$(GO) test -race ./internal/cluster/... ./internal/resilience/...
+
 # serve-smoke boots sdserver, fires sdload at it for 2 s, and asserts a
 # non-zero decoded count (end-to-end liveness of the serving stack).
 serve-smoke:
@@ -42,6 +50,13 @@ trace-smoke:
 # no crash, no dropped requests, breaker opens, health returns to ok.
 chaos-smoke:
 	bash scripts/chaos_smoke.sh
+
+# cluster-smoke boots a ring of sdserver shards behind sdproxy and asserts
+# the cluster contract: throughput scales with shard count, affinity
+# routing beats scatter on QR-cache locality, a seeded kill/partition/
+# stall storm drops nothing and health recovers, and join/leave work live.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # bench regenerates BENCH_decode.json: the software hot-path figures
 # (ns/decode, allocs/op, nodes/s, and the QR-reuse batch speedup).

@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,6 +40,22 @@ type sample struct {
 	batchSize int
 	quality   string
 	shed      bool
+	target    string
+}
+
+// targetSummary is one endpoint's slice of a multi-target run: where the
+// latency and errors actually landed when -targets spreads load over several
+// shards or proxies.
+type targetSummary struct {
+	Requests        int           `json:"requests"`
+	OK              int           `json:"ok"`
+	Rejected        int           `json:"rejected"`
+	Errors          int           `json:"errors"`
+	TransportErrors int           `json:"transport_errors"`
+	Throughput      float64       `json:"throughput_rps"`
+	P50             time.Duration `json:"p50_ns"`
+	P95             time.Duration `json:"p95_ns"`
+	MaxLatency      time.Duration `json:"max_ns"`
 }
 
 // summary aggregates a run.
@@ -68,6 +85,10 @@ type summary struct {
 	// frame — the live regression signal for the zero-alloc hot path.
 	GCPauseNs         uint64  `json:"go_gc_pause_ns"`
 	DecodeAllocsPerOp float64 `json:"decode_allocs_per_op"`
+
+	// PerTarget splits the run by endpoint when -targets names more than
+	// one; nil for single-target runs.
+	PerTarget map[string]targetSummary `json:"per_target,omitempty"`
 }
 
 // percentile returns the p-quantile (0..1) of sorted latencies.
@@ -122,6 +143,46 @@ func summarize(samples []sample, elapsed time.Duration) summary {
 		s.Throughput = float64(s.OK) / elapsed.Seconds()
 	}
 	return s
+}
+
+// splitByTarget reduces samples to per-endpoint summaries (nil when every
+// sample hit the same single target).
+func splitByTarget(samples []sample, elapsed time.Duration, targets []string) map[string]targetSummary {
+	if len(targets) < 2 {
+		return nil
+	}
+	lats := map[string][]time.Duration{}
+	out := map[string]targetSummary{}
+	for _, sm := range samples {
+		ts := out[sm.target]
+		ts.Requests++
+		switch {
+		case sm.status == http.StatusOK:
+			ts.OK++
+			lats[sm.target] = append(lats[sm.target], sm.latency)
+		case sm.status == http.StatusTooManyRequests:
+			ts.Rejected++
+		case sm.status < 0:
+			ts.TransportErrors++
+		default:
+			ts.Errors++
+		}
+		out[sm.target] = ts
+	}
+	for tgt, ts := range out {
+		l := lats[tgt]
+		sort.Slice(l, func(a, b int) bool { return l[a] < l[b] })
+		ts.P50 = percentile(l, 0.50)
+		ts.P95 = percentile(l, 0.95)
+		if len(l) > 0 {
+			ts.MaxLatency = l[len(l)-1]
+		}
+		if elapsed > 0 {
+			ts.Throughput = float64(ts.OK) / elapsed.Seconds()
+		}
+		out[tgt] = ts
+	}
+	return out
 }
 
 // waitReady polls GET /healthz with short exponential backoff until the
@@ -233,10 +294,10 @@ func fire(client *http.Client, addr string, body []byte) sample {
 	start := time.Now()
 	resp, err := client.Post(addr+"/v1/decode", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return sample{latency: time.Since(start), status: -1}
+		return sample{latency: time.Since(start), status: -1, target: addr}
 	}
 	defer resp.Body.Close()
-	sm := sample{status: resp.StatusCode}
+	sm := sample{status: resp.StatusCode, target: addr}
 	if resp.StatusCode == http.StatusOK {
 		var out serve.DecodeResponse
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
@@ -256,6 +317,7 @@ func fire(client *http.Client, addr string, body []byte) sample {
 func main() {
 	var (
 		addr     = flag.String("addr", "http://localhost:8080", "sdserver base URL")
+		targetsF = flag.String("targets", "", "comma-separated endpoints to spread load over round-robin (overrides -addr); the summary adds per-target splits")
 		duration = flag.Duration("duration", 5*time.Second, "run length")
 		conc     = flag.Int("conc", 8, "closed-loop concurrency (ignored when -rate > 0)")
 		rate     = flag.Float64("rate", 0, "open-loop arrival rate in req/s (0 = closed loop)")
@@ -278,10 +340,24 @@ func main() {
 			MaxIdleConnsPerHost: 2048,
 		},
 	}
-	if err := waitReady(client, *addr, *patience); err != nil {
-		log.Fatalf("sdload: %v", err)
+	targets := []string{*addr}
+	if *targetsF != "" {
+		targets = targets[:0]
+		for _, t := range strings.Split(*targetsF, ",") {
+			if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+				targets = append(targets, t)
+			}
+		}
+		if len(targets) == 0 {
+			log.Fatal("sdload: -targets named no usable endpoints")
+		}
 	}
-	info, err := fetchConfig(client, *addr, *patience)
+	for _, t := range targets {
+		if err := waitReady(client, t, *patience); err != nil {
+			log.Fatalf("sdload: %v", err)
+		}
+	}
+	info, err := fetchConfig(client, targets[0], *patience)
 	if err != nil {
 		log.Fatalf("sdload: %v", err)
 	}
@@ -327,11 +403,12 @@ func main() {
 					droppedClient++
 					continue
 				}
+				tgt := targets[fired%len(targets)]
 				wg.Add(1)
 				go func() {
 					defer wg.Done()
 					defer func() { <-inflight }()
-					record(fire(client, *addr, body))
+					record(fire(client, tgt, body))
 				}()
 			}
 		}
@@ -345,7 +422,7 @@ func main() {
 			go func(w int) {
 				defer wg.Done()
 				for i := w; time.Now().Before(stop); i += *conc {
-					record(fire(client, *addr, bodies[i%len(bodies)]))
+					record(fire(client, targets[i%len(targets)], bodies[i%len(bodies)]))
 				}
 			}(w)
 		}
@@ -354,7 +431,8 @@ func main() {
 	elapsed := time.Since(start)
 
 	s := summarize(samples, elapsed)
-	if st, err := fetchMetrics(client, *addr); err != nil {
+	s.PerTarget = splitByTarget(samples, elapsed, targets)
+	if st, err := fetchMetrics(client, targets[0]); err != nil {
 		fmt.Fprintf(os.Stderr, "sdload: metrics fetch failed: %v\n", err)
 	} else {
 		s.GCPauseNs = st.GCPauseNs
@@ -368,7 +446,7 @@ func main() {
 		if *rate > 0 {
 			mode = fmt.Sprintf("open-loop rate=%g/s", *rate)
 		}
-		fmt.Printf("sdload: %s against %s (%dx%d %s)\n", mode, *addr, info.TxAntennas, info.RxAntennas, info.Modulation)
+		fmt.Printf("sdload: %s against %s (%dx%d %s)\n", mode, strings.Join(targets, ", "), info.TxAntennas, info.RxAntennas, info.Modulation)
 		fmt.Printf("  requests    %d (ok %d, rejected %d, errors %d, transport %d) in %v\n",
 			s.Requests, s.OK, s.Rejected, s.Errors, s.TransportErrors, elapsed.Round(time.Millisecond))
 		fmt.Printf("  throughput  %.1f req/s\n", s.Throughput)
@@ -377,6 +455,18 @@ func main() {
 		fmt.Printf("  quality     %v  shed %d\n", s.Quality, s.Shed)
 		fmt.Printf("  server      gc pause %v total, %.1f allocs/frame\n",
 			time.Duration(s.GCPauseNs), s.DecodeAllocsPerOp)
+		if len(s.PerTarget) > 0 {
+			tgts := make([]string, 0, len(s.PerTarget))
+			for t := range s.PerTarget {
+				tgts = append(tgts, t)
+			}
+			sort.Strings(tgts)
+			for _, t := range tgts {
+				ts := s.PerTarget[t]
+				fmt.Printf("  target %-28s ok %d  rejected %d  errors %d  transport %d  p50 %v  p95 %v\n",
+					t, ts.OK, ts.Rejected, ts.Errors, ts.TransportErrors, ts.P50, ts.P95)
+			}
+		}
 	}
 	if s.OK < *minOK {
 		fmt.Fprintf(os.Stderr, "sdload: only %d ok responses, need %d\n", s.OK, *minOK)

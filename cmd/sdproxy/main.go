@@ -1,0 +1,210 @@
+// Command sdproxy fronts a ring of sdserver shards: it consistent-hashes
+// each frame's channel fingerprint onto the ring so repeated frames under
+// one channel keep hitting the same shard's hot QR cache, fails over across
+// replicas when a shard dies, hedges slow attempts, and — when a key's
+// whole replica set is dark — answers from a local linear fallback so no
+// valid frame is ever dropped.
+//
+// Endpoints:
+//
+//	POST /v1/decode  same wire format as sdserver (single frame or frames: [...])
+//	GET  /v1/config  MIMO configuration (proxied shape) plus cluster topology
+//	GET  /v1/shards  per-shard state, breaker, incarnation, and ledger
+//	POST /v1/shards  join a shard: {"url": "http://host:port"}
+//	DELETE /v1/shards?url=...  drain and remove a shard
+//	GET  /metrics    cluster ledger (JSON)
+//	GET  /healthz    graded health: ok|degraded|partitioned → 200, unhealthy → 503
+//
+// Usage:
+//
+//	sdproxy -addr :9090 -shards http://127.0.0.1:9101,http://127.0.0.1:9102 \
+//	        -replicas 2 -hedge-after 5ms -routing affinity
+//
+// The MIMO shape (tx/rx/mod) is discovered from the first reachable shard's
+// /v1/config unless set explicitly.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+// options collects the flag values.
+type options struct {
+	shards        string
+	replicas      int
+	vnodes        int
+	routing       string
+	tx, rx        int
+	mod           string
+	attemptTO     time.Duration
+	hedgeAfter    time.Duration
+	hedgeBudget   float64
+	probeInterval time.Duration
+	darkAfter     int
+	failThreshold int
+	cooldownBase  time.Duration
+	cooldownCap   time.Duration
+	chaos         string
+	chaosSeed     uint64
+}
+
+// discoverShape asks the shards for their MIMO configuration so the proxy's
+// fallback decoder matches; first answer wins.
+func discoverShape(shards []string, patience time.Duration) (tx, rx int, mod string, err error) {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(patience)
+	for {
+		for _, s := range shards {
+			resp, err := client.Get(s + "/v1/config")
+			if err != nil {
+				continue
+			}
+			var info serve.ConfigInfo
+			derr := json.NewDecoder(resp.Body).Decode(&info)
+			resp.Body.Close()
+			if derr == nil && info.TxAntennas > 0 && info.RxAntennas > 0 && info.Modulation != "" {
+				return info.TxAntennas, info.RxAntennas, info.Modulation, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, "", fmt.Errorf("no shard answered /v1/config within %v", patience)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// buildProxy turns options into a running proxy plus its HTTP handler.
+func buildProxy(o options) (*cluster.Proxy, http.Handler, error) {
+	var shards []string
+	for _, s := range strings.Split(o.shards, ",") {
+		if s = strings.TrimRight(strings.TrimSpace(s), "/"); s != "" {
+			shards = append(shards, s)
+		}
+	}
+	if len(shards) == 0 {
+		return nil, nil, errors.New("need at least one -shards URL")
+	}
+	routing, err := cluster.ParseRoutingMode(o.routing)
+	if err != nil {
+		return nil, nil, err
+	}
+	tx, rx, mod := o.tx, o.rx, o.mod
+	if tx <= 0 || rx <= 0 || mod == "" {
+		tx, rx, mod, err = discoverShape(shards, 5*time.Second)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shape discovery failed (set -tx/-rx/-mod explicitly): %w", err)
+		}
+		log.Printf("sdproxy: discovered %dx%d %s from shards", tx, rx, mod)
+	}
+	var plan *faultinject.ClusterPlan
+	if o.chaos != "" {
+		spec := o.chaos
+		if o.chaosSeed != 0 {
+			spec = fmt.Sprintf("%s,seed=%d", spec, o.chaosSeed)
+		}
+		plan, err = faultinject.ParseClusterPlan(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	p, err := cluster.New(cluster.Config{
+		Shards:           shards,
+		Replicas:         o.replicas,
+		VirtualNodes:     o.vnodes,
+		Routing:          routing,
+		AttemptTimeout:   o.attemptTO,
+		HedgeAfter:       o.hedgeAfter,
+		HedgeBudget:      o.hedgeBudget,
+		ProbeInterval:    o.probeInterval,
+		DarkAfter:        o.darkAfter,
+		FailureThreshold: o.failThreshold,
+		CooldownBase:     o.cooldownBase,
+		CooldownCap:      o.cooldownCap,
+		Seed:             o.chaosSeed,
+		Fallback:         cluster.FallbackSpec{Tx: tx, Rx: rx, Modulation: mod},
+		Chaos:            plan,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, cluster.NewHandler(p), nil
+}
+
+func main() {
+	var (
+		addr = flag.String("addr", ":9090", "listen address")
+		o    options
+	)
+	flag.StringVar(&o.shards, "shards", "", "comma-separated sdserver base URLs (required)")
+	flag.IntVar(&o.replicas, "replicas", 2, "replicas per key on the ring")
+	flag.IntVar(&o.vnodes, "vnodes", 0, "virtual nodes per shard (0 = default)")
+	flag.StringVar(&o.routing, "routing", "affinity", "replica placement: affinity (fingerprint-hashed) or scatter (rotating baseline)")
+	flag.IntVar(&o.tx, "tx", 0, "transmit antennas for the local fallback (0 = discover from shards)")
+	flag.IntVar(&o.rx, "rx", 0, "receive antennas for the local fallback (0 = discover)")
+	flag.StringVar(&o.mod, "mod", "", "modulation for the local fallback (empty = discover)")
+	flag.DurationVar(&o.attemptTO, "attempt-timeout", time.Second, "per-shard decode attempt deadline")
+	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "launch a backup attempt on the next replica after this wait (0 = off)")
+	flag.Float64Var(&o.hedgeBudget, "hedge-budget", 0, "hedge tokens earned per success (0 = default 0.1)")
+	flag.DurationVar(&o.probeInterval, "probe-interval", 250*time.Millisecond, "health probe period")
+	flag.IntVar(&o.darkAfter, "dark-after", 2, "consecutive probe failures before a shard goes dark")
+	flag.IntVar(&o.failThreshold, "breaker-threshold", 0, "consecutive decode failures tripping a shard's breaker (0 = default 3)")
+	flag.DurationVar(&o.cooldownBase, "breaker-cooldown", 0, "breaker open-dwell jitter base (0 = default 100ms)")
+	flag.DurationVar(&o.cooldownCap, "breaker-cooldown-cap", 0, "breaker open-dwell cap (0 = default 2s)")
+	flag.StringVar(&o.chaos, "chaos", "", "cluster chaos plan, e.g. kill=0@300ms+400ms,partition=1@500ms+400ms (empty = off)")
+	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "seed override for the -chaos plan")
+	flag.Parse()
+
+	p, handler, err := buildProxy(o)
+	if err != nil {
+		log.Fatalf("sdproxy: %v", err)
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	done := make(chan struct{})
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		<-sigs
+		log.Printf("sdproxy: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("sdproxy: http shutdown: %v", err)
+		}
+		p.Close()
+	}()
+
+	st := p.Stats()
+	log.Printf("sdproxy: %d shards on %s — replicas %d, routing %s, probe %v, hedge-after %v",
+		st.RingShards, *addr, st.Replicas, st.Routing, o.probeInterval, o.hedgeAfter)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("sdproxy: %v", err)
+	}
+	<-done
+
+	st = p.Stats()
+	summary, _ := json.Marshal(map[string]any{
+		"health": st.Health, "submitted": st.Submitted, "ok": st.OK,
+		"failed": st.Failed, "failovers": st.Failovers, "hedges": st.Hedges,
+		"hedge_wins": st.HedgeWins, "fallbacks": st.Fallbacks,
+		"breaker_skips": st.BreakerSkips, "dark_skips": st.DarkSkips,
+		"restarts_detected": st.RestartsDetected, "joins": st.Joins, "leaves": st.Leaves,
+	})
+	log.Printf("sdproxy: final stats %s", summary)
+}

@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// chaosTransport injects the cluster plan's faults at the proxy's own HTTP
+// layer, per shard index. Faults are what the network would actually show
+// the proxy — kill refuses instantly (connection refused), partition
+// blackholes until the request deadline (packets vanish, no RST), stall
+// delays then delivers — so the failover, breaker, and health machinery is
+// exercised by observable behavior, not by cooperating test doubles, and a
+// smoke run needs no real processes killed.
+type chaosTransport struct {
+	plan  *faultinject.ClusterPlan
+	shard int
+	next  http.RoundTripper
+}
+
+// RoundTrip applies the fault active for this shard at send time.
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.plan.ActiveFault(t.shard, time.Now()) {
+	case faultinject.ClusterKill:
+		return nil, fmt.Errorf("chaos: shard %d killed: connection refused", t.shard)
+	case faultinject.ClusterPartition:
+		// Blackhole: nothing comes back until the caller gives up.
+		<-req.Context().Done()
+		return nil, fmt.Errorf("chaos: shard %d partitioned: %w", t.shard, req.Context().Err())
+	case faultinject.ClusterStall:
+		select {
+		case <-time.After(t.plan.StallFor):
+		case <-req.Context().Done():
+			return nil, fmt.Errorf("chaos: shard %d stalled past deadline: %w", t.shard, req.Context().Err())
+		}
+	}
+	return t.next.RoundTrip(req)
+}

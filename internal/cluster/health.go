@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// State grades the cluster for the proxy's /healthz. It extends the
+// single-node ok/degraded/unhealthy ladder with the distributed failure mode
+// a one-process health model cannot have: a partition, where part of the
+// keyspace has lost every replica while the rest of the ring still serves.
+type State int
+
+const (
+	// StateOK: every shard reachable, reporting ok, breaker closed.
+	StateOK State = iota
+	// StateDegraded: every key still has a live replica, but some shard is
+	// dark, draining, self-reporting degradation, or behind an open breaker
+	// — capacity or quality reduced, availability intact.
+	StateDegraded
+	// StatePartitioned: at least one key range has no live replica — frames
+	// hashing there are served by the proxy's local linear fallback
+	// (DegradedBy=cluster). The rest of the ring serves normally.
+	StatePartitioned
+	// StateUnhealthy: no shard is reachable; the whole keyspace rides the
+	// local fallback.
+	StateUnhealthy
+)
+
+// String names the state as served by the proxy's /healthz.
+func (s State) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateDegraded:
+		return "degraded"
+	case StatePartitioned:
+		return "partitioned"
+	case StateUnhealthy:
+		return "unhealthy"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ParseState is the inverse of String.
+func ParseState(s string) (State, error) {
+	switch s {
+	case "ok":
+		return StateOK, nil
+	case "degraded":
+		return StateDegraded, nil
+	case "partitioned":
+		return StatePartitioned, nil
+	case "unhealthy":
+		return StateUnhealthy, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown health state %q (want ok, degraded, partitioned, unhealthy)", s)
+	}
+}
+
+// HealthReport is the proxy's /healthz body.
+type HealthReport struct {
+	Status string      `json:"status"`
+	Shards []ShardInfo `json:"shards,omitempty"`
+	// UncoveredReplicaSets counts distinct ring ownership sets with no live
+	// member — non-zero exactly when the state is partitioned or unhealthy.
+	UncoveredReplicaSets int `json:"uncovered_replica_sets,omitempty"`
+}
+
+// Health grades the cluster. The partition test walks the ring's vnode
+// intervals: every interval's replica set (the Owners successor list) must
+// contain at least one live shard, otherwise frames hashing into it can only
+// be served by the local fallback — the definition of a partition from this
+// proxy's vantage point.
+func (p *Proxy) Health() (State, HealthReport) {
+	p.mu.RLock()
+	ring := p.ring
+	shards := make([]*shard, 0, len(p.shards))
+	for _, sh := range p.shards {
+		shards = append(shards, sh)
+	}
+	p.mu.RUnlock()
+
+	rep := HealthReport{Shards: make([]ShardInfo, 0, len(shards))}
+	live := make(map[string]bool, len(shards))
+	impaired := 0
+	for _, sh := range shards {
+		in := sh.info()
+		rep.Shards = append(rep.Shards, in)
+		isLive := in.State == ShardLive.String()
+		if isLive {
+			live[in.URL] = true
+		}
+		if !isLive || in.Breaker != "closed" || (in.Health != "" && in.Health != "ok") {
+			impaired++
+		}
+	}
+	sortShardInfos(rep.Shards)
+
+	uncovered := uncoveredReplicaSets(ring, p.cfg.Replicas, live)
+	rep.UncoveredReplicaSets = uncovered
+
+	state := StateOK
+	switch {
+	case len(shards) == 0 || len(live) == 0:
+		state = StateUnhealthy
+	case uncovered > 0:
+		state = StatePartitioned
+	case impaired > 0:
+		state = StateDegraded
+	}
+	rep.Status = state.String()
+	return state, rep
+}
+
+// uncoveredReplicaSets counts distinct replica sets on the ring with no live
+// member. Each vnode interval [point[i-1], point[i]) is owned by the
+// successor list starting at point[i]; distinct lists are deduplicated.
+func uncoveredReplicaSets(ring *Ring, replicas int, live map[string]bool) int {
+	if ring == nil || len(ring.points) == 0 {
+		return 0
+	}
+	seen := make(map[string]bool)
+	uncovered := 0
+	for _, pt := range ring.points {
+		owners := ring.Owners(pt.hash, replicas)
+		key := ""
+		for _, o := range owners {
+			key += o + "|"
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		covered := false
+		for _, o := range owners {
+			if live[o] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			uncovered++
+		}
+	}
+	return uncovered
+}
+
+// sortShardInfos orders reports by join index for stable output.
+func sortShardInfos(infos []ShardInfo) {
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && infos[j].Index < infos[j-1].Index; j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+}
+
+// prober is the proxy's health loop: every ProbeInterval it probes all
+// shards concurrently, feeds outcomes into their reachability state, and
+// counts detected restarts. It is deliberately independent of the request
+// path — a fully partitioned cluster with zero traffic still converges to
+// the right health grade.
+func (p *Proxy) prober() {
+	defer close(p.probeDone)
+	ticker := time.NewTicker(p.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-ticker.C:
+			p.probeAll()
+		}
+	}
+}
+
+// probeAll runs one probe round.
+func (p *Proxy) probeAll() {
+	p.mu.RLock()
+	shards := make([]*shard, 0, len(p.shards))
+	for _, sh := range p.shards {
+		shards = append(shards, sh)
+	}
+	p.mu.RUnlock()
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.ProbeInterval)
+	defer cancel()
+	done := make(chan bool, len(shards))
+	for _, sh := range shards {
+		go func(sh *shard) {
+			rep, err := sh.probe(ctx, p.cfg.ProbeTimeout)
+			done <- sh.absorbProbe(rep, err, p.cfg.DarkAfter)
+		}(sh)
+	}
+	for range shards {
+		if <-done {
+			p.m.restartsDetected.Add(1)
+		}
+	}
+}

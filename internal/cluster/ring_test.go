@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// testShardIDs fabricates n shard base URLs.
+func testShardIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:9100", i+1)
+	}
+	return out
+}
+
+func TestRingOwnerDeterministicAndDistinctReplicas(t *testing.T) {
+	a := NewRing(testShardIDs(5), 0)
+	b := NewRing([]string{ // same members, different insertion order
+		"http://10.0.0.3:9100", "http://10.0.0.1:9100", "http://10.0.0.5:9100",
+		"http://10.0.0.2:9100", "http://10.0.0.4:9100",
+	}, 0)
+	r := rng.New(7)
+	for i := 0; i < 2000; i++ {
+		k := r.Uint64()
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %x depends on insertion order: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+		owners := a.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("Owners(%x, 3) = %v, want 3 distinct shards", k, owners)
+		}
+		if owners[0] != a.Owner(k) {
+			t.Fatalf("Owners[0] %s disagrees with Owner %s", owners[0], a.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("Owners(%x, 3) repeats %s: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := a.Owners(42, 10); len(got) != 5 {
+		t.Fatalf("Owners with n > members returned %d shards, want all 5", len(got))
+	}
+	empty := NewRing(nil, 0)
+	if empty.Owner(1) != "" || empty.Owners(1, 2) != nil {
+		t.Fatal("empty ring must own nothing")
+	}
+}
+
+// TestRingJoinMovesOnlyJoinedKeys is the consistent-hashing contract, as a
+// property over a key sample: every key whose primary owner changed on a
+// join must now be owned by the joined shard, and the moved fraction must
+// stay near the fair share 1/(n+1).
+func TestRingJoinMovesOnlyJoinedKeys(t *testing.T) {
+	const samples = 20000
+	old := NewRing(testShardIDs(4), 0)
+	joined := "http://10.0.0.9:9100"
+	grown := old.With(joined)
+	r := rng.New(11)
+	moved := 0
+	for i := 0; i < samples; i++ {
+		k := r.Uint64()
+		was, is := old.Owner(k), grown.Owner(k)
+		if was != is {
+			moved++
+			if is != joined {
+				t.Fatalf("key %x moved %s -> %s on a join of %s: a join may only move keys onto the joined shard", k, was, is, joined)
+			}
+		}
+	}
+	frac := float64(moved) / samples
+	fair := 1.0 / 5
+	if frac > 1.6*fair {
+		t.Fatalf("join moved %.3f of keys, want near fair share %.3f", frac, fair)
+	}
+	if moved == 0 {
+		t.Fatal("join moved nothing: the new shard owns no keys")
+	}
+}
+
+// TestRingLeaveMovesOnlyDepartedKeys: keys not owned by the departed shard
+// keep their owner; the departed shard's keys scatter to survivors.
+func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	const samples = 20000
+	ids := testShardIDs(4)
+	departed := ids[2]
+	old := NewRing(ids, 0)
+	shrunk := old.Without(departed)
+	r := rng.New(13)
+	moved := 0
+	for i := 0; i < samples; i++ {
+		k := r.Uint64()
+		was, is := old.Owner(k), shrunk.Owner(k)
+		if was != departed && was != is {
+			t.Fatalf("key %x owned by surviving %s moved to %s on departure of %s", k, was, is, departed)
+		}
+		if was == departed {
+			moved++
+			if is == departed {
+				t.Fatalf("key %x still owned by departed %s", k, departed)
+			}
+		}
+	}
+	frac := float64(moved) / samples
+	fair := 1.0 / 4
+	if frac > 1.6*fair || moved == 0 {
+		t.Fatalf("leave moved %.3f of keys (%d), want near fair share %.3f", frac, moved, fair)
+	}
+}
+
+// TestRingReplicaSetShiftBound: a join may add the joined shard to a key's
+// replica set and shift the tail, but must never introduce any *other* new
+// shard into it.
+func TestRingReplicaSetShiftBound(t *testing.T) {
+	const samples = 5000
+	old := NewRing(testShardIDs(5), 0)
+	joined := "http://10.0.0.9:9100"
+	grown := old.With(joined)
+	r := rng.New(17)
+	for i := 0; i < samples; i++ {
+		k := r.Uint64()
+		was := map[string]bool{}
+		for _, o := range old.Owners(k, 3) {
+			was[o] = true
+		}
+		for _, o := range grown.Owners(k, 3) {
+			if o != joined && !was[o] {
+				t.Fatalf("key %x gained replica %s (not the joined shard) on join: %v -> %v",
+					k, o, old.Owners(k, 3), grown.Owners(k, 3))
+			}
+		}
+	}
+}
+
+func TestDisruptionMeasuresFairShare(t *testing.T) {
+	old := NewRing(testShardIDs(3), 0)
+	grown := old.With("http://10.0.0.9:9100")
+	d := Disruption(old, grown, 20000)
+	if d <= 0 || d > 1.6/4 {
+		t.Fatalf("join disruption %.3f, want in (0, %.3f]", d, 1.6/4)
+	}
+	if same := Disruption(old, old, 5000); same != 0 {
+		t.Fatalf("self-disruption %.3f, want 0", same)
+	}
+}
+
+// TestRingBalance: key ownership must split near-evenly across realistic
+// shard ids. This is the regression test for the vnode-hash finalizer — raw
+// FNV over "url#counter" degenerates into per-shard arithmetic progressions
+// on the ring (the counter's trailing bytes never avalanche), which skewed
+// a 3-shard ring to a 60/30/10 split and defeated cache-affinity routing.
+func TestRingBalance(t *testing.T) {
+	const samples = 30000
+	for _, ids := range [][]string{
+		testShardIDs(3),
+		{"http://127.0.0.1:18120", "http://127.0.0.1:18121", "http://127.0.0.1:18122"},
+		testShardIDs(5),
+	} {
+		ring := NewRing(ids, 0)
+		counts := map[string]int{}
+		r := rng.New(23)
+		for i := 0; i < samples; i++ {
+			counts[ring.Owner(r.Uint64())]++
+		}
+		fair := float64(samples) / float64(len(ids))
+		for _, id := range ids {
+			share := float64(counts[id]) / fair
+			if share < 0.55 || share > 1.45 {
+				t.Errorf("%d-shard ring: %s owns %.2fx its fair share (%d of %d keys)",
+					len(ids), id, share, counts[id], samples)
+			}
+		}
+	}
+}
+
+func TestRingMembership(t *testing.T) {
+	r := NewRing(testShardIDs(3), 8)
+	if !r.Has(testShardIDs(3)[0]) || r.Has("http://nope") {
+		t.Fatal("Has is wrong")
+	}
+	if r.With(testShardIDs(3)[0]) != r {
+		t.Fatal("joining an existing member must be a no-op returning the same ring")
+	}
+	if r.Without("http://nope") != r {
+		t.Fatal("removing a non-member must be a no-op returning the same ring")
+	}
+	if got := r.Without(testShardIDs(3)[2]).Len(); got != 2 {
+		t.Fatalf("Len after leave = %d, want 2", got)
+	}
+	if r.Len() != 3 {
+		t.Fatal("Without mutated the original ring")
+	}
+}

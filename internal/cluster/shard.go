@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/serve"
+)
+
+// ShardState is the prober's view of one shard's reachability.
+type ShardState int
+
+const (
+	// ShardLive: the shard answers health probes (possibly reporting its own
+	// degradation — that grades the cluster, not reachability).
+	ShardLive ShardState = iota
+	// ShardDark: consecutive probe transport failures — the shard is either
+	// down or partitioned away; routing skips it until a probe lands.
+	ShardDark
+	// ShardDraining: the shard is leaving the ring; new frames route
+	// elsewhere while in-flight ones finish.
+	ShardDraining
+)
+
+// String names the state as reported by /v1/shards and /metrics.
+func (s ShardState) String() string {
+	switch s {
+	case ShardLive:
+		return "live"
+	case ShardDark:
+		return "dark"
+	case ShardDraining:
+		return "draining"
+	default:
+		return fmt.Sprintf("ShardState(%d)", int(s))
+	}
+}
+
+// shard is one sdserver behind the proxy: its HTTP client, circuit breaker,
+// prober-maintained reachability state, last-seen incarnation identity, and
+// the per-shard slice of the cluster ledger.
+type shard struct {
+	id    string // base URL, also the ring id
+	index int    // stable join order, drives the chaos plan's shard indices
+	httpc *http.Client
+
+	breaker *resilience.Breaker
+
+	// Prober-maintained state (mu): reachability, incarnation, last health.
+	mu          sync.Mutex
+	state       ShardState
+	consecFails int
+	epoch       int64
+	instance    string
+	health      string // shard's own /healthz status ("" until first probe)
+
+	// Request ledger (atomics: touched on the decode hot path).
+	requests     atomic.Uint64 // decode attempts sent
+	ok           atomic.Uint64
+	errs         atomic.Uint64 // transport + 5xx/429 failures
+	timeouts     atomic.Uint64 // attempt-deadline expiries (partition-shaped)
+	asPrimary    atomic.Uint64 // successes while first choice for the key
+	asFailover   atomic.Uint64 // successes while a later replica choice
+	hedgedWins   atomic.Uint64 // successes of hedged (secondary) attempts
+	restartsSeen atomic.Uint64
+	inFlight     atomic.Int64
+	latSumNS     atomic.Int64
+	latMaxNS     atomic.Int64
+}
+
+// newShard builds a client for one shard. transport is the (possibly
+// chaos-wrapped) HTTP transport; timeout bounds any single exchange.
+func newShard(id string, index int, transport http.RoundTripper, timeout time.Duration, bcfg resilience.BreakerConfig) *shard {
+	return &shard{
+		id:    id,
+		index: index,
+		httpc: &http.Client{
+			Transport: transport,
+			Timeout:   timeout,
+		},
+		breaker: resilience.NewBreaker(bcfg),
+	}
+}
+
+// setState transitions reachability (prober and drain paths).
+func (sh *shard) setState(s ShardState) {
+	sh.mu.Lock()
+	sh.state = s
+	sh.mu.Unlock()
+}
+
+// currentState reads reachability.
+func (sh *shard) currentState() ShardState {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.state
+}
+
+// routable reports whether new frames may target the shard.
+func (sh *shard) routable() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.state == ShardLive
+}
+
+// observeLatency folds one successful attempt's latency into the ledger.
+func (sh *shard) observeLatency(d time.Duration) {
+	sh.latSumNS.Add(int64(d))
+	for {
+		cur := sh.latMaxNS.Load()
+		if int64(d) <= cur || sh.latMaxNS.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// absorbProbe digests one health probe outcome. A transport failure counts
+// toward darkness (darkAfter consecutive failures flip the shard dark); any
+// HTTP answer restores liveness and updates the shard's own health grade.
+// Reports whether a restart was detected (epoch/instance changed).
+func (sh *shard) absorbProbe(rep *serve.HealthReport, err error, darkAfter int) (restarted bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err != nil {
+		sh.consecFails++
+		if sh.state == ShardLive && sh.consecFails >= darkAfter {
+			sh.state = ShardDark
+		}
+		return false
+	}
+	sh.consecFails = 0
+	if sh.state == ShardDark {
+		sh.state = ShardLive
+	}
+	sh.health = rep.Status
+	if sh.instance != "" && (sh.instance != rep.Instance || sh.epoch != rep.Epoch) {
+		restarted = true
+		sh.restartsSeen.Add(1)
+	}
+	sh.epoch = rep.Epoch
+	sh.instance = rep.Instance
+	return restarted
+}
+
+// probe fetches the shard's /healthz. Any HTTP answer — 200 or 503 — counts
+// as reachable; only transport errors mean dark. The graded body rides back
+// so cluster health can distinguish a degraded shard from a dead one.
+func (sh *shard) probe(ctx context.Context, timeout time.Duration) (*serve.HealthReport, error) {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.id+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := sh.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var rep serve.HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		io.Copy(io.Discard, resp.Body)
+		// Reachable but garbled: treat as reachable with unknown health
+		// rather than dark — the transport works.
+		return &serve.HealthReport{Status: "unknown"}, nil
+	}
+	return &rep, nil
+}
+
+// shardHTTPError is a non-2xx decode answer from a shard, carrying the wire
+// code so permanent client errors propagate instead of failing over.
+type shardHTTPError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *shardHTTPError) Error() string {
+	return fmt.Sprintf("shard answered HTTP %d (%s): %s", e.status, e.code, e.msg)
+}
+
+// retriable reports whether the failure is worth trying another replica
+// for: transport errors and server-side conditions (overload, drain, 5xx)
+// are; client errors (bad request, invalid input) would fail identically
+// everywhere.
+func (e *shardHTTPError) retriable() bool {
+	return e.status == http.StatusTooManyRequests || e.status >= 500
+}
+
+// decode forwards one single-frame decode body and parses the answer.
+func (sh *shard) decode(ctx context.Context, body []byte) (*serve.DecodeResponse, error) {
+	sh.requests.Add(1)
+	sh.inFlight.Add(1)
+	defer sh.inFlight.Add(-1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, sh.id+"/v1/decode", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sh.httpc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			sh.timeouts.Add(1)
+		} else {
+			sh.errs.Add(1)
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb)
+		io.Copy(io.Discard, resp.Body)
+		sh.errs.Add(1)
+		return nil, &shardHTTPError{status: resp.StatusCode, code: eb.Code, msg: eb.Error}
+	}
+	var out serve.DecodeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		sh.errs.Add(1)
+		return nil, fmt.Errorf("malformed decode response: %w", err)
+	}
+	sh.ok.Add(1)
+	return &out, nil
+}
+
+// ShardInfo is one shard's slice of the cluster stats/shards report.
+type ShardInfo struct {
+	URL              string `json:"url"`
+	Index            int    `json:"index"`
+	State            string `json:"state"`
+	Health           string `json:"health,omitempty"` // the shard's own grade
+	Breaker          string `json:"breaker"`
+	Epoch            int64  `json:"epoch,omitempty"`
+	Instance         string `json:"instance,omitempty"`
+	RestartsDetected uint64 `json:"restarts_detected"`
+	Requests         uint64 `json:"requests"`
+	OK               uint64 `json:"ok"`
+	Errors           uint64 `json:"errors"`
+	Timeouts         uint64 `json:"timeouts"`
+	ServedAsPrimary  uint64 `json:"served_as_primary"`
+	ServedAsFailover uint64 `json:"served_as_failover"`
+	HedgedWins       uint64 `json:"hedged_wins"`
+	InFlight         int64  `json:"in_flight"`
+	MeanLatencyNS    int64  `json:"mean_latency_ns"`
+	MaxLatencyNS     int64  `json:"max_latency_ns"`
+	BreakerOpened    uint64 `json:"breaker_opened"`
+	BreakerReclosed  uint64 `json:"breaker_reclosed"`
+}
+
+// info snapshots the shard for reports.
+func (sh *shard) info() ShardInfo {
+	sh.mu.Lock()
+	state, health, epoch, instance := sh.state, sh.health, sh.epoch, sh.instance
+	sh.mu.Unlock()
+	bc := sh.breaker.Counters()
+	in := ShardInfo{
+		URL:              sh.id,
+		Index:            sh.index,
+		State:            state.String(),
+		Health:           health,
+		Breaker:          sh.breaker.State().String(),
+		Epoch:            epoch,
+		Instance:         instance,
+		RestartsDetected: sh.restartsSeen.Load(),
+		Requests:         sh.requests.Load(),
+		OK:               sh.ok.Load(),
+		Errors:           sh.errs.Load(),
+		Timeouts:         sh.timeouts.Load(),
+		ServedAsPrimary:  sh.asPrimary.Load(),
+		ServedAsFailover: sh.asFailover.Load(),
+		HedgedWins:       sh.hedgedWins.Load(),
+		InFlight:         sh.inFlight.Load(),
+		MaxLatencyNS:     sh.latMaxNS.Load(),
+		BreakerOpened:    bc.Opened,
+		BreakerReclosed:  bc.Reclosed,
+	}
+	if in.OK > 0 {
+		in.MeanLatencyNS = sh.latSumNS.Load() / int64(in.OK)
+	}
+	return in
+}

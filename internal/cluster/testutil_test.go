@@ -1,0 +1,25 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// bytesReader wraps a body for http.Post.
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// mustDecode asserts the status and decodes the JSON body into v.
+func mustDecode(t *testing.T, resp *http.Response, wantStatus int, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+		t.Fatalf("HTTP %d, want %d: %s", resp.StatusCode, wantStatus, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+}

@@ -1,0 +1,234 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// ClusterFault is one shard-level fault class the cluster chaos harness can
+// inject between the proxy and a shard. Where ServeFault models a broken
+// accelerator inside one process, these model the distributed failure modes a
+// detection cluster must survive: a shard process dying, a shard stalling,
+// the network partitioning the proxy away from a live shard, and a shard
+// flapping up and down faster than health probes converge.
+type ClusterFault int
+
+const (
+	// ClusterNone: traffic to the shard flows untouched.
+	ClusterNone ClusterFault = iota
+	// ClusterKill: the shard is down — connections fail immediately, the way
+	// a crashed process refuses them.
+	ClusterKill
+	// ClusterStall: requests reach the shard, but only after an injected
+	// delay (a saturated NIC or an overloaded peer).
+	ClusterStall
+	// ClusterPartition: the network blackholes traffic to the shard —
+	// requests hang until the caller's deadline, with no refusal to learn
+	// from. The hardest case for failover logic.
+	ClusterPartition
+	// ClusterFlap: the shard alternates between killed and clean on a fast
+	// period, the pattern that makes naive health marking oscillate.
+	ClusterFlap
+)
+
+// String names the fault class.
+func (f ClusterFault) String() string {
+	switch f {
+	case ClusterNone:
+		return "none"
+	case ClusterKill:
+		return "kill"
+	case ClusterStall:
+		return "stall"
+	case ClusterPartition:
+		return "partition"
+	case ClusterFlap:
+		return "flap"
+	default:
+		return fmt.Sprintf("ClusterFault(%d)", int(f))
+	}
+}
+
+// ClusterEvent is one scheduled fault: Fault applies to shard index Shard
+// from Start (measured from the plan's arming instant) for the duration For.
+type ClusterEvent struct {
+	Fault ClusterFault
+	Shard int
+	Start time.Duration
+	For   time.Duration
+}
+
+// active reports whether the event covers the elapsed instant.
+func (e ClusterEvent) active(since time.Duration) bool {
+	return since >= e.Start && since < e.Start+e.For
+}
+
+// ClusterPlan is a deterministic timeline of shard-level faults. Unlike
+// ServePlan (which rolls per call), a cluster plan is time-driven: arming it
+// fixes the origin, and every subsequent query resolves against the same
+// schedule — so a storm replays identically run to run, independent of how
+// many requests happen to be in flight. Safe for concurrent use after Arm.
+type ClusterPlan struct {
+	// Events is the schedule, applied first-match-wins per shard.
+	Events []ClusterEvent
+	// StallFor is the delay a ClusterStall inserts. Default 2ms.
+	StallFor time.Duration
+	// FlapPeriod is a ClusterFlap's half-cycle: killed for one period, clean
+	// for the next. Default 50ms.
+	FlapPeriod time.Duration
+	// Seed offsets each flap's phase deterministically so multiple flapping
+	// shards do not beat in lockstep.
+	Seed uint64
+
+	armed time.Time
+}
+
+// withDefaults fills zero durations.
+func (p *ClusterPlan) withDefaults() {
+	if p.StallFor <= 0 {
+		p.StallFor = 2 * time.Millisecond
+	}
+	if p.FlapPeriod <= 0 {
+		p.FlapPeriod = 50 * time.Millisecond
+	}
+}
+
+// Arm fixes the plan's time origin. Must be called once before ActiveFault;
+// queries before arming see an all-clean plan.
+func (p *ClusterPlan) Arm(now time.Time) {
+	p.withDefaults()
+	p.armed = now
+}
+
+// Armed reports whether the plan's clock is running.
+func (p *ClusterPlan) Armed() bool { return !p.armed.IsZero() }
+
+// ActiveFault resolves the fault covering shard at the instant now. A flap
+// window resolves to ClusterKill during its down phases and ClusterNone
+// during its up phases, so callers only ever see kill/stall/partition/none.
+func (p *ClusterPlan) ActiveFault(shard int, now time.Time) ClusterFault {
+	if p.armed.IsZero() {
+		return ClusterNone
+	}
+	since := now.Sub(p.armed)
+	for i, e := range p.Events {
+		if e.Shard != shard || !e.active(since) {
+			continue
+		}
+		if e.Fault != ClusterFlap {
+			return e.Fault
+		}
+		// Deterministic per-event phase offset so concurrent flaps interleave.
+		phase := time.Duration(rng.New(p.Seed+uint64(i)).Float64() * float64(p.FlapPeriod))
+		if ((since-e.Start+phase)/p.FlapPeriod)%2 == 0 {
+			return ClusterKill
+		}
+		return ClusterNone
+	}
+	return ClusterNone
+}
+
+// Horizon returns the instant (relative to arming) after which every event
+// has cleared — the earliest time a recovery assertion can start.
+func (p *ClusterPlan) Horizon() time.Duration {
+	var h time.Duration
+	for _, e := range p.Events {
+		if end := e.Start + e.For; end > h {
+			h = end
+		}
+	}
+	return h
+}
+
+// ParseClusterPlan parses a cluster chaos spec of comma-separated terms.
+// Fault terms have the form fault=shard@start+duration and may repeat:
+//
+//	kill=0@300ms+400ms,partition=1@500ms+400ms,stall=2@0ms+1s,
+//	flap=0@1s+600ms,stall-for=5ms,flap-period=50ms,seed=7
+//
+// An empty spec is a valid all-clean plan.
+func ParseClusterPlan(spec string) (*ClusterPlan, error) {
+	p := &ClusterPlan{}
+	if strings.TrimSpace(spec) == "" {
+		p.withDefaults()
+		return p, nil
+	}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(term, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: term %q is not key=value", term)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "kill", "stall", "partition", "flap":
+			ev, err := parseClusterEvent(key, val)
+			if err != nil {
+				return nil, err
+			}
+			p.Events = append(p.Events, ev)
+		case "stall-for", "flap-period":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("faultinject: duration %s=%q must be a positive duration", key, val)
+			}
+			if key == "stall-for" {
+				p.StallFor = d
+			} else {
+				p.FlapPeriod = d
+			}
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: seed=%q must be an unsigned integer", val)
+			}
+			p.Seed = n
+		default:
+			return nil, fmt.Errorf("faultinject: unknown cluster chaos term %q (want kill/stall/partition/flap/stall-for/flap-period/seed)", key)
+		}
+	}
+	p.withDefaults()
+	return p, nil
+}
+
+// parseClusterEvent parses the shard@start+duration form of one fault term.
+func parseClusterEvent(fault, val string) (ClusterEvent, error) {
+	var ev ClusterEvent
+	switch fault {
+	case "kill":
+		ev.Fault = ClusterKill
+	case "stall":
+		ev.Fault = ClusterStall
+	case "partition":
+		ev.Fault = ClusterPartition
+	case "flap":
+		ev.Fault = ClusterFlap
+	}
+	shardStr, window, ok := strings.Cut(val, "@")
+	if !ok {
+		return ev, fmt.Errorf("faultinject: %s=%q wants shard@start+duration", fault, val)
+	}
+	shard, err := strconv.Atoi(strings.TrimSpace(shardStr))
+	if err != nil || shard < 0 {
+		return ev, fmt.Errorf("faultinject: %s=%q shard must be a non-negative integer", fault, val)
+	}
+	ev.Shard = shard
+	startStr, forStr, ok := strings.Cut(window, "+")
+	if !ok {
+		return ev, fmt.Errorf("faultinject: %s=%q wants shard@start+duration", fault, val)
+	}
+	if ev.Start, err = time.ParseDuration(strings.TrimSpace(startStr)); err != nil || ev.Start < 0 {
+		return ev, fmt.Errorf("faultinject: %s=%q start must be a non-negative duration", fault, val)
+	}
+	if ev.For, err = time.ParseDuration(strings.TrimSpace(forStr)); err != nil || ev.For <= 0 {
+		return ev, fmt.Errorf("faultinject: %s=%q duration must be positive", fault, val)
+	}
+	return ev, nil
+}

@@ -1,0 +1,160 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseClusterPlan(t *testing.T) {
+	p, err := ParseClusterPlan("kill=0@300ms+400ms, partition=1@500ms+400ms, stall=2@0ms+1s, flap=0@1s+600ms, stall-for=5ms, flap-period=40ms, seed=7")
+	if err != nil {
+		t.Fatalf("ParseClusterPlan: %v", err)
+	}
+	if len(p.Events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(p.Events))
+	}
+	want := []ClusterEvent{
+		{ClusterKill, 0, 300 * time.Millisecond, 400 * time.Millisecond},
+		{ClusterPartition, 1, 500 * time.Millisecond, 400 * time.Millisecond},
+		{ClusterStall, 2, 0, time.Second},
+		{ClusterFlap, 0, time.Second, 600 * time.Millisecond},
+	}
+	for i, w := range want {
+		if p.Events[i] != w {
+			t.Fatalf("event %d = %+v, want %+v", i, p.Events[i], w)
+		}
+	}
+	if p.StallFor != 5*time.Millisecond || p.FlapPeriod != 40*time.Millisecond || p.Seed != 7 {
+		t.Fatalf("knobs wrong: %+v", p)
+	}
+	if p.Horizon() != 1600*time.Millisecond {
+		t.Fatalf("Horizon = %v, want 1.6s", p.Horizon())
+	}
+
+	if empty, err := ParseClusterPlan("  "); err != nil || len(empty.Events) != 0 || empty.StallFor <= 0 {
+		t.Fatalf("empty spec must parse to a defaulted all-clean plan, got %+v, %v", empty, err)
+	}
+
+	for _, bad := range []string{
+		"boom=1@0s+1s",        // unknown fault
+		"kill=x@0s+1s",        // bad shard
+		"kill=-1@0s+1s",       // negative shard
+		"kill=0@0s",           // missing duration
+		"kill=0+1s",           // missing @
+		"kill=0@0s+0s",        // zero duration
+		"stall-for=-1ms",      // negative knob
+		"seed=nope",           // bad seed
+		"kill",                // not key=value
+		"flap-period=banana",  // bad duration
+		"partition=1@-5ms+1s", // negative start
+	} {
+		if _, err := ParseClusterPlan(bad); err == nil {
+			t.Errorf("ParseClusterPlan(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestClusterPlanTimeline(t *testing.T) {
+	p, err := ParseClusterPlan("kill=0@40ms+80ms,partition=1@60ms+80ms,stall=2@0ms+250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ActiveFault(0, time.Now()) != ClusterNone {
+		t.Fatal("unarmed plan must read all-clean")
+	}
+	base := time.Unix(1000, 0)
+	p.Arm(base)
+	if !p.Armed() {
+		t.Fatal("Armed false after Arm")
+	}
+	at := func(d time.Duration) time.Time { return base.Add(d) }
+	cases := []struct {
+		d     time.Duration
+		shard int
+		want  ClusterFault
+	}{
+		{10 * time.Millisecond, 0, ClusterNone},
+		{40 * time.Millisecond, 0, ClusterKill},
+		{119 * time.Millisecond, 0, ClusterKill},
+		{120 * time.Millisecond, 0, ClusterNone},
+		{59 * time.Millisecond, 1, ClusterNone},
+		{100 * time.Millisecond, 1, ClusterPartition},
+		{140 * time.Millisecond, 1, ClusterNone},
+		{0, 2, ClusterStall},
+		{249 * time.Millisecond, 2, ClusterStall},
+		{250 * time.Millisecond, 2, ClusterNone},
+		{100 * time.Millisecond, 3, ClusterNone}, // unscheduled shard
+	}
+	for _, c := range cases {
+		if got := p.ActiveFault(c.shard, at(c.d)); got != c.want {
+			t.Errorf("ActiveFault(shard %d, t=%v) = %v, want %v", c.shard, c.d, got, c.want)
+		}
+	}
+	if p.Horizon() != 250*time.Millisecond {
+		t.Fatalf("Horizon = %v, want 250ms", p.Horizon())
+	}
+}
+
+// TestClusterPlanFlap: inside its window a flap must alternate between kill
+// and clean with the configured half-period, deterministically for a fixed
+// seed, and resolve only to kill/none (never ClusterFlap itself).
+func TestClusterPlanFlap(t *testing.T) {
+	p, err := ParseClusterPlan("flap=0@0ms+400ms,flap-period=20ms,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(2000, 0)
+	p.Arm(base)
+	var seq []ClusterFault
+	kills, cleans, transitions := 0, 0, 0
+	for ms := 0; ms < 400; ms++ {
+		f := p.ActiveFault(0, base.Add(time.Duration(ms)*time.Millisecond))
+		if f != ClusterKill && f != ClusterNone {
+			t.Fatalf("flap resolved to %v at %dms, want kill or none", f, ms)
+		}
+		if f == ClusterKill {
+			kills++
+		} else {
+			cleans++
+		}
+		if len(seq) > 0 && seq[len(seq)-1] != f {
+			transitions++
+		}
+		seq = append(seq, f)
+	}
+	if kills == 0 || cleans == 0 {
+		t.Fatalf("flap never alternated: %d kills, %d cleans", kills, cleans)
+	}
+	// 400ms of 20ms half-cycles: about 19 transitions, allow phase slack.
+	if transitions < 10 {
+		t.Fatalf("only %d flap transitions over 400ms with a 20ms half-period", transitions)
+	}
+
+	// Replaying the same plan must produce the identical sequence.
+	p2, _ := ParseClusterPlan("flap=0@0ms+400ms,flap-period=20ms,seed=9")
+	p2.Arm(base)
+	for ms := range seq {
+		if got := p2.ActiveFault(0, base.Add(time.Duration(ms)*time.Millisecond)); got != seq[ms] {
+			t.Fatalf("flap not reproducible at %dms: %v vs %v", ms, got, seq[ms])
+		}
+	}
+	// Outside the window: clean.
+	if p.ActiveFault(0, base.Add(500*time.Millisecond)) != ClusterNone {
+		t.Fatal("flap active past its window")
+	}
+}
+
+func TestClusterFaultStrings(t *testing.T) {
+	for f, want := range map[ClusterFault]string{
+		ClusterNone: "none", ClusterKill: "kill", ClusterStall: "stall",
+		ClusterPartition: "partition", ClusterFlap: "flap",
+	} {
+		if f.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(f), f.String(), want)
+		}
+	}
+	if s := ClusterFault(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("unknown fault string %q", s)
+	}
+}

@@ -43,6 +43,15 @@ func (f *FaultyBackend) DecodeFallback(in core.BatchInput) (*decoder.Result, err
 	return f.inner.DecodeFallback(in)
 }
 
+// PreprocessCacheStats passes through so the QR cache ledger survives chaos
+// wrapping (zeros when the inner backend does not report).
+func (f *FaultyBackend) PreprocessCacheStats() (hits, misses int64) {
+	if cs, ok := f.inner.(cacheStatser); ok {
+		return cs.PreprocessCacheStats()
+	}
+	return 0, 0
+}
+
 // DecodeBatch rolls the plan once per call and injects the drawn fault.
 func (f *FaultyBackend) DecodeBatch(inputs []core.BatchInput, opts ...core.BatchOption) (*core.BatchReport, error) {
 	switch f.plan.Next() {

@@ -72,6 +72,11 @@ type BatchDecodeResponse struct {
 type ConfigInfo struct {
 	APIVersion string `json:"api_version"`
 	Backend    string `json:"backend"`
+	// Epoch/Instance identify the scheduler incarnation (see
+	// Scheduler.Identity): a restart yields a larger epoch and a fresh
+	// instance, telling clients any affinity assumptions are stale.
+	Epoch      int64  `json:"epoch"`
+	Instance   string `json:"instance"`
 	TxAntennas int    `json:"tx_antennas"`
 	RxAntennas int    `json:"rx_antennas"`
 	Modulation string `json:"modulation"`
@@ -150,8 +155,10 @@ func submitStatus(r *http.Request, err error) (int, string) {
 	}
 }
 
-// toBatchInput converts the wire request into the decoder's input form.
-func (r *DecodeRequest) toBatchInput() (core.BatchInput, error) {
+// ToBatchInput converts the wire request into the decoder's input form. It
+// is exported for the cluster proxy, which needs the parsed channel matrix
+// to fingerprint-route a frame before forwarding it.
+func (r *DecodeRequest) ToBatchInput() (core.BatchInput, error) {
 	rows := len(r.H)
 	if rows == 0 {
 		return core.BatchInput{}, errors.New("empty channel matrix")
@@ -215,7 +222,7 @@ func (h *handler) decode(w http.ResponseWriter, r *http.Request) {
 		h.decodeBatch(w, r, req.Frames)
 		return
 	}
-	in, err := req.toBatchInput()
+	in, err := req.ToBatchInput()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
@@ -240,7 +247,7 @@ func (h *handler) decodeBatch(w http.ResponseWriter, r *http.Request, frames []D
 				fmt.Errorf("frames[%d] nests a frames array", i))
 			return
 		}
-		in, err := frames[i].toBatchInput()
+		in, err := frames[i].ToBatchInput()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("frames[%d]: %w", i, err))
 			return
@@ -313,9 +320,12 @@ func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
 
 func (h *handler) config(w http.ResponseWriter, _ *http.Request) {
 	cfg := h.s.Config()
+	epoch, instance := h.s.Identity()
 	writeJSON(w, http.StatusOK, ConfigInfo{
 		APIVersion: APIVersion,
 		Backend:    h.s.Backend().Name(),
+		Epoch:      epoch,
+		Instance:   instance,
 		TxAntennas: h.tx,
 		RxAntennas: h.rx,
 		Modulation: h.mod,

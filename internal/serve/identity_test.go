@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestSchedulerIdentity: each scheduler incarnation gets a monotonic epoch
+// and a unique instance ID, and both ride the /v1/config and /healthz wire
+// bodies — that is what lets a cluster proxy detect a shard restart (and
+// know its QR cache went cold) without any side channel.
+func TestSchedulerIdentity(t *testing.T) {
+	a := newScheduler(t, Config{MaxBatch: 1, Workers: 1})
+	b := newScheduler(t, Config{MaxBatch: 1, Workers: 1})
+	aEpoch, aInst := a.Identity()
+	bEpoch, bInst := b.Identity()
+	if aEpoch <= 0 || bEpoch <= 0 {
+		t.Fatalf("non-positive epochs: %d, %d", aEpoch, bEpoch)
+	}
+	if bEpoch < aEpoch {
+		t.Fatalf("later scheduler has smaller epoch: %d then %d", aEpoch, bEpoch)
+	}
+	if aInst == "" || aInst == bInst {
+		t.Fatalf("instance IDs not unique: %q vs %q", aInst, bInst)
+	}
+
+	srv := httptest.NewServer(NewHandler(a, 4, 4, "qpsk"))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/v1/config")
+	if err != nil {
+		t.Fatalf("GET /v1/config: %v", err)
+	}
+	var ci ConfigInfo
+	if err := json.NewDecoder(resp.Body).Decode(&ci); err != nil {
+		t.Fatalf("decode config: %v", err)
+	}
+	resp.Body.Close()
+	if ci.Epoch != aEpoch || ci.Instance != aInst {
+		t.Fatalf("config identity (%d, %q), want (%d, %q)", ci.Epoch, ci.Instance, aEpoch, aInst)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var hr HealthReport
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatalf("decode health: %v", err)
+	}
+	resp.Body.Close()
+	if hr.Epoch != aEpoch || hr.Instance != aInst {
+		t.Fatalf("healthz identity (%d, %q), want (%d, %q)", hr.Epoch, hr.Instance, aEpoch, aInst)
+	}
+}

@@ -149,12 +149,17 @@ type Stats struct {
 	Wedges               uint64            `json:"wedges"`
 	Abandoned            uint64            `json:"abandoned_frames"` // decoded but the submitter had left
 	FallbackByReason     map[string]uint64 `json:"fallback_by_reason,omitempty"`
-	BreakerOpened        uint64            `json:"breaker_opened"`
-	BreakerProbes        uint64            `json:"breaker_probes"`
-	BreakerReclosed      uint64            `json:"breaker_reclosed"`
-	BreakerShortCircuit  uint64            `json:"breaker_short_circuited"`
-	Health               string            `json:"health"`
-	LastPanic            string            `json:"last_panic,omitempty"`
+	// QRCacheHits/Misses aggregate the preprocessing-cache effectiveness
+	// across the worker backends: the live cache-locality signal affinity
+	// routing is judged by.
+	QRCacheHits         uint64 `json:"qr_cache_hits"`
+	QRCacheMisses       uint64 `json:"qr_cache_misses"`
+	BreakerOpened       uint64 `json:"breaker_opened"`
+	BreakerProbes       uint64 `json:"breaker_probes"`
+	BreakerReclosed     uint64 `json:"breaker_reclosed"`
+	BreakerShortCircuit uint64 `json:"breaker_short_circuited"`
+	Health              string `json:"health"`
+	LastPanic           string `json:"last_panic,omitempty"`
 
 	// Gauges.
 	QueueDepth int  `json:"queue_depth"` // frames waiting for a batch slot

@@ -40,6 +40,8 @@ func WritePrometheus(w io.Writer, st Stats) {
 	counter("mimosd_hedge_waste_total", "Abandoned primary decodes that finished fine.", float64(st.HedgeWaste))
 	counter("mimosd_wedges_total", "Primary decodes declared wedged by timeout.", float64(st.Wedges))
 	counter("mimosd_abandoned_frames_total", "Frames decoded after their submitter left.", float64(st.Abandoned))
+	counter("mimosd_qr_cache_hits_total", "QR preprocessing cache hits across worker backends.", float64(st.QRCacheHits))
+	counter("mimosd_qr_cache_misses_total", "QR preprocessing cache misses across worker backends.", float64(st.QRCacheMisses))
 	counter("mimosd_breaker_opened_total", "Circuit breaker closed-to-open transitions.", float64(st.BreakerOpened))
 	counter("mimosd_breaker_probes_total", "Half-open probe decodes admitted.", float64(st.BreakerProbes))
 	counter("mimosd_breaker_reclosed_total", "Circuit breaker half-open-to-closed recoveries.", float64(st.BreakerReclosed))

@@ -213,9 +213,13 @@ type BackendHealth struct {
 	Restarts    uint64 `json:"restarts"`
 }
 
-// HealthReport is the full /healthz body.
+// HealthReport is the full /healthz body. Epoch and Instance identify this
+// scheduler incarnation (see Scheduler.Identity); a cluster front end
+// watches them to detect shard restarts.
 type HealthReport struct {
 	Status   string          `json:"status"`
+	Epoch    int64           `json:"epoch"`
+	Instance string          `json:"instance"`
 	Backends []BackendHealth `json:"backends,omitempty"`
 }
 
@@ -255,7 +259,7 @@ func (s *Scheduler) Health() (HealthState, HealthReport) {
 	case impaired > 0:
 		state = HealthDegraded
 	}
-	return state, HealthReport{Status: state.String(), Backends: backends}
+	return state, HealthReport{Status: state.String(), Epoch: s.epoch, Instance: s.instance, Backends: backends}
 }
 
 // batchOutcome is the resilience telemetry of one dispatched batch.

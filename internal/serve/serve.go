@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -159,6 +160,31 @@ type Scheduler struct {
 
 	m      *metrics
 	traces *trace.Hub
+
+	// epoch and instance identify this scheduler incarnation: epoch is
+	// monotonic across restarts on one host (creation time in unix nanos),
+	// instance is a unique id. A cluster front end compares both across
+	// health probes to detect shard restarts and invalidate any affinity
+	// assumptions (the restarted shard's QR cache is cold).
+	epoch    int64
+	instance string
+}
+
+// instanceSeq disambiguates schedulers created within the same nanosecond
+// (test suites build many per process).
+var instanceSeq atomic.Uint64
+
+// newInstanceID derives a short unique id from the epoch, the process, and a
+// per-process sequence number.
+func newInstanceID(epoch int64) string {
+	h := uint64(14695981039346656037) // FNV-1a
+	for _, v := range []uint64{uint64(epoch), uint64(os.Getpid()), instanceSeq.Add(1)} {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * 1099511628211
+			v >>= 8
+		}
+	}
+	return fmt.Sprintf("%016x", h)
 }
 
 // New builds and starts a scheduler. factory must return a fresh Backend
@@ -195,7 +221,9 @@ func New(cfg Config, factory func() (Backend, error)) (*Scheduler, error) {
 		backoff:     resilience.NewBackoff(rcfg.RetryBase, rcfg.RetryCap, rcfg.Seed),
 		m:           newMetrics(cfg.MaxBatch),
 		traces:      trace.NewHub(),
+		epoch:       time.Now().UnixNano(),
 	}
+	s.instance = newInstanceID(s.epoch)
 	var err error
 	if s.validator, err = factory(); err != nil {
 		return nil, fmt.Errorf("serve: backend factory: %w", err)
@@ -235,6 +263,12 @@ func New(cfg Config, factory func() (Backend, error)) (*Scheduler, error) {
 // Config returns the scheduler's effective (default-filled) configuration.
 func (s *Scheduler) Config() Config { return s.cfg }
 
+// Identity returns the scheduler's incarnation marker: a monotonic epoch
+// (creation time, unix nanos — a restart always yields a larger one) and a
+// unique instance id. Both ride on /healthz and /v1/config so a cluster
+// front end can detect restarts.
+func (s *Scheduler) Identity() (epoch int64, instance string) { return s.epoch, s.instance }
+
 // Backend returns the validation backend (for its name/constellation).
 func (s *Scheduler) Backend() Backend { return s.validator }
 
@@ -257,8 +291,21 @@ func (s *Scheduler) Stats() Stats {
 		st.BreakerProbes += c.Probes
 		st.BreakerReclosed += c.Reclosed
 		st.BreakerShortCircuit += c.ShortCircuited
+		if cs, ok := w.backend().(cacheStatser); ok {
+			hits, misses := cs.PreprocessCacheStats()
+			st.QRCacheHits += uint64(hits)
+			st.QRCacheMisses += uint64(misses)
+		}
 	}
 	return st
+}
+
+// cacheStatser is the optional Backend facet reporting QR preprocessing
+// cache effectiveness (core.Accelerator implements it). The cluster smoke
+// reads the aggregate off /metrics to prove affinity routing keeps each
+// shard's cache hot.
+type cacheStatser interface {
+	PreprocessCacheStats() (hits, misses int64)
 }
 
 // Healthy reports whether the scheduler is accepting work.
