@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-serve race-cluster serve-smoke trace-smoke chaos-smoke cluster-smoke fuzz bench bench-check
+.PHONY: check vet build test race race-serve race-cluster serve-smoke trace-smoke chaos-smoke cluster-smoke ofdm-smoke fuzz bench bench-check
 
 # check is the gate: static analysis, build, a single-iteration pass over
 # every benchmark (so the bench harness itself cannot rot), the serving
@@ -8,8 +8,9 @@ GO ?= go
 # concurrency-sensitive, so they run first and fail fast), the cluster
 # proxy and breaker under the race detector, the full suite under the race
 # detector, then the observability path, the single-node self-healing
-# contract, and the cluster failover contract end to end.
-check: vet build bench-check race-serve race-cluster race trace-smoke chaos-smoke cluster-smoke
+# contract, the cluster failover contract, and the OFDM workload tier's
+# SLO and cache-delta gates end to end.
+check: vet build bench-check race-serve race-cluster race trace-smoke chaos-smoke cluster-smoke ofdm-smoke
 
 vet:
 	$(GO) vet ./...
@@ -57,6 +58,13 @@ chaos-smoke:
 # stall storm drops nothing and health recovers, and join/leave work live.
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# ofdm-smoke boots sdserver and runs the wideband scenario suite against
+# it: static-dense must pass its SLOs and drive the QR cache >= 80% hits,
+# incoherent-control must pass while staying < 30%, and mobility-aging
+# must hold the degradation contract under CSI aging.
+ofdm-smoke:
+	bash scripts/ofdm_smoke.sh
 
 # bench regenerates BENCH_decode.json: the software hot-path figures
 # (ns/decode, allocs/op, nodes/s, and the QR-reuse batch speedup).

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	mimosd "repro"
+	"repro/internal/ofdm/scenario"
 	"repro/internal/serve"
 )
 
@@ -41,6 +42,7 @@ type sample struct {
 	quality   string
 	shed      bool
 	target    string
+	scenario  string
 }
 
 // targetSummary is one endpoint's slice of a multi-target run: where the
@@ -89,6 +91,11 @@ type summary struct {
 	// PerTarget splits the run by endpoint when -targets names more than
 	// one; nil for single-target runs.
 	PerTarget map[string]targetSummary `json:"per_target,omitempty"`
+
+	// PerScenario splits a -scenario run by workload: quality mix, BER vs
+	// the ZF floor, latency percentiles, transport errors, the server-side
+	// QR-cache split, and the SLO verdict. Nil outside scenario mode.
+	PerScenario map[string]scenarioReport `json:"per_scenario,omitempty"`
 }
 
 // percentile returns the p-quantile (0..1) of sorted latencies.
@@ -327,8 +334,18 @@ func main() {
 		minOK    = flag.Int("min-ok", 0, "exit 1 unless at least this many requests succeed")
 		patience = flag.Duration("patience", 5*time.Second, "how long to wait for the server to come up")
 		jsonOut  = flag.Bool("json", false, "emit the summary as JSON instead of text")
+		scenF    = flag.String("scenario", "", "run named OFDM scenarios (comma-separated, or \"all\") instead of random load; -seed drives the whole frame sequence")
+		noSLO    = flag.Bool("no-slo", false, "report SLO violations without failing the exit status (scenario mode)")
+		listScen = flag.Bool("list-scenarios", false, "list the shipped scenario names and exit")
 	)
 	flag.Parse()
+
+	if *listScen {
+		for _, sc := range scenario.All() {
+			fmt.Printf("%-20s %d frames  %s\n", sc.Name, sc.Frames(), sc.Description)
+		}
+		return
+	}
 
 	// The default transport keeps only two idle connections per host, which
 	// serializes a high-rate open loop on connection setup; let the pool
@@ -360,6 +377,13 @@ func main() {
 	info, err := fetchConfig(client, targets[0], *patience)
 	if err != nil {
 		log.Fatalf("sdload: %v", err)
+	}
+	if *scenF != "" {
+		runScenarioMode(client, targets, info, scenarioModeOptions{
+			arg: *scenF, seed: *seed, conc: *conc,
+			jsonOut: *jsonOut, noSLO: *noSLO, minOK: *minOK,
+		})
+		return
 	}
 	bodies, err := buildBodies(info, *snr, *pool, *seed)
 	if err != nil {

@@ -1,0 +1,358 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/ofdm"
+	"repro/internal/ofdm/scenario"
+	"repro/internal/serve"
+)
+
+// scenarioReport is one scenario run's slice of the summary: the
+// scenario-package Result (BER, quality mix, SLO violations) plus the
+// client-side split and the server-measured QR-cache effectiveness for the
+// scenario's label.
+type scenarioReport struct {
+	scenario.Result
+	// Requests/Rejected/Errors mirror the flat summary fields, restricted
+	// to this scenario's frames.
+	Requests int `json:"requests"`
+	Rejected int `json:"rejected"`
+	Errors   int `json:"errors"`
+	// QRCacheHits/Misses/HitRate are the server-side per-scenario cache
+	// split (delta across the run, read off /metrics); zero when the
+	// target does not expose the split (e.g. a proxy front end).
+	QRCacheHits   uint64  `json:"qr_cache_hits"`
+	QRCacheMisses uint64  `json:"qr_cache_misses"`
+	CacheHitRate  float64 `json:"qr_cache_hit_rate"`
+}
+
+// frameBody marshals one resource-grid frame as a labeled single-frame
+// decode request. JSON float64 round-trips exactly, so two frames sharing a
+// channel estimate produce byte-identical h payloads — and therefore the
+// same QR fingerprint server-side.
+func frameBody(f *ofdm.Frame, label string) ([]byte, error) {
+	req := serve.DecodeRequest{NoiseVar: f.NoiseVar, Scenario: label}
+	req.H = make([][][2]float64, f.H.Rows)
+	for i := 0; i < f.H.Rows; i++ {
+		row := f.H.Row(i)
+		wr := make([][2]float64, len(row))
+		for j, v := range row {
+			wr[j] = [2]float64{real(v), imag(v)}
+		}
+		req.H[i] = wr
+	}
+	req.Y = make([][2]float64, len(f.Y))
+	for i, v := range f.Y {
+		req.Y[i] = [2]float64{real(v), imag(v)}
+	}
+	return json.Marshal(req)
+}
+
+// scenarioFrameBodies generates every frame of a scenario run and its wire
+// body — the deterministic (scenario, seed) → bytes mapping the seed
+// regression test pins.
+func scenarioFrameBodies(sc scenario.Scenario, seed uint64) ([][]byte, error) {
+	gen, err := ofdm.NewGenerator(sc.Grid, seed)
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([][]byte, 0, sc.Frames())
+	for b := 0; b < sc.Blocks; b++ {
+		frames, err := gen.Block()
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range frames {
+			body, err := frameBody(f, sc.Name)
+			if err != nil {
+				return nil, err
+			}
+			bodies = append(bodies, body)
+		}
+	}
+	return bodies, nil
+}
+
+// httpSubmitter adapts the HTTP front end to scenario.BlockSubmitter: each
+// coherence block's frames are fired concurrently by conc workers (round-
+// robin across targets) so the server can coalesce them, and every request
+// is also recorded as a plain sample for the flat summary.
+func httpSubmitter(client *http.Client, targets []string, sc scenario.Scenario, conc int, record func(sample)) scenario.BlockSubmitter {
+	return func(frames []*ofdm.Frame) ([]scenario.Outcome, error) {
+		outcomes := make([]scenario.Outcome, len(frames))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		if conc < 1 {
+			conc = 1
+		}
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(frames) {
+						return
+					}
+					body, err := frameBody(frames[i], sc.Name)
+					if err != nil {
+						outcomes[i] = scenario.Outcome{Transport: true}
+						continue
+					}
+					tgt := targets[i%len(targets)]
+					sm, out := fireScenario(client, tgt, body)
+					sm.scenario = sc.Name
+					record(sm)
+					o := scenario.Outcome{Latency: sm.latency}
+					if sm.status == http.StatusOK && out != nil {
+						o.Bits = out.Bits
+						o.Quality = out.Quality
+					} else {
+						o.Transport = true
+					}
+					outcomes[i] = o
+				}
+			}()
+		}
+		wg.Wait()
+		return outcomes, nil
+	}
+}
+
+// fireScenario is fire plus the decoded response body (the scenario scorer
+// needs the detected bits, not just the status).
+func fireScenario(client *http.Client, addr string, body []byte) (sample, *serve.DecodeResponse) {
+	start := time.Now()
+	resp, err := client.Post(addr+"/v1/decode", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{latency: time.Since(start), status: -1, target: addr}, nil
+	}
+	defer resp.Body.Close()
+	sm := sample{status: resp.StatusCode, target: addr}
+	var out *serve.DecodeResponse
+	if resp.StatusCode == http.StatusOK {
+		var dr serve.DecodeResponse
+		if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+			sm.status = -1
+		} else {
+			sm.batchSize = dr.BatchSize
+			sm.quality = dr.Quality
+			sm.shed = dr.Shed
+			out = &dr
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	sm.latency = time.Since(start)
+	return sm, out
+}
+
+// scenarioCacheSplit reads the per-scenario QR-cache split off the target's
+// /metrics; zeros (not an error) when the target has no split for the label.
+func scenarioCacheSplit(client *http.Client, addr, label string) (hits, misses uint64) {
+	st, err := fetchMetrics(client, addr)
+	if err != nil || st.Scenarios == nil {
+		return 0, 0
+	}
+	sc := st.Scenarios[label]
+	return sc.QRCacheHits, sc.QRCacheMisses
+}
+
+// resolveScenarios expands the -scenario argument: a comma-separated name
+// list, or "all" for the whole shipped suite.
+func resolveScenarios(arg string) ([]scenario.Scenario, error) {
+	if arg == "all" {
+		return scenario.All(), nil
+	}
+	var out []scenario.Scenario
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sc, err := scenario.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-scenario named no scenarios (have %v)", scenario.Names())
+	}
+	return out, nil
+}
+
+// checkScenarioShape verifies the server's MIMO configuration matches the
+// scenario's grid — a mismatched run would fail every frame at validation.
+// Modulations are compared after parsing: the server reports the canonical
+// constellation name ("4-QAM") while grids use flag spellings ("qpsk").
+func checkScenarioShape(info *serve.ConfigInfo, sc scenario.Scenario) error {
+	want, err := constellation.ParseModulation(sc.Grid.Modulation)
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", sc.Name, err)
+	}
+	got, err := constellation.ParseModulation(info.Modulation)
+	if err != nil {
+		return fmt.Errorf("target modulation %q: %w", info.Modulation, err)
+	}
+	if info.TxAntennas != sc.Grid.Tx || info.RxAntennas != sc.Grid.Rx || got != want {
+		return fmt.Errorf("scenario %s needs a %dx%d %s server, target is %dx%d %s",
+			sc.Name, sc.Grid.Tx, sc.Grid.Rx, sc.Grid.Modulation,
+			info.TxAntennas, info.RxAntennas, info.Modulation)
+	}
+	return nil
+}
+
+// runScenario drives one scenario end to end and assembles its report.
+func runScenario(client *http.Client, targets []string, sc scenario.Scenario, seed uint64, conc int, record func(sample)) (*scenarioReport, []sample, error) {
+	var mu sync.Mutex
+	var scSamples []sample
+	rec := func(sm sample) {
+		mu.Lock()
+		scSamples = append(scSamples, sm)
+		mu.Unlock()
+		record(sm)
+	}
+	h0, m0 := scenarioCacheSplit(client, targets[0], sc.Name)
+	res, err := scenario.Run(sc, seed, httpSubmitter(client, targets, sc, conc, rec))
+	if err != nil {
+		return nil, nil, err
+	}
+	h1, m1 := scenarioCacheSplit(client, targets[0], sc.Name)
+	rep := &scenarioReport{Result: *res}
+	if h1 >= h0 {
+		rep.QRCacheHits = h1 - h0
+	}
+	if m1 >= m0 {
+		rep.QRCacheMisses = m1 - m0
+	}
+	if total := rep.QRCacheHits + rep.QRCacheMisses; total > 0 {
+		rep.CacheHitRate = float64(rep.QRCacheHits) / float64(total)
+	}
+	for _, sm := range scSamples {
+		rep.Requests++
+		switch {
+		case sm.status == http.StatusTooManyRequests:
+			rep.Rejected++
+		case sm.status >= 0 && sm.status != http.StatusOK:
+			rep.Errors++
+		}
+	}
+	return rep, scSamples, nil
+}
+
+// scenarioModeOptions carries the flags scenario mode consumes.
+type scenarioModeOptions struct {
+	arg     string
+	seed    uint64
+	conc    int
+	jsonOut bool
+	noSLO   bool
+	minOK   int
+}
+
+// runScenarioMode is sdload's -scenario entry point: run each named
+// scenario against the target(s), merge the flat summary with per-scenario
+// and per-target splits, and gate the exit status on the SLOs.
+func runScenarioMode(client *http.Client, targets []string, info *serve.ConfigInfo, o scenarioModeOptions) {
+	scenarios, err := resolveScenarios(o.arg)
+	if err != nil {
+		fatalf("sdload: %v", err)
+	}
+	for _, sc := range scenarios {
+		if err := checkScenarioShape(info, sc); err != nil {
+			fatalf("sdload: %v", err)
+		}
+	}
+
+	var mu sync.Mutex
+	var samples []sample
+	record := func(sm sample) {
+		mu.Lock()
+		samples = append(samples, sm)
+		mu.Unlock()
+	}
+
+	start := time.Now()
+	perScenario := make(map[string]scenarioReport, len(scenarios))
+	violated := false
+	for _, sc := range scenarios {
+		rep, _, err := runScenario(client, targets, sc, o.seed, o.conc, record)
+		if err != nil {
+			fatalf("sdload: scenario %s: %v", sc.Name, err)
+		}
+		perScenario[sc.Name] = *rep
+		if len(rep.Violations) > 0 {
+			violated = true
+		}
+	}
+	elapsed := time.Since(start)
+
+	s := summarize(samples, elapsed)
+	s.PerTarget = splitByTarget(samples, elapsed, targets)
+	s.PerScenario = perScenario
+	if st, err := fetchMetrics(client, targets[0]); err == nil {
+		s.GCPauseNs = st.GCPauseNs
+		s.DecodeAllocsPerOp = st.DecodeAllocsPerOp
+	}
+
+	if o.jsonOut {
+		out, _ := json.MarshalIndent(s, "", "  ")
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("sdload: scenario mode against %s (%dx%d %s), seed %d\n",
+			strings.Join(targets, ", "), info.TxAntennas, info.RxAntennas, info.Modulation, o.seed)
+		fmt.Printf("  requests    %d (ok %d, rejected %d, errors %d, transport %d) in %v\n",
+			s.Requests, s.OK, s.Rejected, s.Errors, s.TransportErrors, elapsed.Round(time.Millisecond))
+		fmt.Printf("  throughput  %.1f req/s\n", s.Throughput)
+		names := make([]string, 0, len(perScenario))
+		for name := range perScenario {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rep := perScenario[name]
+			printScenarioReport(&rep)
+		}
+	}
+	if s.OK < o.minOK {
+		fatalf("sdload: only %d ok responses, need %d", s.OK, o.minOK)
+	}
+	if violated && !o.noSLO {
+		fatalf("sdload: SLO violations (run with -no-slo to report without failing)")
+	}
+}
+
+// fatalf mirrors log.Fatalf onto stderr with exit 1 (kept local so scenario
+// mode reads like the rest of main).
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// printScenarioReport renders one scenario's text block.
+func printScenarioReport(rep *scenarioReport) {
+	fmt.Printf("  scenario %-20s frames %d  served %d  transport %d  rejected %d  errors %d\n",
+		rep.Scenario, rep.Frames, rep.Served, rep.TransportErrors, rep.Rejected, rep.Errors)
+	fmt.Printf("    quality %v  exact-fraction %.4f\n", rep.Quality, rep.ExactFraction)
+	fmt.Printf("    BER served %.4g  zf-floor %.4g  (%d/%d bits)\n", rep.ServedBER, rep.ZFBER, rep.BitErrors, rep.Bits)
+	fmt.Printf("    latency p50 %v  p99 %v  max %v\n", rep.P50, rep.P99, rep.MaxLatency)
+	fmt.Printf("    qr-cache hits %d  misses %d  hit-rate %.3f\n", rep.QRCacheHits, rep.QRCacheMisses, rep.CacheHitRate)
+	if len(rep.Violations) > 0 {
+		fmt.Printf("    SLO VIOLATIONS: %s\n", strings.Join(rep.Violations, "; "))
+	} else {
+		fmt.Printf("    SLO ok\n")
+	}
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/ofdm/scenario"
+)
+
+// hKeyOf extracts the h payload of a wire body as a comparable string.
+func hKeyOf(t *testing.T, body []byte) string {
+	t.Helper()
+	var req struct {
+		H [][][2]float64 `json:"h"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%v", req.H)
+}
+
+// TestScenarioFrameBodiesDeterministic pins the end-to-end seed contract:
+// the same (scenario, seed) pair must produce byte-identical wire bodies on
+// every run — the whole flag → generator → scenario path — while a
+// different seed must move them.
+func TestScenarioFrameBodiesDeterministic(t *testing.T) {
+	sc, err := scenario.Lookup("bursty-cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := scenarioFrameBodies(sc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenarioFrameBodies(sc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != sc.Frames() {
+		t.Fatalf("generated %d bodies, want %d", len(a), sc.Frames())
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("frame %d diverges between identically-seeded runs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+
+	c, err := scenarioFrameBodies(sc, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if bytes.Equal(a[i], c[i]) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d of %d frames identical across different seeds", same, len(a))
+	}
+}
+
+// TestScenarioFrameBodiesShareChannelBytes: within a coherent scenario the
+// wire h payload must repeat across a subcarrier's symbols — the property
+// the server-side QR cache monetises.
+func TestScenarioFrameBodiesShareChannelBytes(t *testing.T) {
+	sc, err := scenario.Lookup("static-dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies, err := scenarioFrameBodies(sc, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, b := range bodies {
+		distinct[hKeyOf(t, b)] = true
+	}
+	// One estimate per subcarrier, repeated across every symbol and block.
+	if len(distinct) != sc.Grid.Subcarriers {
+		t.Fatalf("coherent run carried %d distinct channels, want %d", len(distinct), sc.Grid.Subcarriers)
+	}
+
+	inc, err := scenario.Lookup("incoherent-control")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodies, err = scenarioFrameBodies(inc, inc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct = map[string]bool{}
+	for _, b := range bodies {
+		distinct[hKeyOf(t, b)] = true
+	}
+	if len(distinct) != inc.Frames() {
+		t.Fatalf("incoherent run carried %d distinct channels, want %d", len(distinct), inc.Frames())
+	}
+}

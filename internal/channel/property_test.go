@@ -1,0 +1,173 @@
+package channel
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/cmatrix"
+	"repro/internal/rng"
+)
+
+// TestCorrelatedRayleighRhoZeroIsIID: with ρ = 0 the Kronecker model must
+// reduce exactly to the i.i.d. Rayleigh draw (same rng stream, same bytes),
+// and its empirical statistics must match CN(0,1): zero mean, unit
+// variance, independent real/imag halves each at variance 1/2.
+func TestCorrelatedRayleighRhoZeroIsIID(t *testing.T) {
+	r1 := rng.New(7)
+	r2 := rng.New(7)
+	h1 := Rayleigh(r1, 4, 4)
+	h2, err := CorrelatedRayleigh(r2, 4, 4, 0)
+	if err != nil {
+		t.Fatalf("CorrelatedRayleigh(rho=0): %v", err)
+	}
+	for i := range h1.Data {
+		if h1.Data[i] != h2.Data[i] {
+			t.Fatalf("rho=0 draw diverges from Rayleigh at %d: %v vs %v", i, h1.Data[i], h2.Data[i])
+		}
+	}
+
+	// Moment check over many draws.
+	r := rng.New(99)
+	const draws = 2000
+	var sum complex128
+	var sumSq, sumRe2, sumIm2 float64
+	n := 0
+	for d := 0; d < draws; d++ {
+		h, err := CorrelatedRayleigh(r, 2, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range h.Data {
+			sum += v
+			sumSq += real(v)*real(v) + imag(v)*imag(v)
+			sumRe2 += real(v) * real(v)
+			sumIm2 += imag(v) * imag(v)
+			n++
+		}
+	}
+	mean := cmplx.Abs(sum) / float64(n)
+	if mean > 0.05 {
+		t.Errorf("|mean| = %v, want ~0", mean)
+	}
+	if v := sumSq / float64(n); math.Abs(v-1) > 0.05 {
+		t.Errorf("E|h|^2 = %v, want ~1", v)
+	}
+	if v := sumRe2 / float64(n); math.Abs(v-0.5) > 0.05 {
+		t.Errorf("Var(Re) = %v, want ~0.5", v)
+	}
+	if v := sumIm2 / float64(n); math.Abs(v-0.5) > 0.5e-1 {
+		t.Errorf("Var(Im) = %v, want ~0.5", v)
+	}
+}
+
+// TestExponentialCorrelationHermitianPSD: R = ρ^|i−j| must be exactly
+// Hermitian (here real symmetric), have unit diagonal, admit a Cholesky
+// factorization (positive definite), and have non-negative quadratic forms
+// x^H R x for random complex x — across the admissible ρ range including
+// negative correlation.
+func TestExponentialCorrelationHermitianPSD(t *testing.T) {
+	r := rng.New(5)
+	for _, rho := range []float64{-0.9, -0.5, 0, 0.3, 0.7, 0.95} {
+		for _, n := range []int{1, 2, 4, 8} {
+			R, err := ExponentialCorrelation(n, rho)
+			if err != nil {
+				t.Fatalf("rho=%v n=%d: %v", rho, n, err)
+			}
+			for i := 0; i < n; i++ {
+				if R.At(i, i) != 1 {
+					t.Fatalf("rho=%v n=%d: diagonal entry %v, want 1", rho, n, R.At(i, i))
+				}
+				for j := 0; j < n; j++ {
+					if R.At(i, j) != cmplx.Conj(R.At(j, i)) {
+						t.Fatalf("rho=%v n=%d: not Hermitian at (%d,%d)", rho, n, i, j)
+					}
+				}
+			}
+			if _, err := cmatrix.Cholesky(R); err != nil {
+				t.Fatalf("rho=%v n=%d: not positive definite: %v", rho, n, err)
+			}
+			for trial := 0; trial < 20; trial++ {
+				x := make(cmatrix.Vector, n)
+				for i := range x {
+					x[i] = r.ComplexNormal(1)
+				}
+				q := real(cmatrix.Dot(x, cmatrix.MulVec(R, x)))
+				if q < -1e-9 {
+					t.Fatalf("rho=%v n=%d: negative quadratic form %v", rho, n, q)
+				}
+			}
+		}
+	}
+	for _, bad := range []float64{-1, 1, 1.5} {
+		if _, err := ExponentialCorrelation(4, bad); err == nil {
+			t.Errorf("rho=%v: expected an error", bad)
+		}
+	}
+}
+
+// TestCorrelatedRayleighMarginals: correlation must not change the marginal
+// entry power — E|h_ij|² stays 1 for ρ ≠ 0 (the Kronecker factors have unit
+// diagonal) — while adjacent-antenna correlation appears at ~ρ.
+func TestCorrelatedRayleighMarginals(t *testing.T) {
+	r := rng.New(11)
+	const rho = 0.6
+	const draws = 4000
+	var power, crossRe float64
+	for d := 0; d < draws; d++ {
+		h, err := CorrelatedRayleigh(r, 2, 1, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		power += real(h.At(0, 0))*real(h.At(0, 0)) + imag(h.At(0, 0))*imag(h.At(0, 0))
+		// Rx-side correlation between the two antennas of one column.
+		crossRe += real(h.At(0, 0) * cmplx.Conj(h.At(1, 0)))
+	}
+	if v := power / draws; math.Abs(v-1) > 0.07 {
+		t.Errorf("E|h|^2 = %v under rho=%v, want ~1", v, rho)
+	}
+	if v := crossRe / draws; math.Abs(v-rho) > 0.07 {
+		t.Errorf("E[h0 conj(h1)] = %v, want ~%v", v, rho)
+	}
+}
+
+// TestPerturbEstimateErrorVariance: Ĥ − H must be i.i.d. CN(0, errVar)
+// empirically, errVar = 0 must return an equal clone (not the same object),
+// and the error must be independent of the channel (zero cross-moment).
+func TestPerturbEstimateErrorVariance(t *testing.T) {
+	r := rng.New(3)
+	h := Rayleigh(r, 8, 8)
+
+	clone := PerturbEstimate(r, h, 0)
+	if clone == h {
+		t.Fatal("errVar=0 returned the original matrix, want a clone")
+	}
+	for i := range h.Data {
+		if clone.Data[i] != h.Data[i] {
+			t.Fatalf("errVar=0 changed entry %d", i)
+		}
+	}
+
+	for _, errVar := range []float64{0.01, 0.1, 0.5} {
+		var sumSq float64
+		var cross complex128
+		n := 0
+		const draws = 500
+		for d := 0; d < draws; d++ {
+			est := PerturbEstimate(r, h, errVar)
+			for i := range h.Data {
+				e := est.Data[i] - h.Data[i]
+				sumSq += real(e)*real(e) + imag(e)*imag(e)
+				cross += e * cmplx.Conj(h.Data[i])
+				n++
+			}
+		}
+		got := sumSq / float64(n)
+		if math.Abs(got-errVar)/errVar > 0.05 {
+			t.Errorf("errVar=%v: empirical error variance %v (%.1f%% off)", errVar, got, 100*math.Abs(got-errVar)/errVar)
+		}
+		if c := cmplx.Abs(cross) / float64(n); c > 3*math.Sqrt(errVar)/math.Sqrt(float64(n)) {
+			t.Errorf("errVar=%v: error correlates with channel: %v", errVar, c)
+		}
+	}
+}

@@ -177,6 +177,45 @@ type proxyMetrics struct {
 	leaves           atomic.Uint64
 	lastDisruption   atomic.Uint64 // math.Float64bits of the last rebalance
 	scatterCursor    atomic.Uint64 // rotation point for RoutingScatter
+
+	// scMu guards scenarios: the per-workload-label routing splits. The
+	// labeled path takes one short mutex per frame; unlabeled traffic never
+	// touches it.
+	scMu      sync.Mutex
+	scenarios map[string]*scenarioCounters
+}
+
+// scenarioCounters is one workload label's slice of the proxy's traffic.
+type scenarioCounters struct {
+	submitted uint64
+	ok        uint64
+	failed    uint64
+	failovers uint64
+	fallbacks uint64
+}
+
+// scenario returns (allocating on first use) the counters for one label.
+func (m *proxyMetrics) scenario(label string) *scenarioCounters {
+	if m.scenarios == nil {
+		m.scenarios = make(map[string]*scenarioCounters, 4)
+	}
+	c := m.scenarios[label]
+	if c == nil {
+		c = &scenarioCounters{}
+		m.scenarios[label] = c
+	}
+	return c
+}
+
+// scenarioAdd applies fn to the label's counters under the lock; no-op for
+// unlabeled traffic.
+func (m *proxyMetrics) scenarioAdd(label string, fn func(*scenarioCounters)) {
+	if label == "" {
+		return
+	}
+	m.scMu.Lock()
+	fn(m.scenario(label))
+	m.scMu.Unlock()
 }
 
 // Proxy fronts a ring of sdserver shards: it fingerprint-routes frames for
@@ -505,9 +544,11 @@ func (p *Proxy) Decode(ctx context.Context, req *serve.DecodeRequest) (*DecodeRe
 		return nil, err
 	}
 	p.m.submitted.Add(1)
+	p.m.scenarioAdd(req.Scenario, func(c *scenarioCounters) { c.submitted++ })
 	body, err := json.Marshal(req)
 	if err != nil {
 		p.m.failed.Add(1)
+		p.m.scenarioAdd(req.Scenario, func(c *scenarioCounters) { c.failed++ })
 		return nil, fmt.Errorf("cluster: marshal frame: %w", err)
 	}
 	key := in.H.Fingerprint()
@@ -524,6 +565,12 @@ func (p *Proxy) Decode(ctx context.Context, req *serve.DecodeRequest) (*DecodeRe
 			p.m.hedgeWins.Add(1)
 		}
 		p.m.ok.Add(1)
+		p.m.scenarioAdd(req.Scenario, func(c *scenarioCounters) {
+			c.ok++
+			if o.idx > 0 {
+				c.failovers++
+			}
+		})
 		p.hedgeBudget.Earn(1)
 		return &DecodeResponse{
 			DecodeResponse: *o.resp,
@@ -535,10 +582,12 @@ func (p *Proxy) Decode(ctx context.Context, req *serve.DecodeRequest) (*DecodeRe
 	}
 	if isPermanent(rerr) {
 		p.m.failed.Add(1)
+		p.m.scenarioAdd(req.Scenario, func(c *scenarioCounters) { c.failed++ })
 		return nil, rerr
 	}
 	if ctx.Err() != nil {
 		p.m.failed.Add(1)
+		p.m.scenarioAdd(req.Scenario, func(c *scenarioCounters) { c.failed++ })
 		return nil, rerr
 	}
 	// Every replica dark, broken, or erroring: keep the zero-drop contract
@@ -546,8 +595,13 @@ func (p *Proxy) Decode(ctx context.Context, req *serve.DecodeRequest) (*DecodeRe
 	resp, ferr := p.fallbackDecode(in, attempts, hedged)
 	if ferr != nil {
 		p.m.failed.Add(1)
+		p.m.scenarioAdd(req.Scenario, func(c *scenarioCounters) { c.failed++ })
 		return nil, errors.Join(rerr, ferr)
 	}
+	p.m.scenarioAdd(req.Scenario, func(c *scenarioCounters) {
+		c.ok++
+		c.fallbacks++
+	})
 	return resp, nil
 }
 
@@ -600,28 +654,40 @@ type DecodeResponse struct {
 
 // Stats is the proxy's /metrics snapshot.
 type Stats struct {
-	Health               string      `json:"health"`
-	Routing              string      `json:"routing"`
-	Replicas             int         `json:"replicas"`
-	RingShards           int         `json:"ring_shards"`
-	UncoveredReplicaSets int         `json:"uncovered_replica_sets"`
-	Submitted            uint64      `json:"submitted"`
-	OK                   uint64      `json:"ok"`
-	Invalid              uint64      `json:"invalid"`
-	Failed               uint64      `json:"failed"`
-	Failovers            uint64      `json:"failovers"`
-	Hedges               uint64      `json:"hedges"`
-	HedgeWins            uint64      `json:"hedge_wins"`
-	HedgeWaste           uint64      `json:"hedge_waste"`
-	HedgeDenied          uint64      `json:"hedge_denied"`
-	Fallbacks            uint64      `json:"fallbacks"`
-	BreakerSkips         uint64      `json:"breaker_skips"`
-	DarkSkips            uint64      `json:"dark_skips"`
-	RestartsDetected     uint64      `json:"restarts_detected"`
-	Joins                uint64      `json:"joins"`
-	Leaves               uint64      `json:"leaves"`
-	LastRebalanceMoved   float64     `json:"last_rebalance_moved"`
-	Shards               []ShardInfo `json:"shards"`
+	Health               string  `json:"health"`
+	Routing              string  `json:"routing"`
+	Replicas             int     `json:"replicas"`
+	RingShards           int     `json:"ring_shards"`
+	UncoveredReplicaSets int     `json:"uncovered_replica_sets"`
+	Submitted            uint64  `json:"submitted"`
+	OK                   uint64  `json:"ok"`
+	Invalid              uint64  `json:"invalid"`
+	Failed               uint64  `json:"failed"`
+	Failovers            uint64  `json:"failovers"`
+	Hedges               uint64  `json:"hedges"`
+	HedgeWins            uint64  `json:"hedge_wins"`
+	HedgeWaste           uint64  `json:"hedge_waste"`
+	HedgeDenied          uint64  `json:"hedge_denied"`
+	Fallbacks            uint64  `json:"fallbacks"`
+	BreakerSkips         uint64  `json:"breaker_skips"`
+	DarkSkips            uint64  `json:"dark_skips"`
+	RestartsDetected     uint64  `json:"restarts_detected"`
+	Joins                uint64  `json:"joins"`
+	Leaves               uint64  `json:"leaves"`
+	LastRebalanceMoved   float64 `json:"last_rebalance_moved"`
+	// Scenarios splits routed traffic by the workload label frames carried
+	// (serve.DecodeRequest.Scenario). Absent until the first labeled frame.
+	Scenarios map[string]ScenarioStats `json:"scenarios,omitempty"`
+	Shards    []ShardInfo              `json:"shards"`
+}
+
+// ScenarioStats is one workload label's routing outcome ledger.
+type ScenarioStats struct {
+	Submitted uint64 `json:"submitted"`
+	OK        uint64 `json:"ok"`
+	Failed    uint64 `json:"failed"`
+	Failovers uint64 `json:"failovers"`
+	Fallbacks uint64 `json:"fallbacks"`
 }
 
 // Stats snapshots the cluster ledger.
@@ -630,6 +696,21 @@ func (p *Proxy) Stats() Stats {
 	p.mu.RLock()
 	ringLen := p.ring.Len()
 	p.mu.RUnlock()
+	var scenarios map[string]ScenarioStats
+	p.m.scMu.Lock()
+	if len(p.m.scenarios) > 0 {
+		scenarios = make(map[string]ScenarioStats, len(p.m.scenarios))
+		for label, c := range p.m.scenarios {
+			scenarios[label] = ScenarioStats{
+				Submitted: c.submitted,
+				OK:        c.ok,
+				Failed:    c.failed,
+				Failovers: c.failovers,
+				Fallbacks: c.fallbacks,
+			}
+		}
+	}
+	p.m.scMu.Unlock()
 	return Stats{
 		Health:               state.String(),
 		Routing:              p.cfg.Routing.String(),
@@ -652,6 +733,7 @@ func (p *Proxy) Stats() Stats {
 		Joins:                p.m.joins.Load(),
 		Leaves:               p.m.leaves.Load(),
 		LastRebalanceMoved:   math.Float64frombits(p.m.lastDisruption.Load()),
+		Scenarios:            scenarios,
 		Shards:               rep.Shards,
 	}
 }

@@ -1,0 +1,125 @@
+package ofdm
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// ArrivalPattern shapes how a resource grid's frames hit the decode queue
+// in time.
+type ArrivalPattern int
+
+const (
+	// PatternUniform paces each coherence block's frames evenly across the
+	// block period — the ideal scheduler that spreads the grid over the TTI.
+	PatternUniform ArrivalPattern = iota
+	// PatternBurst delivers every frame of a block at the block boundary —
+	// the FFT-output shape: a whole OFDM symbol set lands at once.
+	PatternBurst
+	// PatternBursty is on/off cell load: each block is either hot (burst at
+	// the boundary) or idle (no frames), following a seeded two-state
+	// Markov chain. It models tidal traffic where busy cells hammer the
+	// queue while quiet ones leave it empty.
+	PatternBursty
+)
+
+// String names the pattern.
+func (p ArrivalPattern) String() string {
+	switch p {
+	case PatternUniform:
+		return "uniform"
+	case PatternBurst:
+		return "burst"
+	case PatternBursty:
+		return "bursty"
+	default:
+		return fmt.Sprintf("ArrivalPattern(%d)", int(p))
+	}
+}
+
+// ParseArrivalPattern is the inverse of String.
+func ParseArrivalPattern(s string) (ArrivalPattern, error) {
+	switch s {
+	case "uniform":
+		return PatternUniform, nil
+	case "burst":
+		return PatternBurst, nil
+	case "bursty":
+		return PatternBursty, nil
+	default:
+		return 0, fmt.Errorf("ofdm: unknown arrival pattern %q", s)
+	}
+}
+
+// ArrivalConfig converts a grid workload into a stream arrival sequence.
+type ArrivalConfig struct {
+	Pattern ArrivalPattern
+	// Blocks is the number of coherence blocks.
+	Blocks int
+	// FramesPerBlock is the grid size K×T (see GridConfig.FramesPerBlock).
+	FramesPerBlock int
+	// BlockPeriod is the coherence-block duration (one block per period).
+	BlockPeriod time.Duration
+	// Service is the engine time one frame batch needs.
+	Service time.Duration
+	// HotProb is the bursty pattern's stationary probability that a block
+	// is hot; zero means 0.5. Ignored by the other patterns.
+	HotProb float64
+}
+
+// Arrivals builds the stream.Arrival sequence for the configured pattern.
+// The rng drives only the bursty on/off chain, so uniform and burst
+// sequences are pure functions of the config.
+func Arrivals(cfg ArrivalConfig, r *rng.Rand) ([]stream.Arrival, error) {
+	if cfg.Blocks <= 0 || cfg.FramesPerBlock <= 0 {
+		return nil, fmt.Errorf("ofdm: need positive blocks (%d) and frames per block (%d)", cfg.Blocks, cfg.FramesPerBlock)
+	}
+	if cfg.BlockPeriod <= 0 || cfg.Service < 0 {
+		return nil, fmt.Errorf("ofdm: invalid timing (period %v, service %v)", cfg.BlockPeriod, cfg.Service)
+	}
+	hot := cfg.HotProb
+	if hot == 0 {
+		hot = 0.5
+	}
+	if hot < 0 || hot > 1 {
+		return nil, fmt.Errorf("ofdm: hot probability %v outside [0, 1]", hot)
+	}
+	if cfg.Pattern == PatternBursty && r == nil {
+		return nil, fmt.Errorf("ofdm: bursty pattern needs an rng")
+	}
+	out := make([]stream.Arrival, 0, cfg.Blocks*cfg.FramesPerBlock)
+	spacing := cfg.BlockPeriod / time.Duration(cfg.FramesPerBlock)
+	for b := 0; b < cfg.Blocks; b++ {
+		base := time.Duration(b) * cfg.BlockPeriod
+		switch cfg.Pattern {
+		case PatternUniform:
+			for f := 0; f < cfg.FramesPerBlock; f++ {
+				out = append(out, stream.Arrival{Offset: base + time.Duration(f)*spacing, Service: cfg.Service})
+			}
+		case PatternBurst:
+			for f := 0; f < cfg.FramesPerBlock; f++ {
+				out = append(out, stream.Arrival{Offset: base, Service: cfg.Service})
+			}
+		case PatternBursty:
+			if r.Float64() >= hot {
+				continue // idle block
+			}
+			for f := 0; f < cfg.FramesPerBlock; f++ {
+				out = append(out, stream.Arrival{Offset: base, Service: cfg.Service})
+			}
+		default:
+			return nil, fmt.Errorf("ofdm: unknown arrival pattern %v", cfg.Pattern)
+		}
+	}
+	if len(out) == 0 {
+		// A fully idle bursty draw would leave the simulator with nothing;
+		// keep at least the first block hot so results stay well-defined.
+		for f := 0; f < cfg.FramesPerBlock; f++ {
+			out = append(out, stream.Arrival{Offset: 0, Service: cfg.Service})
+		}
+	}
+	return out, nil
+}

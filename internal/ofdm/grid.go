@@ -1,0 +1,220 @@
+package ofdm
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/cmatrix"
+	"repro/internal/constellation"
+	"repro/internal/rng"
+)
+
+// GridConfig describes one resource-grid workload: the MIMO shape, the
+// grid geometry (K subcarriers × T OFDM symbols per coherence block), and
+// the channel dynamics.
+type GridConfig struct {
+	// Subcarriers (K) and Symbols (T) give the coherence-block geometry:
+	// each block emits K×T detection frames, K distinct channels reused
+	// across T symbols.
+	Subcarriers int
+	Symbols     int
+	// Tx and Rx are the MIMO antenna counts (Tx streams into Rx antennas).
+	Tx, Rx int
+	// Modulation names the constellation ("qpsk", "16qam", ...).
+	Modulation string
+	// SNRdB sets the operating point under the Es/N0 convention the BER
+	// anchors use.
+	SNRdB float64
+	// Taps and DelaySpread shape the tapped-delay-line: Taps = 1 (or
+	// DelaySpread = 0) is frequency-flat; more taps with larger spread
+	// shrink the coherence bandwidth.
+	Taps        int
+	DelaySpread float64
+	// SpatialRho is the exponential antenna correlation at both ends.
+	SpatialRho float64
+	// DopplerNorm is f_d·T_s, the Doppler frequency normalised by the OFDM
+	// symbol duration. Zero freezes the channel within a block (static
+	// users); nonzero ages the true channel symbol by symbol while the
+	// receiver keeps detecting with the block-start estimate (CSI aging).
+	DopplerNorm float64
+	// CSIErrVar adds CN(0, CSIErrVar) estimation noise to the channel
+	// estimate handed to the detector (imperfect CSI).
+	CSIErrVar float64
+	// Incoherent, when true, draws a fresh independent channel for every
+	// frame instead of reusing per-subcarrier channels across the block —
+	// the control workload that defeats the QR cache by construction.
+	Incoherent bool
+}
+
+// Validate checks the geometry and fills nothing in: callers get explicit
+// errors instead of silent defaults.
+func (c GridConfig) Validate() error {
+	if c.Subcarriers <= 0 || c.Symbols <= 0 {
+		return fmt.Errorf("ofdm: grid %dx%d needs positive subcarriers and symbols", c.Subcarriers, c.Symbols)
+	}
+	if c.Tx <= 0 || c.Rx <= 0 || c.Rx < c.Tx {
+		return fmt.Errorf("ofdm: invalid MIMO shape %dx%d (need rx >= tx > 0)", c.Tx, c.Rx)
+	}
+	if c.Taps <= 0 {
+		return fmt.Errorf("ofdm: need at least one tap, got %d", c.Taps)
+	}
+	if c.DelaySpread < 0 || c.DopplerNorm < 0 || c.CSIErrVar < 0 {
+		return fmt.Errorf("ofdm: negative channel parameter (delay %v, doppler %v, csi err %v)",
+			c.DelaySpread, c.DopplerNorm, c.CSIErrVar)
+	}
+	if _, err := constellation.ParseModulation(c.Modulation); err != nil {
+		return err
+	}
+	return nil
+}
+
+// FramesPerBlock is the number of detection frames one coherence block
+// emits: Subcarriers × Symbols.
+func (c GridConfig) FramesPerBlock() int { return c.Subcarriers * c.Symbols }
+
+// Frame is one resource element's detection problem: the receiver's channel
+// estimate H (what the detector and the QR cache see), the observation Y,
+// and the ground truth needed to score BER afterwards.
+type Frame struct {
+	// Block, Subcarrier, Symbol locate the frame on the grid.
+	Block, Subcarrier, Symbol int
+	// H is the channel estimate the detector is given. Within a coherent
+	// block all frames of one subcarrier share the same *Matrix — identical
+	// bytes, identical fingerprint — which is what the QR cache keys on.
+	H *cmatrix.Matrix
+	// TrueH is the channel the observation was actually generated with; it
+	// diverges from H under Doppler aging and CSI error.
+	TrueH *cmatrix.Matrix
+	// Y = TrueH·s + n.
+	Y cmatrix.Vector
+	// NoiseVar is the true complex noise variance (also handed to the
+	// detector).
+	NoiseVar float64
+	// SymbolIdx and Bits are the transmitted ground truth.
+	SymbolIdx []int
+	Bits      []int
+}
+
+// Generator emits coherence blocks of frames deterministically from a seed.
+// Two generators built with the same config and seed produce identical
+// frame sequences (bit-for-bit, including channel matrices and noise).
+type Generator struct {
+	cfg      GridConfig
+	cons     *constellation.Constellation
+	noiseVar float64
+	// chanRNG drives channel realisations, dataRNG payload bits and noise:
+	// separate deterministic sub-streams so the two evolve independently.
+	chanRNG, dataRNG *rng.Rand
+	tdl              *TDL
+	block            int
+}
+
+// NewGenerator validates the config and seeds the deterministic streams.
+func NewGenerator(cfg GridConfig, seed uint64) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mod, err := constellation.ParseModulation(cfg.Modulation)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(seed)
+	g := &Generator{
+		cfg:      cfg,
+		cons:     constellation.New(mod),
+		noiseVar: channel.NoiseVariance(channel.PerTransmitSymbol, cfg.SNRdB, cfg.Tx),
+		chanRNG:  root.Child(1),
+		dataRNG:  root.Child(2),
+	}
+	g.tdl, err = NewTDL(g.chanRNG, cfg.Rx, cfg.Tx, cfg.Taps, cfg.DelaySpread, cfg.SpatialRho, cfg.DopplerNorm)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Config returns the generator's grid configuration.
+func (g *Generator) Config() GridConfig { return g.cfg }
+
+// Constellation exposes the parsed constellation so callers can score
+// detected symbol indices back into bits.
+func (g *Generator) Constellation() *constellation.Constellation { return g.cons }
+
+// NoiseVar returns the operating noise variance.
+func (g *Generator) NoiseVar() float64 { return g.noiseVar }
+
+// Block generates the next coherence block: FramesPerBlock frames in
+// transmission order (symbol-major — all K subcarriers of OFDM symbol 0,
+// then symbol 1, ...). The receiver's estimate for each subcarrier is
+// taken once at block start (optionally perturbed by CSIErrVar) and reused
+// for every symbol of the block; under Doppler the true channel drifts
+// away from it symbol by symbol.
+func (g *Generator) Block() ([]*Frame, error) {
+	cfg := g.cfg
+	frames := make([]*Frame, 0, cfg.FramesPerBlock())
+	// Block-start estimates, shared across the block's symbols.
+	est := make([]*cmatrix.Matrix, cfg.Subcarriers)
+	if !cfg.Incoherent {
+		for k := range est {
+			est[k] = channel.PerturbEstimate(g.dataRNG, g.tdl.SubcarrierChannel(k, cfg.Subcarriers), cfg.CSIErrVar)
+		}
+	}
+	for t := 0; t < cfg.Symbols; t++ {
+		if t > 0 {
+			if err := g.tdl.Evolve(); err != nil {
+				return nil, err
+			}
+		}
+		for k := 0; k < cfg.Subcarriers; k++ {
+			var trueH, estH *cmatrix.Matrix
+			if cfg.Incoherent {
+				// Control workload: every frame gets an independent channel,
+				// so no two frames share a QR fingerprint.
+				var err error
+				trueH, err = channel.CorrelatedRayleigh(g.chanRNG, cfg.Rx, cfg.Tx, cfg.SpatialRho)
+				if err != nil {
+					return nil, err
+				}
+				estH = channel.PerturbEstimate(g.dataRNG, trueH, cfg.CSIErrVar)
+			} else {
+				trueH = g.tdl.SubcarrierChannel(k, cfg.Subcarriers)
+				estH = est[k]
+			}
+			f := &Frame{
+				Block:      g.block,
+				Subcarrier: k,
+				Symbol:     t,
+				H:          estH,
+				TrueH:      trueH,
+				NoiseVar:   g.noiseVar,
+				SymbolIdx:  make([]int, cfg.Tx),
+				Bits:       make([]int, cfg.Tx*g.cons.BitsPerSymbol()),
+			}
+			g.dataRNG.Bits(f.Bits)
+			s := make(cmatrix.Vector, cfg.Tx)
+			bps := g.cons.BitsPerSymbol()
+			for a := 0; a < cfg.Tx; a++ {
+				idx := g.cons.Index(f.Bits[a*bps : (a+1)*bps])
+				f.SymbolIdx[a] = idx
+				s[a] = g.cons.Symbol(idx)
+			}
+			f.Y = channel.Transmit(g.dataRNG, trueH, s, g.noiseVar)
+			frames = append(frames, f)
+		}
+	}
+	g.block++
+	return frames, nil
+}
+
+// Blocks generates n consecutive coherence blocks.
+func (g *Generator) Blocks(n int) ([][]*Frame, error) {
+	out := make([][]*Frame, 0, n)
+	for i := 0; i < n; i++ {
+		b, err := g.Block()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

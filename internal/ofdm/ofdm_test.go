@@ -1,0 +1,375 @@
+package ofdm
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func TestExponentialPDP(t *testing.T) {
+	for _, tc := range []struct {
+		taps int
+		tau  float64
+	}{{1, 0}, {4, 0}, {4, 1}, {8, 2.5}, {3, 100}} {
+		p, err := ExponentialPDP(tc.taps, tc.tau)
+		if err != nil {
+			t.Fatalf("taps=%d tau=%v: %v", tc.taps, tc.tau, err)
+		}
+		if len(p) != tc.taps {
+			t.Fatalf("taps=%d tau=%v: got %d powers", tc.taps, tc.tau, len(p))
+		}
+		var sum float64
+		for l, v := range p {
+			if v < 0 {
+				t.Fatalf("taps=%d tau=%v: negative power p[%d]=%v", tc.taps, tc.tau, l, v)
+			}
+			if l > 0 && v > p[l-1] {
+				t.Fatalf("taps=%d tau=%v: non-decreasing profile at %d", tc.taps, tc.tau, l)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("taps=%d tau=%v: powers sum to %v, want 1", tc.taps, tc.tau, sum)
+		}
+	}
+	if p, _ := ExponentialPDP(5, 0); p[0] != 1 {
+		t.Errorf("tau=0 should collapse to a single tap, got %v", p)
+	}
+	if _, err := ExponentialPDP(0, 1); err == nil {
+		t.Error("taps=0: expected error")
+	}
+	if _, err := ExponentialPDP(4, -1); err == nil {
+		t.Error("tau<0: expected error")
+	}
+}
+
+func TestJakesAlpha(t *testing.T) {
+	if a := JakesAlpha(0); a != 1 {
+		t.Fatalf("JakesAlpha(0) = %v, want 1", a)
+	}
+	// Small Doppler: α just below 1 and monotonically shrinking.
+	prev := 1.0
+	for _, d := range []float64{0.001, 0.01, 0.05, 0.1} {
+		a := JakesAlpha(d)
+		if a >= prev || a <= 0 {
+			t.Fatalf("JakesAlpha(%v) = %v, want in (0, %v)", d, a, prev)
+		}
+		prev = a
+	}
+}
+
+// TestSubcarrierUnitPower: with a normalised PDP the per-subcarrier channel
+// entries must stay ≈ CN(0,1) regardless of tap count — the calibration that
+// keeps the flat-fading BER anchors valid for the wideband workload.
+func TestSubcarrierUnitPower(t *testing.T) {
+	r := rng.New(21)
+	const K = 16
+	var sumSq float64
+	n := 0
+	for trial := 0; trial < 300; trial++ {
+		tdl, err := NewTDL(r, 2, 2, 4, 1.3, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < K; k++ {
+			h := tdl.SubcarrierChannel(k, K)
+			for _, v := range h.Data {
+				sumSq += real(v)*real(v) + imag(v)*imag(v)
+				n++
+			}
+		}
+	}
+	if v := sumSq / float64(n); math.Abs(v-1) > 0.05 {
+		t.Errorf("per-subcarrier E|h|^2 = %v, want ~1", v)
+	}
+}
+
+// TestEvolveStaticAndAging: zero Doppler must freeze the channel exactly;
+// nonzero Doppler must move it while preserving the marginal power.
+func TestEvolveStaticAndAging(t *testing.T) {
+	static, err := NewTDL(rng.New(4), 2, 2, 3, 1, 0.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := static.SubcarrierChannel(0, 8)
+	if err := static.Evolve(); err != nil {
+		t.Fatal(err)
+	}
+	after := static.SubcarrierChannel(0, 8)
+	for i := range before.Data {
+		if before.Data[i] != after.Data[i] {
+			t.Fatal("zero-Doppler Evolve changed the channel")
+		}
+	}
+
+	aging, err := NewTDL(rng.New(4), 2, 2, 3, 1, 0.3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := aging.SubcarrierChannel(0, 8)
+	if err := aging.Evolve(); err != nil {
+		t.Fatal(err)
+	}
+	b1 := aging.SubcarrierChannel(0, 8)
+	same := true
+	for i := range b0.Data {
+		if b0.Data[i] != b1.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("nonzero-Doppler Evolve left the channel unchanged")
+	}
+}
+
+// TestGeneratorCoherentSharing: within one coherence block every frame of a
+// given subcarrier must carry the SAME estimate matrix (pointer identity ⇒
+// identical bytes ⇒ identical QR-cache fingerprint); with zero Doppler and
+// zero CSI error, consecutive blocks repeat the same channel content.
+func TestGeneratorCoherentSharing(t *testing.T) {
+	cfg := GridConfig{
+		Subcarriers: 4, Symbols: 3, Tx: 2, Rx: 2,
+		Modulation: "qpsk", SNRdB: 12, Taps: 3, DelaySpread: 1,
+	}
+	g, err := NewGenerator(cfg, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0, err := g.Block()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b0) != cfg.FramesPerBlock() {
+		t.Fatalf("block has %d frames, want %d", len(b0), cfg.FramesPerBlock())
+	}
+	byKT := func(b []*Frame, k, sym int) *Frame { return b[sym*cfg.Subcarriers+k] }
+	for k := 0; k < cfg.Subcarriers; k++ {
+		first := byKT(b0, k, 0)
+		if first.Subcarrier != k || first.Symbol != 0 {
+			t.Fatalf("frame ordering broken: got (k=%d,t=%d)", first.Subcarrier, first.Symbol)
+		}
+		for sym := 1; sym < cfg.Symbols; sym++ {
+			if byKT(b0, k, sym).H != first.H {
+				t.Fatalf("subcarrier %d symbol %d does not share the block-start estimate", k, sym)
+			}
+		}
+	}
+	// Distinct subcarriers see distinct channels.
+	if byKT(b0, 0, 0).H == byKT(b0, 1, 0).H {
+		t.Fatal("different subcarriers share an estimate pointer")
+	}
+
+	// Static channel: next block repeats the same bytes per subcarrier.
+	b1, err := g.Block()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < cfg.Subcarriers; k++ {
+		h0, h1 := byKT(b0, k, 0).H, byKT(b1, k, 0).H
+		for i := range h0.Data {
+			if h0.Data[i] != h1.Data[i] {
+				t.Fatalf("static channel drifted between blocks on subcarrier %d", k)
+			}
+		}
+	}
+}
+
+// TestGeneratorIncoherentDistinct: the incoherent control must hand every
+// frame its own channel realisation — no shared pointers, no repeated bytes.
+func TestGeneratorIncoherentDistinct(t *testing.T) {
+	cfg := GridConfig{
+		Subcarriers: 4, Symbols: 2, Tx: 2, Rx: 2,
+		Modulation: "qpsk", SNRdB: 12, Taps: 1, Incoherent: true,
+	}
+	g, err := NewGenerator(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Block()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(b); i++ {
+		for j := i + 1; j < len(b); j++ {
+			if b[i].H == b[j].H {
+				t.Fatalf("incoherent frames %d and %d share an estimate pointer", i, j)
+			}
+			same := true
+			for d := range b[i].H.Data {
+				if b[i].H.Data[d] != b[j].H.Data[d] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatalf("incoherent frames %d and %d repeat channel bytes", i, j)
+			}
+		}
+	}
+}
+
+// TestGeneratorDeterminism: same config + same seed ⇒ bit-identical frame
+// sequences, including channels, payloads, and noise.
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := GridConfig{
+		Subcarriers: 6, Symbols: 4, Tx: 2, Rx: 3,
+		Modulation: "16qam", SNRdB: 15, Taps: 4, DelaySpread: 1.2,
+		SpatialRho: 0.4, DopplerNorm: 0.02, CSIErrVar: 0.01,
+	}
+	g1, err := NewGenerator(cfg, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(cfg, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs1, err := g1.Blocks(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs2, err := g2.Blocks(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi := range bs1 {
+		for fi := range bs1[bi] {
+			f1, f2 := bs1[bi][fi], bs2[bi][fi]
+			for i := range f1.H.Data {
+				if f1.H.Data[i] != f2.H.Data[i] {
+					t.Fatalf("block %d frame %d: H diverges", bi, fi)
+				}
+			}
+			for i := range f1.Y {
+				if f1.Y[i] != f2.Y[i] {
+					t.Fatalf("block %d frame %d: Y diverges", bi, fi)
+				}
+			}
+			for i := range f1.Bits {
+				if f1.Bits[i] != f2.Bits[i] {
+					t.Fatalf("block %d frame %d: bits diverge", bi, fi)
+				}
+			}
+		}
+	}
+
+	g3, err := NewGenerator(cfg, 1235)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := g3.Block()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3[0].H.Data[0] == bs1[0][0].H.Data[0] {
+		t.Error("different seeds produced the same first channel entry")
+	}
+}
+
+func TestGridConfigValidate(t *testing.T) {
+	good := GridConfig{Subcarriers: 4, Symbols: 2, Tx: 2, Rx: 2, Modulation: "qpsk", Taps: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*GridConfig){
+		"zero subcarriers": func(c *GridConfig) { c.Subcarriers = 0 },
+		"zero symbols":     func(c *GridConfig) { c.Symbols = 0 },
+		"rx < tx":          func(c *GridConfig) { c.Rx = 1 },
+		"zero taps":        func(c *GridConfig) { c.Taps = 0 },
+		"negative doppler": func(c *GridConfig) { c.DopplerNorm = -1 },
+		"bad modulation":   func(c *GridConfig) { c.Modulation = "psk31" },
+	} {
+		c := good
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func TestArrivalPatterns(t *testing.T) {
+	base := ArrivalConfig{
+		Blocks: 3, FramesPerBlock: 4,
+		BlockPeriod: 400 * time.Microsecond, Service: 10 * time.Microsecond,
+	}
+
+	uni := base
+	uni.Pattern = PatternUniform
+	arr, err := Arrivals(uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 12 {
+		t.Fatalf("uniform: %d arrivals, want 12", len(arr))
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i].Offset-arr[i-1].Offset != 100*time.Microsecond {
+			t.Fatalf("uniform spacing broken at %d: %v -> %v", i, arr[i-1].Offset, arr[i].Offset)
+		}
+	}
+
+	burst := base
+	burst.Pattern = PatternBurst
+	arr, err = Arrivals(burst, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range arr {
+		want := time.Duration(i/4) * base.BlockPeriod
+		if a.Offset != want {
+			t.Fatalf("burst arrival %d at %v, want %v", i, a.Offset, want)
+		}
+	}
+
+	bursty := base
+	bursty.Pattern = PatternBursty
+	if _, err := Arrivals(bursty, nil); err == nil {
+		t.Fatal("bursty without rng: expected error")
+	}
+	a1, err := Arrivals(bursty, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Arrivals(bursty, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("bursty not deterministic: %d vs %d arrivals", len(a1), len(a2))
+	}
+	if len(a1) == 0 || len(a1)%4 != 0 {
+		t.Fatalf("bursty arrivals %d not a whole number of hot blocks", len(a1))
+	}
+
+	// Fully idle draws fall back to one hot block.
+	rare := bursty
+	rare.HotProb = 1e-12
+	a3, err := Arrivals(rare, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a3) != 4 || a3[0].Offset != 0 {
+		t.Fatalf("idle fallback broken: %d arrivals, first at %v", len(a3), a3[0].Offset)
+	}
+
+	bad := base
+	bad.Blocks = 0
+	if _, err := Arrivals(bad, nil); err == nil {
+		t.Error("zero blocks: expected error")
+	}
+}
+
+func TestArrivalPatternString(t *testing.T) {
+	for _, p := range []ArrivalPattern{PatternUniform, PatternBurst, PatternBursty} {
+		got, err := ParseArrivalPattern(p.String())
+		if err != nil || got != p {
+			t.Errorf("round-trip %v: got %v, err %v", p, got, err)
+		}
+	}
+	if _, err := ParseArrivalPattern("poisson"); err == nil {
+		t.Error("unknown pattern: expected error")
+	}
+}

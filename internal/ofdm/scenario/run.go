@@ -1,0 +1,206 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/ofdm"
+)
+
+// Outcome is what a submitter reports for one frame.
+type Outcome struct {
+	// Bits is the detected bit vector (Tx × bits-per-symbol), empty when
+	// the frame was not served.
+	Bits []int
+	// Quality is the decode quality label ("exact", "best-effort",
+	// "fallback"); empty when not served.
+	Quality string
+	// Latency is the per-frame request latency as the submitter saw it.
+	Latency time.Duration
+	// Transport marks a frame that got no answer at all (connection error,
+	// non-2xx status). Transport outcomes have no Bits.
+	Transport bool
+}
+
+// BlockSubmitter pushes one coherence block of frames through a detector
+// and returns one Outcome per frame, in order. The scenario runner hands
+// blocks (not single frames) so submitters can exploit intra-block
+// batching — the local submitter decodes the block in one DecodeBatch
+// call; sdload's HTTP submitter fires the block concurrently.
+type BlockSubmitter func(frames []*ofdm.Frame) ([]Outcome, error)
+
+// Result summarizes one scenario run. ServedBER counts bit errors only
+// over frames that produced bits; ZFBER is a local zero-forcing decode of
+// every frame (same estimates, same observations) — the floor the anytime
+// contract promises never to undercut.
+type Result struct {
+	Scenario        string         `json:"scenario"`
+	Frames          int            `json:"frames"`
+	Served          int            `json:"served"`
+	TransportErrors int            `json:"transport_errors"`
+	Quality         map[string]int `json:"quality"`
+	ExactFraction   float64        `json:"exact_fraction"`
+	BitErrors       int            `json:"bit_errors"`
+	Bits            int            `json:"bits"`
+	ServedBER       float64        `json:"served_ber"`
+	ZFBER           float64        `json:"zf_ber"`
+	P50             time.Duration  `json:"p50_ns"`
+	P99             time.Duration  `json:"p99_ns"`
+	MaxLatency      time.Duration  `json:"max_latency_ns"`
+	Violations      []string       `json:"slo_violations"`
+}
+
+// Check evaluates the SLO against the result and returns the violations
+// (empty means the scenario passed). Transport errors always violate.
+func (r *Result) Check(slo SLO) []string {
+	var v []string
+	if r.TransportErrors > 0 {
+		v = append(v, fmt.Sprintf("transport errors: %d (want 0)", r.TransportErrors))
+	}
+	if slo.MinExactFraction > 0 && r.ExactFraction < slo.MinExactFraction {
+		v = append(v, fmt.Sprintf("exact fraction %.4f below floor %.4f", r.ExactFraction, slo.MinExactFraction))
+	}
+	if slo.MaxBER > 0 && r.ServedBER > slo.MaxBER {
+		v = append(v, fmt.Sprintf("served BER %.3g above ceiling %.3g", r.ServedBER, slo.MaxBER))
+	}
+	if slo.BERNotWorseThanZF && r.ServedBER > r.ZFBER {
+		v = append(v, fmt.Sprintf("served BER %.3g worse than ZF %.3g", r.ServedBER, r.ZFBER))
+	}
+	if slo.MaxP99 > 0 && r.P99 > slo.MaxP99 {
+		v = append(v, fmt.Sprintf("p99 latency %v above bound %v", r.P99, slo.MaxP99))
+	}
+	return v
+}
+
+// Run generates the scenario's blocks from the seed and drives them
+// through the submitter block by block, scoring BER against the ground
+// truth and the ZF floor locally. The frame sequence is a pure function of
+// (scenario, seed); with a deterministic submitter the whole Result is.
+func Run(sc Scenario, seed uint64, submit BlockSubmitter) (*Result, error) {
+	gen, err := ofdm.NewGenerator(sc.Grid, seed)
+	if err != nil {
+		return nil, err
+	}
+	cons := gen.Constellation()
+	zf := decoder.NewZF(cons)
+	res := &Result{
+		Scenario: sc.Name,
+		Quality:  map[string]int{},
+	}
+	var latencies []time.Duration
+	var zfErrors, totalBits int
+	for b := 0; b < sc.Blocks; b++ {
+		frames, err := gen.Block()
+		if err != nil {
+			return nil, err
+		}
+		outcomes, err := submit(frames)
+		if err != nil {
+			return nil, err
+		}
+		if len(outcomes) != len(frames) {
+			return nil, fmt.Errorf("scenario: submitter returned %d outcomes for %d frames", len(outcomes), len(frames))
+		}
+		for i, f := range frames {
+			o := outcomes[i]
+			res.Frames++
+			totalBits += len(f.Bits)
+			// ZF floor on the identical detection problem (the receiver's
+			// estimate, not the true channel).
+			zr, err := zf.Decode(f.H, f.Y, f.NoiseVar)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: ZF floor decode: %w", err)
+			}
+			zfErrors += bitErrors(cons, f, zr.SymbolIdx)
+			if o.Transport {
+				res.TransportErrors++
+				continue
+			}
+			res.Served++
+			if o.Quality != "" {
+				res.Quality[o.Quality]++
+			}
+			if len(o.Bits) == len(f.Bits) {
+				for j, bit := range o.Bits {
+					if bit != f.Bits[j] {
+						res.BitErrors++
+					}
+				}
+				res.Bits += len(f.Bits)
+			}
+			latencies = append(latencies, o.Latency)
+		}
+	}
+	if res.Served > 0 {
+		res.ExactFraction = float64(res.Quality["exact"]) / float64(res.Served)
+	}
+	if res.Bits > 0 {
+		res.ServedBER = float64(res.BitErrors) / float64(res.Bits)
+	}
+	if totalBits > 0 {
+		res.ZFBER = float64(zfErrors) / float64(totalBits)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		res.P50 = quantile(latencies, 0.50)
+		res.P99 = quantile(latencies, 0.99)
+		res.MaxLatency = latencies[len(latencies)-1]
+	}
+	res.Violations = res.Check(sc.SLO)
+	if res.Violations == nil {
+		res.Violations = []string{}
+	}
+	return res, nil
+}
+
+// bitErrors counts bit errors of detected symbol indices against the
+// frame's transmitted symbols, via Gray-label Hamming distance.
+func bitErrors(cons *constellation.Constellation, f *ofdm.Frame, detected []int) int {
+	errs := 0
+	for a, idx := range detected {
+		errs += cons.HammingDistance(idx, f.SymbolIdx[a])
+	}
+	return errs
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(float64(len(sorted)) * q)
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// AcceleratorSubmitter runs blocks through a local core.Accelerator with
+// one exhaustive DecodeBatch per block — the deterministic in-process
+// submitter the scenario self-tests use. Intra-block QR reuse happens
+// exactly as it would inside one coalesced server batch.
+func AcceleratorSubmitter(acc *core.Accelerator) BlockSubmitter {
+	return func(frames []*ofdm.Frame) ([]Outcome, error) {
+		inputs := make([]core.BatchInput, len(frames))
+		for i, f := range frames {
+			inputs[i] = core.BatchInput{H: f.H, Y: f.Y, NoiseVar: f.NoiseVar}
+		}
+		start := time.Now()
+		rep, err := acc.DecodeBatch(inputs)
+		if err != nil {
+			return nil, err
+		}
+		per := time.Since(start) / time.Duration(len(frames))
+		cons := acc.Constellation()
+		out := make([]Outcome, len(frames))
+		for i, r := range rep.Results {
+			bits := make([]int, 0, len(r.SymbolIdx)*cons.BitsPerSymbol())
+			buf := make([]int, cons.BitsPerSymbol())
+			for _, idx := range r.SymbolIdx {
+				bits = append(bits, cons.BitsOf(idx, buf)...)
+			}
+			out[i] = Outcome{Bits: bits, Quality: r.Quality.String(), Latency: per}
+		}
+		return out, nil
+	}
+}

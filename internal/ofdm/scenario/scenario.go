@@ -1,0 +1,153 @@
+// Package scenario is the named workload suite for the OFDM resource-grid
+// tier: each scenario pins a grid configuration, a block count, a default
+// seed, and the SLO it must meet (exact-fraction floor, served BER no worse
+// than plain ZF on the same frames, a p99 latency bound, zero transport
+// errors). Scenarios are runnable deterministically — the same name and
+// seed always produce the same frame sequence and, through the exhaustive
+// sphere search, the same detections — so the SLO gates double as
+// regression tests for the whole serving stack.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ofdm"
+)
+
+// SLO is a scenario's service-level objective. Zero-valued fields are
+// unenforced except TransportErrors, which must always be zero.
+type SLO struct {
+	// MinExactFraction is the floor on the fraction of served frames that
+	// finished at exact quality (shed/degraded frames count against it).
+	MinExactFraction float64 `json:"min_exact_fraction,omitempty"`
+	// MaxBER is an absolute ceiling on the served bit-error rate — the
+	// scenario's measured anchor plus slack.
+	MaxBER float64 `json:"max_ber,omitempty"`
+	// BERNotWorseThanZF requires the served BER to be no worse than a
+	// zero-forcing decode of the exact same frames (the repo-wide
+	// degradation contract, extended to the wideband workload).
+	BERNotWorseThanZF bool `json:"ber_not_worse_than_zf,omitempty"`
+	// MaxP99 bounds the p99 request latency. Generous bounds are
+	// deliberate: the gate is "no pathological tail", not a benchmark.
+	MaxP99 time.Duration `json:"max_p99_ns,omitempty"`
+}
+
+// Scenario is one named workload.
+type Scenario struct {
+	Name        string
+	Description string
+	Grid        ofdm.GridConfig
+	// Blocks is the number of coherence blocks a run generates.
+	Blocks int
+	// Seed is the default deterministic seed (callers may override).
+	Seed uint64
+	SLO  SLO
+}
+
+// Frames returns the total frame count of one run.
+func (s Scenario) Frames() int { return s.Blocks * s.Grid.FramesPerBlock() }
+
+// registry holds the shipped scenarios. All use the 4×4 QPSK shape so the
+// whole suite can run against one sdserver/sdproxy boot; the smoke script
+// and the deterministic tests rely on that.
+var registry = []Scenario{
+	{
+		Name: "static-dense",
+		Description: "Static users on a dense coherent grid: 32 subcarriers × 8 symbols, " +
+			"no Doppler, perfect CSI. Every subcarrier's H repeats across the block — " +
+			"the workload the QR cache and fingerprint affinity were built for.",
+		Grid: ofdm.GridConfig{
+			Subcarriers: 32, Symbols: 8, Tx: 4, Rx: 4, Modulation: "qpsk",
+			SNRdB: 14, Taps: 4, DelaySpread: 1.0, SpatialRho: 0.2,
+		},
+		Blocks: 3,
+		Seed:   1,
+		SLO: SLO{
+			MinExactFraction:  0.95,
+			MaxBER:            2e-2,
+			BERNotWorseThanZF: true,
+			MaxP99:            2 * time.Second,
+		},
+	},
+	{
+		Name: "mobility-aging",
+		Description: "Mobile users: the true channel drifts under Jakes Doppler " +
+			"(f_d·T_s = 0.03) while the receiver detects with the block-start estimate " +
+			"plus CSI noise — BER degrades across the block but the grid stays cache-coherent.",
+		Grid: ofdm.GridConfig{
+			Subcarriers: 32, Symbols: 8, Tx: 4, Rx: 4, Modulation: "qpsk",
+			SNRdB: 14, Taps: 4, DelaySpread: 1.0, SpatialRho: 0.2,
+			DopplerNorm: 0.03, CSIErrVar: 0.01,
+		},
+		Blocks: 3,
+		Seed:   1,
+		SLO: SLO{
+			MinExactFraction:  0.95,
+			MaxBER:            6e-2,
+			BERNotWorseThanZF: true,
+			MaxP99:            2 * time.Second,
+		},
+	},
+	{
+		Name: "bursty-cell",
+		Description: "Bursty cell load: a smaller grid (16×8) over more blocks with high " +
+			"antenna correlation (ρ=0.5) — the on/off traffic shape used with " +
+			"PatternBursty arrivals and the overload policies.",
+		Grid: ofdm.GridConfig{
+			Subcarriers: 16, Symbols: 8, Tx: 4, Rx: 4, Modulation: "qpsk",
+			SNRdB: 12, Taps: 3, DelaySpread: 0.8, SpatialRho: 0.5,
+		},
+		Blocks: 4,
+		Seed:   1,
+		SLO: SLO{
+			MinExactFraction:  0.90,
+			MaxBER:            6e-2,
+			BERNotWorseThanZF: true,
+			MaxP99:            2 * time.Second,
+		},
+	},
+	{
+		Name: "incoherent-control",
+		Description: "Control workload: an independent channel for every frame — same " +
+			"frame count as a coherent grid but zero fingerprint reuse, defeating the " +
+			"QR cache by construction. Exists to measure the cache-hit delta.",
+		Grid: ofdm.GridConfig{
+			Subcarriers: 32, Symbols: 8, Tx: 4, Rx: 4, Modulation: "qpsk",
+			SNRdB: 14, Taps: 4, DelaySpread: 1.0, SpatialRho: 0.2,
+			Incoherent: true,
+		},
+		Blocks: 2,
+		Seed:   1,
+		SLO: SLO{
+			MinExactFraction:  0.95,
+			MaxBER:            2e-2,
+			BERNotWorseThanZF: true,
+			MaxP99:            2 * time.Second,
+		},
+	},
+}
+
+// Lookup finds a shipped scenario by name.
+func Lookup(name string) (Scenario, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, Names())
+}
+
+// Names lists the shipped scenario names, sorted.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns a copy of the shipped scenario list.
+func All() []Scenario { return append([]Scenario(nil), registry...) }

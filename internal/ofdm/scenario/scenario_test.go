@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/fpga"
+)
+
+func newAccelerator(t *testing.T, sc Scenario) *core.Accelerator {
+	t.Helper()
+	mod, err := constellation.ParseModulation(sc.Grid.Modulation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := core.New(fpga.Optimized, mod, sc.Grid.Tx, sc.Grid.Rx, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acc
+}
+
+// TestShippedScenariosPassSLO is the suite's own acceptance gate: every
+// shipped scenario, run deterministically from its declared seed through a
+// local exhaustive accelerator, must meet its declared SLO.
+func TestShippedScenariosPassSLO(t *testing.T) {
+	for _, sc := range All() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			acc := newAccelerator(t, sc)
+			res, err := Run(sc, sc.Seed, AcceleratorSubmitter(acc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Frames != sc.Frames() {
+				t.Errorf("ran %d frames, want %d", res.Frames, sc.Frames())
+			}
+			if res.Served != res.Frames {
+				t.Errorf("served %d of %d frames locally", res.Served, res.Frames)
+			}
+			if len(res.Violations) > 0 {
+				t.Errorf("SLO violations: %v (BER %.4g, ZF %.4g, exact %.3f)",
+					res.Violations, res.ServedBER, res.ZFBER, res.ExactFraction)
+			}
+		})
+	}
+}
+
+// TestRunDeterministic: two runs of the same scenario and seed must agree on
+// every scoring field (latency quantiles excluded — they are wall-clock).
+func TestRunDeterministic(t *testing.T) {
+	sc, err := Lookup("mobility-aging")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(sc, sc.Seed, AcceleratorSubmitter(newAccelerator(t, sc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc, sc.Seed, AcceleratorSubmitter(newAccelerator(t, sc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.BitErrors != r2.BitErrors || r1.Bits != r2.Bits || r1.ZFBER != r2.ZFBER {
+		t.Errorf("scoring not deterministic: (%d/%d, zf %.5g) vs (%d/%d, zf %.5g)",
+			r1.BitErrors, r1.Bits, r1.ZFBER, r2.BitErrors, r2.Bits, r2.ZFBER)
+	}
+	if !reflect.DeepEqual(r1.Quality, r2.Quality) {
+		t.Errorf("quality mix not deterministic: %v vs %v", r1.Quality, r2.Quality)
+	}
+
+	// A different seed moves the bit-error count (overwhelmingly likely on
+	// 6144 bits of mobility traffic).
+	r3, err := Run(sc, sc.Seed+1, AcceleratorSubmitter(newAccelerator(t, sc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.BitErrors == r1.BitErrors && r3.ZFBER == r1.ZFBER {
+		t.Errorf("seed change left scoring identical (%d errors, zf %.5g)", r3.BitErrors, r3.ZFBER)
+	}
+}
+
+// TestCoherentCacheAdvantage checks the tentpole's core claim at the
+// accelerator level: a coherent grid drives the QR preprocess cache to a
+// high hit rate while the incoherent control stays at zero. DecodeBatch
+// dedups identical H pointers before touching the cache, so one whole-block
+// batch performs one lookup per subcarrier and the hit rate converges to
+// (blocks−1)/blocks — run enough blocks to clear the 0.80 gate. (The server
+// path has no pointer sharing — every HTTP frame unmarshals its own matrix —
+// so it takes one lookup per frame and clears the gate at 3 blocks; the
+// ofdm smoke script asserts that end to end.)
+func TestCoherentCacheAdvantage(t *testing.T) {
+	coherent, err := Lookup("static-dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coherent.Blocks = 10
+	acc := newAccelerator(t, coherent)
+	if _, err := Run(coherent, coherent.Seed, AcceleratorSubmitter(acc)); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := acc.PreprocessCacheStats()
+	rate := float64(hits) / float64(hits+misses)
+	if rate < 0.80 {
+		t.Errorf("coherent hit rate %.3f (hits %d, misses %d), want >= 0.80", rate, hits, misses)
+	}
+
+	control, err := Lookup("incoherent-control")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc2 := newAccelerator(t, control)
+	if _, err := Run(control, control.Seed, AcceleratorSubmitter(acc2)); err != nil {
+		t.Fatal(err)
+	}
+	h2, m2 := acc2.PreprocessCacheStats()
+	r2 := float64(h2) / float64(h2+m2)
+	if r2 >= 0.30 {
+		t.Errorf("incoherent hit rate %.3f (hits %d, misses %d), want < 0.30", r2, h2, m2)
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	names := Names()
+	if len(names) != 4 {
+		t.Fatalf("shipped %d scenarios, want 4: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		sc, err := Lookup(n)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", n, err)
+		}
+		if sc.Name != n {
+			t.Fatalf("Lookup(%q) returned %q", n, sc.Name)
+		}
+		if err := sc.Grid.Validate(); err != nil {
+			t.Fatalf("scenario %q ships an invalid grid: %v", n, err)
+		}
+		if sc.Blocks <= 0 || sc.Frames() != sc.Blocks*sc.Grid.FramesPerBlock() {
+			t.Fatalf("scenario %q frame accounting broken", n)
+		}
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Fatal("unknown scenario: expected error")
+	}
+}
+
+func TestCheckViolations(t *testing.T) {
+	r := &Result{
+		TransportErrors: 1,
+		ExactFraction:   0.5,
+		ServedBER:       0.2,
+		ZFBER:           0.1,
+		P99:             3 * time.Second,
+	}
+	v := r.Check(SLO{
+		MinExactFraction:  0.9,
+		MaxBER:            0.05,
+		BERNotWorseThanZF: true,
+		MaxP99:            time.Second,
+	})
+	if len(v) != 5 {
+		t.Fatalf("want 5 violations, got %d: %v", len(v), v)
+	}
+	clean := &Result{ExactFraction: 1, ServedBER: 0.01, ZFBER: 0.05, P99: time.Millisecond}
+	if v := clean.Check(SLO{MinExactFraction: 0.9, MaxBER: 0.05, BERNotWorseThanZF: true, MaxP99: time.Second}); len(v) != 0 {
+		t.Fatalf("clean result violated: %v", v)
+	}
+}

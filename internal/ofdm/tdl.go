@@ -1,0 +1,165 @@
+// Package ofdm models the wideband workload the sphere decoder actually
+// faces in deployment: an OFDM resource grid of K subcarriers × T symbols
+// per coherence block, where every subcarrier sees its own frequency-flat
+// MIMO channel derived from one shared tapped-delay-line (TDL) realisation.
+// Within a coherence block the per-subcarrier channels repeat across OFDM
+// symbols — exactly the shape that rewards the QR PreprocessCache, batch
+// coalescing, and the cluster's fingerprint-affinity routing — while the
+// Doppler model ages the channel so CSI held from the block start degrades
+// across the block.
+package ofdm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/channel"
+	"repro/internal/cmatrix"
+	"repro/internal/rng"
+)
+
+// ExponentialPDP returns an L-tap exponential power-delay profile
+// p_l ∝ exp(−l/τ), normalised so Σ p_l = 1 (the per-subcarrier channel
+// entries then stay ≈ CN(0,1), matching the flat-fading calibration the
+// BER anchors were measured under). τ is the RMS-like decay constant in
+// tap-spacing units; τ → 0 collapses to a single tap (flat fading),
+// large τ approaches a uniform profile.
+func ExponentialPDP(taps int, tau float64) ([]float64, error) {
+	if taps <= 0 {
+		return nil, fmt.Errorf("ofdm: need at least one tap, got %d", taps)
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("ofdm: negative delay spread %v", tau)
+	}
+	p := make([]float64, taps)
+	if tau == 0 {
+		p[0] = 1
+		return p, nil
+	}
+	var sum float64
+	for l := range p {
+		p[l] = math.Exp(-float64(l) / tau)
+		sum += p[l]
+	}
+	for l := range p {
+		p[l] /= sum
+	}
+	return p, nil
+}
+
+// JakesAlpha is the AR(1) evolution coefficient of the Gauss-Markov
+// approximation to Jakes' Doppler model: α = J₀(2π·f_d·T_s) where
+// dopplerNorm = f_d·T_s is the Doppler frequency normalised by the OFDM
+// symbol duration. dopplerNorm = 0 gives α = 1 (a static channel).
+func JakesAlpha(dopplerNorm float64) float64 {
+	return math.J0(2 * math.Pi * dopplerNorm)
+}
+
+// TDL is a tapped-delay-line MIMO channel: L time-domain taps G_0..G_{L-1},
+// each an N×M matrix of spatially correlated Rayleigh fading scaled by its
+// power-delay-profile weight. The frequency response on subcarrier k of a
+// K-subcarrier grid is the DFT across taps,
+//
+//	H_k = Σ_l G_l · e^{−j2πkl/K},
+//
+// so nearby subcarriers are correlated (coherence bandwidth) while the
+// whole grid shares one physical realisation. Taps evolve in time by a
+// first-order Gauss-Markov recursion matched to Jakes' autocorrelation.
+type TDL struct {
+	rx, tx int
+	rho    float64
+	powers []float64
+	alpha  float64
+	taps   []*cmatrix.Matrix
+	r      *rng.Rand
+}
+
+// NewTDL draws an initial TDL realisation. delaySpread is the exponential
+// PDP decay constant τ (tap-spacing units), rho the exponential spatial
+// correlation at both antenna ends (reusing channel.ExponentialCorrelation
+// through channel.CorrelatedRayleigh), dopplerNorm the per-Evolve Doppler
+// f_d·T_s.
+func NewTDL(r *rng.Rand, rx, tx, taps int, delaySpread, rho, dopplerNorm float64) (*TDL, error) {
+	if rx <= 0 || tx <= 0 {
+		return nil, fmt.Errorf("ofdm: invalid antenna counts rx=%d tx=%d", rx, tx)
+	}
+	if dopplerNorm < 0 {
+		return nil, fmt.Errorf("ofdm: negative Doppler %v", dopplerNorm)
+	}
+	powers, err := ExponentialPDP(taps, delaySpread)
+	if err != nil {
+		return nil, err
+	}
+	t := &TDL{
+		rx:     rx,
+		tx:     tx,
+		rho:    rho,
+		powers: powers,
+		alpha:  JakesAlpha(dopplerNorm),
+		taps:   make([]*cmatrix.Matrix, taps),
+		r:      r,
+	}
+	for l := range t.taps {
+		g, err := t.drawTap(l)
+		if err != nil {
+			return nil, err
+		}
+		t.taps[l] = g
+	}
+	return t, nil
+}
+
+// drawTap draws one fresh tap: √p_l × spatially correlated CN(0,1) fading.
+func (t *TDL) drawTap(l int) (*cmatrix.Matrix, error) {
+	g, err := channel.CorrelatedRayleigh(t.r, t.rx, t.tx, t.rho)
+	if err != nil {
+		return nil, err
+	}
+	scale := complex(math.Sqrt(t.powers[l]), 0)
+	for i := range g.Data {
+		g.Data[i] *= scale
+	}
+	return g, nil
+}
+
+// Evolve advances every tap by one OFDM symbol duration under the
+// Gauss-Markov Doppler recursion G ← α·G + √(1−α²)·W with W a fresh
+// realisation of the same tap statistics. The marginal tap distribution is
+// preserved exactly; the lag-n autocorrelation is αⁿ ≈ J₀(2πn·f_d·T_s).
+// With dopplerNorm = 0 (α = 1) the channel is static and Evolve is a no-op.
+func (t *TDL) Evolve() error {
+	if t.alpha == 1 {
+		return nil
+	}
+	a := complex(t.alpha, 0)
+	b := complex(math.Sqrt(1-t.alpha*t.alpha), 0)
+	for l, g := range t.taps {
+		w, err := t.drawTap(l)
+		if err != nil {
+			return err
+		}
+		for i := range g.Data {
+			g.Data[i] = a*g.Data[i] + b*w.Data[i]
+		}
+	}
+	return nil
+}
+
+// SubcarrierChannel returns the frequency response H_k on subcarrier k of a
+// K-subcarrier grid: the DFT of the tap matrices at frequency bin k. The
+// result is freshly allocated and safe to retain.
+func (t *TDL) SubcarrierChannel(k, subcarriers int) *cmatrix.Matrix {
+	if subcarriers <= 0 || k < 0 || k >= subcarriers {
+		panic(fmt.Sprintf("ofdm: subcarrier %d outside grid of %d", k, subcarriers))
+	}
+	h := cmatrix.NewMatrix(t.rx, t.tx)
+	for l, g := range t.taps {
+		// e^{−j2πkl/K}
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)*float64(l)/float64(subcarriers)))
+		for i := range h.Data {
+			h.Data[i] += w * g.Data[i]
+		}
+	}
+	return h
+}

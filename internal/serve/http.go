@@ -33,6 +33,10 @@ type DecodeRequest struct {
 	// frames are submitted concurrently so the scheduler can coalesce them
 	// into one dispatch. Entries may not themselves carry frames.
 	Frames []DecodeRequest `json:"frames,omitempty"`
+	// Scenario is an optional workload label: frames carrying it accumulate
+	// into the per-scenario quality and QR-cache splits on /metrics. On a
+	// batch envelope it applies to every frame that does not set its own.
+	Scenario string `json:"scenario,omitempty"`
 }
 
 // DecodeResponse is the JSON body answering a single-frame POST /v1/decode.
@@ -219,7 +223,7 @@ func (h *handler) decode(w http.ResponseWriter, r *http.Request) {
 				errors.New("request mixes single-frame fields (h/y/noise_var) with the batch form (frames)"))
 			return
 		}
-		h.decodeBatch(w, r, req.Frames)
+		h.decodeBatch(w, r, req.Frames, req.Scenario)
 		return
 	}
 	in, err := req.ToBatchInput()
@@ -227,7 +231,7 @@ func (h *handler) decode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
-	resp, err := h.s.Submit(r.Context(), in)
+	resp, err := h.s.SubmitScenario(r.Context(), in, req.Scenario)
 	if err != nil {
 		status, code := submitStatus(r, err)
 		writeError(w, status, code, err)
@@ -238,7 +242,8 @@ func (h *handler) decode(w http.ResponseWriter, r *http.Request) {
 
 // decodeBatch serves the frames form: every frame is submitted concurrently
 // so the scheduler's batcher can coalesce them into shared dispatches.
-func (h *handler) decodeBatch(w http.ResponseWriter, r *http.Request, frames []DecodeRequest) {
+// scenario is the envelope-level label; frames may override it.
+func (h *handler) decodeBatch(w http.ResponseWriter, r *http.Request, frames []DecodeRequest, scenario string) {
 	results := make([]BatchDecodeResult, len(frames))
 	var wg sync.WaitGroup
 	for i := range frames {
@@ -252,16 +257,20 @@ func (h *handler) decodeBatch(w http.ResponseWriter, r *http.Request, frames []D
 			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("frames[%d]: %w", i, err))
 			return
 		}
+		label := frames[i].Scenario
+		if label == "" {
+			label = scenario
+		}
 		wg.Add(1)
-		go func(i int, in core.BatchInput) {
+		go func(i int, in core.BatchInput, label string) {
 			defer wg.Done()
-			resp, err := h.s.Submit(r.Context(), in)
+			resp, err := h.s.SubmitScenario(r.Context(), in, label)
 			if err != nil {
 				results[i] = BatchDecodeResult{Error: err.Error()}
 				return
 			}
 			results[i] = BatchDecodeResult{DecodeResponse: h.responseFrom(resp)}
-		}(i, in)
+		}(i, in, label)
 	}
 	wg.Wait()
 	writeJSON(w, http.StatusOK, BatchDecodeResponse{APIVersion: APIVersion, Results: results})

@@ -161,6 +161,13 @@ type Stats struct {
 	Health              string `json:"health"`
 	LastPanic           string `json:"last_panic,omitempty"`
 
+	// Scenarios splits completed frames by the workload label attached at
+	// SubmitScenario: quality mix plus the QR-cache traffic the label's
+	// batches generated. Batches that coalesced frames from different
+	// labels account their cache delta under "mixed". Absent until the
+	// first labeled frame completes.
+	Scenarios map[string]ScenarioStats `json:"scenarios,omitempty"`
+
 	// Gauges.
 	QueueDepth int  `json:"queue_depth"` // frames waiting for a batch slot
 	InFlight   int  `json:"in_flight"`   // frames inside dispatched batches
@@ -181,6 +188,37 @@ type Stats struct {
 type SimulatedTotal struct {
 	SimulatedTime time.Duration `json:"simulated_ns"`
 	EnergyJ       float64       `json:"energy_j"`
+}
+
+// scenarioMixed is the label charged with the QR-cache delta of batches
+// whose frames carried different scenario labels.
+const scenarioMixed = "mixed"
+
+// ScenarioStats is one workload label's slice of the scheduler's traffic.
+type ScenarioStats struct {
+	Frames        uint64            `json:"frames"`
+	Quality       map[string]uint64 `json:"quality"`
+	Degraded      uint64            `json:"degraded"`
+	QRCacheHits   uint64            `json:"qr_cache_hits"`
+	QRCacheMisses uint64            `json:"qr_cache_misses"`
+}
+
+// HitRate returns QR-cache hits / (hits + misses), 0 when no traffic.
+func (s ScenarioStats) HitRate() float64 {
+	total := s.QRCacheHits + s.QRCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.QRCacheHits) / float64(total)
+}
+
+// scenarioAgg is the mutable accumulator behind ScenarioStats.
+type scenarioAgg struct {
+	frames      uint64
+	quality     map[string]uint64
+	degraded    uint64
+	cacheHits   uint64
+	cacheMisses uint64
 }
 
 // metrics is the scheduler's internal accumulator.
@@ -216,6 +254,23 @@ type metrics struct {
 	abandoned            uint64
 	fallbackByReason     map[string]uint64
 	lastPanic            string
+
+	// scenarios splits labeled traffic (guarded by mu; lazily allocated).
+	scenarios map[string]*scenarioAgg
+}
+
+// scenarioAgg returns (allocating on first use) the accumulator for one
+// workload label. Callers hold mu.
+func (m *metrics) scenarioAgg(label string) *scenarioAgg {
+	if m.scenarios == nil {
+		m.scenarios = make(map[string]*scenarioAgg, 4)
+	}
+	agg := m.scenarios[label]
+	if agg == nil {
+		agg = &scenarioAgg{quality: make(map[string]uint64, 3)}
+		m.scenarios[label] = agg
+	}
+	return agg
 }
 
 func newMetrics(maxBatch int) *metrics {
@@ -274,6 +329,22 @@ func (m *metrics) snapshot(queueDepth int, draining bool) Stats {
 		st.FallbackByReason = make(map[string]uint64, len(m.fallbackByReason))
 		for k, v := range m.fallbackByReason {
 			st.FallbackByReason[k] = v
+		}
+	}
+	if len(m.scenarios) > 0 {
+		st.Scenarios = make(map[string]ScenarioStats, len(m.scenarios))
+		for label, agg := range m.scenarios {
+			sc := ScenarioStats{
+				Frames:        agg.frames,
+				Quality:       make(map[string]uint64, len(agg.quality)),
+				Degraded:      agg.degraded,
+				QRCacheHits:   agg.cacheHits,
+				QRCacheMisses: agg.cacheMisses,
+			}
+			for k, v := range agg.quality {
+				sc.Quality[k] = v
+			}
+			st.Scenarios[label] = sc
 		}
 	}
 	if m.batches > 0 {

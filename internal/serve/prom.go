@@ -76,6 +76,30 @@ func WritePrometheus(w io.Writer, st Stats) {
 		fmt.Fprintf(w, "mimosd_frames_by_quality_total{quality=%q} %d\n", q, st.QualityCounts[q])
 	}
 
+	if len(st.Scenarios) > 0 {
+		labels := make([]string, 0, len(st.Scenarios))
+		for name := range st.Scenarios {
+			labels = append(labels, name)
+		}
+		sort.Strings(labels)
+		fmt.Fprintf(w, "# HELP mimosd_scenario_frames_total Frames served per workload scenario.\n# TYPE mimosd_scenario_frames_total counter\n")
+		for _, name := range labels {
+			fmt.Fprintf(w, "mimosd_scenario_frames_total{scenario=%q} %d\n", name, st.Scenarios[name].Frames)
+		}
+		fmt.Fprintf(w, "# HELP mimosd_scenario_degraded_frames_total Below-exact frames per workload scenario.\n# TYPE mimosd_scenario_degraded_frames_total counter\n")
+		for _, name := range labels {
+			fmt.Fprintf(w, "mimosd_scenario_degraded_frames_total{scenario=%q} %d\n", name, st.Scenarios[name].Degraded)
+		}
+		fmt.Fprintf(w, "# HELP mimosd_scenario_qr_cache_hits_total QR cache hits generated by a scenario's batches.\n# TYPE mimosd_scenario_qr_cache_hits_total counter\n")
+		for _, name := range labels {
+			fmt.Fprintf(w, "mimosd_scenario_qr_cache_hits_total{scenario=%q} %d\n", name, st.Scenarios[name].QRCacheHits)
+		}
+		fmt.Fprintf(w, "# HELP mimosd_scenario_qr_cache_misses_total QR cache misses generated by a scenario's batches.\n# TYPE mimosd_scenario_qr_cache_misses_total counter\n")
+		for _, name := range labels {
+			fmt.Fprintf(w, "mimosd_scenario_qr_cache_misses_total{scenario=%q} %d\n", name, st.Scenarios[name].QRCacheMisses)
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP mimosd_batch_size Batches by coalesced size.\n# TYPE mimosd_batch_size histogram\n")
 	var cum uint64
 	for i, n := range st.BatchSizeHist {

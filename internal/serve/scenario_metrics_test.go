@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// wireScenarioRequest builds a single-frame wire body carrying a scenario
+// label, with the channel drawn from the deterministic test stream.
+func wireScenarioRequest(t *testing.T, seed uint64, scenario string) []byte {
+	t.Helper()
+	in := genInputs(t, 1, seed)[0]
+	req := DecodeRequest{NoiseVar: in.NoiseVar, Scenario: scenario}
+	for i := 0; i < in.H.Rows; i++ {
+		row := make([][2]float64, in.H.Cols)
+		for j, v := range in.H.Row(i) {
+			row[j] = [2]float64{real(v), imag(v)}
+		}
+		req.H = append(req.H, row)
+	}
+	for _, v := range in.Y {
+		req.Y = append(req.Y, [2]float64{real(v), imag(v)})
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postOK(t *testing.T, url string, body []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/decode", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// TestScenarioMetricsSplit: frames carrying a scenario label must appear in
+// the per-scenario stats split with their quality mix, and repeated channel
+// bytes must attribute QR-cache hits to the label that generated them.
+func TestScenarioMetricsSplit(t *testing.T) {
+	s, srv := newTestServer(t, Config{MaxBatch: 2, MaxWait: time.Millisecond})
+
+	// Two requests with identical channel bytes under "grid", one distinct
+	// channel under "other", one unlabeled.
+	gridBody := wireScenarioRequest(t, 301, "grid")
+	postOK(t, srv.URL, gridBody)
+	postOK(t, srv.URL, gridBody)
+	postOK(t, srv.URL, wireScenarioRequest(t, 302, "other"))
+	postOK(t, srv.URL, wireRequest(t, 1, 303))
+
+	st := s.Stats()
+	grid, ok := st.Scenarios["grid"]
+	if !ok {
+		t.Fatalf("no grid split in %+v", st.Scenarios)
+	}
+	if grid.Frames != 2 {
+		t.Errorf("grid frames = %d, want 2", grid.Frames)
+	}
+	var gridQuality uint64
+	for _, n := range grid.Quality {
+		gridQuality += n
+	}
+	if gridQuality != 2 {
+		t.Errorf("grid quality mix %v sums to %d, want 2", grid.Quality, gridQuality)
+	}
+	if other := st.Scenarios["other"]; other.Frames != 1 {
+		t.Errorf("other frames = %d, want 1", other.Frames)
+	}
+	if _, ok := st.Scenarios[""]; ok {
+		t.Error("unlabeled frames leaked into the scenario split")
+	}
+
+	// The repeated grid channel is a guaranteed cross-batch cache hit; the
+	// unlabeled frame's cache traffic must not land in any scenario bucket.
+	if grid.QRCacheHits < 1 {
+		t.Errorf("grid QR cache hits = %d, want >= 1", grid.QRCacheHits)
+	}
+	if grid.QRCacheMisses < 1 {
+		t.Errorf("grid QR cache misses = %d, want >= 1", grid.QRCacheMisses)
+	}
+	if rate := grid.HitRate(); rate <= 0 || rate >= 1 {
+		t.Errorf("grid hit rate = %v, want in (0, 1)", rate)
+	}
+	var attributed uint64
+	for _, sc := range st.Scenarios {
+		attributed += sc.QRCacheHits + sc.QRCacheMisses
+	}
+	if attributed > st.QRCacheHits+st.QRCacheMisses {
+		t.Errorf("scenario-attributed cache traffic %d exceeds global %d",
+			attributed, st.QRCacheHits+st.QRCacheMisses)
+	}
+}
+
+// TestScenarioBatchEnvelope: the batch form's envelope label applies to
+// every frame that doesn't override it.
+func TestScenarioBatchEnvelope(t *testing.T) {
+	s, srv := newTestServer(t, Config{MaxBatch: 4, MaxWait: time.Millisecond})
+
+	var frames []json.RawMessage
+	for i := 0; i < 3; i++ {
+		frames = append(frames, wireScenarioRequest(t, uint64(401+i), ""))
+	}
+	env, err := json.Marshal(struct {
+		Frames   []json.RawMessage `json:"frames"`
+		Scenario string            `json:"scenario"`
+	}{frames, "envelope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	postOK(t, srv.URL, env)
+
+	st := s.Stats()
+	if sc := st.Scenarios["envelope"]; sc.Frames != 3 {
+		t.Fatalf("envelope frames = %d, want 3 (split %+v)", sc.Frames, st.Scenarios)
+	}
+}
+
+// TestScenarioPrometheusLines: the per-scenario counters must render in the
+// Prometheus exposition.
+func TestScenarioPrometheusLines(t *testing.T) {
+	s, srv := newTestServer(t, Config{MaxBatch: 2, MaxWait: time.Millisecond})
+	postOK(t, srv.URL, wireScenarioRequest(t, 501, "prom-check"))
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf, s.Stats())
+	out := buf.String()
+	for _, want := range []string{
+		`mimosd_scenario_frames_total{scenario="prom-check"} 1`,
+		`mimosd_scenario_qr_cache_misses_total{scenario="prom-check"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+}

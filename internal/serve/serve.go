@@ -113,10 +113,14 @@ type result struct {
 // expiry: exactly one side wins the CAS, so an abandoned frame is counted
 // once and its (unobservable) response is never published to trace streams.
 type request struct {
-	in      core.BatchInput
-	enq     time.Time
-	resp    chan result // buffered 1: workers never block on reply
-	claimed atomic.Bool
+	in  core.BatchInput
+	enq time.Time
+	// scenario is the workload label the submitter attached ("" for
+	// unlabeled traffic); it keys the per-scenario quality and QR-cache
+	// splits in Stats.
+	scenario string
+	resp     chan result // buffered 1: workers never block on reply
+	claimed  atomic.Bool
 }
 
 // batch is one coalesced dispatch: the claimed requests plus the instant
@@ -319,13 +323,20 @@ func (s *Scheduler) Healthy() bool {
 // or ctx expires. A ctx expiry after admission abandons the wait but not the
 // work: the frame still decodes with its batch and is counted in Stats.
 func (s *Scheduler) Submit(ctx context.Context, in core.BatchInput) (*Response, error) {
+	return s.SubmitScenario(ctx, in, "")
+}
+
+// SubmitScenario is Submit with a workload label attached: completed frames
+// accumulate into Stats.Scenarios[scenario] (quality mix plus the QR-cache
+// hits/misses their batches generated). An empty scenario is plain Submit.
+func (s *Scheduler) SubmitScenario(ctx context.Context, in core.BatchInput, scenario string) (*Response, error) {
 	if err := s.validator.ValidateInput(in); err != nil {
 		s.m.mu.Lock()
 		s.m.invalid++
 		s.m.mu.Unlock()
 		return nil, err
 	}
-	req := &request{in: in, enq: time.Now(), resp: make(chan result, 1)}
+	req := &request{in: in, enq: time.Now(), scenario: scenario, resp: make(chan result, 1)}
 
 	s.admit.RLock()
 	if s.closed {
@@ -423,6 +434,12 @@ func (s *Scheduler) shedInline(req *request) (*Response, error) {
 	s.m.degraded++
 	s.m.service.observe(svc)
 	s.m.queueWait.observe(start.Sub(req.enq))
+	if req.scenario != "" {
+		sc := s.m.scenarioAgg(req.scenario)
+		sc.frames++
+		sc.quality[res.Quality.String()]++
+		sc.degraded++
+	}
 	s.m.mu.Unlock()
 	return &Response{
 		Result:    res,
@@ -540,6 +557,25 @@ func (s *Scheduler) runBatch(w *workerCtl, b batch) {
 	for i, req := range reqs {
 		inputs[i] = req.in
 	}
+	// Batch scenario label: the label shared by every frame, "mixed" when a
+	// labeled batch coalesced frames from different scenarios, "" when the
+	// whole batch is unlabeled. The QR-cache delta below is attributed to it.
+	label := reqs[0].scenario
+	for _, req := range reqs[1:] {
+		if req.scenario != label {
+			label = scenarioMixed
+			break
+		}
+	}
+	// Snapshot the worker's QR-cache counters around the decode so the hits
+	// this batch generates can be split per scenario. The worker owns its
+	// backend, so the delta is exact unless supervision swaps the backend
+	// mid-decode (then the delta is clamped to zero).
+	var cacheH0, cacheM0 int64
+	cs, hasCache := w.backend().(cacheStatser)
+	if hasCache {
+		cacheH0, cacheM0 = cs.PreprocessCacheStats()
+	}
 	var bt *trace.BatchTrace
 	opts := []core.BatchOption{core.WithBudget(s.cfg.Budget)}
 	if s.traces.Active() {
@@ -583,14 +619,31 @@ func (s *Scheduler) runBatch(w *workerCtl, b batch) {
 		s.m.simTime += rep.SimulatedTime
 		s.m.energyJ += rep.EnergyJ
 		s.m.service.observe(svc)
-		for _, res := range rep.Results {
+		for i, res := range rep.Results {
 			s.m.quality[res.Quality.String()]++
 			if res.Quality.Degraded() {
 				s.m.degraded++
 			}
+			if sc := reqs[i].scenario; sc != "" {
+				agg := s.m.scenarioAgg(sc)
+				agg.frames++
+				agg.quality[res.Quality.String()]++
+				if res.Quality.Degraded() {
+					agg.degraded++
+				}
+			}
 		}
 		for _, req := range reqs {
 			s.m.queueWait.observe(start.Sub(req.enq))
+		}
+		if hasCache && label != "" {
+			h1, m1 := cs.PreprocessCacheStats()
+			if dh := h1 - cacheH0; dh > 0 {
+				s.m.scenarioAgg(label).cacheHits += uint64(dh)
+			}
+			if dm := m1 - cacheM0; dm > 0 {
+				s.m.scenarioAgg(label).cacheMisses += uint64(dm)
+			}
 		}
 	}
 	s.m.mu.Unlock()

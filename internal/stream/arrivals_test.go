@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestSimulateArrivalsMatchesPeriodicUnderload: feeding SimulateArrivals the
+// same periodic sequence Simulate builds must reproduce Simulate's Result
+// exactly when nothing queues — the two backlog definitions agree at zero.
+func TestSimulateArrivalsMatchesPeriodicUnderload(t *testing.T) {
+	cfg := Config{Period: 10 * time.Millisecond}
+	svc := []time.Duration{
+		4 * time.Millisecond, 7 * time.Millisecond, 2 * time.Millisecond,
+		9 * time.Millisecond, 5 * time.Millisecond,
+	}
+	want, err := Simulate(cfg, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := make([]Arrival, len(svc))
+	for i, s := range svc {
+		arrivals[i] = Arrival{Offset: time.Duration(i) * cfg.Period, Service: s}
+	}
+	got, err := SimulateArrivals(cfg, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("underload divergence:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSimulateArrivalsBurstBacklog: a burst of coincident arrivals serialises
+// on the engine; the exact backlog counts batches dispatched but not yet
+// started, so it climbs one per queued batch.
+func TestSimulateArrivalsBurstBacklog(t *testing.T) {
+	cfg := Config{Deadline: 15 * time.Millisecond}
+	burst := []Arrival{
+		{Offset: 0, Service: 10 * time.Millisecond},
+		{Offset: 0, Service: 10 * time.Millisecond},
+		{Offset: 0, Service: 10 * time.Millisecond},
+		{Offset: 0, Service: 10 * time.Millisecond},
+	}
+	var events []BatchEvent
+	cfg.Observer = func(e BatchEvent) { events = append(events, e) }
+	res, err := SimulateArrivals(cfg, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batch 0 starts at its own arrival, so it is never "pending" for the
+	// rest of the burst; batches 1..3 see 0, 1, 2 pending respectively.
+	wantBacklogs := []int{0, 0, 1, 2}
+	for i, e := range events {
+		if e.Backlog != wantBacklogs[i] {
+			t.Errorf("batch %d saw backlog %d, want %d", i, e.Backlog, wantBacklogs[i])
+		}
+	}
+	if res.MaxBacklog != 3 {
+		t.Errorf("MaxBacklog = %d, want 3", res.MaxBacklog)
+	}
+	// Sojourns 10/20/30/40 ms against a 15 ms deadline.
+	if res.OnTime != 1 || res.Missed != 3 {
+		t.Errorf("on-time %d missed %d, want 1/3", res.OnTime, res.Missed)
+	}
+	if res.MaxSojourn != 40*time.Millisecond {
+		t.Errorf("MaxSojourn = %v, want 40ms", res.MaxSojourn)
+	}
+	// Engine never idles: utilization = 40ms service / 40ms span.
+	if res.Utilization != 1 {
+		t.Errorf("Utilization = %v, want 1", res.Utilization)
+	}
+}
+
+// TestSimulateArrivalsQueueCap: the cap applies to the exact pending count.
+func TestSimulateArrivalsQueueCap(t *testing.T) {
+	cfg := Config{Deadline: time.Second, QueueCap: 2}
+	burst := make([]Arrival, 5)
+	for i := range burst {
+		burst[i] = Arrival{Offset: 0, Service: 10 * time.Millisecond}
+	}
+	res, err := SimulateArrivals(cfg, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backlogs 0,0,1,2,2: the last two hit the cap.
+	if res.Dropped != 2 || res.Batches != 5 {
+		t.Errorf("dropped %d of %d, want 2 of 5", res.Dropped, res.Batches)
+	}
+}
+
+// TestSimulateArrivalsShedPolicy: degradation triggers off the exact backlog.
+func TestSimulateArrivalsShedPolicy(t *testing.T) {
+	cfg := Config{
+		Deadline: 25 * time.Millisecond,
+		Policy:   Policy{Mode: ShedToLinear, LinearTime: 2 * time.Millisecond},
+	}
+	burst := make([]Arrival, 4)
+	for i := range burst {
+		burst[i] = Arrival{Offset: 0, Service: 10 * time.Millisecond}
+	}
+	res, err := SimulateArrivals(cfg, burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batches 0 and 1 see no pending batch (both start-at-arrival and
+	// start-at-engine-free), batches 2 and 3 shed to the 2 ms linear decode.
+	if res.Quality[QualityExact] != 2 || res.Quality[QualityFallback] != 2 {
+		t.Errorf("quality mix %v, want 2 exact + 2 fallback", res.Quality)
+	}
+	if res.Degraded != 2 {
+		t.Errorf("Degraded = %d, want 2", res.Degraded)
+	}
+	// Timeline 0-10, 10-20, 20-22, 22-24: everything inside 25 ms.
+	if res.Missed != 0 {
+		t.Errorf("Missed = %d, want 0", res.Missed)
+	}
+	if res.MaxSojourn != 24*time.Millisecond {
+		t.Errorf("MaxSojourn = %v, want 24ms", res.MaxSojourn)
+	}
+}
+
+func TestSimulateArrivalsValidation(t *testing.T) {
+	ok := []Arrival{{Offset: 0, Service: time.Millisecond}}
+	for name, tc := range map[string]struct {
+		cfg Config
+		arr []Arrival
+	}{
+		"no deadline without period": {Config{}, ok},
+		"negative period":            {Config{Period: -1}, ok},
+		"empty":                      {Config{Deadline: time.Second}, nil},
+		"negative offset": {Config{Deadline: time.Second},
+			[]Arrival{{Offset: -time.Millisecond, Service: time.Millisecond}}},
+		"unsorted": {Config{Deadline: time.Second}, []Arrival{
+			{Offset: time.Millisecond, Service: time.Millisecond},
+			{Offset: 0, Service: time.Millisecond}}},
+		"negative service": {Config{Deadline: time.Second},
+			[]Arrival{{Offset: 0, Service: -time.Millisecond}}},
+	} {
+		if _, err := SimulateArrivals(tc.cfg, tc.arr); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+
+	// Period alone (no explicit deadline) is fine: deadline defaults to it.
+	res, err := SimulateArrivals(Config{Period: time.Millisecond}, ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnTime != 1 {
+		t.Errorf("period-default deadline: on-time %d, want 1", res.OnTime)
+	}
+}

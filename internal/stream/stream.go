@@ -134,6 +134,15 @@ func (r *Result) MissRate() float64 {
 	return float64(r.Dropped+r.Missed) / float64(r.Batches)
 }
 
+// Arrival is one batch in an explicit arrival sequence: it reaches the
+// queue at Offset from simulation start and needs Service of exclusive
+// engine time. Offsets must be non-decreasing (FIFO in arrival order);
+// coincident offsets model a burst.
+type Arrival struct {
+	Offset  time.Duration
+	Service time.Duration
+}
+
 // Simulate runs the stream: batch i arrives at time i·Period and needs
 // serviceTimes[i] of exclusive engine time, FIFO.
 func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
@@ -143,6 +152,44 @@ func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
 	if len(serviceTimes) == 0 {
 		return nil, errors.New("stream: no batches")
 	}
+	arrivals := make([]Arrival, len(serviceTimes))
+	for i, svc := range serviceTimes {
+		arrivals[i] = Arrival{Offset: time.Duration(i) * cfg.Period, Service: svc}
+	}
+	// The legacy periodic entry point keeps its original backlog estimate
+	// (wait expressed in whole periods) so existing policy thresholds and
+	// the tests that pin them are untouched.
+	return simulate(cfg, arrivals, true)
+}
+
+// SimulateArrivals runs the stream over an explicit arrival sequence —
+// the entry point for non-periodic workloads such as OFDM resource grids
+// (a burst of Subcarriers×Symbols frames per coherence block) or bursty
+// cell load. Unlike Simulate's periodic estimate, backlog here is the
+// exact count of batches that have arrived but not started service.
+// cfg.Period is optional; when zero, Deadline must be set explicitly.
+func SimulateArrivals(cfg Config, arrivals []Arrival) (*Result, error) {
+	if cfg.Period < 0 {
+		return nil, fmt.Errorf("stream: negative period %v", cfg.Period)
+	}
+	if cfg.Period == 0 && cfg.Deadline <= 0 {
+		return nil, errors.New("stream: arrivals need a positive Deadline when Period is zero")
+	}
+	if len(arrivals) == 0 {
+		return nil, errors.New("stream: no batches")
+	}
+	for i, a := range arrivals {
+		if a.Offset < 0 {
+			return nil, fmt.Errorf("stream: negative arrival offset for batch %d", i)
+		}
+		if i > 0 && a.Offset < arrivals[i-1].Offset {
+			return nil, fmt.Errorf("stream: arrival offsets not sorted at batch %d", i)
+		}
+	}
+	return simulate(cfg, arrivals, false)
+}
+
+func simulate(cfg Config, arrivals []Arrival, legacyBacklog bool) (*Result, error) {
 	deadline := cfg.Deadline
 	if deadline == 0 {
 		deadline = cfg.Period
@@ -174,23 +221,35 @@ func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
 		return nil, fmt.Errorf("stream: negative backlog threshold %d", pol.BacklogThreshold)
 	}
 
-	res := &Result{Batches: len(serviceTimes), Quality: map[string]int{}}
+	res := &Result{Batches: len(arrivals), Quality: map[string]int{}}
 	var engineFree time.Duration // when the engine next becomes idle
 	var totalService time.Duration
-	sojourns := make([]time.Duration, 0, len(serviceTimes))
+	sojourns := make([]time.Duration, 0, len(arrivals))
 	var lastCompletion time.Duration
+	// starts records the (non-decreasing) start times of batches already
+	// dispatched, for the exact-backlog count in arrivals mode.
+	var starts []time.Duration
 
-	for i, svc := range serviceTimes {
+	for i, ab := range arrivals {
+		svc := ab.Service
 		if svc < 0 {
 			return nil, fmt.Errorf("stream: negative service time for batch %d", i)
 		}
-		arrival := time.Duration(i) * cfg.Period
-		// Backlog = batches that arrived but have not started by now: the
-		// engine is busy until engineFree and batches are FIFO, so the wait
-		// expressed in periods bounds the pending count.
+		arrival := ab.Offset
 		backlog := 0
-		if waitPeriods := int((engineFree - arrival) / cfg.Period); waitPeriods > 0 {
-			backlog = waitPeriods
+		if legacyBacklog {
+			// Backlog = batches that arrived but have not started by now: the
+			// engine is busy until engineFree and batches are FIFO, so the wait
+			// expressed in periods bounds the pending count.
+			if waitPeriods := int((engineFree - arrival) / cfg.Period); waitPeriods > 0 {
+				backlog = waitPeriods
+			}
+		} else {
+			// Exact pending count: dispatched batches whose service has not
+			// begun by this arrival. Starts are non-decreasing, so scan back.
+			for j := len(starts) - 1; j >= 0 && starts[j] > arrival; j-- {
+				backlog++
+			}
 		}
 		if cfg.QueueCap > 0 && backlog >= cfg.QueueCap {
 			res.Dropped++
@@ -222,6 +281,9 @@ func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
 		engineFree = complete
 		totalService += svc
 		lastCompletion = complete
+		if !legacyBacklog {
+			starts = append(starts, start)
+		}
 
 		sojourn := complete - arrival
 		sojourns = append(sojourns, sojourn)
@@ -240,7 +302,11 @@ func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
 				Quality: quality, Backlog: backlog,
 			})
 		}
-		if backlog := int((start - arrival) / cfg.Period); backlog+1 > res.MaxBacklog {
+		if legacyBacklog {
+			if backlog := int((start - arrival) / cfg.Period); backlog+1 > res.MaxBacklog {
+				res.MaxBacklog = backlog + 1
+			}
+		} else if backlog+1 > res.MaxBacklog {
 			res.MaxBacklog = backlog + 1
 		}
 	}
@@ -263,7 +329,11 @@ func Simulate(cfg Config, serviceTimes []time.Duration) (*Result, error) {
 		res.P99Sojourn = sorted[idx]
 	}
 	span := lastCompletion
-	if minSpan := time.Duration(len(serviceTimes)-1)*cfg.Period + 1; span < minSpan {
+	minSpan := arrivals[len(arrivals)-1].Offset + 1
+	if legacyBacklog {
+		minSpan = time.Duration(len(arrivals)-1)*cfg.Period + 1
+	}
+	if span < minSpan {
 		span = minSpan
 	}
 	res.Utilization = float64(totalService) / float64(span)
