@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-serve race-cluster serve-smoke trace-smoke chaos-smoke cluster-smoke ofdm-smoke fuzz bench bench-check
+.PHONY: check vet build test race race-serve race-cluster serve-smoke trace-smoke chaos-smoke cluster-smoke ofdm-smoke rvd-smoke fuzz bench bench-check
 
 # check is the gate: static analysis, build, a single-iteration pass over
 # every benchmark (so the bench harness itself cannot rot), the serving
@@ -8,9 +8,10 @@ GO ?= go
 # concurrency-sensitive, so they run first and fail fast), the cluster
 # proxy and breaker under the race detector, the full suite under the race
 # detector, then the observability path, the single-node self-healing
-# contract, the cluster failover contract, and the OFDM workload tier's
-# SLO and cache-delta gates end to end.
-check: vet build bench-check race-serve race-cluster race trace-smoke chaos-smoke cluster-smoke ofdm-smoke
+# contract, the cluster failover contract, the OFDM workload tier's
+# SLO and cache-delta gates, and the real-valued SE hot-path gate
+# (speedup, comparator-free, zero-alloc, servable) end to end.
+check: vet build bench-check race-serve race-cluster race trace-smoke chaos-smoke cluster-smoke ofdm-smoke rvd-smoke
 
 vet:
 	$(GO) vet ./...
@@ -65,6 +66,13 @@ cluster-smoke:
 # must hold the degradation contract under CSI aging.
 ofdm-smoke:
 	bash scripts/ofdm_smoke.sh
+
+# rvd-smoke gates the real-valued Schnorr–Euchner engine: >= 1.3x over the
+# complex SortedDFS+GEMM hot path measured side-by-side, zero comparator
+# work, zero allocs/op, and an sdserver booted with -strategy rvd-se
+# -norm linf advertising the engine and decoding live traffic.
+rvd-smoke:
+	bash scripts/rvd_smoke.sh
 
 # bench regenerates BENCH_decode.json: the software hot-path figures
 # (ns/decode, allocs/op, nodes/s, and the QR-reuse batch speedup).

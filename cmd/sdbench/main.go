@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	mimosd "repro"
 	"repro/internal/channel"
 	"repro/internal/cmatrix"
 	"repro/internal/constellation"
@@ -61,9 +63,28 @@ type Report struct {
 	BatchSpeedup float64 `json:"batch_repeated_h_speedup"`
 
 	// BatchParallel is the same batch through the worker pool (Workers:
-	// GOMAXPROCS); on a single-core host it tracks BatchReuse.
+	// GOMAXPROCS). On a single-core host the measurement says nothing about
+	// parallel dispatch — it would only re-measure BatchReuse plus goroutine
+	// overhead — so it is skipped and Status records why.
 	BatchParallel        FrameStats `json:"batch_parallel"`
 	BatchParallelWorkers int        `json:"batch_parallel_workers"`
+	BatchParallelStatus  string     `json:"batch_parallel_status,omitempty"`
+
+	// RVD-SE study: the single-frame workload through the real-valued
+	// Schnorr–Euchner engine (analytic ascending-PD child enumeration, no
+	// sorting), under the ℓ² metric and the ℓ∞ max-comparator metric.
+	// Speedups are complex SortedDFS+GEMM ns / engine ns, measured
+	// side-by-side in this run (not against the committed SingleFrame).
+	RVDSEWorkload   string     `json:"rvd_se_workload,omitempty"`
+	RVDSE           FrameStats `json:"rvd_se_single_frame"`
+	RVDSESpeedup    float64    `json:"rvd_se_speedup"`
+	RVDSECompareOps int64      `json:"rvd_se_compare_ops"`
+	LInf            FrameStats `json:"linf_single_frame"`
+	LInfSpeedup     float64    `json:"linf_speedup"`
+
+	// LInfBER pins the ℓ∞ criterion's BER cost against the exact ℓ² decoder
+	// at low and high SNR (seeded Monte-Carlo, identical channels).
+	LInfBER []LInfBERPoint `json:"linf_ber,omitempty"`
 
 	// OFDM resource-grid cache study: the shipped static-dense scenario (a
 	// coherent grid whose per-subcarrier channels repeat across symbols and
@@ -84,6 +105,15 @@ type GridStats struct {
 	CacheHits  int64   `json:"qr_cache_hits"`
 	CacheMiss  int64   `json:"qr_cache_misses"`
 	HitRate    float64 `json:"qr_cache_hit_rate"`
+}
+
+// LInfBERPoint is one SNR point of the ℓ∞-vs-ℓ² BER study.
+type LInfBERPoint struct {
+	SNRdB   float64 `json:"snr_db"`
+	Frames  int     `json:"frames"`
+	BERL2   float64 `json:"ber_l2"`
+	BERLInf float64 `json:"ber_linf"`
+	Delta   float64 `json:"ber_delta"`
 }
 
 // FrameStats is one benchmark's headline numbers.
@@ -120,9 +150,46 @@ func coherenceBlock(seed uint64, n, m, frames int, snrDB float64) []core.BatchIn
 	return inputs
 }
 
+// parseStudies expands the -study flag into a selection set. The rvd gate
+// needs the complex single-frame baseline measured side-by-side, so "rvd"
+// implies the hot half of "single".
+func parseStudies(spec string) (map[string]bool, error) {
+	sel := map[string]bool{}
+	if spec == "" || spec == "all" {
+		for _, s := range []string{"single", "batch", "ofdm", "rvd", "ber"} {
+			sel[s] = true
+		}
+		return sel, nil
+	}
+	for _, s := range strings.Split(spec, ",") {
+		switch s = strings.TrimSpace(s); s {
+		case "single", "batch", "ofdm", "rvd", "ber":
+			sel[s] = true
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown study %q (want single, batch, ofdm, rvd, ber, or all)", s)
+		}
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("empty -study selection")
+	}
+	return sel, nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_decode.json", "output path")
+	study := flag.String("study", "all", "comma-separated studies: single,batch,ofdm,rvd,ber (or all)")
+	gateRVD := flag.Float64("gate-rvd-speedup", 0,
+		"exit 1 unless the rvd study beats complex SortedDFS+GEMM by at least this factor with zero comparator work and zero allocs (0 = no gate)")
 	flag.Parse()
+
+	sel, err := parseStudies(*study)
+	if err != nil {
+		fatal(err)
+	}
+	if *gateRVD > 0 {
+		sel["rvd"] = true
+	}
 
 	rep := Report{
 		GOOS:                runtime.GOOS,
@@ -142,76 +209,142 @@ func main() {
 		fatal(err)
 	}
 	var res decoder.Result
-	if err := d.DecodePreInto(pre, single.Y, single.NoiseVar, 0, &res); err != nil {
-		fatal(err)
-	}
-	nodes := res.Counters.NodesExpanded
-
-	hot := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if err := d.DecodePreInto(pre, single.Y, single.NoiseVar, 0, &res); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	rep.SingleFrame = stats(hot)
-	if hot.NsPerOp() > 0 {
-		rep.SingleFrame.NodesPerSec = float64(nodes) / (float64(hot.NsPerOp()) * 1e-9)
-	}
-
-	inline := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			if _, err := d.Decode(single.H, single.Y, single.NoiseVar); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	rep.SingleFrameInline = stats(inline)
-	if rep.SingleFrame.NsPerOp > 0 {
-		rep.SingleFrameSpeedup = rep.SingleFrameInline.NsPerOp / rep.SingleFrame.NsPerOp
-	}
-
-	// --- Coherence-block batch -------------------------------------------
-	inputs := coherenceBlock(71, 10, 10, 32, 14)
-	reuse := core.MustNew(fpga.Optimized, constellation.QAM4, 10, 10, core.Options{})
-	noReuse := core.MustNew(fpga.Optimized, constellation.QAM4, 10, 10, core.Options{DisableQRReuse: true})
-	parallel := core.MustNew(fpga.Optimized, constellation.QAM4, 10, 10, core.Options{Workers: -1})
-
-	benchBatch := func(a *core.Accelerator) testing.BenchmarkResult {
+	benchPre := func(sd *sphere.SD) testing.BenchmarkResult {
 		return testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := a.DecodeBatch(inputs); err != nil {
+				if err := sd.DecodePreInto(pre, single.Y, single.NoiseVar, 0, &res); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
-	rr := benchBatch(reuse)
-	rn := benchBatch(noReuse)
-	rp := benchBatch(parallel)
-	rep.BatchReuse = stats(rr)
-	rep.BatchNoReuse = stats(rn)
-	rep.BatchParallel = stats(rp)
-	rep.BatchParallelWorkers = runtime.GOMAXPROCS(0)
-	if rep.BatchReuse.NsPerOp > 0 {
-		rep.BatchSpeedup = rep.BatchNoReuse.NsPerOp / rep.BatchReuse.NsPerOp
+
+	if sel["single"] || sel["rvd"] {
+		if err := d.DecodePreInto(pre, single.Y, single.NoiseVar, 0, &res); err != nil {
+			fatal(err)
+		}
+		nodes := res.Counters.NodesExpanded
+
+		hot := benchPre(d)
+		rep.SingleFrame = stats(hot)
+		if hot.NsPerOp() > 0 {
+			rep.SingleFrame.NodesPerSec = float64(nodes) / (float64(hot.NsPerOp()) * 1e-9)
+		}
+	}
+
+	if sel["single"] {
+		inline := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Decode(single.H, single.Y, single.NoiseVar); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.SingleFrameInline = stats(inline)
+		if rep.SingleFrame.NsPerOp > 0 {
+			rep.SingleFrameSpeedup = rep.SingleFrameInline.NsPerOp / rep.SingleFrame.NsPerOp
+		}
+	}
+
+	// --- RVD-SE hot path ---------------------------------------------------
+	if sel["rvd"] {
+		rep.RVDSEWorkload = "10x10 4-QAM, 8 dB, RVD/SE vs SortedDFS+GEMM in-run"
+		se := sphere.MustNew(sphere.Config{Const: c, Strategy: sphere.RealSE})
+		li := sphere.MustNew(sphere.Config{Const: c, Strategy: sphere.RealSE, Norm: sphere.NormLInf})
+
+		if err := se.DecodePreInto(pre, single.Y, single.NoiseVar, 0, &res); err != nil {
+			fatal(err)
+		}
+		// SE enumeration is analytic: any comparator or sorting work here is
+		// a regression, so publish the counter for the smoke gate.
+		rep.RVDSECompareOps = res.Counters.CompareOps + res.Counters.SortedBatches
+		seNodes := res.Counters.NodesExpanded
+
+		seb := benchPre(se)
+		rep.RVDSE = stats(seb)
+		if seb.NsPerOp() > 0 {
+			rep.RVDSE.NodesPerSec = float64(seNodes) / (float64(seb.NsPerOp()) * 1e-9)
+		}
+		if rep.RVDSE.NsPerOp > 0 {
+			rep.RVDSESpeedup = rep.SingleFrame.NsPerOp / rep.RVDSE.NsPerOp
+		}
+
+		lib := benchPre(li)
+		rep.LInf = stats(lib)
+		if rep.LInf.NsPerOp > 0 {
+			rep.LInfSpeedup = rep.SingleFrame.NsPerOp / rep.LInf.NsPerOp
+		}
+	}
+
+	// --- ℓ∞ BER cost --------------------------------------------------------
+	if sel["ber"] {
+		cfg := mimosd.Config{TxAntennas: 4, RxAntennas: 4, Modulation: "4qam"}
+		const berFrames = 400
+		for _, snr := range []float64{8, 14} {
+			l2r, err := mimosd.SimulateBER(cfg, mimosd.AlgSphereRVDSE, snr, berFrames, 911)
+			if err != nil {
+				fatal(err)
+			}
+			lir, err := mimosd.SimulateBER(cfg, mimosd.AlgSphereLInf, snr, berFrames, 911)
+			if err != nil {
+				fatal(err)
+			}
+			rep.LInfBER = append(rep.LInfBER, LInfBERPoint{
+				SNRdB: snr, Frames: berFrames,
+				BERL2: l2r.BER, BERLInf: lir.BER, Delta: lir.BER - l2r.BER,
+			})
+		}
+	}
+
+	// --- Coherence-block batch -------------------------------------------
+	if sel["batch"] {
+		inputs := coherenceBlock(71, 10, 10, 32, 14)
+		reuse := core.MustNew(fpga.Optimized, constellation.QAM4, 10, 10, core.Options{})
+		noReuse := core.MustNew(fpga.Optimized, constellation.QAM4, 10, 10, core.Options{DisableQRReuse: true})
+
+		benchBatch := func(a *core.Accelerator) testing.BenchmarkResult {
+			return testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := a.DecodeBatch(inputs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		rep.BatchReuse = stats(benchBatch(reuse))
+		rep.BatchNoReuse = stats(benchBatch(noReuse))
+		rep.BatchParallelWorkers = runtime.GOMAXPROCS(0)
+		if runtime.GOMAXPROCS(0) == 1 {
+			// One runnable thread: the pool degenerates to BatchReuse plus
+			// scheduling noise, so the number would misrepresent parallel
+			// dispatch. Skip it and say so in the artifact.
+			rep.BatchParallelStatus = "skipped_gomaxprocs_1"
+		} else {
+			parallel := core.MustNew(fpga.Optimized, constellation.QAM4, 10, 10, core.Options{Workers: -1})
+			rep.BatchParallel = stats(benchBatch(parallel))
+		}
+		if rep.BatchReuse.NsPerOp > 0 {
+			rep.BatchSpeedup = rep.BatchNoReuse.NsPerOp / rep.BatchReuse.NsPerOp
+		}
 	}
 
 	// --- OFDM resource-grid cache study ------------------------------------
-	rep.OFDMGridWorkload = "scenario static-dense vs incoherent-control, per-frame matrices"
-	rep.OFDMCoherent, err = gridStudy("static-dense")
-	if err != nil {
-		fatal(err)
-	}
-	rep.OFDMIncoherent, err = gridStudy("incoherent-control")
-	if err != nil {
-		fatal(err)
-	}
-	if rep.OFDMCoherent.NsPerFrame > 0 {
-		rep.OFDMCoherentSpeedup = rep.OFDMIncoherent.NsPerFrame / rep.OFDMCoherent.NsPerFrame
+	if sel["ofdm"] {
+		rep.OFDMGridWorkload = "scenario static-dense vs incoherent-control, per-frame matrices"
+		rep.OFDMCoherent, err = gridStudy("static-dense")
+		if err != nil {
+			fatal(err)
+		}
+		rep.OFDMIncoherent, err = gridStudy("incoherent-control")
+		if err != nil {
+			fatal(err)
+		}
+		if rep.OFDMCoherent.NsPerFrame > 0 {
+			rep.OFDMCoherentSpeedup = rep.OFDMIncoherent.NsPerFrame / rep.OFDMCoherent.NsPerFrame
+		}
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -223,14 +356,53 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
-	fmt.Printf("single frame: %.0f ns/op (%d allocs), inline %.0f ns/op -> %.2fx\n",
-		rep.SingleFrame.NsPerOp, rep.SingleFrame.AllocsPerOp, rep.SingleFrameInline.NsPerOp, rep.SingleFrameSpeedup)
-	fmt.Printf("batch: reuse %.0f ns/op, no-reuse %.0f ns/op -> %.2fx; parallel(%d) %.0f ns/op\n",
-		rep.BatchReuse.NsPerOp, rep.BatchNoReuse.NsPerOp, rep.BatchSpeedup,
-		rep.BatchParallelWorkers, rep.BatchParallel.NsPerOp)
-	fmt.Printf("ofdm grid: coherent hit rate %.3f (%.0f ns/frame), incoherent %.3f (%.0f ns/frame) -> %.2fx\n",
-		rep.OFDMCoherent.HitRate, rep.OFDMCoherent.NsPerFrame,
-		rep.OFDMIncoherent.HitRate, rep.OFDMIncoherent.NsPerFrame, rep.OFDMCoherentSpeedup)
+	if sel["single"] {
+		fmt.Printf("single frame: %.0f ns/op (%d allocs), inline %.0f ns/op -> %.2fx\n",
+			rep.SingleFrame.NsPerOp, rep.SingleFrame.AllocsPerOp, rep.SingleFrameInline.NsPerOp, rep.SingleFrameSpeedup)
+	}
+	if sel["rvd"] {
+		fmt.Printf("rvd-se: %.0f ns/op (%d allocs) -> %.2fx vs complex %.0f ns/op; linf %.0f ns/op -> %.2fx; compare ops %d\n",
+			rep.RVDSE.NsPerOp, rep.RVDSE.AllocsPerOp, rep.RVDSESpeedup, rep.SingleFrame.NsPerOp,
+			rep.LInf.NsPerOp, rep.LInfSpeedup, rep.RVDSECompareOps)
+	}
+	if sel["ber"] {
+		for _, p := range rep.LInfBER {
+			fmt.Printf("linf ber: %g dB over %d frames: l2 %.4g, linf %.4g (delta %+.4g)\n",
+				p.SNRdB, p.Frames, p.BERL2, p.BERLInf, p.Delta)
+		}
+	}
+	if sel["batch"] {
+		par := fmt.Sprintf("parallel(%d) %.0f ns/op", rep.BatchParallelWorkers, rep.BatchParallel.NsPerOp)
+		if rep.BatchParallelStatus != "" {
+			par = "parallel " + rep.BatchParallelStatus
+		}
+		fmt.Printf("batch: reuse %.0f ns/op, no-reuse %.0f ns/op -> %.2fx; %s\n",
+			rep.BatchReuse.NsPerOp, rep.BatchNoReuse.NsPerOp, rep.BatchSpeedup, par)
+	}
+	if sel["ofdm"] {
+		fmt.Printf("ofdm grid: coherent hit rate %.3f (%.0f ns/frame), incoherent %.3f (%.0f ns/frame) -> %.2fx\n",
+			rep.OFDMCoherent.HitRate, rep.OFDMCoherent.NsPerFrame,
+			rep.OFDMIncoherent.HitRate, rep.OFDMIncoherent.NsPerFrame, rep.OFDMCoherentSpeedup)
+	}
+
+	if *gateRVD > 0 {
+		var fails []string
+		if rep.RVDSESpeedup < *gateRVD {
+			fails = append(fails, fmt.Sprintf("speedup %.2fx < %.2fx", rep.RVDSESpeedup, *gateRVD))
+		}
+		if rep.RVDSECompareOps != 0 {
+			fails = append(fails, fmt.Sprintf("comparator work present (%d ops)", rep.RVDSECompareOps))
+		}
+		if rep.RVDSE.AllocsPerOp != 0 || rep.LInf.AllocsPerOp != 0 {
+			fails = append(fails, fmt.Sprintf("allocs/op %d (l2) %d (linf), want 0",
+				rep.RVDSE.AllocsPerOp, rep.LInf.AllocsPerOp))
+		}
+		if len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "sdbench: rvd gate FAILED: %s\n", strings.Join(fails, "; "))
+			os.Exit(1)
+		}
+		fmt.Printf("rvd gate: PASS (>= %.2fx, no comparator work, zero allocs)\n", *gateRVD)
+	}
 }
 
 // gridStudy decodes one shipped scenario block by block through a fresh

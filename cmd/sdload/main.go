@@ -470,7 +470,11 @@ func main() {
 		if *rate > 0 {
 			mode = fmt.Sprintf("open-loop rate=%g/s", *rate)
 		}
-		fmt.Printf("sdload: %s against %s (%dx%d %s)\n", mode, strings.Join(targets, ", "), info.TxAntennas, info.RxAntennas, info.Modulation)
+		engine := ""
+		if info.Strategy != "" {
+			engine = fmt.Sprintf(", %s/%s", info.Strategy, info.Norm)
+		}
+		fmt.Printf("sdload: %s against %s (%dx%d %s%s)\n", mode, strings.Join(targets, ", "), info.TxAntennas, info.RxAntennas, info.Modulation, engine)
 		fmt.Printf("  requests    %d (ok %d, rejected %d, errors %d, transport %d) in %v\n",
 			s.Requests, s.OK, s.Rejected, s.Errors, s.TransportErrors, elapsed.Round(time.Millisecond))
 		fmt.Printf("  throughput  %.1f req/s\n", s.Throughput)

@@ -43,6 +43,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/fpga"
 	"repro/internal/serve"
+	"repro/internal/sphere"
 )
 
 // options collects the flag values; split out so tests can build configs
@@ -59,6 +60,8 @@ type options struct {
 	deadline   time.Duration
 	nodeBudget int64
 	scalarEval bool
+	strategy   string
+	norm       string
 	pprof      bool
 
 	// Resilience knobs (zero values = library defaults).
@@ -98,6 +101,14 @@ func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	strat, err := sphere.ParseStrategy(o.strategy)
+	if err != nil {
+		return nil, nil, err
+	}
+	norm, err := sphere.ParseNorm(o.norm)
+	if err != nil {
+		return nil, nil, err
+	}
 	cfg := serve.Config{
 		MaxBatch: o.maxBatch,
 		MaxWait:  o.maxWait,
@@ -132,13 +143,18 @@ func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
 		}
 	}
 	factory := func() (serve.Backend, error) {
-		return core.New(v, mod, o.tx, o.rx, core.Options{ScalarEval: o.scalarEval})
+		return core.New(v, mod, o.tx, o.rx, core.Options{
+			ScalarEval: o.scalarEval,
+			Strategy:   strat,
+			Norm:       norm,
+		})
 	}
 	s, err := serve.New(cfg, factory)
 	if err != nil {
 		return nil, nil, err
 	}
-	handler := serve.NewHandler(s, o.tx, o.rx, mod.String())
+	handler := serve.NewHandler(s, o.tx, o.rx, mod.String(),
+		serve.WithDecodeInfo(strat.String(), norm.String()))
 	if o.pprof {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -169,6 +185,8 @@ func main() {
 	flag.DurationVar(&o.deadline, "batch-deadline", 0, "modeled-time budget per dispatched batch (0 = none)")
 	flag.Int64Var(&o.nodeBudget, "node-budget", 0, "tree-expansion budget per dispatched batch (0 = none)")
 	flag.BoolVar(&o.scalarEval, "scalar-eval", true, "use the scalar evaluation path (identical decodes, faster in simulation)")
+	flag.StringVar(&o.strategy, "strategy", "", "tree-search strategy: sorted-dfs (default), plain-dfs, best-fs, bfs, fsd, rvd-se")
+	flag.StringVar(&o.norm, "norm", "", "partial-distance norm: l2 (default) or linf (requires -strategy rvd-se)")
 	flag.BoolVar(&o.pprof, "pprof", false, "expose Go profiling under /debug/pprof/")
 	flag.BoolVar(&o.noResilience, "no-resilience", false, "disable worker supervision, breakers, and retries (seed behaviour)")
 	flag.IntVar(&o.failThreshold, "breaker-threshold", 0, "consecutive failures tripping a worker's circuit breaker (0 = default 5)")

@@ -1,0 +1,179 @@
+package cmatrix
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func randRealEmbed(r *rng.Rand, n, m int) (*Matrix, []float64) {
+	h := NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			h.Set(i, j, complex(r.NormFloat64(), r.NormFloat64()))
+		}
+	}
+	return h, RealEmbed(h, nil)
+}
+
+func TestQRRealReconstructs(t *testing.T) {
+	r := rng.New(11)
+	for _, dims := range [][2]int{{3, 3}, {5, 4}, {8, 8}, {10, 6}} {
+		n, m := dims[0], dims[1]
+		_, a := randRealEmbed(r, n, m)
+		rows, cols := 2*n, 2*m
+		f, err := QRReal(rows, cols, a)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", rows, cols, err)
+		}
+		// A ?= Q·R, with Q read as the transpose of QT.
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				var sum float64
+				for k := 0; k < cols; k++ {
+					sum += f.QT[k*rows+i] * f.R[k*cols+j]
+				}
+				if math.Abs(sum-a[i*cols+j]) > 1e-9 {
+					t.Fatalf("%dx%d: (QR)[%d][%d] = %v, want %v", rows, cols, i, j, sum, a[i*cols+j])
+				}
+			}
+		}
+		// R upper triangular with positive diagonal.
+		for i := 0; i < cols; i++ {
+			if f.R[i*cols+i] <= 0 {
+				t.Fatalf("R[%d][%d] = %v not positive", i, i, f.R[i*cols+i])
+			}
+			for j := 0; j < i; j++ {
+				if f.R[i*cols+j] != 0 {
+					t.Fatalf("R[%d][%d] = %v below diagonal", i, j, f.R[i*cols+j])
+				}
+			}
+		}
+		// Orthonormal columns: QT·Q = I.
+		for a1 := 0; a1 < cols; a1++ {
+			for a2 := 0; a2 < cols; a2++ {
+				var dot float64
+				for i := 0; i < rows; i++ {
+					dot += f.QT[a1*rows+i] * f.QT[a2*rows+i]
+				}
+				want := 0.0
+				if a1 == a2 {
+					want = 1
+				}
+				if math.Abs(dot-want) > 1e-9 {
+					t.Fatalf("QᵀQ[%d][%d] = %v", a1, a2, dot)
+				}
+			}
+		}
+	}
+}
+
+func TestQRRealMatchesComplexMetric(t *testing.T) {
+	// The real embedding is a ring homomorphism: for any complex s,
+	// ‖y − Hs‖² must equal ‖ȳr − Rr·E(s)‖² + (‖yr‖² − ‖ȳr‖²).
+	r := rng.New(12)
+	n, m := 6, 6
+	h, a := randRealEmbed(r, n, m)
+	rows, cols := 2*n, 2*m
+	f, err := QRReal(rows, cols, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make(Vector, n)
+	s := make(Vector, m)
+	for i := range y {
+		y[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	for j := range s {
+		s[j] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	// Complex-domain metric.
+	var want float64
+	for i := 0; i < n; i++ {
+		acc := y[i]
+		for j := 0; j < m; j++ {
+			acc -= h.At(i, j) * s[j]
+		}
+		want += real(acc)*real(acc) + imag(acc)*imag(acc)
+	}
+	// Reduced real-domain metric plus offset.
+	yr := RealEmbedVec(y, nil)
+	ybar := make([]float64, cols)
+	f.QTMulVecInto(ybar, yr)
+	sr := RealEmbedVec(s, nil)[:cols] // [Re s; Im s]
+	var got float64
+	for k := 0; k < cols; k++ {
+		diff := ybar[k]
+		row := f.Row(k)
+		for j := k; j < cols; j++ {
+			diff -= row[j] * sr[j]
+		}
+		got += diff * diff
+	}
+	var yNorm, ybarNorm float64
+	for _, v := range yr {
+		yNorm += v * v
+	}
+	for _, v := range ybar {
+		ybarNorm += v * v
+	}
+	got += yNorm - ybarNorm
+	if math.Abs(got-want) > 1e-9*(1+want) {
+		t.Fatalf("real reduced metric %v, complex metric %v", got, want)
+	}
+}
+
+func TestBackSubstituteReal(t *testing.T) {
+	r := rng.New(13)
+	n, m := 5, 5
+	_, a := randRealEmbed(r, n, m)
+	rows, cols := 2*n, 2*m
+	f, err := QRReal(rows, cols, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, cols)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	x := make([]float64, cols)
+	if err := BackSubstituteReal(f.R, cols, b, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cols; i++ {
+		var sum float64
+		row := f.Row(i)
+		for j := i; j < cols; j++ {
+			sum += row[j] * x[j]
+		}
+		if math.Abs(sum-b[i]) > 1e-9 {
+			t.Fatalf("(Rx)[%d] = %v, want %v", i, sum, b[i])
+		}
+	}
+	// Zero pivot fails loudly.
+	f.R[0] = 0
+	if err := BackSubstituteReal(f.R, cols, b, x); !errors.Is(err, ErrSingular) {
+		t.Fatalf("zero pivot: %v", err)
+	}
+}
+
+func TestQRRealRejectsBadInput(t *testing.T) {
+	if _, err := QRReal(2, 3, make([]float64, 6)); err == nil {
+		t.Error("rows < cols accepted")
+	}
+	if _, err := QRReal(3, 2, make([]float64, 5)); err == nil {
+		t.Error("bad storage length accepted")
+	}
+	a := make([]float64, 6)
+	a[3] = math.NaN()
+	if _, err := QRReal(3, 2, a); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("NaN input: %v", err)
+	}
+	// Rank-deficient: duplicate column.
+	b := []float64{1, 1, 2, 2, 3, 3}
+	if _, err := QRReal(3, 2, b); !errors.Is(err, ErrSingular) {
+		t.Errorf("rank-deficient input: %v", err)
+	}
+}

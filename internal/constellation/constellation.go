@@ -93,9 +93,10 @@ type Constellation struct {
 	points        []complex128 // indexed by bit label
 	// Square-QAM geometry for fast per-axis slicing. bitsPerAxis == 0 for
 	// BPSK (real axis only).
-	bitsPerAxis int
-	pamLevels   []float64 // amplitudes per axis-label (Gray order), scaled
-	scale       float64   // normalization factor applied to raw odd levels
+	bitsPerAxis  int
+	pamLevels    []float64 // amplitudes per axis-label (Gray order), scaled
+	pamAscending []float64 // amplitudes in ascending order (PAM enumeration)
+	scale        float64   // normalization factor applied to raw odd levels
 }
 
 // New constructs the constellation for the given modulation.
@@ -125,10 +126,13 @@ func newSquareQAM(mod Modulation, bitsPerAxis int) *Constellation {
 	levels := 1 << bitsPerAxis
 	scale := 1 / math.Sqrt(2*float64(levels*levels-1)/3)
 
-	// pamLevels[g] is the amplitude whose Gray label is g.
+	// pamLevels[g] is the amplitude whose Gray label is g; pamAsc lists the
+	// same amplitudes in ascending order (position order on the grid).
 	pam := make([]float64, levels)
+	pamAsc := make([]float64, levels)
 	for pos := 0; pos < levels; pos++ {
 		amplitude := float64(2*pos-(levels-1)) * scale
+		pamAsc[pos] = amplitude
 		g := grayEncode(pos)
 		pam[g] = amplitude
 	}
@@ -146,6 +150,7 @@ func newSquareQAM(mod Modulation, bitsPerAxis int) *Constellation {
 		points:        points,
 		bitsPerAxis:   bitsPerAxis,
 		pamLevels:     pam,
+		pamAscending:  pamAsc,
 		scale:         scale,
 	}
 }
@@ -218,6 +223,25 @@ func (c *Constellation) MapBits(bits []int) []complex128 {
 	}
 	return out
 }
+
+// PAMLevels returns the per-axis amplitudes of a square QAM in ascending
+// order — the one-dimensional alphabet the real-valued-decomposition tree
+// branches over. It returns nil for BPSK (no square-QAM geometry). The
+// returned slice is shared; callers must not modify it.
+func (c *Constellation) PAMLevels() []float64 {
+	if c.bitsPerAxis == 0 {
+		return nil
+	}
+	return c.pamAscending
+}
+
+// PAMLabel returns the Gray-coded axis label of the i-th ascending PAM
+// level, so a real-valued decoder can rebuild a symbol index as
+// PAMLabel(i)<<BitsPerAxis() | PAMLabel(q) without a geometric re-slice.
+func (c *Constellation) PAMLabel(i int) int { return grayEncode(i) }
+
+// BitsPerAxis returns log2 of the per-axis PAM size (0 for BPSK).
+func (c *Constellation) BitsPerAxis() int { return c.bitsPerAxis }
 
 // Slice returns the index of the constellation point nearest to z in
 // Euclidean distance. For square QAM this runs in O(1) per axis; ties break

@@ -42,6 +42,13 @@ type Options struct {
 	// traversal and identical decoded vectors but simulates faster in Go —
 	// the experiment harness uses it for large Monte-Carlo sweeps.
 	ScalarEval bool
+	// Strategy selects the tree traversal; the zero value is the paper's
+	// SortedDFS. sphere.RealSE runs the real-valued Schnorr–Euchner engine
+	// (square QAM only; GEMM does not apply and is ignored for it).
+	Strategy sphere.Strategy
+	// Norm selects the partial-distance metric (ℓ² or ℓ∞); ℓ∞ requires
+	// Strategy == sphere.RealSE.
+	Norm sphere.Norm
 	// Pipelines replicates the decode pipeline (Section III-C4 headroom).
 	// Zero means 1.
 	Pipelines int
@@ -101,7 +108,8 @@ func New(v fpga.Variant, mod constellation.Modulation, m, n int, opts Options) (
 	cons := constellation.New(mod)
 	sd, err := sphere.New(sphere.Config{
 		Const:           cons,
-		Strategy:        sphere.SortedDFS,
+		Strategy:        opts.Strategy,
+		Norm:            opts.Norm,
 		UseGEMM:         !opts.ScalarEval,
 		InitialRadiusSq: opts.InitialRadiusSq,
 		MaxNodes:        opts.MaxNodes,

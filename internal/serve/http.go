@@ -91,6 +91,11 @@ type ConfigInfo struct {
 	Policy     string `json:"policy"`
 	BudgetNS   int64  `json:"budget_deadline_ns"`
 	NodeBudget int64  `json:"node_budget"`
+	// Strategy/Norm name the decode engine the backends were built with
+	// (e.g. "SD-RVD-SE" / "linf"); empty when the server predates the
+	// strategy plumbing or runs the default engine unannotated.
+	Strategy string `json:"strategy,omitempty"`
+	Norm     string `json:"norm,omitempty"`
 }
 
 // Machine-readable error codes carried by errorBody.Code.
@@ -111,18 +116,34 @@ type errorBody struct {
 
 // handler serves the scheduler over HTTP.
 type handler struct {
-	s   *Scheduler
-	tx  int
-	rx  int
-	mod string
-	mux *http.ServeMux
+	s        *Scheduler
+	tx       int
+	rx       int
+	mod      string
+	strategy string
+	norm     string
+	mux      *http.ServeMux
+}
+
+// HandlerOption customises the HTTP front end without widening the
+// NewHandler signature for every caller.
+type HandlerOption func(*handler)
+
+// WithDecodeInfo annotates /v1/config with the tree-search strategy and
+// partial-distance norm the backends were built with, so load generators
+// can verify they are measuring the engine they think they are.
+func WithDecodeInfo(strategy, norm string) HandlerOption {
+	return func(h *handler) { h.strategy, h.norm = strategy, norm }
 }
 
 // NewHandler wraps a scheduler in the HTTP/JSON front end. tx, rx, mod
 // describe the MIMO configuration the backends were built for and are
 // echoed by /v1/config.
-func NewHandler(s *Scheduler, tx, rx int, mod string) http.Handler {
+func NewHandler(s *Scheduler, tx, rx int, mod string, opts ...HandlerOption) http.Handler {
 	h := &handler{s: s, tx: tx, rx: rx, mod: mod, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(h)
+	}
 	h.mux.HandleFunc("POST /v1/decode", h.decode)
 	h.mux.HandleFunc("GET /v1/config", h.config)
 	h.mux.HandleFunc("GET /v1/trace", h.trace)
@@ -345,6 +366,8 @@ func (h *handler) config(w http.ResponseWriter, _ *http.Request) {
 		Policy:     cfg.Policy.String(),
 		BudgetNS:   int64(cfg.Budget.Deadline),
 		NodeBudget: cfg.Budget.NodeBudget,
+		Strategy:   h.strategy,
+		Norm:       h.norm,
 	})
 }
 

@@ -81,6 +81,46 @@ func BenchmarkDecodePreInto(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeRealSEPreInto is the real-valued Schnorr–Euchner hot path
+// on the reference workload: same pooled machinery, 2M-level real tree, no
+// per-node sorting. The rvd-smoke gate compares this against DecodePreInto.
+func BenchmarkDecodeRealSEPreInto(b *testing.B) {
+	benchDecodeRealSE(b, NormL2)
+}
+
+// BenchmarkDecodeRealSELInfPreInto is the ℓ∞-norm variant: max-comparator
+// partial distances instead of the sum-of-squares accumulator.
+func BenchmarkDecodeRealSELInfPreInto(b *testing.B) {
+	benchDecodeRealSE(b, NormLInf)
+}
+
+func benchDecodeRealSE(b *testing.B, norm Norm) {
+	r := rng.New(61)
+	c := constellation.New(constellation.QAM4)
+	d := MustNew(Config{Const: c, Strategy: RealSE, Norm: norm})
+	h, y, nv, _ := makeInstance(r, c, 10, 10, 8)
+	pre, err := Preprocess(h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res decoder.Result
+	if err := d.DecodePreInto(pre, y, nv, 0, &res); err != nil {
+		b.Fatal(err)
+	}
+	nodes := res.Counters.NodesExpanded
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.DecodePreInto(pre, y, nv, 0, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "nodes/s")
+	}
+}
+
 // BenchmarkDecodeInline is the per-frame-QR form (the seed's only path):
 // factor H, search, allocate the result. The gap to DecodePreInto is the
 // preprocessing-cache + zero-alloc win.

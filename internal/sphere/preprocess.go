@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cmatrix"
 	"repro/internal/decoder"
@@ -31,6 +32,77 @@ type Preprocessed struct {
 	// wrappers on every call, and by the batch scheduler only on the first
 	// frame that uses the handle.
 	Flops int64
+
+	// realPre caches the real-valued (RVD) factor, computed lazily by
+	// Real() on first use and shared through the PreprocessCache exactly like
+	// the complex factors (same handle, same fingerprint key). The atomic
+	// fast path keeps the published-immutable contract: after the pointer is
+	// stored the RealPre is never written again. A plain sync.Once would
+	// heap-allocate its closure on every call, which the zero-alloc decode
+	// tests forbid.
+	realPre atomic.Pointer[RealPre]
+	realMu  sync.Mutex
+}
+
+// RealPre is the real-valued-decomposition factor of a channel: the upper
+// triangle of the interleaved real embedding, ready for the 2M-level real
+// tree.
+//
+// The interleaved coordinate order (Re s₀, Im s₀, Re s₁, Im s₁, …) is what
+// makes this cheap: a complex upper-triangular R with real diagonal embeds
+// as 2×2 blocks [Re −Im; Im Re], and on the diagonal (Im r_kk = 0) those
+// blocks collapse to r_kk·I — so the interleaved embedding of the cached
+// complex factor is ALREADY upper triangular with positive diagonal. By
+// uniqueness of the thin QR this IS the real QR factorization of the
+// interleaved channel embedding (pinned against cmatrix.QRReal by test),
+// and deriving it costs one O(M²) shuffle instead of a second O(N·M²)
+// factorization. The matching ȳr is the interleaving of the complex ȳ =
+// Qᴴy, so the per-frame rotation reuses the complex kernel unchanged.
+// Immutable after construction.
+type RealPre struct {
+	// Dim is the real tree height 2M.
+	Dim int
+	// R is the Dim×Dim upper-triangular real factor in flat row-major SoA
+	// storage; row k is R[k*Dim : (k+1)*Dim]. Entries below the diagonal
+	// are zero.
+	R []float64
+	// Flops is the derivation cost (8·M² real stores/negations), charged
+	// once per distinct channel like Preprocessed.Flops.
+	Flops int64
+}
+
+// Real returns the lazily derived real-valued factor of the handle. The
+// first call performs the interleaved shuffle; subsequent calls return the
+// cached result with no allocation. Safe for concurrent use.
+func (p *Preprocessed) Real() *RealPre {
+	if rp := p.realPre.Load(); rp != nil {
+		return rp
+	}
+	p.realMu.Lock()
+	defer p.realMu.Unlock()
+	if rp := p.realPre.Load(); rp != nil {
+		return rp
+	}
+	m := p.M
+	dim := 2 * m
+	rr := make([]float64, dim*dim)
+	for k := 0; k < m; k++ {
+		rowc := p.F.R.Row(k)
+		top := rr[(2*k)*dim : (2*k+1)*dim]
+		bot := rr[(2*k+1)*dim : (2*k+2)*dim]
+		for j := k; j < m; j++ {
+			re, im := real(rowc[j]), imag(rowc[j])
+			top[2*j], top[2*j+1] = re, -im
+			bot[2*j], bot[2*j+1] = im, re
+		}
+		// The complex diagonal is exactly real (QR normalizes it), but keep
+		// the real factor strictly triangular by construction.
+		bot[2*k] = 0
+	}
+	mm := int64(m)
+	rp := &RealPre{Dim: dim, R: rr, Flops: 8 * mm * mm}
+	p.realPre.Store(rp)
+	return rp
 }
 
 // Preprocess factors h for reuse. It returns cmatrix.ErrNonFinite /

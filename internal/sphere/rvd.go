@@ -2,27 +2,27 @@ package sphere
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/cmatrix"
 	"repro/internal/constellation"
 	"repro/internal/decoder"
 )
 
-// RVD is the real-valued-decomposition sphere decoder: the standard
-// alternative formulation to the paper's complex-valued tree. The complex
-// system y = Hs + n becomes a real system of twice the dimension,
+// RVD is the real-valued-decomposition sphere decoder: the complex system
+// y = Hs + n becomes a real system of twice the dimension,
 //
 //	[Re y]   [Re H  −Im H] [Re s]
 //	[Im y] = [Im H   Re H] [Im s] + n_r,
 //
 // and the search tree has 2M levels with branching √P (the per-axis PAM
-// alphabet) instead of M levels with branching P. The same sorted
-// depth-first search applies level-wise. RVD trades tree depth for
-// branching width: fewer children to evaluate and sort per node, more
-// levels of bookkeeping — exactly the kind of formulation choice the
-// paper's pipeline dimensioning depends on, so it ships here as an ablation
-// comparator (it is exact, like the complex-valued search).
+// alphabet) instead of M levels with branching P.
+//
+// Deprecated: RVD is a thin wrapper over the hot-path RealSE strategy
+// (Config.Strategy == RealSE), which runs the same real-valued tree on the
+// pooled zero-alloc search state with Schnorr–Euchner enumeration, the
+// preprocess cache, and the full anytime/trace contracts. New code should
+// construct New(Config{Const: c, Strategy: RealSE}) directly; this type
+// remains for the ablation harnesses that configure it field-by-field.
 type RVD struct {
 	Const *constellation.Constellation
 	// MaxNodes bounds expansions as in Config.MaxNodes (0 = 50M). Budget
@@ -40,237 +40,29 @@ type RVD struct {
 // constellation (BPSK is excluded: its imaginary axis carries no
 // information, so the complex search is the natural formulation).
 func NewRVD(c *constellation.Constellation) (*RVD, error) {
-	var levels int
-	switch c.Modulation() {
-	case constellation.QAM4:
-		levels = 2
-	case constellation.QAM16:
-		levels = 4
-	case constellation.QAM64:
-		levels = 8
-	case constellation.QAM256:
-		levels = 16
-	default:
+	pam := c.PAMLevels()
+	if pam == nil {
 		return nil, fmt.Errorf("sphere: RVD requires square QAM, got %v", c.Modulation())
 	}
-	// Recover the per-axis amplitudes from the constellation's points.
-	seen := map[float64]bool{}
-	var pam []float64
-	for _, p := range c.Points() {
-		if !seen[real(p)] {
-			seen[real(p)] = true
-			pam = append(pam, real(p))
-		}
-	}
-	if len(pam) != levels {
-		return nil, fmt.Errorf("sphere: expected %d PAM levels, found %d", levels, len(pam))
-	}
-	// Ascending order for the enumeration.
-	for i := 1; i < len(pam); i++ {
-		for j := i; j > 0 && pam[j] < pam[j-1]; j-- {
-			pam[j], pam[j-1] = pam[j-1], pam[j]
-		}
-	}
-	return &RVD{Const: c, pam: pam, axisL: levels}, nil
+	return &RVD{Const: c, pam: pam, axisL: len(pam)}, nil
 }
 
 // Name implements decoder.Decoder.
 func (d *RVD) Name() string { return "SD-RVD" }
 
-// Decode implements decoder.Decoder.
+// Decode implements decoder.Decoder by delegating to the RealSE engine. The
+// inner decoder is rebuilt per call because the wrapper's budget fields are
+// mutable public state (the pre-absorption API); the construction is cheap
+// next to any search.
 func (d *RVD) Decode(h *cmatrix.Matrix, y cmatrix.Vector, noiseVar float64) (*decoder.Result, error) {
-	if err := decoder.CheckDims(h, y); err != nil {
+	sd, err := New(Config{
+		Const:      d.Const,
+		Strategy:   RealSE,
+		MaxNodes:   d.MaxNodes,
+		HardBudget: d.HardBudget,
+	})
+	if err != nil {
 		return nil, err
 	}
-	n, m := h.Rows, h.Cols
-	// Real-valued embedding as a complex matrix with zero imaginary parts,
-	// so the existing QR/back-substitution kernels apply unchanged.
-	hr := cmatrix.NewMatrix(2*n, 2*m)
-	for i := 0; i < n; i++ {
-		for j := 0; j < m; j++ {
-			v := h.At(i, j)
-			hr.Set(i, j, complex(real(v), 0))
-			hr.Set(i, j+m, complex(-imag(v), 0))
-			hr.Set(i+n, j, complex(imag(v), 0))
-			hr.Set(i+n, j+m, complex(real(v), 0))
-		}
-	}
-	yr := make(cmatrix.Vector, 2*n)
-	for i := 0; i < n; i++ {
-		yr[i] = complex(real(y[i]), 0)
-		yr[i+n] = complex(imag(y[i]), 0)
-	}
-	// Route through the shared preprocessing handle so the embedding's QR
-	// is computed by the same code path (and cacheable by callers decoding
-	// many frames under one channel).
-	pre, err := Preprocess(hr)
-	if err != nil {
-		return nil, fmt.Errorf("sphere: RVD preprocessing failed: %w", err)
-	}
-	f := pre.F
-	ybar := f.QHMulVec(yr)
-	offset := cmatrix.Norm2Sq(yr) - cmatrix.Norm2Sq(ybar)
-	if offset < 0 {
-		offset = 0
-	}
-
-	maxNodes := d.MaxNodes
-	if maxNodes == 0 {
-		maxNodes = 50_000_000
-	}
-	dim := 2 * m
-	r := f.R
-
-	// Sorted depth-first search over the real tree. Levels run k = dim−1
-	// down to 0; level k decides the PAM value of real coordinate k.
-	mst := NewMST(dim)
-	var counters decoder.Counters
-	bestPD := math.Inf(1)
-	var bestLeaf int32 = -1
-
-	pathBuf := make([]int, dim)
-	childPD := make([]float64, d.axisL)
-	order := make([]int, d.axisL)
-	truncated := false
-	stack := []int32{mst.Root()}
-	for len(stack) > 0 {
-		if int64(len(stack)) > counters.MaxListLen {
-			counters.MaxListLen = int64(len(stack))
-		}
-		id := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if mst.PD(id) >= bestPD {
-			counters.ChildrenPruned++
-			continue
-		}
-		if counters.NodesExpanded >= maxNodes {
-			if d.HardBudget {
-				return nil, ErrBudget
-			}
-			truncated = true
-			break
-		}
-		counters.NodesExpanded++
-		depth := mst.Depth(id)
-		k := dim - 1 - depth
-		visited := mst.PathSymbols(id, dim, pathBuf)
-		counters.IrregularLoads += int64(visited)
-		row := r.Row(k)
-		var inner float64
-		for i := k + 1; i < dim; i++ {
-			inner += real(row[i]) * d.pam[pathBuf[i]]
-		}
-		target := real(ybar[k]) - inner
-		rkk := real(row[k])
-		parentPD := mst.PD(id)
-		for c := 0; c < d.axisL; c++ {
-			diff := target - rkk*d.pam[c]
-			childPD[c] = parentPD + diff*diff
-			order[c] = c
-		}
-		counters.ChildrenGenerated += int64(d.axisL)
-		counters.EvalDepthSum += int64(dim - k)
-		counters.OtherFlops += 2*int64(dim-1-k) + int64(d.axisL)*3
-		counters.SortedBatches++
-		for i := 1; i < d.axisL; i++ {
-			for j := i; j > 0; j-- {
-				counters.CompareOps++
-				if childPD[order[j]] >= childPD[order[j-1]] {
-					break
-				}
-				order[j], order[j-1] = order[j-1], order[j]
-			}
-		}
-		if depth == dim-1 {
-			for _, c := range order {
-				pd := childPD[c]
-				counters.LeavesReached++
-				if pd >= bestPD {
-					counters.ChildrenPruned++
-					continue
-				}
-				bestPD = pd
-				bestLeaf = mst.Add(id, c, pd)
-				counters.RadiusUpdates++
-			}
-			continue
-		}
-		for i := d.axisL - 1; i >= 0; i-- {
-			c := order[i]
-			if childPD[c] >= bestPD {
-				counters.ChildrenPruned++
-				continue
-			}
-			stack = append(stack, mst.Add(id, c, childPD[c]))
-		}
-	}
-	res := &decoder.Result{Counters: counters}
-	switch {
-	case truncated:
-		res.Quality = decoder.QualityBestEffort
-		res.DegradedBy = decoder.DegradedByBudget
-		// Real-domain Babai fallback: successive slicing to the nearest
-		// PAM level. Like the complex fallback, it always produces a
-		// decision; prefer it when the truncated search has nothing better.
-		fbPath, fbPD := d.babaiReal(r, ybar, dim)
-		res.Counters.OtherFlops += 4 * int64(dim) * int64(dim)
-		if bestLeaf < 0 || fbPD < bestPD {
-			copy(pathBuf, fbPath)
-			bestPD = fbPD
-			res.Quality = decoder.QualityFallback
-		} else {
-			mst.PathSymbols(bestLeaf, dim, pathBuf)
-		}
-	case bestLeaf < 0:
-		return nil, fmt.Errorf("%w (RVD)", ErrNoLeaf)
-	default:
-		mst.PathSymbols(bestLeaf, dim, pathBuf)
-	}
-
-	// Map the 2M PAM decisions back onto constellation indices.
-	idx := make([]int, m)
-	syms := make(cmatrix.Vector, m)
-	for j := 0; j < m; j++ {
-		point := complex(d.pam[pathBuf[j]], d.pam[pathBuf[j+m]])
-		idx[j] = d.Const.Slice(point)
-		syms[j] = d.Const.Symbol(idx[j])
-	}
-	res.SymbolIdx = idx
-	res.Symbols = syms
-	res.Metric = bestPD + offset
-	return res, nil
-}
-
-// babaiReal is the decision-feedback fallback in the real (RVD) domain:
-// back-substitute one coordinate at a time, slicing each to the nearest PAM
-// amplitude. Returns the per-coordinate PAM indices and the reduced-domain
-// metric.
-func (d *RVD) babaiReal(r *cmatrix.Matrix, ybar cmatrix.Vector, dim int) ([]int, float64) {
-	path := make([]int, dim)
-	vals := make([]float64, dim)
-	pd := 0.0
-	for k := dim - 1; k >= 0; k-- {
-		row := r.Row(k)
-		inner := real(ybar[k])
-		for i := k + 1; i < dim; i++ {
-			inner -= real(row[i]) * vals[i]
-		}
-		rkk := real(row[k])
-		var z float64
-		if rkk != 0 {
-			z = inner / rkk
-		}
-		best, bestDist := 0, math.Inf(1)
-		for c, amp := range d.pam {
-			dist := math.Abs(z - amp)
-			if dist < bestDist {
-				best, bestDist = c, dist
-			}
-		}
-		path[k] = best
-		vals[k] = d.pam[best]
-		diff := inner - rkk*vals[k]
-		pd += diff * diff
-	}
-	return path, pd
+	return sd.Decode(h, y, noiseVar)
 }

@@ -64,6 +64,16 @@ type search struct {
 	// ybarBuf backs ybar when the caller routes through computeYbar.
 	ybarBuf cmatrix.Vector
 
+	// Real-valued (RealSE) search state: the ascending PAM alphabet, the
+	// interleaved upper-triangular real factor (flat row-major, see
+	// RealPre), and the rotated real receive vector, all riding on the same
+	// pooled scratch discipline as the complex fields (m is the real tree
+	// height 2M, p the PAM size).
+	pam      []float64
+	rr       []float64
+	rybar    []float64
+	rybarBuf []float64
+
 	// GEMM scratch reused across node expansions (the allocation profile
 	// that motivated the paper's extracted GEMM engine: operands live in
 	// dedicated buffers, not freshly carved memory).
@@ -140,6 +150,9 @@ func (s *search) release() {
 	s.ybar = nil
 	s.pts = nil
 	s.rec = nil
+	s.pam = nil
+	s.rr = nil
+	s.rybar = nil
 	searchPool.Put(s)
 }
 
@@ -188,6 +201,8 @@ func (s *search) run() error {
 		return s.runBFS()
 	case FSD:
 		return s.runFSD()
+	case RealSE:
+		return s.runRealSE()
 	}
 	panic("sphere: unreachable strategy")
 }

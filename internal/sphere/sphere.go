@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"repro/internal/cmatrix"
@@ -54,6 +55,15 @@ const (
 	// tree level, decision-feedback (best child only) below. Suboptimal
 	// but embarrassingly parallel.
 	FSD
+	// RealSE is the real-valued-decomposition depth-first search with
+	// Schnorr–Euchner enumeration: the complex system is embedded into a
+	// real one of twice the dimension (Azzam & Ayanoglu), and the children
+	// of each PAM-axis node are generated in ascending-PD order analytically
+	// by zig-zagging around the unconstrained solution — which deletes the
+	// per-node sorting pass (the paper's phase-3 hardware sorter) entirely.
+	// Exact under NormL2; requires square QAM. Config.Norm selects the
+	// partial-distance metric.
+	RealSE
 )
 
 // String names the strategy as used in reports.
@@ -69,8 +79,75 @@ func (s Strategy) String() string {
 		return "SD-BFS"
 	case FSD:
 		return "FSD"
+	case RealSE:
+		return "SD-RVD-SE"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy converts a CLI string into a Strategy. It accepts the
+// canonical report names (case-insensitive, with or without the "SD-"
+// prefix) and common short forms.
+func ParseStrategy(s string) (Strategy, error) {
+	key := strings.ToLower(strings.NewReplacer("-", "", "_", "", " ", "").Replace(s))
+	key = strings.TrimPrefix(key, "sd")
+	switch key {
+	case "sorteddfs", "sorted", "":
+		return SortedDFS, nil
+	case "plaindfs", "plain":
+		return PlainDFS, nil
+	case "bestfs":
+		return BestFS, nil
+	case "bfs":
+		return BFS, nil
+	case "fsd":
+		return FSD, nil
+	case "rvdse", "realse", "rvd":
+		return RealSE, nil
+	default:
+		return 0, fmt.Errorf("sphere: unknown strategy %q", s)
+	}
+}
+
+// Norm selects the partial-distance metric of the tree search.
+type Norm int
+
+const (
+	// NormL2 accumulates squared Euclidean increments (Σ|·|²) — the ML
+	// metric; exact strategies return the ML solution under it.
+	NormL2 Norm = iota
+	// NormLInf takes the maximum per-level increment (Seethaler & Bölcskei):
+	// PD = max(parent PD, |increment|²). The max is monotone down the tree,
+	// so branch-and-bound pruning remains exact for the ℓ∞ criterion, and
+	// the hardware datapath shrinks from an adder tree to one comparator.
+	// Metrics are reported in the reduced (QR) domain — an ℓ∞ ball does not
+	// survive the orthogonal rotation, so no complex-domain offset applies.
+	// Only valid with the RealSE strategy.
+	NormLInf
+)
+
+// String names the norm as used in reports and CLI flags.
+func (n Norm) String() string {
+	switch n {
+	case NormL2:
+		return "l2"
+	case NormLInf:
+		return "linf"
+	default:
+		return fmt.Sprintf("Norm(%d)", int(n))
+	}
+}
+
+// ParseNorm converts a CLI string ("l2", "linf", "inf", "max") into a Norm.
+func ParseNorm(s string) (Norm, error) {
+	switch strings.ToLower(strings.NewReplacer("-", "", "_", "").Replace(s)) {
+	case "l2", "euclidean", "":
+		return NormL2, nil
+	case "linf", "inf", "max", "infinity":
+		return NormLInf, nil
+	default:
+		return 0, fmt.Errorf("sphere: unknown norm %q", s)
 	}
 }
 
@@ -80,6 +157,9 @@ type Config struct {
 	Const *constellation.Constellation
 	// Strategy selects the traversal; the zero value is SortedDFS.
 	Strategy Strategy
+	// Norm selects the partial-distance metric; the zero value is NormL2.
+	// NormLInf is only valid with the RealSE strategy.
+	Norm Norm
 	// InitialRadiusSq is the starting r². Zero means automatic: +Inf for
 	// the depth-first strategies (first leaf sets the radius, the
 	// Geosphere approach), and RadiusScale·N·σ² for BFS, which cannot
@@ -167,6 +247,14 @@ var (
 // SD is a sphere decoder. It implements decoder.Decoder.
 type SD struct {
 	cfg Config
+	// pam is the ascending per-axis PAM alphabet the RealSE strategy
+	// branches over (nil for the complex-valued strategies); pamLabels maps
+	// each ascending level to its Gray-coded axis label and axisBits is
+	// log2(len(pam)), so a decided real path rebuilds symbol indices with
+	// two table reads per antenna instead of a geometric slice.
+	pam       []float64
+	pamLabels []int
+	axisBits  int
 }
 
 // New validates cfg and returns a decoder.
@@ -196,11 +284,34 @@ func New(cfg Config) (*SD, error) {
 		return nil, fmt.Errorf("sphere: invalid KBest %d", cfg.KBest)
 	}
 	switch cfg.Strategy {
-	case SortedDFS, PlainDFS, BestFS, BFS, FSD:
+	case SortedDFS, PlainDFS, BestFS, BFS, FSD, RealSE:
 	default:
 		return nil, fmt.Errorf("sphere: unknown strategy %d", cfg.Strategy)
 	}
-	return &SD{cfg: cfg}, nil
+	switch cfg.Norm {
+	case NormL2, NormLInf:
+	default:
+		return nil, fmt.Errorf("sphere: unknown norm %d", cfg.Norm)
+	}
+	if cfg.Norm == NormLInf && cfg.Strategy != RealSE {
+		return nil, fmt.Errorf("sphere: NormLInf requires the RealSE strategy, got %v", cfg.Strategy)
+	}
+	d := &SD{cfg: cfg}
+	if cfg.Strategy == RealSE {
+		// UseGEMM does not apply: SE enumeration evaluates children through
+		// the analytic recursion, never through a batched product.
+		d.cfg.UseGEMM = false
+		d.pam = cfg.Const.PAMLevels()
+		if d.pam == nil {
+			return nil, fmt.Errorf("sphere: real-valued decoding requires square QAM, got %v", cfg.Const.Modulation())
+		}
+		d.axisBits = cfg.Const.BitsPerAxis()
+		d.pamLabels = make([]int, len(d.pam))
+		for i := range d.pamLabels {
+			d.pamLabels[i] = cfg.Const.PAMLabel(i)
+		}
+	}
+	return d, nil
 }
 
 // MustNew is New that panics on error, for tests and internal wiring.
@@ -215,6 +326,12 @@ func MustNew(cfg Config) *SD {
 // Name implements decoder.Decoder.
 func (d *SD) Name() string {
 	n := d.cfg.Strategy.String()
+	if d.cfg.Strategy == RealSE {
+		if d.cfg.Norm == NormLInf {
+			n += "+LINF"
+		}
+		return n
+	}
 	if d.cfg.UseGEMM {
 		n += "+GEMM"
 	}
@@ -293,7 +410,16 @@ func (d *SD) decodePre(pre *Preprocessed, y cmatrix.Vector, noiseVar float64, qr
 	if noiseVar < 0 || math.IsNaN(noiseVar) {
 		return nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
 	}
-	start := time.Now()
+	// start is consumed only under a configured deadline (for the cutoff and
+	// for res.Elapsed); skipping the clock read otherwise keeps the syscall
+	// off the no-deadline hot path.
+	var start time.Time
+	if d.cfg.Deadline > 0 {
+		start = time.Now()
+	}
+	if d.cfg.Strategy == RealSE {
+		return d.decodePreReal(pre, y, noiseVar, qrFlops, wantInfo, res, start)
+	}
 	var deadline time.Time
 	if d.cfg.Deadline > 0 {
 		deadline = start.Add(d.cfg.Deadline)
@@ -447,6 +573,9 @@ func (d *SD) DecodeFallbackPre(pre *Preprocessed, y cmatrix.Vector, noiseVar flo
 	}
 	if noiseVar < 0 || math.IsNaN(noiseVar) {
 		return nil, fmt.Errorf("sphere: invalid noise variance %v", noiseVar)
+	}
+	if d.cfg.Strategy == RealSE {
+		return d.decodeFallbackPreReal(pre, y, qrFlops)
 	}
 	ybar := pre.F.QHMulVec(y)
 	offset := cmatrix.Norm2Sq(y) - cmatrix.Norm2Sq(ybar)

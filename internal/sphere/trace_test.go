@@ -18,18 +18,24 @@ import (
 func TestRecorderCountsMatchCounters(t *testing.T) {
 	r := rng.New(71)
 	c := constellation.New(constellation.QAM4)
+	// The real-valued strategy searches the 2M-level real tree with the PAM
+	// axis as its alphabet, so its trace shape differs from the complex
+	// strategies over the same 6×6 channel.
 	cases := []struct {
-		name string
-		cfg  Config
+		name     string
+		cfg      Config
+		m, alpha int
 	}{
-		{"sorted-dfs", Config{Strategy: SortedDFS}},
-		{"sorted-dfs-gemm", Config{Strategy: SortedDFS, UseGEMM: true}},
-		{"plain-dfs", Config{Strategy: PlainDFS}},
-		{"best-fs", Config{Strategy: BestFS}},
-		{"bfs", Config{Strategy: BFS, AutoRadius: true}},
-		{"bfs-gemm", Config{Strategy: BFS, AutoRadius: true, UseGEMM: true}},
-		{"bfs-kbest", Config{Strategy: BFS, AutoRadius: true, KBest: 6}},
-		{"fsd", Config{Strategy: FSD, AutoRadius: true}},
+		{"sorted-dfs", Config{Strategy: SortedDFS}, 6, 4},
+		{"sorted-dfs-gemm", Config{Strategy: SortedDFS, UseGEMM: true}, 6, 4},
+		{"plain-dfs", Config{Strategy: PlainDFS}, 6, 4},
+		{"best-fs", Config{Strategy: BestFS}, 6, 4},
+		{"bfs", Config{Strategy: BFS, AutoRadius: true}, 6, 4},
+		{"bfs-gemm", Config{Strategy: BFS, AutoRadius: true, UseGEMM: true}, 6, 4},
+		{"bfs-kbest", Config{Strategy: BFS, AutoRadius: true, KBest: 6}, 6, 4},
+		{"fsd", Config{Strategy: FSD, AutoRadius: true}, 6, 4},
+		{"rvd-se", Config{Strategy: RealSE}, 12, 2},
+		{"rvd-se-linf", Config{Strategy: RealSE, Norm: NormLInf}, 12, 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -50,8 +56,9 @@ func TestRecorderCountsMatchCounters(t *testing.T) {
 				if got, want := rec.ChildrenPruned(), res.Counters.ChildrenPruned; got != want {
 					t.Fatalf("trial %d: Σ level prunes %d, counters report %d", trial, got, want)
 				}
-				if rec.M != 6 || rec.Alphabet != c.Size() {
-					t.Fatalf("trial %d: trace shape m=%d p=%d", trial, rec.M, rec.Alphabet)
+				if rec.M != tc.m || rec.Alphabet != tc.alpha {
+					t.Fatalf("trial %d: trace shape m=%d p=%d, want %d/%d",
+						trial, rec.M, rec.Alphabet, tc.m, tc.alpha)
 				}
 				if len(rec.Levels) != rec.M+1 {
 					t.Fatalf("trial %d: %d levels, want %d", trial, len(rec.Levels), rec.M+1)

@@ -85,6 +85,13 @@ const (
 	// AlgSphereRVD is the real-valued-decomposition sphere decoder: the
 	// 2M-level PAM-tree formulation. Exact, like the complex search.
 	AlgSphereRVD Algorithm = "sd-rvd"
+	// AlgSphereRVDSE is the real-valued hot-path engine: RVD tree with
+	// Schnorr–Euchner analytic child ordering (no per-node sort). Exact.
+	AlgSphereRVDSE Algorithm = "sd-rvd-se"
+	// AlgSphereLInf is the RVD/SE engine under the ℓ∞ partial-distance
+	// metric (max residual instead of sum) — the max-comparator datapath
+	// study. Slightly suboptimal BER, exact for its own criterion.
+	AlgSphereLInf Algorithm = "sd-linf"
 )
 
 // Config describes a MIMO system.
@@ -146,6 +153,10 @@ func newDecoder(alg Algorithm, cons *constellation.Constellation) (decoder.Decod
 		return decoder.NewSIC(cons), nil
 	case AlgSphereRVD:
 		return sphere.NewRVD(cons)
+	case AlgSphereRVDSE:
+		return sphere.New(sphere.Config{Const: cons, Strategy: sphere.RealSE})
+	case AlgSphereLInf:
+		return sphere.New(sphere.Config{Const: cons, Strategy: sphere.RealSE, Norm: sphere.NormLInf})
 	default:
 		return nil, fmt.Errorf("mimosd: unknown algorithm %q", alg)
 	}

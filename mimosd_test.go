@@ -38,7 +38,7 @@ func TestDetectAlgorithmsAgreeAtHighSNR(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, alg := range []Algorithm{AlgSphereDecoder, AlgSphereBestFS, AlgSphereBFS, AlgFSD, AlgSphereSQRD, AlgSphereFP16, AlgLLLZF, AlgSIC, AlgSphereRVD, AlgML, AlgZF, AlgMMSE} {
+	for _, alg := range []Algorithm{AlgSphereDecoder, AlgSphereBestFS, AlgSphereBFS, AlgFSD, AlgSphereSQRD, AlgSphereFP16, AlgLLLZF, AlgSIC, AlgSphereRVD, AlgSphereRVDSE, AlgSphereLInf, AlgML, AlgZF, AlgMMSE} {
 		det, err := Detect(cfg44(), alg, l.H, l.Y, l.NoiseVar)
 		if err != nil {
 			t.Fatalf("%s: %v", alg, err)
