@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-serve race-cluster serve-smoke trace-smoke chaos-smoke cluster-smoke ofdm-smoke rvd-smoke fuzz bench bench-check
+.PHONY: check vet build test race race-serve race-cluster serve-smoke trace-smoke chaos-smoke cluster-smoke ofdm-smoke rvd-smoke adapt-smoke fuzz bench bench-check
 
 # check is the gate: static analysis, build, a single-iteration pass over
 # every benchmark (so the bench harness itself cannot rot), the serving
@@ -9,9 +9,10 @@ GO ?= go
 # proxy and breaker under the race detector, the full suite under the race
 # detector, then the observability path, the single-node self-healing
 # contract, the cluster failover contract, the OFDM workload tier's
-# SLO and cache-delta gates, and the real-valued SE hot-path gate
-# (speedup, comparator-free, zero-alloc, servable) end to end.
-check: vet build bench-check race-serve race-cluster race trace-smoke chaos-smoke cluster-smoke ofdm-smoke rvd-smoke
+# SLO and cache-delta gates, the real-valued SE hot-path gate
+# (speedup, comparator-free, zero-alloc, servable), and the adaptive
+# complexity controller's A/B gate end to end.
+check: vet build bench-check race-serve race-cluster race trace-smoke chaos-smoke cluster-smoke ofdm-smoke rvd-smoke adapt-smoke
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +74,14 @@ ofdm-smoke:
 # -norm linf advertising the engine and decoding live traffic.
 rvd-smoke:
 	bash scripts/rvd_smoke.sh
+
+# adapt-smoke A/B-certifies the adaptive complexity controller: under the
+# same mobility-aging traffic and seed, -adaptive must serve a strictly
+# higher exact-decode fraction than a starved fixed -node-budget baseline
+# at p99 latency parity, and PUT /v1/policy must reconfigure the live
+# server (pin to linear, resume to adaptive) observably.
+adapt-smoke:
+	bash scripts/adapt_smoke.sh
 
 # bench regenerates BENCH_decode.json: the software hot-path figures
 # (ns/decode, allocs/op, nodes/s, and the QR-reuse batch speedup).

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	mimosd "repro"
+	"repro/internal/adapt"
 	"repro/internal/channel"
 	"repro/internal/cmatrix"
 	"repro/internal/constellation"
@@ -96,6 +97,22 @@ type Report struct {
 	OFDMIncoherent   GridStats `json:"ofdm_grid_incoherent"`
 	// OFDMCoherentSpeedup is incoherent ns-per-frame / coherent ns-per-frame.
 	OFDMCoherentSpeedup float64 `json:"ofdm_grid_coherent_speedup"`
+
+	// Adaptive-ladder study: every rung of the default adapt ladder decodes
+	// the same seeded batch, so the cost/quality trade-off the controller
+	// walks is published as data. Policies are the canonical ParsePolicy
+	// spellings — the same strings PUT /v1/policy and -decode-policy accept.
+	AdaptWorkload string            `json:"adapt_workload,omitempty"`
+	AdaptLevels   []AdaptLevelStats `json:"adapt_levels,omitempty"`
+}
+
+// AdaptLevelStats is one ladder rung's measured cost and quality.
+type AdaptLevelStats struct {
+	Name          string  `json:"name"`
+	Policy        string  `json:"policy"`
+	NsPerFrame    float64 `json:"ns_per_frame"`
+	ExactFraction float64 `json:"exact_fraction"`
+	NodesPerFrame float64 `json:"nodes_per_frame"`
 }
 
 // GridStats summarizes one resource-grid decode pass.
@@ -156,18 +173,18 @@ func coherenceBlock(seed uint64, n, m, frames int, snrDB float64) []core.BatchIn
 func parseStudies(spec string) (map[string]bool, error) {
 	sel := map[string]bool{}
 	if spec == "" || spec == "all" {
-		for _, s := range []string{"single", "batch", "ofdm", "rvd", "ber"} {
+		for _, s := range []string{"single", "batch", "ofdm", "rvd", "ber", "adapt"} {
 			sel[s] = true
 		}
 		return sel, nil
 	}
 	for _, s := range strings.Split(spec, ",") {
 		switch s = strings.TrimSpace(s); s {
-		case "single", "batch", "ofdm", "rvd", "ber":
+		case "single", "batch", "ofdm", "rvd", "ber", "adapt":
 			sel[s] = true
 		case "":
 		default:
-			return nil, fmt.Errorf("unknown study %q (want single, batch, ofdm, rvd, ber, or all)", s)
+			return nil, fmt.Errorf("unknown study %q (want single, batch, ofdm, rvd, ber, adapt, or all)", s)
 		}
 	}
 	if len(sel) == 0 {
@@ -347,6 +364,48 @@ func main() {
 		}
 	}
 
+	// --- Adaptive ladder ----------------------------------------------------
+	if sel["adapt"] {
+		rep.AdaptWorkload = "128 independent 4x4 4-QAM frames, 10 dB, per-rung DecodePolicy"
+		r := rng.New(97)
+		cq := constellation.New(constellation.QAM4)
+		const adaptFrames = 128
+		nv := channel.NoiseVariance(channel.PerTransmitSymbol, 10, 4)
+		inputs := make([]core.BatchInput, adaptFrames)
+		for i := range inputs {
+			h := channel.Rayleigh(r, 4, 4)
+			s := make(cmatrix.Vector, 4)
+			for j := range s {
+				s[j] = cq.Symbol(r.Intn(cq.Size()))
+			}
+			inputs[i] = core.BatchInput{H: h, Y: channel.Transmit(r, h, s, nv), NoiseVar: nv}
+		}
+		acc := core.MustNew(fpga.Optimized, constellation.QAM4, 4, 4, core.Options{})
+		for _, lvl := range adapt.DefaultLevels(true, 4096) {
+			start := time.Now()
+			br, err := acc.DecodeBatch(inputs, core.WithPolicy(lvl.Policy))
+			if err != nil {
+				fatal(fmt.Errorf("adapt level %s: %w", lvl.Name, err))
+			}
+			elapsed := time.Since(start)
+			exact := 0
+			var nodes int64
+			for _, res := range br.Results {
+				if res.Quality == decoder.QualityExact {
+					exact++
+				}
+				nodes += res.Counters.NodesExpanded
+			}
+			rep.AdaptLevels = append(rep.AdaptLevels, AdaptLevelStats{
+				Name:          lvl.Name,
+				Policy:        lvl.Policy.String(),
+				NsPerFrame:    float64(elapsed.Nanoseconds()) / adaptFrames,
+				ExactFraction: float64(exact) / adaptFrames,
+				NodesPerFrame: float64(nodes) / adaptFrames,
+			})
+		}
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -383,6 +442,12 @@ func main() {
 		fmt.Printf("ofdm grid: coherent hit rate %.3f (%.0f ns/frame), incoherent %.3f (%.0f ns/frame) -> %.2fx\n",
 			rep.OFDMCoherent.HitRate, rep.OFDMCoherent.NsPerFrame,
 			rep.OFDMIncoherent.HitRate, rep.OFDMIncoherent.NsPerFrame, rep.OFDMCoherentSpeedup)
+	}
+	if sel["adapt"] {
+		for _, l := range rep.AdaptLevels {
+			fmt.Printf("adapt %-12s [%s]: %.0f ns/frame, exact %.3f, %.1f nodes/frame\n",
+				l.Name, l.Policy, l.NsPerFrame, l.ExactFraction, l.NodesPerFrame)
+		}
 	}
 
 	if *gateRVD > 0 {

@@ -8,6 +8,10 @@
 //	POST /v1/decode  one frame (h/y/noise_var) or a batch (frames: [...]) in,
 //	                 detections out (JSON, complex as [re,im])
 //	GET  /v1/config  the server's MIMO and scheduler configuration
+//	GET  /v1/policy  the live decode-policy state (mode, pinned policy,
+//	                 adaptive ladder and per-class controller EWMAs)
+//	PUT  /v1/policy  pin a decode policy at runtime ({"policy": "..."}) or
+//	                 resume the controller ({"policy": "adaptive"})
 //	GET  /v1/trace   JSON-lines search traces (?frames=N); subscribing arms tracing
 //	GET  /metrics    scheduler counters, histograms, quality mix (JSON by
 //	                 default, Prometheus text with ?format=prometheus)
@@ -38,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/faultinject"
@@ -63,6 +68,13 @@ type options struct {
 	strategy   string
 	norm       string
 	pprof      bool
+
+	// Decode-policy knobs: a fixed core.DecodePolicy for every batch, or the
+	// adaptive complexity controller (mutually exclusive; both runtime-
+	// overridable via PUT /v1/policy).
+	decodePolicy     string
+	adaptive         bool
+	adaptNodeCeiling float64
 
 	// Resilience knobs (zero values = library defaults).
 	noResilience  bool
@@ -109,13 +121,39 @@ func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	var fixedPolicy *core.DecodePolicy
+	if o.decodePolicy != "" {
+		p, err := core.ParsePolicy(o.decodePolicy)
+		if err != nil {
+			return nil, nil, err
+		}
+		fixedPolicy = &p
+	}
+	var controller *adapt.Controller
+	if o.adaptive {
+		if fixedPolicy != nil {
+			return nil, nil, fmt.Errorf("-adaptive and -decode-policy are mutually exclusive (pin at runtime via PUT /v1/policy instead)")
+		}
+		// The rvd-se rung needs a square-QAM PAM decomposition; gate it the
+		// same way sphere.New does.
+		squareQAM := constellation.New(mod).PAMLevels() != nil
+		controller, err = adapt.NewController(adapt.Config{
+			Levels:      adapt.DefaultLevels(squareQAM, o.nodeBudget),
+			NodeCeiling: o.adaptNodeCeiling,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	cfg := serve.Config{
-		MaxBatch: o.maxBatch,
-		MaxWait:  o.maxWait,
-		Workers:  o.workers,
-		QueueCap: o.queueCap,
-		Policy:   policy,
-		Budget:   core.BatchBudget{Deadline: o.deadline, NodeBudget: o.nodeBudget},
+		MaxBatch:     o.maxBatch,
+		MaxWait:      o.maxWait,
+		Workers:      o.workers,
+		QueueCap:     o.queueCap,
+		Policy:       policy,
+		DecodePolicy: fixedPolicy,
+		Controller:   controller,
+		Budget:       core.BatchBudget{Deadline: o.deadline, NodeBudget: o.nodeBudget},
 		Resilience: serve.ResilienceConfig{
 			Disable:          o.noResilience,
 			FailureThreshold: o.failThreshold,
@@ -187,6 +225,9 @@ func main() {
 	flag.BoolVar(&o.scalarEval, "scalar-eval", true, "use the scalar evaluation path (identical decodes, faster in simulation)")
 	flag.StringVar(&o.strategy, "strategy", "", "tree-search strategy: sorted-dfs (default), plain-dfs, best-fs, bfs, fsd, rvd-se")
 	flag.StringVar(&o.norm, "norm", "", "partial-distance norm: l2 (default) or linf (requires -strategy rvd-se)")
+	flag.StringVar(&o.decodePolicy, "decode-policy", "", "fixed decode policy for every batch, e.g. radius-scale=2,max-nodes=4096,fp16 (empty = backend default)")
+	flag.BoolVar(&o.adaptive, "adaptive", false, "enable the adaptive complexity controller (per-class policy from SNR, node cost, and queue depth)")
+	flag.Float64Var(&o.adaptNodeCeiling, "adapt-node-ceiling", 0, "node-cost EWMA that reads as pressure 1.0 to the controller (0 = default 1048576)")
 	flag.BoolVar(&o.pprof, "pprof", false, "expose Go profiling under /debug/pprof/")
 	flag.BoolVar(&o.noResilience, "no-resilience", false, "disable worker supervision, breakers, and retries (seed behaviour)")
 	flag.IntVar(&o.failThreshold, "breaker-threshold", 0, "consecutive failures tripping a worker's circuit breaker (0 = default 5)")

@@ -1,10 +1,12 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 
@@ -52,6 +54,8 @@ func NewHandler(p *Proxy) http.Handler {
 	h := &handler{p: p, mux: http.NewServeMux()}
 	h.mux.HandleFunc("POST /v1/decode", h.decode)
 	h.mux.HandleFunc("GET /v1/config", h.config)
+	h.mux.HandleFunc("GET /v1/policy", h.policyGet)
+	h.mux.HandleFunc("PUT /v1/policy", h.policyPut)
 	h.mux.HandleFunc("GET /v1/shards", h.listShards)
 	h.mux.HandleFunc("POST /v1/shards", h.join)
 	h.mux.HandleFunc("DELETE /v1/shards", h.leave)
@@ -173,6 +177,131 @@ func (h *handler) config(w http.ResponseWriter, _ *http.Request) {
 		Routing:    h.p.cfg.Routing.String(),
 		Shards:     shards,
 	})
+}
+
+// ShardPolicyResult is one shard's outcome in a proxy policy fan-out:
+// the shard's own /v1/policy body, or the error that kept it from answering.
+type ShardPolicyResult struct {
+	URL    string          `json:"url"`
+	Policy json.RawMessage `json:"policy,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// PolicyFanoutResponse answers proxy GET/PUT /v1/policy: per-shard decode-
+// policy state in ring order. The proxy holds no policy of its own — the
+// DecodePolicy lives on the shards; the proxy is a broadcast/aggregate pane.
+type PolicyFanoutResponse struct {
+	APIVersion string              `json:"api_version"`
+	Shards     []ShardPolicyResult `json:"shards"`
+}
+
+// policyFanout performs one policy exchange (method, optional body) against
+// every shard concurrently and reports per-shard outcomes in ring order,
+// plus whether every shard answered 200.
+func (h *handler) policyFanout(ctx context.Context, method string, body []byte) (PolicyFanoutResponse, bool) {
+	h.p.mu.RLock()
+	ids := append([]string(nil), h.p.ring.Shards()...)
+	shards := make([]*shard, len(ids))
+	for i, id := range ids {
+		shards[i] = h.p.shards[id]
+	}
+	h.p.mu.RUnlock()
+
+	out := PolicyFanoutResponse{APIVersion: serve.APIVersion, Shards: make([]ShardPolicyResult, len(ids))}
+	allOK := true
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := range ids {
+		res := &out.Shards[i]
+		res.URL = ids[i]
+		sh := shards[i]
+		if sh == nil {
+			res.Error = "shard departed"
+			allOK = false
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var rd io.Reader
+			if body != nil {
+				rd = bytes.NewReader(body)
+			}
+			req, err := http.NewRequestWithContext(ctx, method, sh.id+"/v1/policy", rd)
+			if err != nil {
+				res.Error = err.Error()
+				mu.Lock()
+				allOK = false
+				mu.Unlock()
+				return
+			}
+			if body != nil {
+				req.Header.Set("Content-Type", "application/json")
+			}
+			resp, err := sh.httpc.Do(req)
+			if err != nil {
+				res.Error = err.Error()
+				mu.Lock()
+				allOK = false
+				mu.Unlock()
+				return
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			if err != nil {
+				res.Error = err.Error()
+			} else if resp.StatusCode != http.StatusOK {
+				res.Error = fmt.Sprintf("shard answered %d: %s", resp.StatusCode, raw)
+			} else if json.Valid(raw) {
+				res.Policy = json.RawMessage(raw)
+				return
+			} else {
+				res.Error = "shard answered non-JSON body"
+			}
+			mu.Lock()
+			allOK = false
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out, allOK
+}
+
+// policyGet aggregates every shard's live decode-policy state.
+func (h *handler) policyGet(w http.ResponseWriter, r *http.Request) {
+	out, _ := h.policyFanout(r.Context(), http.MethodGet, nil)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// policyPut broadcasts a policy change to every shard. The body is vetted
+// before the fan-out so a malformed spelling fails fast without touching any
+// shard; a partial broadcast answers 502 with per-shard outcomes so the
+// operator can see which shards moved.
+func (h *handler) policyPut(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeBadRequest, err)
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	var upd serve.PolicyUpdate
+	if err := dec.Decode(&upd); err != nil {
+		writeError(w, http.StatusBadRequest, serve.CodeBadRequest, fmt.Errorf("malformed request body: %w", err))
+		return
+	}
+	if upd.Policy != serve.PolicyModeAdaptive {
+		if _, err := core.ParsePolicy(upd.Policy); err != nil {
+			writeError(w, http.StatusBadRequest, serve.CodeInvalidInput, err)
+			return
+		}
+	}
+	out, allOK := h.policyFanout(r.Context(), http.MethodPut, body)
+	code := http.StatusOK
+	if !allOK {
+		code = http.StatusBadGateway
+	}
+	writeJSON(w, code, out)
 }
 
 func (h *handler) listShards(w http.ResponseWriter, _ *http.Request) {

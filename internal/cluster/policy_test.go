@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestPolicyFanout drives the proxy's GET/PUT /v1/policy surface against two
+// real sdserver-stack shards: GET aggregates each shard's own policy state,
+// PUT broadcasts a pin to every shard, a malformed spelling fails fast
+// without touching any shard, and a dead shard turns a broadcast into 502
+// with per-shard outcomes.
+func TestPolicyFanout(t *testing.T) {
+	shards := []*httptest.Server{newRealShard(t), newRealShard(t)}
+	urls := []string{shards[0].URL, shards[1].URL}
+	p, err := New(Config{Shards: urls, Fallback: testFallback})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	front := httptest.NewServer(NewHandler(p))
+	defer front.Close()
+
+	getFanout := func(wantStatus int) PolicyFanoutResponse {
+		t.Helper()
+		resp, err := http.Get(front.URL + "/v1/policy")
+		if err != nil {
+			t.Fatalf("GET /v1/policy: %v", err)
+		}
+		var out PolicyFanoutResponse
+		mustDecode(t, resp, wantStatus, &out)
+		return out
+	}
+	put := func(spec string) (*http.Response, error) {
+		t.Helper()
+		body, _ := json.Marshal(serve.PolicyUpdate{Policy: spec})
+		req, err := http.NewRequest(http.MethodPut, front.URL+"/v1/policy", bytesReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return http.DefaultClient.Do(req)
+	}
+	shardPolicy := func(out PolicyFanoutResponse, i int) serve.PolicyInfo {
+		t.Helper()
+		if out.Shards[i].Error != "" {
+			t.Fatalf("shard %d errored: %s", i, out.Shards[i].Error)
+		}
+		var pi serve.PolicyInfo
+		if err := json.Unmarshal(out.Shards[i].Policy, &pi); err != nil {
+			t.Fatalf("shard %d policy body: %v", i, err)
+		}
+		return pi
+	}
+
+	out := getFanout(http.StatusOK)
+	if len(out.Shards) != 2 {
+		t.Fatalf("fan-out over %d shards: %+v", len(out.Shards), out)
+	}
+	for i := range out.Shards {
+		if pi := shardPolicy(out, i); pi.Mode != serve.PolicyModeDefault {
+			t.Fatalf("shard %d initial mode %q", i, pi.Mode)
+		}
+	}
+
+	// Broadcast a pin; every shard must flip to override.
+	resp, err := put("radius-scale=2")
+	if err != nil {
+		t.Fatalf("PUT /v1/policy: %v", err)
+	}
+	var bc PolicyFanoutResponse
+	mustDecode(t, resp, http.StatusOK, &bc)
+	out = getFanout(http.StatusOK)
+	for i := range out.Shards {
+		pi := shardPolicy(out, i)
+		if pi.Mode != serve.PolicyModeOverride || pi.Policy != "radius-scale=2" {
+			t.Fatalf("shard %d after broadcast: mode %q policy %q", i, pi.Mode, pi.Policy)
+		}
+	}
+
+	// A bad spelling is rejected at the proxy: 400, no shard touched.
+	resp, err = put("norm=linf")
+	if err != nil {
+		t.Fatalf("PUT bad policy: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad PUT status %d", resp.StatusCode)
+	}
+	out = getFanout(http.StatusOK)
+	for i := range out.Shards {
+		if pi := shardPolicy(out, i); pi.Policy != "radius-scale=2" {
+			t.Fatalf("bad PUT mutated shard %d: %q", i, pi.Policy)
+		}
+	}
+
+	// Kill one shard: broadcasts degrade to 502 with per-shard outcomes.
+	shards[1].Close()
+	resp, err = put("linear")
+	if err != nil {
+		t.Fatalf("PUT with dead shard: %v", err)
+	}
+	var partial PolicyFanoutResponse
+	mustDecode(t, resp, http.StatusBadGateway, &partial)
+	live, dead := 0, 0
+	for _, sr := range partial.Shards {
+		if sr.Error != "" {
+			dead++
+		} else {
+			live++
+		}
+	}
+	if live != 1 || dead != 1 {
+		t.Fatalf("partial broadcast outcomes live=%d dead=%d: %+v", live, dead, partial)
+	}
+}

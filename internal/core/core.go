@@ -78,6 +78,12 @@ type Options struct {
 	// benchmark baseline for the shared-preprocessing speedup and as an
 	// escape hatch for callers that mutate channel matrices in place.
 	DisableQRReuse bool
+	// Policy, when non-nil, configures the accelerator's base decoder from a
+	// DecodePolicy instead of the scattered Strategy/Norm/InitialRadiusSq/
+	// MaxNodes fields (which it overrides). A Linear policy is rejected —
+	// pass it per batch via WithPolicy instead; an accelerator always has a
+	// searching base decoder.
+	Policy *DecodePolicy
 }
 
 // Accelerator is an FPGA sphere-decoder instance for one configuration.
@@ -89,6 +95,14 @@ type Accelerator struct {
 	cache   *sphere.PreprocessCache // nil when cross-batch reuse is off
 	workers int                     // resolved batch parallelism (>= 1)
 	reuseQR bool                    // factor each distinct H once per batch
+
+	// basePolicy is the policy the base decoder realizes; WithPolicy calls
+	// that match it reuse a.sd directly. Other policies build (once) and
+	// cache a derived decoder in sdCache — DecodePolicy is comparable, so
+	// the policy value itself is the key.
+	basePolicy DecodePolicy
+	sdMu       sync.RWMutex
+	sdCache    map[DecodePolicy]*sphere.SD
 }
 
 // New builds an accelerator for the given variant, modulation, and MIMO
@@ -106,7 +120,7 @@ func New(v fpga.Variant, mod constellation.Modulation, m, n int, opts Options) (
 		design.Pipelines = opts.Pipelines
 	}
 	cons := constellation.New(mod)
-	sd, err := sphere.New(sphere.Config{
+	cfg := sphere.Config{
 		Const:           cons,
 		Strategy:        opts.Strategy,
 		Norm:            opts.Norm,
@@ -114,7 +128,20 @@ func New(v fpga.Variant, mod constellation.Modulation, m, n int, opts Options) (
 		InitialRadiusSq: opts.InitialRadiusSq,
 		MaxNodes:        opts.MaxNodes,
 		Deadline:        opts.Deadline,
-	})
+	}
+	basePolicy := DecodePolicy{Strategy: opts.Strategy, Norm: opts.Norm, MaxNodes: opts.MaxNodes}
+	if opts.Policy != nil {
+		p := *opts.Policy
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if p.Linear {
+			return nil, errors.New("core: a linear DecodePolicy cannot configure an accelerator; apply it per batch with WithPolicy")
+		}
+		cfg = p.sphereConfig(cfg)
+		basePolicy = p
+	}
+	sd, err := sphere.New(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -129,11 +156,12 @@ func New(v fpga.Variant, mod constellation.Modulation, m, n int, opts Options) (
 		workers = 1
 	}
 	a := &Accelerator{
-		design:  design,
-		sd:      sd,
-		cons:    cons,
-		workers: workers,
-		reuseQR: !opts.DisableQRReuse,
+		design:     design,
+		sd:         sd,
+		cons:       cons,
+		workers:    workers,
+		reuseQR:    !opts.DisableQRReuse,
+		basePolicy: basePolicy,
 	}
 	if a.reuseQR && opts.PreprocessCacheEntries >= 0 {
 		a.cache = sphere.NewPreprocessCache(opts.PreprocessCacheEntries)
@@ -295,20 +323,78 @@ func (r *BatchReport) tallyQuality() {
 	}
 }
 
+// sdFor resolves the decoder a policy selects: the base decoder when the
+// policy matches the accelerator's own, a cached derived decoder otherwise.
+// Derivation can fail on modulation constraints (rvd-se needs square QAM);
+// the failure is stable, so callers surface it as an invalid-input error.
+func (a *Accelerator) sdFor(p DecodePolicy) (*sphere.SD, error) {
+	if p == a.basePolicy {
+		return a.sd, nil
+	}
+	a.sdMu.RLock()
+	sd := a.sdCache[p]
+	a.sdMu.RUnlock()
+	if sd != nil {
+		return sd, nil
+	}
+	sd, err := sphere.New(p.sphereConfig(a.sd.Config()))
+	if err != nil {
+		return nil, err
+	}
+	a.sdMu.Lock()
+	if a.sdCache == nil {
+		a.sdCache = make(map[DecodePolicy]*sphere.SD)
+	}
+	if prior := a.sdCache[p]; prior != nil {
+		sd = prior // lost the build race; keep one instance per policy
+	} else {
+		a.sdCache[p] = sd
+	}
+	a.sdMu.Unlock()
+	return sd, nil
+}
+
+// CheckPolicy reports whether p can serve on this accelerator: it validates
+// the policy and (for searching policies) builds and caches the derived
+// decoder, so a policy that checks clean decodes without further setup cost.
+// Serving front ends call this before accepting a runtime policy override.
+func (a *Accelerator) CheckPolicy(p DecodePolicy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Linear {
+		return nil
+	}
+	_, err := a.sdFor(p)
+	return err
+}
+
 // DecodeBatch decodes a batch of received vectors and produces the hardware
 // report. Inputs must match the accelerator's configuration. Options select
-// the batch mode: WithBudget bounds the whole batch, WithFallback skips the
-// tree search entirely, WithTrace records per-frame search traces and phase
-// spans. With no options this is the plain exhaustive batch decode.
+// the batch mode: WithPolicy retargets the batch's strategy/norm/radius/
+// budget/precision, WithBudget bounds the whole batch, WithFallback skips
+// the tree search entirely, WithTrace records per-frame search traces and
+// phase spans. With no options this is the plain exhaustive batch decode.
 func (a *Accelerator) DecodeBatch(inputs []BatchInput, opts ...BatchOption) (*BatchReport, error) {
 	var o batchConfig
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if o.fallback {
-		return a.decodeBatchFallback(inputs, o.bt)
+	sd := a.sd
+	if o.policy != nil {
+		p := *o.policy
+		if err := p.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidInput, err)
+		}
+		if p.Linear {
+			return a.decodeBatchFallback(inputs, o.bt, o.shedReason)
+		}
+		var err error
+		if sd, err = a.sdFor(p); err != nil {
+			return nil, fmt.Errorf("%w: policy %q: %v", ErrInvalidInput, p.String(), err)
+		}
 	}
-	return a.decodeBatchBudget(inputs, &o)
+	return a.decodeBatchBudget(inputs, &o, sd)
 }
 
 // DecodeBatchBudget is DecodeBatch under a batch-level budget.
@@ -318,10 +404,11 @@ func (a *Accelerator) DecodeBatchBudget(inputs []BatchInput, budget BatchBudget)
 	return a.DecodeBatch(inputs, WithBudget(budget))
 }
 
-// decodeBatchBudget is the searching batch path. Overrunning batches are cut
+// decodeBatchBudget is the searching batch path, running every frame through
+// sd (the base decoder, or a policy-derived one). Overrunning batches are cut
 // at the budget, never late: the report always covers every input, with cut
 // or shed frames flagged via Result.Quality and counted in QualityCounts.
-func (a *Accelerator) decodeBatchBudget(inputs []BatchInput, o *batchConfig) (*BatchReport, error) {
+func (a *Accelerator) decodeBatchBudget(inputs []BatchInput, o *batchConfig, sd *sphere.SD) (*BatchReport, error) {
 	budget := o.budget
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrInvalidInput)
@@ -351,7 +438,7 @@ func (a *Accelerator) decodeBatchBudget(inputs []BatchInput, o *batchConfig) (*B
 		o.bt.Frames = make([]*trace.SearchTrace, len(inputs))
 	}
 	if a.workers > 1 && len(inputs) > 1 && budget.Deadline == 0 && o.bt == nil {
-		return a.decodeBatchParallel(inputs, pres, charge, budget)
+		return a.decodeBatchParallel(inputs, pres, charge, budget, sd)
 	}
 	w := decoder.Workload{M: a.design.M, N: a.design.N, P: a.cons.Size()}
 	rep := &BatchReport{Results: make([]*decoder.Result, 0, len(inputs))}
@@ -367,7 +454,7 @@ func (a *Accelerator) decodeBatchBudget(inputs []BatchInput, o *batchConfig) (*B
 		var err error
 		switch {
 		case shedBy != "":
-			res, err = a.sd.DecodeFallbackPre(pres[i], in.Y, in.NoiseVar, charge[i])
+			res, err = sd.DecodeFallbackPre(pres[i], in.Y, in.NoiseVar, charge[i])
 			if res != nil {
 				res.DegradedBy = shedBy
 			}
@@ -381,7 +468,7 @@ func (a *Accelerator) decodeBatchBudget(inputs []BatchInput, o *batchConfig) (*B
 			remaining := budget.NodeBudget - rep.Counters.NodesExpanded
 			if remaining <= 0 {
 				shedBy = decoder.DegradedByBudget
-				res, err = a.sd.DecodeFallbackPre(pres[i], in.Y, in.NoiseVar, charge[i])
+				res, err = sd.DecodeFallbackPre(pres[i], in.Y, in.NoiseVar, charge[i])
 				if res != nil {
 					res.DegradedBy = shedBy
 				}
@@ -392,28 +479,31 @@ func (a *Accelerator) decodeBatchBudget(inputs []BatchInput, o *batchConfig) (*B
 				}
 				break
 			}
-			cfg := a.sd.Config()
-			cfg.MaxNodes = remaining
+			cfg := sd.Config()
+			// The batch pool caps whatever per-frame budget the policy set.
+			if remaining < cfg.MaxNodes {
+				cfg.MaxNodes = remaining
+			}
 			cfg.HardBudget = false
 			if ft != nil {
 				cfg.Recorder = ft
 			}
-			var sd *sphere.SD
-			if sd, err = sphere.New(cfg); err == nil {
-				res, err = sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
+			var fsd *sphere.SD
+			if fsd, err = sphere.New(cfg); err == nil {
+				res, err = fsd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
 			}
 		case ft != nil:
 			// A recorder is per-frame state, so the traced path builds a
 			// dedicated decoder instead of touching the shared one (which
 			// other goroutines may be using concurrently).
-			cfg := a.sd.Config()
+			cfg := sd.Config()
 			cfg.Recorder = ft
-			var sd *sphere.SD
-			if sd, err = sphere.New(cfg); err == nil {
-				res, err = sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
+			var fsd *sphere.SD
+			if fsd, err = sphere.New(cfg); err == nil {
+				res, err = fsd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
 			}
 		default:
-			res, err = a.sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
+			res, err = sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: batch element %d: %w", i, err)
@@ -492,7 +582,7 @@ func (a *Accelerator) preprocessBatch(inputs []BatchInput) ([]*sphere.Preprocess
 // budget to within the overshoot of the frames in flight when it empties —
 // the same anytime contract, with scheduling-dependent (but always
 // flagged) shed boundaries.
-func (a *Accelerator) decodeBatchParallel(inputs []BatchInput, pres []*sphere.Preprocessed, charge []int64, budget BatchBudget) (*BatchReport, error) {
+func (a *Accelerator) decodeBatchParallel(inputs []BatchInput, pres []*sphere.Preprocessed, charge []int64, budget BatchBudget, sd *sphere.SD) (*BatchReport, error) {
 	workers := a.workers
 	if workers > len(inputs) {
 		workers = len(inputs)
@@ -520,19 +610,21 @@ func (a *Accelerator) decodeBatchParallel(inputs []BatchInput, pres []*sphere.Pr
 				var err error
 				switch {
 				case !useNodes:
-					res, err = a.sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
+					res, err = sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
 				case nodesLeft.Load() <= 0:
-					res, err = a.sd.DecodeFallbackPre(pres[i], in.Y, in.NoiseVar, charge[i])
+					res, err = sd.DecodeFallbackPre(pres[i], in.Y, in.NoiseVar, charge[i])
 					if res != nil {
 						res.DegradedBy = decoder.DegradedByBudget
 					}
 				default:
-					cfg := a.sd.Config()
-					cfg.MaxNodes = nodesLeft.Load()
+					cfg := sd.Config()
+					if remaining := nodesLeft.Load(); remaining < cfg.MaxNodes {
+						cfg.MaxNodes = remaining
+					}
 					cfg.HardBudget = false
-					var sd *sphere.SD
-					if sd, err = sphere.New(cfg); err == nil {
-						res, err = sd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
+					var fsd *sphere.SD
+					if fsd, err = sphere.New(cfg); err == nil {
+						res, err = fsd.DecodePre(pres[i], in.Y, in.NoiseVar, charge[i])
 					}
 					if res != nil {
 						nodesLeft.Add(-res.Counters.NodesExpanded)
@@ -592,10 +684,14 @@ func (a *Accelerator) DecodeBatchFallback(inputs []BatchInput) (*BatchReport, er
 
 // decodeBatchFallback decodes a whole batch with the linear fallback
 // detector and prices it through the pipeline model — the cost a deployment
-// pays for a batch it chose to shed entirely.
-func (a *Accelerator) decodeBatchFallback(inputs []BatchInput, bt *trace.BatchTrace) (*BatchReport, error) {
+// pays for a batch it chose to shed entirely. reason is the DegradedBy tag
+// ("overload" for a queue shed, "policy" for an explicit linear policy).
+func (a *Accelerator) decodeBatchFallback(inputs []BatchInput, bt *trace.BatchTrace, reason string) (*BatchReport, error) {
 	if len(inputs) == 0 {
 		return nil, fmt.Errorf("%w: empty batch", ErrInvalidInput)
+	}
+	if reason == "" {
+		reason = decoder.DegradedByOverload
 	}
 	if bt != nil {
 		bt.Frames = make([]*trace.SearchTrace, len(inputs))
@@ -610,13 +706,13 @@ func (a *Accelerator) decodeBatchFallback(inputs []BatchInput, bt *trace.BatchTr
 		if err != nil {
 			return nil, fmt.Errorf("core: batch element %d: %w", i, err)
 		}
-		res.DegradedBy = decoder.DegradedByOverload
+		res.DegradedBy = reason
 		rep.Results = append(rep.Results, res)
 		rep.Counters.Add(res.Counters)
 		if bt != nil {
 			ft := trace.NewSearchTrace()
 			ft.SearchStart(a.design.M, a.cons.Size(), 0)
-			ft.Degraded(decoder.DegradedByOverload)
+			ft.Degraded(reason)
 			ft.SearchEnd(0, 0)
 			bt.Frames[i] = ft
 		}

@@ -166,7 +166,7 @@ func TestParallelNodeBudget(t *testing.T) {
 	if budget < 1 {
 		budget = 1
 	}
-	rep, err := a.DecodeBatchBudget(inputs, BatchBudget{NodeBudget: budget})
+	rep, err := a.DecodeBatch(inputs, WithBudget(BatchBudget{NodeBudget: budget}))
 	if err != nil {
 		t.Fatal(err)
 	}

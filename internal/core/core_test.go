@@ -273,7 +273,7 @@ func TestDecodeBatchBudgetNodeBudget(t *testing.T) {
 	if budget < 1 {
 		budget = 1
 	}
-	rep, err := a.DecodeBatchBudget(inputs, BatchBudget{NodeBudget: budget})
+	rep, err := a.DecodeBatch(inputs, WithBudget(BatchBudget{NodeBudget: budget}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +309,7 @@ func TestDecodeBatchBudgetDeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A modeled deadline well under the full batch time forces shedding.
-	rep, err := a.DecodeBatchBudget(inputs, BatchBudget{Deadline: full.SimulatedTime / 4})
+	rep, err := a.DecodeBatch(inputs, WithBudget(BatchBudget{Deadline: full.SimulatedTime / 4}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -337,10 +337,10 @@ func TestDecodeBatchBudgetValidation(t *testing.T) {
 	cfg := cfg4()
 	a := MustNew(fpga.Optimized, cfg.Mod, cfg.Tx, cfg.Rx, Options{ScalarEval: true})
 	inputs, _ := batchFor(t, cfg, 6, 2, 303)
-	if _, err := a.DecodeBatchBudget(inputs, BatchBudget{Deadline: -1}); !errors.Is(err, ErrInvalidInput) {
+	if _, err := a.DecodeBatch(inputs, WithBudget(BatchBudget{Deadline: -1})); !errors.Is(err, ErrInvalidInput) {
 		t.Errorf("negative deadline: %v", err)
 	}
-	if _, err := a.DecodeBatchBudget(inputs, BatchBudget{NodeBudget: -5}); !errors.Is(err, ErrInvalidInput) {
+	if _, err := a.DecodeBatch(inputs, WithBudget(BatchBudget{NodeBudget: -5})); !errors.Is(err, ErrInvalidInput) {
 		t.Errorf("negative node budget: %v", err)
 	}
 	bad := inputs[0]
@@ -428,7 +428,7 @@ func TestDecodeFallbackSingle(t *testing.T) {
 func TestDecodeBatchFallback(t *testing.T) {
 	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
 	inputs, _ := batchFor(t, cfg4(), 14, 5, 13)
-	rep, err := acc.DecodeBatchFallback(inputs)
+	rep, err := acc.DecodeBatch(inputs, WithFallback())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -454,7 +454,7 @@ func TestDecodeBatchFallback(t *testing.T) {
 	if rep.SimulatedTime >= full.SimulatedTime {
 		t.Fatalf("fallback batch (%v) not cheaper than full search (%v)", rep.SimulatedTime, full.SimulatedTime)
 	}
-	if _, err := acc.DecodeBatchFallback(nil); !errors.Is(err, ErrInvalidInput) {
+	if _, err := acc.DecodeBatch(nil, WithFallback()); !errors.Is(err, ErrInvalidInput) {
 		t.Fatalf("empty batch: %v", err)
 	}
 }

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sphere"
+)
+
+// DecodePolicy is the single named-options type for everything a deployment
+// can trade between decode quality and decode cost: the traversal strategy,
+// the partial-distance norm, the SNR-scaled initial radius (Dabah et al.'s
+// complexity lever), a per-frame node budget, the half-precision GEMM
+// datapath, and the linear-only escape hatch. One value of this type travels
+// the whole stack — core.Options.Policy configures an accelerator,
+// WithPolicy retargets a single DecodeBatch call, internal/adapt emits one
+// per request class, and sdserver's /v1/policy endpoint round-trips it as
+// the String/ParsePolicy spelling.
+//
+// The zero value is the paper's default pipeline (SortedDFS, ℓ², unbounded
+// radius and budget, full precision). DecodePolicy is comparable, so it can
+// key caches of policy-derived decoder instances.
+type DecodePolicy struct {
+	// Strategy selects the tree traversal; the zero value is SortedDFS.
+	Strategy sphere.Strategy
+	// Norm selects the partial-distance metric; NormLInf requires RealSE.
+	Norm sphere.Norm
+	// Linear skips the tree search entirely: every frame is answered by the
+	// linear fallback detector (best of Babai and sliced ZF). A linear
+	// policy carries no other knobs — Validate rejects combinations.
+	Linear bool
+	// RadiusScale, when positive, starts every search from the SNR-scaled
+	// sphere r² = RadiusScale·N·σ² instead of +Inf. This bounds the
+	// heavy-tail excursions of depth-first search on bad channel draws while
+	// staying exact (an empty sphere retries with a doubled radius). Zero
+	// keeps the strategy's default start.
+	RadiusScale float64
+	// MaxNodes, when positive, caps each frame's tree expansions; exhaustion
+	// degrades the result (anytime contract), never errors. Zero keeps the
+	// decoder default.
+	MaxNodes int64
+	// FP16GEMM routes child evaluation through the binary16-storage GEMM
+	// (internal/quantize): operands quantized to half precision, accumulation
+	// in full precision, outputs rounded back — the paper's proposed
+	// reduced-precision datapath. Implies GEMM evaluation; incompatible with
+	// RealSE, which never multiplies through a batched product.
+	FP16GEMM bool
+}
+
+// strategyNames is the one canonical spelling table for policy strategies.
+// Every name round-trips through sphere.ParseStrategy, so flag parsing,
+// /v1/policy bodies, and sdbench study labels cannot drift apart.
+var strategyNames = map[sphere.Strategy]string{
+	sphere.SortedDFS: "sorted-dfs",
+	sphere.PlainDFS:  "plain-dfs",
+	sphere.BestFS:    "best-fs",
+	sphere.BFS:       "bfs",
+	sphere.FSD:       "fsd",
+	sphere.RealSE:    "rvd-se",
+}
+
+// Validate checks the policy's internal consistency. The rules mirror
+// sphere.New so a policy that validates here builds a decoder there (up to
+// modulation constraints, which depend on the accelerator).
+func (p DecodePolicy) Validate() error {
+	if p.Linear {
+		if p != (DecodePolicy{Linear: true}) {
+			return fmt.Errorf("core: a linear policy carries no other knobs (got %+v)", p)
+		}
+		return nil
+	}
+	if _, ok := strategyNames[p.Strategy]; !ok {
+		return fmt.Errorf("core: unknown strategy %d in policy", int(p.Strategy))
+	}
+	if p.Norm != sphere.NormL2 && p.Norm != sphere.NormLInf {
+		return fmt.Errorf("core: unknown norm %d in policy", int(p.Norm))
+	}
+	if p.Norm == sphere.NormLInf && p.Strategy != sphere.RealSE {
+		return fmt.Errorf("core: norm=linf requires strategy=rvd-se, got %s", strategyNames[p.Strategy])
+	}
+	if p.FP16GEMM && p.Strategy == sphere.RealSE {
+		return fmt.Errorf("core: fp16 requires a GEMM strategy; rvd-se evaluates children analytically")
+	}
+	if p.RadiusScale < 0 || p.RadiusScale != p.RadiusScale {
+		return fmt.Errorf("core: invalid radius-scale %v", p.RadiusScale)
+	}
+	if p.MaxNodes < 0 {
+		return fmt.Errorf("core: invalid max-nodes %d", p.MaxNodes)
+	}
+	return nil
+}
+
+// String renders the canonical spelling: "default", "linear", or a
+// comma-separated key=value list ("strategy=rvd-se,norm=linf",
+// "radius-scale=2,max-nodes=4096,fp16"). ParsePolicy(p.String()) == p for
+// every valid policy.
+func (p DecodePolicy) String() string {
+	if p.Linear {
+		return "linear"
+	}
+	var parts []string
+	if p.Strategy != sphere.SortedDFS {
+		parts = append(parts, "strategy="+strategyNames[p.Strategy])
+	}
+	if p.Norm != sphere.NormL2 {
+		parts = append(parts, "norm="+p.Norm.String())
+	}
+	if p.RadiusScale > 0 {
+		parts = append(parts, "radius-scale="+strconv.FormatFloat(p.RadiusScale, 'g', -1, 64))
+	}
+	if p.MaxNodes > 0 {
+		parts = append(parts, "max-nodes="+strconv.FormatInt(p.MaxNodes, 10))
+	}
+	if p.FP16GEMM {
+		parts = append(parts, "fp16")
+	}
+	if len(parts) == 0 {
+		return "default"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePolicy parses the String spelling: "default" (or ""), "linear", or
+// comma-separated items where each item is key=value (strategy, norm,
+// radius-scale, max-nodes), the bare flag "fp16", or a bare strategy/norm
+// name ("rvd-se", "linf"). Strategy and norm values go through
+// sphere.ParseStrategy / sphere.ParseNorm, so every spelling those accept is
+// accepted here — the one table all binaries share.
+func ParsePolicy(s string) (DecodePolicy, error) {
+	var p DecodePolicy
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "", "default":
+		return p, nil
+	case "linear":
+		p.Linear = true
+		return p, nil
+	}
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, hasEq := strings.Cut(item, "=")
+		key = strings.TrimSpace(strings.ToLower(key))
+		val = strings.TrimSpace(val)
+		if !hasEq {
+			switch key {
+			case "fp16":
+				p.FP16GEMM = true
+				continue
+			case "linear":
+				return p, fmt.Errorf("core: policy %q: linear composes with nothing; spell it alone", s)
+			}
+			if st, err := sphere.ParseStrategy(key); err == nil {
+				p.Strategy = st
+				continue
+			}
+			if n, err := sphere.ParseNorm(key); err == nil {
+				p.Norm = n
+				continue
+			}
+			return p, fmt.Errorf("core: policy %q: unknown item %q", s, item)
+		}
+		switch key {
+		case "strategy":
+			st, err := sphere.ParseStrategy(val)
+			if err != nil {
+				return p, fmt.Errorf("core: policy %q: %w", s, err)
+			}
+			p.Strategy = st
+		case "norm":
+			n, err := sphere.ParseNorm(val)
+			if err != nil {
+				return p, fmt.Errorf("core: policy %q: %w", s, err)
+			}
+			p.Norm = n
+		case "radius-scale":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return p, fmt.Errorf("core: policy %q: radius-scale: %w", s, err)
+			}
+			p.RadiusScale = f
+		case "max-nodes":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("core: policy %q: max-nodes: %w", s, err)
+			}
+			p.MaxNodes = n
+		case "fp16":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return p, fmt.Errorf("core: policy %q: fp16: %w", s, err)
+			}
+			p.FP16GEMM = b
+		default:
+			return p, fmt.Errorf("core: policy %q: unknown key %q", s, key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return DecodePolicy{}, err
+	}
+	return p, nil
+}
+
+// sphereConfig derives the sphere.Config a policy selects, starting from the
+// accelerator's base configuration (which carries the constellation, the
+// eval-path default, and the per-decode deadline). The policy owns every
+// radius/budget knob: base radius settings are cleared, not merged.
+func (p DecodePolicy) sphereConfig(base sphere.Config) sphere.Config {
+	cfg := base
+	cfg.Strategy = p.Strategy
+	cfg.Norm = p.Norm
+	cfg.InitialRadiusSq = 0
+	cfg.BabaiRadius = false
+	cfg.AutoRadius = p.RadiusScale > 0
+	cfg.RadiusScale = p.RadiusScale
+	cfg.MaxNodes = p.MaxNodes // zero resolves to the decoder default
+	cfg.HardBudget = false
+	cfg.FP16GEMM = p.FP16GEMM
+	if p.FP16GEMM {
+		cfg.UseGEMM = true
+	}
+	cfg.Recorder = nil
+	return cfg
+}

@@ -1,0 +1,332 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/decoder"
+	"repro/internal/fpga"
+	"repro/internal/mimo"
+	"repro/internal/sphere"
+)
+
+func TestPolicyStringParseRoundTrip(t *testing.T) {
+	cases := []DecodePolicy{
+		{},
+		{Linear: true},
+		{Strategy: sphere.PlainDFS},
+		{Strategy: sphere.BestFS},
+		{Strategy: sphere.BFS},
+		{Strategy: sphere.FSD},
+		{Strategy: sphere.RealSE},
+		{Strategy: sphere.RealSE, Norm: sphere.NormLInf},
+		{RadiusScale: 2},
+		{RadiusScale: 1.5, MaxNodes: 4096},
+		{FP16GEMM: true},
+		{Strategy: sphere.FSD, RadiusScale: 0.5, MaxNodes: 1 << 20, FP16GEMM: true},
+	}
+	for _, p := range cases {
+		s := p.String()
+		back, err := ParsePolicy(s)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", s, err)
+			continue
+		}
+		if back != p {
+			t.Errorf("round trip %q: got %+v, want %+v", s, back, p)
+		}
+	}
+}
+
+func TestPolicyStringCanonical(t *testing.T) {
+	cases := []struct {
+		p    DecodePolicy
+		want string
+	}{
+		{DecodePolicy{}, "default"},
+		{DecodePolicy{Linear: true}, "linear"},
+		{DecodePolicy{Strategy: sphere.RealSE, Norm: sphere.NormLInf}, "strategy=rvd-se,norm=linf"},
+		{DecodePolicy{RadiusScale: 2, MaxNodes: 100, FP16GEMM: true}, "radius-scale=2,max-nodes=100,fp16"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.p, got, c.want)
+		}
+	}
+}
+
+func TestParsePolicySpellings(t *testing.T) {
+	// The one spelling table: bare names, key=value, aliases from
+	// sphere.ParseStrategy/ParseNorm, whitespace, case.
+	cases := []struct {
+		in   string
+		want DecodePolicy
+	}{
+		{"", DecodePolicy{}},
+		{"default", DecodePolicy{}},
+		{"  Default ", DecodePolicy{}},
+		{"LINEAR", DecodePolicy{Linear: true}},
+		{"rvd-se", DecodePolicy{Strategy: sphere.RealSE}},
+		{"rvd-se,linf", DecodePolicy{Strategy: sphere.RealSE, Norm: sphere.NormLInf}},
+		{"strategy=fsd", DecodePolicy{Strategy: sphere.FSD}},
+		{"fp16", DecodePolicy{FP16GEMM: true}},
+		{"fp16=false", DecodePolicy{}},
+		{" radius-scale=2 , max-nodes=512 ", DecodePolicy{RadiusScale: 2, MaxNodes: 512}},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParsePolicy(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParsePolicyRejects(t *testing.T) {
+	bad := []string{
+		"strategy=warp",          // unknown strategy
+		"norm=l7",                // unknown norm
+		"linf",                   // linf without rvd-se
+		"norm=linf,strategy=fsd", // ditto, spelled out
+		"rvd-se,fp16",            // fp16 needs a GEMM strategy
+		"linear,fp16",            // linear composes with nothing
+		"radius-scale=-1",
+		"radius-scale=nan",
+		"max-nodes=-5",
+		"max-nodes=many",
+		"turbo",       // unknown bare item
+		"speed=11",    // unknown key
+		"fp16=maybe ", // unparsable bool
+	}
+	for _, s := range bad {
+		if _, err := ParsePolicy(s); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", s)
+		}
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := (DecodePolicy{}).Validate(); err != nil {
+		t.Fatalf("zero policy invalid: %v", err)
+	}
+	if err := (DecodePolicy{Linear: true}).Validate(); err != nil {
+		t.Fatalf("linear policy invalid: %v", err)
+	}
+	bad := []DecodePolicy{
+		{Linear: true, MaxNodes: 5},
+		{Linear: true, FP16GEMM: true},
+		{Strategy: sphere.Strategy(99)},
+		{Norm: sphere.Norm(7)},
+		{Norm: sphere.NormLInf},
+		{Strategy: sphere.RealSE, FP16GEMM: true},
+		{RadiusScale: -2},
+		{MaxNodes: -1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", p)
+		}
+	}
+}
+
+func TestOptionsPolicyConfiguresAccelerator(t *testing.T) {
+	p := DecodePolicy{Strategy: sphere.FSD, RadiusScale: 2}
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{Policy: &p})
+	if !strings.Contains(acc.sd.Name(), "FSD") {
+		t.Fatalf("policy strategy not applied: %s", acc.sd.Name())
+	}
+	inputs, _ := batchFor(t, cfg4(), 14, 4, 11)
+	rep, err := acc.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("%d results", len(rep.Results))
+	}
+}
+
+func TestOptionsPolicyRejectsLinear(t *testing.T) {
+	p := DecodePolicy{Linear: true}
+	if _, err := New(fpga.Optimized, constellation.QAM4, 6, 6, Options{Policy: &p}); err == nil {
+		t.Fatal("linear Options.Policy accepted")
+	}
+}
+
+func TestWithPolicyRetargetsBatch(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	inputs, sent := batchFor(t, cfg4(), 14, 12, 21)
+
+	base, err := acc.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := acc.DecodeBatch(inputs, WithPolicy(DecodePolicy{Strategy: sphere.RealSE, Norm: sphere.NormLInf}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both paths are exact-capable at 14 dB; symbol decisions must agree with
+	// the exhaustive base decode on (nearly) every frame.
+	diff := 0
+	for i := range base.Results {
+		for j := range sent[i] {
+			if base.Results[i].SymbolIdx[j] != pol.Results[i].SymbolIdx[j] {
+				diff++
+			}
+		}
+	}
+	if diff > 2 {
+		t.Fatalf("%d symbol decisions differ between base and rvd-se/linf policy", diff)
+	}
+}
+
+func TestWithPolicyLinearFallsBack(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	inputs, _ := batchFor(t, cfg4(), 14, 6, 31)
+	rep, err := acc.DecodeBatch(inputs, WithPolicy(DecodePolicy{Linear: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range rep.Results {
+		if res.Quality != decoder.QualityFallback {
+			t.Fatalf("frame %d: quality %v, want fallback", i, res.Quality)
+		}
+		if res.DegradedBy != decoder.DegradedByPolicy {
+			t.Fatalf("frame %d: degraded-by %q, want %q", i, res.DegradedBy, decoder.DegradedByPolicy)
+		}
+	}
+}
+
+func TestWithFallbackKeepsOverloadReason(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	inputs, _ := batchFor(t, cfg4(), 14, 3, 41)
+	rep, err := acc.DecodeBatch(inputs, WithFallback())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range rep.Results {
+		if res.DegradedBy != decoder.DegradedByOverload {
+			t.Fatalf("frame %d: degraded-by %q, want %q", i, res.DegradedBy, decoder.DegradedByOverload)
+		}
+	}
+}
+
+func TestWithPolicyInvalidPolicyErrors(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	inputs, _ := batchFor(t, cfg4(), 14, 2, 51)
+	if _, err := acc.DecodeBatch(inputs, WithPolicy(DecodePolicy{Norm: sphere.NormLInf})); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+	// Modulation-dependent rejection: RealSE needs square QAM; 8-PSK-like
+	// constellations have no PAM decomposition. QAM4/16/64 are all square
+	// here, so exercise the error path with fp16 on rvd-se via CheckPolicy
+	// below instead; DecodeBatch must also reject a policy the accelerator
+	// cannot build.
+	if _, err := acc.DecodeBatch(inputs, WithPolicy(DecodePolicy{Strategy: sphere.RealSE, FP16GEMM: true})); err == nil {
+		t.Fatal("unbuildable policy accepted")
+	}
+}
+
+func TestPolicyDecoderCache(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	p := DecodePolicy{RadiusScale: 2}
+	sd1, err := acc.sdFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd2, err := acc.sdFor(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd1 != sd2 {
+		t.Fatal("repeated policy rebuilt the decoder")
+	}
+	// The base policy resolves to the base decoder, no cache entry.
+	sdBase, err := acc.sdFor(acc.basePolicy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sdBase != acc.sd {
+		t.Fatal("base policy did not resolve to the base decoder")
+	}
+	if _, ok := acc.sdCache[acc.basePolicy]; ok {
+		t.Fatal("base policy cached redundantly")
+	}
+}
+
+func TestCheckPolicy(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	ok := []DecodePolicy{
+		{},
+		{Linear: true},
+		{Strategy: sphere.RealSE, Norm: sphere.NormLInf},
+		{RadiusScale: 2, MaxNodes: 1000, FP16GEMM: true},
+	}
+	for _, p := range ok {
+		if err := acc.CheckPolicy(p); err != nil {
+			t.Errorf("CheckPolicy(%s): %v", p, err)
+		}
+	}
+	bad := []DecodePolicy{
+		{Norm: sphere.NormLInf},
+		{Strategy: sphere.RealSE, FP16GEMM: true},
+		{MaxNodes: -1},
+	}
+	for _, p := range bad {
+		if err := acc.CheckPolicy(p); err == nil {
+			t.Errorf("CheckPolicy(%+v) accepted", p)
+		}
+	}
+}
+
+func TestBatchBudgetCapsPolicyBudget(t *testing.T) {
+	// A policy with a generous per-frame budget under a tiny batch pool:
+	// the pool wins, frames degrade with the budget's reason.
+	acc := MustNew(fpga.Optimized, constellation.QAM16, 8, 8, Options{ScalarEval: true})
+	inputs, _ := batchFor(t, mimo.Config{Tx: 8, Rx: 8, Mod: constellation.QAM16}, 4, 8, 61)
+	rep, err := acc.DecodeBatch(inputs,
+		WithPolicy(DecodePolicy{MaxNodes: 1 << 40}),
+		WithBudget(BatchBudget{NodeBudget: 50}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded := 0
+	for _, res := range rep.Results {
+		if res.Quality != decoder.QualityExact {
+			degraded++
+		}
+	}
+	if degraded == 0 {
+		t.Fatal("tiny batch pool under a huge policy budget degraded nothing")
+	}
+}
+
+func TestFP16PolicyDecodesExactly(t *testing.T) {
+	// The half-precision GEMM datapath is a different arithmetic, not a
+	// different algorithm: at high SNR it must still decode cleanly and
+	// report exact quality.
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{})
+	inputs, sent := batchFor(t, cfg4(), 14, 20, 71)
+	rep, err := acc.DecodeBatch(inputs, WithPolicy(DecodePolicy{FP16GEMM: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i, res := range rep.Results {
+		if res.Quality != decoder.QualityExact {
+			t.Fatalf("frame %d: quality %v", i, res.Quality)
+		}
+		for j := range sent[i] {
+			if res.SymbolIdx[j] != sent[i][j] {
+				errs++
+			}
+		}
+	}
+	if errs > 2 {
+		t.Fatalf("%d symbol errors at 14 dB through fp16 GEMM", errs)
+	}
+}

@@ -161,6 +161,10 @@ const (
 	// serving scheduler whose admission queue was full (internal/serve's
 	// shed-to-linear overload policy).
 	DegradedByOverload = "overload"
+	// DegradedByPolicy marks a decode routed to the linear path by an
+	// explicit DecodePolicy (a controller or operator chose linear-only
+	// service) rather than by an exhausted budget or a full queue.
+	DegradedByPolicy = "policy"
 )
 
 // Result is the outcome of one detection.

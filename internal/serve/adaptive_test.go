@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/sphere"
+)
+
+func mustNewRequest(t *testing.T, method, url string, body []byte) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return req
+}
+
+func submitAll(t *testing.T, s *Scheduler, n int, seed uint64) []*Response {
+	t.Helper()
+	out := make([]*Response, n)
+	for i, in := range genInputs(t, n, seed) {
+		resp, err := s.Submit(context.Background(), in)
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		out[i] = resp
+	}
+	return out
+}
+
+func TestFixedDecodePolicy(t *testing.T) {
+	p := core.DecodePolicy{RadiusScale: 2}
+	s := newScheduler(t, Config{DecodePolicy: &p})
+	if got := s.PolicyMode(); got != PolicyModeFixed {
+		t.Fatalf("mode %q", got)
+	}
+	submitAll(t, s, 8, 1)
+	st := s.Stats()
+	if st.PolicyDecisions[PolicyModeFixed] == 0 {
+		t.Fatalf("no fixed policy decisions recorded: %+v", st.PolicyDecisions)
+	}
+	if st.QualityCounts["exact"] != 8 {
+		t.Fatalf("quality %+v", st.QualityCounts)
+	}
+}
+
+func TestNewRejectsUnservableFixedPolicy(t *testing.T) {
+	p := core.DecodePolicy{Norm: sphere.NormLInf} // linf without rvd-se
+	if _, err := New(Config{DecodePolicy: &p}, newFactory(t)); err == nil {
+		t.Fatal("unservable fixed policy accepted")
+	}
+}
+
+func TestAdaptivePolicyDecidesAndObserves(t *testing.T) {
+	ctrl := adapt.MustNewController(adapt.Config{Levels: adapt.DefaultLevels(true, 4096)})
+	s := newScheduler(t, Config{Controller: ctrl})
+	if got := s.PolicyMode(); got != PolicyModeAdaptive {
+		t.Fatalf("mode %q", got)
+	}
+	submitAll(t, s, 8, 2)
+	st := s.Stats()
+	adaptive := uint64(0)
+	for src, n := range st.PolicyDecisions {
+		if strings.HasPrefix(src, PolicyModeAdaptive+":") {
+			adaptive += n
+		}
+	}
+	if adaptive == 0 {
+		t.Fatalf("no adaptive decisions: %+v", st.PolicyDecisions)
+	}
+	// The feedback loop must have populated the controller's default class.
+	snaps := ctrl.Snapshot()
+	if len(snaps) != 1 || snaps[0].Class != "default" {
+		t.Fatalf("controller classes %+v", snaps)
+	}
+	if snaps[0].Quality["exact"] != 8 {
+		t.Fatalf("controller quality histogram %+v", snaps[0].Quality)
+	}
+	if snaps[0].EWMANodes <= 0 {
+		t.Fatal("node EWMA never fed")
+	}
+}
+
+func TestSetPolicyOverrideAndResume(t *testing.T) {
+	ctrl := adapt.MustNewController(adapt.Config{Levels: adapt.DefaultLevels(true, 4096)})
+	s := newScheduler(t, Config{Controller: ctrl})
+
+	if err := s.SetPolicy("linear"); err != nil {
+		t.Fatalf("SetPolicy(linear): %v", err)
+	}
+	if got := s.PolicyMode(); got != PolicyModeOverride {
+		t.Fatalf("mode %q after pin", got)
+	}
+	for _, resp := range submitAll(t, s, 4, 3) {
+		if resp.Result.Quality != decoder.QualityFallback {
+			t.Fatalf("pinned linear served quality %v", resp.Result.Quality)
+		}
+		if resp.Result.DegradedBy != decoder.DegradedByPolicy {
+			t.Fatalf("pinned linear degraded-by %q", resp.Result.DegradedBy)
+		}
+	}
+
+	if err := s.SetPolicy("adaptive"); err != nil {
+		t.Fatalf("SetPolicy(adaptive): %v", err)
+	}
+	if got := s.PolicyMode(); got != PolicyModeAdaptive {
+		t.Fatalf("mode %q after resume", got)
+	}
+	for _, resp := range submitAll(t, s, 4, 4) {
+		if resp.Result.Quality != decoder.QualityExact {
+			t.Fatalf("resumed adaptive served quality %v", resp.Result.Quality)
+		}
+	}
+}
+
+func TestSetPolicyRejectsBadSpecs(t *testing.T) {
+	s := newScheduler(t, Config{}) // no controller
+	if err := s.SetPolicy("adaptive"); err == nil {
+		t.Fatal("adaptive accepted without a controller")
+	}
+	if err := s.SetPolicy("strategy=warp"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if err := s.SetPolicy("norm=linf"); err == nil {
+		t.Fatal("invalid combination accepted")
+	}
+}
+
+func TestPolicyHTTPRoundTrip(t *testing.T) {
+	ctrl := adapt.MustNewController(adapt.Config{Levels: adapt.DefaultLevels(true, 4096)})
+	s := newScheduler(t, Config{Controller: ctrl})
+	h := NewHandler(s, testMIMO.Tx, testMIMO.Rx, "qam4")
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	if body := get("/v1/policy"); body["mode"] != "adaptive" {
+		t.Fatalf("GET /v1/policy mode %v", body["mode"])
+	} else if levels, ok := body["levels"].([]any); !ok || len(levels) == 0 {
+		t.Fatalf("GET /v1/policy carries no ladder: %v", body["levels"])
+	}
+	if body := get("/v1/config"); body["policy_mode"] != "adaptive" || body["decode_policy"] != "adaptive" {
+		t.Fatalf("config echo %v / %v", body["policy_mode"], body["decode_policy"])
+	}
+
+	// PUT a pin, confirm the echo flips everywhere.
+	req, _ := json.Marshal(PolicyUpdate{Policy: "radius-scale=2,fp16"})
+	hreq, err := srv.Client().Do(mustNewRequest(t, "PUT", srv.URL+"/v1/policy", req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hreq.Body.Close()
+	if hreq.StatusCode != 200 {
+		t.Fatalf("PUT /v1/policy: %d", hreq.StatusCode)
+	}
+	var after PolicyInfo
+	if err := json.NewDecoder(hreq.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Mode != PolicyModeOverride || after.Policy != "radius-scale=2,fp16" {
+		t.Fatalf("PUT echo %+v", after)
+	}
+	if body := get("/v1/config"); body["policy_mode"] != "override" || body["decode_policy"] != "radius-scale=2,fp16" {
+		t.Fatalf("config echo after PUT: %v / %v", body["policy_mode"], body["decode_policy"])
+	}
+
+	// A bad spelling is a 400 and changes nothing.
+	bad, _ := json.Marshal(PolicyUpdate{Policy: "norm=linf"})
+	resp, err := srv.Client().Do(mustNewRequest(t, "PUT", srv.URL+"/v1/policy", bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad PUT status %d", resp.StatusCode)
+	}
+	if body := get("/v1/policy"); body["policy"] != "radius-scale=2,fp16" {
+		t.Fatalf("bad PUT mutated state: %v", body["policy"])
+	}
+}

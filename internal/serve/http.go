@@ -96,6 +96,11 @@ type ConfigInfo struct {
 	// strategy plumbing or runs the default engine unannotated.
 	Strategy string `json:"strategy,omitempty"`
 	Norm     string `json:"norm,omitempty"`
+	// DecodePolicy/PolicyMode echo the live decode-policy state (see
+	// GET /v1/policy): the effective policy spelling and which authority is
+	// choosing it ("default", "fixed", "adaptive", "override").
+	DecodePolicy string `json:"decode_policy"`
+	PolicyMode   string `json:"policy_mode"`
 }
 
 // Machine-readable error codes carried by errorBody.Code.
@@ -146,6 +151,8 @@ func NewHandler(s *Scheduler, tx, rx int, mod string, opts ...HandlerOption) htt
 	}
 	h.mux.HandleFunc("POST /v1/decode", h.decode)
 	h.mux.HandleFunc("GET /v1/config", h.config)
+	h.mux.HandleFunc("GET /v1/policy", h.policyGet)
+	h.mux.HandleFunc("PUT /v1/policy", h.policyPut)
 	h.mux.HandleFunc("GET /v1/trace", h.trace)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
@@ -364,11 +371,42 @@ func (h *handler) config(w http.ResponseWriter, _ *http.Request) {
 		Workers:    cfg.Workers,
 		QueueCap:   cfg.QueueCap,
 		Policy:     cfg.Policy.String(),
-		BudgetNS:   int64(cfg.Budget.Deadline),
-		NodeBudget: cfg.Budget.NodeBudget,
-		Strategy:   h.strategy,
-		Norm:       h.norm,
+		BudgetNS:     int64(cfg.Budget.Deadline),
+		NodeBudget:   cfg.Budget.NodeBudget,
+		Strategy:     h.strategy,
+		Norm:         h.norm,
+		DecodePolicy: h.s.PolicyInfo().Policy,
+		PolicyMode:   h.s.PolicyMode(),
 	})
+}
+
+// PolicyUpdate is the JSON body of PUT /v1/policy: a core.ParsePolicy
+// spelling to pin, or "adaptive" to resume the configured controller.
+type PolicyUpdate struct {
+	Policy string `json:"policy"`
+}
+
+// policyGet serves the live decode-policy state: deciding authority, pinned
+// spelling, adaptive ladder, per-class controller EWMAs, decision counts.
+func (h *handler) policyGet(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, h.s.PolicyInfo())
+}
+
+// policyPut applies a runtime policy change and answers with the resulting
+// state, so a caller can confirm the override took effect in one round trip.
+func (h *handler) policyPut(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var upd PolicyUpdate
+	if err := dec.Decode(&upd); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Errorf("malformed request body: %w", err))
+		return
+	}
+	if err := h.s.SetPolicy(upd.Policy); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidInput, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h.s.PolicyInfo())
 }
 
 // metrics serves the stats snapshot: JSON by default (what sdload and the

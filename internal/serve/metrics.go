@@ -161,6 +161,11 @@ type Stats struct {
 	Health              string `json:"health"`
 	LastPanic           string `json:"last_panic,omitempty"`
 
+	// PolicyDecisions counts dispatched batches by the authority that picked
+	// their DecodePolicy: "default" (none applied), "fixed" (Config),
+	// "override" (SetPolicy pin), or "adaptive:<level>" (controller rung).
+	PolicyDecisions map[string]uint64 `json:"policy_decisions,omitempty"`
+
 	// Scenarios splits completed frames by the workload label attached at
 	// SubmitScenario: quality mix plus the QR-cache traffic the label's
 	// batches generated. Batches that coalesced frames from different
@@ -255,6 +260,10 @@ type metrics struct {
 	fallbackByReason     map[string]uint64
 	lastPanic            string
 
+	// policyDecisions counts dispatched batches by the authority that chose
+	// their DecodePolicy ("default", "fixed", "override", "adaptive:<level>").
+	policyDecisions map[string]uint64
+
 	// scenarios splits labeled traffic (guarded by mu; lazily allocated).
 	scenarios map[string]*scenarioAgg
 }
@@ -280,6 +289,7 @@ func newMetrics(maxBatch int) *metrics {
 		batchSizes:       make([]uint64, maxBatch),
 		quality:          make(map[string]uint64, 3),
 		fallbackByReason: make(map[string]uint64, 4),
+		policyDecisions:  make(map[string]uint64, 4),
 		baseMallocs:      ms.Mallocs,
 	}
 }
@@ -329,6 +339,12 @@ func (m *metrics) snapshot(queueDepth int, draining bool) Stats {
 		st.FallbackByReason = make(map[string]uint64, len(m.fallbackByReason))
 		for k, v := range m.fallbackByReason {
 			st.FallbackByReason[k] = v
+		}
+	}
+	if len(m.policyDecisions) > 0 {
+		st.PolicyDecisions = make(map[string]uint64, len(m.policyDecisions))
+		for k, v := range m.policyDecisions {
+			st.PolicyDecisions[k] = v
 		}
 	}
 	if len(m.scenarios) > 0 {

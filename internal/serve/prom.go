@@ -57,6 +57,18 @@ func WritePrometheus(w io.Writer, st Stats) {
 		fmt.Fprintf(w, "mimosd_fallback_frames_total{reason=%q} %d\n", r, st.FallbackByReason[r])
 	}
 
+	if len(st.PolicyDecisions) > 0 {
+		fmt.Fprintf(w, "# HELP mimosd_policy_decisions_total Dispatched batches by the authority that chose their decode policy.\n# TYPE mimosd_policy_decisions_total counter\n")
+		sources := make([]string, 0, len(st.PolicyDecisions))
+		for s := range st.PolicyDecisions {
+			sources = append(sources, s)
+		}
+		sort.Strings(sources)
+		for _, s := range sources {
+			fmt.Fprintf(w, "mimosd_policy_decisions_total{source=%q} %d\n", s, st.PolicyDecisions[s])
+		}
+	}
+
 	fmt.Fprintf(w, "# HELP mimosd_health Current health state (1 on the active state's line).\n# TYPE mimosd_health gauge\n")
 	for _, h := range []string{"ok", "degraded", "draining", "unhealthy"} {
 		v := 0

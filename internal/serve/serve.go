@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adapt"
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/decoder"
@@ -57,6 +58,16 @@ type Config struct {
 	// shared node budget — core.WithBudget semantics). Overruns degrade
 	// quality, they never drop frames.
 	Budget core.BatchBudget
+	// DecodePolicy, when non-nil, is the fixed core.DecodePolicy every
+	// dispatched batch decodes under (core.WithPolicy semantics). Runtime
+	// overrides via SetPolicy / PUT /v1/policy shadow it; nil decodes with
+	// the backend's base configuration.
+	DecodePolicy *core.DecodePolicy
+	// Controller, when non-nil, turns on adaptive complexity control: the
+	// scheduler consults it at batch-formation time for the policy of each
+	// batch's request class and feeds decode outcomes back into it. A
+	// SetPolicy override suspends it; SetPolicy("adaptive") resumes it.
+	Controller *adapt.Controller
 	// Resilience tunes worker supervision, the per-backend circuit breaker,
 	// retries, and hedging. The zero value enables supervision with
 	// defaults; set Resilience.Disable for the unsupervised seed behaviour.
@@ -165,6 +176,14 @@ type Scheduler struct {
 	m      *metrics
 	traces *trace.Hub
 
+	// Decode-policy state: a runtime override (PUT /v1/policy) shadows both
+	// the adaptive controller and the configured fixed policy; polAdaptive
+	// tracks whether the controller is consulted (suspended while overridden,
+	// resumed by SetPolicy("adaptive")). See adaptive.go.
+	polMu       sync.RWMutex
+	polOverride *core.DecodePolicy
+	polAdaptive bool
+
 	// epoch and instance identify this scheduler incarnation: epoch is
 	// monotonic across restarts on one host (creation time in unix nanos),
 	// instance is a unique id. A cluster front end compares both across
@@ -228,9 +247,15 @@ func New(cfg Config, factory func() (Backend, error)) (*Scheduler, error) {
 		epoch:       time.Now().UnixNano(),
 	}
 	s.instance = newInstanceID(s.epoch)
+	s.polAdaptive = cfg.Controller != nil
 	var err error
 	if s.validator, err = factory(); err != nil {
 		return nil, fmt.Errorf("serve: backend factory: %w", err)
+	}
+	if cfg.DecodePolicy != nil {
+		if err := s.checkPolicy(*cfg.DecodePolicy); err != nil {
+			return nil, fmt.Errorf("serve: decode policy: %w", err)
+		}
 	}
 	if s.shedBE, err = factory(); err != nil {
 		return nil, fmt.Errorf("serve: backend factory: %w", err)
@@ -576,8 +601,15 @@ func (s *Scheduler) runBatch(w *workerCtl, b batch) {
 	if hasCache {
 		cacheH0, cacheM0 = cs.PreprocessCacheStats()
 	}
+	// Consult the decode-policy state at batch-formation time: the adaptive
+	// controller (keyed by the batch's request class), a runtime override, or
+	// the configured fixed policy. polSource labels the decision in metrics.
+	pol, polSource := s.policyFor(classOf(label))
 	var bt *trace.BatchTrace
 	opts := []core.BatchOption{core.WithBudget(s.cfg.Budget)}
+	if pol != nil {
+		opts = append(opts, core.WithPolicy(*pol))
+	}
 	if s.traces.Active() {
 		bt = trace.NewBatchTrace()
 		oldest := reqs[0].enq
@@ -601,6 +633,7 @@ func (s *Scheduler) runBatch(w *workerCtl, b batch) {
 
 	s.m.mu.Lock()
 	s.m.inFlight -= len(reqs)
+	s.m.policyDecisions[polSource]++
 	s.m.retries += uint64(oc.retries)
 	s.m.wedges += uint64(oc.wedges)
 	if oc.hedged {
@@ -647,6 +680,17 @@ func (s *Scheduler) runBatch(w *workerCtl, b batch) {
 		}
 	}
 	s.m.mu.Unlock()
+
+	// Close the control loop: feed each frame's SNR estimate, search cost,
+	// and quality back into the controller. Observations flow even while an
+	// override suspends the controller's decisions, so it resumes with warm
+	// EWMAs instead of stale ones.
+	if ctrl := s.cfg.Controller; ctrl != nil && err == nil {
+		for i, res := range rep.Results {
+			ctrl.Observe(classOf(reqs[i].scenario),
+				adapt.SNREstimateDB(inputs[i].NoiseVar), res.Counters.NodesExpanded, res.Quality)
+		}
+	}
 
 	respondStart := time.Now()
 	abandoned := make([]bool, len(reqs))

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cmatrix"
 	"repro/internal/decoder"
+	"repro/internal/quantize"
 	"repro/internal/trace"
 )
 
@@ -307,7 +308,11 @@ func (s *search) evalChildrenGEMM(k int, parentPD float64, row []complex128) {
 	a := reshape(&s.gemmA, 1, depth)
 	copy(a.Row(0), row[k:s.m])
 	w := reshape(&s.gemmW, 1, s.p)
-	cmatrix.GEMM(1, a, state, 0, w)
+	if s.cfg.FP16GEMM {
+		quantize.GEMM(1, a, state, 0, w)
+	} else {
+		cmatrix.GEMM(1, a, state, 0, w)
+	}
 	s.counters.GEMMCalls++
 	s.counters.GEMMFlops += cmatrix.FlopsGEMM(1, s.p, depth)
 	s.counters.RegularLoads += int64(depth) * int64(s.p+1)
@@ -667,7 +672,11 @@ func (s *search) evalFrontierGEMM(frontier []int32, depth int) ([]float64, error
 	a := reshape(&s.gemmA, 1, blockH)
 	copy(a.Row(0), s.r.Row(k)[k:s.m])
 	w := reshape(&s.gemmW, 1, batch)
-	cmatrix.GEMM(1, a, state, 0, w)
+	if s.cfg.FP16GEMM {
+		quantize.GEMM(1, a, state, 0, w)
+	} else {
+		cmatrix.GEMM(1, a, state, 0, w)
+	}
 	s.counters.GEMMCalls++
 	s.counters.GEMMFlops += cmatrix.FlopsGEMM(1, batch, blockH)
 	s.counters.RegularLoads += int64(blockH) * int64(batch+1)

@@ -187,6 +187,14 @@ type Config struct {
 	// incremental scalar recursion (the memory-bound BLAS-2 profile).
 	// Both produce identical PDs up to floating-point rounding.
 	UseGEMM bool
+	// FP16GEMM routes the batched child evaluation through the binary16
+	// GEMM emulation (internal/quantize): operands stored at half precision,
+	// accumulation in full precision, products rounded back to FP16 — the
+	// paper's proposed reduced-precision datapath. Implies UseGEMM (New
+	// forces it on) and is invalid with RealSE, whose analytic enumeration
+	// never calls a batched product. Reachable only through a
+	// core.DecodePolicy; no Options field exposes it directly.
+	FP16GEMM bool
 	// KBest, when positive, caps the BFS frontier at the K lowest-PD nodes
 	// per level (the K-best variant GPU implementations use to bound
 	// memory). Zero means unlimited.
@@ -296,6 +304,13 @@ func New(cfg Config) (*SD, error) {
 	if cfg.Norm == NormLInf && cfg.Strategy != RealSE {
 		return nil, fmt.Errorf("sphere: NormLInf requires the RealSE strategy, got %v", cfg.Strategy)
 	}
+	if cfg.FP16GEMM {
+		if cfg.Strategy == RealSE {
+			return nil, fmt.Errorf("sphere: FP16GEMM requires a GEMM strategy, got %v", cfg.Strategy)
+		}
+		// The half-precision datapath only exists in the batched product.
+		cfg.UseGEMM = true
+	}
 	d := &SD{cfg: cfg}
 	if cfg.Strategy == RealSE {
 		// UseGEMM does not apply: SE enumeration evaluates children through
@@ -334,6 +349,9 @@ func (d *SD) Name() string {
 	}
 	if d.cfg.UseGEMM {
 		n += "+GEMM"
+	}
+	if d.cfg.FP16GEMM {
+		n += "+FP16"
 	}
 	return n
 }

@@ -619,9 +619,23 @@ func (a *Accelerator) batchResultFrom(rep *core.BatchReport, name string) *Batch
 	return out
 }
 
+// DecodePolicy is the unified quality/cost control surface of the decode
+// stack: strategy, norm, SNR-scaled initial radius, per-frame node budget,
+// half-precision GEMM, or the linear-only escape hatch, as one comparable
+// value. See core.DecodePolicy for field semantics; ParsePolicy and
+// DecodePolicy.String round-trip the one canonical spelling shared by the
+// sdserver flag, /v1/policy bodies, and sdbench study labels.
+type DecodePolicy = core.DecodePolicy
+
+// ParsePolicy parses the canonical DecodePolicy spelling ("default",
+// "linear", "strategy=rvd-se,norm=linf", "radius-scale=2,max-nodes=4096,fp16",
+// ...).
+func ParsePolicy(s string) (DecodePolicy, error) { return core.ParsePolicy(s) }
+
 // batchOptions is the resolved option set of one DecodeBatch call.
 type batchOptions struct {
 	budget   BatchBudget
+	policy   *DecodePolicy
 	fallback bool
 }
 
@@ -630,16 +644,26 @@ type BatchOption func(*batchOptions)
 
 // WithBudget bounds the whole batch: exhaustion never drops frames —
 // overrunning work is cut at the budget and remaining links are shed to the
-// linear fallback detector, each flagged via Detection.Quality.
+// linear fallback detector, each flagged via Detection.Quality. Composes
+// with WithPolicy: the batch budget caps whatever per-frame budget the
+// policy sets.
 func WithBudget(b BatchBudget) BatchOption {
 	return func(o *batchOptions) { o.budget = b }
+}
+
+// WithPolicy decodes the batch under p instead of the accelerator's base
+// configuration (core.WithPolicy semantics): a Linear policy skips the tree
+// search entirely, everything else selects a policy-derived decoder, cached
+// per accelerator.
+func WithPolicy(p DecodePolicy) BatchOption {
+	return func(o *batchOptions) { o.policy = &p }
 }
 
 // WithFallback decodes the batch with the linear fallback detector only (no
 // tree search): every Detection carries Quality "fallback". This is the
 // decision an overloaded deployment emits when it sheds a batch rather than
 // queue it — linear-decoder cost, metric never worse than sliced ZF. It
-// overrides WithBudget.
+// overrides WithBudget and WithPolicy.
 func WithFallback() BatchOption {
 	return func(o *batchOptions) { o.fallback = true }
 }
@@ -660,15 +684,22 @@ func (a *Accelerator) DecodeBatch(links []*Link, opts ...BatchOption) (*BatchRes
 	}
 	var coreOpts []core.BatchOption
 	name := a.inner.Name()
-	switch {
-	case o.fallback:
+	if o.fallback {
 		coreOpts = append(coreOpts, core.WithFallback())
 		name += "+fallback"
-	case o.budget != (BatchBudget{}):
-		coreOpts = append(coreOpts, core.WithBudget(core.BatchBudget{
-			Deadline:   o.budget.Deadline,
-			NodeBudget: o.budget.NodeBudget,
-		}))
+	} else {
+		if o.policy != nil {
+			coreOpts = append(coreOpts, core.WithPolicy(*o.policy))
+			if o.policy.Linear {
+				name += "+fallback"
+			}
+		}
+		if o.budget != (BatchBudget{}) {
+			coreOpts = append(coreOpts, core.WithBudget(core.BatchBudget{
+				Deadline:   o.budget.Deadline,
+				NodeBudget: o.budget.NodeBudget,
+			}))
+		}
 	}
 	rep, err := a.inner.DecodeBatch(inputs, coreOpts...)
 	if err != nil {

@@ -373,7 +373,7 @@ func TestAcceleratorDecodeBatchBudget(t *testing.T) {
 	if budget < 1 {
 		budget = 1
 	}
-	rep, err := acc.DecodeBatchBudget(links, BatchBudget{NodeBudget: budget})
+	rep, err := acc.DecodeBatch(links, WithBudget(BatchBudget{NodeBudget: budget}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -406,7 +406,7 @@ func TestAcceleratorDecodeBatchBudget(t *testing.T) {
 		t.Fatal("no individual detection flagged")
 	}
 	// Batch deadline path via the facade.
-	dl, err := acc.DecodeBatchBudget(links, BatchBudget{Deadline: full.SimulatedTime / 4})
+	dl, err := acc.DecodeBatch(links, WithBudget(BatchBudget{Deadline: full.SimulatedTime / 4}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,7 +455,7 @@ func TestAcceleratorDecodeBatchFallback(t *testing.T) {
 		}
 		links = append(links, l)
 	}
-	res, err := acc.DecodeBatchFallback(links)
+	res, err := acc.DecodeBatch(links, WithFallback())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,7 +473,7 @@ func TestAcceleratorDecodeBatchFallback(t *testing.T) {
 			t.Fatalf("detection %d: %d symbols", i, len(d.SymbolIndices))
 		}
 	}
-	if _, err := acc.DecodeBatchFallback(nil); !errors.Is(err, ErrInvalidInput) {
+	if _, err := acc.DecodeBatch(nil, WithFallback()); !errors.Is(err, ErrInvalidInput) {
 		t.Fatalf("empty batch: %v", err)
 	}
 }
