@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race race-serve race-cluster serve-smoke trace-smoke chaos-smoke cluster-smoke ofdm-smoke rvd-smoke adapt-smoke fuzz bench bench-check
+.PHONY: check vet build test race race-serve race-cluster serve-smoke trace-smoke chaos-smoke cluster-smoke ofdm-smoke rvd-smoke adapt-smoke sdc-smoke fuzz bench bench-check
 
 # check is the gate: static analysis, build, a single-iteration pass over
 # every benchmark (so the bench harness itself cannot rot), the serving
@@ -10,9 +10,10 @@ GO ?= go
 # detector, then the observability path, the single-node self-healing
 # contract, the cluster failover contract, the OFDM workload tier's
 # SLO and cache-delta gates, the real-valued SE hot-path gate
-# (speedup, comparator-free, zero-alloc, servable), and the adaptive
-# complexity controller's A/B gate end to end.
-check: vet build bench-check race-serve race-cluster race trace-smoke chaos-smoke cluster-smoke ofdm-smoke rvd-smoke adapt-smoke
+# (speedup, comparator-free, zero-alloc, servable), the adaptive
+# complexity controller's A/B gate end to end, and the silent-data-
+# corruption defense under seeded fault injection.
+check: vet build bench-check race-serve race-cluster race trace-smoke chaos-smoke cluster-smoke ofdm-smoke rvd-smoke adapt-smoke sdc-smoke
 
 vet:
 	$(GO) vet ./...
@@ -83,10 +84,21 @@ rvd-smoke:
 adapt-smoke:
 	bash scripts/adapt_smoke.sh
 
+# sdc-smoke boots sdserver with the integrity stack armed (-verify-gemm,
+# verify-on-hit QR cache, re-encode audit) plus a seeded bit-flip plan
+# (-sdc-chaos) and asserts the SDC defense contract: every landed GEMM
+# and metric corruption detected, corrupted cache entries evicted, zero
+# corrupted frames served as exact (static-dense SLOs hold through the
+# storm), and health recovering once the plan clears.
+sdc-smoke:
+	bash scripts/sdc_smoke.sh
+
 # bench regenerates BENCH_decode.json: the software hot-path figures
-# (ns/decode, allocs/op, nodes/s, and the QR-reuse batch speedup).
+# (ns/decode, allocs/op, nodes/s, the QR-reuse batch speedup, and the
+# integrity-stack overheads, with the ABFT GEMM-verify overhead on the
+# single-frame hot path gated at 15%).
 bench:
-	$(GO) run ./cmd/sdbench -out BENCH_decode.json
+	$(GO) run ./cmd/sdbench -out BENCH_decode.json -gate-sdc-overhead 0.15
 
 # bench-check smoke-runs every benchmark for one iteration — a compile-and-
 # liveness gate for the bench harness, cheap enough to sit inside check.

@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/decoder"
 	"repro/internal/fpga"
+	"repro/internal/integrity"
 	"repro/internal/ofdm"
 	"repro/internal/ofdm/scenario"
 	"repro/internal/rng"
@@ -97,6 +98,28 @@ type Report struct {
 	OFDMIncoherent   GridStats `json:"ofdm_grid_incoherent"`
 	// OFDMCoherentSpeedup is incoherent ns-per-frame / coherent ns-per-frame.
 	OFDMCoherentSpeedup float64 `json:"ofdm_grid_coherent_speedup"`
+
+	// SDC-defense overhead study: the single-frame hot path with every
+	// integrity defense armed — ABFT verification of each GEMM product,
+	// verify-on-hit checksumming of the cached QR factorization, and the
+	// serving layer's re-encode result audit — priced against the unguarded
+	// path measured side-by-side in this run. The total is what a hardened
+	// deployment pays per exactly-decoded frame.
+	SDCWorkload  string     `json:"sdc_workload,omitempty"`
+	SDCUnguarded FrameStats `json:"sdc_unguarded_single_frame"`
+	// SDCGuarded is the same decode with ABFT GEMM verification on.
+	SDCGuarded FrameStats `json:"sdc_guarded_single_frame"`
+	// SDCOverheadGEMMVerify is guarded ns / unguarded ns − 1.
+	SDCOverheadGEMMVerify float64 `json:"sdc_overhead_gemm_verify_fraction"`
+	// SDCOverheadCacheVerifyNs prices one verify-on-hit checksum pass over
+	// the cached QR factorization (paid once per cache hit, not per node).
+	SDCOverheadCacheVerifyNs float64 `json:"sdc_overhead_cache_verify_ns"`
+	// SDCOverheadAuditNs prices one re-encode result audit (‖y−H·ŝ‖
+	// recomputation plus the metric cross-check, paid once per frame).
+	SDCOverheadAuditNs float64 `json:"sdc_overhead_audit_ns"`
+	// SDCOverheadTotal is the all-in fraction: (guarded decode + cache
+	// verify + audit) / unguarded decode − 1.
+	SDCOverheadTotal float64 `json:"sdc_overhead_total_fraction"`
 
 	// Adaptive-ladder study: every rung of the default adapt ladder decodes
 	// the same seeded batch, so the cost/quality trade-off the controller
@@ -173,18 +196,18 @@ func coherenceBlock(seed uint64, n, m, frames int, snrDB float64) []core.BatchIn
 func parseStudies(spec string) (map[string]bool, error) {
 	sel := map[string]bool{}
 	if spec == "" || spec == "all" {
-		for _, s := range []string{"single", "batch", "ofdm", "rvd", "ber", "adapt"} {
+		for _, s := range []string{"single", "batch", "ofdm", "rvd", "ber", "adapt", "sdc"} {
 			sel[s] = true
 		}
 		return sel, nil
 	}
 	for _, s := range strings.Split(spec, ",") {
 		switch s = strings.TrimSpace(s); s {
-		case "single", "batch", "ofdm", "rvd", "ber", "adapt":
+		case "single", "batch", "ofdm", "rvd", "ber", "adapt", "sdc":
 			sel[s] = true
 		case "":
 		default:
-			return nil, fmt.Errorf("unknown study %q (want single, batch, ofdm, rvd, ber, adapt, or all)", s)
+			return nil, fmt.Errorf("unknown study %q (want single, batch, ofdm, rvd, ber, adapt, sdc, or all)", s)
 		}
 	}
 	if len(sel) == 0 {
@@ -195,9 +218,11 @@ func parseStudies(spec string) (map[string]bool, error) {
 
 func main() {
 	out := flag.String("out", "BENCH_decode.json", "output path")
-	study := flag.String("study", "all", "comma-separated studies: single,batch,ofdm,rvd,ber (or all)")
+	study := flag.String("study", "all", "comma-separated studies: single,batch,ofdm,rvd,ber,adapt,sdc (or all)")
 	gateRVD := flag.Float64("gate-rvd-speedup", 0,
 		"exit 1 unless the rvd study beats complex SortedDFS+GEMM by at least this factor with zero comparator work and zero allocs (0 = no gate)")
+	gateSDC := flag.Float64("gate-sdc-overhead", 0,
+		"exit 1 if ABFT GEMM verification slows the single-frame hot path by more than this fraction (0 = no gate)")
 	flag.Parse()
 
 	sel, err := parseStudies(*study)
@@ -206,6 +231,9 @@ func main() {
 	}
 	if *gateRVD > 0 {
 		sel["rvd"] = true
+	}
+	if *gateSDC > 0 {
+		sel["sdc"] = true
 	}
 
 	rep := Report{
@@ -364,6 +392,48 @@ func main() {
 		}
 	}
 
+	// --- SDC-defense overhead ----------------------------------------------
+	if sel["sdc"] {
+		rep.SDCWorkload = "10x10 4-QAM, 8 dB, SortedDFS+GEMM: ABFT + cache verify + re-encode audit vs unguarded in-run"
+		rep.SDCUnguarded = stats(benchPre(d))
+		g := sphere.MustNew(sphere.Config{Const: c, Strategy: sphere.SortedDFS, UseGEMM: true, VerifyGEMM: true})
+		rep.SDCGuarded = stats(benchPre(g))
+		if rep.SDCUnguarded.NsPerOp > 0 {
+			rep.SDCOverheadGEMMVerify = rep.SDCGuarded.NsPerOp/rep.SDCUnguarded.NsPerOp - 1
+		}
+
+		// One verify-on-hit checksum pass over the cached factorization.
+		vres := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !pre.VerifyIntegrity() {
+					b.Fatal("pristine factorization failed verification")
+				}
+			}
+		})
+		rep.SDCOverheadCacheVerifyNs = float64(vres.NsPerOp())
+
+		// One re-encode audit of the decode answer, with the serving tier's
+		// reusable scratch vector (steady-state: zero allocations).
+		if err := g.DecodePreInto(pre, single.Y, single.NoiseVar, 0, &res); err != nil {
+			fatal(err)
+		}
+		scratch := make(cmatrix.Vector, single.H.Rows)
+		ares := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				audit := integrity.ReEncode(single.H, single.Y, res.Symbols, scratch)
+				if err := audit.CheckExactL2(res.Metric); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.SDCOverheadAuditNs = float64(ares.NsPerOp())
+
+		if rep.SDCUnguarded.NsPerOp > 0 {
+			rep.SDCOverheadTotal = (rep.SDCGuarded.NsPerOp+rep.SDCOverheadCacheVerifyNs+rep.SDCOverheadAuditNs)/rep.SDCUnguarded.NsPerOp - 1
+		}
+	}
+
 	// --- Adaptive ladder ----------------------------------------------------
 	if sel["adapt"] {
 		rep.AdaptWorkload = "128 independent 4x4 4-QAM frames, 10 dB, per-rung DecodePolicy"
@@ -449,6 +519,11 @@ func main() {
 				l.Name, l.Policy, l.NsPerFrame, l.ExactFraction, l.NodesPerFrame)
 		}
 	}
+	if sel["sdc"] {
+		fmt.Printf("sdc: unguarded %.0f ns/op, gemm-verified %.0f ns/op (%+.1f%%); cache verify %.0f ns, audit %.0f ns -> all-in %+.1f%%\n",
+			rep.SDCUnguarded.NsPerOp, rep.SDCGuarded.NsPerOp, 100*rep.SDCOverheadGEMMVerify,
+			rep.SDCOverheadCacheVerifyNs, rep.SDCOverheadAuditNs, 100*rep.SDCOverheadTotal)
+	}
 
 	if *gateRVD > 0 {
 		var fails []string
@@ -467,6 +542,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("rvd gate: PASS (>= %.2fx, no comparator work, zero allocs)\n", *gateRVD)
+	}
+	if *gateSDC > 0 {
+		// The gate bounds the defense that rides the search itself: ABFT
+		// verification of every GEMM product. The cache re-verify and the
+		// re-encode audit are per-frame constants outside the search loop,
+		// priced above but amortized differently (per cache hit, per served
+		// frame), so they inform rather than gate.
+		if rep.SDCOverheadGEMMVerify > *gateSDC {
+			fmt.Fprintf(os.Stderr, "sdbench: sdc gate FAILED: ABFT GEMM-verify overhead %.1f%% > %.1f%% of the single-frame hot path\n",
+				100*rep.SDCOverheadGEMMVerify, 100**gateSDC)
+			os.Exit(1)
+		}
+		fmt.Printf("sdc gate: PASS (gemm-verify overhead %+.1f%% <= %.1f%%)\n", 100*rep.SDCOverheadGEMMVerify, 100**gateSDC)
 	}
 }
 

@@ -88,17 +88,30 @@ type options struct {
 	hedgeBudget   float64
 	wedgeTimeout  time.Duration
 
+	// Integrity knobs: ABFT verification of the GEMM hot path, the serving
+	// layer's re-encode audit (on by default), and the per-worker quarantine
+	// allowance for detected silent corruptions.
+	verifyGEMM    bool
+	noAudit       bool
+	sdcQuarantine int
+
 	// chaos is a faultinject.ParseServePlan spec wrapping every worker
 	// backend with injected faults ("" = no chaos).
 	chaos     string
 	chaosSeed uint64
+	// sdcChaos is a faultinject.ParseSDCPlan spec injecting *silent* data
+	// corruptions (poisoned QR cache entries, GEMM bit flips, corrupted
+	// metrics) that must be caught by the integrity defenses, not crash.
+	sdcChaos string
 }
 
 // buildServer turns options into a running scheduler plus its HTTP handler.
-func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
+// The returned SDC plan is non-nil when -sdc-chaos is armed, so the exit path
+// can log ground-truth landed-injection counts for the smoke harness.
+func buildServer(o options) (*serve.Scheduler, http.Handler, *faultinject.SDCPlan, error) {
 	mod, err := constellation.ParseModulation(o.mod)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var v fpga.Variant
 	switch o.variant {
@@ -107,32 +120,32 @@ func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
 	case "optimized":
 		v = fpga.Optimized
 	default:
-		return nil, nil, fmt.Errorf("unknown variant %q (want baseline or optimized)", o.variant)
+		return nil, nil, nil, fmt.Errorf("unknown variant %q (want baseline or optimized)", o.variant)
 	}
 	policy, err := serve.ParseOverloadPolicy(o.policy)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	strat, err := sphere.ParseStrategy(o.strategy)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	norm, err := sphere.ParseNorm(o.norm)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var fixedPolicy *core.DecodePolicy
 	if o.decodePolicy != "" {
 		p, err := core.ParsePolicy(o.decodePolicy)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		fixedPolicy = &p
 	}
 	var controller *adapt.Controller
 	if o.adaptive {
 		if fixedPolicy != nil {
-			return nil, nil, fmt.Errorf("-adaptive and -decode-policy are mutually exclusive (pin at runtime via PUT /v1/policy instead)")
+			return nil, nil, nil, fmt.Errorf("-adaptive and -decode-policy are mutually exclusive (pin at runtime via PUT /v1/policy instead)")
 		}
 		// The rvd-se rung needs a square-QAM PAM decomposition; gate it the
 		// same way sphere.New does.
@@ -142,7 +155,7 @@ func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
 			NodeCeiling: o.adaptNodeCeiling,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
 	cfg := serve.Config{
@@ -155,29 +168,53 @@ func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
 		Controller:   controller,
 		Budget:       core.BatchBudget{Deadline: o.deadline, NodeBudget: o.nodeBudget},
 		Resilience: serve.ResilienceConfig{
-			Disable:          o.noResilience,
-			FailureThreshold: o.failThreshold,
-			CooldownBase:     o.cooldownBase,
-			CooldownCap:      o.cooldownCap,
-			MaxRestarts:      o.maxRestarts,
-			RetryMax:         o.retryMax,
-			RetryBudget:      o.retryBudget,
-			HedgeAfter:       o.hedgeAfter,
-			HedgeBudget:      o.hedgeBudget,
-			WedgeTimeout:     o.wedgeTimeout,
+			Disable:            o.noResilience,
+			FailureThreshold:   o.failThreshold,
+			CooldownBase:       o.cooldownBase,
+			CooldownCap:        o.cooldownCap,
+			MaxRestarts:        o.maxRestarts,
+			RetryMax:           o.retryMax,
+			RetryBudget:        o.retryBudget,
+			HedgeAfter:         o.hedgeAfter,
+			HedgeBudget:        o.hedgeBudget,
+			WedgeTimeout:       o.wedgeTimeout,
+			DisableAudit:       o.noAudit,
+			SDCQuarantineLimit: o.sdcQuarantine,
 		},
 	}
-	if o.chaos != "" {
-		spec := o.chaos
+	var sdcPlan *faultinject.SDCPlan
+	if o.sdcChaos != "" {
+		spec := o.sdcChaos
 		if o.chaosSeed != 0 {
 			spec = fmt.Sprintf("%s,seed=%d", spec, o.chaosSeed)
 		}
-		plan, err := faultinject.ParseServePlan(spec)
+		sdcPlan, err = faultinject.ParseSDCPlan(spec)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
+		}
+	}
+	if o.chaos != "" || sdcPlan != nil {
+		var servePlan *faultinject.ServePlan
+		if o.chaos != "" {
+			spec := o.chaos
+			if o.chaosSeed != 0 {
+				spec = fmt.Sprintf("%s,seed=%d", spec, o.chaosSeed)
+			}
+			servePlan, err = faultinject.ParseServePlan(spec)
+			if err != nil {
+				return nil, nil, nil, err
+			}
 		}
 		cfg.WrapWorker = func(_ int, be serve.Backend) serve.Backend {
-			return serve.NewFaultyBackend(be, plan)
+			// SDC wraps innermost so its fault hooks reach the accelerator
+			// directly; crash/latency chaos layers on top.
+			if sdcPlan != nil {
+				be = serve.NewSDCBackend(be, sdcPlan)
+			}
+			if servePlan != nil {
+				be = serve.NewFaultyBackend(be, servePlan)
+			}
+			return be
 		}
 	}
 	factory := func() (serve.Backend, error) {
@@ -185,11 +222,12 @@ func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
 			ScalarEval: o.scalarEval,
 			Strategy:   strat,
 			Norm:       norm,
+			VerifyGEMM: o.verifyGEMM,
 		})
 	}
 	s, err := serve.New(cfg, factory)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	handler := serve.NewHandler(s, o.tx, o.rx, mod.String(),
 		serve.WithDecodeInfo(strat.String(), norm.String()))
@@ -203,7 +241,7 @@ func buildServer(o options) (*serve.Scheduler, http.Handler, error) {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
 	}
-	return s, handler, nil
+	return s, handler, sdcPlan, nil
 }
 
 func main() {
@@ -239,11 +277,15 @@ func main() {
 	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "abandon a primary decode running this long and answer from the fallback (0 = off)")
 	flag.Float64Var(&o.hedgeBudget, "hedge-budget", 0, "hedge tokens earned per successful batch (0 = default 0.1)")
 	flag.DurationVar(&o.wedgeTimeout, "wedge-timeout", 0, "declare a primary decode wedged after this long (0 = off)")
+	flag.BoolVar(&o.verifyGEMM, "verify-gemm", false, "ABFT-verify every GEMM product against Huang-Abraham checksums (implies the GEMM evaluation path)")
+	flag.BoolVar(&o.noAudit, "no-audit", false, "disable the serving layer's re-encode result audit (on by default)")
+	flag.IntVar(&o.sdcQuarantine, "sdc-quarantine", 0, "detected silent corruptions per worker per window before quarantine (0 = default 8)")
 	flag.StringVar(&o.chaos, "chaos", "", "chaos plan for worker backends, e.g. panic=0.05,error=0.1,clear-after=500 (empty = off)")
-	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "seed override for the -chaos roll stream")
+	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0, "seed override for the -chaos and -sdc-chaos roll streams")
+	flag.StringVar(&o.sdcChaos, "sdc-chaos", "", "silent-corruption plan for worker backends, e.g. qr=0.05,gemm=0.1,metric=0.05,clear-after=400 (empty = off)")
 	flag.Parse()
 
-	sched, handler, err := buildServer(o)
+	sched, handler, sdcPlan, err := buildServer(o)
 	if err != nil {
 		log.Fatalf("sdserver: %v", err)
 	}
@@ -273,7 +315,7 @@ func main() {
 	<-done
 
 	st := sched.Stats()
-	summary, _ := json.Marshal(map[string]any{
+	fields := map[string]any{
 		"completed": st.Completed, "rejected": st.Rejected, "shed": st.Shed,
 		"batches": st.Batches, "mean_batch_size": st.MeanBatchSize,
 		"quality": st.QualityCounts, "health": st.Health,
@@ -281,6 +323,18 @@ func main() {
 		"retries": st.Retries, "hedges": st.Hedges, "wedges": st.Wedges,
 		"abandoned_frames": st.Abandoned, "breaker_opened": st.BreakerOpened,
 		"breaker_reclosed": st.BreakerReclosed, "fallback_by_reason": st.FallbackByReason,
-	})
+		"sdc_detected": st.SDCDetected, "sdc_recovered": st.SDCRecovered,
+		"qr_cache_sdc_evictions": st.QRCacheSDCEvictions,
+	}
+	if sdcPlan != nil {
+		// Ground truth for the smoke harness: how many injections actually
+		// landed, by site, so it can check detected >= landed-reachable.
+		fields["sdc_landed"] = map[string]int64{
+			"qr-cache":     sdcPlan.LandedCount(faultinject.SDCQR),
+			"gemm":         sdcPlan.LandedCount(faultinject.SDCGEMM),
+			"metric-audit": sdcPlan.LandedCount(faultinject.SDCMetric),
+		}
+	}
+	summary, _ := json.Marshal(fields)
 	log.Printf("sdserver: final stats %s", summary)
 }

@@ -18,7 +18,7 @@ func defaultOptions() options {
 }
 
 func TestBuildServer(t *testing.T) {
-	sched, handler, err := buildServer(defaultOptions())
+	sched, handler, _, err := buildServer(defaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,6 +43,32 @@ func TestBuildServer(t *testing.T) {
 	}
 }
 
+// TestBuildServerSDCWiring pins the integrity plumbing: -sdc-chaos hands the
+// plan back for the exit-stats log, and the hardened server still serves.
+func TestBuildServerSDCWiring(t *testing.T) {
+	o := defaultOptions()
+	o.verifyGEMM = true
+	o.sdcChaos = "metric=0.5"
+	o.chaosSeed = 11
+	sched, _, plan, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sched.Close()
+	if plan == nil {
+		t.Fatal("armed -sdc-chaos returned a nil plan")
+	}
+
+	if sched2, _, plan2, err := buildServer(defaultOptions()); err != nil {
+		t.Fatal(err)
+	} else {
+		sched2.Close()
+		if plan2 != nil {
+			t.Fatal("plan returned without -sdc-chaos")
+		}
+	}
+}
+
 func TestBuildServerRejectsBadOptions(t *testing.T) {
 	cases := []func(*options){
 		func(o *options) { o.mod = "8psk" },
@@ -50,11 +76,13 @@ func TestBuildServerRejectsBadOptions(t *testing.T) {
 		func(o *options) { o.policy = "pray" },
 		func(o *options) { o.tx = 0 },
 		func(o *options) { o.deadline = -time.Second },
+		func(o *options) { o.sdcChaos = "qr=2" },
+		func(o *options) { o.sdcChaos = "voltage=0.1" },
 	}
 	for i, mutate := range cases {
 		o := defaultOptions()
 		mutate(&o)
-		sched, _, err := buildServer(o)
+		sched, _, _, err := buildServer(o)
 		if err == nil {
 			sched.Close()
 			t.Errorf("case %d: bad options accepted: %+v", i, o)

@@ -67,6 +67,9 @@ type HealthReport struct {
 	// UncoveredReplicaSets counts distinct ring ownership sets with no live
 	// member — non-zero exactly when the state is partitioned or unhealthy.
 	UncoveredReplicaSets int `json:"uncovered_replica_sets,omitempty"`
+	// SDCDetected totals the shards' own silent-corruption detections (as of
+	// their last probes) — the fleet-wide view of failing datapaths.
+	SDCDetected uint64 `json:"sdc_detected"`
 }
 
 // Health grades the cluster. The partition test walks the ring's vnode
@@ -89,6 +92,7 @@ func (p *Proxy) Health() (State, HealthReport) {
 	for _, sh := range shards {
 		in := sh.info()
 		rep.Shards = append(rep.Shards, in)
+		rep.SDCDetected += in.SDCDetected
 		isLive := in.State == ShardLive.String()
 		if isLive {
 			live[in.URL] = true

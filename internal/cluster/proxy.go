@@ -654,27 +654,30 @@ type DecodeResponse struct {
 
 // Stats is the proxy's /metrics snapshot.
 type Stats struct {
-	Health               string  `json:"health"`
-	Routing              string  `json:"routing"`
-	Replicas             int     `json:"replicas"`
-	RingShards           int     `json:"ring_shards"`
-	UncoveredReplicaSets int     `json:"uncovered_replica_sets"`
-	Submitted            uint64  `json:"submitted"`
-	OK                   uint64  `json:"ok"`
-	Invalid              uint64  `json:"invalid"`
-	Failed               uint64  `json:"failed"`
-	Failovers            uint64  `json:"failovers"`
-	Hedges               uint64  `json:"hedges"`
-	HedgeWins            uint64  `json:"hedge_wins"`
-	HedgeWaste           uint64  `json:"hedge_waste"`
-	HedgeDenied          uint64  `json:"hedge_denied"`
-	Fallbacks            uint64  `json:"fallbacks"`
-	BreakerSkips         uint64  `json:"breaker_skips"`
-	DarkSkips            uint64  `json:"dark_skips"`
-	RestartsDetected     uint64  `json:"restarts_detected"`
-	Joins                uint64  `json:"joins"`
-	Leaves               uint64  `json:"leaves"`
-	LastRebalanceMoved   float64 `json:"last_rebalance_moved"`
+	Health               string `json:"health"`
+	Routing              string `json:"routing"`
+	Replicas             int    `json:"replicas"`
+	RingShards           int    `json:"ring_shards"`
+	UncoveredReplicaSets int    `json:"uncovered_replica_sets"`
+	Submitted            uint64 `json:"submitted"`
+	OK                   uint64 `json:"ok"`
+	Invalid              uint64 `json:"invalid"`
+	Failed               uint64 `json:"failed"`
+	Failovers            uint64 `json:"failovers"`
+	Hedges               uint64 `json:"hedges"`
+	HedgeWins            uint64 `json:"hedge_wins"`
+	HedgeWaste           uint64 `json:"hedge_waste"`
+	HedgeDenied          uint64 `json:"hedge_denied"`
+	Fallbacks            uint64 `json:"fallbacks"`
+	BreakerSkips         uint64 `json:"breaker_skips"`
+	DarkSkips            uint64 `json:"dark_skips"`
+	RestartsDetected     uint64 `json:"restarts_detected"`
+	// SDCDetected totals the shards' silent-corruption detections as of
+	// their last health probes (per-shard breakdown rides on Shards).
+	SDCDetected        uint64  `json:"sdc_detected"`
+	Joins              uint64  `json:"joins"`
+	Leaves             uint64  `json:"leaves"`
+	LastRebalanceMoved float64 `json:"last_rebalance_moved"`
 	// Scenarios splits routed traffic by the workload label frames carried
 	// (serve.DecodeRequest.Scenario). Absent until the first labeled frame.
 	Scenarios map[string]ScenarioStats `json:"scenarios,omitempty"`
@@ -730,6 +733,7 @@ func (p *Proxy) Stats() Stats {
 		BreakerSkips:         p.m.breakerSkips.Load(),
 		DarkSkips:            p.m.darkSkips.Load(),
 		RestartsDetected:     p.m.restartsDetected.Load(),
+		SDCDetected:          rep.SDCDetected,
 		Joins:                p.m.joins.Load(),
 		Leaves:               p.m.leaves.Load(),
 		LastRebalanceMoved:   math.Float64frombits(p.m.lastDisruption.Load()),

@@ -61,6 +61,12 @@ type shard struct {
 	epoch       int64
 	instance    string
 	health      string // shard's own /healthz status ("" until first probe)
+	// sdcDetected mirrors the shard's cumulative silent-data-corruption
+	// detections as of the last probe — worker-attributed ABFT repairs and
+	// failed re-encode audits, from serve.HealthReport.SDCDetected. A shard
+	// that keeps detecting corruption is a shard whose hardware is failing,
+	// and the cluster surface is where an operator sees it fleet-wide.
+	sdcDetected uint64
 
 	// Request ledger (atomics: touched on the decode hot path).
 	requests     atomic.Uint64 // decode attempts sent
@@ -141,6 +147,7 @@ func (sh *shard) absorbProbe(rep *serve.HealthReport, err error, darkAfter int) 
 		sh.state = ShardLive
 	}
 	sh.health = rep.Status
+	sh.sdcDetected = rep.SDCDetected
 	if sh.instance != "" && (sh.instance != rep.Instance || sh.epoch != rep.Epoch) {
 		restarted = true
 		sh.restartsSeen.Add(1)
@@ -256,12 +263,16 @@ type ShardInfo struct {
 	MaxLatencyNS     int64  `json:"max_latency_ns"`
 	BreakerOpened    uint64 `json:"breaker_opened"`
 	BreakerReclosed  uint64 `json:"breaker_reclosed"`
+	// SDCDetected is the shard's own cumulative silent-corruption detection
+	// count as of its last health probe.
+	SDCDetected uint64 `json:"sdc_detected"`
 }
 
 // info snapshots the shard for reports.
 func (sh *shard) info() ShardInfo {
 	sh.mu.Lock()
 	state, health, epoch, instance := sh.state, sh.health, sh.epoch, sh.instance
+	sdc := sh.sdcDetected
 	sh.mu.Unlock()
 	bc := sh.breaker.Counters()
 	in := ShardInfo{
@@ -284,6 +295,7 @@ func (sh *shard) info() ShardInfo {
 		MaxLatencyNS:     sh.latMaxNS.Load(),
 		BreakerOpened:    bc.Opened,
 		BreakerReclosed:  bc.Reclosed,
+		SDCDetected:      sdc,
 	}
 	if in.OK > 0 {
 		in.MeanLatencyNS = sh.latSumNS.Load() / int64(in.OK)

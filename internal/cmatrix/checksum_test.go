@@ -1,0 +1,49 @@
+package cmatrix
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPayloadChecksumDetectsSingleBitFlips flips every bit position of one
+// element and asserts the checksum changes — the single-word-corruption
+// guarantee the QR cache's verify-on-hit leans on. NaN/Inf-producing flips
+// (exponent bits) must be detected like any other.
+func TestPayloadChecksumDetectsSingleBitFlips(t *testing.T) {
+	m := NewMatrix(3, 4)
+	for i := range m.Data {
+		m.Data[i] = complex(1.25+float64(i), -0.5*float64(i))
+	}
+	base := m.PayloadChecksum()
+	for bit := 0; bit < 64; bit++ {
+		orig := m.Data[5]
+		m.Data[5] = complex(math.Float64frombits(math.Float64bits(real(orig))^(1<<bit)), imag(orig))
+		if m.PayloadChecksum() == base {
+			t.Fatalf("bit %d flip undetected", bit)
+		}
+		m.Data[5] = orig
+	}
+	if m.PayloadChecksum() != base {
+		t.Fatal("checksum not restored after undoing flips")
+	}
+}
+
+func TestPayloadChecksumVectorAndFloats(t *testing.T) {
+	v := Vector{1 + 2i, 3 - 4i}
+	base := v.PayloadChecksum()
+	v[1] = complex(real(v[1]), math.NaN())
+	if v.PayloadChecksum() == base {
+		t.Fatal("NaN write undetected in vector checksum")
+	}
+
+	f := []float64{0.5, -1.5, 2.25}
+	fb := Float64Checksum(f)
+	f[0] = math.Float64frombits(math.Float64bits(f[0]) ^ (1 << 51))
+	if Float64Checksum(f) == fb {
+		t.Fatal("mantissa-MSB flip undetected in float checksum")
+	}
+	// Distinct lengths with identical prefixes must not collide trivially.
+	if Float64Checksum([]float64{0}) == Float64Checksum([]float64{0, 0}) {
+		t.Fatal("length not mixed into float checksum")
+	}
+}

@@ -84,6 +84,10 @@ type Options struct {
 	// pass it per batch via WithPolicy instead; an accelerator always has a
 	// searching base decoder.
 	Policy *DecodePolicy
+	// VerifyGEMM enables the ABFT checksum verification of every batched
+	// child evaluation (see DecodePolicy.VerifyGEMM). It is sticky: policy
+	// overrides applied per batch can add verification but not remove it.
+	VerifyGEMM bool
 }
 
 // Accelerator is an FPGA sphere-decoder instance for one configuration.
@@ -103,6 +107,60 @@ type Accelerator struct {
 	basePolicy DecodePolicy
 	sdMu       sync.RWMutex
 	sdCache    map[DecodePolicy]*sphere.SD
+
+	// gemmFault is the one-shot SDC chaos flag: ArmGEMMFault sets it, and the
+	// GEMMFault hook installed in every decoder config consumes it by flipping
+	// one bit of the next batched child evaluation's output. Shared by the
+	// base decoder and every policy-derived one.
+	gemmFault atomic.Bool
+}
+
+// gemmFaultHook returns the chaos hook wired into sphere.Config.GEMMFault.
+// The fast path is a plain atomic load, so an accelerator that is never
+// armed pays one relaxed read per batched product.
+func (a *Accelerator) gemmFaultHook() func() bool {
+	return func() bool {
+		if !a.gemmFault.Load() {
+			return false
+		}
+		return a.gemmFault.CompareAndSwap(true, false)
+	}
+}
+
+// ArmGEMMFault arms a one-shot bit flip in the next batched child
+// evaluation's GEMM output — the chaos entry point the SDC fault plans use
+// to prove the ABFT defense detects real datapath corruption. With
+// VerifyGEMM off the flip propagates silently into the search.
+func (a *Accelerator) ArmGEMMFault() { a.gemmFault.Store(true) }
+
+// DisarmGEMMFault clears a still-armed fault and reports whether one was
+// cleared — false means the armed flip was consumed by a decode (it landed).
+// Chaos harnesses use this for ground-truth landed-injection bookkeeping.
+func (a *Accelerator) DisarmGEMMFault() bool { return a.gemmFault.CompareAndSwap(true, false) }
+
+// BasePolicy returns the decode policy the accelerator was built with — the
+// one DecodeBatch uses when no per-batch override is supplied. The serving
+// layer reads it to pick the matching integrity-audit mode.
+func (a *Accelerator) BasePolicy() DecodePolicy { return a.basePolicy }
+
+// CorruptQREntry flips one bit in the most recently used cached QR factor
+// (chaos/test only; see sphere.PreprocessCache.CorruptEntry). It reports
+// false when cross-batch caching is disabled or the cache is empty.
+func (a *Accelerator) CorruptQREntry(word int) bool {
+	if a.cache == nil {
+		return false
+	}
+	return a.cache.CorruptEntry(word)
+}
+
+// PreprocessCacheSDCEvictions reports how many cached factorizations were
+// evicted because their payload failed integrity re-verification on a hit;
+// zero when caching is disabled.
+func (a *Accelerator) PreprocessCacheSDCEvictions() int64 {
+	if a.cache == nil {
+		return 0
+	}
+	return a.cache.SDCEvictions()
 }
 
 // New builds an accelerator for the given variant, modulation, and MIMO
@@ -120,16 +178,22 @@ func New(v fpga.Variant, mod constellation.Modulation, m, n int, opts Options) (
 		design.Pipelines = opts.Pipelines
 	}
 	cons := constellation.New(mod)
+	a := &Accelerator{design: design, cons: cons}
 	cfg := sphere.Config{
 		Const:           cons,
 		Strategy:        opts.Strategy,
 		Norm:            opts.Norm,
 		UseGEMM:         !opts.ScalarEval,
+		VerifyGEMM:      opts.VerifyGEMM,
 		InitialRadiusSq: opts.InitialRadiusSq,
 		MaxNodes:        opts.MaxNodes,
 		Deadline:        opts.Deadline,
+		GEMMFault:       a.gemmFaultHook(),
 	}
-	basePolicy := DecodePolicy{Strategy: opts.Strategy, Norm: opts.Norm, MaxNodes: opts.MaxNodes}
+	basePolicy := DecodePolicy{
+		Strategy: opts.Strategy, Norm: opts.Norm,
+		MaxNodes: opts.MaxNodes, VerifyGEMM: opts.VerifyGEMM,
+	}
 	if opts.Policy != nil {
 		p := *opts.Policy
 		if err := p.Validate(); err != nil {
@@ -155,14 +219,10 @@ func New(v fpga.Variant, mod constellation.Modulation, m, n int, opts Options) (
 	if workers == 0 {
 		workers = 1
 	}
-	a := &Accelerator{
-		design:     design,
-		sd:         sd,
-		cons:       cons,
-		workers:    workers,
-		reuseQR:    !opts.DisableQRReuse,
-		basePolicy: basePolicy,
-	}
+	a.sd = sd
+	a.workers = workers
+	a.reuseQR = !opts.DisableQRReuse
+	a.basePolicy = basePolicy
 	if a.reuseQR && opts.PreprocessCacheEntries >= 0 {
 		a.cache = sphere.NewPreprocessCache(opts.PreprocessCacheEntries)
 	}

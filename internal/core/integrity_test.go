@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/constellation"
+	"repro/internal/fpga"
+)
+
+// TestArmGEMMFaultDetectedByABFT arms the one-shot GEMM bit flip and checks
+// that a verified accelerator detects and repairs it — the decoded batch is
+// bit-identical to a clean decode — while an unverified one lets the flip
+// through silently.
+func TestArmGEMMFaultDetectedByABFT(t *testing.T) {
+	inputs, _ := batchFor(t, cfg4(), 12, 6, 31)
+
+	verified := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{VerifyGEMM: true, Workers: 1})
+	clean, err := verified.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Counters.SDCDetected != 0 {
+		t.Fatalf("clean batch reported %d SDC detections", clean.Counters.SDCDetected)
+	}
+
+	verified.ArmGEMMFault()
+	hit, err := verified.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Counters.SDCDetected != 1 || hit.Counters.SDCRecovered != 1 {
+		t.Fatalf("armed batch: detected=%d recovered=%d, want 1/1",
+			hit.Counters.SDCDetected, hit.Counters.SDCRecovered)
+	}
+	for i, res := range hit.Results {
+		if res.Metric != clean.Results[i].Metric {
+			t.Fatalf("frame %d: repaired metric %g differs from clean %g",
+				i, res.Metric, clean.Results[i].Metric)
+		}
+	}
+
+	// The same flip through an unverified accelerator goes uncounted: the
+	// defense, not the injector, is what produces the detection signal.
+	bare := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{Workers: 1})
+	bare.ArmGEMMFault()
+	rep, err := bare.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters.SDCDetected != 0 {
+		t.Fatalf("unverified accelerator claimed %d detections", rep.Counters.SDCDetected)
+	}
+}
+
+// TestCorruptQREntryEvictedOnNextBatch poisons the cached QR factor between
+// batches and checks the verify-on-hit defense refactors instead of serving
+// the poisoned handle, surfacing the eviction through the accelerator.
+func TestCorruptQREntryEvictedOnNextBatch(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{Workers: 1})
+	inputs, _ := batchFor(t, cfg4(), 12, 4, 7)
+
+	clean, err := acc.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acc.CorruptQREntry(3) {
+		t.Fatal("no cached entry to corrupt")
+	}
+	again, err := acc.DecodeBatch(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.PreprocessCacheSDCEvictions(); got != 1 {
+		t.Fatalf("PreprocessCacheSDCEvictions = %d, want 1", got)
+	}
+	for i, res := range again.Results {
+		if res.Metric != clean.Results[i].Metric {
+			t.Fatalf("frame %d decoded through poisoned factors: metric %g vs clean %g",
+				i, res.Metric, clean.Results[i].Metric)
+		}
+	}
+
+	// Caching disabled: the chaos hooks degrade to no-ops, not panics.
+	nocache := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{PreprocessCacheEntries: -1})
+	if nocache.CorruptQREntry(0) {
+		t.Fatal("CorruptQREntry succeeded without a cache")
+	}
+	if nocache.PreprocessCacheSDCEvictions() != 0 {
+		t.Fatal("SDC evictions without a cache")
+	}
+}
+
+// TestVerifyPolicySticky pins the deployment contract: per-batch policy
+// overrides can add GEMM verification but never strip it from an
+// accelerator built with it on.
+func TestVerifyPolicySticky(t *testing.T) {
+	acc := MustNew(fpga.Optimized, constellation.QAM4, 6, 6, Options{VerifyGEMM: true, Workers: 1})
+	inputs, _ := batchFor(t, cfg4(), 12, 2, 99)
+
+	acc.ArmGEMMFault()
+	p := DecodePolicy{Strategy: acc.basePolicy.Strategy} // verify not requested
+	rep, err := acc.DecodeBatch(inputs, WithPolicy(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counters.SDCDetected != 1 {
+		t.Fatalf("policy override stripped verification: detected=%d", rep.Counters.SDCDetected)
+	}
+}

@@ -46,6 +46,14 @@ type DecodePolicy struct {
 	// reduced-precision datapath. Implies GEMM evaluation; incompatible with
 	// RealSE, which never multiplies through a batched product.
 	FP16GEMM bool
+	// VerifyGEMM turns on the ABFT checksum verification of every batched
+	// child evaluation (internal/integrity): each GEMM output is checked
+	// against a Huang–Abraham row checksum and recomputed in place on a
+	// mismatch, so a transient bit flip in the product never reaches the
+	// search. Implies GEMM evaluation for complex-tree strategies; a no-op
+	// for rvd-se, which evaluates children analytically (its results are
+	// still covered by the serving layer's re-encode audit).
+	VerifyGEMM bool
 }
 
 // strategyNames is the one canonical spelling table for policy strategies.
@@ -115,6 +123,9 @@ func (p DecodePolicy) String() string {
 	if p.FP16GEMM {
 		parts = append(parts, "fp16")
 	}
+	if p.VerifyGEMM {
+		parts = append(parts, "verify")
+	}
 	if len(parts) == 0 {
 		return "default"
 	}
@@ -148,6 +159,9 @@ func ParsePolicy(s string) (DecodePolicy, error) {
 			switch key {
 			case "fp16":
 				p.FP16GEMM = true
+				continue
+			case "verify":
+				p.VerifyGEMM = true
 				continue
 			case "linear":
 				return p, fmt.Errorf("core: policy %q: linear composes with nothing; spell it alone", s)
@@ -193,6 +207,12 @@ func ParsePolicy(s string) (DecodePolicy, error) {
 				return p, fmt.Errorf("core: policy %q: fp16: %w", s, err)
 			}
 			p.FP16GEMM = b
+		case "verify":
+			b, err := strconv.ParseBool(val)
+			if err != nil {
+				return p, fmt.Errorf("core: policy %q: verify: %w", s, err)
+			}
+			p.VerifyGEMM = b
 		default:
 			return p, fmt.Errorf("core: policy %q: unknown key %q", s, key)
 		}
@@ -221,6 +241,9 @@ func (p DecodePolicy) sphereConfig(base sphere.Config) sphere.Config {
 	if p.FP16GEMM {
 		cfg.UseGEMM = true
 	}
+	// Integrity is a deployment property: a per-request policy can add
+	// verification but never strip it from an accelerator built with it on.
+	cfg.VerifyGEMM = base.VerifyGEMM || p.VerifyGEMM
 	cfg.Recorder = nil
 	return cfg
 }

@@ -24,7 +24,11 @@ func TestPolicyStringParseRoundTrip(t *testing.T) {
 		{RadiusScale: 2},
 		{RadiusScale: 1.5, MaxNodes: 4096},
 		{FP16GEMM: true},
+		{VerifyGEMM: true},
+		{FP16GEMM: true, VerifyGEMM: true},
+		{Strategy: sphere.RealSE, VerifyGEMM: true},
 		{Strategy: sphere.FSD, RadiusScale: 0.5, MaxNodes: 1 << 20, FP16GEMM: true},
+		{Strategy: sphere.FSD, RadiusScale: 0.5, MaxNodes: 1 << 20, FP16GEMM: true, VerifyGEMM: true},
 	}
 	for _, p := range cases {
 		s := p.String()
@@ -48,6 +52,7 @@ func TestPolicyStringCanonical(t *testing.T) {
 		{DecodePolicy{Linear: true}, "linear"},
 		{DecodePolicy{Strategy: sphere.RealSE, Norm: sphere.NormLInf}, "strategy=rvd-se,norm=linf"},
 		{DecodePolicy{RadiusScale: 2, MaxNodes: 100, FP16GEMM: true}, "radius-scale=2,max-nodes=100,fp16"},
+		{DecodePolicy{FP16GEMM: true, VerifyGEMM: true}, "fp16,verify"},
 	}
 	for _, c := range cases {
 		if got := c.p.String(); got != c.want {
@@ -72,6 +77,9 @@ func TestParsePolicySpellings(t *testing.T) {
 		{"strategy=fsd", DecodePolicy{Strategy: sphere.FSD}},
 		{"fp16", DecodePolicy{FP16GEMM: true}},
 		{"fp16=false", DecodePolicy{}},
+		{"verify", DecodePolicy{VerifyGEMM: true}},
+		{"verify=false", DecodePolicy{}},
+		{"Verify=TRUE", DecodePolicy{VerifyGEMM: true}},
 		{" radius-scale=2 , max-nodes=512 ", DecodePolicy{RadiusScale: 2, MaxNodes: 512}},
 	}
 	for _, c := range cases {
@@ -101,6 +109,8 @@ func TestParsePolicyRejects(t *testing.T) {
 		"turbo",       // unknown bare item
 		"speed=11",    // unknown key
 		"fp16=maybe ", // unparsable bool
+		"verify=perhaps",
+		"linear,verify", // linear composes with nothing
 	}
 	for _, s := range bad {
 		if _, err := ParsePolicy(s); err == nil {

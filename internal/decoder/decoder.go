@@ -43,6 +43,13 @@ type Counters struct {
 	SortedBatches int64 // child batches sorted by PD
 	CompareOps    int64 // comparator evaluations spent sorting
 
+	// Integrity activity: silent-data-corruption events caught (and repaired
+	// in place) by the ABFT checks on this decode. Zero on every honest run;
+	// the serving layer aggregates these into its SDC observability and
+	// quarantine accounting.
+	SDCDetected  int64 // checksum mismatches caught during the search
+	SDCRecovered int64 // mismatches repaired by recomputation
+
 	// Memory-traffic classes, in complex128 element units. The platform
 	// models charge these differently: on the FPGA the optimized design
 	// hides IrregularLoads behind the prefetch unit; on CPU/GPU they stall.
@@ -66,6 +73,8 @@ func (c *Counters) Add(other Counters) {
 	c.OtherFlops += other.OtherFlops
 	c.SortedBatches += other.SortedBatches
 	c.CompareOps += other.CompareOps
+	c.SDCDetected += other.SDCDetected
+	c.SDCRecovered += other.SDCRecovered
 	c.RegularLoads += other.RegularLoads
 	c.IrregularLoads += other.IrregularLoads
 }

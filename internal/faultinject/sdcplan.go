@@ -1,0 +1,198 @@
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// SDCFault is one silent-data-corruption site the chaos harness can target.
+// Unlike ServeFault (the accelerator visibly misbehaving), these model the
+// FPGA's invisible failure mode: a configuration-memory or BRAM upset flips
+// one bit and the decode *appears* to succeed. Each site maps to one defense
+// layer: SDCQR to the verify-on-hit QR cache, SDCGEMM to the ABFT product
+// checksums, SDCMetric to the serving layer's re-encode metric audit.
+type SDCFault int
+
+const (
+	// SDCNone: the call proceeds untouched.
+	SDCNone SDCFault = iota
+	// SDCQR flips a bit in a cached QR factorization between decodes — the
+	// poisoned-state upset every later frame under that channel would inherit.
+	SDCQR
+	// SDCGEMM flips a bit in one batched child evaluation's GEMM output — a
+	// transient datapath upset inside the search.
+	SDCGEMM
+	// SDCMetric flips the sign bit of the reported decode metric after the
+	// search — corruption on the result path, past every in-search check.
+	SDCMetric
+)
+
+// String names the corruption site.
+func (f SDCFault) String() string {
+	switch f {
+	case SDCNone:
+		return "none"
+	case SDCQR:
+		return "qr"
+	case SDCGEMM:
+		return "gemm"
+	case SDCMetric:
+		return "metric"
+	default:
+		return fmt.Sprintf("SDCFault(%d)", int(f))
+	}
+}
+
+// SDCPlanConfig parameterizes an SDCPlan.
+type SDCPlanConfig struct {
+	// Rates are per-decode-call probabilities in [0, 1].
+	QRRate     float64
+	GEMMRate   float64
+	MetricRate float64
+	// ClearAfter ends the corruption phase after this many decode calls
+	// (0 = faults never clear).
+	ClearAfter int
+	// Seed drives the roll stream.
+	Seed uint64
+}
+
+// SDCPlan is a deterministic schedule of silent-corruption injections: each
+// decode call rolls once against the rates (first match in the fixed order
+// qr, gemm, metric wins). After ClearAfter calls every subsequent roll is
+// clean, so detection counters plateau and health can recover. The plan also
+// tallies the injections that actually landed — the injector reports each
+// one back through Landed — giving chaos harnesses the ground truth to
+// compare detection counters against. Safe for concurrent use.
+type SDCPlan struct {
+	// Config is the plan's parameterization, read-only after NewSDCPlan.
+	Config SDCPlanConfig
+
+	mu     sync.Mutex
+	r      *rng.Rand
+	calls  int
+	landed map[SDCFault]int64
+}
+
+// NewSDCPlan arms the roll stream.
+func NewSDCPlan(cfg SDCPlanConfig) *SDCPlan {
+	return &SDCPlan{Config: cfg, r: rng.New(cfg.Seed), landed: make(map[SDCFault]int64, 3)}
+}
+
+// Next rolls the corruption site for one decode call.
+func (p *SDCPlan) Next() SDCFault {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.calls++
+	if p.Config.ClearAfter > 0 && p.calls > p.Config.ClearAfter {
+		return SDCNone
+	}
+	u := p.r.Float64()
+	for _, c := range []struct {
+		rate  float64
+		fault SDCFault
+	}{
+		{p.Config.QRRate, SDCQR},
+		{p.Config.GEMMRate, SDCGEMM},
+		{p.Config.MetricRate, SDCMetric},
+	} {
+		if u < c.rate {
+			return c.fault
+		}
+		u -= c.rate
+	}
+	return SDCNone
+}
+
+// Landed records that an injection for site f was actually applied (a rolled
+// QR flip finds no cached entry to poison, for example, and never lands).
+func (p *SDCPlan) Landed(f SDCFault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.landed[f]++
+}
+
+// LandedCount reports how many injections actually landed at site f.
+func (p *SDCPlan) LandedCount(f SDCFault) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.landed[f]
+}
+
+// LandedTotal reports how many injections landed across all sites.
+func (p *SDCPlan) LandedTotal() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, n := range p.landed {
+		total += n
+	}
+	return total
+}
+
+// Calls returns how many rolls the plan has served.
+func (p *SDCPlan) Calls() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+// ParseSDCPlan parses an SDC chaos spec of comma-separated key=value terms:
+//
+//	qr=0.05,gemm=0.1,metric=0.05,clear-after=400,seed=7
+//
+// Rates must lie in [0, 1] and sum to at most 1. An empty spec is a valid
+// all-clean plan.
+func ParseSDCPlan(spec string) (*SDCPlan, error) {
+	var p SDCPlanConfig
+	if strings.TrimSpace(spec) == "" {
+		return NewSDCPlan(p), nil
+	}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(term, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: term %q is not key=value", term)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "qr", "gemm", "metric":
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("faultinject: rate %s=%q must be in [0, 1]", key, val)
+			}
+			switch key {
+			case "qr":
+				p.QRRate = rate
+			case "gemm":
+				p.GEMMRate = rate
+			case "metric":
+				p.MetricRate = rate
+			}
+		case "clear-after":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("faultinject: clear-after=%q must be a non-negative integer", val)
+			}
+			p.ClearAfter = n
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: seed=%q must be an unsigned integer", val)
+			}
+			p.Seed = n
+		default:
+			return nil, fmt.Errorf("faultinject: unknown SDC term %q (want qr/gemm/metric/clear-after/seed)", key)
+		}
+	}
+	if sum := p.QRRate + p.GEMMRate + p.MetricRate; sum > 1 {
+		return nil, fmt.Errorf("faultinject: SDC rates sum to %.3f > 1", sum)
+	}
+	return NewSDCPlan(p), nil
+}

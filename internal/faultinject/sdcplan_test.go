@@ -1,0 +1,96 @@
+package faultinject
+
+import "testing"
+
+func TestParseSDCPlan(t *testing.T) {
+	p, err := ParseSDCPlan(" qr=0.2 , gemm=0.3, metric=0.1, clear-after=50, seed=9 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SDCPlanConfig{QRRate: 0.2, GEMMRate: 0.3, MetricRate: 0.1, ClearAfter: 50, Seed: 9}
+	if p.Config != want {
+		t.Fatalf("config %+v, want %+v", p.Config, want)
+	}
+}
+
+func TestParseSDCPlanEmptyIsClean(t *testing.T) {
+	p, err := ParseSDCPlan("  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if f := p.Next(); f != SDCNone {
+			t.Fatalf("roll %d of empty plan injected %v", i, f)
+		}
+	}
+}
+
+func TestParseSDCPlanRejects(t *testing.T) {
+	bad := []string{
+		"qr",                         // not key=value
+		"qr=1.5",                     // out of range
+		"gemm=-0.1",                  // negative
+		"metric=lots",                // unparsable
+		"stall=0.5",                  // ServePlan vocabulary, not SDC
+		"clear-after=-1",             // negative
+		"seed=abc",                   // unparsable
+		"qr=0.5,gemm=0.4,metric=0.3", // rates sum > 1
+	}
+	for _, s := range bad {
+		if _, err := ParseSDCPlan(s); err == nil {
+			t.Errorf("ParseSDCPlan(%q) accepted", s)
+		}
+	}
+}
+
+func TestSDCPlanDeterministicAndClears(t *testing.T) {
+	roll := func() []SDCFault {
+		p := NewSDCPlan(SDCPlanConfig{QRRate: 0.2, GEMMRate: 0.2, MetricRate: 0.2, ClearAfter: 60, Seed: 4})
+		out := make([]SDCFault, 100)
+		for i := range out {
+			out[i] = p.Next()
+		}
+		return out
+	}
+	a, b := roll(), roll()
+	injected := map[SDCFault]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("roll %d diverged: %v vs %v", i, a[i], b[i])
+		}
+		injected[a[i]]++
+		if i >= 60 && a[i] != SDCNone {
+			t.Fatalf("roll %d injected %v after clear-after", i, a[i])
+		}
+	}
+	if injected[SDCQR] == 0 || injected[SDCGEMM] == 0 || injected[SDCMetric] == 0 {
+		t.Fatalf("60 rolls at 20%% each hit no faults at some site: %v", injected)
+	}
+}
+
+func TestSDCPlanLandedCounters(t *testing.T) {
+	p := NewSDCPlan(SDCPlanConfig{})
+	p.Landed(SDCQR)
+	p.Landed(SDCQR)
+	p.Landed(SDCMetric)
+	if got := p.LandedCount(SDCQR); got != 2 {
+		t.Fatalf("LandedCount(qr) = %d, want 2", got)
+	}
+	if got := p.LandedCount(SDCGEMM); got != 0 {
+		t.Fatalf("LandedCount(gemm) = %d, want 0", got)
+	}
+	if got := p.LandedTotal(); got != 3 {
+		t.Fatalf("LandedTotal = %d, want 3", got)
+	}
+}
+
+func TestSDCFaultString(t *testing.T) {
+	for f, want := range map[SDCFault]string{
+		SDCNone: "none", SDCQR: "qr", SDCGEMM: "gemm", SDCMetric: "metric",
+		SDCFault(42): "SDCFault(42)",
+	} {
+		if got := f.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(f), got, want)
+		}
+	}
+}

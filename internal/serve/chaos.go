@@ -52,6 +52,14 @@ func (f *FaultyBackend) PreprocessCacheStats() (hits, misses int64) {
 	return 0, 0
 }
 
+// PreprocessCacheSDCEvictions passes through for the same reason.
+func (f *FaultyBackend) PreprocessCacheSDCEvictions() int64 {
+	if ss, ok := f.inner.(sdcStatser); ok {
+		return ss.PreprocessCacheSDCEvictions()
+	}
+	return 0
+}
+
 // DecodeBatch rolls the plan once per call and injects the drawn fault.
 func (f *FaultyBackend) DecodeBatch(inputs []core.BatchInput, opts ...core.BatchOption) (*core.BatchReport, error) {
 	switch f.plan.Next() {

@@ -359,18 +359,18 @@ func (h *handler) config(w http.ResponseWriter, _ *http.Request) {
 	cfg := h.s.Config()
 	epoch, instance := h.s.Identity()
 	writeJSON(w, http.StatusOK, ConfigInfo{
-		APIVersion: APIVersion,
-		Backend:    h.s.Backend().Name(),
-		Epoch:      epoch,
-		Instance:   instance,
-		TxAntennas: h.tx,
-		RxAntennas: h.rx,
-		Modulation: h.mod,
-		MaxBatch:   cfg.MaxBatch,
-		MaxWaitNS:  int64(cfg.MaxWait),
-		Workers:    cfg.Workers,
-		QueueCap:   cfg.QueueCap,
-		Policy:     cfg.Policy.String(),
+		APIVersion:   APIVersion,
+		Backend:      h.s.Backend().Name(),
+		Epoch:        epoch,
+		Instance:     instance,
+		TxAntennas:   h.tx,
+		RxAntennas:   h.rx,
+		Modulation:   h.mod,
+		MaxBatch:     cfg.MaxBatch,
+		MaxWaitNS:    int64(cfg.MaxWait),
+		Workers:      cfg.Workers,
+		QueueCap:     cfg.QueueCap,
+		Policy:       cfg.Policy.String(),
 		BudgetNS:     int64(cfg.Budget.Deadline),
 		NodeBudget:   cfg.Budget.NodeBudget,
 		Strategy:     h.strategy,

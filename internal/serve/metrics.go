@@ -158,6 +158,18 @@ type Stats struct {
 	BreakerProbes       uint64 `json:"breaker_probes"`
 	BreakerReclosed     uint64 `json:"breaker_reclosed"`
 	BreakerShortCircuit uint64 `json:"breaker_short_circuited"`
+	// SDCDetected counts detected silent data corruptions by site:
+	// "gemm" (ABFT checksum mismatches repaired inside the search),
+	// "qr-cache" (verify-on-hit payload mismatches, evicted + refactored),
+	// "metric-audit" (reports rejected by the re-encode audit). SDCRecovered
+	// totals detections neutralized before any frame shipped corrupted —
+	// detected-without-recovered would mean a corrupted answer was served,
+	// which the defense never allows, so the two track each other.
+	SDCDetected  map[string]uint64 `json:"sdc_detected"`
+	SDCRecovered uint64            `json:"sdc_recovered"`
+	// QRCacheSDCEvictions mirrors SDCDetected["qr-cache"]: cached QR
+	// factorizations dropped because their payload checksum failed on a hit.
+	QRCacheSDCEvictions uint64 `json:"qr_cache_sdc_evictions"`
 	Health              string `json:"health"`
 	LastPanic           string `json:"last_panic,omitempty"`
 
@@ -259,6 +271,11 @@ type metrics struct {
 	abandoned            uint64
 	fallbackByReason     map[string]uint64
 	lastPanic            string
+	// SDC accounting by detection site (gemm and metric-audit accumulate
+	// here; the qr-cache site is polled off the worker backends at snapshot
+	// time in Scheduler.Stats).
+	sdcDetected  map[string]uint64
+	sdcRecovered uint64
 
 	// policyDecisions counts dispatched batches by the authority that chose
 	// their DecodePolicy ("default", "fixed", "override", "adaptive:<level>").
@@ -290,6 +307,7 @@ func newMetrics(maxBatch int) *metrics {
 		quality:          make(map[string]uint64, 3),
 		fallbackByReason: make(map[string]uint64, 4),
 		policyDecisions:  make(map[string]uint64, 4),
+		sdcDetected:      make(map[string]uint64, 3),
 		baseMallocs:      ms.Mallocs,
 	}
 }
@@ -330,7 +348,12 @@ func (m *metrics) snapshot(queueDepth int, draining bool) Stats {
 		HedgeWaste:           m.hedgeWaste,
 		Wedges:               m.wedges,
 		Abandoned:            m.abandoned,
+		SDCDetected:          make(map[string]uint64, len(m.sdcDetected)),
+		SDCRecovered:         m.sdcRecovered,
 		LastPanic:            m.lastPanic,
+	}
+	for k, v := range m.sdcDetected {
+		st.SDCDetected[k] = v
 	}
 	for k, v := range m.quality {
 		st.QualityCounts[k] = v

@@ -47,6 +47,24 @@ func WritePrometheus(w io.Writer, st Stats) {
 	counter("mimosd_breaker_reclosed_total", "Circuit breaker half-open-to-closed recoveries.", float64(st.BreakerReclosed))
 	counter("mimosd_breaker_short_circuited_total", "Batches refused by an open breaker.", float64(st.BreakerShortCircuit))
 
+	// Every known detection site is emitted (zeros included) so dashboards
+	// and the smoke harness can rely on the series existing.
+	fmt.Fprintf(w, "# HELP mimosd_sdc_detected_total Detected silent data corruptions by detection site.\n# TYPE mimosd_sdc_detected_total counter\n")
+	sites := map[string]uint64{"gemm": 0, "qr-cache": 0, "metric-audit": 0}
+	for site, n := range st.SDCDetected {
+		sites[site] += n
+	}
+	siteNames := make([]string, 0, len(sites))
+	for site := range sites {
+		siteNames = append(siteNames, site)
+	}
+	sort.Strings(siteNames)
+	for _, site := range siteNames {
+		fmt.Fprintf(w, "mimosd_sdc_detected_total{site=%q} %d\n", site, sites[site])
+	}
+	counter("mimosd_sdc_recovered_total", "Detected corruptions neutralized before serving.", float64(st.SDCRecovered))
+	counter("mimosd_qr_cache_sdc_evictions_total", "Cached QR factorizations evicted by verify-on-hit.", float64(st.QRCacheSDCEvictions))
+
 	fmt.Fprintf(w, "# HELP mimosd_fallback_frames_total Frames answered by the linear fallback, by reason.\n# TYPE mimosd_fallback_frames_total counter\n")
 	reasons := make([]string, 0, len(st.FallbackByReason))
 	for r := range st.FallbackByReason {

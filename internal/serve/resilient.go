@@ -8,9 +8,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cmatrix"
 	"repro/internal/core"
 	"repro/internal/decoder"
+	"repro/internal/integrity"
 	"repro/internal/resilience"
+	"repro/internal/sphere"
 )
 
 // ResilienceConfig tunes the scheduler's self-healing layer: worker
@@ -60,6 +63,19 @@ type ResilienceConfig struct {
 	// and the breaker debited. Catches slow-leak wedges panic recovery
 	// cannot see.
 	WedgeTimeout time.Duration
+	// DisableAudit turns off the per-frame re-encode integrity audit of
+	// decode reports (the metric cross-check against ‖y − H·ŝ‖ recomputed
+	// from the original inputs). On by default: a corrupted metric must
+	// never ship tagged exact. Exists for A/B overhead pricing.
+	DisableAudit bool
+	// SDCQuarantineLimit is the per-worker allowance of detected silent data
+	// corruptions (ABFT repairs, failed metric audits) per SDCWindow before
+	// the worker is quarantined — hardware that keeps flipping bits has
+	// failed, even if every flip so far was caught. Default 8.
+	SDCQuarantineLimit int
+	// SDCWindow is the sliding window the SDC allowance covers. Defaults to
+	// RestartWindow.
+	SDCWindow time.Duration
 	// Seed drives the breaker/backoff jitter streams.
 	Seed uint64
 }
@@ -95,6 +111,12 @@ func (r ResilienceConfig) withDefaults() ResilienceConfig {
 	if r.HedgeBudget == 0 {
 		r.HedgeBudget = 0.1
 	}
+	if r.SDCQuarantineLimit <= 0 {
+		r.SDCQuarantineLimit = 8
+	}
+	if r.SDCWindow <= 0 {
+		r.SDCWindow = r.RestartWindow
+	}
 	return r
 }
 
@@ -116,6 +138,10 @@ const (
 	// DegradedByWedge marks frames answered by the fallback after the
 	// primary decode exceeded the wedge timeout.
 	DegradedByWedge = "wedge-timeout"
+	// DegradedByIntegrity marks frames answered by the fallback after the
+	// primary decode repeatedly failed the re-encode integrity audit —
+	// detected silent data corruption that retries could not clear.
+	DegradedByIntegrity = "integrity"
 )
 
 // Internal attempt-failure sentinels.
@@ -125,6 +151,10 @@ var (
 	// errGarbage is transient: a glitched transfer can corrupt one batch
 	// without the next being doomed.
 	errGarbage = fmt.Errorf("serve: backend returned a malformed report: %w", resilience.ErrTransient)
+	// errIntegrityAudit is transient for the same reason, but additionally
+	// carries integrity.ErrIntegrity so the caller can count the detection
+	// and debit the worker's SDC quarantine budget.
+	errIntegrityAudit = fmt.Errorf("serve: decode report failed the re-encode integrity audit: %w", resilience.ErrTransient)
 )
 
 // workerCtl is one supervised decode worker: its (replaceable) backend, its
@@ -133,6 +163,11 @@ type workerCtl struct {
 	id       int
 	breaker  *resilience.Breaker
 	restarts *resilience.RestartBudget
+	// sdcBudget meters detected silent corruptions attributed to this worker
+	// (ABFT repairs in its decodes, failed metric audits): each detection
+	// spends one token, and exhaustion quarantines the worker — caught flips
+	// are still evidence of failing hardware.
+	sdcBudget *resilience.RestartBudget
 
 	// be is replaced on restart; beLost marks a backend abandoned to a
 	// detached goroutine (hedge/wedge) that must be replaced before reuse.
@@ -144,6 +179,7 @@ type workerCtl struct {
 	quarantined  atomic.Bool
 	panics       atomic.Uint64
 	restartCount atomic.Uint64
+	sdcDetected  atomic.Uint64
 }
 
 // backend returns the worker's current backend under the lock (Health reads
@@ -211,6 +247,10 @@ type BackendHealth struct {
 	Quarantined bool   `json:"quarantined"`
 	Panics      uint64 `json:"panics"`
 	Restarts    uint64 `json:"restarts"`
+	// SDCDetected counts silent data corruptions attributed to this worker
+	// (ABFT-repaired GEMM flips and failed re-encode audits); the quarantine
+	// budget is charged from the same stream.
+	SDCDetected uint64 `json:"sdc_detected"`
 }
 
 // HealthReport is the full /healthz body. Epoch and Instance identify this
@@ -221,6 +261,9 @@ type HealthReport struct {
 	Epoch    int64           `json:"epoch"`
 	Instance string          `json:"instance"`
 	Backends []BackendHealth `json:"backends,omitempty"`
+	// SDCDetected totals worker-attributed silent-corruption detections —
+	// the cluster front end folds it into per-shard health.
+	SDCDetected uint64 `json:"sdc_detected"`
 }
 
 // Health grades the scheduler: draining once Close has begun, unhealthy when
@@ -232,9 +275,11 @@ func (s *Scheduler) Health() (HealthState, HealthReport) {
 	s.admit.RUnlock()
 	backends := make([]BackendHealth, len(s.workers))
 	quarantined, impaired := 0, 0
+	var sdcTotal uint64
 	for i, w := range s.workers {
 		bs := w.breaker.State()
 		q := w.quarantined.Load()
+		sdc := w.sdcDetected.Load()
 		backends[i] = BackendHealth{
 			Worker:      w.id,
 			Backend:     w.backend().Name(),
@@ -242,7 +287,9 @@ func (s *Scheduler) Health() (HealthState, HealthReport) {
 			Quarantined: q,
 			Panics:      w.panics.Load(),
 			Restarts:    w.restartCount.Load(),
+			SDCDetected: sdc,
 		}
+		sdcTotal += sdc
 		if q {
 			quarantined++
 		}
@@ -259,7 +306,10 @@ func (s *Scheduler) Health() (HealthState, HealthReport) {
 	case impaired > 0:
 		state = HealthDegraded
 	}
-	return state, HealthReport{Status: state.String(), Epoch: s.epoch, Instance: s.instance, Backends: backends}
+	return state, HealthReport{
+		Status: state.String(), Epoch: s.epoch, Instance: s.instance,
+		Backends: backends, SDCDetected: sdcTotal,
+	}
 }
 
 // batchOutcome is the resilience telemetry of one dispatched batch.
@@ -270,6 +320,7 @@ type batchOutcome struct {
 	retries        int
 	panics         int
 	wedges         int
+	sdcAudits      int // attempts rejected by the re-encode integrity audit
 	hedged         bool
 	restarted      bool
 	quarantined    bool // the batch tripped this worker into quarantine
@@ -296,22 +347,122 @@ type attemptResult struct {
 	err error
 }
 
-// checkReport guards against garbage outputs: a "successful" decode must
-// cover every input with a finite, non-empty decision. Anything else is a
-// transient backend fault (errGarbage), handled like any other decode error
-// — the robustness contract's "no silent garbage" clause, enforced at the
-// serving layer.
-func checkReport(rep *core.BatchReport, n int) error {
-	if rep == nil || len(rep.Results) != n {
+// auditMode selects the re-encode integrity check applied to each result of
+// a batch, derived from the batch's effective decode policy (auditModeFor):
+// the reported metric's meaning depends on the norm and datapath precision,
+// so the audit must match or honest decodes would be rejected.
+type auditMode int
+
+const (
+	// auditOff skips the re-encode audit (resilience disabled, or the
+	// DisableAudit escape hatch); only the shape/finiteness garbage checks run.
+	auditOff auditMode = iota
+	// auditExactL2: full-precision ℓ² decodes, where the metric is defined as
+	// ‖y − H·ŝ‖² of the returned point — equality within rounding tolerance.
+	auditExactL2
+	// auditBound: ℓ∞ decodes report the rotated-domain ‖·‖∞² partial
+	// distance, which is bounded by the ℓ² residual but not equal to it.
+	auditBound
+	// auditBoundFP16: half-precision decodes carry binary16 rounding error,
+	// so the bound check runs with the wider AuditRelTolFP16 slack.
+	auditBoundFP16
+)
+
+// checkReport guards against garbage and corrupted outputs: a "successful"
+// decode must cover every input with a finite, non-empty decision
+// (errGarbage otherwise), and — unless the audit is off — each result's
+// metric must be consistent with ‖y − H·ŝ‖² recomputed from the original
+// inputs (errIntegrityAudit otherwise). Both sentinels are transient, so the
+// caller retries within budget and then answers from the fallback; a
+// corrupted result is never served as exact. The ŝ finiteness check matters:
+// a NaN symbol vector yields a NaN residual, and every comparison against
+// NaN is false, so without it corruption would sail through the audit.
+func checkReport(rep *core.BatchReport, inputs []core.BatchInput, mode auditMode) error {
+	if rep == nil || len(rep.Results) != len(inputs) {
 		return errGarbage
 	}
-	for _, res := range rep.Results {
+	var scratch cmatrix.Vector
+	if mode != auditOff && len(inputs) > 0 {
+		scratch = make(cmatrix.Vector, inputs[0].H.Rows)
+	}
+	for i, res := range rep.Results {
 		if res == nil || len(res.SymbolIdx) == 0 ||
 			math.IsNaN(res.Metric) || math.IsInf(res.Metric, 0) {
 			return errGarbage
 		}
+		if mode == auditOff {
+			continue
+		}
+		in := inputs[i]
+		if len(res.Symbols) != in.H.Cols || !res.Symbols.IsFinite() {
+			return errGarbage
+		}
+		audit := integrity.ReEncode(in.H, in.Y, res.Symbols, scratch)
+		var aerr error
+		switch mode {
+		case auditBound:
+			aerr = audit.CheckBound(res.Metric)
+		case auditBoundFP16:
+			aerr = audit.CheckBoundTol(res.Metric, integrity.AuditRelTolFP16)
+		default:
+			aerr = audit.CheckExactL2(res.Metric)
+		}
+		if aerr != nil {
+			return fmt.Errorf("%w (frame %d): %w", errIntegrityAudit, i, aerr)
+		}
 	}
 	return nil
+}
+
+// auditModeFor maps the batch's effective decode policy (nil = the backend's
+// base policy) to the matching re-encode audit mode.
+func (s *Scheduler) auditModeFor(pol *core.DecodePolicy) auditMode {
+	if s.rcfg.Disable || s.rcfg.DisableAudit {
+		return auditOff
+	}
+	p := s.basePol
+	if pol != nil {
+		p = *pol
+	}
+	switch {
+	case p.FP16GEMM:
+		return auditBoundFP16
+	case p.Norm == sphere.NormLInf:
+		return auditBound
+	default:
+		return auditExactL2
+	}
+}
+
+// basePolicyer is the optional Backend facet exposing the decode policy the
+// backend defaults to when no per-batch override is supplied
+// (core.Accelerator implements it); auditModeFor needs it to audit
+// default-policy batches correctly.
+type basePolicyer interface {
+	BasePolicy() core.DecodePolicy
+}
+
+// noteWorkerSDC attributes n detected silent corruptions to w: the worker's
+// counter feeds /healthz, and each detection spends one token of the SDC
+// quarantine budget — exhaustion quarantines the worker, because hardware
+// that keeps flipping bits has failed even when every flip was caught.
+// Reports false once the worker is quarantined. Callers must not hold s.m.mu.
+func (s *Scheduler) noteWorkerSDC(w *workerCtl, n int) bool {
+	if n <= 0 {
+		return !w.quarantined.Load()
+	}
+	w.sdcDetected.Add(uint64(n))
+	for range n {
+		if !w.sdcBudget.AllowRestart() {
+			if !w.quarantined.Swap(true) {
+				s.m.mu.Lock()
+				s.m.quarantines++
+				s.m.mu.Unlock()
+			}
+			return false
+		}
+	}
+	return !w.quarantined.Load()
 }
 
 // attempt runs one primary decode on w's backend under the recovery barrier.
@@ -319,7 +470,7 @@ func checkReport(rep *core.BatchReport, n int) error {
 // the disabled-path cost the benchmarks pin). With timers armed the decode
 // runs on a goroutine; on timeout the backend is abandoned (marked lost, its
 // eventual outcome drained into the breaker) and a sentinel error returned.
-func (s *Scheduler) attempt(w *workerCtl, inputs []core.BatchInput, opts []core.BatchOption) (*core.BatchReport, error) {
+func (s *Scheduler) attempt(w *workerCtl, inputs []core.BatchInput, opts []core.BatchOption, mode auditMode) (*core.BatchReport, error) {
 	rcfg := s.rcfg
 	if rcfg.HedgeAfter <= 0 && rcfg.WedgeTimeout <= 0 {
 		var rep *core.BatchReport
@@ -329,7 +480,7 @@ func (s *Scheduler) attempt(w *workerCtl, inputs []core.BatchInput, opts []core.
 			return e
 		})
 		if err == nil {
-			err = checkReport(rep, len(inputs))
+			err = checkReport(rep, inputs, mode)
 		}
 		return rep, err
 	}
@@ -361,7 +512,7 @@ func (s *Scheduler) attempt(w *workerCtl, inputs []core.BatchInput, opts []core.
 		select {
 		case r := <-ch:
 			if r.err == nil {
-				r.err = checkReport(r.rep, len(inputs))
+				r.err = checkReport(r.rep, inputs, mode)
 			}
 			return r.rep, r.err
 		case <-hedgeC:
@@ -369,10 +520,10 @@ func (s *Scheduler) attempt(w *workerCtl, inputs []core.BatchInput, opts []core.
 			if !s.hedgeBudget.Spend() {
 				continue
 			}
-			s.abandonPrimary(w, ch)
+			s.abandonPrimary(w, ch, inputs, mode)
 			return nil, errHedged
 		case <-wedgeC:
-			s.abandonPrimary(w, ch)
+			s.abandonPrimary(w, ch, inputs, mode)
 			return nil, errWedged
 		}
 	}
@@ -382,14 +533,14 @@ func (s *Scheduler) attempt(w *workerCtl, inputs []core.BatchInput, opts []core.
 // backend is marked lost (replaced before next use) and a drain goroutine
 // feeds the decode's eventual outcome into the breaker so an abandoned-but-
 // healthy backend still earns its way back to closed.
-func (s *Scheduler) abandonPrimary(w *workerCtl, ch <-chan attemptResult) {
+func (s *Scheduler) abandonPrimary(w *workerCtl, ch <-chan attemptResult, inputs []core.BatchInput, mode auditMode) {
 	w.mu.Lock()
 	w.beLost = true
 	w.mu.Unlock()
 	go func() {
 		r := <-ch
 		if r.err == nil {
-			r.err = checkReport(r.rep, len(r.rep.Results))
+			r.err = checkReport(r.rep, inputs, mode)
 		}
 		if r.err == nil {
 			w.breaker.Success()
@@ -398,6 +549,16 @@ func (s *Scheduler) abandonPrimary(w *workerCtl, ch <-chan attemptResult) {
 			s.m.mu.Unlock()
 		} else {
 			w.breaker.Failure()
+			if errors.Is(r.err, errIntegrityAudit) {
+				// The abandoned result was never served, so the corruption is
+				// trivially recovered — but it still counts against the
+				// worker's hardware trustworthiness.
+				s.noteWorkerSDC(w, 1)
+				s.m.mu.Lock()
+				s.m.sdcDetected[integrity.SiteMetricAudit]++
+				s.m.sdcRecovered++
+				s.m.mu.Unlock()
+			}
 		}
 	}()
 }
@@ -473,7 +634,7 @@ func (s *Scheduler) fallbackBatch(inputs []core.BatchInput, reason string) (*cor
 // recovery with restart/quarantine, budgeted retries, hedged/wedged
 // abandonment — and, when everything is exhausted, the linear fallback, so
 // the batch is always answered (or typed-rejected on a permanent error).
-func (s *Scheduler) decodeResilient(w *workerCtl, inputs []core.BatchInput, opts []core.BatchOption) (*core.BatchReport, batchOutcome, error) {
+func (s *Scheduler) decodeResilient(w *workerCtl, inputs []core.BatchInput, opts []core.BatchOption, mode auditMode) (*core.BatchReport, batchOutcome, error) {
 	var oc batchOutcome
 	if s.rcfg.Disable {
 		rep, err := w.be.DecodeBatch(inputs, opts...)
@@ -507,7 +668,7 @@ func (s *Scheduler) decodeResilient(w *workerCtl, inputs []core.BatchInput, opts
 			oc.quarantined = true
 			return shed(DegradedByQuarantine)
 		}
-		rep, err := s.attempt(w, inputs, opts)
+		rep, err := s.attempt(w, inputs, opts, mode)
 		if err == nil {
 			w.breaker.Success()
 			s.retryBudget.Earn(1)
@@ -545,6 +706,17 @@ func (s *Scheduler) decodeResilient(w *workerCtl, inputs []core.BatchInput, opts
 				return shed(DegradedByQuarantine)
 			}
 			oc.restarted = true
+		case errors.Is(err, errIntegrityAudit):
+			// Detected silent corruption on the result path: count it, debit
+			// the worker's SDC quarantine allowance, and retry within budget —
+			// a transient flip clears, failing hardware repeats until it
+			// exhausts the allowance.
+			oc.sdcAudits++
+			w.breaker.Failure()
+			if !s.noteWorkerSDC(w, 1) {
+				oc.quarantined = true
+				return shed(DegradedByQuarantine)
+			}
 		case resilience.Transient(err):
 			w.breaker.Failure()
 		default:
@@ -569,8 +741,11 @@ func (s *Scheduler) decodeResilient(w *workerCtl, inputs []core.BatchInput, opts
 
 	// Primary exhausted: absorb the fault into the fallback.
 	reason := DegradedByTransient
-	if errors.Is(lastErr, resilience.ErrWorkerPanic) {
+	switch {
+	case errors.Is(lastErr, resilience.ErrWorkerPanic):
 		reason = DegradedByPanic
+	case errors.Is(lastErr, errIntegrityAudit):
+		reason = DegradedByIntegrity
 	}
 	return shed(reason)
 }

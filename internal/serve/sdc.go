@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"math"
+
+	"repro/internal/constellation"
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/faultinject"
+)
+
+// SDCBackend wraps a Backend with a faultinject.SDCPlan, injecting *silent*
+// data corruptions: unlike FaultyBackend's visible misbehaviour (panics,
+// errors, stalls), every injected fault here leaves a decode that appears to
+// succeed. Each corruption site exercises exactly one defense layer — a
+// poisoned cached QR factor must be caught by verify-on-hit, a flipped GEMM
+// output by the ABFT checksums, a flipped result metric by the serving
+// layer's re-encode audit. The plan's Landed counters record the injections
+// that actually applied, giving chaos harnesses ground truth to compare the
+// detection counters against. Install via Config.WrapWorker.
+type SDCBackend struct {
+	inner Backend
+	plan  *faultinject.SDCPlan
+}
+
+// NewSDCBackend wraps inner with the silent-corruption plan.
+func NewSDCBackend(inner Backend, plan *faultinject.SDCPlan) *SDCBackend {
+	return &SDCBackend{inner: inner, plan: plan}
+}
+
+// gemmFaultArmer is the Backend facet the gemm site needs
+// (core.Accelerator implements it).
+type gemmFaultArmer interface {
+	ArmGEMMFault()
+	DisarmGEMMFault() bool
+}
+
+// qrCorrupter is the Backend facet the qr site needs
+// (core.Accelerator implements it).
+type qrCorrupter interface {
+	CorruptQREntry(word int) bool
+}
+
+// Name marks the wrapped backend so health reports show the chaos wiring.
+func (b *SDCBackend) Name() string { return b.inner.Name() + "+sdc" }
+
+// Constellation passes through.
+func (b *SDCBackend) Constellation() *constellation.Constellation { return b.inner.Constellation() }
+
+// ValidateInput passes through: admission must stay honest under chaos.
+func (b *SDCBackend) ValidateInput(in core.BatchInput) error { return b.inner.ValidateInput(in) }
+
+// DecodeFallback passes through clean — the fallback is the recovery path
+// the SDC scenarios verify, so it is never the corruption site.
+func (b *SDCBackend) DecodeFallback(in core.BatchInput) (*decoder.Result, error) {
+	return b.inner.DecodeFallback(in)
+}
+
+// PreprocessCacheStats passes through (zeros when the inner backend does not
+// report) so the QR ledger survives the wrapping.
+func (b *SDCBackend) PreprocessCacheStats() (hits, misses int64) {
+	if cs, ok := b.inner.(cacheStatser); ok {
+		return cs.PreprocessCacheStats()
+	}
+	return 0, 0
+}
+
+// PreprocessCacheSDCEvictions passes through for the same reason.
+func (b *SDCBackend) PreprocessCacheSDCEvictions() int64 {
+	if ss, ok := b.inner.(sdcStatser); ok {
+		return ss.PreprocessCacheSDCEvictions()
+	}
+	return 0
+}
+
+// DecodeBatch rolls the plan once per call and injects the drawn corruption.
+func (b *SDCBackend) DecodeBatch(inputs []core.BatchInput, opts ...core.BatchOption) (*core.BatchReport, error) {
+	fault := b.plan.Next()
+
+	switch fault {
+	case faultinject.SDCQR:
+		// Poison the most recently cached QR factor *before* the decode: a
+		// frame in this batch (or a later one) sharing that channel takes the
+		// cache hit, and verify-on-hit must evict instead of serving it. The
+		// corrupted bit index varies with the call count so different words
+		// (mantissa spread across the payload) get exercised.
+		if qc, ok := b.inner.(qrCorrupter); ok && qc.CorruptQREntry(b.plan.Calls()) {
+			b.plan.Landed(faultinject.SDCQR)
+		}
+	case faultinject.SDCGEMM:
+		// Arm the accelerator's one-shot GEMM bit flip; whether it lands
+		// depends on the decode actually routing through the batched product
+		// (policy may be linear or rvd-se), checked after the call.
+		if ga, ok := b.inner.(gemmFaultArmer); ok {
+			ga.ArmGEMMFault()
+		}
+	}
+
+	rep, err := b.inner.DecodeBatch(inputs, opts...)
+
+	switch fault {
+	case faultinject.SDCGEMM:
+		if ga, ok := b.inner.(gemmFaultArmer); ok {
+			// Disarm returns false when the armed flip was consumed — it
+			// landed in a product. Left armed (linear policy, rvd-se), it is
+			// withdrawn so it cannot leak into a later unrelated decode.
+			if !ga.DisarmGEMMFault() {
+				b.plan.Landed(faultinject.SDCGEMM)
+			}
+		}
+	case faultinject.SDCMetric:
+		// Corrupt the reported metric of the first frame after the search —
+		// result-path corruption past every in-search defense. The sign-bit
+		// flip models an upset in the metric register; only a strictly
+		// positive metric flips to something detectably wrong (−0.0 is not
+		// negative), so zero metrics are left alone and do not count as landed.
+		if err == nil && rep != nil && len(rep.Results) > 0 &&
+			rep.Results[0] != nil && rep.Results[0].Metric > 0 {
+			rep.Results[0].Metric = math.Float64frombits(
+				math.Float64bits(rep.Results[0].Metric) ^ (1 << 63))
+			b.plan.Landed(faultinject.SDCMetric)
+		}
+	}
+	return rep, err
+}

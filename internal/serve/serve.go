@@ -13,6 +13,7 @@ import (
 	"repro/internal/constellation"
 	"repro/internal/core"
 	"repro/internal/decoder"
+	"repro/internal/integrity"
 	"repro/internal/resilience"
 	"repro/internal/trace"
 )
@@ -161,6 +162,11 @@ type Scheduler struct {
 	shedMu    sync.Mutex // serializes the inline shed backend
 	shedBE    Backend
 
+	// basePol is the backend's default decode policy (zero when the backend
+	// does not expose one); auditModeFor consults it so default-policy
+	// batches get the re-encode audit matching their norm and precision.
+	basePol core.DecodePolicy
+
 	// Resilience layer: one supervised control block per worker, plus the
 	// shared retry/hedge budgets and backoff (see resilient.go).
 	factory     func() (Backend, error)
@@ -252,6 +258,9 @@ func New(cfg Config, factory func() (Backend, error)) (*Scheduler, error) {
 	if s.validator, err = factory(); err != nil {
 		return nil, fmt.Errorf("serve: backend factory: %w", err)
 	}
+	if bp, ok := s.validator.(basePolicyer); ok {
+		s.basePol = bp.BasePolicy()
+	}
 	if cfg.DecodePolicy != nil {
 		if err := s.checkPolicy(*cfg.DecodePolicy); err != nil {
 			return nil, fmt.Errorf("serve: decode policy: %w", err)
@@ -278,7 +287,8 @@ func New(cfg Config, factory func() (Backend, error)) (*Scheduler, error) {
 				CooldownCap:      rcfg.CooldownCap,
 				Seed:             rcfg.Seed + uint64(i) + 1,
 			}),
-			restarts: resilience.NewRestartBudget(rcfg.MaxRestarts, rcfg.RestartWindow),
+			restarts:  resilience.NewRestartBudget(rcfg.MaxRestarts, rcfg.RestartWindow),
+			sdcBudget: resilience.NewRestartBudget(rcfg.SDCQuarantineLimit, rcfg.SDCWindow),
 		}
 	}
 	go s.batcher()
@@ -325,6 +335,15 @@ func (s *Scheduler) Stats() Stats {
 			st.QRCacheHits += uint64(hits)
 			st.QRCacheMisses += uint64(misses)
 		}
+		if ss, ok := w.backend().(sdcStatser); ok {
+			st.QRCacheSDCEvictions += uint64(ss.PreprocessCacheSDCEvictions())
+		}
+	}
+	// A verify-on-hit eviction is a detection with built-in recovery: the
+	// poisoned factorization is dropped and recomputed in the same decode.
+	if ev := st.QRCacheSDCEvictions; ev > 0 {
+		st.SDCDetected[integrity.SiteQRCache] += ev
+		st.SDCRecovered += ev
 	}
 	return st
 }
@@ -335,6 +354,13 @@ func (s *Scheduler) Stats() Stats {
 // shard's cache hot.
 type cacheStatser interface {
 	PreprocessCacheStats() (hits, misses int64)
+}
+
+// sdcStatser is the optional Backend facet reporting verify-on-hit QR cache
+// evictions (core.Accelerator implements it) — the qr-cache site of the SDC
+// observability surface.
+type sdcStatser interface {
+	PreprocessCacheSDCEvictions() int64
 }
 
 // Healthy reports whether the scheduler is accepting work.
@@ -622,7 +648,7 @@ func (s *Scheduler) runBatch(w *workerCtl, b batch) {
 		bt.AddPhase("batch-form", b.born, start)
 		opts = append(opts, core.WithTrace(bt))
 	}
-	rep, oc, err := s.decodeResilient(w, inputs, opts)
+	rep, oc, err := s.decodeResilient(w, inputs, opts, s.auditModeFor(pol))
 	svc := time.Since(start)
 	if bt != nil && err == nil && oc.fallbackReason != "" {
 		// The batch never reached the accelerator (or its attempt was
@@ -636,6 +662,12 @@ func (s *Scheduler) runBatch(w *workerCtl, b batch) {
 	s.m.policyDecisions[polSource]++
 	s.m.retries += uint64(oc.retries)
 	s.m.wedges += uint64(oc.wedges)
+	if oc.sdcAudits > 0 {
+		// Every audit-rejected attempt was retried or shed, never served, so
+		// each detection is also a recovery.
+		s.m.sdcDetected[integrity.SiteMetricAudit] += uint64(oc.sdcAudits)
+		s.m.sdcRecovered += uint64(oc.sdcAudits)
+	}
 	if oc.hedged {
 		s.m.hedges++
 	}
@@ -652,6 +684,11 @@ func (s *Scheduler) runBatch(w *workerCtl, b batch) {
 		s.m.simTime += rep.SimulatedTime
 		s.m.energyJ += rep.EnergyJ
 		s.m.service.observe(svc)
+		if n := rep.Counters.SDCDetected; n > 0 {
+			// ABFT caught (and repaired in place) bit flips inside the search.
+			s.m.sdcDetected[integrity.SiteGEMM] += uint64(n)
+			s.m.sdcRecovered += uint64(rep.Counters.SDCRecovered)
+		}
 		for i, res := range rep.Results {
 			s.m.quality[res.Quality.String()]++
 			if res.Quality.Degraded() {
@@ -680,6 +717,13 @@ func (s *Scheduler) runBatch(w *workerCtl, b batch) {
 		}
 	}
 	s.m.mu.Unlock()
+
+	// GEMM repairs are this worker's hardware lying, caught in the act:
+	// charge its SDC quarantine allowance (outside the metrics lock —
+	// noteWorkerSDC takes it on quarantine).
+	if err == nil && rep.Counters.SDCDetected > 0 {
+		s.noteWorkerSDC(w, int(rep.Counters.SDCDetected))
+	}
 
 	// Close the control loop: feed each frame's SNR estimate, search cost,
 	// and quality back into the controller. Observations flow even while an

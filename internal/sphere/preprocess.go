@@ -3,6 +3,7 @@ package sphere
 import (
 	"container/list"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -33,6 +34,14 @@ type Preprocessed struct {
 	// frame that uses the handle.
 	Flops int64
 
+	// checksum is the content checksum over the factored payload (Q and R),
+	// computed at construction and re-verified on every PreprocessCache hit.
+	// The factors are immutable by contract, so any mismatch — a bit flip in
+	// whatever memory holds the cached factorization — is silent data
+	// corruption, and the cache evicts and refactors rather than let one
+	// poisoned entry corrupt every frame sharing the channel fingerprint.
+	checksum uint64
+
 	// realPre caches the real-valued (RVD) factor, computed lazily by
 	// Real() on first use and shared through the PreprocessCache exactly like
 	// the complex factors (same handle, same fingerprint key). The atomic
@@ -42,6 +51,38 @@ type Preprocessed struct {
 	// tests forbid.
 	realPre atomic.Pointer[RealPre]
 	realMu  sync.Mutex
+
+	// rowMass caches the ABFT tolerance scale max_k Σ_{j≥k} |R[k][j]|₁
+	// (Float64bits; 0 = not yet computed). Like realPre it is derived lazily
+	// and shared across every decode on the handle, so the verified GEMM hot
+	// path pays an atomic load instead of an O(M²) magnitude sweep per frame.
+	rowMass atomic.Uint64
+}
+
+// RowMass returns the largest ℓ1 mass of any R-row suffix, the magnitude
+// bound the ABFT GEMM verifier scales its rounding tolerance with (every
+// product word at level k obeys |w| ≤ rowMass·max|ω|₁). Computed on first
+// use, then served from the handle. Safe for concurrent use: the sweep is
+// deterministic over immutable data, so racing first callers store the same
+// bits.
+func (p *Preprocessed) RowMass() float64 {
+	if bits := p.rowMass.Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	var mass float64
+	m := p.M
+	for k := 0; k < m; k++ {
+		row := p.F.R.Row(k)
+		var suff float64
+		for j := k; j < m; j++ {
+			suff += math.Abs(real(row[j])) + math.Abs(imag(row[j]))
+		}
+		if suff > mass {
+			mass = suff
+		}
+	}
+	p.rowMass.Store(math.Float64bits(mass))
+	return mass
 }
 
 // RealPre is the real-valued-decomposition factor of a channel: the upper
@@ -69,6 +110,9 @@ type RealPre struct {
 	// Flops is the derivation cost (8·M² real stores/negations), charged
 	// once per distinct channel like Preprocessed.Flops.
 	Flops int64
+	// Checksum is the content checksum over R, set at derivation and
+	// re-verified alongside the complex factors on every cache hit.
+	Checksum uint64
 }
 
 // Real returns the lazily derived real-valued factor of the handle. The
@@ -100,9 +144,33 @@ func (p *Preprocessed) Real() *RealPre {
 		bot[2*k] = 0
 	}
 	mm := int64(m)
-	rp := &RealPre{Dim: dim, R: rr, Flops: 8 * mm * mm}
+	rp := &RealPre{Dim: dim, R: rr, Flops: 8 * mm * mm, Checksum: cmatrix.Float64Checksum(rr)}
 	p.realPre.Store(rp)
 	return rp
+}
+
+// VerifyIntegrity re-checksums the handle's cached payloads — Q, R, and the
+// lazily derived real factor when present — against the sums recorded at
+// construction, and additionally rejects a non-finite R outright. A false
+// return means the handle was corrupted after construction (the factors are
+// immutable by contract) and must not be served.
+func (p *Preprocessed) VerifyIntegrity() bool {
+	if fnvMix2(p.F.Q.PayloadChecksum(), p.F.R.PayloadChecksum()) != p.checksum {
+		return false
+	}
+	if !p.F.R.IsFinite() {
+		return false
+	}
+	if rp := p.realPre.Load(); rp != nil && cmatrix.Float64Checksum(rp.R) != rp.Checksum {
+		return false
+	}
+	return true
+}
+
+// fnvMix2 folds two checksums into one stored word.
+func fnvMix2(a, b uint64) uint64 {
+	const prime64 = 1099511628211
+	return (a ^ b*prime64) * prime64
 }
 
 // Preprocess factors h for reuse. It returns cmatrix.ErrNonFinite /
@@ -113,7 +181,10 @@ func Preprocess(h *cmatrix.Matrix) (*Preprocessed, error) {
 		return nil, err
 	}
 	n, m := int64(h.Rows), int64(h.Cols)
-	return &Preprocessed{H: h, F: f, N: h.Rows, M: h.Cols, Flops: 32 * n * m * m}, nil
+	return &Preprocessed{
+		H: h, F: f, N: h.Rows, M: h.Cols, Flops: 32 * n * m * m,
+		checksum: fnvMix2(f.Q.PayloadChecksum(), f.R.PayloadChecksum()),
+	}, nil
 }
 
 // CheckY validates a received vector against the handle's dimensions.
@@ -140,6 +211,10 @@ type PreprocessCache struct {
 	order    *list.List // front = most recently used
 	hits     int64
 	misses   int64
+	// sdcEvictions counts hits whose cached payload failed its integrity
+	// re-verification (checksum mismatch or non-finite factor): the entry is
+	// evicted and the channel refactored instead of serving poison.
+	sdcEvictions int64
 }
 
 type cacheEntry struct {
@@ -172,14 +247,23 @@ func (c *PreprocessCache) Get(h *cmatrix.Matrix) (*Preprocessed, error) {
 	if el, ok := c.entries[fp]; ok {
 		pre := el.Value.(*cacheEntry).pre
 		if sameMatrix(pre.H, h) {
-			c.order.MoveToFront(el)
-			c.hits++
-			c.mu.Unlock()
-			return pre, nil
+			if pre.VerifyIntegrity() {
+				c.order.MoveToFront(el)
+				c.hits++
+				c.mu.Unlock()
+				return pre, nil
+			}
+			// Silent data corruption in the cached factors: evict the
+			// poisoned entry and refactor below. Every future frame sharing
+			// this fingerprint gets a clean handle instead of shared poison.
+			c.sdcEvictions++
+			c.order.Remove(el)
+			delete(c.entries, fp)
+		} else {
+			// Fingerprint collision: evict the impostor and recompute below.
+			c.order.Remove(el)
+			delete(c.entries, fp)
 		}
-		// Fingerprint collision: evict the impostor and recompute below.
-		c.order.Remove(el)
-		delete(c.entries, fp)
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -216,6 +300,37 @@ func (c *PreprocessCache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// SDCEvictions returns the number of cached entries evicted because their
+// payload failed integrity re-verification on a hit.
+func (c *PreprocessCache) SDCEvictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sdcEvictions
+}
+
+// CorruptEntry flips the high mantissa bit of one word of the most recently
+// used entry's cached R factor — the bit-flip the SDC chaos plans inject to
+// exercise the verify-on-hit defense. word selects the element (wrapped into
+// range). It reports whether an entry was available to corrupt. Chaos/test
+// use only: it deliberately violates the handle immutability contract.
+func (c *PreprocessCache) CorruptEntry(word int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	front := c.order.Front()
+	if front == nil {
+		return false
+	}
+	r := front.Value.(*cacheEntry).pre.F.R
+	if len(r.Data) == 0 {
+		return false
+	}
+	if word < 0 {
+		word = -word
+	}
+	r.Data[word%len(r.Data)] = corruptWord(r.Data[word%len(r.Data)])
+	return true
 }
 
 // sameMatrix reports bit-level equality of two matrices (shapes included).

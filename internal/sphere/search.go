@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cmatrix"
 	"repro/internal/decoder"
+	"repro/internal/integrity"
 	"repro/internal/quantize"
 	"repro/internal/trace"
 )
@@ -82,6 +83,15 @@ type search struct {
 	gemmA     cmatrix.Matrix
 	gemmW     cmatrix.Matrix
 	levelPD   []float64
+
+	// ABFT helpers (set when cfg.VerifyGEMM) so verifyProduct runs in O(p)
+	// per GEMM call: the alphabet's sum and peak ℓ1 magnitude (O(p) per
+	// acquire), and the handle's cached R-row mass bound (installed by
+	// decodePre from Preprocessed.RowMass, amortized across every decode on
+	// the channel).
+	ptsSum   complex128
+	maxPtAbs float64
+	rowMass  float64
 }
 
 var searchPool = sync.Pool{New: func() any { return new(search) }}
@@ -96,6 +106,19 @@ func acquireSearch(cfg *Config, r *cmatrix.Matrix) *search {
 	s.cfg, s.m, s.p, s.r, s.ybar = cfg, m, p, r, nil
 	s.rec = cfg.Recorder
 	s.pts = cfg.Const.Points()
+	if cfg.VerifyGEMM {
+		s.ptsSum, s.maxPtAbs = 0, 0
+		for _, pt := range s.pts {
+			s.ptsSum += pt
+			if a1 := math.Abs(real(pt)) + math.Abs(imag(pt)); a1 > s.maxPtAbs {
+				s.maxPtAbs = a1
+			}
+		}
+		// rowMass is installed by the caller (decodePre) from the handle's
+		// cached bound; seed a safe zero so a stray path fails closed (zero
+		// tolerance detects everything and repairs exactly).
+		s.rowMass = 0
+	}
 	if s.mst == nil {
 		s.mst = NewMST(m)
 	}
@@ -313,6 +336,12 @@ func (s *search) evalChildrenGEMM(k int, parentPD float64, row []complex128) {
 	} else {
 		cmatrix.GEMM(1, a, state, 0, w)
 	}
+	if s.cfg.GEMMFault != nil && s.cfg.GEMMFault() {
+		w.Data[0] = corruptWord(w.Data[0])
+	}
+	if s.cfg.VerifyGEMM {
+		s.verifyProduct(a, state, w, depth, s.p)
+	}
 	s.counters.GEMMCalls++
 	s.counters.GEMMFlops += cmatrix.FlopsGEMM(1, s.p, depth)
 	s.counters.RegularLoads += int64(depth) * int64(s.p+1)
@@ -323,6 +352,75 @@ func (s *search) evalChildrenGEMM(k int, parentPD float64, row []complex128) {
 		s.childPD[c] = parentPD + real(diff)*real(diff) + imag(diff)*imag(diff)
 	}
 	s.counters.OtherFlops += int64(s.p) * 6 // NORM module work
+}
+
+// verifyProduct is the ABFT guard on one batched child evaluation: check the
+// Huang–Abraham row-checksum identity on w = a·state and, on a mismatch,
+// repair w in place by recomputing the product with the straightforward
+// reference loop (an independent summation order from the blocked/split
+// kernels, so a transient fabric error does not reproduce).
+//
+// The check exploits the tree-state structure to avoid re-walking operands
+// the product already consumed. Each p-wide frontier block's columns share
+// every decided path symbol, so its outputs are affine in the enumerated
+// symbol: w_c = a₀·ω_c + T with one common tail T per block. Substituting
+// T = w₀ − a₀·ω₀ into the row-checksum identity Σ_c w_c = a₀·Σω + p·T
+// eliminates the tail entirely:
+//
+//	Σ_c w_c − p·w₀ = a₀·(Σω − p·ω₀)
+//
+// — a per-block test in O(p) additions with no k-dependence at all (the
+// generic checksum pass is O(k·n)). Any single corrupted output word shifts
+// the left side by δ (or (1−p)·δ for the block's word 0), never zero, so
+// detection coverage for the transient-flip fault model is unchanged. The
+// tolerance bounds the identity's rounding with the level's precomputed
+// R-row mass: every word obeys |w_c| ≤ rowSuff·maxPtAbs, and the 2p+2
+// accumulated terms ride a generous constant so honest float64 (or fp16)
+// rounding never trips it while an exponent/sign/high-mantissa flip does.
+// The repair path only runs on detected corruption.
+func (s *search) verifyProduct(a, state, w *cmatrix.Matrix, k, n int) {
+	eps := integrity.EpsFloat64
+	if s.cfg.FP16GEMM {
+		eps = integrity.EpsFP16
+	}
+	arow := a.Row(0)
+	wrow := w.Row(0)
+	pf := float64(s.p)
+	a0 := arow[0]
+	cterm := a0 * (s.ptsSum - complex(pf, 0)*s.pts[0])
+	tol := eps * float64(k+s.p) * 4 * pf * s.rowMass * s.maxPtAbs
+	s.counters.OtherFlops += int64(n)*2 + int64(n/s.p)*4
+	ok := true
+	for base := 0; base < n; base += s.p {
+		var sum complex128
+		for c := 0; c < s.p; c++ {
+			sum += wrow[base+c]
+		}
+		d := sum - complex(pf, 0)*wrow[base] - cterm
+		if math.Abs(real(d))+math.Abs(imag(d)) > tol {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		return
+	}
+	s.counters.SDCDetected++
+	for c := 0; c < n; c++ {
+		var sum complex128
+		for i := 0; i < k; i++ {
+			sum += arow[i] * state.At(i, c)
+		}
+		wrow[c] = sum
+	}
+	s.counters.OtherFlops += cmatrix.FlopsGEMM(1, n, k)
+	s.counters.SDCRecovered++
+}
+
+// corruptWord flips the high mantissa bit of the real component — the soft
+// error the SDC chaos plan injects into a GEMM output word.
+func corruptWord(z complex128) complex128 {
+	return complex(math.Float64frombits(math.Float64bits(real(z))^(1<<51)), imag(z))
 }
 
 // sortChildren orders s.order by ascending child PD, counting comparator
@@ -676,6 +774,12 @@ func (s *search) evalFrontierGEMM(frontier []int32, depth int) ([]float64, error
 		quantize.GEMM(1, a, state, 0, w)
 	} else {
 		cmatrix.GEMM(1, a, state, 0, w)
+	}
+	if s.cfg.GEMMFault != nil && s.cfg.GEMMFault() {
+		w.Data[0] = corruptWord(w.Data[0])
+	}
+	if s.cfg.VerifyGEMM {
+		s.verifyProduct(a, state, w, blockH, batch)
 	}
 	s.counters.GEMMCalls++
 	s.counters.GEMMFlops += cmatrix.FlopsGEMM(1, batch, blockH)

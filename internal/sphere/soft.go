@@ -111,6 +111,9 @@ func (d *SoftDecoder) DecodeSoftPre(pre *Preprocessed, y cmatrix.Vector, noiseVa
 	start := time.Now()
 	st := acquireSearch(&d.cfg, f.R)
 	defer st.release()
+	if d.cfg.VerifyGEMM {
+		st.rowMass = pre.RowMass()
+	}
 	ybar := st.computeYbar(f, y)
 	offset := cmatrix.Norm2Sq(y) - cmatrix.Norm2Sq(ybar)
 	if offset < 0 {

@@ -195,6 +195,24 @@ type Config struct {
 	// never calls a batched product. Reachable only through a
 	// core.DecodePolicy; no Options field exposes it directly.
 	FP16GEMM bool
+	// VerifyGEMM enables ABFT (algorithm-based fault tolerance) verification
+	// of every batched child evaluation: the Huang–Abraham checksum identity
+	// C·1 = A·(B·1) is checked within a norm-scaled tolerance after each
+	// product, and a mismatch — a silent bit flip in the arithmetic fabric or
+	// the output buffer — is repaired on the spot by recomputing the product
+	// with the reference kernel (counted in Counters.SDCDetected/
+	// SDCRecovered). Implies UseGEMM for the complex strategies, exactly like
+	// FP16GEMM; a no-op for RealSE, whose analytic enumeration issues no
+	// batched products (the serving layer's re-encode audit still covers it).
+	// The disabled path costs one branch per evaluation and no allocations.
+	VerifyGEMM bool
+	// GEMMFault, when non-nil, is polled once per batched child evaluation;
+	// returning true flips a high-mantissa bit in the freshly computed
+	// product before verification. This is the SDC chaos hook (wired from
+	// core.Accelerator.ArmGEMMFault) — it exists so fault-injection plans can
+	// corrupt the GEMM site the way a soft error in a DSP accumulator would,
+	// and must never be set in production configurations.
+	GEMMFault func() bool
 	// KBest, when positive, caps the BFS frontier at the K lowest-PD nodes
 	// per level (the K-best variant GPU implementations use to bound
 	// memory). Zero means unlimited.
@@ -311,6 +329,10 @@ func New(cfg Config) (*SD, error) {
 		// The half-precision datapath only exists in the batched product.
 		cfg.UseGEMM = true
 	}
+	if cfg.VerifyGEMM && cfg.Strategy != RealSE {
+		// ABFT guards the batched product; verifying implies using it.
+		cfg.UseGEMM = true
+	}
 	d := &SD{cfg: cfg}
 	if cfg.Strategy == RealSE {
 		// UseGEMM does not apply: SE enumeration evaluates children through
@@ -352,6 +374,9 @@ func (d *SD) Name() string {
 	}
 	if d.cfg.FP16GEMM {
 		n += "+FP16"
+	}
+	if d.cfg.VerifyGEMM && d.cfg.UseGEMM {
+		n += "+ABFT"
 	}
 	return n
 }
@@ -443,6 +468,9 @@ func (d *SD) decodePre(pre *Preprocessed, y cmatrix.Vector, noiseVar float64, qr
 		deadline = start.Add(d.cfg.Deadline)
 	}
 	st := acquireSearch(&d.cfg, pre.F.R)
+	if d.cfg.VerifyGEMM {
+		st.rowMass = pre.RowMass()
+	}
 	ybar := st.computeYbar(pre.F, y)
 	// ‖y − Hs‖² = ‖ȳ − Rs‖² + offset; offset = ‖y‖² − ‖ȳ‖² ≥ 0.
 	offset := cmatrix.Norm2Sq(y) - cmatrix.Norm2Sq(ybar)
